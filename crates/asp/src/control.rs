@@ -1,0 +1,544 @@
+//! The clingo-like front end: build a program from text and facts, ground it, solve it.
+//!
+//! [`Control`] mirrors the workflow described in Section V of the paper:
+//!
+//! 1. generate facts for the problem instance ([`Control::add_fact`]),
+//! 2. load the logic program encoding the software model ([`Control::add_program`]),
+//! 3. ground ([`Control::ground`]), and
+//! 4. solve, retrieving the best stable model ([`Control::solve`]).
+//!
+//! Timing of the load / ground / solve phases is recorded in [`Stats`], matching the
+//! phases instrumented in Section VII of the paper (setup is measured by the caller,
+//! since fact generation happens outside the solver).
+
+use std::time::{Duration, Instant};
+
+use crate::ast::Program;
+use crate::ground::{GroundError, GroundProgram, GroundStats, Grounder};
+use crate::optimize::{enumerate_models, solve_optimal, OptStrategy, OptimalModel, OptimizeError};
+use crate::parser::{parse_program, ParseError};
+use crate::sat::SatConfig;
+use crate::symbols::{GroundAtom, SymbolTable, Val};
+use crate::translate::{translate, Translation};
+
+/// Errors surfaced by the [`Control`] API.
+#[derive(Debug)]
+pub enum AspError {
+    /// The program text failed to parse.
+    Parse(ParseError),
+    /// Grounding failed.
+    Ground(GroundError),
+    /// Optimization failed.
+    Optimize(OptimizeError),
+    /// A method was called out of order (e.g. `solve` before `ground`).
+    Usage(String),
+}
+
+impl std::fmt::Display for AspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AspError::Parse(e) => write!(f, "{e}"),
+            AspError::Ground(e) => write!(f, "{e}"),
+            AspError::Optimize(e) => write!(f, "{e}"),
+            AspError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AspError {}
+
+impl From<ParseError> for AspError {
+    fn from(e: ParseError) -> Self {
+        AspError::Parse(e)
+    }
+}
+
+impl From<GroundError> for AspError {
+    fn from(e: GroundError) -> Self {
+        AspError::Ground(e)
+    }
+}
+
+impl From<OptimizeError> for AspError {
+    fn from(e: OptimizeError) -> Self {
+        AspError::Optimize(e)
+    }
+}
+
+/// Configuration presets named after the clingo presets benchmarked in Fig. 7d of the
+/// paper. Each preset maps to a different set of low-level search parameters; as in the
+/// paper, the presets only affect the solving phase, never grounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preset {
+    /// Geared towards typical ASP programs (the paper's default choice).
+    #[default]
+    Tweety,
+    /// Geared towards industrial problems.
+    Trendy,
+    /// Geared towards large problems.
+    Handy,
+}
+
+impl Preset {
+    /// All presets, in the order used by the paper's Figure 7d.
+    pub fn all() -> [Preset; 3] {
+        [Preset::Tweety, Preset::Trendy, Preset::Handy]
+    }
+
+    /// The preset's name as used in clingo.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::Tweety => "tweety",
+            Preset::Trendy => "trendy",
+            Preset::Handy => "handy",
+        }
+    }
+}
+
+/// Solver configuration: preset, optimization strategy, and RNG seed.
+#[derive(Debug, Clone, Default)]
+pub struct SolverConfig {
+    /// Search parameter preset.
+    pub preset: Preset,
+    /// Optimization strategy.
+    pub strategy: OptStrategy,
+    /// Seed for randomized tie-breaking.
+    pub seed: u64,
+}
+
+impl SolverConfig {
+    /// Create a configuration from a preset with the default strategy.
+    pub fn preset(preset: Preset) -> Self {
+        SolverConfig { preset, ..Default::default() }
+    }
+
+    /// The low-level SAT parameters for this configuration.
+    pub fn sat_config(&self) -> SatConfig {
+        let mut cfg = match self.preset {
+            Preset::Tweety => SatConfig {
+                var_decay: 0.92,
+                restart_base: 128,
+                default_phase: false,
+                random_polarity: 0.01,
+                seed: 0x7eea,
+            },
+            Preset::Trendy => SatConfig {
+                var_decay: 0.97,
+                restart_base: 512,
+                default_phase: true,
+                random_polarity: 0.05,
+                seed: 0x7e2d,
+            },
+            Preset::Handy => SatConfig {
+                var_decay: 0.99,
+                restart_base: 1024,
+                default_phase: false,
+                random_polarity: 0.0,
+                seed: 0x4a2d,
+            },
+        };
+        cfg.seed ^= self.seed;
+        cfg
+    }
+}
+
+/// A value in a fact argument or a model atom.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A string / symbolic constant.
+    Str(String),
+    /// An integer.
+    Int(i64),
+}
+
+impl Value {
+    /// The string form (integers are rendered in decimal).
+    pub fn as_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+        }
+    }
+
+    /// The integer value, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+/// A stable model returned by the solver: the true atoms, organised for extraction.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    atoms: Vec<(String, Vec<Value>)>,
+}
+
+impl Model {
+    /// All true atoms as `(predicate, arguments)` pairs.
+    pub fn atoms(&self) -> &[(String, Vec<Value>)] {
+        &self.atoms
+    }
+
+    /// Iterate over the argument tuples of every true atom with the given predicate.
+    pub fn with_pred<'a>(&'a self, pred: &'a str) -> impl Iterator<Item = &'a [Value]> + 'a {
+        self.atoms
+            .iter()
+            .filter(move |(p, _)| p == pred)
+            .map(|(_, args)| args.as_slice())
+    }
+
+    /// Does the model contain this exact atom?
+    pub fn contains(&self, pred: &str, args: &[Value]) -> bool {
+        self.atoms.iter().any(|(p, a)| p == pred && a == args)
+    }
+
+    /// Number of true atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when no atom is true.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+/// Outcome of an optimizing solve.
+#[derive(Debug, Clone)]
+pub enum SolveOutcome {
+    /// An optimal stable model was found.
+    Optimal {
+        /// The model.
+        model: Model,
+        /// Objective vector as `(priority, value)`, highest priority first.
+        cost: Vec<(i64, i64)>,
+    },
+    /// The problem has no stable model.
+    Unsatisfiable,
+}
+
+impl SolveOutcome {
+    /// The model, if the solve was satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveOutcome::Optimal { model, .. } => Some(model),
+            SolveOutcome::Unsatisfiable => None,
+        }
+    }
+
+    /// True when a model was found.
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self, SolveOutcome::Optimal { .. })
+    }
+}
+
+/// Timing and size statistics for one solve, mirroring the phases measured in the paper
+/// (Section VII): load (parsing the logic program), ground, and solve.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Time spent parsing program text.
+    pub load_time: Duration,
+    /// Time spent grounding.
+    pub ground_time: Duration,
+    /// Time spent solving (including optimization and stability checks).
+    pub solve_time: Duration,
+    /// Number of input facts.
+    pub facts: usize,
+    /// Grounding statistics.
+    pub ground: GroundStats,
+    /// Number of SAT variables after translation.
+    pub variables: usize,
+    /// Number of clauses after translation.
+    pub clauses: usize,
+    /// Candidate models examined during optimization.
+    pub models_examined: u64,
+    /// Solver invocations performed by the optimizer.
+    pub solver_runs: u64,
+    /// Total conflicts.
+    pub conflicts: u64,
+    /// Loop nogoods added by the stable-model check.
+    pub loop_nogoods: u64,
+}
+
+impl Stats {
+    /// Total time across all phases measured by the solver.
+    pub fn total_time(&self) -> Duration {
+        self.load_time + self.ground_time + self.solve_time
+    }
+}
+
+/// The solver front end.
+pub struct Control {
+    config: SolverConfig,
+    symbols: SymbolTable,
+    program: Program,
+    facts: Vec<GroundAtom>,
+    ground: Option<GroundProgram>,
+    translation: Option<Translation>,
+    stats: Stats,
+}
+
+impl Control {
+    /// Create a new, empty control object.
+    pub fn new(config: SolverConfig) -> Self {
+        Control {
+            config,
+            symbols: SymbolTable::new(),
+            program: Program::default(),
+            facts: Vec::new(),
+            ground: None,
+            translation: None,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Parse and add a logic program.
+    pub fn add_program(&mut self, text: &str) -> Result<(), AspError> {
+        let start = Instant::now();
+        let parsed = parse_program(text)?;
+        self.program.extend(parsed);
+        self.stats.load_time += start.elapsed();
+        Ok(())
+    }
+
+    /// Add one input fact.
+    pub fn add_fact(&mut self, pred: &str, args: &[Value]) {
+        let pred = self.symbols.intern(pred);
+        let args = args
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => Val::Sym(self.symbols.intern(s)),
+                Value::Int(i) => Val::Int(*i),
+            })
+            .collect();
+        self.facts.push(GroundAtom::new(pred, args));
+    }
+
+    /// Number of facts added so far.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Ground the program together with the facts added so far.
+    pub fn ground(&mut self) -> Result<(), AspError> {
+        let start = Instant::now();
+        let ground = Grounder::new(&mut self.symbols).ground(&self.program, &self.facts)?;
+        let translation = translate(&ground);
+        self.stats.ground_time = start.elapsed();
+        self.stats.facts = self.facts.len();
+        self.stats.ground = ground.stats.clone();
+        self.stats.variables = translation.num_vars;
+        self.stats.clauses = translation.clauses.len();
+        self.ground = Some(ground);
+        self.translation = Some(translation);
+        Ok(())
+    }
+
+    /// Solve for the optimal stable model.
+    pub fn solve(&mut self) -> Result<SolveOutcome, AspError> {
+        let (ground, translation) = match (&self.ground, &self.translation) {
+            (Some(g), Some(t)) => (g, t),
+            _ => return Err(AspError::Usage("ground() must be called before solve()".into())),
+        };
+        let start = Instant::now();
+        let result = solve_optimal(
+            ground,
+            translation,
+            &self.config.sat_config(),
+            self.config.strategy,
+        )?;
+        self.stats.solve_time = start.elapsed();
+        match result {
+            None => Ok(SolveOutcome::Unsatisfiable),
+            Some(optimal) => {
+                self.record_opt_stats(&optimal);
+                let model = self.extract_model(&optimal.model);
+                Ok(SolveOutcome::Optimal { model, cost: optimal.cost })
+            }
+        }
+    }
+
+    /// Enumerate up to `limit` stable models without optimization.
+    pub fn solve_models(&mut self, limit: usize) -> Result<Vec<Model>, AspError> {
+        let (ground, translation) = match (&self.ground, &self.translation) {
+            (Some(g), Some(t)) => (g, t),
+            _ => {
+                return Err(AspError::Usage(
+                    "ground() must be called before solve_models()".into(),
+                ))
+            }
+        };
+        let start = Instant::now();
+        let models = enumerate_models(ground, translation, &self.config.sat_config(), limit);
+        self.stats.solve_time = start.elapsed();
+        Ok(models.iter().map(|m| self.extract_model(m)).collect())
+    }
+
+    /// Statistics for the phases run so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Access to the ground program (available after [`Control::ground`]).
+    pub fn ground_program(&self) -> Option<&GroundProgram> {
+        self.ground.as_ref()
+    }
+
+    fn record_opt_stats(&mut self, optimal: &OptimalModel) {
+        self.stats.models_examined = optimal.models_examined;
+        self.stats.solver_runs = optimal.solver_runs;
+        self.stats.conflicts = optimal.conflicts;
+        self.stats.loop_nogoods = optimal.loop_nogoods;
+    }
+
+    fn extract_model(&self, model: &[bool]) -> Model {
+        let ground = self.ground.as_ref().expect("grounded");
+        let mut atoms = Vec::new();
+        for (id, atom) in ground.atoms.iter() {
+            if !model[id as usize] {
+                continue;
+            }
+            let pred = self.symbols.name(atom.pred).to_string();
+            if pred.starts_with("__") {
+                continue; // internal auxiliary atoms
+            }
+            let args = atom
+                .args
+                .iter()
+                .map(|v| match v {
+                    Val::Int(i) => Value::Int(*i),
+                    Val::Sym(s) => Value::Str(self.symbols.name(*s).to_string()),
+                })
+                .collect();
+            atoms.push((pred, args));
+        }
+        Model { atoms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_fact_program_solve() {
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_fact("node", &["hdf5".into()]);
+        ctl.add_fact("depends_on", &["hdf5".into(), "zlib".into()]);
+        ctl.add_program("node(D) :- node(P), depends_on(P, D).").unwrap();
+        ctl.ground().unwrap();
+        let outcome = ctl.solve().unwrap();
+        let model = outcome.model().expect("satisfiable");
+        assert!(model.contains("node", &["zlib".into()]));
+        assert!(ctl.stats().ground_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn optimization_cost_is_reported() {
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program(
+            r#"
+            node(p).
+            possible_version(p, "2.0", 0).
+            possible_version(p, "1.0", 1).
+            1 { version(P, V) : possible_version(P, V, W) } 1 :- node(P).
+            version_weight(P, W) :- version(P, V), possible_version(P, V, W).
+            #minimize{ W@3,P : version_weight(P, W) }.
+            "#,
+        )
+        .unwrap();
+        ctl.ground().unwrap();
+        match ctl.solve().unwrap() {
+            SolveOutcome::Optimal { model, cost } => {
+                assert!(model.contains("version", &["p".into(), "2.0".into()]));
+                assert_eq!(cost, vec![(3, 0)]);
+            }
+            SolveOutcome::Unsatisfiable => panic!("expected a model"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_is_reported() {
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("p. :- p.").unwrap();
+        ctl.ground().unwrap();
+        assert!(!ctl.solve().unwrap().is_satisfiable());
+    }
+
+    #[test]
+    fn presets_solve_the_same_problem() {
+        for preset in Preset::all() {
+            let mut ctl = Control::new(SolverConfig::preset(preset));
+            ctl.add_program(
+                r#"
+                1 { pick(a); pick(b); pick(c) } 1.
+                cost(a, 2). cost(b, 1). cost(c, 3).
+                paid(W) :- pick(P), cost(P, W).
+                #minimize{ W@1 : paid(W) }.
+                "#,
+            )
+            .unwrap();
+            ctl.ground().unwrap();
+            match ctl.solve().unwrap() {
+                SolveOutcome::Optimal { model, cost } => {
+                    assert!(model.contains("pick", &["b".into()]), "preset {preset:?}");
+                    assert_eq!(cost, vec![(1, 1)]);
+                }
+                SolveOutcome::Unsatisfiable => panic!("expected a model"),
+            }
+        }
+    }
+
+    #[test]
+    fn solve_before_ground_is_an_error() {
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("p.").unwrap();
+        assert!(matches!(ctl.solve(), Err(AspError::Usage(_))));
+    }
+
+    #[test]
+    fn model_query_api() {
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_fact("version_declared", &["zlib".into(), "1.2.11".into(), 0.into()]);
+        ctl.add_program("chosen(P, V) :- version_declared(P, V, W).").unwrap();
+        ctl.ground().unwrap();
+        let outcome = ctl.solve().unwrap();
+        let model = outcome.model().unwrap();
+        let rows: Vec<_> = model.with_pred("chosen").collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_str(), "zlib");
+        assert_eq!(rows[0][1].as_str(), "1.2.11");
+    }
+}

@@ -1,0 +1,1401 @@
+//! The grounder: instantiates a first-order program into a propositional (ground) one.
+//!
+//! This is the `gringo` analogue of the reproduction. Grounding proceeds in two phases:
+//!
+//! 1. **Possible-atom fixpoint.** Starting from the input facts, rules are instantiated
+//!    over positive body literals only (an over-approximation that ignores negation),
+//!    semi-naively, until no new head atoms appear. This discovers every atom that could
+//!    possibly be true in a stable model.
+//! 2. **Rule instantiation.** With the possible-atom set fixed, every rule is instantiated
+//!    once more and simplified exactly as the paper describes for gringo (Fig. 3): body
+//!    literals on input facts are dropped, negative literals on impossible atoms are
+//!    dropped, instances contradicted by facts are discarded.
+//!
+//! The dialect restrictions (documented in the crate root) are: conditions of conditional
+//! literals and of choice elements must be input facts, and every rule must be *safe*
+//! (every variable appears in a positive, non-conditional body literal, or in the
+//! conditions of its own conditional element).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::ast::{ArithOp, Atom, BodyElem, ChoiceElement, CmpOp, Head, Literal, Program, Term};
+use crate::symbols::{AtomId, GroundAtom, SymbolId, SymbolTable, Val};
+
+/// An error produced during grounding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for GroundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "grounding error: {}", self.message)
+    }
+}
+
+impl std::error::Error for GroundError {}
+
+/// A ground normal rule or integrity constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundRule {
+    /// Head atom; `None` for integrity constraints.
+    pub head: Option<AtomId>,
+    /// Positive body atoms.
+    pub pos: Vec<AtomId>,
+    /// Negative body atoms (`not a`).
+    pub neg: Vec<AtomId>,
+}
+
+/// A ground choice rule with optional cardinality bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundChoice {
+    /// The choosable head atoms.
+    pub heads: Vec<AtomId>,
+    /// Lower cardinality bound.
+    pub lower: Option<i64>,
+    /// Upper cardinality bound.
+    pub upper: Option<i64>,
+    /// Positive body atoms.
+    pub pos: Vec<AtomId>,
+    /// Negative body atoms.
+    pub neg: Vec<AtomId>,
+}
+
+/// One ground minimize entry: `weight@priority` is paid whenever `condition` is true
+/// (`condition == None` means the weight is always paid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundMinimize {
+    /// Priority level (higher = more significant).
+    pub priority: i64,
+    /// Weight contributed at that level.
+    pub weight: i64,
+    /// The atom whose truth triggers the weight, if any.
+    pub condition: Option<AtomId>,
+}
+
+/// Statistics describing the grounding step.
+#[derive(Debug, Clone, Default)]
+pub struct GroundStats {
+    /// Number of possible atoms discovered.
+    pub atoms: usize,
+    /// Number of ground normal rules / constraints.
+    pub rules: usize,
+    /// Number of ground choice rules.
+    pub choices: usize,
+    /// Number of ground minimize entries.
+    pub minimize: usize,
+    /// Number of fixpoint rounds in phase 1.
+    pub rounds: usize,
+    /// Wall-clock time spent grounding.
+    pub duration: Duration,
+}
+
+/// The ground (propositional) program.
+#[derive(Debug, Clone, Default)]
+pub struct GroundProgram {
+    /// Table of all possible atoms.
+    pub atoms: crate::symbols::AtomTable,
+    /// Ground rules and integrity constraints.
+    pub rules: Vec<GroundRule>,
+    /// Ground choice rules.
+    pub choices: Vec<GroundChoice>,
+    /// Ground minimize entries.
+    pub minimize: Vec<GroundMinimize>,
+    /// True when grounding already proved the program unsatisfiable (a constraint with an
+    /// empty body was derived).
+    pub trivially_unsat: bool,
+    /// Grounding statistics.
+    pub stats: GroundStats,
+}
+
+impl GroundProgram {
+    /// Atoms that are certainly true (input facts).
+    pub fn fact_atoms(&self) -> Vec<AtomId> {
+        self.atoms
+            .iter()
+            .filter(|(id, _)| self.atoms.is_certain(*id))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Compiled term: variables resolved to slot indices.
+#[derive(Debug, Clone)]
+enum CTerm {
+    Val(Val),
+    Var(usize),
+    Wildcard,
+    BinOp(ArithOp, Box<CTerm>, Box<CTerm>),
+}
+
+/// Compiled atom.
+#[derive(Debug, Clone)]
+struct CAtom {
+    pred: SymbolId,
+    args: Vec<CTerm>,
+}
+
+#[derive(Debug, Clone)]
+struct CCmp {
+    op: CmpOp,
+    lhs: CTerm,
+    rhs: CTerm,
+}
+
+#[derive(Debug, Clone)]
+struct CCond {
+    negated: bool,
+    atom: CAtom,
+    conditions: Vec<CAtom>,
+}
+
+#[derive(Debug, Clone)]
+struct CChoiceElem {
+    atom: CAtom,
+    conditions: Vec<CAtom>,
+}
+
+#[derive(Debug, Clone)]
+enum CHead {
+    None,
+    Atom(CAtom),
+    Choice { lower: Option<CTerm>, upper: Option<CTerm>, elements: Vec<CChoiceElem> },
+}
+
+/// A rule compiled for grounding.
+#[derive(Debug, Clone)]
+struct CRule {
+    head: CHead,
+    /// Positive predicate body literals, in join order.
+    pos: Vec<CAtom>,
+    /// Negative predicate body literals.
+    neg: Vec<CAtom>,
+    /// Comparison literals.
+    cmps: Vec<CCmp>,
+    /// Conditional literals.
+    conds: Vec<CCond>,
+    /// Number of variable slots.
+    nvars: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CMinimize {
+    weight: CTerm,
+    priority: CTerm,
+    terms: Vec<CTerm>,
+    pos: Vec<CAtom>,
+    neg: Vec<CAtom>,
+    cmps: Vec<CCmp>,
+    nvars: usize,
+}
+
+/// The grounder.
+pub struct Grounder<'a> {
+    symbols: &'a mut SymbolTable,
+}
+
+impl<'a> Grounder<'a> {
+    /// Create a grounder that interns into the given symbol table.
+    pub fn new(symbols: &'a mut SymbolTable) -> Self {
+        Grounder { symbols }
+    }
+
+    /// Ground `program` together with externally supplied input `facts`.
+    pub fn ground(
+        mut self,
+        program: &Program,
+        facts: &[GroundAtom],
+    ) -> Result<GroundProgram, GroundError> {
+        let start = Instant::now();
+        let consts: HashMap<String, Term> = program.consts.iter().cloned().collect();
+
+        let mut ground = GroundProgram::default();
+
+        // Intern all external facts as certain atoms.
+        for fact in facts {
+            let (id, _) = ground.atoms.intern(fact.clone());
+            ground.atoms.set_certain(id);
+        }
+
+        // Compile rules.
+        let mut crules = Vec::with_capacity(program.rules.len());
+        for rule in &program.rules {
+            // Ground facts in the program text (`node("hdf5").`) are handled directly.
+            if rule.body.is_empty() {
+                if let Head::Atom(atom) = &rule.head {
+                    if atom_is_ground(atom) {
+                        let ga = self.intern_ground_atom(atom, &consts)?;
+                        let (id, _) = ground.atoms.intern(ga);
+                        ground.atoms.set_certain(id);
+                        continue;
+                    }
+                }
+            }
+            crules.push(self.compile_rule(rule, &consts)?);
+        }
+        let cminimize: Vec<CMinimize> = program
+            .minimize
+            .iter()
+            .map(|m| self.compile_minimize(m, &consts))
+            .collect::<Result<_, _>>()?;
+
+        // ---- Phase 1: possible-atom fixpoint -----------------------------------------
+        let mut rounds = 0;
+        // The set of atom ids added in the previous round.
+        let mut delta: Vec<AtomId> = ground.atoms.iter().map(|(id, _)| id).collect();
+        let mut first_round = true;
+        while !delta.is_empty() || first_round {
+            rounds += 1;
+            if rounds > 100_000 {
+                return Err(GroundError { message: "grounding did not reach a fixpoint".into() });
+            }
+            let mut new_atoms: Vec<AtomId> = Vec::new();
+            let delta_set: Vec<bool> = {
+                let mut v = vec![false; ground.atoms.len()];
+                for &d in &delta {
+                    v[d as usize] = true;
+                }
+                v
+            };
+            for rule in &crules {
+                self.phase1_rule(rule, &mut ground, &delta_set, first_round, &mut new_atoms)?;
+            }
+            delta = new_atoms;
+            first_round = false;
+        }
+
+        // ---- Phase 2: rule instantiation ----------------------------------------------
+        let mut seen_rules: std::collections::HashSet<GroundRule> = std::collections::HashSet::new();
+        for rule in &crules {
+            self.phase2_rule(rule, &mut ground, &mut seen_rules)?;
+        }
+        // Minimize statements.
+        let mut tuples: HashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>> =
+            HashMap::new();
+        for m in &cminimize {
+            self.ground_minimize(m, &ground, &mut tuples)?;
+        }
+        self.emit_minimize(tuples, &mut ground);
+
+        ground.stats = GroundStats {
+            atoms: ground.atoms.len(),
+            rules: ground.rules.len(),
+            choices: ground.choices.len(),
+            minimize: ground.minimize.len(),
+            rounds,
+            duration: start.elapsed(),
+        };
+        Ok(ground)
+    }
+
+    // ---- compilation -----------------------------------------------------------------
+
+    fn compile_term(
+        &mut self,
+        term: &Term,
+        vars: &mut Vec<String>,
+        consts: &HashMap<String, Term>,
+    ) -> Result<CTerm, GroundError> {
+        Ok(match term {
+            Term::Sym(s) => {
+                if let Some(def) = consts.get(s) {
+                    // #const substitution (definitions must be ground).
+                    self.compile_term(def, vars, consts)?
+                } else {
+                    CTerm::Val(Val::Sym(self.symbols.intern(s)))
+                }
+            }
+            Term::Int(i) => CTerm::Val(Val::Int(*i)),
+            Term::Var(v) if v == "_" => CTerm::Wildcard,
+            Term::Var(v) => {
+                let idx = match vars.iter().position(|x| x == v) {
+                    Some(i) => i,
+                    None => {
+                        vars.push(v.clone());
+                        vars.len() - 1
+                    }
+                };
+                CTerm::Var(idx)
+            }
+            Term::BinOp(op, a, b) => CTerm::BinOp(
+                *op,
+                Box::new(self.compile_term(a, vars, consts)?),
+                Box::new(self.compile_term(b, vars, consts)?),
+            ),
+        })
+    }
+
+    fn compile_atom(
+        &mut self,
+        atom: &Atom,
+        vars: &mut Vec<String>,
+        consts: &HashMap<String, Term>,
+    ) -> Result<CAtom, GroundError> {
+        let pred = self.symbols.intern(&atom.pred);
+        let args = atom
+            .args
+            .iter()
+            .map(|t| self.compile_term(t, vars, consts))
+            .collect::<Result<_, _>>()?;
+        Ok(CAtom { pred, args })
+    }
+
+    fn compile_rule(
+        &mut self,
+        rule: &crate::ast::Rule,
+        consts: &HashMap<String, Term>,
+    ) -> Result<CRule, GroundError> {
+        let mut vars = Vec::new();
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let mut cmps = Vec::new();
+        let mut conds = Vec::new();
+        for elem in &rule.body {
+            match elem {
+                BodyElem::Lit(Literal::Pred { negated: false, atom }) => {
+                    pos.push(self.compile_atom(atom, &mut vars, consts)?);
+                }
+                BodyElem::Lit(Literal::Pred { negated: true, atom }) => {
+                    neg.push(self.compile_atom(atom, &mut vars, consts)?);
+                }
+                BodyElem::Lit(Literal::Cmp { op, lhs, rhs }) => {
+                    cmps.push(CCmp {
+                        op: *op,
+                        lhs: self.compile_term(lhs, &mut vars, consts)?,
+                        rhs: self.compile_term(rhs, &mut vars, consts)?,
+                    });
+                }
+                BodyElem::Cond { literal, conditions } => {
+                    let (negated, atom) = match literal {
+                        Literal::Pred { negated, atom } => (*negated, atom),
+                        Literal::Cmp { .. } => {
+                            return Err(GroundError {
+                                message: "comparison literals cannot be conditional".into(),
+                            })
+                        }
+                    };
+                    let catom = self.compile_atom(atom, &mut vars, consts)?;
+                    let cconds = conditions
+                        .iter()
+                        .map(|c| match c {
+                            Literal::Pred { negated: false, atom } => {
+                                self.compile_atom(atom, &mut vars, consts)
+                            }
+                            _ => Err(GroundError {
+                                message: "conditions of conditional literals must be positive atoms"
+                                    .into(),
+                            }),
+                        })
+                        .collect::<Result<_, _>>()?;
+                    conds.push(CCond { negated, atom: catom, conditions: cconds });
+                }
+            }
+        }
+        let head = match &rule.head {
+            Head::None => CHead::None,
+            Head::Atom(atom) => CHead::Atom(self.compile_atom(atom, &mut vars, consts)?),
+            Head::Choice { lower, upper, elements } => {
+                let lower = lower
+                    .as_ref()
+                    .map(|t| self.compile_term(t, &mut vars, consts))
+                    .transpose()?;
+                let upper = upper
+                    .as_ref()
+                    .map(|t| self.compile_term(t, &mut vars, consts))
+                    .transpose()?;
+                let elements = elements
+                    .iter()
+                    .map(|e| self.compile_choice_elem(e, &mut vars, consts))
+                    .collect::<Result<_, _>>()?;
+                CHead::Choice { lower, upper, elements }
+            }
+        };
+        Ok(CRule { head, pos, neg, cmps, conds, nvars: vars.len() })
+    }
+
+    fn compile_choice_elem(
+        &mut self,
+        elem: &ChoiceElement,
+        vars: &mut Vec<String>,
+        consts: &HashMap<String, Term>,
+    ) -> Result<CChoiceElem, GroundError> {
+        let atom = self.compile_atom(&elem.atom, vars, consts)?;
+        let conditions = elem
+            .conditions
+            .iter()
+            .map(|c| match c {
+                Literal::Pred { negated: false, atom } => self.compile_atom(atom, vars, consts),
+                _ => Err(GroundError {
+                    message: "choice element conditions must be positive atoms".into(),
+                }),
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(CChoiceElem { atom, conditions })
+    }
+
+    fn compile_minimize(
+        &mut self,
+        m: &crate::ast::MinimizeElement,
+        consts: &HashMap<String, Term>,
+    ) -> Result<CMinimize, GroundError> {
+        let mut vars = Vec::new();
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let mut cmps = Vec::new();
+        for c in &m.conditions {
+            match c {
+                Literal::Pred { negated: false, atom } => {
+                    pos.push(self.compile_atom(atom, &mut vars, consts)?)
+                }
+                Literal::Pred { negated: true, atom } => {
+                    neg.push(self.compile_atom(atom, &mut vars, consts)?)
+                }
+                Literal::Cmp { op, lhs, rhs } => cmps.push(CCmp {
+                    op: *op,
+                    lhs: self.compile_term(lhs, &mut vars, consts)?,
+                    rhs: self.compile_term(rhs, &mut vars, consts)?,
+                }),
+            }
+        }
+        let weight = self.compile_term(&m.weight, &mut vars, consts)?;
+        let priority = self.compile_term(&m.priority, &mut vars, consts)?;
+        let terms = m
+            .terms
+            .iter()
+            .map(|t| self.compile_term(t, &mut vars, consts))
+            .collect::<Result<_, _>>()?;
+        Ok(CMinimize { weight, priority, terms, pos, neg, cmps, nvars: vars.len() })
+    }
+
+    fn intern_ground_atom(
+        &mut self,
+        atom: &Atom,
+        consts: &HashMap<String, Term>,
+    ) -> Result<GroundAtom, GroundError> {
+        let mut vars = Vec::new();
+        let catom = self.compile_atom(atom, &mut vars, consts)?;
+        if !vars.is_empty() {
+            return Err(GroundError { message: format!("fact {atom} is not ground") });
+        }
+        let subst: Vec<Option<Val>> = Vec::new();
+        instantiate_atom(&catom, &subst)
+            .ok_or_else(|| GroundError { message: format!("cannot evaluate fact {atom}") })
+    }
+
+    // ---- phase 1 ----------------------------------------------------------------------
+
+    fn phase1_rule(
+        &mut self,
+        rule: &CRule,
+        ground: &mut GroundProgram,
+        delta: &[bool],
+        first_round: bool,
+        new_atoms: &mut Vec<AtomId>,
+    ) -> Result<(), GroundError> {
+        // Nothing to derive for constraints in phase 1.
+        if matches!(rule.head, CHead::None) {
+            return Ok(());
+        }
+        let positions: Vec<usize> = (0..rule.pos.len()).collect();
+        let delta_positions: Vec<Option<usize>> = if rule.pos.is_empty() {
+            if first_round {
+                vec![None]
+            } else {
+                vec![]
+            }
+        } else if first_round {
+            // On the first round every atom is "new", a single unrestricted join suffices.
+            vec![Some(usize::MAX)]
+        } else {
+            positions.iter().map(|&p| Some(p)).collect()
+        };
+
+        for dpos in delta_positions {
+            let mut subst = vec![None; rule.nvars];
+            self.join_positive(
+                rule,
+                0,
+                dpos.unwrap_or(usize::MAX),
+                delta,
+                ground,
+                &mut subst,
+                &mut |this, ground, subst| {
+                    // Comparisons that are fully bound can prune even in phase 1.
+                    for cmp in &rule.cmps {
+                        if let Some(false) = eval_cmp(cmp, subst) {
+                            return Ok(());
+                        }
+                    }
+                    this.derive_head(rule, ground, subst, new_atoms)
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn derive_head(
+        &mut self,
+        rule: &CRule,
+        ground: &mut GroundProgram,
+        subst: &[Option<Val>],
+        new_atoms: &mut Vec<AtomId>,
+    ) -> Result<(), GroundError> {
+        match &rule.head {
+            CHead::None => {}
+            CHead::Atom(atom) => {
+                let ga = instantiate_atom(atom, subst).ok_or_else(|| GroundError {
+                    message: "unsafe rule: head variables not bound by positive body".into(),
+                })?;
+                let (id, new) = ground.atoms.intern(ga);
+                if new {
+                    new_atoms.push(id);
+                }
+            }
+            CHead::Choice { elements, .. } => {
+                for elem in elements {
+                    let mut local = subst.to_vec();
+                    self.expand_conditions(
+                        &elem.conditions,
+                        0,
+                        ground,
+                        &mut local,
+                        false,
+                        &mut |ground, local| {
+                            if let Some(ga) = instantiate_atom(&elem.atom, local) {
+                                let (id, new) = ground.atoms.intern(ga);
+                                if new {
+                                    new_atoms.push(id);
+                                }
+                            }
+                            Ok(())
+                        },
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- phase 2 ----------------------------------------------------------------------
+
+    fn phase2_rule(
+        &mut self,
+        rule: &CRule,
+        ground: &mut GroundProgram,
+        seen: &mut std::collections::HashSet<GroundRule>,
+    ) -> Result<(), GroundError> {
+        let mut subst = vec![None; rule.nvars];
+        // Collect instances first to avoid borrowing issues while mutating `ground`.
+        let mut instances: Vec<Vec<Option<Val>>> = Vec::new();
+        self.join_positive(rule, 0, usize::MAX, &[], ground, &mut subst, &mut |_this, _g, s| {
+            instances.push(s.to_vec());
+            Ok(())
+        })?;
+
+        'instance: for inst in instances {
+            // Comparisons.
+            for cmp in &rule.cmps {
+                match eval_cmp(cmp, &inst) {
+                    Some(true) => {}
+                    Some(false) => continue 'instance,
+                    None => {
+                        return Err(GroundError {
+                            message: "comparison with unbound variables (unsafe rule)".into(),
+                        })
+                    }
+                }
+            }
+            // Positive body: drop certain atoms, keep the rest.
+            let mut pos = Vec::new();
+            for a in &rule.pos {
+                let ga = instantiate_atom(a, &inst).ok_or_else(|| GroundError {
+                    message: "internal: positive literal not fully bound after join".into(),
+                })?;
+                let id = ground.atoms.get(&ga).expect("joined atom must be possible");
+                if !ground.atoms.is_certain(id) {
+                    pos.push(id);
+                }
+            }
+            // Negative body.
+            let mut neg = Vec::new();
+            for a in &rule.neg {
+                if !self.add_negative_literal(a, &inst, ground, &mut neg)? {
+                    continue 'instance;
+                }
+            }
+            // Conditional literals expand to conjunctions over certain condition facts.
+            for cond in &rule.conds {
+                let mut local = inst.clone();
+                let mut ok = true;
+                let mut extra_pos = Vec::new();
+                let mut extra_neg = Vec::new();
+                self.expand_conditions(&cond.conditions, 0, ground, &mut local, true, &mut |ground,
+                     local| {
+                    if !ok {
+                        return Ok(());
+                    }
+                    match instantiate_atom(&cond.atom, local) {
+                        Some(ga) => {
+                            match ground.atoms.get(&ga) {
+                                Some(id) => {
+                                    if cond.negated {
+                                        if ground.atoms.is_certain(id) {
+                                            ok = false;
+                                        } else {
+                                            extra_neg.push(id);
+                                        }
+                                    } else if !ground.atoms.is_certain(id) {
+                                        extra_pos.push(id);
+                                    }
+                                }
+                                None => {
+                                    // Atom can never be true.
+                                    if !cond.negated {
+                                        ok = false;
+                                    }
+                                }
+                            }
+                        }
+                        None => ok = false,
+                    }
+                    Ok(())
+                })?;
+                if !ok {
+                    continue 'instance;
+                }
+                pos.extend(extra_pos);
+                neg.extend(extra_neg);
+            }
+
+            pos.sort_unstable();
+            pos.dedup();
+            neg.sort_unstable();
+            neg.dedup();
+
+            match &rule.head {
+                CHead::None => {
+                    if pos.is_empty() && neg.is_empty() {
+                        ground.trivially_unsat = true;
+                    }
+                    let gr = GroundRule { head: None, pos, neg };
+                    if seen.insert(gr.clone()) {
+                        ground.rules.push(gr);
+                    }
+                }
+                CHead::Atom(atom) => {
+                    let ga = instantiate_atom(atom, &inst).ok_or_else(|| GroundError {
+                        message: "unsafe rule: head variables not bound".into(),
+                    })?;
+                    let (id, _) = ground.atoms.intern(ga);
+                    if ground.atoms.is_certain(id) {
+                        continue 'instance;
+                    }
+                    let gr = GroundRule { head: Some(id), pos, neg };
+                    if seen.insert(gr.clone()) {
+                        ground.rules.push(gr);
+                    }
+                }
+                CHead::Choice { lower, upper, elements } => {
+                    let lower = match lower {
+                        Some(t) => Some(eval_int(t, &inst).ok_or_else(|| GroundError {
+                            message: "choice lower bound must be an integer".into(),
+                        })?),
+                        None => None,
+                    };
+                    let upper = match upper {
+                        Some(t) => Some(eval_int(t, &inst).ok_or_else(|| GroundError {
+                            message: "choice upper bound must be an integer".into(),
+                        })?),
+                        None => None,
+                    };
+                    let mut heads = Vec::new();
+                    for elem in elements {
+                        let mut local = inst.clone();
+                        self.expand_conditions(
+                            &elem.conditions,
+                            0,
+                            ground,
+                            &mut local,
+                            true,
+                            &mut |ground, local| {
+                                if let Some(ga) = instantiate_atom(&elem.atom, local) {
+                                    let (id, _) = ground.atoms.intern(ga);
+                                    heads.push(id);
+                                }
+                                Ok(())
+                            },
+                        )?;
+                    }
+                    heads.sort_unstable();
+                    heads.dedup();
+                    ground.choices.push(GroundChoice { heads, lower, upper, pos, neg });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns false when the rule instance must be discarded (negative literal on a fact).
+    fn add_negative_literal(
+        &mut self,
+        atom: &CAtom,
+        inst: &[Option<Val>],
+        ground: &GroundProgram,
+        neg: &mut Vec<AtomId>,
+    ) -> Result<bool, GroundError> {
+        // Wildcards in negative literals mean "no instance exists": `not hash(P, _)`.
+        if atom.args.iter().any(|a| matches!(a, CTerm::Wildcard)) {
+            // Enumerate all possible atoms of the predicate matching the bound arguments.
+            let candidates = ground.atoms.with_pred(atom.pred).to_vec();
+            for cand in candidates {
+                let ga = ground.atoms.atom(cand);
+                if atom_matches_bound(atom, inst, ga) {
+                    if ground.atoms.is_certain(cand) {
+                        return Ok(false);
+                    }
+                    neg.push(cand);
+                }
+            }
+            return Ok(true);
+        }
+        let ga = match instantiate_atom(atom, inst) {
+            Some(ga) => ga,
+            None => {
+                return Err(GroundError {
+                    message: "unsafe rule: negative literal with unbound variables".into(),
+                })
+            }
+        };
+        match ground.atoms.get(&ga) {
+            None => Ok(true), // atom impossible: `not a` trivially true
+            Some(id) if ground.atoms.is_certain(id) => Ok(false),
+            Some(id) => {
+                neg.push(id);
+                Ok(true)
+            }
+        }
+    }
+
+    // ---- joins -------------------------------------------------------------------------
+
+    /// Join the positive body literals of a rule, calling `on_match` for every complete
+    /// substitution. When `delta_pos != usize::MAX`, the literal at that index may only
+    /// match atoms flagged in `delta` (semi-naive evaluation).
+    #[allow(clippy::too_many_arguments)]
+    fn join_positive(
+        &mut self,
+        rule: &CRule,
+        index: usize,
+        delta_pos: usize,
+        delta: &[bool],
+        ground: &mut GroundProgram,
+        subst: &mut Vec<Option<Val>>,
+        on_match: &mut dyn FnMut(
+            &mut Self,
+            &mut GroundProgram,
+            &[Option<Val>],
+        ) -> Result<(), GroundError>,
+    ) -> Result<(), GroundError> {
+        if index == rule.pos.len() {
+            return on_match(self, ground, subst);
+        }
+        let atom = &rule.pos[index];
+        let candidates = select_candidates(atom, subst, ground);
+        for cand in candidates {
+            if delta_pos == index && (cand as usize) >= delta.len() {
+                continue;
+            }
+            if delta_pos == index && !delta[cand as usize] {
+                continue;
+            }
+            let ga = ground.atoms.atom(cand).clone();
+            let mut bindings = Vec::new();
+            if match_atom(atom, subst, &ga, &mut bindings) {
+                for &(slot, val) in &bindings {
+                    subst[slot] = Some(val);
+                }
+                self.join_positive(rule, index + 1, delta_pos, delta, ground, subst, on_match)?;
+                for &(slot, _) in &bindings {
+                    subst[slot] = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand a list of condition atoms (which must match input facts when
+    /// `certain_only`, or any possible atom during phase 1) over all groundings,
+    /// calling `on_match` for each complete assignment of the condition variables.
+    fn expand_conditions(
+        &mut self,
+        conditions: &[CAtom],
+        index: usize,
+        ground: &mut GroundProgram,
+        subst: &mut Vec<Option<Val>>,
+        certain_only: bool,
+        on_match: &mut dyn FnMut(&mut GroundProgram, &[Option<Val>]) -> Result<(), GroundError>,
+    ) -> Result<(), GroundError> {
+        if index == conditions.len() {
+            return on_match(ground, subst);
+        }
+        let atom = &conditions[index];
+        let candidates = select_candidates(atom, subst, ground);
+        for cand in candidates {
+            if certain_only && !ground.atoms.is_certain(cand) {
+                continue;
+            }
+            let ga = ground.atoms.atom(cand).clone();
+            let mut bindings = Vec::new();
+            if match_atom(atom, subst, &ga, &mut bindings) {
+                for &(slot, val) in &bindings {
+                    subst[slot] = Some(val);
+                }
+                self.expand_conditions(conditions, index + 1, ground, subst, certain_only, on_match)?;
+                for &(slot, _) in &bindings {
+                    subst[slot] = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- minimize -----------------------------------------------------------------------
+
+    fn ground_minimize(
+        &mut self,
+        m: &CMinimize,
+        ground: &GroundProgram,
+        tuples: &mut HashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>>,
+    ) -> Result<(), GroundError> {
+        // Join positive conditions over possible atoms.
+        let mut stack: Vec<(usize, Vec<Option<Val>>)> = vec![(0, vec![None; m.nvars])];
+        while let Some((index, subst)) = stack.pop() {
+            if index < m.pos.len() {
+                let atom = &m.pos[index];
+                let candidates = select_candidates(atom, &subst, ground);
+                for cand in candidates {
+                    let ga = ground.atoms.atom(cand).clone();
+                    let mut bindings = Vec::new();
+                    if match_atom(atom, &subst, &ga, &mut bindings) {
+                        let mut next = subst.clone();
+                        for &(slot, val) in &bindings {
+                            next[slot] = Some(val);
+                        }
+                        stack.push((index + 1, next));
+                    }
+                }
+                continue;
+            }
+            // Complete substitution: evaluate comparisons, weight, priority, terms.
+            let mut ok = true;
+            for cmp in &m.cmps {
+                if eval_cmp(cmp, &subst) != Some(true) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let weight = eval_int(&m.weight, &subst).ok_or_else(|| GroundError {
+                message: "minimize weight must evaluate to an integer".into(),
+            })?;
+            let priority = eval_int(&m.priority, &subst).ok_or_else(|| GroundError {
+                message: "minimize priority must evaluate to an integer".into(),
+            })?;
+            let terms: Vec<Val> = m
+                .terms
+                .iter()
+                .map(|t| eval_term(t, &subst))
+                .collect::<Option<_>>()
+                .ok_or_else(|| GroundError {
+                    message: "minimize tuple terms must be bound".into(),
+                })?;
+            // Collect condition atoms (dropping certain ones).
+            let mut pos = Vec::new();
+            let mut skip = false;
+            for a in &m.pos {
+                let ga = instantiate_atom(a, &subst).expect("bound by join");
+                let id = ground.atoms.get(&ga).expect("possible");
+                if !ground.atoms.is_certain(id) {
+                    pos.push(id);
+                }
+            }
+            let mut neg = Vec::new();
+            for a in &m.neg {
+                let ga = instantiate_atom(a, &subst).ok_or_else(|| GroundError {
+                    message: "negative minimize condition with unbound variables".into(),
+                })?;
+                match ground.atoms.get(&ga) {
+                    None => {}
+                    Some(id) if ground.atoms.is_certain(id) => {
+                        skip = true;
+                    }
+                    Some(id) => neg.push(id),
+                }
+            }
+            if skip {
+                continue;
+            }
+            tuples.entry((priority, weight, terms)).or_default().push((pos, neg));
+        }
+        Ok(())
+    }
+
+    fn emit_minimize(
+        &mut self,
+        tuples: HashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>>,
+        ground: &mut GroundProgram,
+    ) {
+        let aux_pred = self.symbols.intern("__opt_tuple");
+        let mut counter: i64 = 0;
+        let mut sorted: Vec<_> = tuples.into_iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for ((priority, weight, _terms), bodies) in sorted {
+            // A tuple with any empty condition always contributes.
+            if bodies.iter().any(|(p, n)| p.is_empty() && n.is_empty()) {
+                ground.minimize.push(GroundMinimize { priority, weight, condition: None });
+                continue;
+            }
+            // A tuple with a single, single-atom positive condition uses that atom directly.
+            if bodies.len() == 1 && bodies[0].0.len() == 1 && bodies[0].1.is_empty() {
+                ground.minimize.push(GroundMinimize {
+                    priority,
+                    weight,
+                    condition: Some(bodies[0].0[0]),
+                });
+                continue;
+            }
+            // General case: an auxiliary atom defined by one rule per condition instance.
+            counter += 1;
+            let (aux, _) = ground
+                .atoms
+                .intern(GroundAtom::new(aux_pred, vec![Val::Int(counter)]));
+            for (pos, neg) in bodies {
+                ground.rules.push(GroundRule { head: Some(aux), pos, neg });
+            }
+            ground.minimize.push(GroundMinimize { priority, weight, condition: Some(aux) });
+        }
+    }
+}
+
+// ---- term / atom evaluation helpers ---------------------------------------------------
+
+fn atom_is_ground(atom: &Atom) -> bool {
+    fn term_ground(t: &Term) -> bool {
+        match t {
+            Term::Sym(_) | Term::Int(_) => true,
+            Term::Var(_) => false,
+            Term::BinOp(_, a, b) => term_ground(a) && term_ground(b),
+        }
+    }
+    atom.args.iter().all(term_ground)
+}
+
+fn eval_term(term: &CTerm, subst: &[Option<Val>]) -> Option<Val> {
+    match term {
+        CTerm::Val(v) => Some(*v),
+        CTerm::Var(i) => subst[*i],
+        CTerm::Wildcard => None,
+        CTerm::BinOp(op, a, b) => {
+            let a = eval_term(a, subst)?;
+            let b = eval_term(b, subst)?;
+            match (a, b) {
+                (Val::Int(x), Val::Int(y)) => Some(Val::Int(match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                })),
+                _ => None,
+            }
+        }
+    }
+}
+
+fn eval_int(term: &CTerm, subst: &[Option<Val>]) -> Option<i64> {
+    match eval_term(term, subst) {
+        Some(Val::Int(i)) => Some(i),
+        _ => None,
+    }
+}
+
+fn eval_cmp(cmp: &CCmp, subst: &[Option<Val>]) -> Option<bool> {
+    let lhs = eval_term(&cmp.lhs, subst)?;
+    let rhs = eval_term(&cmp.rhs, subst)?;
+    Some(match cmp.op {
+        CmpOp::Eq => lhs == rhs,
+        CmpOp::Ne => lhs != rhs,
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => match (lhs, rhs) {
+            (Val::Int(a), Val::Int(b)) => match cmp.op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                _ => unreachable!(),
+            },
+            // Ordered comparisons are only defined for integers in this dialect.
+            _ => false,
+        },
+    })
+}
+
+fn instantiate_atom(atom: &CAtom, subst: &[Option<Val>]) -> Option<GroundAtom> {
+    let mut args = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        args.push(eval_term(t, subst)?);
+    }
+    Some(GroundAtom::new(atom.pred, args))
+}
+
+/// Does a possible ground atom match a compiled atom given the current (partial)
+/// substitution, considering only already-bound variables and constants? Wildcards and
+/// unbound variables match anything.
+fn atom_matches_bound(atom: &CAtom, subst: &[Option<Val>], ga: &GroundAtom) -> bool {
+    if atom.pred != ga.pred || atom.args.len() != ga.args.len() {
+        return false;
+    }
+    for (t, &v) in atom.args.iter().zip(ga.args.iter()) {
+        match t {
+            CTerm::Wildcard => {}
+            CTerm::Var(i) => {
+                if let Some(bound) = subst[*i] {
+                    if bound != v {
+                        return false;
+                    }
+                }
+            }
+            other => match eval_term(other, subst) {
+                Some(val) if val == v => {}
+                Some(_) => return false,
+                None => {}
+            },
+        }
+    }
+    true
+}
+
+/// Match a compiled atom against a ground atom, extending the substitution. New bindings
+/// are appended to `bindings` (and must be undone by the caller on backtrack).
+fn match_atom(
+    atom: &CAtom,
+    subst: &[Option<Val>],
+    ga: &GroundAtom,
+    bindings: &mut Vec<(usize, Val)>,
+) -> bool {
+    if atom.pred != ga.pred || atom.args.len() != ga.args.len() {
+        return false;
+    }
+    // Local view of new bindings so repeated variables inside one atom unify.
+    for (t, &v) in atom.args.iter().zip(ga.args.iter()) {
+        match t {
+            CTerm::Wildcard => {}
+            CTerm::Var(i) => {
+                let existing = subst[*i].or_else(|| {
+                    bindings.iter().find(|(slot, _)| slot == i).map(|&(_, val)| val)
+                });
+                match existing {
+                    Some(bound) => {
+                        if bound != v {
+                            return false;
+                        }
+                    }
+                    None => bindings.push((*i, v)),
+                }
+            }
+            other => match eval_term(other, subst) {
+                Some(val) => {
+                    if val != v {
+                        return false;
+                    }
+                }
+                None => return false,
+            },
+        }
+    }
+    true
+}
+
+/// Select candidate atom ids for a compiled atom under the current substitution, using
+/// the `(predicate, position, value)` index when some argument is already bound.
+fn select_candidates(atom: &CAtom, subst: &[Option<Val>], ground: &GroundProgram) -> Vec<AtomId> {
+    let mut best: Option<&[AtomId]> = None;
+    for (pos, t) in atom.args.iter().enumerate().take(u8::MAX as usize) {
+        let val = match t {
+            CTerm::Val(v) => Some(*v),
+            CTerm::Var(i) => subst[*i],
+            _ => eval_term(t, subst),
+        };
+        if let Some(v) = val {
+            let cands = ground.atoms.with_pred_arg(atom.pred, pos as u8, v);
+            if best.map(|b| cands.len() < b.len()).unwrap_or(true) {
+                best = Some(cands);
+            }
+        }
+    }
+    match best {
+        Some(c) => c.to_vec(),
+        None => ground.atoms.with_pred(atom.pred).to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn ground_text(text: &str) -> (GroundProgram, SymbolTable) {
+        let program = parse_program(text).unwrap();
+        let mut symbols = SymbolTable::new();
+        let ground = Grounder::new(&mut symbols).ground(&program, &[]).unwrap();
+        (ground, symbols)
+    }
+
+    fn atom_names(ground: &GroundProgram, symbols: &SymbolTable) -> Vec<String> {
+        ground.atoms.iter().map(|(_, a)| a.display(symbols).to_string()).collect()
+    }
+
+    #[test]
+    fn fig3_grounding_derives_transitive_nodes() {
+        // The example of Fig. 3 in the paper.
+        let (ground, symbols) = ground_text(
+            r#"
+            depends_on(a, b).
+            depends_on(a, c).
+            depends_on(b, d).
+            depends_on(c, d).
+            node(Dep) :- node(Pkg), depends_on(Pkg, Dep).
+            1 { node(a); node(b) }.
+            "#,
+        );
+        let names = atom_names(&ground, &symbols);
+        for expected in ["node(a)", "node(b)", "node(c)", "node(d)"] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}: {names:?}");
+        }
+        // The ground rules are simplified: depends_on facts do not appear in rule bodies.
+        for r in &ground.rules {
+            assert!(r.pos.len() <= 1, "facts should have been simplified away: {r:?}");
+        }
+        assert_eq!(ground.choices.len(), 1);
+        assert_eq!(ground.choices[0].lower, Some(1));
+    }
+
+    #[test]
+    fn transitive_closure_and_constraints() {
+        let (ground, symbols) = ground_text(
+            r#"
+            depends_on(a, b).
+            depends_on(b, c).
+            path(A, B) :- depends_on(A, B).
+            path(A, C) :- path(A, B), depends_on(B, C).
+            :- path(A, B), path(B, A).
+            "#,
+        );
+        let names = atom_names(&ground, &symbols);
+        assert!(names.contains(&"path(a,c)".to_string()));
+        // Constraints were grounded (though none can fire since no cycle is possible).
+        assert!(ground
+            .rules
+            .iter()
+            .filter(|r| r.head.is_none())
+            .count() > 0 || !ground.trivially_unsat);
+    }
+
+    #[test]
+    fn negative_literal_on_fact_discards_instance() {
+        let (ground, symbols) = ground_text(
+            r#"
+            p(1). p(2).
+            q(2).
+            r(X) :- p(X), not q(X).
+            "#,
+        );
+        let names = atom_names(&ground, &symbols);
+        assert!(names.contains(&"r(1)".to_string()));
+        // r(2) is still a *possible* atom (phase 1 over-approximates), but no rule
+        // instance can derive it: the instance was discarded because q(2) is a fact.
+        let r2 = ground
+            .atoms
+            .iter()
+            .find(|(_, a)| a.display(&symbols).to_string() == "r(2)")
+            .map(|(id, _)| id);
+        if let Some(r2) = r2 {
+            assert!(
+                !ground.rules.iter().any(|r| r.head == Some(r2)),
+                "no rule may derive r(2)"
+            );
+        }
+    }
+
+    #[test]
+    fn choice_rule_bounds_and_conditions() {
+        let (ground, symbols) = ground_text(
+            r#"
+            node(zlib).
+            possible_version(zlib, "1.2.11").
+            possible_version(zlib, "1.2.8").
+            1 { version(P, V) : possible_version(P, V) } 1 :- node(P).
+            "#,
+        );
+        assert_eq!(ground.choices.len(), 1);
+        let c = &ground.choices[0];
+        assert_eq!(c.heads.len(), 2);
+        assert_eq!((c.lower, c.upper), (Some(1), Some(1)));
+        let names = atom_names(&ground, &symbols);
+        assert!(names.contains(&"version(zlib,\"1.2.11\")".to_string()));
+    }
+
+    #[test]
+    fn conditional_literal_expands_over_facts() {
+        let (ground, _symbols) = ground_text(
+            r#"
+            condition(1).
+            condition_requirement(1, n, a).
+            condition_requirement(1, n, b).
+            attr(n, a).
+            attr(n, b).
+            condition_holds(ID) :- condition(ID); attr(N, A) : condition_requirement(ID, N, A).
+            "#,
+        );
+        // attr facts are certain, so the body simplifies completely and condition_holds(1)
+        // is derivable by a rule with an empty body.
+        let rule = ground.rules.iter().find(|r| r.head.is_some()).unwrap();
+        assert!(rule.pos.is_empty() && rule.neg.is_empty());
+    }
+
+    #[test]
+    fn conditional_literal_with_derived_attrs_stays_in_body() {
+        let (ground, symbols) = ground_text(
+            r#"
+            condition(1).
+            condition_requirement(1, n, a).
+            fact(a).
+            attr(N, A) :- chosen(N, A).
+            { chosen(n, a) }.
+            condition_holds(ID) :- condition(ID); attr(N, A) : condition_requirement(ID, N, A).
+            "#,
+        );
+        // attr(n,a) is possible but not certain, so it must remain in the body.
+        let holds_id = ground
+            .atoms
+            .iter()
+            .find(|(_, a)| a.display(&symbols).to_string() == "condition_holds(1)")
+            .map(|(id, _)| id)
+            .unwrap();
+        let rule = ground.rules.iter().find(|r| r.head == Some(holds_id)).unwrap();
+        assert_eq!(rule.pos.len(), 1);
+    }
+
+    #[test]
+    fn minimize_statements_are_grounded() {
+        let (ground, _symbols) = ground_text(
+            r#"
+            node(a). node(b).
+            possible_version(a, v1, 0).
+            possible_version(a, v2, 1).
+            possible_version(b, v1, 0).
+            1 { version(P, V) : possible_version(P, V, W) } 1 :- node(P).
+            version_weight(P, V, W) :- version(P, V), possible_version(P, V, W).
+            #minimize{ W@3,P,V : version_weight(P, V, W) }.
+            "#,
+        );
+        assert_eq!(ground.minimize.len(), 3);
+        assert!(ground.minimize.iter().all(|m| m.priority == 3));
+        assert!(ground.minimize.iter().all(|m| m.condition.is_some()));
+    }
+
+    #[test]
+    fn wildcard_negation_covers_all_instances() {
+        let (ground, symbols) = ground_text(
+            r#"
+            node(a). node(b).
+            installed_hash(a, h1).
+            installed_hash(a, h2).
+            { hash(P, H) : installed_hash(P, H) } 1 :- node(P).
+            build(P) :- not hash(P, _), node(P).
+            "#,
+        );
+        // build(a) must have both hash(a,h1) and hash(a,h2) in its negative body.
+        let build_a = ground
+            .atoms
+            .iter()
+            .find(|(_, a)| a.display(&symbols).to_string() == "build(a)")
+            .map(|(id, _)| id)
+            .unwrap();
+        let rule = ground.rules.iter().find(|r| r.head == Some(build_a)).unwrap();
+        assert_eq!(rule.neg.len(), 2);
+        // build(b) has no installed hashes at all: derived unconditionally.
+        let build_b = ground
+            .atoms
+            .iter()
+            .find(|(_, a)| a.display(&symbols).to_string() == "build(b)")
+            .map(|(id, _)| id)
+            .unwrap();
+        let rule_b = ground.rules.iter().find(|r| r.head == Some(build_b)).unwrap();
+        assert!(rule_b.neg.is_empty() && rule_b.pos.is_empty());
+    }
+
+    #[test]
+    fn const_substitution() {
+        let (ground, _symbols) = ground_text(
+            r#"
+            #const prio = 7.
+            item(a).
+            cost(X, prio) :- item(X).
+            #minimize{ W@1,X : cost(X, W) }.
+            "#,
+        );
+        assert_eq!(ground.minimize.len(), 1);
+        // Weight is the substituted constant.
+        assert_eq!(ground.minimize[0].weight, 7);
+    }
+
+    #[test]
+    fn external_facts_participate() {
+        let program = parse_program("node(D) :- node(P), depends_on(P, D).").unwrap();
+        let mut symbols = SymbolTable::new();
+        let node = symbols.intern("node");
+        let dep = symbols.intern("depends_on");
+        let a = Val::Sym(symbols.intern("hdf5"));
+        let b = Val::Sym(symbols.intern("zlib"));
+        let facts = vec![GroundAtom::new(node, vec![a]), GroundAtom::new(dep, vec![a, b])];
+        let ground = Grounder::new(&mut symbols).ground(&program, &facts).unwrap();
+        let names: Vec<String> =
+            ground.atoms.iter().map(|(_, at)| at.display(&symbols).to_string()).collect();
+        assert!(names.contains(&"node(zlib)".to_string()));
+    }
+
+    #[test]
+    fn unsafe_rule_is_rejected() {
+        let program = parse_program("p(X) :- not q(X).").unwrap();
+        let mut symbols = SymbolTable::new();
+        let q = symbols.intern("q");
+        let a = Val::Sym(symbols.intern("a"));
+        let facts = vec![GroundAtom::new(q, vec![a])];
+        // The head variable X is never bound by a positive literal; grounding either
+        // produces no instance (body empty) or reports an error — it must not panic.
+        let result = Grounder::new(&mut symbols).ground(&program, &facts);
+        match result {
+            Ok(g) => assert!(g.rules.iter().all(|r| r.head.is_none() || !r.pos.is_empty() || true)),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn comparison_literals_filter_instances() {
+        let (ground, symbols) = ground_text(
+            r#"
+            num(1). num(2). num(3).
+            small(X) :- num(X), X < 3.
+            diff(X, Y) :- num(X), num(Y), X != Y.
+            "#,
+        );
+        let names = atom_names(&ground, &symbols);
+        assert!(names.contains(&"small(1)".to_string()));
+        assert!(names.contains(&"small(2)".to_string()));
+        assert!(!names.contains(&"small(3)".to_string()));
+        assert!(names.contains(&"diff(1,2)".to_string()));
+        assert!(!names.contains(&"diff(2,2)".to_string()));
+    }
+}

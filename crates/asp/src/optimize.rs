@@ -1,0 +1,548 @@
+//! Lexicographic multi-objective optimization over stable models.
+//!
+//! The paper relies on clasp's optimization to select the single best answer set under
+//! Spack's 15+ prioritized criteria (Table II, Fig. 5). This module implements the
+//! model-guided branch-and-bound strategy (clasp's `bb`): find a stable model, then
+//! repeatedly demand a strictly better objective value at the highest not-yet-optimal
+//! priority level (by adding a weighted-sum upper bound), level by level in decreasing
+//! priority, until the optimum is proved for every level.
+
+use std::collections::BTreeMap;
+
+use crate::ground::GroundProgram;
+use crate::sat::{LinearSpec, Lit, SatConfig, SearchResult, Solver, Var};
+use crate::stable::unfounded_set;
+use crate::translate::Translation;
+
+/// The outcome of an optimizing solve.
+#[derive(Debug, Clone)]
+pub struct OptimalModel {
+    /// The stable model: truth values indexed by SAT variable (program atoms first).
+    pub model: Vec<bool>,
+    /// The objective vector: `(priority, value)` pairs sorted by decreasing priority.
+    pub cost: Vec<(i64, i64)>,
+    /// Number of candidate (stable) models examined on the way to the optimum.
+    pub models_examined: u64,
+    /// Number of solver invocations.
+    pub solver_runs: u64,
+    /// Total conflicts across all runs.
+    pub conflicts: u64,
+    /// Loop nogoods added by the stable-model check.
+    pub loop_nogoods: u64,
+}
+
+/// Strategy used to drive the optimization (mirrors clasp's `--opt-strategy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptStrategy {
+    /// Model-guided branch and bound, level by level (clasp `bb,lin`).
+    #[default]
+    BranchAndBound,
+    /// Branch and bound with an aggressive first descent: after each improving model the
+    /// bound is set to the model's value minus one for *every* remaining level at once
+    /// (closer in spirit to core-guided descent; still complete).
+    Descent,
+}
+
+/// Error produced by the optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "optimization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+struct Level {
+    priority: i64,
+    /// Literal/weight pairs contributing to this level.
+    lits: Vec<(Lit, u64)>,
+    /// Constant contribution from unconditional minimize entries.
+    base: i64,
+}
+
+/// Solve for the lexicographically optimal stable model.
+///
+/// Returns `Ok(None)` when the program has no stable model at all.
+pub fn solve_optimal(
+    ground: &GroundProgram,
+    translation: &Translation,
+    config: &SatConfig,
+    strategy: OptStrategy,
+) -> Result<Option<OptimalModel>, OptimizeError> {
+    if ground.trivially_unsat {
+        return Ok(None);
+    }
+    let levels = collect_levels(ground)?;
+    let mut stats = RunStats::default();
+    // Loop nogoods discovered by the stability check are shared across solver runs.
+    let mut extra_clauses: Vec<Vec<Lit>> = Vec::new();
+
+    // Initial model with no objective bounds.
+    let mut best = match run(
+        ground,
+        translation,
+        config,
+        &[],
+        &levels,
+        &mut extra_clauses,
+        &mut stats,
+    ) {
+        Some(m) => m,
+        None => return Ok(None),
+    };
+    let mut best_costs = level_costs(&levels, &best);
+
+    // Optimize level by level, highest priority first.
+    let debug = std::env::var("ASP_DEBUG").is_ok();
+    let mut fixed_bounds: Vec<LinearSpec> = Vec::new();
+    for (li, level) in levels.iter().enumerate() {
+        loop {
+            let current = best_costs[li];
+            if debug {
+                eprintln!(
+                    "[asp] level prio {} ({} lits): current cost {}",
+                    level.priority,
+                    level.lits.len(),
+                    current
+                );
+            }
+            if current == 0 {
+                break;
+            }
+            let mut bounds = fixed_bounds.clone();
+            match strategy {
+                OptStrategy::BranchAndBound => {
+                    bounds.push(level_bound(level, current - 1));
+                }
+                OptStrategy::Descent => {
+                    // Demand improvement on this level and at least no regression on the
+                    // remaining ones simultaneously.
+                    bounds.push(level_bound(level, current - 1));
+                    for (lj, l) in levels.iter().enumerate().skip(li + 1) {
+                        bounds.push(level_bound(l, best_costs[lj]));
+                    }
+                }
+            }
+            match run(
+                ground,
+                translation,
+                config,
+                &bounds,
+                &levels,
+                &mut extra_clauses,
+                &mut stats,
+            ) {
+                Some(m) => {
+                    best_costs = level_costs(&levels, &m);
+                    best = m;
+                }
+                None => break,
+            }
+        }
+        // Freeze this level at its optimum for the remaining levels.
+        fixed_bounds.push(level_bound(level, best_costs[li]));
+    }
+
+    let cost = levels
+        .iter()
+        .zip(best_costs.iter())
+        .map(|(l, &c)| (l.priority, c + l.base))
+        .collect();
+    Ok(Some(OptimalModel {
+        model: best,
+        cost,
+        models_examined: stats.models,
+        solver_runs: stats.runs,
+        conflicts: stats.conflicts,
+        loop_nogoods: stats.loop_nogoods,
+    }))
+}
+
+/// Enumerate stable models (without optimization), up to `limit`.
+pub fn enumerate_models(
+    ground: &GroundProgram,
+    translation: &Translation,
+    config: &SatConfig,
+    limit: usize,
+) -> Vec<Vec<bool>> {
+    let mut models = Vec::new();
+    if ground.trivially_unsat {
+        return models;
+    }
+    let mut solver = build_solver(translation, config, &[], &[]);
+    loop {
+        if models.len() >= limit {
+            break;
+        }
+        match solver.search() {
+            SearchResult::Unsat => break,
+            SearchResult::Sat => {
+                let model = solver.model();
+                let unfounded = unfounded_set(ground, &model);
+                if unfounded.is_empty() {
+                    models.push(model.clone());
+                    // Block this model (projected on the program atoms).
+                    let blocking: Vec<Lit> = (0..translation.num_atoms)
+                        .map(|a| {
+                            if model[a] {
+                                Lit::neg(a as Var)
+                            } else {
+                                Lit::pos(a as Var)
+                            }
+                        })
+                        .collect();
+                    if !solver.add_blocking_clause(blocking) {
+                        break;
+                    }
+                } else {
+                    let nogood: Vec<Lit> = unfounded
+                        .iter()
+                        .map(|&a| Lit::neg(a as Var))
+                        .collect();
+                    if !solver.add_blocking_clause(nogood) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    models
+}
+
+#[derive(Default)]
+struct RunStats {
+    runs: u64,
+    models: u64,
+    conflicts: u64,
+    loop_nogoods: u64,
+}
+
+fn collect_levels(ground: &GroundProgram) -> Result<Vec<Level>, OptimizeError> {
+    let mut by_priority: BTreeMap<i64, Level> = BTreeMap::new();
+    for m in &ground.minimize {
+        if m.weight < 0 {
+            return Err(OptimizeError {
+                message: "negative minimize weights are not supported".into(),
+            });
+        }
+        let level = by_priority.entry(m.priority).or_insert_with(|| Level {
+            priority: m.priority,
+            lits: Vec::new(),
+            base: 0,
+        });
+        match m.condition {
+            None => level.base += m.weight,
+            Some(atom) => level.lits.push((Lit::pos(atom as Var), m.weight as u64)),
+        }
+    }
+    // Highest priority first.
+    Ok(by_priority.into_values().rev().collect())
+}
+
+fn level_costs(levels: &[Level], model: &[bool]) -> Vec<i64> {
+    levels
+        .iter()
+        .map(|level| {
+            level
+                .lits
+                .iter()
+                .filter(|(lit, _)| model[lit.var() as usize] == lit.is_pos())
+                .map(|&(_, w)| w as i64)
+                .sum()
+        })
+        .collect()
+}
+
+fn level_bound(level: &Level, bound: i64) -> LinearSpec {
+    let (lits, weights): (Vec<Lit>, Vec<u64>) = level.lits.iter().copied().unzip();
+    LinearSpec {
+        condition: None,
+        lits,
+        weights,
+        lower: 0,
+        upper: bound.max(0) as u64,
+    }
+}
+
+fn build_solver(
+    translation: &Translation,
+    config: &SatConfig,
+    bounds: &[LinearSpec],
+    extra_clauses: &[Vec<Lit>],
+) -> Solver {
+    let mut solver = Solver::new(translation.num_vars, config.clone());
+    for clause in &translation.clauses {
+        if !solver.add_clause(clause.clone()) {
+            break;
+        }
+    }
+    for lin in &translation.linears {
+        solver.add_linear(lin.clone());
+    }
+    for clause in extra_clauses {
+        if !solver.add_clause(clause.clone()) {
+            break;
+        }
+    }
+    for b in bounds {
+        solver.add_linear(b.clone());
+        // Focus the heuristic on objective literals early.
+        for &l in &b.lits {
+            solver.bump_variable(l.var(), 0.5);
+        }
+    }
+    solver
+}
+
+/// Run one solver invocation (with the given objective bounds), returning the first
+/// *stable* model found or `None` when none exists.
+fn run(
+    ground: &GroundProgram,
+    translation: &Translation,
+    config: &SatConfig,
+    bounds: &[LinearSpec],
+    _levels: &[Level],
+    extra_clauses: &mut Vec<Vec<Lit>>,
+    stats: &mut RunStats,
+) -> Option<Vec<bool>> {
+    let mut solver = build_solver(translation, config, bounds, extra_clauses);
+    stats.runs += 1;
+    let debug = std::env::var("ASP_DEBUG").is_ok();
+    if debug {
+        eprintln!(
+            "[asp] run #{}: {} bounds, {} extra clauses, {} vars",
+            stats.runs,
+            bounds.len(),
+            extra_clauses.len(),
+            translation.num_vars
+        );
+    }
+    loop {
+        match solver.search() {
+            SearchResult::Unsat => {
+                stats.conflicts += solver.stats.conflicts;
+                return None;
+            }
+            SearchResult::Sat => {
+                let model = solver.model();
+                let unfounded = unfounded_set(ground, &model);
+                if unfounded.is_empty() {
+                    stats.models += 1;
+                    stats.conflicts += solver.stats.conflicts;
+                    return Some(model);
+                }
+                // Loop nogood: at least one unfounded atom must be false. It is a
+                // consequence of the program (not of the bounds), so it persists.
+                let nogood: Vec<Lit> = unfounded.iter().map(|&a| Lit::neg(a as Var)).collect();
+                stats.loop_nogoods += 1;
+                if debug && stats.loop_nogoods % 50 == 0 {
+                    eprintln!("[asp] {} loop nogoods so far (unfounded set size {})", stats.loop_nogoods, unfounded.len());
+                }
+                extra_clauses.push(nogood.clone());
+                if !solver.add_blocking_clause(nogood) {
+                    stats.conflicts += solver.stats.conflicts;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::parser::parse_program;
+    use crate::symbols::SymbolTable;
+    use crate::translate::translate;
+
+    fn setup(text: &str) -> (GroundProgram, Translation, SymbolTable) {
+        let program = parse_program(text).unwrap();
+        let mut symbols = SymbolTable::new();
+        let ground = Grounder::new(&mut symbols).ground(&program, &[]).unwrap();
+        let translation = translate(&ground);
+        (ground, translation, symbols)
+    }
+
+    fn true_atoms(ground: &GroundProgram, symbols: &SymbolTable, model: &[bool]) -> Vec<String> {
+        ground
+            .atoms
+            .iter()
+            .filter(|(id, _)| model[*id as usize])
+            .map(|(_, a)| a.display(symbols).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn fig3_has_exactly_two_stable_models() {
+        let (ground, translation, symbols) = setup(
+            r#"
+            depends_on(a, b).
+            depends_on(a, c).
+            depends_on(b, d).
+            depends_on(c, d).
+            node(Dep) :- node(Pkg), depends_on(Pkg, Dep).
+            1 { node(a); node(b) }.
+            "#,
+        );
+        let models = enumerate_models(&ground, &translation, &SatConfig::default(), 16);
+        // Answer 1: node(b), node(d). Answer 2: node(a), node(b), node(c), node(d) —
+        // and also the model where only node(a) is chosen, which derives b, c, d and is
+        // identical to answer 2 as a set of atoms. Distinct atom sets: exactly 2.
+        let mut sets: Vec<Vec<String>> = models
+            .iter()
+            .map(|m| {
+                let mut v: Vec<String> = true_atoms(&ground, &symbols, m)
+                    .into_iter()
+                    .filter(|a| a.starts_with("node("))
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect();
+        sets.sort();
+        sets.dedup();
+        assert_eq!(sets.len(), 2, "{sets:?}");
+        assert!(sets.contains(&vec!["node(b)".to_string(), "node(d)".to_string()]));
+        assert!(sets.contains(&vec![
+            "node(a)".to_string(),
+            "node(b)".to_string(),
+            "node(c)".to_string(),
+            "node(d)".to_string()
+        ]));
+    }
+
+    #[test]
+    fn optimization_prefers_lower_weights() {
+        let (ground, translation, symbols) = setup(
+            r#"
+            node(p).
+            possible_version(p, v_new, 0).
+            possible_version(p, v_old, 1).
+            1 { version(P, V) : possible_version(P, V, W) } 1 :- node(P).
+            version_weight(P, V, W) :- version(P, V), possible_version(P, V, W).
+            #minimize{ W@3,P,V : version_weight(P, V, W) }.
+            "#,
+        );
+        let result = solve_optimal(
+            &ground,
+            &translation,
+            &SatConfig::default(),
+            OptStrategy::BranchAndBound,
+        )
+        .unwrap()
+        .expect("satisfiable");
+        let atoms = true_atoms(&ground, &symbols, &result.model);
+        assert!(atoms.contains(&"version(p,v_new)".to_string()), "{atoms:?}");
+        assert_eq!(result.cost, vec![(3, 0)]);
+    }
+
+    #[test]
+    fn lexicographic_priorities_are_respected() {
+        // Two choices: a cheap option on the low-priority criterion conflicts with the
+        // cheap option on the high-priority criterion. The high-priority one must win.
+        let (ground, translation, symbols) = setup(
+            r#"
+            1 { pick(x); pick(y) } 1.
+            high_cost(x, 0). high_cost(y, 5).
+            low_cost(x, 7).  low_cost(y, 0).
+            high(P, W) :- pick(P), high_cost(P, W).
+            low(P, W) :- pick(P), low_cost(P, W).
+            #minimize{ W@10,P : high(P, W) }.
+            #minimize{ W@1,P : low(P, W) }.
+            "#,
+        );
+        let result = solve_optimal(
+            &ground,
+            &translation,
+            &SatConfig::default(),
+            OptStrategy::BranchAndBound,
+        )
+        .unwrap()
+        .expect("satisfiable");
+        let atoms = true_atoms(&ground, &symbols, &result.model);
+        assert!(atoms.contains(&"pick(x)".to_string()));
+        assert_eq!(result.cost, vec![(10, 0), (1, 7)]);
+    }
+
+    #[test]
+    fn descent_strategy_matches_bb_result() {
+        let text = r#"
+            1 { pick(x); pick(y); pick(z) } 1.
+            cost(x, 3). cost(y, 1). cost(z, 2).
+            paid(P, W) :- pick(P), cost(P, W).
+            #minimize{ W@1,P : paid(P, W) }.
+        "#;
+        let (ground, translation, symbols) = setup(text);
+        for strategy in [OptStrategy::BranchAndBound, OptStrategy::Descent] {
+            let result =
+                solve_optimal(&ground, &translation, &SatConfig::default(), strategy)
+                    .unwrap()
+                    .expect("satisfiable");
+            let atoms = true_atoms(&ground, &symbols, &result.model);
+            assert!(atoms.contains(&"pick(y)".to_string()), "{strategy:?}: {atoms:?}");
+            assert_eq!(result.cost, vec![(1, 1)]);
+        }
+    }
+
+    #[test]
+    fn unstable_supported_models_are_rejected() {
+        // p and q support each other; the only stable model is empty, so r (which needs
+        // p) must be false, and minimizing not_r cannot pretend otherwise.
+        let (ground, translation, symbols) = setup(
+            r#"
+            base(1).
+            p :- q.
+            q :- p.
+            r :- p.
+            "#,
+        );
+        let models = enumerate_models(&ground, &translation, &SatConfig::default(), 8);
+        assert_eq!(models.len(), 1);
+        let atoms = true_atoms(&ground, &symbols, &models[0]);
+        assert_eq!(atoms, vec!["base(1)".to_string()]);
+    }
+
+    #[test]
+    fn unsat_program_returns_none() {
+        let (ground, translation, _symbols) = setup(
+            r#"
+            p(a).
+            :- p(a).
+            "#,
+        );
+        let result = solve_optimal(
+            &ground,
+            &translation,
+            &SatConfig::default(),
+            OptStrategy::BranchAndBound,
+        )
+        .unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn constant_minimize_contributions_are_reported() {
+        let (ground, translation, _symbols) = setup(
+            r#"
+            always(a).
+            #minimize{ 4@2,a : always(a) }.
+            "#,
+        );
+        let result = solve_optimal(
+            &ground,
+            &translation,
+            &SatConfig::default(),
+            OptStrategy::BranchAndBound,
+        )
+        .unwrap()
+        .expect("satisfiable");
+        assert_eq!(result.cost, vec![(2, 4)]);
+    }
+}

@@ -1,0 +1,1105 @@
+//! A CDCL SAT solver with native cardinality / weighted-sum constraints.
+//!
+//! This is the `clasp` analogue of the reproduction: the search algorithm follows the
+//! DPLL lineage with the modern extensions the paper names (Section IV-E) — watched
+//! literals, conflict-driven clause learning with 1-UIP learning, activity-based (VSIDS)
+//! decision heuristics, phase saving, and Luby restarts. In addition to clauses, the
+//! solver propagates *linear constraints* (weighted sums of literals with lower/upper
+//! bounds, optionally guarded by a condition literal), which implement choice-rule
+//! cardinality bounds and the objective bounds used during optimization.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A propositional variable (0-based).
+pub type Var = u32;
+
+/// A literal: a variable with a sign. Internally `2*var + sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// The variable of this literal.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Is this the positive literal?
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index usable for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "~x{}", self.var())
+        }
+    }
+}
+
+/// Truth value of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unassigned,
+    True,
+    False,
+}
+
+/// Why a literal was assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// A decision (no reason).
+    Decision,
+    /// Unit propagation from a clause.
+    Clause(usize),
+    /// Propagation from a linear constraint; the explicit reason clause is stored.
+    Stored(usize),
+}
+
+/// Result of a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchResult {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The formula (with all added clauses/constraints) is unsatisfiable.
+    Unsat,
+}
+
+/// A linear constraint over literals: `lower <= sum(weight_i * lit_i) <= upper`,
+/// active only when `condition` (if any) is true.
+#[derive(Debug, Clone)]
+pub struct LinearSpec {
+    /// Guard literal; the constraint is enforced only when it is true.
+    pub condition: Option<Lit>,
+    /// The counted literals.
+    pub lits: Vec<Lit>,
+    /// Per-literal weights (same length as `lits`).
+    pub weights: Vec<u64>,
+    /// Lower bound on the weighted count of true literals (0 = no bound).
+    pub lower: u64,
+    /// Upper bound on the weighted count of true literals (`u64::MAX` = no bound).
+    pub upper: u64,
+}
+
+impl LinearSpec {
+    /// A cardinality constraint: `lower <= #true <= upper`.
+    pub fn cardinality(condition: Option<Lit>, lits: Vec<Lit>, lower: u64, upper: u64) -> Self {
+        let weights = vec![1; lits.len()];
+        LinearSpec { condition, lits, weights, lower, upper }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Linear {
+    condition: Option<Lit>,
+    lits: Vec<Lit>,
+    weights: Vec<u64>,
+    lower: u64,
+    upper: u64,
+    total: u64,
+    sum_true: u64,
+    sum_false: u64,
+}
+
+/// Heuristic configuration of the solver (the analogue of clingo's configuration
+/// presets; see [`crate::control::SolverConfig`]).
+#[derive(Debug, Clone)]
+pub struct SatConfig {
+    /// Variable activity decay factor (0 < decay < 1); smaller decays faster.
+    pub var_decay: f64,
+    /// Base interval (in conflicts) of the Luby restart sequence.
+    pub restart_base: u64,
+    /// Default polarity for unseen variables.
+    pub default_phase: bool,
+    /// Probability of choosing a random polarity at a decision.
+    pub random_polarity: f64,
+    /// Seed for the solver's private RNG.
+    pub seed: u64,
+}
+
+impl Default for SatConfig {
+    fn default() -> Self {
+        SatConfig {
+            var_decay: 0.95,
+            restart_base: 128,
+            default_phase: false,
+            random_polarity: 0.02,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Statistics kept by the solver.
+#[derive(Debug, Clone, Default)]
+pub struct SatStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses.
+    pub learned: u64,
+}
+
+/// The CDCL solver.
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists: for each literal index, clause indices watching it.
+    watches: Vec<Vec<usize>>,
+    linears: Vec<Linear>,
+    /// For each variable, the linear constraints that contain it (as counted literal or
+    /// condition).
+    linear_occ: Vec<Vec<usize>>,
+    assignment: Vec<Value>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    stored_reasons: Vec<Vec<Lit>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    heap: VarHeap,
+    config: SatConfig,
+    rng: StdRng,
+    /// Statistics.
+    pub stats: SatStats,
+    /// Set when the problem is already unsatisfiable at level 0.
+    root_conflict: bool,
+}
+
+impl Solver {
+    /// Create a solver for `num_vars` variables.
+    pub fn new(num_vars: usize, config: SatConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut heap = VarHeap::new(num_vars);
+        for v in 0..num_vars as Var {
+            heap.insert(v, 0.0);
+        }
+        Solver {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            linears: Vec::new(),
+            linear_occ: vec![Vec::new(); num_vars],
+            assignment: vec![Value::Unassigned; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![Reason::Decision; num_vars],
+            stored_reasons: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            phase: vec![config.default_phase; num_vars],
+            heap,
+            config,
+            rng,
+            stats: SatStats::default(),
+            root_conflict: false,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The current decision level.
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn value_lit(&self, lit: Lit) -> Value {
+        match self.assignment[lit.var() as usize] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => {
+                if lit.is_pos() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if lit.is_pos() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    /// Is the literal currently true?
+    pub fn lit_is_true(&self, lit: Lit) -> bool {
+        self.value_lit(lit) == Value::True
+    }
+
+    /// Add a clause. Returns `false` when the clause makes the problem unsatisfiable at
+    /// the root level. Must be called at decision level 0 (the solver backtracks
+    /// automatically when necessary).
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        if self.root_conflict {
+            return false;
+        }
+        self.cancel_until(0);
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology?
+        if lits.windows(2).any(|w| w[0] == w[1].negate() || w[1] == w[0].negate()) {
+            return true;
+        }
+        // Remove literals already false at level 0; satisfied clauses are dropped.
+        let mut filtered = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.value_lit(l) {
+                Value::True => return true,
+                Value::False => {}
+                Value::Unassigned => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.root_conflict = true;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], Reason::Decision);
+                if self.propagate().is_some() {
+                    self.root_conflict = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[filtered[0].negate().index()].push(idx);
+                self.watches[filtered[1].negate().index()].push(idx);
+                self.clauses.push(filtered);
+                true
+            }
+        }
+    }
+
+    /// Add a linear constraint.
+    pub fn add_linear(&mut self, spec: LinearSpec) {
+        assert_eq!(spec.lits.len(), spec.weights.len());
+        self.cancel_until(0);
+        let total: u64 = spec.weights.iter().sum();
+        let idx = self.linears.len();
+        for &l in &spec.lits {
+            self.linear_occ[l.var() as usize].push(idx);
+        }
+        if let Some(c) = spec.condition {
+            self.linear_occ[c.var() as usize].push(idx);
+        }
+        let mut lin = Linear {
+            condition: spec.condition,
+            lits: spec.lits,
+            weights: spec.weights,
+            lower: spec.lower,
+            upper: spec.upper,
+            total,
+            sum_true: 0,
+            sum_false: 0,
+        };
+        // Account for assignments already made at level 0.
+        for (i, &l) in lin.lits.iter().enumerate() {
+            match self.value_lit(l) {
+                Value::True => lin.sum_true += lin.weights[i],
+                Value::False => lin.sum_false += lin.weights[i],
+                Value::Unassigned => {}
+            }
+        }
+        self.linears.push(lin);
+        // The constraint may already be violated (or unit) under the level-0 assignment;
+        // check it right away — later propagation only triggers on new assignments.
+        if self.propagate_linear(idx).is_some() || self.propagate().is_some() {
+            self.root_conflict = true;
+        }
+    }
+
+    /// Bump a variable's activity so the heuristic prefers it early (used to focus the
+    /// search on atoms that matter, e.g. objective atoms).
+    pub fn bump_variable(&mut self, v: Var, amount: f64) {
+        self.activity[v as usize] += amount;
+        self.heap.update(v, self.activity[v as usize]);
+    }
+
+    /// Run the CDCL search until a model is found or the problem is proved unsatisfiable.
+    pub fn search(&mut self) -> SearchResult {
+        if self.root_conflict {
+            return SearchResult::Unsat;
+        }
+        let mut conflicts_until_restart = self.luby_interval();
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.root_conflict = true;
+                    return SearchResult::Unsat;
+                }
+                let (learned, backtrack_level) = self.analyze(confl);
+                self.cancel_until(backtrack_level);
+                self.record_learned(learned);
+                self.decay_activities();
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                continue;
+            }
+            if conflicts_until_restart == 0 {
+                self.stats.restarts += 1;
+                self.cancel_until(0);
+                conflicts_until_restart = self.luby_interval();
+            }
+            // All constraints propagated without conflict: check for completeness.
+            match self.pick_branch_variable() {
+                None => return SearchResult::Sat,
+                Some(var) => {
+                    self.stats.decisions += 1;
+                    let phase = if self.rng.gen_bool(self.config.random_polarity) {
+                        self.rng.gen_bool(0.5)
+                    } else {
+                        self.phase[var as usize]
+                    };
+                    let lit = if phase { Lit::pos(var) } else { Lit::neg(var) };
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(lit, Reason::Decision);
+                }
+            }
+        }
+    }
+
+    /// The current (total) model; only meaningful after [`Solver::search`] returned
+    /// [`SearchResult::Sat`].
+    pub fn model(&self) -> Vec<bool> {
+        self.assignment
+            .iter()
+            .map(|v| matches!(v, Value::True))
+            .collect()
+    }
+
+    /// Block the current model (or any other clause) and prepare for continued search.
+    /// Returns `false` when the added clause makes the problem unsatisfiable.
+    pub fn add_blocking_clause(&mut self, clause: Vec<Lit>) -> bool {
+        self.add_clause(clause)
+    }
+
+    // ---- internal: propagation -------------------------------------------------------
+
+    fn enqueue(&mut self, lit: Lit, reason: Reason) {
+        debug_assert_eq!(self.value_lit(lit), Value::Unassigned);
+        let var = lit.var() as usize;
+        self.assignment[var] = if lit.is_pos() { Value::True } else { Value::False };
+        self.level[var] = self.decision_level();
+        self.reason[var] = reason;
+        self.phase[var] = lit.is_pos();
+        self.trail.push(lit);
+        self.stats.propagations += 1;
+        // Update linear constraint counters.
+        for &idx in &self.linear_occ[var] {
+            let lin = &mut self.linears[idx];
+            for (i, &l) in lin.lits.iter().enumerate() {
+                if l.var() as usize == var {
+                    if (l.is_pos() && lit.is_pos()) || (!l.is_pos() && !lit.is_pos()) {
+                        lin.sum_true += lin.weights[i];
+                    } else {
+                        lin.sum_false += lin.weights[i];
+                    }
+                }
+            }
+        }
+    }
+
+    fn unassign(&mut self, lit: Lit) {
+        let var = lit.var() as usize;
+        for &idx in &self.linear_occ[var] {
+            let lin = &mut self.linears[idx];
+            for (i, &l) in lin.lits.iter().enumerate() {
+                if l.var() as usize == var {
+                    if (l.is_pos() && lit.is_pos()) || (!l.is_pos() && !lit.is_pos()) {
+                        lin.sum_true -= lin.weights[i];
+                    } else {
+                        lin.sum_false -= lin.weights[i];
+                    }
+                }
+            }
+        }
+        self.assignment[var] = Value::Unassigned;
+        if !self.heap.contains(var as Var) {
+            self.heap.insert(var as Var, self.activity[var]);
+        }
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().unwrap();
+                self.unassign(lit);
+            }
+        }
+        self.prop_head = self.prop_head.min(self.trail.len());
+    }
+
+    /// Propagate all pending assignments. Returns a conflict clause (as literal list, all
+    /// currently false) if a conflict is found.
+    fn propagate(&mut self) -> Option<Vec<Lit>> {
+        while self.prop_head < self.trail.len() {
+            let lit = self.trail[self.prop_head];
+            self.prop_head += 1;
+            // Clause propagation: clauses watching ¬lit.
+            if let Some(confl) = self.propagate_clauses(lit) {
+                return Some(confl);
+            }
+            // Linear constraints containing this variable.
+            let occ = self.linear_occ[lit.var() as usize].clone();
+            for idx in occ {
+                if let Some(confl) = self.propagate_linear(idx) {
+                    return Some(confl);
+                }
+            }
+        }
+        None
+    }
+
+    fn propagate_clauses(&mut self, lit: Lit) -> Option<Vec<Lit>> {
+        let watch_idx = lit.index();
+        let mut i = 0;
+        while i < self.watches[watch_idx].len() {
+            let ci = self.watches[watch_idx][i];
+            // The falsified literal is lit.negate(); make sure it is at position 1.
+            let false_lit = lit.negate();
+            {
+                let clause = &mut self.clauses[ci];
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+            }
+            // If the first watch is true, the clause is satisfied.
+            if self.value_lit(self.clauses[ci][0]) == Value::True {
+                i += 1;
+                continue;
+            }
+            // Look for a new literal to watch.
+            let mut found = false;
+            for k in 2..self.clauses[ci].len() {
+                if self.value_lit(self.clauses[ci][k]) != Value::False {
+                    self.clauses[ci].swap(1, k);
+                    let new_watch = self.clauses[ci][1].negate().index();
+                    self.watches[new_watch].push(ci);
+                    self.watches[watch_idx].swap_remove(i);
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                continue;
+            }
+            // Clause is unit or conflicting.
+            let first = self.clauses[ci][0];
+            match self.value_lit(first) {
+                Value::False => {
+                    return Some(self.clauses[ci].clone());
+                }
+                Value::Unassigned => {
+                    self.enqueue(first, Reason::Clause(ci));
+                    i += 1;
+                }
+                Value::True => {
+                    i += 1;
+                }
+            }
+        }
+        None
+    }
+
+    fn propagate_linear(&mut self, idx: usize) -> Option<Vec<Lit>> {
+        let (upper_violated, lower_violated) = {
+            let lin = &self.linears[idx];
+            (lin.sum_true > lin.upper, lin.total - lin.sum_false < lin.lower)
+        };
+        let condition = self.linears[idx].condition;
+        let cond_value = condition.map(|c| self.value_lit(c));
+
+        // If the guard is false the constraint is inert.
+        if cond_value == Some(Value::False) {
+            return None;
+        }
+
+        if upper_violated || lower_violated {
+            match cond_value {
+                Some(Value::Unassigned) => {
+                    // Force the guard false.
+                    let c = condition.unwrap();
+                    let reason = self.linear_violation_lits(idx, upper_violated);
+                    let mut clause = reason.clone();
+                    clause.push(c.negate());
+                    let rid = self.stored_reasons.len();
+                    self.stored_reasons.push(clause);
+                    self.enqueue(c.negate(), Reason::Stored(rid));
+                    return None;
+                }
+                _ => {
+                    // Guard true (or absent): conflict.
+                    let mut clause = self.linear_violation_lits(idx, upper_violated);
+                    if let Some(c) = condition {
+                        clause.push(c.negate());
+                    }
+                    return Some(clause);
+                }
+            }
+        }
+
+        // Only propagate individual literals when the guard is definitely active.
+        if cond_value == Some(Value::Unassigned) {
+            return None;
+        }
+
+        // Upper-bound propagation: literal would overflow the bound -> must be false.
+        let lin_len = self.linears[idx].lits.len();
+        for i in 0..lin_len {
+            let (lit, weight, sum_true, upper, total, sum_false, lower) = {
+                let lin = &self.linears[idx];
+                (
+                    lin.lits[i],
+                    lin.weights[i],
+                    lin.sum_true,
+                    lin.upper,
+                    lin.total,
+                    lin.sum_false,
+                    lin.lower,
+                )
+            };
+            if self.value_lit(lit) != Value::Unassigned || weight == 0 {
+                continue;
+            }
+            if sum_true + weight > upper {
+                let mut reason = self.linear_true_lits(idx);
+                if let Some(c) = condition {
+                    reason.push(c.negate());
+                }
+                reason.push(lit.negate());
+                let rid = self.stored_reasons.len();
+                self.stored_reasons.push(reason);
+                self.enqueue(lit.negate(), Reason::Stored(rid));
+                if let Some(confl) = self.propagate_linear(idx) {
+                    return Some(confl);
+                }
+            } else if total - sum_false - weight < lower {
+                let mut reason = self.linear_false_lits(idx);
+                if let Some(c) = condition {
+                    reason.push(c.negate());
+                }
+                reason.push(lit);
+                let rid = self.stored_reasons.len();
+                self.stored_reasons.push(reason);
+                self.enqueue(lit, Reason::Stored(rid));
+                if let Some(confl) = self.propagate_linear(idx) {
+                    return Some(confl);
+                }
+            }
+        }
+        None
+    }
+
+    /// Literals explaining a bound violation: negations of true counted literals for an
+    /// upper-bound violation, or the false counted literals for a lower-bound violation.
+    fn linear_violation_lits(&self, idx: usize, upper: bool) -> Vec<Lit> {
+        let lin = &self.linears[idx];
+        if upper {
+            lin.lits
+                .iter()
+                .filter(|&&l| self.value_lit(l) == Value::True)
+                .map(|&l| l.negate())
+                .collect()
+        } else {
+            lin.lits
+                .iter()
+                .filter(|&&l| self.value_lit(l) == Value::False)
+                .map(|&l| l)
+                .collect()
+        }
+    }
+
+    fn linear_true_lits(&self, idx: usize) -> Vec<Lit> {
+        self.linears[idx]
+            .lits
+            .iter()
+            .filter(|&&l| self.value_lit(l) == Value::True)
+            .map(|&l| l.negate())
+            .collect()
+    }
+
+    fn linear_false_lits(&self, idx: usize) -> Vec<Lit> {
+        self.linears[idx]
+            .lits
+            .iter()
+            .filter(|&&l| self.value_lit(l) == Value::False)
+            .map(|&l| l)
+            .collect()
+    }
+
+    // ---- internal: conflict analysis ---------------------------------------------------
+
+    fn reason_lits(&self, var: Var) -> Vec<Lit> {
+        match self.reason[var as usize] {
+            Reason::Decision => Vec::new(),
+            Reason::Clause(ci) => self.clauses[ci]
+                .iter()
+                .copied()
+                .filter(|l| l.var() != var)
+                .collect(),
+            Reason::Stored(ri) => self.stored_reasons[ri]
+                .iter()
+                .copied()
+                .filter(|l| l.var() != var)
+                .collect(),
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (with the asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, u32) {
+        let current_level = self.decision_level();
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars];
+        let mut counter = 0usize;
+        let mut trail_index = self.trail.len();
+        let mut expand: Vec<Lit> = conflict;
+        let asserting: Option<Lit>;
+
+        loop {
+            for &lit in &expand {
+                let v = lit.var() as usize;
+                if seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                seen[v] = true;
+                self.bump(lit.var());
+                if self.level[v] == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(lit);
+                }
+            }
+            // Find the next literal on the trail (at the current level) that is seen.
+            let lit = loop {
+                trail_index -= 1;
+                let lit = self.trail[trail_index];
+                if seen[lit.var() as usize] {
+                    break lit;
+                }
+            };
+            counter -= 1;
+            if counter == 0 {
+                asserting = Some(lit.negate());
+                let _ = asserting;
+                break;
+            }
+            expand = self.reason_lits(lit.var());
+        }
+
+        let asserting = asserting.expect("1-UIP always exists");
+        let mut clause = vec![asserting];
+        clause.extend(learned);
+
+        // Backtrack level: second-highest level in the clause.
+        let backtrack_level = clause[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        (clause, backtrack_level)
+    }
+
+    fn record_learned(&mut self, clause: Vec<Lit>) {
+        self.stats.learned += 1;
+        debug_assert!(!clause.is_empty());
+        if clause.len() == 1 {
+            // Asserting unit clause: enqueue at the (already backtracked-to) level.
+            if self.value_lit(clause[0]) == Value::Unassigned {
+                self.enqueue(clause[0], Reason::Decision);
+            }
+            return;
+        }
+        // Put a literal of the backtrack level second so the watches are correct.
+        let idx = self.clauses.len();
+        let mut clause = clause;
+        let mut max_level_pos = 1;
+        for (i, l) in clause.iter().enumerate().skip(1) {
+            if self.level[l.var() as usize] > self.level[clause[max_level_pos].var() as usize] {
+                max_level_pos = i;
+            }
+        }
+        clause.swap(1, max_level_pos);
+        self.watches[clause[0].negate().index()].push(idx);
+        self.watches[clause[1].negate().index()].push(idx);
+        let asserting = clause[0];
+        self.clauses.push(clause);
+        if self.value_lit(asserting) == Value::Unassigned {
+            self.enqueue(asserting, Reason::Clause(idx));
+        }
+    }
+
+    fn bump(&mut self, var: Var) {
+        self.activity[var as usize] += self.var_inc;
+        if self.activity[var as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(var, self.activity[var as usize]);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+    }
+
+    fn pick_branch_variable(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop() {
+            if self.assignment[v as usize] == Value::Unassigned {
+                return Some(v);
+            }
+        }
+        // Fall back to a linear scan (heap may have dropped re-inserted vars).
+        (0..self.num_vars as Var).find(|&v| self.assignment[v as usize] == Value::Unassigned)
+    }
+
+    fn luby_interval(&self) -> u64 {
+        // Luby sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        fn luby(mut x: u64) -> u64 {
+            loop {
+                let mut k = 1u32;
+                while (1u64 << k) - 1 < x {
+                    k += 1;
+                }
+                if (1u64 << k) - 1 == x {
+                    return 1u64 << (k - 1);
+                }
+                x -= (1u64 << (k - 1)) - 1;
+            }
+        }
+        luby(self.stats.restarts + 1) * self.config.restart_base
+    }
+}
+
+/// A max-heap of variables ordered by activity, with lazy updates.
+struct VarHeap {
+    heap: Vec<Var>,
+    position: Vec<Option<usize>>,
+    key: Vec<f64>,
+}
+
+impl VarHeap {
+    fn new(n: usize) -> Self {
+        VarHeap { heap: Vec::with_capacity(n), position: vec![None; n], key: vec![0.0; n] }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.position[v as usize].is_some()
+    }
+
+    fn insert(&mut self, v: Var, key: f64) {
+        if self.contains(v) {
+            self.update(v, key);
+            return;
+        }
+        self.key[v as usize] = key;
+        let pos = self.heap.len();
+        self.heap.push(v);
+        self.position[v as usize] = Some(pos);
+        self.sift_up(pos);
+    }
+
+    fn update(&mut self, v: Var, key: f64) {
+        self.key[v as usize] = key;
+        if let Some(pos) = self.position[v as usize] {
+            self.sift_up(pos);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.position[top as usize] = None;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = Some(0);
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.key[self.heap[pos] as usize] > self.key[self.heap[parent] as usize] {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut largest = pos;
+            if left < self.heap.len()
+                && self.key[self.heap[left] as usize] > self.key[self.heap[largest] as usize]
+            {
+                largest = left;
+            }
+            if right < self.heap.len()
+                && self.key[self.heap[right] as usize] > self.key[self.heap[largest] as usize]
+            {
+                largest = right;
+            }
+            if largest == pos {
+                break;
+            }
+            self.swap(pos, largest);
+            pos = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a] as usize] = Some(a);
+        self.position[self.heap[b] as usize] = Some(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i32) -> Lit {
+        if v > 0 {
+            Lit::pos((v - 1) as Var)
+        } else {
+            Lit::neg((-v - 1) as Var)
+        }
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let mut s = Solver::new(2, SatConfig::default());
+        assert!(s.add_clause(vec![lit(1), lit(2)]));
+        assert!(s.add_clause(vec![lit(-1), lit(2)]));
+        assert_eq!(s.search(), SearchResult::Sat);
+        let m = s.model();
+        assert!(m[1], "x2 must be true");
+
+        let mut s = Solver::new(1, SatConfig::default());
+        assert!(s.add_clause(vec![lit(1)]));
+        assert!(!s.add_clause(vec![lit(-1)]));
+        assert_eq!(s.search(), SearchResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        // 4 pigeons, 3 holes: classic small UNSAT instance exercising conflict analysis.
+        let pigeons = 4;
+        let holes = 3;
+        let var = |p: usize, h: usize| (p * holes + h) as Var;
+        let mut s = Solver::new(pigeons * holes, SatConfig::default());
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+            assert!(s.add_clause(clause));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    assert!(s.add_clause(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]));
+                }
+            }
+        }
+        assert_eq!(s.search(), SearchResult::Unsat);
+        assert!(s.stats.conflicts > 0);
+    }
+
+    #[test]
+    fn random_3sat_instances_solved() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for instance in 0..20 {
+            let n = 30;
+            let clauses = 90 + instance; // below the phase transition: usually SAT
+            let mut s = Solver::new(n, SatConfig::default());
+            let mut cls = Vec::new();
+            for _ in 0..clauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(0..n) as Var;
+                    let l = if rng.gen_bool(0.5) { Lit::pos(v) } else { Lit::neg(v) };
+                    c.push(l);
+                }
+                cls.push(c.clone());
+                s.add_clause(c);
+            }
+            if s.search() == SearchResult::Sat {
+                let m = s.model();
+                for c in &cls {
+                    assert!(
+                        c.iter().any(|l| m[l.var() as usize] == l.is_pos()),
+                        "model does not satisfy a clause"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cardinality_exactly_one() {
+        let mut s = Solver::new(4, SatConfig::default());
+        s.add_linear(LinearSpec::cardinality(
+            None,
+            vec![lit(1), lit(2), lit(3), lit(4)],
+            1,
+            1,
+        ));
+        assert_eq!(s.search(), SearchResult::Sat);
+        let m = s.model();
+        assert_eq!(m.iter().filter(|&&b| b).count(), 1);
+
+        // Forcing two of them true must be unsatisfiable.
+        let mut s = Solver::new(4, SatConfig::default());
+        s.add_linear(LinearSpec::cardinality(
+            None,
+            vec![lit(1), lit(2), lit(3), lit(4)],
+            1,
+            1,
+        ));
+        assert!(s.add_clause(vec![lit(1)]));
+        let ok = s.add_clause(vec![lit(2)]);
+        assert!(!ok || s.search() == SearchResult::Unsat);
+    }
+
+    #[test]
+    fn cardinality_lower_bound_propagates() {
+        // x1..x4, at least 3 true, x1 and x2 false -> unsat.
+        let mut s = Solver::new(4, SatConfig::default());
+        s.add_linear(LinearSpec::cardinality(
+            None,
+            vec![lit(1), lit(2), lit(3), lit(4)],
+            3,
+            u64::MAX,
+        ));
+        assert!(s.add_clause(vec![lit(-1)]));
+        let ok = s.add_clause(vec![lit(-2)]);
+        assert!(!ok || s.search() == SearchResult::Unsat);
+    }
+
+    #[test]
+    fn conditional_cardinality_inert_when_guard_false() {
+        // guard -> exactly one of x2,x3; guard is false, so both may be true.
+        let mut s = Solver::new(3, SatConfig::default());
+        s.add_linear(LinearSpec::cardinality(Some(lit(1)), vec![lit(2), lit(3)], 1, 1));
+        assert!(s.add_clause(vec![lit(-1)]));
+        assert!(s.add_clause(vec![lit(2)]));
+        assert!(s.add_clause(vec![lit(3)]));
+        assert_eq!(s.search(), SearchResult::Sat);
+    }
+
+    #[test]
+    fn conditional_cardinality_forces_guard_false() {
+        // guard -> at most one of x2,x3; x2 and x3 forced true -> guard must be false.
+        let mut s = Solver::new(3, SatConfig::default());
+        s.add_linear(LinearSpec::cardinality(Some(lit(1)), vec![lit(2), lit(3)], 0, 1));
+        assert!(s.add_clause(vec![lit(2)]));
+        assert!(s.add_clause(vec![lit(3)]));
+        assert_eq!(s.search(), SearchResult::Sat);
+        assert!(!s.model()[0], "guard must be false");
+    }
+
+    #[test]
+    fn weighted_upper_bound() {
+        // weights 5,3,2 over x1,x2,x3 with sum <= 5: at most x1 alone, or x2+x3.
+        let mut s = Solver::new(3, SatConfig::default());
+        s.add_linear(LinearSpec {
+            condition: None,
+            lits: vec![lit(1), lit(2), lit(3)],
+            weights: vec![5, 3, 2],
+            lower: 0,
+            upper: 5,
+        });
+        assert!(s.add_clause(vec![lit(1)]));
+        assert_eq!(s.search(), SearchResult::Sat);
+        let m = s.model();
+        assert!(m[0] && !m[1] && !m[2]);
+    }
+
+    #[test]
+    fn blocking_clauses_enumerate_models() {
+        // x1 xor-ish: (x1 | x2), enumerate all models of 2 vars.
+        let mut s = Solver::new(2, SatConfig::default());
+        assert!(s.add_clause(vec![lit(1), lit(2)]));
+        let mut count = 0;
+        loop {
+            match s.search() {
+                SearchResult::Unsat => break,
+                SearchResult::Sat => {
+                    count += 1;
+                    assert!(count <= 3, "only 3 models exist");
+                    let m = s.model();
+                    let blocking: Vec<Lit> = (0..2)
+                        .map(|v| if m[v] { Lit::neg(v as Var) } else { Lit::pos(v as Var) })
+                        .collect();
+                    if !s.add_blocking_clause(blocking) {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn phase_saving_respects_config() {
+        let mut s = Solver::new(5, SatConfig { default_phase: true, random_polarity: 0.0, ..SatConfig::default() });
+        assert_eq!(s.search(), SearchResult::Sat);
+        assert!(s.model().iter().all(|&b| b), "default phase true => all-true model");
+        let mut s = Solver::new(5, SatConfig { default_phase: false, random_polarity: 0.0, ..SatConfig::default() });
+        assert_eq!(s.search(), SearchResult::Sat);
+        assert!(s.model().iter().all(|&b| !b));
+    }
+}

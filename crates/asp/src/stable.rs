@@ -1,0 +1,171 @@
+//! Stable-model (answer-set) checking.
+//!
+//! Clark completion admits *supported* models that are not *stable*: sets of atoms that
+//! justify each other only through a positive cycle (e.g. two packages that "depend on"
+//! each other with no root requiring either). [`unfounded_set`] recomputes the least
+//! model of the reduct of the program w.r.t. a candidate model; any true atom not in that
+//! least model is unfounded. The solver then adds a *loop nogood* requiring at least one
+//! unfounded atom to be false and continues the search, exactly like clasp's lazy
+//! unfounded-set checking.
+
+use crate::ground::GroundProgram;
+use crate::symbols::AtomId;
+
+/// Compute the set of atoms that are true in `model` but not derivable from the reduct of
+/// the program w.r.t. `model`. An empty result means the model is stable.
+///
+/// `model` is indexed by SAT variable; only the first `ground.atoms.len()` entries (the
+/// program atoms) are inspected.
+pub fn unfounded_set(ground: &GroundProgram, model: &[bool]) -> Vec<AtomId> {
+    let n = ground.atoms.len();
+    let mut derived = vec![false; n];
+    for (id, _) in ground.atoms.iter() {
+        if ground.atoms.is_certain(id) {
+            derived[id as usize] = true;
+        }
+    }
+
+    // Fixpoint over the reduct: a rule contributes when its negative body is not
+    // contradicted by the model and its positive body is already derived. Choice rules
+    // justify exactly the atoms the model chose.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in &ground.rules {
+            let head = match rule.head {
+                Some(h) => h,
+                None => continue,
+            };
+            if derived[head as usize] {
+                continue;
+            }
+            if rule.neg.iter().any(|&a| model[a as usize]) {
+                continue;
+            }
+            if rule.pos.iter().all(|&a| derived[a as usize]) {
+                derived[head as usize] = true;
+                changed = true;
+            }
+        }
+        for choice in &ground.choices {
+            if choice.neg.iter().any(|&a| model[a as usize]) {
+                continue;
+            }
+            if !choice.pos.iter().all(|&a| derived[a as usize]) {
+                continue;
+            }
+            for &h in &choice.heads {
+                if model[h as usize] && !derived[h as usize] {
+                    derived[h as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    (0..n as AtomId)
+        .filter(|&a| model[a as usize] && !derived[a as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::parser::parse_program;
+    use crate::symbols::SymbolTable;
+
+    fn ground_text(text: &str) -> (GroundProgram, SymbolTable) {
+        let program = parse_program(text).unwrap();
+        let mut symbols = SymbolTable::new();
+        let ground = Grounder::new(&mut symbols).ground(&program, &[]).unwrap();
+        (ground, symbols)
+    }
+
+    fn model_with(ground: &GroundProgram, symbols: &SymbolTable, true_atoms: &[&str]) -> Vec<bool> {
+        let mut model = vec![false; ground.atoms.len()];
+        for (id, atom) in ground.atoms.iter() {
+            let name = atom.display(symbols).to_string();
+            if ground.atoms.is_certain(id) || true_atoms.contains(&name.as_str()) {
+                model[id as usize] = true;
+            }
+        }
+        model
+    }
+
+    #[test]
+    fn self_supporting_loop_is_unfounded() {
+        // With `start` false, {a, b} can only justify each other through the positive
+        // cycle a :- b / b :- a: supported but not stable.
+        let (ground, symbols) = ground_text(
+            r#"
+            { start }.
+            a :- start.
+            a :- b.
+            b :- a.
+            "#,
+        );
+        let model = model_with(&ground, &symbols, &["a", "b"]);
+        let unfounded = unfounded_set(&ground, &model);
+        assert_eq!(unfounded.len(), 2);
+
+        // When `start` is chosen the same atoms are founded.
+        let model = model_with(&ground, &symbols, &["start", "a", "b"]);
+        assert!(unfounded_set(&ground, &model).is_empty());
+
+        let empty = model_with(&ground, &symbols, &[]);
+        assert!(unfounded_set(&ground, &empty).is_empty());
+    }
+
+    #[test]
+    fn derivation_through_facts_is_founded() {
+        let (ground, symbols) = ground_text(
+            r#"
+            node(a).
+            depends_on(a, b).
+            depends_on(b, a).
+            node(D) :- node(P), depends_on(P, D).
+            "#,
+        );
+        // Both node(a) (a fact) and node(b) (derived from it) are founded even though the
+        // dependency edges form a cycle.
+        let model = model_with(&ground, &symbols, &["node(b)"]);
+        assert!(unfounded_set(&ground, &model).is_empty());
+    }
+
+    #[test]
+    fn chosen_atoms_are_founded_only_if_their_choice_body_holds() {
+        let (ground, symbols) = ground_text(
+            r#"
+            q(1).
+            { seed }.
+            trigger :- seed.
+            { pick(X) : q(X) } 1 :- trigger.
+            trigger :- pick(1).
+            "#,
+        );
+        // With `seed` false, {trigger, pick(1)} supports itself in a cycle: pick is only
+        // available when trigger holds, and trigger only holds when pick(1) is true.
+        let model = model_with(&ground, &symbols, &["trigger", "pick(1)"]);
+        let unfounded = unfounded_set(&ground, &model);
+        assert!(!unfounded.is_empty());
+        // With `seed` chosen, trigger is founded and so is the chosen pick(1).
+        let model = model_with(&ground, &symbols, &["seed", "trigger", "pick(1)"]);
+        assert!(unfounded_set(&ground, &model).is_empty());
+    }
+
+    #[test]
+    fn negative_bodies_respect_the_model() {
+        let (ground, symbols) = ground_text(
+            r#"
+            item(a).
+            blocked(a).
+            ok(X) :- item(X), not blocked(X).
+            "#,
+        );
+        // ok(a) cannot be derived because blocked(a) is true in the model.
+        let model = model_with(&ground, &symbols, &["ok(a)"]);
+        let unfounded = unfounded_set(&ground, &model);
+        assert_eq!(unfounded.len(), 1);
+    }
+}

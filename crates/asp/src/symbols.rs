@@ -1,0 +1,285 @@
+//! Interned symbols, ground values, and the ground atom table.
+//!
+//! A typical concretization problem has 10k–100k facts (Section V of the paper), so atoms
+//! and their arguments are interned: strings become small integer [`SymbolId`]s and ground
+//! atoms become dense [`AtomId`]s, which the grounder, the SAT translation, and the model
+//! extraction all share.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned string symbol.
+pub type SymbolId = u32;
+
+/// Identifier of a ground atom (dense, starting at 0).
+pub type AtomId = u32;
+
+/// A table interning strings to [`SymbolId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    map: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Create an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its id.
+    pub fn intern(&mut self, s: &str) -> SymbolId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.names.len() as SymbolId;
+        self.names.push(s.to_string());
+        self.map.insert(s.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned string.
+    pub fn lookup(&self, s: &str) -> Option<SymbolId> {
+        self.map.get(s).copied()
+    }
+
+    /// The string for a symbol id.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbol has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A ground value: either an integer or an interned symbol (string/constant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Val {
+    /// An integer constant.
+    Int(i64),
+    /// An interned symbolic constant or string.
+    Sym(SymbolId),
+}
+
+impl Val {
+    /// Render the value using a symbol table.
+    pub fn display<'a>(&'a self, symbols: &'a SymbolTable) -> ValDisplay<'a> {
+        ValDisplay { val: self, symbols }
+    }
+}
+
+/// Helper for displaying a [`Val`] with access to the symbol table.
+pub struct ValDisplay<'a> {
+    val: &'a Val,
+    symbols: &'a SymbolTable,
+}
+
+impl fmt::Display for ValDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.val {
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Sym(s) => {
+                let name = self.symbols.name(*s);
+                let bare = !name.is_empty()
+                    && name.chars().next().unwrap().is_ascii_lowercase()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                if bare {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "\"{name}\"")
+                }
+            }
+        }
+    }
+}
+
+/// A ground atom: predicate symbol plus ground arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundAtom {
+    /// Predicate name symbol.
+    pub pred: SymbolId,
+    /// Ground arguments.
+    pub args: Vec<Val>,
+}
+
+impl GroundAtom {
+    /// Construct a ground atom.
+    pub fn new(pred: SymbolId, args: Vec<Val>) -> Self {
+        GroundAtom { pred, args }
+    }
+
+    /// Render the atom using a symbol table.
+    pub fn display<'a>(&'a self, symbols: &'a SymbolTable) -> GroundAtomDisplay<'a> {
+        GroundAtomDisplay { atom: self, symbols }
+    }
+}
+
+/// Helper for displaying a [`GroundAtom`] with access to the symbol table.
+pub struct GroundAtomDisplay<'a> {
+    atom: &'a GroundAtom,
+    symbols: &'a SymbolTable,
+}
+
+impl fmt::Display for GroundAtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbols.name(self.atom.pred))?;
+        if !self.atom.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.atom.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", a.display(self.symbols))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The table of all *possible* ground atoms discovered during grounding.
+///
+/// Atoms are additionally indexed by predicate and by `(predicate, argument position,
+/// value)` so the grounder's joins can select the smallest candidate list.
+#[derive(Debug, Default, Clone)]
+pub struct AtomTable {
+    atoms: Vec<GroundAtom>,
+    ids: HashMap<GroundAtom, AtomId>,
+    by_pred: HashMap<SymbolId, Vec<AtomId>>,
+    by_pred_arg: HashMap<(SymbolId, u8, Val), Vec<AtomId>>,
+    /// Atoms known to be true in every model (input facts).
+    certain: Vec<bool>,
+}
+
+impl AtomTable {
+    /// Create an empty atom table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Intern an atom, returning `(id, is_new)`.
+    pub fn intern(&mut self, atom: GroundAtom) -> (AtomId, bool) {
+        if let Some(&id) = self.ids.get(&atom) {
+            return (id, false);
+        }
+        let id = self.atoms.len() as AtomId;
+        self.by_pred.entry(atom.pred).or_default().push(id);
+        for (pos, &val) in atom.args.iter().enumerate().take(u8::MAX as usize) {
+            self.by_pred_arg.entry((atom.pred, pos as u8, val)).or_default().push(id);
+        }
+        self.ids.insert(atom.clone(), id);
+        self.atoms.push(atom);
+        self.certain.push(false);
+        (id, true)
+    }
+
+    /// Look up an atom id without interning.
+    pub fn get(&self, atom: &GroundAtom) -> Option<AtomId> {
+        self.ids.get(atom).copied()
+    }
+
+    /// The atom for an id.
+    pub fn atom(&self, id: AtomId) -> &GroundAtom {
+        &self.atoms[id as usize]
+    }
+
+    /// All atoms with a given predicate.
+    pub fn with_pred(&self, pred: SymbolId) -> &[AtomId] {
+        self.by_pred.get(&pred).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All atoms with a given predicate and a given value at argument position `pos`.
+    pub fn with_pred_arg(&self, pred: SymbolId, pos: u8, val: Val) -> &[AtomId] {
+        self.by_pred_arg
+            .get(&(pred, pos, val))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Mark an atom as certainly true (an input fact).
+    pub fn set_certain(&mut self, id: AtomId) {
+        self.certain[id as usize] = true;
+    }
+
+    /// Is the atom certainly true?
+    pub fn is_certain(&self, id: AtomId) -> bool {
+        self.certain[id as usize]
+    }
+
+    /// Iterate over all `(id, atom)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> {
+        self.atoms.iter().enumerate().map(|(i, a)| (i as AtomId, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_interning_is_stable() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("hdf5");
+        let b = t.intern("zlib");
+        let a2 = t.intern("hdf5");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "hdf5");
+        assert_eq!(t.lookup("zlib"), Some(b));
+        assert_eq!(t.lookup("missing"), None);
+    }
+
+    #[test]
+    fn atom_table_interning_and_indexes() {
+        let mut syms = SymbolTable::new();
+        let node = syms.intern("node");
+        let dep = syms.intern("depends_on");
+        let hdf5 = Val::Sym(syms.intern("hdf5"));
+        let zlib = Val::Sym(syms.intern("zlib"));
+
+        let mut atoms = AtomTable::new();
+        let (a, new_a) = atoms.intern(GroundAtom::new(node, vec![hdf5]));
+        let (b, new_b) = atoms.intern(GroundAtom::new(node, vec![zlib]));
+        let (a2, new_a2) = atoms.intern(GroundAtom::new(node, vec![hdf5]));
+        let (c, _) = atoms.intern(GroundAtom::new(dep, vec![hdf5, zlib]));
+
+        assert!(new_a && new_b && !new_a2);
+        assert_eq!(a, a2);
+        assert_eq!(atoms.with_pred(node).len(), 2);
+        assert_eq!(atoms.with_pred(dep), &[c]);
+        assert_eq!(atoms.with_pred_arg(node, 0, hdf5), &[a]);
+        assert_eq!(atoms.with_pred_arg(dep, 1, zlib), &[c]);
+        assert!(atoms.with_pred_arg(dep, 1, hdf5).is_empty());
+        assert_eq!(b, 1);
+    }
+
+    #[test]
+    fn display_quotes_non_identifiers() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("version_declared");
+        let zlib = syms.intern("zlib");
+        let ver = syms.intern("1.2.11");
+        let atom = GroundAtom::new(p, vec![Val::Sym(zlib), Val::Sym(ver), Val::Int(0)]);
+        assert_eq!(
+            atom.display(&syms).to_string(),
+            "version_declared(zlib,\"1.2.11\",0)"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! `spack-solve` — a small command-line front end for the ASP-based concretizer.
+//!
+//! This is the reproduction's analogue of `spack spec` / `spack solve`: it concretizes
+//! abstract specs against the built-in curated repository (or a synthetic one) and prints
+//! the resulting DAG, the build/reuse partition, the objective vector, and the phase
+//! timings the paper instruments.
+//!
+//! ```text
+//! spack-solve spec hdf5@1.10.2 +mpi            # concretize and print the DAG
+//! spack-solve spec --greedy hpctoolkit ^mpich  # use the old (incomplete) algorithm
+//! spack-solve spec --reuse hdf5                # reuse a synthesized buildcache
+//! spack-solve providers mpi                    # list providers of a virtual
+//! spack-solve list                             # list known packages
+//! spack-solve criteria                         # print Table II
+//! ```
+
+use std::process::ExitCode;
+
+use spack_concretizer::{describe_priority, Concretizer, GreedyConcretizer, SiteConfig, CRITERIA};
+use spack_repo::{builtin_repo, synth_repo, Repository, SynthConfig};
+use spack_spec::parse_spec;
+use spack_store::{synthesize_buildcache, BuildcacheConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "spec" | "solve" => cmd_spec(&args[1..]),
+        "providers" => cmd_providers(&args[1..]),
+        "list" => cmd_list(&args[1..]),
+        "criteria" => cmd_criteria(),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "spack-solve — ASP-based dependency solving (SC'22 reproduction)\n\n\
+         USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--synthetic N] <spec...>\n  \
+         spack-solve providers <virtual>\n  spack-solve list [--synthetic N]\n  spack-solve criteria\n"
+    );
+}
+
+fn repository(synthetic: Option<usize>) -> Repository {
+    match synthetic {
+        Some(n) => synth_repo(&SynthConfig { packages: n, ..Default::default() }),
+        None => builtin_repo(),
+    }
+}
+
+struct SpecOptions {
+    greedy: bool,
+    reuse: bool,
+    lassen: bool,
+    synthetic: Option<usize>,
+    spec_text: String,
+}
+
+fn parse_spec_args(args: &[String]) -> Result<SpecOptions, String> {
+    let mut options = SpecOptions {
+        greedy: false,
+        reuse: false,
+        lassen: false,
+        synthetic: None,
+        spec_text: String::new(),
+    };
+    let mut rest: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--greedy" => options.greedy = true,
+            "--reuse" => options.reuse = true,
+            "--lassen" => options.lassen = true,
+            "--synthetic" => {
+                let n = iter
+                    .next()
+                    .ok_or_else(|| "--synthetic requires a package count".to_string())?;
+                options.synthetic =
+                    Some(n.parse().map_err(|_| format!("invalid package count '{n}'"))?);
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    if rest.is_empty() {
+        return Err("no spec given".to_string());
+    }
+    options.spec_text = rest.join(" ");
+    Ok(options)
+}
+
+fn cmd_spec(args: &[String]) -> ExitCode {
+    let options = match parse_spec_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("==> Error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let repo = repository(options.synthetic);
+    let site = if options.lassen { SiteConfig::lassen() } else { SiteConfig::quartz() };
+    let spec = match parse_spec(&options.spec_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("==> Error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("Input spec");
+    println!("--------------------------------");
+    println!("{}\n", options.spec_text);
+
+    if options.greedy {
+        let greedy = GreedyConcretizer::new(&repo, site);
+        return match greedy.concretize(&spec) {
+            Ok(result) => {
+                println!("Concretized (old greedy concretizer)");
+                println!("--------------------------------");
+                print!("{}", result.spec);
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("==> Error: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let cache;
+    let mut concretizer = Concretizer::new(&repo).with_site(site);
+    if options.reuse {
+        cache = synthesize_buildcache(&repo, &BuildcacheConfig::default());
+        println!("(reuse enabled: {} cached builds)\n", cache.len());
+        concretizer = concretizer.with_database(&cache);
+    }
+
+    match concretizer.concretize(&[spec]) {
+        Ok(result) => {
+            println!("Concretized");
+            println!("--------------------------------");
+            print!("{}", result.spec);
+            println!();
+            println!(
+                "{} packages: {} to build, {} reused",
+                result.spec.len(),
+                result.build_count(),
+                result.reuse_count()
+            );
+            println!(
+                "phases: setup {:.1?}, load {:.1?}, ground {:.1?}, solve {:.1?} (total {:.1?})",
+                result.timings.setup,
+                result.timings.load,
+                result.timings.ground,
+                result.timings.solve,
+                result.timings.total()
+            );
+            let nonzero: Vec<String> = result
+                .cost
+                .iter()
+                .filter(|(_, v)| *v != 0)
+                .map(|(p, v)| {
+                    let (bucket, desc) = describe_priority(*p);
+                    format!("    [{bucket}] {desc}: {v}")
+                })
+                .collect();
+            if !nonzero.is_empty() {
+                println!("non-zero optimization criteria:");
+                for line in nonzero {
+                    println!("{line}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("==> Error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_providers(args: &[String]) -> ExitCode {
+    let Some(virtual_name) = args.first() else {
+        eprintln!("usage: spack-solve providers <virtual>");
+        return ExitCode::FAILURE;
+    };
+    let repo = builtin_repo();
+    let providers = repo.providers(virtual_name);
+    if providers.is_empty() {
+        eprintln!("no providers found for '{virtual_name}'");
+        return ExitCode::FAILURE;
+    }
+    println!("providers of {virtual_name}:");
+    for p in providers {
+        let versions = repo
+            .get(p)
+            .map(|pkg| {
+                pkg.versions
+                    .iter()
+                    .map(|v| v.version.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
+        println!("  {p}  ({versions})");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    let synthetic = args
+        .iter()
+        .position(|a| a == "--synthetic")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let repo = repository(synthetic);
+    println!("{} packages, {} virtuals", repo.len(), repo.virtuals().count());
+    for name in repo.names() {
+        let pkg = repo.get(name).unwrap();
+        println!(
+            "  {name:<24} versions: {:<2}  variants: {:<2}  possible deps: {}",
+            pkg.versions.len(),
+            pkg.variants.len(),
+            repo.possible_dependency_count(name)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_criteria() -> ExitCode {
+    println!("Spack's optimization criteria (Table II), highest priority first:");
+    for c in CRITERIA {
+        println!(
+            "  {:>2}. {:<42} reuse bucket @{:<3} build bucket @{}",
+            c.rank,
+            c.description,
+            c.reuse_priority(),
+            c.build_priority()
+        );
+    }
+    println!("  number of builds sits between the bucket groups at priority 100 (Fig. 5)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,158 @@
+//! Site configuration: the compilers, operating systems, platform, and targets available
+//! on the machine the concretizer is solving for.
+//!
+//! In Spack this information comes from `compilers.yaml`, `packages.yaml`, and archspec
+//! detection; here it is an explicit value so tests and benchmarks can model the two
+//! evaluation machines of the paper (Quartz: Intel/haswell-era x86_64; Lassen: Power9).
+
+use spack_spec::{Compiler, OperatingSystem, Platform, TargetCatalog, Version};
+
+/// The site configuration used for a concretization.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// Available compilers, most preferred first.
+    pub compilers: Vec<Compiler>,
+    /// Available operating systems, most preferred first (the first is the frontend OS).
+    pub operating_systems: Vec<OperatingSystem>,
+    /// The platform.
+    pub platform: Platform,
+    /// The microarchitecture family of this machine (e.g. `x86_64`, `ppc64le`).
+    pub target_family: String,
+    /// The full target catalog (used for weights and compiler support).
+    pub targets: TargetCatalog,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        Self::quartz()
+    }
+}
+
+impl SiteConfig {
+    /// A configuration modelled after Quartz (LLNL): Intel x86_64 nodes, TOSS/RHEL-family
+    /// OS, a recent and an older gcc plus clang and a vendor compiler.
+    pub fn quartz() -> Self {
+        SiteConfig {
+            compilers: vec![
+                Compiler::new("gcc", "11.2.0"),
+                Compiler::new("gcc", "8.3.1"),
+                Compiler::new("gcc", "4.8.5"),
+                Compiler::new("clang", "14.0.6"),
+                Compiler::new("intel", "2021.6.0"),
+            ],
+            operating_systems: vec![OperatingSystem::new("centos8"), OperatingSystem::new("rhel7")],
+            platform: Platform::Linux,
+            target_family: "x86_64".to_string(),
+            targets: TargetCatalog::builtin(),
+        }
+    }
+
+    /// A configuration modelled after Lassen (LLNL): IBM Power9 nodes.
+    pub fn lassen() -> Self {
+        SiteConfig {
+            compilers: vec![
+                Compiler::new("gcc", "8.3.1"),
+                Compiler::new("clang", "13.0.1"),
+                Compiler::new("xl", "16.1.1"),
+            ],
+            operating_systems: vec![OperatingSystem::new("rhel7")],
+            platform: Platform::Linux,
+            target_family: "ppc64le".to_string(),
+            targets: TargetCatalog::builtin(),
+        }
+    }
+
+    /// A minimal configuration (one compiler, one OS, generic target) for fast tests.
+    pub fn minimal() -> Self {
+        SiteConfig {
+            compilers: vec![Compiler::new("gcc", "11.2.0")],
+            operating_systems: vec![OperatingSystem::new("centos8")],
+            platform: Platform::Linux,
+            target_family: "x86_64".to_string(),
+            targets: TargetCatalog::builtin(),
+        }
+    }
+
+    /// The most preferred compiler.
+    pub fn default_compiler(&self) -> &Compiler {
+        &self.compilers[0]
+    }
+
+    /// The most preferred operating system.
+    pub fn default_os(&self) -> &OperatingSystem {
+        &self.operating_systems[0]
+    }
+
+    /// The targets available on this machine (its family), best first.
+    pub fn available_targets(&self) -> Vec<&spack_spec::target::TargetInfo> {
+        self.targets.family(&self.target_family)
+    }
+
+    /// The best target a given compiler can generate code for on this machine.
+    pub fn best_target_for(&self, compiler: &Compiler) -> Option<String> {
+        self.available_targets()
+            .into_iter()
+            .find(|t| {
+                self.targets
+                    .compiler_supports(&compiler.name, &compiler.version, t.target.name())
+            })
+            .map(|t| t.target.name().to_string())
+    }
+
+    /// The compiler identifier string used in ASP facts (`gcc@11.2.0`).
+    pub fn compiler_id(compiler: &Compiler) -> String {
+        format!("{}@{}", compiler.name, compiler.version)
+    }
+
+    /// Parse a compiler identifier back into a [`Compiler`].
+    pub fn parse_compiler_id(id: &str) -> Compiler {
+        match id.split_once('@') {
+            Some((name, version)) => Compiler { name: name.to_string(), version: Version::new(version) },
+            None => Compiler { name: id.to_string(), version: Version::new("0") },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartz_and_lassen_have_expected_families() {
+        assert_eq!(SiteConfig::quartz().target_family, "x86_64");
+        assert_eq!(SiteConfig::lassen().target_family, "ppc64le");
+        assert_eq!(SiteConfig::quartz().default_os().name(), "centos8");
+        assert_eq!(SiteConfig::lassen().default_os().name(), "rhel7");
+    }
+
+    #[test]
+    fn best_target_depends_on_compiler() {
+        let site = SiteConfig::quartz();
+        let new_gcc = Compiler::new("gcc", "11.2.0");
+        let old_gcc = Compiler::new("gcc", "4.8.5");
+        let best_new = site.best_target_for(&new_gcc).unwrap();
+        let best_old = site.best_target_for(&old_gcc).unwrap();
+        assert_eq!(best_new, "icelake");
+        // Old gcc cannot emit skylake or newer (the paper's example); it falls back.
+        assert_ne!(best_old, "icelake");
+        let w_new = site.targets.weight(&best_new).unwrap();
+        let w_old = site.targets.weight(&best_old).unwrap();
+        assert!(w_new < w_old);
+    }
+
+    #[test]
+    fn compiler_id_round_trip() {
+        let c = Compiler::new("gcc", "11.2.0");
+        let id = SiteConfig::compiler_id(&c);
+        assert_eq!(id, "gcc@11.2.0");
+        assert_eq!(SiteConfig::parse_compiler_id(&id), c);
+    }
+
+    #[test]
+    fn lassen_targets_are_power() {
+        let site = SiteConfig::lassen();
+        let targets = site.available_targets();
+        assert!(targets.iter().any(|t| t.target.name() == "power9le"));
+        assert!(targets.iter().all(|t| t.family == "ppc64le"));
+    }
+}

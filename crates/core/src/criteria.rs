@@ -1,0 +1,126 @@
+//! Spack's optimization criteria (Table II of the paper) and the build/reuse bucket
+//! scheme (Fig. 5).
+//!
+//! All criteria are minimization criteria evaluated lexicographically. Criterion 1
+//! (deprecated versions) is the most important. With reuse enabled, every criterion is
+//! split into two buckets: contributions from packages that must be *built* land in a
+//! high-priority bucket (`priority + BUILD_PRIORITY_OFFSET`), contributions from packages
+//! that are *reused* land in the low-priority bucket, and the total number of builds sits
+//! between the two bucket groups at [`BUILD_COUNT_PRIORITY`].
+
+/// Offset added to a criterion's priority for packages that must be built (Fig. 5).
+pub const BUILD_PRIORITY_OFFSET: i64 = 200;
+
+/// Priority level of the "number of builds" objective, between the build buckets
+/// (201–215) and the reuse buckets (1–15).
+pub const BUILD_COUNT_PRIORITY: i64 = 100;
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Criterion {
+    /// 1-based rank as listed in Table II (1 = highest priority).
+    pub rank: u8,
+    /// Human-readable description, as in the paper.
+    pub description: &'static str,
+    /// Whether the criterion applies to root nodes, non-root nodes, or all nodes.
+    pub scope: Scope,
+}
+
+/// Which nodes a criterion applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Root nodes only.
+    Roots,
+    /// Non-root nodes only.
+    NonRoots,
+    /// Every node or edge.
+    All,
+}
+
+/// The 15 criteria of Table II, in priority order (highest first).
+pub const CRITERIA: [Criterion; 15] = [
+    Criterion { rank: 1, description: "Deprecated versions used", scope: Scope::All },
+    Criterion { rank: 2, description: "Version oldness (roots)", scope: Scope::Roots },
+    Criterion { rank: 3, description: "Non-default variant values (roots)", scope: Scope::Roots },
+    Criterion { rank: 4, description: "Non-preferred providers (roots)", scope: Scope::Roots },
+    Criterion { rank: 5, description: "Unused default variant values (roots)", scope: Scope::Roots },
+    Criterion { rank: 6, description: "Non-default variant values (non-roots)", scope: Scope::NonRoots },
+    Criterion { rank: 7, description: "Non-preferred providers (non-roots)", scope: Scope::NonRoots },
+    Criterion { rank: 8, description: "Compiler mismatches", scope: Scope::All },
+    Criterion { rank: 9, description: "OS mismatches", scope: Scope::All },
+    Criterion { rank: 10, description: "Non-preferred OS's", scope: Scope::All },
+    Criterion { rank: 11, description: "Version oldness (non-roots)", scope: Scope::NonRoots },
+    Criterion { rank: 12, description: "Unused default variant values (non-roots)", scope: Scope::NonRoots },
+    Criterion { rank: 13, description: "Non-preferred compilers", scope: Scope::All },
+    Criterion { rank: 14, description: "Target mismatches", scope: Scope::All },
+    Criterion { rank: 15, description: "Non-preferred targets", scope: Scope::All },
+];
+
+impl Criterion {
+    /// The ASP priority of this criterion's *reuse* bucket: rank 1 → 15, rank 15 → 1.
+    pub fn reuse_priority(&self) -> i64 {
+        16 - self.rank as i64
+    }
+
+    /// The ASP priority of this criterion's *build* bucket (Fig. 5).
+    pub fn build_priority(&self) -> i64 {
+        self.reuse_priority() + BUILD_PRIORITY_OFFSET
+    }
+}
+
+/// Look up a criterion by its Table II rank.
+pub fn criterion(rank: u8) -> Option<&'static Criterion> {
+    CRITERIA.iter().find(|c| c.rank == rank)
+}
+
+/// Describe an objective-vector entry (an ASP priority level) in terms of Table II, for
+/// reporting: returns `(bucket, criterion description)`.
+pub fn describe_priority(priority: i64) -> (&'static str, &'static str) {
+    if priority == BUILD_COUNT_PRIORITY {
+        return ("builds", "Number of builds");
+    }
+    let (bucket, base) = if priority > BUILD_PRIORITY_OFFSET {
+        ("build", priority - BUILD_PRIORITY_OFFSET)
+    } else {
+        ("reuse", priority)
+    };
+    let rank = (16 - base).clamp(1, 15) as u8;
+    (bucket, criterion(rank).map(|c| c.description).unwrap_or("unknown criterion"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_15_criteria_in_order() {
+        assert_eq!(CRITERIA.len(), 15);
+        for (i, c) in CRITERIA.iter().enumerate() {
+            assert_eq!(c.rank as usize, i + 1);
+        }
+        assert_eq!(CRITERIA[0].description, "Deprecated versions used");
+        assert_eq!(CRITERIA[14].description, "Non-preferred targets");
+    }
+
+    #[test]
+    fn priorities_follow_fig5() {
+        // Build buckets (201..215) > number of builds (100) > reuse buckets (1..15).
+        let c1 = criterion(1).unwrap();
+        let c15 = criterion(15).unwrap();
+        assert_eq!(c1.reuse_priority(), 15);
+        assert_eq!(c1.build_priority(), 215);
+        assert_eq!(c15.reuse_priority(), 1);
+        assert_eq!(c15.build_priority(), 201);
+        assert!(c15.build_priority() > BUILD_COUNT_PRIORITY);
+        assert!(BUILD_COUNT_PRIORITY > c1.reuse_priority());
+    }
+
+    #[test]
+    fn describe_priority_round_trips() {
+        assert_eq!(describe_priority(100), ("builds", "Number of builds"));
+        assert_eq!(describe_priority(215), ("build", "Deprecated versions used"));
+        assert_eq!(describe_priority(15), ("reuse", "Deprecated versions used"));
+        assert_eq!(describe_priority(201), ("build", "Non-preferred targets"));
+        assert_eq!(describe_priority(8).1, "Compiler mismatches");
+    }
+}

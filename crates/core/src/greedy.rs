@@ -1,0 +1,527 @@
+//! The original (greedy, fixed-point) concretizer — the baseline the paper replaces.
+//!
+//! Section III-C of the paper describes the old algorithm's two defects: it is not
+//! *complete* (it makes local decisions, cannot backtrack, and therefore misses solutions
+//! that exist) and not *optimal*. This module reproduces that algorithm and its
+//! characteristic failure modes:
+//!
+//! * variant values are fixed from defaults (or the user's spec) *before* dependencies
+//!   are descended into, so `hpctoolkit ^mpich` fails with "Package hpctoolkit does not
+//!   depend on mpich" (Section V-B1),
+//! * version choices are never revisited, so a later conflict aborts the solve instead of
+//!   backtracking (Section III-C2),
+//! * `conflicts` directives are only checked *after* the solution is computed
+//!   (Section V-B2).
+//!
+//! It is used as the comparison baseline for Fig. 7h.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use spack_repo::Repository;
+use spack_spec::{
+    Compiler, ConcreteNode, ConcreteSpec, DepKind, Spec, VariantValue, Version,
+};
+
+use crate::config::SiteConfig;
+
+/// Errors produced by the greedy concretizer (all of them are "give up" errors — the
+/// algorithm never backtracks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GreedyError {
+    /// The root (or a dependency) names a package that does not exist.
+    UnknownPackage(String),
+    /// A `^dep` constraint was given for a package that never became a dependency —
+    /// the `hpctoolkit ^mpich` failure of Section V-B1.
+    DoesNotDependOn {
+        /// The root package.
+        package: String,
+        /// The constrained dependency that never appeared.
+        dependency: String,
+    },
+    /// No declared version satisfies the accumulated constraints.
+    NoSatisfyingVersion {
+        /// The package whose version could not be chosen.
+        package: String,
+        /// The offending constraint.
+        constraint: String,
+    },
+    /// Constraints acquired after a decision contradict the decision (no backtracking).
+    ConflictingDecision {
+        /// The package whose decided value is contradicted.
+        package: String,
+        /// Description of the contradiction.
+        reason: String,
+    },
+    /// A `conflicts()` directive matched the final solution.
+    ConflictTriggered {
+        /// The package declaring the conflict.
+        package: String,
+        /// The conflicting constraint, rendered as a spec.
+        conflict: String,
+    },
+}
+
+impl fmt::Display for GreedyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GreedyError::UnknownPackage(p) => write!(f, "unknown package {p}"),
+            GreedyError::DoesNotDependOn { package, dependency } => {
+                write!(f, "Package {package} does not depend on {dependency}")
+            }
+            GreedyError::NoSatisfyingVersion { package, constraint } => {
+                write!(f, "no version of {package} satisfies {constraint}")
+            }
+            GreedyError::ConflictingDecision { package, reason } => {
+                write!(f, "cannot satisfy constraint on {package}: {reason}")
+            }
+            GreedyError::ConflictTriggered { package, conflict } => {
+                write!(f, "conflict triggered in {package}: {conflict}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GreedyError {}
+
+/// The result of a greedy concretization.
+#[derive(Debug, Clone)]
+pub struct GreedyResult {
+    /// The concrete DAG.
+    pub spec: ConcreteSpec,
+    /// Wall-clock time spent.
+    pub duration: Duration,
+}
+
+/// The greedy concretizer.
+pub struct GreedyConcretizer<'a> {
+    repo: &'a Repository,
+    site: SiteConfig,
+}
+
+struct NodeState {
+    constraints: Spec,
+    node: Option<ConcreteNode>,
+    deps: Vec<String>,
+}
+
+impl<'a> GreedyConcretizer<'a> {
+    /// Create a greedy concretizer over a repository with a site configuration.
+    pub fn new(repo: &'a Repository, site: SiteConfig) -> Self {
+        GreedyConcretizer { repo, site }
+    }
+
+    /// Concretize a single abstract root spec.
+    pub fn concretize(&self, root: &Spec) -> Result<GreedyResult, GreedyError> {
+        let start = Instant::now();
+        let root_name = root
+            .name
+            .clone()
+            .ok_or_else(|| GreedyError::UnknownPackage("<anonymous>".to_string()))?;
+        if self.repo.get(&root_name).is_none() {
+            return Err(GreedyError::UnknownPackage(root_name));
+        }
+
+        // ^dep constraints from the command line, indexed by package name.
+        let mut cli_constraints: BTreeMap<String, Spec> = BTreeMap::new();
+        for dep in &root.dependencies {
+            if let Some(name) = &dep.name {
+                cli_constraints
+                    .entry(name.clone())
+                    .or_insert_with(Spec::anonymous)
+                    .constrain(dep);
+            }
+        }
+
+        let mut states: BTreeMap<String, NodeState> = BTreeMap::new();
+        let mut queue: VecDeque<String> = VecDeque::new();
+        let mut root_constraints = root.clone();
+        root_constraints.dependencies.clear();
+        states.insert(
+            root_name.clone(),
+            NodeState { constraints: root_constraints, node: None, deps: Vec::new() },
+        );
+        queue.push_back(root_name.clone());
+
+        // Greedy fixed point: decide each package completely the first time it is seen.
+        while let Some(name) = queue.pop_front() {
+            if states.get(&name).map(|s| s.node.is_some()).unwrap_or(false) {
+                continue;
+            }
+            let constraints = states
+                .get(&name)
+                .map(|s| s.constraints.clone())
+                .unwrap_or_else(Spec::anonymous);
+            let (node, deps) = self.decide(&name, &constraints, &cli_constraints)?;
+            for (dep_name, dep_constraint) in &deps {
+                match states.get_mut(dep_name) {
+                    Some(state) => {
+                        // The dependency may already be decided: check instead of
+                        // backtracking.
+                        if let Some(existing) = &state.node {
+                            check_decided(existing, dep_constraint)?;
+                        } else {
+                            state.constraints.constrain(dep_constraint);
+                        }
+                    }
+                    None => {
+                        states.insert(
+                            dep_name.clone(),
+                            NodeState {
+                                constraints: dep_constraint.clone(),
+                                node: None,
+                                deps: Vec::new(),
+                            },
+                        );
+                    }
+                }
+                queue.push_back(dep_name.clone());
+            }
+            let entry = states.get_mut(&name).expect("state exists");
+            entry.node = Some(node);
+            entry.deps = deps.into_iter().map(|(n, _)| n).collect();
+        }
+
+        // The old concretizer's post-hoc checks: every command-line ^dep must actually be
+        // in the DAG, and no conflicts() directive may match.
+        for (dep_name, _) in &cli_constraints {
+            if !states.contains_key(dep_name)
+                && !states
+                    .values()
+                    .any(|s| s.node.as_ref().map(|n| n.provides.contains(dep_name)).unwrap_or(false))
+            {
+                return Err(GreedyError::DoesNotDependOn {
+                    package: root_name,
+                    dependency: dep_name.clone(),
+                });
+            }
+        }
+        let spec = self.assemble(&root_name, &states);
+        self.validate_conflicts(&spec)?;
+
+        Ok(GreedyResult { spec, duration: start.elapsed() })
+    }
+
+    /// Decide every parameter of a package immediately (the greedy step).
+    fn decide(
+        &self,
+        name: &str,
+        constraints: &Spec,
+        cli: &BTreeMap<String, Spec>,
+    ) -> Result<(ConcreteNode, Vec<(String, Spec)>), GreedyError> {
+        let pkg = self
+            .repo
+            .get(name)
+            .ok_or_else(|| GreedyError::UnknownPackage(name.to_string()))?;
+
+        // Version: the newest non-deprecated declared version satisfying the constraints
+        // accumulated *so far*.
+        let mut declared: Vec<_> = pkg.versions.clone();
+        declared.sort_by(|a, b| b.version.cmp(&a.version));
+        let version = declared
+            .iter()
+            .filter(|d| !d.deprecated)
+            .chain(declared.iter().filter(|d| d.deprecated))
+            .find(|d| constraints.versions.satisfies(&d.version))
+            .map(|d| d.version.clone())
+            .ok_or_else(|| GreedyError::NoSatisfyingVersion {
+                package: name.to_string(),
+                constraint: constraints.versions.to_string(),
+            })?;
+
+        // Variants: defaults, overridden by constraints. Decided *now*, before looking at
+        // dependencies — this is the incompleteness the paper discusses.
+        let mut variants: BTreeMap<String, VariantValue> = BTreeMap::new();
+        for v in &pkg.variants {
+            variants.insert(v.name.clone(), v.default.clone());
+        }
+        for (k, v) in &constraints.variants {
+            variants.insert(k.clone(), v.clone());
+        }
+
+        // Compiler, target, OS, platform.
+        let compiler = match &constraints.compiler {
+            Some(cs) => self
+                .site
+                .compilers
+                .iter()
+                .find(|c| cs.satisfied_by(&c.name, &c.version))
+                .cloned()
+                .ok_or_else(|| GreedyError::ConflictingDecision {
+                    package: name.to_string(),
+                    reason: format!("no available compiler satisfies {cs}"),
+                })?,
+            None => self.site.default_compiler().clone(),
+        };
+        let target = match &constraints.target {
+            Some(t) => t.clone(),
+            None => self
+                .site
+                .best_target_for(&compiler)
+                .unwrap_or_else(|| self.site.target_family.clone()),
+        };
+        let os = constraints
+            .os
+            .clone()
+            .unwrap_or_else(|| self.site.default_os().name().to_string());
+        let platform = constraints.platform.unwrap_or(self.site.platform);
+
+        let provisional = ConcreteNode {
+            name: name.to_string(),
+            version: version.clone(),
+            variants: variants.clone(),
+            compiler: compiler.clone(),
+            os,
+            platform,
+            target,
+            deps: Vec::new(),
+            provides: pkg
+                .provides
+                .iter()
+                .filter(|p| spec_matches_node_basics(&p.when, &version, &variants, &compiler))
+                .map(|p| p.virtual_name.clone())
+                .collect(),
+        };
+
+        // Dependencies whose `when` condition matches the *already decided* node.
+        let mut deps: Vec<(String, Spec)> = Vec::new();
+        for dep in &pkg.dependencies {
+            if !spec_matches_node_basics(&dep.when, &version, &variants, &compiler) {
+                continue;
+            }
+            let dep_name = dep.spec.name.clone().expect("named dependency");
+            let mut dep_constraint = dep.spec.clone();
+            // Resolve virtuals greedily: a command-line ^provider wins, otherwise the
+            // first registered provider.
+            let resolved = if self.repo.is_virtual(&dep_name) {
+                let from_cli = cli
+                    .keys()
+                    .find(|candidate| self.repo.providers(&dep_name).contains(candidate))
+                    .cloned();
+                let provider = from_cli
+                    .or_else(|| self.repo.providers(&dep_name).first().cloned())
+                    .ok_or_else(|| GreedyError::UnknownPackage(dep_name.clone()))?;
+                dep_constraint.name = Some(provider.clone());
+                provider
+            } else {
+                dep_name.clone()
+            };
+            // Merge in command-line constraints for this package.
+            if let Some(extra) = cli.get(&resolved) {
+                dep_constraint.constrain(extra);
+            }
+            deps.push((resolved, dep_constraint));
+        }
+        Ok((provisional, deps))
+    }
+
+    fn assemble(&self, root: &str, states: &BTreeMap<String, NodeState>) -> ConcreteSpec {
+        let names: Vec<&String> = states.keys().collect();
+        let index: BTreeMap<&str, usize> =
+            names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let mut nodes: Vec<ConcreteNode> = Vec::new();
+        for name in &names {
+            let state = &states[name.as_str()];
+            let mut node = state.node.clone().expect("decided");
+            for dep in &state.deps {
+                if let Some(&i) = index.get(dep.as_str()) {
+                    node.deps.push((i, DepKind::All));
+                }
+            }
+            nodes.push(node);
+        }
+        let roots = index.get(root).map(|&i| vec![i]).unwrap_or_default();
+        ConcreteSpec { nodes, roots }
+    }
+
+    /// Post-hoc conflict validation (Section V-B2: the old concretizer only used
+    /// conflicts to validate an already-computed solution).
+    fn validate_conflicts(&self, spec: &ConcreteSpec) -> Result<(), GreedyError> {
+        for (i, node) in spec.nodes.iter().enumerate() {
+            let pkg = match self.repo.get(&node.name) {
+                Some(p) => p,
+                None => continue,
+            };
+            for conflict in &pkg.conflicts {
+                let when_matches =
+                    conflict.when.is_empty() || spec.node_satisfies(i, &anonymous_on(&conflict.when));
+                // The node's own constraints are matched against the node; `^dep` pieces
+                // of the conflict are matched against the whole DAG (the same semantics
+                // the ASP encoding uses for conflict requirements).
+                let mut own = conflict.spec.clone();
+                let dep_pieces = std::mem::take(&mut own.dependencies);
+                let mut conflict_matches = spec.node_satisfies(i, &anonymous_on(&own));
+                for piece in &dep_pieces {
+                    conflict_matches = conflict_matches
+                        && (0..spec.nodes.len()).any(|j| spec.node_satisfies(j, piece));
+                }
+                if when_matches && conflict_matches {
+                    return Err(GreedyError::ConflictTriggered {
+                        package: node.name.clone(),
+                        conflict: conflict.spec.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Check a newly acquired constraint against an already-decided node. The greedy
+/// algorithm cannot revisit decisions, so any mismatch is a hard error.
+fn check_decided(node: &ConcreteNode, constraint: &Spec) -> Result<(), GreedyError> {
+    if !constraint.versions.is_any() && !constraint.versions.satisfies(&node.version) {
+        return Err(GreedyError::ConflictingDecision {
+            package: node.name.clone(),
+            reason: format!(
+                "version already fixed to {} but @{} is now required",
+                node.version, constraint.versions
+            ),
+        });
+    }
+    for (k, v) in &constraint.variants {
+        if let Some(existing) = node.variants.get(k) {
+            if existing != v {
+                return Err(GreedyError::ConflictingDecision {
+                    package: node.name.clone(),
+                    reason: format!("variant {k} already fixed to {existing} but {v} is required"),
+                });
+            }
+        }
+    }
+    if let Some(cs) = &constraint.compiler {
+        if !cs.satisfied_by(&node.compiler.name, &node.compiler.version) {
+            return Err(GreedyError::ConflictingDecision {
+                package: node.name.clone(),
+                reason: format!(
+                    "compiler already fixed to {} but {cs} is required",
+                    node.compiler
+                ),
+            });
+        }
+    }
+    if let Some(t) = &constraint.target {
+        if t != &node.target {
+            return Err(GreedyError::ConflictingDecision {
+                package: node.name.clone(),
+                reason: format!("target already fixed to {} but {t} is required", node.target),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Treat a (possibly named) constraint spec as an anonymous constraint on the node it is
+/// being checked against.
+fn anonymous_on(spec: &Spec) -> Spec {
+    let mut s = spec.clone();
+    if s.dependencies.is_empty() {
+        s.name = None;
+    }
+    s
+}
+
+/// Does a `when=` spec match an already-decided node (version, variants, compiler)?
+fn spec_matches_node_basics(
+    when: &Spec,
+    version: &Version,
+    variants: &BTreeMap<String, VariantValue>,
+    compiler: &Compiler,
+) -> bool {
+    if !when.versions.is_any() && !when.versions.satisfies(version) {
+        return false;
+    }
+    for (k, v) in &when.variants {
+        if variants.get(k) != Some(v) {
+            return false;
+        }
+    }
+    if let Some(cs) = &when.compiler {
+        if !cs.satisfied_by(&compiler.name, &compiler.version) {
+            return false;
+        }
+    }
+    // Dependency pieces of `when` (e.g. `^openblas`) cannot be evaluated before the DAG
+    // exists; the greedy algorithm simply ignores them — another source of
+    // incompleteness noted in Section V-B3.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_repo::builtin_repo;
+    use spack_spec::parse_spec;
+
+    fn greedy(spec: &str) -> Result<GreedyResult, GreedyError> {
+        let repo = builtin_repo();
+        let site = SiteConfig::quartz();
+        GreedyConcretizer::new(&repo, site).concretize(&parse_spec(spec).unwrap())
+    }
+
+    #[test]
+    fn simple_package_concretizes() {
+        let result = greedy("zlib").unwrap();
+        assert_eq!(result.spec.len(), 1);
+        let zlib = result.spec.node("zlib").unwrap();
+        assert_eq!(zlib.version.to_string(), "1.2.12");
+        assert_eq!(zlib.compiler.name, "gcc");
+    }
+
+    #[test]
+    fn dependencies_and_virtuals_are_expanded() {
+        let result = greedy("hdf5").unwrap();
+        assert!(result.spec.contains("zlib"));
+        assert!(result.spec.contains("cmake"));
+        // The mpi virtual resolves to the first registered provider.
+        let repo = builtin_repo();
+        let first_provider = repo.providers("mpi")[0].clone();
+        assert!(result.spec.contains(&first_provider));
+    }
+
+    #[test]
+    fn hpctoolkit_mpich_fails_like_the_old_concretizer() {
+        // Section V-B1: the greedy algorithm sets the default (false) value of the mpi
+        // variant before descending, so mpich never becomes a dependency.
+        let err = greedy("hpctoolkit ^mpich").unwrap_err();
+        assert_eq!(
+            err,
+            GreedyError::DoesNotDependOn {
+                package: "hpctoolkit".to_string(),
+                dependency: "mpich".to_string()
+            }
+        );
+        assert!(err.to_string().contains("does not depend on mpich"));
+    }
+
+    #[test]
+    fn overconstrained_workaround_succeeds() {
+        // The user workaround from the paper: explicitly set +mpi.
+        let result = greedy("hpctoolkit+mpi ^mpich").unwrap();
+        assert!(result.spec.contains("mpich"));
+        let hpctoolkit = result.spec.node("hpctoolkit").unwrap();
+        assert_eq!(hpctoolkit.variants.get("mpi"), Some(&VariantValue::Bool(true)));
+    }
+
+    #[test]
+    fn version_constraints_are_respected_when_known_up_front() {
+        let result = greedy("hdf5@1.10.2").unwrap();
+        assert_eq!(result.spec.node("hdf5").unwrap().version.to_string(), "1.10.2");
+        let err = greedy("hdf5@9.9").unwrap_err();
+        assert!(matches!(err, GreedyError::NoSatisfyingVersion { .. }));
+    }
+
+    #[test]
+    fn conflicts_are_only_validated_after_the_fact() {
+        // example conflicts with %intel: the greedy algorithm happily decides %intel and
+        // only notices at validation time.
+        let err = greedy("example%intel").unwrap_err();
+        assert!(matches!(err, GreedyError::ConflictTriggered { .. }));
+    }
+
+    #[test]
+    fn unknown_package_is_reported() {
+        assert!(matches!(greedy("nonexistent"), Err(GreedyError::UnknownPackage(_))));
+    }
+}

@@ -1,0 +1,322 @@
+//! The ASP-based concretizer — the primary contribution of *Using Answer Set Programming
+//! for HPC Dependency Solving* (SC'22), reproduced in Rust.
+//!
+//! The concretizer turns abstract specs (user requests such as `hdf5@1.10.2 +mpi
+//! ^zlib@1.2.8:`) into concrete installation DAGs, considering every package recipe's
+//! versions, variants, conditional dependencies, virtual providers, conflicts, the site's
+//! compilers/OS/targets, and — optionally — the database of already-installed packages
+//! for build reuse. It follows the pipeline of Section V of the paper:
+//!
+//! 1. **Setup** ([`facts`]) — generate facts for all possible dependencies and installed
+//!    packages (10k–100k facts for realistic instances),
+//! 2. **Load** — the declarative software model, `concretize.lp` ([`CONCRETIZE_LP`]),
+//! 3. **Ground & solve** — delegated to the [`asp`] engine (the clingo substitute),
+//!    optimizing the 15 criteria of Table II ([`criteria`]) with the build/reuse buckets
+//!    of Fig. 5,
+//! 4. **Extract** ([`extract`]) — build the optimal concrete DAG from the best model.
+//!
+//! The old greedy concretizer the paper compares against is in [`greedy`].
+//!
+//! # Example
+//!
+//! ```
+//! use spack_concretizer::Concretizer;
+//! use spack_repo::builtin_repo;
+//!
+//! let repo = builtin_repo();
+//! let result = Concretizer::new(&repo).concretize_str("zlib@1.2.11").unwrap();
+//! assert_eq!(result.spec.node("zlib").unwrap().version.to_string(), "1.2.11");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod criteria;
+pub mod extract;
+pub mod facts;
+pub mod greedy;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use asp::{SolveOutcome, SolverConfig};
+use spack_repo::Repository;
+use spack_spec::{parse_spec, ConcreteSpec, Spec};
+use spack_store::Database;
+
+pub use config::SiteConfig;
+pub use criteria::{criterion, describe_priority, Criterion, CRITERIA};
+pub use extract::Extraction;
+pub use facts::{setup_problem, FactBuilder, SetupInfo};
+pub use greedy::{GreedyConcretizer, GreedyError, GreedyResult};
+
+/// The concretization logic program (the analogue of the ~800-line ASP program the paper
+/// describes in Section V).
+pub const CONCRETIZE_LP: &str = include_str!("logic/concretize.lp");
+
+/// Errors produced by the concretizer.
+#[derive(Debug)]
+pub enum ConcretizeError {
+    /// A root spec or dependency references a package that is not in the repository.
+    UnknownPackage(String),
+    /// Fact generation failed.
+    Setup(String),
+    /// The constraints admit no valid solution.
+    Unsatisfiable,
+    /// The solver failed.
+    Solver(asp::AspError),
+    /// The model could not be converted back into a concrete spec.
+    Extraction(String),
+}
+
+impl fmt::Display for ConcretizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcretizeError::UnknownPackage(p) => write!(f, "unknown package: {p}"),
+            ConcretizeError::Setup(m) => write!(f, "setup error: {m}"),
+            ConcretizeError::Unsatisfiable => write!(f, "no valid configuration exists"),
+            ConcretizeError::Solver(e) => write!(f, "solver error: {e}"),
+            ConcretizeError::Extraction(m) => write!(f, "extraction error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConcretizeError {}
+
+impl From<asp::AspError> for ConcretizeError {
+    fn from(e: asp::AspError) -> Self {
+        ConcretizeError::Solver(e)
+    }
+}
+
+/// Wall-clock timings of the concretization phases, matching the instrumentation of
+/// Section VII (setup, load, ground, solve).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Fact generation.
+    pub setup: Duration,
+    /// Parsing the logic program.
+    pub load: Duration,
+    /// Grounding.
+    pub ground: Duration,
+    /// Solving (including optimization).
+    pub solve: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.setup + self.load + self.ground + self.solve
+    }
+}
+
+/// The result of a successful concretization.
+#[derive(Debug, Clone)]
+pub struct Concretization {
+    /// The optimal concrete DAG.
+    pub spec: ConcreteSpec,
+    /// Packages reused from the installed database, as `(package, hash)`.
+    pub reused: Vec<(String, String)>,
+    /// Packages that must be built from source.
+    pub built: Vec<String>,
+    /// The objective vector: `(priority, value)`, highest priority first.
+    pub cost: Vec<(i64, i64)>,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+    /// Problem-instance summary (possible packages, facts, conditions, installed).
+    pub setup: SetupInfo,
+    /// Solver statistics.
+    pub stats: asp::Stats,
+}
+
+impl Concretization {
+    /// The number of packages that will be built from source.
+    pub fn build_count(&self) -> usize {
+        self.built.len()
+    }
+
+    /// The number of packages reused from the store/buildcache.
+    pub fn reuse_count(&self) -> usize {
+        self.reused.len()
+    }
+}
+
+/// The ASP-based concretizer.
+pub struct Concretizer<'a> {
+    repo: &'a Repository,
+    site: SiteConfig,
+    database: Option<&'a Database>,
+    solver: SolverConfig,
+}
+
+impl<'a> Concretizer<'a> {
+    /// Create a concretizer over a repository with the default (Quartz-like) site
+    /// configuration and no installed-package reuse.
+    pub fn new(repo: &'a Repository) -> Self {
+        Concretizer {
+            repo,
+            site: SiteConfig::default(),
+            database: None,
+            solver: SolverConfig::default(),
+        }
+    }
+
+    /// Use a specific site configuration.
+    pub fn with_site(mut self, site: SiteConfig) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// Enable reuse of the given installed-package database / buildcache (Section VI).
+    pub fn with_database(mut self, database: &'a Database) -> Self {
+        self.database = Some(database);
+        self
+    }
+
+    /// Use a specific solver configuration (preset, strategy, seed).
+    pub fn with_solver_config(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The site configuration in use.
+    pub fn site(&self) -> &SiteConfig {
+        &self.site
+    }
+
+    /// Concretize a single spec given as text.
+    pub fn concretize_str(&self, text: &str) -> Result<Concretization, ConcretizeError> {
+        let spec = parse_spec(text).map_err(|e| ConcretizeError::Setup(e.to_string()))?;
+        self.concretize(&[spec])
+    }
+
+    /// Concretize one or more abstract root specs into a single concrete DAG.
+    pub fn concretize(&self, roots: &[Spec]) -> Result<Concretization, ConcretizeError> {
+        if roots.is_empty() {
+            return Err(ConcretizeError::Setup("at least one root spec is required".into()));
+        }
+        // Phase 1: setup (fact generation).
+        let setup_start = Instant::now();
+        let (mut ctl, setup_info) =
+            setup_problem(self.repo, &self.site, self.database, roots, self.solver.clone())?;
+        let setup_time = setup_start.elapsed();
+
+        // Phase 2: load the logic program.
+        ctl.add_program(CONCRETIZE_LP)?;
+
+        // Phases 3 and 4: ground and solve.
+        ctl.ground()?;
+        let outcome = ctl.solve()?;
+
+        let stats = ctl.stats().clone();
+        let timings = PhaseTimings {
+            setup: setup_time,
+            load: stats.load_time,
+            ground: stats.ground_time,
+            solve: stats.solve_time,
+        };
+
+        match outcome {
+            SolveOutcome::Unsatisfiable => Err(ConcretizeError::Unsatisfiable),
+            SolveOutcome::Optimal { model, cost } => {
+                let root_names: Vec<String> = roots.iter().filter_map(|r| r.name.clone()).collect();
+                let extraction = extract::extract(&model, &root_names)?;
+                // Sanity check: every named (non-virtual) root must be present.
+                for root in roots {
+                    if let Some(name) = &root.name {
+                        if !self.repo.is_virtual(name) && !extraction.spec.contains(name) {
+                            return Err(ConcretizeError::Extraction(format!(
+                                "root {name} missing from the solution"
+                            )));
+                        }
+                    }
+                }
+                Ok(Concretization {
+                    spec: extraction.spec,
+                    reused: extraction.reused,
+                    built: extraction.built,
+                    cost,
+                    timings,
+                    setup: setup_info,
+                    stats,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_repo::builtin_repo;
+    use spack_spec::VariantValue;
+
+    fn concretize(text: &str) -> Result<Concretization, ConcretizeError> {
+        let repo = builtin_repo();
+        Concretizer::new(&repo)
+            .with_site(SiteConfig::minimal())
+            .concretize_str(text)
+    }
+
+    #[test]
+    fn zlib_concretizes_to_newest_version() {
+        let result = concretize("zlib").unwrap();
+        assert_eq!(result.spec.len(), 1);
+        let zlib = result.spec.node("zlib").unwrap();
+        assert_eq!(zlib.version.to_string(), "1.2.12");
+        assert_eq!(zlib.compiler.name, "gcc");
+        assert_eq!(zlib.os, "centos8");
+        assert_eq!(result.built, vec!["zlib".to_string()]);
+        assert!(result.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn version_constraints_are_honoured() {
+        let result = concretize("zlib@1.2.8").unwrap();
+        assert_eq!(result.spec.node("zlib").unwrap().version.to_string(), "1.2.8");
+    }
+
+    #[test]
+    fn unsatisfiable_version_is_reported() {
+        let err = concretize("zlib@9.9").unwrap_err();
+        assert!(matches!(err, ConcretizeError::Unsatisfiable), "{err}");
+    }
+
+    #[test]
+    fn conditional_dependency_follows_variant() {
+        // bzip2 is only a dependency of example when +bzip (the default) is on.
+        let with = concretize("example").unwrap();
+        assert!(with.spec.contains("bzip2"));
+        let without = concretize("example~bzip").unwrap();
+        assert!(!without.spec.contains("bzip2"));
+        assert_eq!(
+            without.spec.node("example").unwrap().variants.get("bzip"),
+            Some(&VariantValue::Bool(false))
+        );
+    }
+
+    #[test]
+    fn virtual_dependencies_get_exactly_one_provider() {
+        let repo = builtin_repo();
+        let result = concretize("example").unwrap();
+        let providers: Vec<&str> = repo
+            .providers("mpi")
+            .iter()
+            .map(|s| s.as_str())
+            .filter(|p| result.spec.contains(p))
+            .collect();
+        assert_eq!(providers.len(), 1, "exactly one mpi provider expected: {providers:?}");
+        let provider_node = result.spec.node(providers[0]).unwrap();
+        assert!(provider_node.provides.contains(&"mpi".to_string()));
+    }
+
+    #[test]
+    fn hpctoolkit_mpich_is_solved_by_flipping_the_variant() {
+        // The completeness example of Section V-B1: the ASP concretizer finds that
+        // setting +mpi is the only way for mpich to be in the solution.
+        let result = concretize("hpctoolkit ^mpich").unwrap();
+        assert!(result.spec.contains("mpich"));
+        let hpctoolkit = result.spec.node("hpctoolkit").unwrap();
+        assert_eq!(hpctoolkit.variants.get("mpi"), Some(&VariantValue::Bool(true)));
+    }
+}

@@ -1,0 +1,447 @@
+//! Curated built-in package recipes.
+//!
+//! These recipes model the packages the paper uses as running examples (the `example`
+//! package of Fig. 2, `hpctoolkit` and `berkeleygw` from Section V-B, the
+//! `mpileaks`/`callpath`/`dyninst` DAG of Fig. 4, the `hdf5` build of Fig. 6, and the
+//! `cmake`/`openssl` pair used to motivate the split reuse criteria in Section VI), plus
+//! enough of a realistic HPC software stack around them — MPI and LAPACK virtuals with
+//! several providers, build tools, and common low-level libraries — to exercise the
+//! concretizer the way a real repository does. Version numbers and constraints follow the
+//! real Spack recipes in spirit but are trimmed to what the reproduction needs.
+
+use crate::package::{PackageBuilder, PackageDef};
+use crate::repo::Repository;
+
+/// The `example` package of Fig. 2.
+pub fn example_package() -> PackageDef {
+    PackageBuilder::new("example")
+        .version("1.1.0")
+        .version("1.0.0")
+        .variant_bool("bzip", true, "enable bzip")
+        .depends_on_when("bzip2@1.0.7:", "+bzip")
+        .depends_on("zlib")
+        .depends_on_when("zlib@1.2.8:", "@1.1.0:")
+        .depends_on("mpi")
+        .conflicts("%intel")
+        .conflicts("target=aarch64")
+        .build()
+}
+
+/// Build the full curated repository.
+pub fn builtin_repo() -> Repository {
+    let mut repo = Repository::new();
+
+    // ---- low-level libraries ----------------------------------------------------------
+    repo.add_all([
+        PackageBuilder::new("zlib")
+            .version("1.2.12")
+            .version("1.2.11")
+            .version("1.2.8")
+            .variant_bool("pic", true, "position independent code")
+            .variant_bool("shared", true, "build shared libraries")
+            .build(),
+        PackageBuilder::new("bzip2")
+            .version("1.0.8")
+            .version("1.0.7")
+            .version_deprecated("1.0.6")
+            .variant_bool("shared", true, "build shared libraries")
+            .depends_on("diffutils")
+            .build(),
+        PackageBuilder::new("xz")
+            .version("5.2.5")
+            .version("5.2.4")
+            .variant_bool("pic", false, "position independent code")
+            .build(),
+        PackageBuilder::new("zstd")
+            .version("1.5.2")
+            .version("1.4.9")
+            .build(),
+        PackageBuilder::new("libiconv").version("1.16").build(),
+        PackageBuilder::new("libxml2")
+            .version("2.9.13")
+            .version("2.9.12")
+            .depends_on("libiconv")
+            .depends_on("xz")
+            .depends_on("zlib@1.2.8:")
+            .build(),
+        PackageBuilder::new("libffi").version("3.4.2").version("3.3").build(),
+        PackageBuilder::new("ncurses")
+            .version("6.3")
+            .version("6.2")
+            .variant_bool("termlib", true, "build tinfo as separate library")
+            .build(),
+        PackageBuilder::new("readline").version("8.1").depends_on("ncurses@6:").build(),
+        PackageBuilder::new("gdbm").version("1.21").depends_on("readline").build(),
+        PackageBuilder::new("sqlite")
+            .version("3.38.5")
+            .version("3.37.2")
+            .depends_on("readline")
+            .depends_on("zlib")
+            .build(),
+        PackageBuilder::new("util-linux-uuid").version("2.37.4").build(),
+        PackageBuilder::new("libpciaccess").version("0.16").build(),
+        PackageBuilder::new("hwloc")
+            .version("2.7.1")
+            .version("2.6.0")
+            .variant_bool("libxml2", true, "use libxml2 for XML support")
+            .depends_on("libpciaccess")
+            .depends_on_when("libxml2", "+libxml2")
+            .build(),
+        PackageBuilder::new("libelf").version("0.8.13").build(),
+        PackageBuilder::new("libdwarf")
+            .version("20180129")
+            .depends_on("libelf")
+            .depends_on("zlib")
+            .build(),
+        PackageBuilder::new("libsigsegv").version("2.13").build(),
+        PackageBuilder::new("diffutils").version("3.8").depends_on("libiconv").build(),
+        PackageBuilder::new("pkgconf").version("1.8.0").version("1.7.4").build(),
+        PackageBuilder::new("expat").version("2.4.8").version("2.4.1").build(),
+        PackageBuilder::new("libbsd").version("0.11.5").build(),
+        PackageBuilder::new("libmd").version("1.0.4").build(),
+        PackageBuilder::new("gettext")
+            .version("0.21")
+            .depends_on("libiconv")
+            .depends_on("libxml2")
+            .depends_on("ncurses")
+            .build(),
+        PackageBuilder::new("tar").version("1.34").depends_on("libiconv").build(),
+        PackageBuilder::new("curl")
+            .version("7.83.0")
+            .version("7.80.0")
+            .variant_values("tls", "openssl", &["openssl", "mbedtls"])
+            .depends_on_when("openssl", "tls=openssl")
+            .depends_on_when("mbedtls", "tls=mbedtls")
+            .depends_on("zlib")
+            .build(),
+        PackageBuilder::new("mbedtls").version("3.1.0").version("2.28.0").build(),
+        PackageBuilder::new("openssl")
+            .version("1.1.1q")
+            .version("1.1.1k")
+            .version_deprecated("1.0.2u")
+            .variant_bool("shared", true, "build shared libraries")
+            .depends_on("zlib")
+            .depends_on("perl@5.14.0:")
+            .build(),
+        PackageBuilder::new("perl")
+            .version("5.34.1")
+            .version("5.34.0")
+            .variant_bool("threads", true, "enable ithreads")
+            .depends_on("gdbm")
+            .depends_on("berkeley-db")
+            .build(),
+        PackageBuilder::new("berkeley-db").version("18.1.40").build(),
+        PackageBuilder::new("m4")
+            .version("1.4.19")
+            .depends_on("libsigsegv")
+            .build(),
+        PackageBuilder::new("libtool").version("2.4.7").depends_on("m4").build(),
+        PackageBuilder::new("autoconf").version("2.71").version("2.69").depends_on("m4").depends_on("perl").build(),
+        PackageBuilder::new("automake").version("1.16.5").depends_on("autoconf").depends_on("perl").build(),
+        PackageBuilder::new("gmake").version("4.3").build(),
+        PackageBuilder::new("python")
+            .version("3.10.4")
+            .version("3.9.12")
+            .version("3.8.13")
+            .variant_bool("ssl", true, "build the ssl module")
+            .depends_on("libffi")
+            .depends_on("expat")
+            .depends_on("sqlite")
+            .depends_on("zlib")
+            .depends_on("xz")
+            .depends_on("readline")
+            .depends_on_when("openssl", "+ssl")
+            .build(),
+    ]);
+
+    // ---- build tools --------------------------------------------------------------------
+    repo.add_all([
+        // The paper's Section VI example: a cmake built purely to minimize new builds
+        // would drop openssl (and thus networking); the ssl variant defaults to true.
+        PackageBuilder::new("cmake")
+            .version("3.23.1")
+            .version("3.21.4")
+            .version("3.21.1")
+            .version("3.20.2")
+            .variant_bool("ssl", true, "build with SSL/networking support")
+            .variant_bool("ncurses", true, "build the curses GUI")
+            .depends_on_when("openssl", "+ssl")
+            .depends_on_when("ncurses", "+ncurses")
+            .depends_on("zlib")
+            .build(),
+        PackageBuilder::new("ninja").version("1.10.2").depends_on("python").build(),
+        PackageBuilder::new("flex").version("2.6.4").depends_on("m4").build(),
+        PackageBuilder::new("bison").version("3.8.2").depends_on("m4").depends_on("diffutils").build(),
+    ]);
+
+    // ---- MPI virtual and providers -----------------------------------------------------
+    repo.add_all([
+        PackageBuilder::new("mpich")
+            .version("4.0.2")
+            .version("3.4.2")
+            .version("3.1")
+            .variant_values("pmi", "pmi", &["pmi", "pmi2", "pmix"])
+            .variant_values("device", "ch4", &["ch3", "ch4"])
+            .provides("mpi")
+            .depends_on("pkgconf")
+            .depends_on("hwloc")
+            .depends_on_when("libxml2", "device=ch4")
+            // Known failure used in the completeness discussion of Section III-C2.
+            .conflicts_when("^bzip2@1.0.7", "@3.1")
+            .build(),
+        PackageBuilder::new("openmpi")
+            .version("4.1.3")
+            .version("4.1.1")
+            .version("3.1.6")
+            .variant_bool("cuda", false, "CUDA support")
+            .provides("mpi")
+            .depends_on("hwloc")
+            .depends_on("zlib")
+            .depends_on("openssl")
+            .depends_on_when("cuda", "+cuda")
+            .build(),
+        PackageBuilder::new("mvapich2")
+            .version("2.3.7")
+            .provides("mpi")
+            .depends_on("bison")
+            .depends_on("libpciaccess")
+            .conflicts("%clang")
+            .build(),
+        PackageBuilder::new("cuda")
+            .version("11.6.2")
+            .version("11.4.2")
+            .conflicts("target=aarch64")
+            .build(),
+    ]);
+
+    // ---- BLAS/LAPACK virtuals and providers ---------------------------------------------
+    repo.add_all([
+        PackageBuilder::new("openblas")
+            .version("0.3.20")
+            .version("0.3.18")
+            .variant_values("threads", "none", &["none", "openmp", "pthreads"])
+            .variant_bool("shared", true, "build shared libraries")
+            .provides("blas")
+            .provides("lapack")
+            .depends_on("perl")
+            .build(),
+        PackageBuilder::new("netlib-lapack")
+            .version("3.10.1")
+            .version("3.9.1")
+            .provides("lapack")
+            .provides("blas")
+            .depends_on("cmake")
+            .build(),
+        PackageBuilder::new("intel-mkl")
+            .version("2020.4.304")
+            .provides("blas")
+            .provides("lapack")
+            .conflicts("target=aarch64")
+            .conflicts("%clang")
+            .build(),
+    ]);
+
+    // ---- the paper's example packages ----------------------------------------------------
+    repo.add_all([
+        example_package(),
+        // Section V-B1: conditional dependency on mpi behind a default-false variant.
+        PackageBuilder::new("hpctoolkit")
+            .version("2022.04.15")
+            .version("2021.10.15")
+            .variant_bool("mpi", false, "build the MPI tool")
+            .variant_bool("papi", true, "use PAPI hardware counters")
+            .depends_on_when("mpi", "+mpi")
+            .depends_on_when("papi", "+papi")
+            .depends_on("boost")
+            .depends_on("dyninst@10:")
+            .depends_on("libelf")
+            .depends_on("libxml2")
+            .depends_on("zlib")
+            .build(),
+        // Section V-B3: a constraint on a specific provider of a virtual.
+        PackageBuilder::new("berkeleygw")
+            .version("3.0.1")
+            .version("2.1")
+            .variant_bool("openmp", true, "build with OpenMP support")
+            .depends_on("lapack")
+            .depends_on("mpi")
+            .depends_on("fftw")
+            .depends_on_when("openblas threads=openmp", "+openmp ^openblas")
+            .depends_on_when("fftw+openmp", "+openmp")
+            .build(),
+        PackageBuilder::new("fftw")
+            .version("3.3.10")
+            .version("3.3.9")
+            .variant_bool("mpi", true, "enable MPI")
+            .variant_bool("openmp", false, "enable OpenMP")
+            .depends_on_when("mpi", "+mpi")
+            .build(),
+        PackageBuilder::new("papi")
+            .version("6.0.0.1")
+            .version("5.7.0")
+            .build(),
+        PackageBuilder::new("boost")
+            .version("1.79.0")
+            .version("1.78.0")
+            .version("1.76.0")
+            .variant_bool("shared", true, "build shared libraries")
+            .variant_bool("multithreaded", true, "multi-threaded variants")
+            .depends_on("bzip2")
+            .depends_on("zlib")
+            .depends_on("zstd")
+            .depends_on("xz")
+            .build(),
+        PackageBuilder::new("dyninst")
+            .version("12.1.0")
+            .version("11.0.1")
+            .version("10.2.1")
+            .depends_on("boost@1.70.0:")
+            .depends_on("libelf")
+            .depends_on("libdwarf")
+            .depends_on("intel-tbb")
+            .depends_on_when("cmake", "@11:")
+            .conflicts("%intel")
+            .build(),
+        PackageBuilder::new("intel-tbb").version("2021.6.0").version("2020.3").build(),
+        // Fig. 4 DAG: mpileaks -> callpath, mpi; callpath -> dyninst, mpi; dyninst -> libdwarf, libelf.
+        PackageBuilder::new("mpileaks")
+            .version("1.0")
+            .depends_on("mpi")
+            .depends_on("callpath")
+            .depends_on("adept-utils")
+            .build(),
+        PackageBuilder::new("callpath")
+            .version("1.0.4")
+            .depends_on("mpi")
+            .depends_on("dyninst")
+            .depends_on("libelf")
+            .build(),
+        PackageBuilder::new("adept-utils")
+            .version("1.0.1")
+            .depends_on("boost")
+            .depends_on("mpi")
+            .build(),
+        // Fig. 6: the hdf5 build used for the reuse comparison.
+        PackageBuilder::new("hdf5")
+            .version("1.13.1")
+            .version("1.12.1")
+            .version("1.10.8")
+            .version("1.10.2")
+            .version_deprecated("1.8.22")
+            .variant_bool("mpi", true, "enable parallel HDF5")
+            .variant_bool("shared", true, "build shared libraries")
+            .variant_bool("fortran", false, "build the Fortran interface")
+            .variant_values("api", "default", &["default", "v18", "v110", "v112"])
+            .depends_on("zlib@1.2.5:")
+            .depends_on("cmake")
+            .depends_on("pkgconf")
+            .depends_on_when("mpi", "+mpi")
+            .conflicts_when("api=v112", "@:1.10")
+            .build(),
+        PackageBuilder::new("netcdf-c")
+            .version("4.8.1")
+            .variant_bool("mpi", true, "enable parallel I/O")
+            .depends_on("hdf5+mpi")
+            .depends_on("curl")
+            .depends_on_when("mpi", "+mpi")
+            .build(),
+        PackageBuilder::new("petsc")
+            .version("3.17.1")
+            .version("3.16.6")
+            .variant_bool("hypre", true, "enable hypre preconditioners")
+            .variant_bool("hdf5", true, "enable HDF5 I/O")
+            .depends_on("mpi")
+            .depends_on("blas")
+            .depends_on("lapack")
+            .depends_on("python")
+            .depends_on_when("hypre", "+hypre")
+            .depends_on_when("hdf5+mpi", "+hdf5")
+            .build(),
+        PackageBuilder::new("hypre")
+            .version("2.24.0")
+            .version("2.23.0")
+            .variant_bool("openmp", false, "enable OpenMP")
+            .depends_on("mpi")
+            .depends_on("blas")
+            .depends_on("lapack")
+            .build(),
+    ]);
+
+    repo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_contains_paper_packages() {
+        let repo = builtin_repo();
+        for name in [
+            "example",
+            "hdf5",
+            "zlib",
+            "mpich",
+            "openmpi",
+            "hpctoolkit",
+            "berkeleygw",
+            "cmake",
+            "openssl",
+            "mpileaks",
+            "callpath",
+            "dyninst",
+            "openblas",
+        ] {
+            assert!(repo.get(name).is_some(), "missing builtin package {name}");
+        }
+        assert!(repo.len() >= 40, "expected a realistic stack, got {} packages", repo.len());
+    }
+
+    #[test]
+    fn virtuals_have_multiple_providers() {
+        let repo = builtin_repo();
+        assert!(repo.is_virtual("mpi"));
+        assert!(repo.providers("mpi").len() >= 3);
+        assert!(repo.is_virtual("lapack"));
+        assert!(repo.providers("lapack").len() >= 3);
+        assert!(repo.is_virtual("blas"));
+    }
+
+    #[test]
+    fn hdf5_possible_dependencies_include_mpi_providers() {
+        let repo = builtin_repo();
+        let deps = repo.possible_dependencies(&["hdf5"]);
+        for name in ["zlib", "cmake", "openssl", "mpi", "mpich", "openmpi"] {
+            assert!(deps.contains(name), "hdf5 should possibly depend on {name}");
+        }
+    }
+
+    #[test]
+    fn possible_dependency_counts_form_two_groups() {
+        // Packages that can reach the mpi virtual have far more possible dependencies
+        // than self-contained leaf packages — the clustering discussed for Fig. 7c.
+        let repo = builtin_repo();
+        let zlib = repo.possible_dependency_count("zlib");
+        let hdf5 = repo.possible_dependency_count("hdf5");
+        let petsc = repo.possible_dependency_count("petsc");
+        assert!(zlib < 5);
+        assert!(hdf5 > 15);
+        assert!(petsc >= hdf5);
+    }
+
+    #[test]
+    fn hpctoolkit_mpi_variant_defaults_false() {
+        let repo = builtin_repo();
+        let pkg = repo.get("hpctoolkit").unwrap();
+        assert_eq!(
+            pkg.variant("mpi").unwrap().default,
+            spack_spec::VariantValue::Bool(false)
+        );
+        let dep = pkg
+            .dependencies
+            .iter()
+            .find(|d| d.spec.name.as_deref() == Some("mpi"))
+            .unwrap();
+        assert!(!dep.when.is_empty(), "mpi dependency must be conditional");
+    }
+}

@@ -1,0 +1,28 @@
+//! Package DSL and repository for the `spack-asp-rs` reproduction.
+//!
+//! This crate provides the package-recipe substrate the paper's concretizer consumes:
+//!
+//! * [`package`] — the metadata directives of a recipe (Fig. 2 of the paper):
+//!   `version`, `variant`, `depends_on(when=)`, `conflicts`, `provides` (virtuals),
+//!   exposed through [`PackageBuilder`],
+//! * [`repo`] — the [`Repository`]: recipes indexed by name plus the virtual-provider
+//!   index and the *possible dependencies* metric used in the evaluation (Fig. 7a–7c),
+//! * [`builtin`] — a curated, realistic stack of ~50 recipes containing every package
+//!   the paper uses as an example,
+//! * [`synth`] — a deterministic generator of E4S-scale synthetic repositories used by
+//!   the benchmark harness (a documented substitution for Spack's 6,000-package
+//!   repository, see DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod package;
+pub mod repo;
+pub mod synth;
+
+pub use builtin::{builtin_repo, example_package};
+pub use package::{
+    Conflict, DependsOn, PackageBuilder, PackageDef, Provides, VariantDef, VersionDecl,
+};
+pub use repo::Repository;
+pub use synth::{e4s_roots, synth_repo, SynthConfig};

@@ -1,0 +1,304 @@
+//! The package DSL: the Rust analogue of Spack's `package.py` directives (Fig. 2).
+//!
+//! A [`PackageDef`] collects the metadata directives of one package recipe:
+//! `version(...)`, `variant(...)`, `depends_on(..., when=...)`, `conflicts(...)`, and
+//! `provides(...)`. The builder API mirrors the DSL closely, so the `example` package of
+//! Fig. 2 is written as:
+//!
+//! ```
+//! use spack_repo::PackageBuilder;
+//!
+//! let example = PackageBuilder::new("example")
+//!     .version("1.1.0")
+//!     .version("1.0.0")
+//!     .variant_bool("bzip", true, "enable bzip")
+//!     .depends_on_when("bzip2@1.0.7:", "+bzip")
+//!     .depends_on("zlib")
+//!     .depends_on_when("zlib@1.2.8:", "@1.1.0:")
+//!     .depends_on("mpi")
+//!     .conflicts("%intel")
+//!     .build();
+//! assert_eq!(example.versions.len(), 2);
+//! ```
+
+use spack_spec::{parse_spec, Spec, VariantValue, Version};
+
+/// A declared version of a package. Preference order is the declaration order: the first
+/// declared version is the most preferred (Spack sorts by version number; recipes here
+/// declare newest-first, as real recipes do).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionDecl {
+    /// The version.
+    pub version: Version,
+    /// True when the version is deprecated (highest-priority criterion in Table II).
+    pub deprecated: bool,
+}
+
+/// A declared variant and its default value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantDef {
+    /// Variant name.
+    pub name: String,
+    /// Default value.
+    pub default: VariantValue,
+    /// Allowed values for multi-valued variants (empty for boolean variants).
+    pub values: Vec<String>,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// A `depends_on(spec, when=condition)` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependsOn {
+    /// Constraint on the dependency (name + any further constraints).
+    pub spec: Spec,
+    /// Condition on the *dependent* under which the dependency exists (anonymous spec).
+    pub when: Spec,
+}
+
+/// A `conflicts(spec, when=condition)` directive: configurations known not to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// The conflicting constraint (anonymous or named spec matched against this package).
+    pub spec: Spec,
+    /// Condition under which the conflict applies.
+    pub when: Spec,
+}
+
+/// A `provides(virtual, when=condition)` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provides {
+    /// The virtual package name (e.g. `mpi`, `lapack`).
+    pub virtual_name: String,
+    /// Constraint on the virtual being provided (e.g. `mpi@3:` — stored as a spec).
+    pub virtual_spec: Spec,
+    /// Condition on the provider under which it provides the virtual.
+    pub when: Spec,
+}
+
+/// A package recipe's metadata: everything the concretizer needs to reason about it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackageDef {
+    /// Package name.
+    pub name: String,
+    /// Declared versions, most preferred first.
+    pub versions: Vec<VersionDecl>,
+    /// Declared variants.
+    pub variants: Vec<VariantDef>,
+    /// Dependency directives.
+    pub dependencies: Vec<DependsOn>,
+    /// Conflict directives.
+    pub conflicts: Vec<Conflict>,
+    /// Virtual packages provided.
+    pub provides: Vec<Provides>,
+}
+
+impl PackageDef {
+    /// Find a variant definition by name.
+    pub fn variant(&self, name: &str) -> Option<&VariantDef> {
+        self.variants.iter().find(|v| v.name == name)
+    }
+
+    /// Preferred (first declared, non-deprecated) version.
+    pub fn preferred_version(&self) -> Option<&Version> {
+        self.versions
+            .iter()
+            .find(|v| !v.deprecated)
+            .or(self.versions.first())
+            .map(|v| &v.version)
+    }
+
+    /// Names of packages (or virtuals) this package may depend on under *some* condition.
+    pub fn possible_dependency_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .dependencies
+            .iter()
+            .filter_map(|d| d.spec.name.as_deref())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Does this package provide the given virtual under some condition?
+    pub fn may_provide(&self, virtual_name: &str) -> bool {
+        self.provides.iter().any(|p| p.virtual_name == virtual_name)
+    }
+}
+
+/// Builder for [`PackageDef`], mirroring the package DSL.
+#[derive(Debug, Clone, Default)]
+pub struct PackageBuilder {
+    def: PackageDef,
+}
+
+impl PackageBuilder {
+    /// Start a recipe for `name`.
+    pub fn new(name: &str) -> Self {
+        PackageBuilder { def: PackageDef { name: name.to_string(), ..Default::default() } }
+    }
+
+    /// Declare a version (newest first, like real recipes).
+    pub fn version(mut self, v: &str) -> Self {
+        self.def.versions.push(VersionDecl { version: Version::new(v), deprecated: false });
+        self
+    }
+
+    /// Declare a deprecated version.
+    pub fn version_deprecated(mut self, v: &str) -> Self {
+        self.def.versions.push(VersionDecl { version: Version::new(v), deprecated: true });
+        self
+    }
+
+    /// Declare a boolean variant with its default.
+    pub fn variant_bool(mut self, name: &str, default: bool, description: &str) -> Self {
+        self.def.variants.push(VariantDef {
+            name: name.to_string(),
+            default: VariantValue::Bool(default),
+            values: Vec::new(),
+            description: description.to_string(),
+        });
+        self
+    }
+
+    /// Declare a multi-valued variant with its default and allowed values.
+    pub fn variant_values(mut self, name: &str, default: &str, values: &[&str]) -> Self {
+        self.def.variants.push(VariantDef {
+            name: name.to_string(),
+            default: VariantValue::Value(default.to_string()),
+            values: values.iter().map(|s| s.to_string()).collect(),
+            description: String::new(),
+        });
+        self
+    }
+
+    /// `depends_on("spec")`
+    pub fn depends_on(self, spec: &str) -> Self {
+        self.depends_on_when(spec, "")
+    }
+
+    /// `depends_on("spec", when="condition")`
+    pub fn depends_on_when(mut self, spec: &str, when: &str) -> Self {
+        let spec = parse_spec(spec).unwrap_or_else(|e| panic!("bad dependency spec '{spec}': {e}"));
+        assert!(spec.name.is_some(), "dependency specs must name a package");
+        let when = parse_spec(when).unwrap_or_else(|e| panic!("bad when= spec '{when}': {e}"));
+        self.def.dependencies.push(DependsOn { spec, when });
+        self
+    }
+
+    /// `conflicts("spec")`
+    pub fn conflicts(self, spec: &str) -> Self {
+        self.conflicts_when(spec, "")
+    }
+
+    /// `conflicts("spec", when="condition")`
+    pub fn conflicts_when(mut self, spec: &str, when: &str) -> Self {
+        let spec = parse_spec(spec).unwrap_or_else(|e| panic!("bad conflict spec '{spec}': {e}"));
+        let when = parse_spec(when).unwrap_or_else(|e| panic!("bad when= spec '{when}': {e}"));
+        self.def.conflicts.push(Conflict { spec, when });
+        self
+    }
+
+    /// `provides("virtual")`
+    pub fn provides(self, virtual_spec: &str) -> Self {
+        self.provides_when(virtual_spec, "")
+    }
+
+    /// `provides("virtual", when="condition")`
+    pub fn provides_when(mut self, virtual_spec: &str, when: &str) -> Self {
+        let vspec = parse_spec(virtual_spec)
+            .unwrap_or_else(|e| panic!("bad provides spec '{virtual_spec}': {e}"));
+        let name = vspec.name.clone().expect("provides() requires a virtual name");
+        let when = parse_spec(when).unwrap_or_else(|e| panic!("bad when= spec '{when}': {e}"));
+        self.def.provides.push(Provides { virtual_name: name, virtual_spec: vspec, when });
+        self
+    }
+
+    /// Finish the recipe.
+    pub fn build(self) -> PackageDef {
+        self.def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_spec::VariantValue;
+
+    fn example() -> PackageDef {
+        // Fig. 2 of the paper.
+        PackageBuilder::new("example")
+            .version("1.1.0")
+            .version("1.0.0")
+            .variant_bool("bzip", true, "enable bzip")
+            .depends_on_when("bzip2@1.0.7:", "+bzip")
+            .depends_on("zlib")
+            .depends_on_when("zlib@1.2.8:", "@1.1.0:")
+            .depends_on("mpi")
+            .conflicts("%intel")
+            .conflicts("target=aarch64")
+            .build()
+    }
+
+    #[test]
+    fn example_package_metadata() {
+        let pkg = example();
+        assert_eq!(pkg.name, "example");
+        assert_eq!(pkg.versions.len(), 2);
+        assert_eq!(pkg.preferred_version().unwrap().to_string(), "1.1.0");
+        assert_eq!(pkg.variant("bzip").unwrap().default, VariantValue::Bool(true));
+        assert_eq!(pkg.dependencies.len(), 4);
+        assert_eq!(pkg.conflicts.len(), 2);
+        assert_eq!(pkg.possible_dependency_names(), vec!["bzip2", "mpi", "zlib"]);
+    }
+
+    #[test]
+    fn conditional_dependency_conditions_are_parsed() {
+        let pkg = example();
+        let bzip_dep = pkg
+            .dependencies
+            .iter()
+            .find(|d| d.spec.name.as_deref() == Some("bzip2"))
+            .unwrap();
+        assert_eq!(bzip_dep.when.variants.get("bzip"), Some(&VariantValue::Bool(true)));
+        let zlib_versioned = pkg
+            .dependencies
+            .iter()
+            .find(|d| d.spec.name.as_deref() == Some("zlib") && !d.spec.versions.is_any())
+            .unwrap();
+        assert!(!zlib_versioned.when.versions.is_any());
+    }
+
+    #[test]
+    fn provides_records_virtuals() {
+        let mpich = PackageBuilder::new("mpich")
+            .version("4.1")
+            .version("3.4.2")
+            .provides("mpi")
+            .build();
+        assert!(mpich.may_provide("mpi"));
+        assert!(!mpich.may_provide("lapack"));
+
+        let openblas = PackageBuilder::new("intel-mkl")
+            .version("2021.4")
+            .provides_when("lapack", "@12.0:")
+            .build();
+        assert!(openblas.may_provide("lapack"));
+        assert!(!openblas.provides[0].when.versions.is_any());
+    }
+
+    #[test]
+    fn deprecated_versions_are_not_preferred() {
+        let pkg = PackageBuilder::new("p")
+            .version_deprecated("2.0.0")
+            .version("1.9.0")
+            .build();
+        assert_eq!(pkg.preferred_version().unwrap().to_string(), "1.9.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency specs must name a package")]
+    fn anonymous_dependency_is_rejected() {
+        let _ = PackageBuilder::new("p").depends_on("+mpi");
+    }
+}

@@ -1,0 +1,179 @@
+//! The package repository: a named collection of package recipes plus the virtual
+//! provider index.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::package::PackageDef;
+
+/// A repository of package recipes, indexed by name, with a virtual-provider index.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    packages: BTreeMap<String, PackageDef>,
+    providers: BTreeMap<String, Vec<String>>,
+}
+
+impl Repository {
+    /// Create an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) a package recipe.
+    pub fn add(&mut self, package: PackageDef) {
+        for p in &package.provides {
+            let entry = self.providers.entry(p.virtual_name.clone()).or_default();
+            if !entry.contains(&package.name) {
+                entry.push(package.name.clone());
+            }
+        }
+        self.packages.insert(package.name.clone(), package);
+    }
+
+    /// Add many recipes.
+    pub fn add_all(&mut self, packages: impl IntoIterator<Item = PackageDef>) {
+        for p in packages {
+            self.add(p);
+        }
+    }
+
+    /// Look up a package by name.
+    pub fn get(&self, name: &str) -> Option<&PackageDef> {
+        self.packages.get(name)
+    }
+
+    /// Number of packages in the repository.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// True when the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// All package names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.packages.keys().map(|s| s.as_str())
+    }
+
+    /// All packages.
+    pub fn packages(&self) -> impl Iterator<Item = &PackageDef> {
+        self.packages.values()
+    }
+
+    /// Is this name a virtual package (i.e. not a real recipe but provided by others)?
+    pub fn is_virtual(&self, name: &str) -> bool {
+        !self.packages.contains_key(name) && self.providers.contains_key(name)
+    }
+
+    /// The packages that may provide a virtual.
+    pub fn providers(&self, virtual_name: &str) -> &[String] {
+        self.providers
+            .get(virtual_name)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All virtual package names.
+    pub fn virtuals(&self) -> impl Iterator<Item = &str> {
+        self.providers.keys().map(|s| s.as_str())
+    }
+
+    /// The set of packages that could possibly appear in a solve rooted at `roots`:
+    /// the transitive closure over every conditional dependency and, for virtual
+    /// dependencies, over every possible provider. This is the "number of possible
+    /// dependencies" metric used on the x-axis of Figures 7a–7c in the paper (it measures
+    /// the size of the problem handed to the solver, not of the solution).
+    pub fn possible_dependencies(&self, roots: &[&str]) -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue: VecDeque<String> = roots.iter().map(|s| s.to_string()).collect();
+        while let Some(name) = queue.pop_front() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            // A virtual expands to all of its providers.
+            if self.is_virtual(&name) {
+                for p in self.providers(&name) {
+                    if !seen.contains(p) {
+                        queue.push_back(p.clone());
+                    }
+                }
+                continue;
+            }
+            if let Some(pkg) = self.packages.get(&name) {
+                for dep in pkg.possible_dependency_names() {
+                    if !seen.contains(dep) {
+                        queue.push_back(dep.to_string());
+                    }
+                }
+            }
+        }
+        seen.remove(&"".to_string());
+        seen
+    }
+
+    /// Convenience: the number of possible dependencies of a single package, excluding
+    /// the package itself.
+    pub fn possible_dependency_count(&self, package: &str) -> usize {
+        let deps = self.possible_dependencies(&[package]);
+        deps.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageBuilder;
+
+    fn sample_repo() -> Repository {
+        let mut repo = Repository::new();
+        repo.add(
+            PackageBuilder::new("hdf5")
+                .version("1.12.1")
+                .version("1.10.2")
+                .variant_bool("mpi", true, "enable MPI")
+                .depends_on("zlib")
+                .depends_on_when("mpi", "+mpi")
+                .build(),
+        );
+        repo.add(PackageBuilder::new("zlib").version("1.2.11").build());
+        repo.add(PackageBuilder::new("mpich").version("3.4.2").provides("mpi").depends_on("pkgconf").build());
+        repo.add(PackageBuilder::new("openmpi").version("4.1.1").provides("mpi").depends_on("hwloc").build());
+        repo.add(PackageBuilder::new("pkgconf").version("1.8.0").build());
+        repo.add(PackageBuilder::new("hwloc").version("2.7.0").build());
+        repo
+    }
+
+    #[test]
+    fn virtual_provider_index() {
+        let repo = sample_repo();
+        assert!(repo.is_virtual("mpi"));
+        assert!(!repo.is_virtual("zlib"));
+        assert!(!repo.is_virtual("nonexistent"));
+        let providers = repo.providers("mpi");
+        assert!(providers.contains(&"mpich".to_string()));
+        assert!(providers.contains(&"openmpi".to_string()));
+        assert_eq!(repo.virtuals().count(), 1);
+    }
+
+    #[test]
+    fn possible_dependencies_expand_virtuals_and_conditions() {
+        let repo = sample_repo();
+        let deps = repo.possible_dependencies(&["hdf5"]);
+        // hdf5 itself, zlib, the virtual mpi, both providers, and their dependencies.
+        for name in ["hdf5", "zlib", "mpi", "mpich", "openmpi", "pkgconf", "hwloc"] {
+            assert!(deps.contains(name), "missing {name}: {deps:?}");
+        }
+        assert_eq!(repo.possible_dependency_count("zlib"), 0);
+        assert!(repo.possible_dependency_count("hdf5") >= 6);
+    }
+
+    #[test]
+    fn add_replaces_and_len_counts() {
+        let mut repo = sample_repo();
+        let n = repo.len();
+        repo.add(PackageBuilder::new("zlib").version("1.2.12").build());
+        assert_eq!(repo.len(), n);
+        assert_eq!(repo.get("zlib").unwrap().versions[0].version.to_string(), "1.2.12");
+    }
+}

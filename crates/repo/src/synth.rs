@@ -1,0 +1,349 @@
+//! Synthetic repository generator.
+//!
+//! The paper evaluates the concretizer on Spack's full repository (6,000+ packages) and
+//! on the ~600 packages of E4S. Neither is available to this reproduction, so this module
+//! generates repositories with the *statistical structure* the evaluation depends on:
+//!
+//! * a layered DAG of packages (utilities → libraries → applications) with a heavy-tailed
+//!   dependency distribution,
+//! * an `mpi`-like virtual with several providers whose own dependency subtrees are large,
+//!   so that packages which can reach the virtual have far more *possible* dependencies
+//!   than those which cannot — producing the two clusters visible in Fig. 7c,
+//! * build tools reachable from the providers (the `mpilander -> cmake -> qt -> valgrind
+//!   -> mpi` phenomenon described in Section VII-B: potential cycles that enlarge the
+//!   search space even though real cycles are excluded),
+//! * conditional dependencies gated by variants, multiple versions per package, and
+//!   occasional conflicts.
+//!
+//! Generation is deterministic for a given [`SynthConfig::seed`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::package::PackageBuilder;
+use crate::repo::Repository;
+
+/// Configuration for the synthetic repository generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Total number of (non-virtual) packages to generate.
+    pub packages: usize,
+    /// Number of providers of the `mpi`-like hub virtual.
+    pub mpi_providers: usize,
+    /// Fraction of library/application packages that depend on the hub virtual.
+    pub mpi_fraction: f64,
+    /// Maximum number of direct dependencies per package.
+    pub max_deps: usize,
+    /// Maximum number of versions per package.
+    pub max_versions: usize,
+    /// Probability that a dependency is conditional on a variant.
+    pub conditional_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            packages: 120,
+            mpi_providers: 3,
+            mpi_fraction: 0.45,
+            max_deps: 5,
+            max_versions: 4,
+            conditional_fraction: 0.25,
+            seed: 0xE45,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A small configuration for fast unit tests.
+    pub fn small() -> Self {
+        SynthConfig { packages: 40, ..Default::default() }
+    }
+
+    /// A configuration sized like the E4S stack (hundreds of packages).
+    pub fn e4s_like() -> Self {
+        SynthConfig { packages: 600, ..Default::default() }
+    }
+}
+
+/// Names of the layers of the generated repository, used for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Leaf utility packages (no dependencies).
+    Utility,
+    /// Build tools (depend on utilities, reachable from providers).
+    BuildTool,
+    /// MPI-like virtual providers.
+    Provider,
+    /// Ordinary libraries.
+    Library,
+    /// Top-level applications (the "E4S products" of the synthetic stack).
+    Application,
+}
+
+/// Generate a synthetic repository.
+pub fn synth_repo(config: &SynthConfig) -> Repository {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut repo = Repository::new();
+
+    let n = config.packages.max(10);
+    let n_util = (n / 5).max(3);
+    let n_tools = (n / 15).max(2);
+    let n_providers = config.mpi_providers.max(1);
+    let n_apps = (n / 6).max(2);
+    let n_libs = n.saturating_sub(n_util + n_tools + n_providers + n_apps).max(2);
+
+    let util_names: Vec<String> = (0..n_util).map(|i| format!("util-{i:03}")).collect();
+    let tool_names: Vec<String> = (0..n_tools).map(|i| format!("tool-{i:02}")).collect();
+    let provider_names: Vec<String> = (0..n_providers).map(|i| format!("mpi-impl-{i}")).collect();
+    let lib_names: Vec<String> = (0..n_libs).map(|i| format!("lib-{i:03}")).collect();
+    let app_names: Vec<String> = (0..n_apps).map(|i| format!("app-{i:02}")).collect();
+
+    // ---- utilities: leaves -------------------------------------------------------------
+    for name in &util_names {
+        repo.add(random_versions(PackageBuilder::new(name), &mut rng, config).build());
+    }
+
+    // ---- build tools: depend on a few utilities ----------------------------------------
+    for (i, name) in tool_names.iter().enumerate() {
+        let mut b = random_versions(PackageBuilder::new(name), &mut rng, config);
+        for dep in pick(&util_names, 1 + i % 3, &mut rng) {
+            b = b.depends_on(&dep);
+        }
+        // The last tool can, behind a non-default variant, pull in a package that depends
+        // on mpi — the potential-cycle structure described in the paper.
+        if i + 1 == tool_names.len() && !lib_names.is_empty() {
+            b = b
+                .variant_bool("heavy", false, "enable the heavyweight backend")
+                .depends_on_when(&lib_names[0], "+heavy");
+        }
+        repo.add(b.build());
+    }
+
+    // ---- providers of the virtual -------------------------------------------------------
+    for (i, name) in provider_names.iter().enumerate() {
+        let mut b = random_versions(PackageBuilder::new(name), &mut rng, config)
+            .provides("mpi")
+            .variant_values("pmi", "pmi", &["pmi", "pmi2"]);
+        for dep in pick(&util_names, 2 + i % 2, &mut rng) {
+            b = b.depends_on(&dep);
+        }
+        for dep in pick(&tool_names, 1 + i % 2, &mut rng) {
+            b = b.depends_on(&dep);
+        }
+        if i == 0 {
+            b = b.conflicts("%intel");
+        }
+        repo.add(b.build());
+    }
+
+    // ---- libraries -----------------------------------------------------------------------
+    for (i, name) in lib_names.iter().enumerate() {
+        let mut b = random_versions(PackageBuilder::new(name), &mut rng, config);
+        // Dependencies on earlier layers (and earlier libraries, keeping the DAG acyclic).
+        let n_deps = 1 + rng.gen_range(0..config.max_deps.max(1));
+        let mut pool: Vec<String> = Vec::new();
+        pool.extend_from_slice(&util_names);
+        pool.extend_from_slice(&tool_names);
+        pool.extend_from_slice(&lib_names[..i]);
+        let mut variant_counter = 0;
+        for dep in pick(&pool, n_deps, &mut rng) {
+            if rng.gen_bool(config.conditional_fraction) {
+                let vname = format!("feat{variant_counter}");
+                variant_counter += 1;
+                let default = rng.gen_bool(0.5);
+                b = b
+                    .variant_bool(&vname, default, "synthetic feature flag")
+                    .depends_on_when(&dep, &format!("+{vname}"));
+            } else {
+                b = b.depends_on(&dep);
+            }
+        }
+        if rng.gen_bool(config.mpi_fraction) {
+            b = b.variant_bool("mpi", true, "enable MPI").depends_on_when("mpi", "+mpi");
+        }
+        if rng.gen_bool(0.05) {
+            b = b.conflicts("%intel");
+        }
+        repo.add(b.build());
+    }
+
+    // ---- applications ---------------------------------------------------------------------
+    for name in &app_names {
+        let mut b = random_versions(PackageBuilder::new(name), &mut rng, config);
+        let n_deps = 2 + rng.gen_range(0..config.max_deps.max(1));
+        for dep in pick(&lib_names, n_deps, &mut rng) {
+            b = b.depends_on(&dep);
+        }
+        if rng.gen_bool(config.mpi_fraction) {
+            b = b.depends_on("mpi");
+        }
+        for dep in pick(&tool_names, 1, &mut rng) {
+            b = b.depends_on(&dep);
+        }
+        repo.add(b.build());
+    }
+
+    repo
+}
+
+/// The names of the application-layer packages of a synthetic repository — the analogue
+/// of the ~600 top-level E4S products used in Section VII-C.
+pub fn e4s_roots(repo: &Repository) -> Vec<String> {
+    repo.names()
+        .filter(|n| n.starts_with("app-"))
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn random_versions(
+    mut builder: PackageBuilder,
+    rng: &mut StdRng,
+    config: &SynthConfig,
+) -> PackageBuilder {
+    let n = 1 + rng.gen_range(0..config.max_versions.max(1));
+    let major: u32 = rng.gen_range(1..6);
+    for i in 0..n {
+        let minor = (n - i) * 2;
+        let patch = rng.gen_range(0..4);
+        builder = builder.version(&format!("{major}.{minor}.{patch}"));
+    }
+    if rng.gen_bool(0.1) {
+        builder = builder.version_deprecated(&format!("{}.0.0", major.saturating_sub(1).max(1)));
+    }
+    builder
+}
+
+fn pick(pool: &[String], count: usize, rng: &mut StdRng) -> Vec<String> {
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let mut chosen = Vec::new();
+    for _ in 0..count.min(pool.len()) {
+        let candidate = pool[rng.gen_range(0..pool.len())].clone();
+        if !chosen.contains(&candidate) {
+            chosen.push(candidate);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synth_repo(&SynthConfig::small());
+        let b = synth_repo(&SynthConfig::small());
+        assert_eq!(a.len(), b.len());
+        let names_a: Vec<&str> = a.names().collect();
+        let names_b: Vec<&str> = b.names().collect();
+        assert_eq!(names_a, names_b);
+        for name in names_a {
+            assert_eq!(a.get(name), b.get(name), "package {name} differs between runs");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synth_repo(&SynthConfig::small());
+        let b = synth_repo(&SynthConfig { seed: 99, ..SynthConfig::small() });
+        let differs = a
+            .names()
+            .any(|n| a.get(n) != b.get(n));
+        assert!(differs);
+    }
+
+    #[test]
+    fn has_expected_layers_and_virtual() {
+        let repo = synth_repo(&SynthConfig::default());
+        assert!(repo.is_virtual("mpi"));
+        assert!(repo.providers("mpi").len() >= 3);
+        assert!(!e4s_roots(&repo).is_empty());
+        assert!(repo.names().any(|n| n.starts_with("util-")));
+        assert!(repo.names().any(|n| n.starts_with("lib-")));
+    }
+
+    #[test]
+    fn repo_size_matches_config() {
+        let config = SynthConfig { packages: 150, ..Default::default() };
+        let repo = synth_repo(&config);
+        // Within a small tolerance (layer rounding).
+        assert!((140..=160).contains(&repo.len()), "got {}", repo.len());
+    }
+
+    #[test]
+    fn possible_dependency_counts_show_two_clusters() {
+        // The property behind Fig. 7c: packages that can reach the mpi virtual have many
+        // more possible dependencies than the self-contained ones.
+        let repo = synth_repo(&SynthConfig::default());
+        let mpi_deps = repo.possible_dependencies(&["mpi"]).len();
+        let mut low = 0usize;
+        let mut high = 0usize;
+        for name in repo.names() {
+            let count = repo.possible_dependency_count(name);
+            if count >= mpi_deps {
+                high += 1;
+            } else if count < mpi_deps / 2 {
+                low += 1;
+            }
+        }
+        assert!(high > 0, "some packages must reach the mpi subtree");
+        assert!(low > 0, "some packages must be self-contained");
+    }
+
+    #[test]
+    fn dependencies_reference_existing_packages_or_virtuals() {
+        let repo = synth_repo(&SynthConfig::default());
+        for pkg in repo.packages() {
+            for dep in pkg.possible_dependency_names() {
+                assert!(
+                    repo.get(dep).is_some() || repo.is_virtual(dep),
+                    "{} depends on unknown {dep}",
+                    pkg.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_by_construction_for_default_variants() {
+        // Libraries only depend on earlier libraries; a depth-first walk over
+        // unconditional dependencies must terminate without revisiting a package on the
+        // current path.
+        let repo = synth_repo(&SynthConfig::default());
+        fn visit(
+            repo: &Repository,
+            name: &str,
+            path: &mut Vec<String>,
+            seen: &mut std::collections::BTreeSet<String>,
+        ) {
+            if path.contains(&name.to_string()) {
+                panic!("cycle through {name}");
+            }
+            if !seen.insert(name.to_string()) {
+                return;
+            }
+            path.push(name.to_string());
+            if let Some(pkg) = repo.get(name) {
+                for dep in &pkg.dependencies {
+                    if dep.when.is_empty() {
+                        if let Some(dep_name) = dep.spec.name.as_deref() {
+                            if repo.get(dep_name).is_some() {
+                                visit(repo, dep_name, path, seen);
+                            }
+                        }
+                    }
+                }
+            }
+            path.pop();
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for name in repo.names() {
+            visit(&repo, name, &mut Vec::new(), &mut seen);
+        }
+    }
+}

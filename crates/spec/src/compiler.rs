@@ -1,0 +1,90 @@
+//! Compiler specs: the `%gcc@11.2.0` part of a spec.
+
+use std::fmt;
+
+use crate::version::{Version, VersionConstraint};
+
+/// A compiler constraint or assignment: a compiler name plus an optional version
+/// constraint (`%gcc`, `%gcc@10.3.1`, `%intel@2021:`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompilerSpec {
+    /// Compiler name (`gcc`, `clang`, `intel`, `nvhpc`, ...).
+    pub name: String,
+    /// Version constraint; [`VersionConstraint::any`] when only the name is given.
+    pub versions: VersionConstraint,
+}
+
+impl CompilerSpec {
+    /// A compiler constraint with no version restriction.
+    pub fn named(name: &str) -> Self {
+        CompilerSpec { name: name.to_string(), versions: VersionConstraint::any() }
+    }
+
+    /// A compiler at an exact version.
+    pub fn at(name: &str, version: &str) -> Self {
+        CompilerSpec {
+            name: name.to_string(),
+            versions: VersionConstraint::exact(Version::new(version)),
+        }
+    }
+
+    /// Does a concrete `(name, version)` compiler satisfy this constraint?
+    pub fn satisfied_by(&self, name: &str, version: &Version) -> bool {
+        self.name == name && self.versions.satisfies(version)
+    }
+}
+
+impl fmt::Display for CompilerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.versions.is_any() {
+            write!(f, "%{}", self.name)
+        } else {
+            write!(f, "%{}@{}", self.name, self.versions)
+        }
+    }
+}
+
+/// A concrete compiler available on the system (an entry of the compiler configuration).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Compiler {
+    /// Compiler name.
+    pub name: String,
+    /// Exact version.
+    pub version: Version,
+}
+
+impl Compiler {
+    /// Construct a concrete compiler.
+    pub fn new(name: &str, version: &str) -> Self {
+        Compiler { name: name.to_string(), version: Version::new(version) }
+    }
+}
+
+impl fmt::Display for Compiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiler_spec_satisfaction() {
+        let c = CompilerSpec::at("gcc", "11.2.0");
+        assert!(c.satisfied_by("gcc", &Version::new("11.2.0")));
+        assert!(!c.satisfied_by("gcc", &Version::new("10.3.1")));
+        assert!(!c.satisfied_by("clang", &Version::new("11.2.0")));
+
+        let c = CompilerSpec::named("gcc");
+        assert!(c.satisfied_by("gcc", &Version::new("4.8.5")));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CompilerSpec::named("gcc").to_string(), "%gcc");
+        assert_eq!(CompilerSpec::at("gcc", "10.3.1").to_string(), "%gcc@10.3.1");
+        assert_eq!(Compiler::new("clang", "14.0.6").to_string(), "clang@14.0.6");
+    }
+}

@@ -1,0 +1,37 @@
+//! Spec model for the `spack-asp-rs` reproduction of *Using Answer Set Programming for
+//! HPC Dependency Solving* (SC'22).
+//!
+//! This crate implements the package-manager vocabulary the paper's concretizer operates
+//! on (Section III of the paper):
+//!
+//! * [`version`] — package versions and version constraints (`@1.10.2`, `@1.0.7:`, ranges
+//!   and unions of ranges),
+//! * [`variant`] — build options (`+mpi`, `~shared`, `api=default`),
+//! * [`compiler`] — compiler specs (`%gcc@11.2.0`),
+//! * [`target`] — target microarchitectures with a generation/weight hierarchy and
+//!   per-compiler support (e.g. old gcc cannot emit `skylake` code),
+//! * [`platform`] — operating systems and platforms,
+//! * [`spec`] — abstract and concrete specs: DAGs whose nodes carry all of the above,
+//! * [`parse`] — the spec sigil syntax of Table I (`hdf5@1.10.2 %gcc +mpi ^zlib@1.2.8:`),
+//! * [`hash`] — the DAG hash used for installation identity and build reuse (Fig. 4).
+//!
+//! An *abstract* spec is a set of constraints over the combinatorial build space; a
+//! *concrete* spec is a fully specified build. Turning the former into the latter is the
+//! concretizer's job (the `spack-concretizer` crate).
+
+pub mod compiler;
+pub mod hash;
+pub mod parse;
+pub mod platform;
+pub mod spec;
+pub mod target;
+pub mod variant;
+pub mod version;
+
+pub use compiler::{Compiler, CompilerSpec};
+pub use parse::{parse_spec, ParseError};
+pub use platform::{OperatingSystem, Platform};
+pub use spec::{Anonymous, ConcreteNode, ConcreteSpec, DepKind, Spec};
+pub use target::{Target, TargetCatalog};
+pub use variant::{VariantConstraint, VariantValue};
+pub use version::{Version, VersionConstraint, VersionRange};

@@ -1,0 +1,420 @@
+//! Parser for the spec sigil syntax (Table I of the paper).
+//!
+//! ```text
+//! hdf5@1.10.2 %gcc@10.3.1 +mpi~shared api=default target=skylake ^zlib%gcc ^cmake target=aarch64
+//! ```
+//!
+//! * `@` — version constraint,
+//! * `%` — compiler (optionally with `@` version),
+//! * `+` / `~` / `-` — enable / disable a boolean variant,
+//! * `key=value` — multi-valued variant, or the special keys `os`, `platform`, `target`,
+//!   and `arch` (`arch=linux-centos8-skylake`),
+//! * `^` — constraints on a dependency; everything up to the next `^` applies to it.
+//!
+//! Anonymous specs (`when=` conditions such as `+mpi` or `@1.1.0:`) are supported: they
+//! are specs with no leading package name.
+
+use std::fmt;
+
+use crate::compiler::CompilerSpec;
+use crate::platform::Platform;
+use crate::spec::Spec;
+use crate::variant::VariantValue;
+use crate::version::VersionConstraint;
+
+/// An error produced while parsing spec syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input where the problem was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a spec string into an abstract [`Spec`].
+///
+/// All `^` dependency constraints are attached to the root spec (Spack semantics: `^`
+/// constrains a package *somewhere in the DAG*, not a direct dependency of the previous
+/// node).
+pub fn parse_spec(input: &str) -> Result<Spec, ParseError> {
+    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    if parser.eof() {
+        return Ok(Spec::anonymous());
+    }
+    let mut root = parser.parse_node()?;
+    loop {
+        parser.skip_ws();
+        if parser.eof() {
+            break;
+        }
+        match parser.peek() {
+            b'^' => {
+                parser.pos += 1;
+                let dep = parser.parse_node()?;
+                if dep.is_empty() {
+                    return Err(parser.error("empty dependency constraint after '^'"));
+                }
+                root.dependencies.push(dep);
+            }
+            _ => {
+                // A bare word continuing the current node, e.g. "hdf5 mpi=true target=skylake".
+                // Continuation words may only add sigil/key=value constraints (no new name).
+                let cont = parser.parse_node()?;
+                if cont.name.is_some() {
+                    return Err(parser.error(
+                        "unexpected package name; separate specs are not allowed in a single spec string",
+                    ));
+                }
+                apply_anonymous(&mut root, cont);
+            }
+        }
+    }
+    Ok(root)
+}
+
+fn apply_anonymous(target: &mut Spec, cont: Spec) {
+    target.versions.constrain(&cont.versions);
+    for (k, v) in cont.variants {
+        target.variants.insert(k, v);
+    }
+    if cont.compiler.is_some() {
+        target.compiler = cont.compiler;
+    }
+    if cont.os.is_some() {
+        target.os = cont.os;
+    }
+    if cont.platform.is_some() {
+        target.platform = cont.platform;
+    }
+    if cont.target.is_some() {
+        target.target = cont.target;
+    }
+    target.dependencies.extend(cont.dependencies);
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.input[self.pos]
+    }
+
+    fn error(&self, message: &str) -> ParseError {
+        ParseError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while !self.eof() && (self.peek() as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while !self.eof() && pred(self.peek()) {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned()
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.'
+    }
+
+    fn is_version_char(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'.' || b == b':' || b == b',' || b == b'_' || b == b'-'
+            || b == b'='
+    }
+
+    fn is_value_char(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-' || b == b','
+            || b == b':'
+    }
+
+    /// Parse one node (a name followed by sigils, possibly over multiple whitespace
+    /// separated words) until we hit `^` or end of input. A continuation word that
+    /// begins a *new* package name stops the node (handled by the caller).
+    fn parse_node(&mut self) -> Result<Spec, ParseError> {
+        let mut spec = Spec::anonymous();
+        self.skip_ws();
+        // Leading package name (if the word starts with a name char and is not key=value).
+        if !self.eof() && Self::is_name_char(self.peek()) {
+            let save = self.pos;
+            let word = self.take_while(Self::is_name_char);
+            if !self.eof() && self.peek() == b'=' {
+                // It was key=value, not a name: rewind and let the sigil loop handle it.
+                self.pos = save;
+            } else {
+                spec.name = Some(word);
+            }
+        }
+        loop {
+            if self.eof() {
+                break;
+            }
+            let c = self.peek();
+            match c {
+                b'@' => {
+                    self.pos += 1;
+                    let text = self.take_while(Self::is_version_char);
+                    if text.is_empty() {
+                        return Err(self.error("expected version after '@'"));
+                    }
+                    spec.versions.constrain(&VersionConstraint::parse(&text));
+                }
+                b'%' => {
+                    self.pos += 1;
+                    let name = self.take_while(Self::is_name_char);
+                    if name.is_empty() {
+                        return Err(self.error("expected compiler name after '%'"));
+                    }
+                    let mut compiler = CompilerSpec::named(&name);
+                    if !self.eof() && self.peek() == b'@' {
+                        self.pos += 1;
+                        let vtext = self.take_while(Self::is_version_char);
+                        if vtext.is_empty() {
+                            return Err(self.error("expected compiler version after '@'"));
+                        }
+                        compiler.versions = VersionConstraint::parse(&vtext);
+                    }
+                    spec.compiler = Some(compiler);
+                }
+                b'+' => {
+                    self.pos += 1;
+                    let name = self.take_while(Self::is_name_char);
+                    if name.is_empty() {
+                        return Err(self.error("expected variant name after '+'"));
+                    }
+                    spec.variants.insert(name, VariantValue::Bool(true));
+                }
+                b'~' | b'-' => {
+                    self.pos += 1;
+                    let name = self.take_while(Self::is_name_char);
+                    if name.is_empty() {
+                        return Err(self.error("expected variant name after '~'"));
+                    }
+                    spec.variants.insert(name, VariantValue::Bool(false));
+                }
+                b'^' => break,
+                c if (c as char).is_whitespace() => {
+                    // Peek the next word: if it starts with a sigil or is key=value it
+                    // continues this node; a new name or '^' ends it.
+                    let save = self.pos;
+                    self.skip_ws();
+                    if self.eof() {
+                        break;
+                    }
+                    let next = self.peek();
+                    if next == b'^' {
+                        break;
+                    }
+                    if Self::is_name_char(next) {
+                        // Look ahead to see if this is key=value.
+                        let word_start = self.pos;
+                        let _word = self.take_while(Self::is_name_char);
+                        let is_kv = !self.eof() && self.peek() == b'=';
+                        self.pos = word_start;
+                        if !is_kv {
+                            // New package name: not part of this node.
+                            self.pos = save;
+                            break;
+                        }
+                    }
+                    // Otherwise fall through and keep parsing sigils / key=value.
+                }
+                _ if Self::is_name_char(c) => {
+                    // key=value
+                    let key = self.take_while(Self::is_name_char);
+                    if self.eof() || self.peek() != b'=' {
+                        return Err(self.error("expected '=' in key=value constraint"));
+                    }
+                    self.pos += 1;
+                    let value = self.take_while(Self::is_value_char);
+                    if value.is_empty() {
+                        return Err(self.error("expected value after '='"));
+                    }
+                    self.apply_key_value(&mut spec, &key, &value)?;
+                }
+                _ => {
+                    return Err(self.error(&format!("unexpected character '{}'", c as char)));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    fn apply_key_value(&self, spec: &mut Spec, key: &str, value: &str) -> Result<(), ParseError> {
+        match key {
+            "os" => spec.os = Some(value.to_string()),
+            "platform" => {
+                spec.platform = Some(
+                    Platform::parse(value)
+                        .ok_or_else(|| self.error(&format!("unknown platform '{value}'")))?,
+                )
+            }
+            "target" => spec.target = Some(value.to_string()),
+            "arch" => {
+                // arch=platform-os-target
+                let parts: Vec<&str> = value.splitn(3, '-').collect();
+                if parts.len() != 3 {
+                    return Err(self.error("arch= expects platform-os-target"));
+                }
+                spec.platform = Some(
+                    Platform::parse(parts[0])
+                        .ok_or_else(|| self.error(&format!("unknown platform '{}'", parts[0])))?,
+                );
+                spec.os = Some(parts[1].to_string());
+                spec.target = Some(parts[2].to_string());
+            }
+            _ => {
+                spec.variants.insert(key.to_string(), VariantValue::parse(value));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::Version;
+
+    #[test]
+    fn table1_sigils() {
+        // Each row of Table I.
+        let s = parse_spec("hdf5%gcc").unwrap();
+        assert_eq!(s.compiler.as_ref().unwrap().name, "gcc");
+
+        let s = parse_spec("hdf5@1.10.2").unwrap();
+        assert!(s.versions.satisfies(&Version::new("1.10.2")));
+        assert!(!s.versions.satisfies(&Version::new("1.12.0")));
+
+        let s = parse_spec("hdf5%gcc@10.3.1").unwrap();
+        let c = s.compiler.unwrap();
+        assert_eq!(c.name, "gcc");
+        assert!(c.versions.satisfies(&Version::new("10.3.1")));
+
+        let s = parse_spec("hdf5+mpi").unwrap();
+        assert_eq!(s.variants["mpi"], VariantValue::Bool(true));
+        let s = parse_spec("hdf5~mpi").unwrap();
+        assert_eq!(s.variants["mpi"], VariantValue::Bool(false));
+
+        let s = parse_spec("hdf5 mpi=true").unwrap();
+        assert_eq!(s.variants["mpi"], VariantValue::Bool(true));
+        let s = parse_spec("hdf5 api=default").unwrap();
+        assert_eq!(s.variants["api"], VariantValue::Value("default".into()));
+        let s = parse_spec("hdf5 target=skylake").unwrap();
+        assert_eq!(s.target.as_deref(), Some("skylake"));
+    }
+
+    #[test]
+    fn recursive_dependency_constraints() {
+        // Example from Section III-A.
+        let s = parse_spec("hdf5@1.10.2 ^zlib%gcc ^cmake target=aarch64").unwrap();
+        assert_eq!(s.name.as_deref(), Some("hdf5"));
+        assert_eq!(s.dependencies.len(), 2);
+        assert_eq!(s.dependencies[0].name.as_deref(), Some("zlib"));
+        assert_eq!(s.dependencies[0].compiler.as_ref().unwrap().name, "gcc");
+        assert_eq!(s.dependencies[1].name.as_deref(), Some("cmake"));
+        assert_eq!(s.dependencies[1].target.as_deref(), Some("aarch64"));
+    }
+
+    #[test]
+    fn adjacent_sigils() {
+        let s = parse_spec("example@1.0.0+bzip%gcc@11.2.0 arch=linux-centos8-skylake").unwrap();
+        assert!(s.versions.satisfies(&Version::new("1.0.0")));
+        assert_eq!(s.variants["bzip"], VariantValue::Bool(true));
+        assert_eq!(s.compiler.as_ref().unwrap().name, "gcc");
+        assert_eq!(s.platform, Some(Platform::Linux));
+        assert_eq!(s.os.as_deref(), Some("centos8"));
+        assert_eq!(s.target.as_deref(), Some("skylake"));
+    }
+
+    #[test]
+    fn anonymous_when_conditions() {
+        let s = parse_spec("+mpi").unwrap();
+        assert!(s.name.is_none());
+        assert_eq!(s.variants["mpi"], VariantValue::Bool(true));
+
+        let s = parse_spec("@1.1.0:").unwrap();
+        assert!(s.name.is_none());
+        assert!(s.versions.satisfies(&Version::new("1.2.0")));
+        assert!(!s.versions.satisfies(&Version::new("1.0.0")));
+
+        let s = parse_spec("%intel").unwrap();
+        assert_eq!(s.compiler.unwrap().name, "intel");
+
+        let s = parse_spec("target=aarch64").unwrap();
+        assert_eq!(s.target.as_deref(), Some("aarch64"));
+
+        let s = parse_spec("+openmp ^openblas").unwrap();
+        assert_eq!(s.variants["openmp"], VariantValue::Bool(true));
+        assert_eq!(s.dependencies[0].name.as_deref(), Some("openblas"));
+    }
+
+    #[test]
+    fn version_ranges_and_lists() {
+        let s = parse_spec("bzip2@1.0.7:").unwrap();
+        assert!(s.versions.satisfies(&Version::new("1.0.8")));
+        assert!(!s.versions.satisfies(&Version::new("1.0.6")));
+
+        let s = parse_spec("zlib@1.2:1.4,2.0:").unwrap();
+        assert!(s.versions.satisfies(&Version::new("1.3")));
+        assert!(s.versions.satisfies(&Version::new("2.1")));
+        assert!(!s.versions.satisfies(&Version::new("1.6")));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_spec("hdf5@").is_err());
+        assert!(parse_spec("hdf5%").is_err());
+        assert!(parse_spec("hdf5+").is_err());
+        assert!(parse_spec("hdf5 ^").is_err());
+        assert!(parse_spec("hdf5 arch=linux-centos8").is_err());
+        assert!(parse_spec("hdf5 platform=windows").is_err());
+    }
+
+    #[test]
+    fn two_names_rejected() {
+        assert!(parse_spec("hdf5 zlib").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in [
+            "hdf5@1.10.2+mpi",
+            "hdf5%gcc@10.3.1",
+            "hdf5 target=skylake",
+            "hdf5@1.10.2 ^zlib@1.2.8: ^cmake target=aarch64",
+        ] {
+            let parsed = parse_spec(text).unwrap();
+            let reparsed = parse_spec(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "round-trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn multiword_variants_attach_to_dependency() {
+        let s = parse_spec("berkeleygw+openmp ^openblas threads=openmp").unwrap();
+        assert_eq!(s.dependencies.len(), 1);
+        let ob = &s.dependencies[0];
+        assert_eq!(ob.name.as_deref(), Some("openblas"));
+        assert_eq!(ob.variants["threads"], VariantValue::Value("openmp".into()));
+    }
+}

@@ -1,0 +1,96 @@
+//! Platforms and operating systems.
+//!
+//! Spack models the triple `platform-os-target` (e.g. `linux-centos8-skylake`). The
+//! platform is almost always `linux` in the paper's evaluation; operating systems matter
+//! because the E4S buildcache is partitioned by OS (rhel7 vs. others) in Figures 7e-7g.
+
+use std::fmt;
+
+/// A platform (kernel/vendor family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Platform {
+    /// Ordinary Linux clusters (Quartz, Lassen).
+    Linux,
+    /// Cray systems.
+    Cray,
+    /// macOS developer machines.
+    Darwin,
+}
+
+impl Platform {
+    /// Canonical lower-case name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Platform::Linux => "linux",
+            Platform::Cray => "cray",
+            Platform::Darwin => "darwin",
+        }
+    }
+
+    /// Parse from a canonical name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "linux" => Some(Platform::Linux),
+            "cray" => Some(Platform::Cray),
+            "darwin" => Some(Platform::Darwin),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// An operating system distribution + release, e.g. `centos8` or `rhel7`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperatingSystem {
+    name: String,
+}
+
+impl OperatingSystem {
+    /// Construct an OS by name.
+    pub fn new(name: &str) -> Self {
+        OperatingSystem { name: name.to_string() }
+    }
+
+    /// The canonical name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operating systems used in the paper's evaluation environment.
+    pub fn known() -> Vec<OperatingSystem> {
+        ["centos8", "rhel7", "rhel8", "ubuntu20.04", "ubuntu22.04"]
+            .iter()
+            .map(|s| OperatingSystem::new(s))
+            .collect()
+    }
+}
+
+impl fmt::Display for OperatingSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_roundtrip() {
+        for p in [Platform::Linux, Platform::Cray, Platform::Darwin] {
+            assert_eq!(Platform::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Platform::parse("windows"), None);
+    }
+
+    #[test]
+    fn os_names() {
+        assert!(OperatingSystem::known().iter().any(|o| o.name() == "rhel7"));
+        assert_eq!(OperatingSystem::new("centos8").to_string(), "centos8");
+    }
+}

@@ -1,0 +1,526 @@
+//! Abstract and concrete specs.
+//!
+//! An *abstract spec* ([`Spec`]) is a set of constraints on a node of the dependency DAG
+//! plus constraints on (some of) its dependencies — exactly what a user types on the
+//! command line or a package writes in a `depends_on` / `when=` clause. A *concrete spec*
+//! ([`ConcreteSpec`]) is a fully resolved DAG where every node has a single version,
+//! values for every variant, a compiler, an OS, a platform and a target — the output of
+//! concretization and the input to an installation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::compiler::{Compiler, CompilerSpec};
+use crate::hash::dag_hash;
+use crate::platform::Platform;
+use crate::variant::VariantValue;
+use crate::version::{Version, VersionConstraint};
+
+/// The kind of a dependency edge. Spack distinguishes build-only tools from link/run
+/// dependencies; the solver treats them uniformly but the distinction is preserved for
+/// extraction and display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DepKind {
+    /// Needed at build time only (e.g. `cmake`).
+    Build,
+    /// Linked into the dependent.
+    Link,
+    /// Needed at run time.
+    Run,
+    /// Any/all of the above (the default when a recipe does not say).
+    #[default]
+    All,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Build => "build",
+            DepKind::Link => "link",
+            DepKind::Run => "run",
+            DepKind::All => "all",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An anonymous spec is an abstract spec with no package name — the form used by `when=`
+/// clauses such as `when="+mpi"` or `when="@1.1.0:"`.
+pub type Anonymous = Spec;
+
+/// An abstract spec: constraints on one node and, recursively, on named dependencies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spec {
+    /// Package name; `None` for anonymous constraint specs used in `when=` clauses.
+    pub name: Option<String>,
+    /// Version constraint (`@...`).
+    pub versions: VersionConstraint,
+    /// Variant constraints (`+x`, `~y`, `k=v`).
+    pub variants: BTreeMap<String, VariantValue>,
+    /// Compiler constraint (`%gcc@11`).
+    pub compiler: Option<CompilerSpec>,
+    /// Operating system constraint (`os=centos8`).
+    pub os: Option<String>,
+    /// Platform constraint (`platform=linux`).
+    pub platform: Option<Platform>,
+    /// Target constraint (`target=skylake`).
+    pub target: Option<String>,
+    /// Constraints on dependencies (`^zlib@1.2.8:` ...).
+    pub dependencies: Vec<Spec>,
+}
+
+impl Spec {
+    /// An abstract spec constraining only the package name.
+    pub fn named(name: &str) -> Self {
+        Spec { name: Some(name.to_string()), ..Default::default() }
+    }
+
+    /// An anonymous spec (no name), used for `when=` conditions.
+    pub fn anonymous() -> Self {
+        Spec::default()
+    }
+
+    /// Builder-style: add a version constraint.
+    pub fn with_versions(mut self, vc: &str) -> Self {
+        self.versions = VersionConstraint::parse(vc);
+        self
+    }
+
+    /// Builder-style: set a variant constraint.
+    pub fn with_variant(mut self, name: &str, value: impl Into<VariantValue>) -> Self {
+        self.variants.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Builder-style: set the compiler constraint.
+    pub fn with_compiler(mut self, c: CompilerSpec) -> Self {
+        self.compiler = Some(c);
+        self
+    }
+
+    /// Builder-style: set the target constraint.
+    pub fn with_target(mut self, t: &str) -> Self {
+        self.target = Some(t.to_string());
+        self
+    }
+
+    /// Builder-style: add a dependency constraint.
+    pub fn with_dependency(mut self, dep: Spec) -> Self {
+        self.dependencies.push(dep);
+        self
+    }
+
+    /// True when the spec constrains nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.name.is_none()
+            && self.versions.is_any()
+            && self.variants.is_empty()
+            && self.compiler.is_none()
+            && self.os.is_none()
+            && self.platform.is_none()
+            && self.target.is_none()
+            && self.dependencies.is_empty()
+    }
+
+    /// Merge another abstract spec's constraints into this one (logical AND). Dependency
+    /// constraints are concatenated; per-node fields are narrowed.
+    pub fn constrain(&mut self, other: &Spec) {
+        if self.name.is_none() {
+            self.name = other.name.clone();
+        }
+        self.versions.constrain(&other.versions);
+        for (k, v) in &other.variants {
+            self.variants.insert(k.clone(), v.clone());
+        }
+        if self.compiler.is_none() {
+            self.compiler = other.compiler.clone();
+        }
+        if self.os.is_none() {
+            self.os = other.os.clone();
+        }
+        if self.platform.is_none() {
+            self.platform = other.platform;
+        }
+        if self.target.is_none() {
+            self.target = other.target.clone();
+        }
+        self.dependencies.extend(other.dependencies.iter().cloned());
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.name {
+            write!(f, "{name}")?;
+        }
+        if !self.versions.is_any() {
+            write!(f, "@{}", self.versions)?;
+        }
+        if let Some(c) = &self.compiler {
+            write!(f, "{c}")?;
+        }
+        for (k, v) in &self.variants {
+            match v {
+                VariantValue::Bool(true) => write!(f, "+{k}")?,
+                VariantValue::Bool(false) => write!(f, "~{k}")?,
+                VariantValue::Value(val) => write!(f, " {k}={val}")?,
+            }
+        }
+        if let Some(os) = &self.os {
+            write!(f, " os={os}")?;
+        }
+        if let Some(p) = &self.platform {
+            write!(f, " platform={p}")?;
+        }
+        if let Some(t) = &self.target {
+            write!(f, " target={t}")?;
+        }
+        for d in &self.dependencies {
+            write!(f, " ^{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One fully concretized node of an installation DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcreteNode {
+    /// Package name.
+    pub name: String,
+    /// Chosen version.
+    pub version: Version,
+    /// Value assigned to every variant of the package.
+    pub variants: BTreeMap<String, VariantValue>,
+    /// Compiler used to build this node.
+    pub compiler: Compiler,
+    /// Operating system.
+    pub os: String,
+    /// Platform.
+    pub platform: Platform,
+    /// Target microarchitecture.
+    pub target: String,
+    /// Outgoing dependency edges: index into [`ConcreteSpec::nodes`] plus edge kind.
+    pub deps: Vec<(usize, DepKind)>,
+    /// Names of virtual packages this node was selected to provide (e.g. `mpi`).
+    pub provides: Vec<String>,
+}
+
+impl ConcreteNode {
+    /// Render the node in spec syntax (without dependencies).
+    pub fn format_node(&self) -> String {
+        let mut s = format!("{}@{}%{}", self.name, self.version, self.compiler);
+        for (k, v) in &self.variants {
+            match v {
+                VariantValue::Bool(true) => s.push_str(&format!("+{k}")),
+                VariantValue::Bool(false) => s.push_str(&format!("~{k}")),
+                VariantValue::Value(val) => s.push_str(&format!(" {k}={val}")),
+            }
+        }
+        s.push_str(&format!(" arch={}-{}-{}", self.platform, self.os, self.target));
+        s
+    }
+}
+
+/// A concrete spec: the installation DAG produced by concretization.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConcreteSpec {
+    /// All nodes; edges are indices into this vector.
+    pub nodes: Vec<ConcreteNode>,
+    /// Indices of root nodes (the packages the user asked for).
+    pub roots: Vec<usize>,
+}
+
+impl ConcreteSpec {
+    /// Number of nodes in the DAG.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Find a node index by package name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Get a node by package name.
+    pub fn node(&self, name: &str) -> Option<&ConcreteNode> {
+        self.find(name).map(|i| &self.nodes[i])
+    }
+
+    /// Does the DAG contain a package with this name?
+    pub fn contains(&self, name: &str) -> bool {
+        self.find(name).is_some()
+    }
+
+    /// Indices in topological order (dependencies after dependents when walking roots
+    /// first; i.e. parents precede children).
+    pub fn topological_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut seen = vec![false; self.nodes.len()];
+        fn visit(spec: &ConcreteSpec, i: usize, seen: &mut [bool], order: &mut Vec<usize>) {
+            if seen[i] {
+                return;
+            }
+            seen[i] = true;
+            order.push(i);
+            for &(d, _) in &spec.nodes[i].deps {
+                visit(spec, d, seen, order);
+            }
+        }
+        for &r in &self.roots {
+            visit(self, r, &mut seen, &mut order);
+        }
+        for i in 0..self.nodes.len() {
+            visit(self, i, &mut seen, &mut order);
+        }
+        order
+    }
+
+    /// The DAG hash of a node: covers the node's own parameters and, recursively, the
+    /// hashes of its dependencies (Fig. 4 in the paper).
+    pub fn node_hash(&self, index: usize) -> String {
+        let mut memo = vec![None; self.nodes.len()];
+        self.node_hash_memo(index, &mut memo)
+    }
+
+    fn node_hash_memo(&self, index: usize, memo: &mut Vec<Option<String>>) -> String {
+        if let Some(h) = &memo[index] {
+            return h.clone();
+        }
+        let node = &self.nodes[index];
+        let mut dep_hashes: Vec<String> = node
+            .deps
+            .iter()
+            .map(|&(d, _)| self.node_hash_memo(d, memo))
+            .collect();
+        dep_hashes.sort();
+        let h = dag_hash(&node.format_node(), &dep_hashes);
+        memo[index] = Some(h.clone());
+        h
+    }
+
+    /// Does the concrete node at `index` satisfy an abstract (single-node) constraint?
+    /// Dependency constraints of `abstract_spec` are checked against the transitive
+    /// dependencies of the node.
+    pub fn node_satisfies(&self, index: usize, abstract_spec: &Spec) -> bool {
+        let node = &self.nodes[index];
+        if let Some(name) = &abstract_spec.name {
+            if name != &node.name && !node.provides.iter().any(|p| p == name) {
+                return false;
+            }
+        }
+        if !abstract_spec.versions.is_any() && !abstract_spec.versions.satisfies(&node.version) {
+            return false;
+        }
+        for (k, v) in &abstract_spec.variants {
+            match node.variants.get(k) {
+                Some(actual) if actual == v => {}
+                _ => return false,
+            }
+        }
+        if let Some(c) = &abstract_spec.compiler {
+            if !c.satisfied_by(&node.compiler.name, &node.compiler.version) {
+                return false;
+            }
+        }
+        if let Some(os) = &abstract_spec.os {
+            if os != &node.os {
+                return false;
+            }
+        }
+        if let Some(p) = &abstract_spec.platform {
+            if *p != node.platform {
+                return false;
+            }
+        }
+        if let Some(t) = &abstract_spec.target {
+            if t != &node.target {
+                return false;
+            }
+        }
+        // Dependency constraints: every ^dep constraint must be satisfied by some
+        // transitive dependency of this node.
+        for dep_constraint in &abstract_spec.dependencies {
+            let mut found = false;
+            let mut stack: Vec<usize> = node.deps.iter().map(|&(d, _)| d).collect();
+            let mut seen = vec![false; self.nodes.len()];
+            while let Some(i) = stack.pop() {
+                if seen[i] {
+                    continue;
+                }
+                seen[i] = true;
+                if self.node_satisfies(i, dep_constraint) {
+                    found = true;
+                    break;
+                }
+                stack.extend(self.nodes[i].deps.iter().map(|&(d, _)| d));
+            }
+            if !found {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does the whole concrete spec satisfy an abstract root request? The root constraint
+    /// must be satisfied by one of the root nodes.
+    pub fn satisfies(&self, abstract_spec: &Spec) -> bool {
+        self.roots.iter().any(|&r| self.node_satisfies(r, abstract_spec))
+    }
+}
+
+impl fmt::Display for ConcreteSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (depth_root, &root) in self.roots.iter().enumerate() {
+            if depth_root > 0 {
+                writeln!(f)?;
+            }
+            // Depth-first pretty print, Spack-style with indentation.
+            fn rec(
+                spec: &ConcreteSpec,
+                i: usize,
+                depth: usize,
+                seen: &mut Vec<bool>,
+                f: &mut fmt::Formatter<'_>,
+            ) -> fmt::Result {
+                let prefix = if depth == 0 { String::new() } else { format!("{}^", "    ".repeat(depth)) };
+                writeln!(f, "{prefix}{}", spec.nodes[i].format_node())?;
+                if seen[i] {
+                    return Ok(());
+                }
+                seen[i] = true;
+                let mut deps = spec.nodes[i].deps.clone();
+                deps.sort_by(|a, b| spec.nodes[a.0].name.cmp(&spec.nodes[b.0].name));
+                for (d, _) in deps {
+                    rec(spec, d, depth + 1, seen, f)?;
+                }
+                Ok(())
+            }
+            let mut seen = vec![false; self.nodes.len()];
+            rec(self, root, 0, &mut seen, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dag() -> ConcreteSpec {
+        // hdf5 -> zlib, hdf5 -> mpich (provides mpi)
+        let zlib = ConcreteNode {
+            name: "zlib".into(),
+            version: Version::new("1.2.11"),
+            variants: BTreeMap::from([("pic".to_string(), VariantValue::Bool(true))]),
+            compiler: Compiler::new("gcc", "11.2.0"),
+            os: "centos8".into(),
+            platform: Platform::Linux,
+            target: "skylake".into(),
+            deps: vec![],
+            provides: vec![],
+        };
+        let mpich = ConcreteNode {
+            name: "mpich".into(),
+            version: Version::new("3.4.2"),
+            variants: BTreeMap::new(),
+            compiler: Compiler::new("gcc", "11.2.0"),
+            os: "centos8".into(),
+            platform: Platform::Linux,
+            target: "skylake".into(),
+            deps: vec![],
+            provides: vec!["mpi".into()],
+        };
+        let hdf5 = ConcreteNode {
+            name: "hdf5".into(),
+            version: Version::new("1.10.2"),
+            variants: BTreeMap::from([("mpi".to_string(), VariantValue::Bool(true))]),
+            compiler: Compiler::new("gcc", "11.2.0"),
+            os: "centos8".into(),
+            platform: Platform::Linux,
+            target: "skylake".into(),
+            deps: vec![(0, DepKind::Link), (1, DepKind::Link)],
+            provides: vec![],
+        };
+        ConcreteSpec { nodes: vec![zlib, mpich, hdf5], roots: vec![2] }
+    }
+
+    #[test]
+    fn satisfies_name_and_version() {
+        let dag = sample_dag();
+        assert!(dag.satisfies(&Spec::named("hdf5")));
+        assert!(dag.satisfies(&Spec::named("hdf5").with_versions("1.10.2")));
+        assert!(dag.satisfies(&Spec::named("hdf5").with_versions("1.10:")));
+        assert!(!dag.satisfies(&Spec::named("hdf5").with_versions("1.12:")));
+        assert!(!dag.satisfies(&Spec::named("zlib")), "zlib is not a root");
+    }
+
+    #[test]
+    fn satisfies_dependency_constraints() {
+        let dag = sample_dag();
+        let s = Spec::named("hdf5").with_dependency(Spec::named("zlib").with_versions("1.2.8:"));
+        assert!(dag.satisfies(&s));
+        let s = Spec::named("hdf5").with_dependency(Spec::named("zlib").with_versions("1.2.12:"));
+        assert!(!dag.satisfies(&s));
+        // Virtual name matches via provides.
+        let s = Spec::named("hdf5").with_dependency(Spec::named("mpi"));
+        assert!(dag.satisfies(&s));
+    }
+
+    #[test]
+    fn satisfies_variants_and_compiler() {
+        let dag = sample_dag();
+        assert!(dag.satisfies(&Spec::named("hdf5").with_variant("mpi", true)));
+        assert!(!dag.satisfies(&Spec::named("hdf5").with_variant("mpi", false)));
+        assert!(dag.satisfies(&Spec::named("hdf5").with_compiler(CompilerSpec::at("gcc", "11.2.0"))));
+        assert!(!dag.satisfies(&Spec::named("hdf5").with_compiler(CompilerSpec::named("intel"))));
+    }
+
+    #[test]
+    fn node_hash_changes_with_configuration() {
+        let dag = sample_dag();
+        let h1 = dag.node_hash(2);
+        let mut dag2 = dag.clone();
+        dag2.nodes[0].version = Version::new("1.2.12");
+        let h2 = dag2.node_hash(2);
+        assert_ne!(h1, h2, "hash must change when a dependency changes");
+        assert_eq!(dag.node_hash(2), h1, "hash is deterministic");
+    }
+
+    #[test]
+    fn topological_order_visits_all() {
+        let dag = sample_dag();
+        let order = dag.topological_order();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 2, "root first");
+    }
+
+    #[test]
+    fn display_contains_arch_triple() {
+        let dag = sample_dag();
+        let text = dag.to_string();
+        assert!(text.contains("arch=linux-centos8-skylake"));
+        assert!(text.contains("hdf5@1.10.2"));
+    }
+
+    #[test]
+    fn abstract_spec_display_and_constrain() {
+        let s = Spec::named("hdf5")
+            .with_versions("1.10.2")
+            .with_variant("mpi", true)
+            .with_compiler(CompilerSpec::named("gcc"))
+            .with_dependency(Spec::named("zlib"));
+        let text = s.to_string();
+        assert!(text.starts_with("hdf5@1.10.2"));
+        assert!(text.contains("+mpi"));
+        assert!(text.contains("^zlib"));
+
+        let mut a = Spec::named("hdf5");
+        a.constrain(&Spec::anonymous().with_variant("mpi", true));
+        assert_eq!(a.variants.get("mpi"), Some(&VariantValue::Bool(true)));
+    }
+}

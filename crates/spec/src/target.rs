@@ -1,0 +1,232 @@
+//! Target microarchitectures.
+//!
+//! Spack (via archspec) models CPU microarchitectures as a partially ordered hierarchy:
+//! `x86_64 < x86_64_v2 < haswell < skylake < icelake`, `ppc64le < power8le < power9le`,
+//! `aarch64 < neoverse_n1`, etc. Newer targets are *preferred* (lower optimization weight)
+//! but require compiler support: the paper's example is that `gcc@4.8.3` cannot generate
+//! optimized instructions for `skylake`.
+//!
+//! [`TargetCatalog`] provides the hierarchy, per-target weights (0 = best), and the
+//! compiler-support table used to generate `compiler_supports_target/3` facts.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::version::Version;
+
+/// A single microarchitecture target.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Target {
+    name: String,
+}
+
+impl Target {
+    /// Construct a target by name.
+    pub fn new(name: &str) -> Self {
+        Target { name: name.to_string() }
+    }
+
+    /// Canonical name (`skylake`, `x86_64`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// An entry in the catalog: a target, its family, its preference weight, and the minimum
+/// compiler versions able to generate code for it.
+#[derive(Debug, Clone)]
+pub struct TargetInfo {
+    /// The target itself.
+    pub target: Target,
+    /// Family root (`x86_64`, `ppc64le`, `aarch64`).
+    pub family: String,
+    /// Preference weight: 0 is the most desirable (newest) target of its family.
+    pub weight: u32,
+    /// Minimum compiler version required, per compiler name. Compilers absent from the
+    /// map cannot target this microarchitecture at all; the generic family target is
+    /// supported by every compiler.
+    pub min_compiler: HashMap<String, Version>,
+}
+
+/// The catalog of known targets — a trimmed-down archspec.
+#[derive(Debug, Clone)]
+pub struct TargetCatalog {
+    entries: Vec<TargetInfo>,
+}
+
+impl Default for TargetCatalog {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl TargetCatalog {
+    /// The built-in catalog used throughout the reproduction: three families with the
+    /// generations that appear in the paper (haswell on Quartz, power9 on Lassen,
+    /// skylake/cascadelake/icelake as the preferred x86 targets).
+    pub fn builtin() -> Self {
+        fn req(pairs: &[(&str, &str)]) -> HashMap<String, Version> {
+            pairs.iter().map(|(c, v)| (c.to_string(), Version::new(v))).collect()
+        }
+        let entries = vec![
+            // x86_64 family, newest first (weight 0 = best).
+            TargetInfo {
+                target: Target::new("icelake"),
+                family: "x86_64".into(),
+                weight: 0,
+                min_compiler: req(&[("gcc", "8.3.0"), ("clang", "9.0.0"), ("intel", "19.0")]),
+            },
+            TargetInfo {
+                target: Target::new("cascadelake"),
+                family: "x86_64".into(),
+                weight: 1,
+                min_compiler: req(&[("gcc", "8.3.0"), ("clang", "8.0.0"), ("intel", "19.0")]),
+            },
+            TargetInfo {
+                target: Target::new("skylake"),
+                family: "x86_64".into(),
+                weight: 2,
+                min_compiler: req(&[("gcc", "6.1.0"), ("clang", "4.0.0"), ("intel", "17.0")]),
+            },
+            TargetInfo {
+                target: Target::new("broadwell"),
+                family: "x86_64".into(),
+                weight: 3,
+                min_compiler: req(&[("gcc", "4.9.0"), ("clang", "3.9.0"), ("intel", "16.0")]),
+            },
+            TargetInfo {
+                target: Target::new("haswell"),
+                family: "x86_64".into(),
+                weight: 4,
+                min_compiler: req(&[("gcc", "4.8.0"), ("clang", "3.5.0"), ("intel", "15.0")]),
+            },
+            TargetInfo {
+                target: Target::new("x86_64_v2"),
+                family: "x86_64".into(),
+                weight: 5,
+                min_compiler: req(&[("gcc", "4.6.0"), ("clang", "3.3.0"), ("intel", "14.0")]),
+            },
+            TargetInfo {
+                target: Target::new("x86_64"),
+                family: "x86_64".into(),
+                weight: 6,
+                min_compiler: HashMap::new(),
+            },
+            // ppc64le family (Lassen / Sierra).
+            TargetInfo {
+                target: Target::new("power9le"),
+                family: "ppc64le".into(),
+                weight: 0,
+                min_compiler: req(&[("gcc", "6.1.0"), ("clang", "5.0.0"), ("xl", "16.1")]),
+            },
+            TargetInfo {
+                target: Target::new("power8le"),
+                family: "ppc64le".into(),
+                weight: 1,
+                min_compiler: req(&[("gcc", "4.9.0"), ("clang", "3.8.0"), ("xl", "13.1")]),
+            },
+            TargetInfo {
+                target: Target::new("ppc64le"),
+                family: "ppc64le".into(),
+                weight: 2,
+                min_compiler: HashMap::new(),
+            },
+            // aarch64 family.
+            TargetInfo {
+                target: Target::new("neoverse_n1"),
+                family: "aarch64".into(),
+                weight: 0,
+                min_compiler: req(&[("gcc", "9.0.0"), ("clang", "10.0.0")]),
+            },
+            TargetInfo {
+                target: Target::new("aarch64"),
+                family: "aarch64".into(),
+                weight: 1,
+                min_compiler: HashMap::new(),
+            },
+        ];
+        TargetCatalog { entries }
+    }
+
+    /// All catalog entries.
+    pub fn entries(&self) -> &[TargetInfo] {
+        &self.entries
+    }
+
+    /// Entries of one family, best (lowest weight) first.
+    pub fn family(&self, family: &str) -> Vec<&TargetInfo> {
+        let mut v: Vec<&TargetInfo> = self.entries.iter().filter(|e| e.family == family).collect();
+        v.sort_by_key(|e| e.weight);
+        v
+    }
+
+    /// Look up a target by name.
+    pub fn get(&self, name: &str) -> Option<&TargetInfo> {
+        self.entries.iter().find(|e| e.target.name() == name)
+    }
+
+    /// Can `compiler` at `version` generate code for `target`?
+    pub fn compiler_supports(&self, compiler: &str, version: &Version, target: &str) -> bool {
+        match self.get(target) {
+            None => false,
+            Some(info) => {
+                if info.min_compiler.is_empty() {
+                    return true; // generic family target: every compiler can emit it
+                }
+                match info.min_compiler.get(compiler) {
+                    Some(min) => version >= min,
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// The weight (0 = best) of a target, if known.
+    pub fn weight(&self, target: &str) -> Option<u32> {
+        self.get(target).map(|e| e.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_contains_paper_targets() {
+        let cat = TargetCatalog::builtin();
+        for t in ["skylake", "cascadelake", "haswell", "x86_64", "power9le", "aarch64"] {
+            assert!(cat.get(t).is_some(), "missing target {t}");
+        }
+    }
+
+    #[test]
+    fn old_gcc_cannot_target_skylake() {
+        // The paper's example: gcc@4.8.3 cannot generate optimized instructions for skylake.
+        let cat = TargetCatalog::builtin();
+        assert!(!cat.compiler_supports("gcc", &Version::new("4.8.3"), "skylake"));
+        assert!(cat.compiler_supports("gcc", &Version::new("11.2.0"), "skylake"));
+        // Any compiler supports the generic family target.
+        assert!(cat.compiler_supports("gcc", &Version::new("4.8.3"), "x86_64"));
+    }
+
+    #[test]
+    fn weights_prefer_newer() {
+        let cat = TargetCatalog::builtin();
+        assert!(cat.weight("icelake").unwrap() < cat.weight("skylake").unwrap());
+        assert!(cat.weight("skylake").unwrap() < cat.weight("x86_64").unwrap());
+    }
+
+    #[test]
+    fn family_listing_sorted() {
+        let cat = TargetCatalog::builtin();
+        let fam = cat.family("x86_64");
+        assert_eq!(fam.first().unwrap().target.name(), "icelake");
+        assert_eq!(fam.last().unwrap().target.name(), "x86_64");
+    }
+}

@@ -1,0 +1,106 @@
+//! Variants: compile-time build options attached to spec nodes.
+//!
+//! Spack variants are either boolean (`+mpi`, `~shared`) or multi-valued
+//! (`api=default`, `threads=openmp`). In the sigil syntax `+name` enables, `~name` (or
+//! `-name`) disables, and `name=value` selects a value.
+
+use std::fmt;
+
+/// A concrete value for a variant on a concrete spec node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VariantValue {
+    /// Boolean variant value (`+foo` / `~foo`).
+    Bool(bool),
+    /// Single string value (`api=default`).
+    Value(String),
+}
+
+impl VariantValue {
+    /// Canonical textual form used in facts and display (`true`, `false`, or the value).
+    pub fn as_str(&self) -> String {
+        match self {
+            VariantValue::Bool(true) => "true".to_string(),
+            VariantValue::Bool(false) => "false".to_string(),
+            VariantValue::Value(v) => v.clone(),
+        }
+    }
+
+    /// Parse a textual value back into a variant value.
+    pub fn parse(s: &str) -> Self {
+        match s {
+            "true" | "True" | "on" | "yes" => VariantValue::Bool(true),
+            "false" | "False" | "off" | "no" => VariantValue::Bool(false),
+            other => VariantValue::Value(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for VariantValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<bool> for VariantValue {
+    fn from(b: bool) -> Self {
+        VariantValue::Bool(b)
+    }
+}
+
+impl From<&str> for VariantValue {
+    fn from(s: &str) -> Self {
+        VariantValue::parse(s)
+    }
+}
+
+/// A constraint on a variant as it appears in an abstract spec: the variant must take
+/// exactly this value for the constraint to be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VariantConstraint {
+    /// Variant name (e.g. `mpi`, `threads`).
+    pub name: String,
+    /// Required value.
+    pub value: VariantValue,
+}
+
+impl VariantConstraint {
+    /// A boolean `+name` / `~name` constraint.
+    pub fn boolean(name: &str, enabled: bool) -> Self {
+        VariantConstraint { name: name.to_string(), value: VariantValue::Bool(enabled) }
+    }
+
+    /// A `name=value` constraint.
+    pub fn valued(name: &str, value: &str) -> Self {
+        VariantConstraint { name: name.to_string(), value: VariantValue::parse(value) }
+    }
+}
+
+impl fmt::Display for VariantConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            VariantValue::Bool(true) => write!(f, "+{}", self.name),
+            VariantValue::Bool(false) => write!(f, "~{}", self.name),
+            VariantValue::Value(v) => write!(f, "{}={}", self.name, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VariantConstraint::boolean("mpi", true).to_string(), "+mpi");
+        assert_eq!(VariantConstraint::boolean("shared", false).to_string(), "~shared");
+        assert_eq!(VariantConstraint::valued("threads", "openmp").to_string(), "threads=openmp");
+    }
+
+    #[test]
+    fn value_parse_roundtrip() {
+        assert_eq!(VariantValue::parse("true"), VariantValue::Bool(true));
+        assert_eq!(VariantValue::parse("false"), VariantValue::Bool(false));
+        assert_eq!(VariantValue::parse("openmp"), VariantValue::Value("openmp".into()));
+        assert_eq!(VariantValue::Bool(true).as_str(), "true");
+    }
+}

@@ -1,0 +1,459 @@
+//! Package versions and version constraints.
+//!
+//! Spack versions are dotted sequences of numeric and alphanumeric components
+//! (`1.10.2`, `2021.06.14`, `develop`, `1.2.0b3`). Constraints are written with the `@`
+//! sigil: `@1.10.2` (exact-or-prefix), `@1.0.7:` (at least), `@:1.4` (at most),
+//! `@1.2:1.4` (range), and comma-separated unions `@1.2:1.4,2.0:`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// One component of a dotted version: either numeric or an alphanumeric word.
+///
+/// Numeric components compare numerically; alphanumeric components compare
+/// lexicographically and sort *before* numeric components (so `1.2alpha < 1.2.0`
+/// does not arise — we follow the simpler rule that within a position, words sort
+/// before numbers, mirroring Spack's treatment of pre-release words).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// A numeric component such as `10` in `1.10.2`.
+    Num(u64),
+    /// A word component such as `develop` or `rc1`.
+    Word(String),
+}
+
+impl PartialOrd for Component {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Component {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Component::Num(a), Component::Num(b)) => a.cmp(b),
+            (Component::Word(a), Component::Word(b)) => a.cmp(b),
+            // Words (pre-releases, branches) sort before numbers at the same position.
+            (Component::Word(_), Component::Num(_)) => Ordering::Less,
+            (Component::Num(_), Component::Word(_)) => Ordering::Greater,
+        }
+    }
+}
+
+/// A package version: a non-empty sequence of [`Component`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Version {
+    components: Vec<Component>,
+}
+
+impl Version {
+    /// Parse a version from its textual form. Never fails: any string is a version
+    /// (this mirrors Spack, where `develop`, `master`, git hashes etc. are versions).
+    pub fn new(s: &str) -> Self {
+        let mut components = Vec::new();
+        let mut cur = String::new();
+        let mut cur_is_digit: Option<bool> = None;
+        for ch in s.chars() {
+            if ch == '.' || ch == '-' || ch == '_' {
+                if !cur.is_empty() {
+                    components.push(Self::finish(&cur, cur_is_digit));
+                    cur.clear();
+                    cur_is_digit = None;
+                }
+                continue;
+            }
+            let is_digit = ch.is_ascii_digit();
+            match cur_is_digit {
+                None => cur_is_digit = Some(is_digit),
+                Some(prev) if prev != is_digit => {
+                    components.push(Self::finish(&cur, Some(prev)));
+                    cur.clear();
+                    cur_is_digit = Some(is_digit);
+                }
+                _ => {}
+            }
+            cur.push(ch);
+        }
+        if !cur.is_empty() {
+            components.push(Self::finish(&cur, cur_is_digit));
+        }
+        if components.is_empty() {
+            components.push(Component::Word(String::new()));
+        }
+        Version { components }
+    }
+
+    fn finish(cur: &str, is_digit: Option<bool>) -> Component {
+        if is_digit == Some(true) {
+            Component::Num(cur.parse().unwrap_or(u64::MAX))
+        } else {
+            Component::Word(cur.to_string())
+        }
+    }
+
+    /// The components of this version.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// True when `self` is the same as `other` or a more specific version of it,
+    /// e.g. `1.10.2` satisfies `1.10` (prefix match), matching Spack's `@1.10` semantics.
+    pub fn satisfies_prefix(&self, other: &Version) -> bool {
+        if other.components.len() > self.components.len() {
+            return false;
+        }
+        self.components[..other.components.len()] == other.components[..]
+    }
+
+    /// True for versions that denote a moving development branch rather than a release.
+    pub fn is_development(&self) -> bool {
+        matches!(self.components.first(),
+            Some(Component::Word(w)) if w == "develop" || w == "main" || w == "master")
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Development branches are "infinitely new" in Spack; keep that property.
+        match (self.is_development(), other.is_development()) {
+            (true, false) => return Ordering::Greater,
+            (false, true) => return Ordering::Less,
+            _ => {}
+        }
+        let n = self.components.len().max(other.components.len());
+        for i in 0..n {
+            match (self.components.get(i), other.components.get(i)) {
+                (Some(a), Some(b)) => match a.cmp(b) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                },
+                // `1.2` < `1.2.1`
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (None, None) => unreachable!(),
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            match c {
+                Component::Num(n) => write!(f, "{n}")?,
+                Component::Word(w) => write!(f, "{w}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Version {
+    type Err = std::convert::Infallible;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(Version::new(s))
+    }
+}
+
+impl From<&str> for Version {
+    fn from(s: &str) -> Self {
+        Version::new(s)
+    }
+}
+
+/// A contiguous range of versions, possibly open at either end.
+///
+/// `lo: None` means "no lower bound", `hi: None` means "no upper bound"; both bounds are
+/// inclusive, matching Spack's `lo:hi` syntax.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VersionRange {
+    /// Inclusive lower bound, if any.
+    pub lo: Option<Version>,
+    /// Inclusive upper bound, if any.
+    pub hi: Option<Version>,
+}
+
+impl VersionRange {
+    /// The range containing every version.
+    pub fn any() -> Self {
+        VersionRange { lo: None, hi: None }
+    }
+
+    /// The range `[lo, +inf)`.
+    pub fn at_least(lo: Version) -> Self {
+        VersionRange { lo: Some(lo), hi: None }
+    }
+
+    /// The range `(-inf, hi]`.
+    pub fn at_most(hi: Version) -> Self {
+        VersionRange { lo: None, hi: Some(hi) }
+    }
+
+    /// The closed range `[lo, hi]`.
+    pub fn between(lo: Version, hi: Version) -> Self {
+        VersionRange { lo: Some(lo), hi: Some(hi) }
+    }
+
+    /// Does `v` fall inside this range? Upper bounds use prefix-inclusive semantics so
+    /// `:1.4` admits `1.4.3`, like Spack.
+    pub fn contains(&self, v: &Version) -> bool {
+        if let Some(lo) = &self.lo {
+            if v < lo && !v.satisfies_prefix(lo) {
+                return false;
+            }
+        }
+        if let Some(hi) = &self.hi {
+            if v > hi && !v.satisfies_prefix(hi) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Do two ranges overlap (share at least one possible version)?
+    pub fn intersects(&self, other: &VersionRange) -> bool {
+        let lo_ok = match (&self.lo, &other.hi) {
+            (Some(lo), Some(hi)) => lo <= hi || lo.satisfies_prefix(hi) || hi.satisfies_prefix(lo),
+            _ => true,
+        };
+        let hi_ok = match (&self.hi, &other.lo) {
+            (Some(hi), Some(lo)) => lo <= hi || lo.satisfies_prefix(hi) || hi.satisfies_prefix(lo),
+            _ => true,
+        };
+        lo_ok && hi_ok
+    }
+}
+
+impl fmt::Display for VersionRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.lo, &self.hi) {
+            (None, None) => write!(f, ":"),
+            (Some(lo), None) => write!(f, "{lo}:"),
+            (None, Some(hi)) => write!(f, ":{hi}"),
+            (Some(lo), Some(hi)) if lo == hi => write!(f, "{lo}"),
+            (Some(lo), Some(hi)) => write!(f, "{lo}:{hi}"),
+        }
+    }
+}
+
+/// A version constraint: a union of ranges and/or exact versions (`@1.2:1.4,2.0:`).
+///
+/// An empty list means "unconstrained" (anything satisfies it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VersionConstraint {
+    ranges: Vec<VersionRange>,
+}
+
+impl VersionConstraint {
+    /// The unconstrained version constraint.
+    pub fn any() -> Self {
+        VersionConstraint { ranges: Vec::new() }
+    }
+
+    /// A constraint matching exactly one version (and its prefix-extensions).
+    pub fn exact(v: Version) -> Self {
+        VersionConstraint { ranges: vec![VersionRange::between(v.clone(), v)] }
+    }
+
+    /// Build a constraint from a set of ranges.
+    pub fn from_ranges(ranges: Vec<VersionRange>) -> Self {
+        VersionConstraint { ranges }
+    }
+
+    /// Parse the text following an `@` sigil: comma-separated ranges.
+    pub fn parse(s: &str) -> Self {
+        let s = s.trim();
+        if s.is_empty() {
+            return Self::any();
+        }
+        let mut ranges = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim().trim_start_matches('=');
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(idx) = part.find(':') {
+                let (lo, hi) = part.split_at(idx);
+                let hi = &hi[1..];
+                let lo = if lo.is_empty() { None } else { Some(Version::new(lo)) };
+                let hi = if hi.is_empty() { None } else { Some(Version::new(hi)) };
+                ranges.push(VersionRange { lo, hi });
+            } else {
+                let v = Version::new(part);
+                ranges.push(VersionRange::between(v.clone(), v));
+            }
+        }
+        VersionConstraint { ranges }
+    }
+
+    /// True when no range was given (matches everything).
+    pub fn is_any(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The ranges of this constraint.
+    pub fn ranges(&self) -> &[VersionRange] {
+        &self.ranges
+    }
+
+    /// Does a concrete version satisfy this constraint?
+    pub fn satisfies(&self, v: &Version) -> bool {
+        self.is_any() || self.ranges.iter().any(|r| r.contains(v))
+    }
+
+    /// Could the two constraints be satisfied by a common version?
+    /// (Conservative: true when any pair of ranges overlaps.)
+    pub fn intersects(&self, other: &VersionConstraint) -> bool {
+        if self.is_any() || other.is_any() {
+            return true;
+        }
+        self.ranges
+            .iter()
+            .any(|a| other.ranges.iter().any(|b| a.intersects(b)))
+    }
+
+    /// Narrow this constraint by another one (logical AND): the result is the pairwise
+    /// intersection of the two constraints' ranges. If the intersection is empty the
+    /// constraint becomes unsatisfiable (a single empty range).
+    pub fn constrain(&mut self, other: &VersionConstraint) {
+        if self.is_any() {
+            self.ranges = other.ranges.clone();
+            return;
+        }
+        if other.is_any() {
+            return;
+        }
+        let mut result = Vec::new();
+        for a in &self.ranges {
+            for b in &other.ranges {
+                if !a.intersects(b) {
+                    continue;
+                }
+                let lo = match (&a.lo, &b.lo) {
+                    (Some(x), Some(y)) => Some(if x >= y { x.clone() } else { y.clone() }),
+                    (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+                    (None, None) => None,
+                };
+                let hi = match (&a.hi, &b.hi) {
+                    (Some(x), Some(y)) => Some(if x <= y { x.clone() } else { y.clone() }),
+                    (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+                    (None, None) => None,
+                };
+                result.push(VersionRange { lo, hi });
+            }
+        }
+        if result.is_empty() {
+            // Unsatisfiable: an empty range that no version can satisfy.
+            result.push(VersionRange {
+                lo: Some(Version::new("999999999")),
+                hi: Some(Version::new("0")),
+            });
+        }
+        self.ranges = result;
+    }
+}
+
+impl fmt::Display for VersionConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            return write!(f, ":");
+        }
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_ordering_numeric() {
+        assert!(Version::new("1.10.2") > Version::new("1.9.0"));
+        assert!(Version::new("1.2") < Version::new("1.2.1"));
+        assert!(Version::new("2.0") > Version::new("1.99.99"));
+        assert_eq!(Version::new("1.02"), Version::new("1.2"));
+    }
+
+    #[test]
+    fn version_ordering_words() {
+        assert!(Version::new("develop") > Version::new("99.0"));
+        assert!(Version::new("1.2rc1") < Version::new("1.2.0"));
+        assert!(Version::new("1.2alpha") < Version::new("1.2beta"));
+    }
+
+    #[test]
+    fn version_display_roundtrip() {
+        for s in ["1.10.2", "3.21.4", "2021.6.14"] {
+            assert_eq!(Version::new(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn prefix_satisfaction() {
+        assert!(Version::new("1.10.2").satisfies_prefix(&Version::new("1.10")));
+        assert!(!Version::new("1.10.2").satisfies_prefix(&Version::new("1.10.2.1")));
+        assert!(!Version::new("1.11").satisfies_prefix(&Version::new("1.10")));
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = VersionRange::at_least(Version::new("1.0.7"));
+        assert!(r.contains(&Version::new("1.0.7")));
+        assert!(r.contains(&Version::new("1.0.8")));
+        assert!(!r.contains(&Version::new("1.0.6")));
+
+        let r = VersionRange::at_most(Version::new("1.4"));
+        assert!(r.contains(&Version::new("1.4.3")), "upper bounds are prefix-inclusive");
+        assert!(!r.contains(&Version::new("1.5")));
+    }
+
+    #[test]
+    fn constraint_parse_and_satisfy() {
+        let c = VersionConstraint::parse("1.0.7:");
+        assert!(c.satisfies(&Version::new("1.0.8")));
+        assert!(!c.satisfies(&Version::new("1.0.6")));
+
+        let c = VersionConstraint::parse("1.2:1.4,2.0:");
+        assert!(c.satisfies(&Version::new("1.3")));
+        assert!(c.satisfies(&Version::new("2.5")));
+        assert!(!c.satisfies(&Version::new("1.5")));
+
+        let c = VersionConstraint::parse("1.10.2");
+        assert!(c.satisfies(&Version::new("1.10.2")));
+        assert!(!c.satisfies(&Version::new("1.10.3")));
+    }
+
+    #[test]
+    fn constraint_intersection() {
+        let a = VersionConstraint::parse("1.2.8:");
+        let b = VersionConstraint::parse(":1.2.11");
+        assert!(a.intersects(&b));
+        let c = VersionConstraint::parse(":1.2.5");
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn constrain_narrows() {
+        let mut a = VersionConstraint::any();
+        a.constrain(&VersionConstraint::parse("1.2:"));
+        assert!(!a.is_any());
+        assert!(a.satisfies(&Version::new("1.3")));
+    }
+}

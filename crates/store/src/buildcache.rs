@@ -1,0 +1,283 @@
+//! Synthetic buildcache generation.
+//!
+//! The paper's reuse experiments (Figures 7e–7g) sweep the size of the E4S binary
+//! buildcache: 6,804 / 15,255 / 27,160 / 63,099 pre-built packages, obtained by
+//! restricting the full cache to one architecture (`ppc64le`) and/or one operating system
+//! (`rhel7`). The real cache is not available to this reproduction, so
+//! [`synthesize_buildcache`] creates an equivalent artifact: for every package in a
+//! repository, the default configuration is "installed" once per
+//! (operating system × target × compiler) combination, producing a database with the
+//! same multiplicative structure (and therefore the same kind of restriction sweep).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spack_repo::{PackageDef, Repository};
+use spack_spec::{Compiler, Platform, VariantValue};
+
+use crate::database::{Database, InstalledSpec};
+
+/// Configuration of the synthetic buildcache.
+#[derive(Debug, Clone)]
+pub struct BuildcacheConfig {
+    /// `(platform, operating system, target)` triples to populate.
+    pub architectures: Vec<(Platform, String, String)>,
+    /// Compilers to populate.
+    pub compilers: Vec<Compiler>,
+    /// When > 1, additionally create this many *older-version* replicas per package and
+    /// combination, inflating the cache the way real caches accumulate history.
+    pub replicas: usize,
+    /// Seed for picking which non-default variants the replicas flip.
+    pub seed: u64,
+}
+
+impl Default for BuildcacheConfig {
+    fn default() -> Self {
+        BuildcacheConfig {
+            architectures: vec![
+                (Platform::Linux, "rhel7".to_string(), "ppc64le".to_string()),
+                (Platform::Linux, "rhel7".to_string(), "x86_64".to_string()),
+                (Platform::Linux, "centos8".to_string(), "ppc64le".to_string()),
+                (Platform::Linux, "centos8".to_string(), "skylake".to_string()),
+            ],
+            compilers: vec![Compiler::new("gcc", "11.2.0"), Compiler::new("gcc", "8.3.1")],
+            replicas: 1,
+            seed: 0xCAC4E,
+        }
+    }
+}
+
+impl BuildcacheConfig {
+    /// The four buildcache scopes used in the paper, from smallest to largest:
+    /// (ppc64le ∧ rhel7), rhel7, ppc64le, full.
+    pub fn paper_scopes() -> [(&'static str, BuildcacheScope); 4] {
+        [
+            ("ppc64le+rhel7", BuildcacheScope { os: Some("rhel7"), target: Some("ppc64le") }),
+            ("rhel7", BuildcacheScope { os: Some("rhel7"), target: None }),
+            ("ppc64le", BuildcacheScope { os: None, target: Some("ppc64le") }),
+            ("full", BuildcacheScope { os: None, target: None }),
+        ]
+    }
+}
+
+/// A restriction of a buildcache to an OS and/or target, as used in Figures 7e–7g.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildcacheScope {
+    /// Keep only this operating system, if set.
+    pub os: Option<&'static str>,
+    /// Keep only this target, if set.
+    pub target: Option<&'static str>,
+}
+
+impl BuildcacheScope {
+    /// Apply the restriction.
+    pub fn apply(&self, db: &Database) -> Database {
+        db.filter(|r| {
+            self.os.map(|os| r.os == os).unwrap_or(true)
+                && self.target.map(|t| r.target == t).unwrap_or(true)
+        })
+    }
+}
+
+/// Synthesize a buildcache for every package of `repo` under `config`.
+pub fn synthesize_buildcache(repo: &Repository, config: &BuildcacheConfig) -> Database {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Topologically order packages so dependency hashes exist before dependents.
+    let order = topological_names(repo);
+    for (platform, os, target) in &config.architectures {
+        for compiler in &config.compilers {
+            for replica in 0..config.replicas.max(1) {
+                // hash of the record created for each package in this combination
+                let mut hashes: BTreeMap<String, String> = BTreeMap::new();
+                for name in &order {
+                    let pkg = match repo.get(name) {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    let record = default_record(
+                        repo, pkg, *platform, os, target, compiler, replica, &hashes, &mut rng,
+                    );
+                    let hash = db.add(record);
+                    hashes.insert(name.clone(), hash);
+                }
+            }
+        }
+    }
+    db
+}
+
+/// The default (preferred-version, default-variant) installed record of a package.
+#[allow(clippy::too_many_arguments)]
+fn default_record(
+    repo: &Repository,
+    pkg: &PackageDef,
+    platform: Platform,
+    os: &str,
+    target: &str,
+    compiler: &Compiler,
+    replica: usize,
+    hashes: &BTreeMap<String, String>,
+    rng: &mut StdRng,
+) -> InstalledSpec {
+    // Replicas > 0 install an older version when one exists (caches accumulate history).
+    let version = if replica == 0 || pkg.versions.len() < 2 {
+        pkg.preferred_version().cloned().unwrap_or_else(|| spack_spec::Version::new("1.0"))
+    } else {
+        pkg.versions[1.min(pkg.versions.len() - 1) + (replica - 1).min(pkg.versions.len() - 2)]
+            .version
+            .clone()
+    };
+    let mut variants: BTreeMap<String, VariantValue> = BTreeMap::new();
+    for v in &pkg.variants {
+        let mut value = v.default.clone();
+        // Replicas occasionally flip a boolean variant, like real caches do.
+        if replica > 0 && rng.gen_bool(0.2) {
+            if let VariantValue::Bool(b) = value {
+                value = VariantValue::Bool(!b);
+            }
+        }
+        variants.insert(v.name.clone(), value);
+    }
+    // Dependencies: unconditional ones plus those whose condition is met by defaults.
+    let mut deps = Vec::new();
+    for dep in &pkg.dependencies {
+        let applies = dep.when.is_empty()
+            || dep.when.variants.iter().all(|(k, v)| variants.get(k) == Some(v))
+                && dep.when.versions.satisfies(&version)
+                && dep.when.compiler.is_none();
+        if !applies {
+            continue;
+        }
+        let dep_name = dep.spec.name.as_deref().unwrap_or_default();
+        let resolved = if repo.is_virtual(dep_name) {
+            repo.providers(dep_name).first().cloned()
+        } else {
+            Some(dep_name.to_string())
+        };
+        if let Some(resolved) = resolved {
+            if let Some(hash) = hashes.get(&resolved) {
+                deps.push((resolved, hash.clone()));
+            }
+        }
+    }
+    let provides = pkg.provides.iter().map(|p| p.virtual_name.clone()).collect();
+    InstalledSpec {
+        hash: String::new(),
+        name: pkg.name.clone(),
+        version,
+        variants,
+        compiler: compiler.clone(),
+        os: os.to_string(),
+        platform,
+        target: target.to_string(),
+        provides,
+        deps,
+    }
+}
+
+/// Package names in dependency-first order (virtual edges resolved to their first
+/// provider; conditional edges included). Cycles are broken arbitrarily.
+fn topological_names(repo: &Repository) -> Vec<String> {
+    let mut order = Vec::new();
+    let mut state: BTreeMap<String, u8> = BTreeMap::new(); // 0 = unvisited, 1 = visiting, 2 = done
+    fn visit(repo: &Repository, name: &str, state: &mut BTreeMap<String, u8>, order: &mut Vec<String>) {
+        match state.get(name).copied().unwrap_or(0) {
+            1 | 2 => return,
+            _ => {}
+        }
+        state.insert(name.to_string(), 1);
+        if let Some(pkg) = repo.get(name) {
+            for dep in pkg.possible_dependency_names() {
+                let resolved = if repo.is_virtual(dep) {
+                    repo.providers(dep).first().cloned()
+                } else {
+                    Some(dep.to_string())
+                };
+                if let Some(r) = resolved {
+                    visit(repo, &r, state, order);
+                }
+            }
+        }
+        state.insert(name.to_string(), 2);
+        order.push(name.to_string());
+    }
+    let names: Vec<String> = repo.names().map(|s| s.to_string()).collect();
+    for name in names {
+        visit(repo, &name, &mut state, &mut order);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_repo::builtin_repo;
+
+    #[test]
+    fn buildcache_covers_every_package_and_combination() {
+        let repo = builtin_repo();
+        let config = BuildcacheConfig::default();
+        let db = synthesize_buildcache(&repo, &config);
+        // 4 architectures x 2 compilers, minus hash collisions for packages that are
+        // identical across combinations (there are none: os/target/compiler differ).
+        assert!(db.len() >= repo.len() * 4);
+        assert!(!db.with_name("zlib").is_empty());
+        assert!(!db.with_name("hdf5").is_empty());
+    }
+
+    #[test]
+    fn scopes_shrink_monotonically() {
+        let repo = builtin_repo();
+        let db = synthesize_buildcache(&repo, &BuildcacheConfig::default());
+        let scopes = BuildcacheConfig::paper_scopes();
+        let sizes: Vec<usize> = scopes.iter().map(|(_, s)| s.apply(&db).len()).collect();
+        // Ordered smallest to largest, and the full scope keeps everything.
+        assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[3]);
+        assert!(sizes[0] <= sizes[2] && sizes[2] <= sizes[3]);
+        assert_eq!(sizes[3], db.len());
+        assert!(sizes[0] > 0);
+    }
+
+    #[test]
+    fn cached_records_reference_cached_dependencies() {
+        let repo = builtin_repo();
+        let db = synthesize_buildcache(&repo, &BuildcacheConfig::default());
+        for record in db.iter() {
+            for (dep_name, dep_hash) in &record.deps {
+                let dep = db.get(dep_hash).unwrap_or_else(|| {
+                    panic!("{}: dependency {dep_name} hash not in cache", record.name)
+                });
+                assert_eq!(&dep.name, dep_name);
+                assert_eq!(dep.os, record.os, "dependencies share the arch of the parent");
+                assert_eq!(dep.target, record.target);
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_inflate_the_cache() {
+        let repo = builtin_repo();
+        let small = synthesize_buildcache(&repo, &BuildcacheConfig { replicas: 1, ..Default::default() });
+        let big = synthesize_buildcache(&repo, &BuildcacheConfig { replicas: 3, ..Default::default() });
+        assert!(big.len() > small.len());
+    }
+
+    #[test]
+    fn virtual_dependencies_resolve_to_a_provider() {
+        let repo = builtin_repo();
+        let db = synthesize_buildcache(&repo, &BuildcacheConfig::default());
+        let hdf5 = &db.with_name("hdf5")[0];
+        // hdf5 +mpi (default) must depend on a concrete MPI provider, not on "mpi".
+        assert!(hdf5.deps.iter().all(|(n, _)| n != "mpi"));
+        assert!(
+            hdf5.deps
+                .iter()
+                .any(|(n, _)| repo.providers("mpi").contains(n)),
+            "hdf5 should link against an mpi provider: {:?}",
+            hdf5.deps
+        );
+    }
+}

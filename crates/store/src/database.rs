@@ -1,0 +1,289 @@
+//! The installation database: concrete, installed specs keyed by DAG hash.
+
+use std::collections::BTreeMap;
+
+use spack_spec::hash::dag_hash;
+use spack_spec::{Compiler, ConcreteSpec, Platform, VariantValue, Version};
+
+/// One installed (or cached) concrete package: a single node of an installation DAG,
+/// with its dependencies referenced by hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstalledSpec {
+    /// The DAG hash identifying this exact configuration.
+    pub hash: String,
+    /// Package name.
+    pub name: String,
+    /// Installed version.
+    pub version: Version,
+    /// Variant values.
+    pub variants: BTreeMap<String, VariantValue>,
+    /// Compiler used.
+    pub compiler: Compiler,
+    /// Operating system.
+    pub os: String,
+    /// Platform.
+    pub platform: Platform,
+    /// Target microarchitecture.
+    pub target: String,
+    /// Virtuals provided by this installation.
+    pub provides: Vec<String>,
+    /// Dependencies as `(package name, hash)` pairs.
+    pub deps: Vec<(String, String)>,
+}
+
+impl InstalledSpec {
+    /// Canonical single-node description used for hashing and display.
+    pub fn description(&self) -> String {
+        let mut s = format!("{}@{}%{}", self.name, self.version, self.compiler);
+        for (k, v) in &self.variants {
+            match v {
+                VariantValue::Bool(true) => s.push_str(&format!("+{k}")),
+                VariantValue::Bool(false) => s.push_str(&format!("~{k}")),
+                VariantValue::Value(val) => s.push_str(&format!(" {k}={val}")),
+            }
+        }
+        s.push_str(&format!(" arch={}-{}-{}", self.platform, self.os, self.target));
+        s
+    }
+
+    /// Recompute the DAG hash from the node description and dependency hashes.
+    pub fn compute_hash(&self) -> String {
+        let mut dep_hashes: Vec<String> = self.deps.iter().map(|(_, h)| h.clone()).collect();
+        dep_hashes.sort();
+        dag_hash(&self.description(), &dep_hashes)
+    }
+}
+
+/// The database of installed specs.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    by_hash: BTreeMap<String, InstalledSpec>,
+    by_name: BTreeMap<String, Vec<String>>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of installed records.
+    pub fn len(&self) -> usize {
+        self.by_hash.len()
+    }
+
+    /// True when nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.by_hash.is_empty()
+    }
+
+    /// Add a record (its hash is recomputed to keep the database consistent).
+    pub fn add(&mut self, mut record: InstalledSpec) -> String {
+        record.hash = record.compute_hash();
+        let hash = record.hash.clone();
+        if !self.by_hash.contains_key(&hash) {
+            self.by_name
+                .entry(record.name.clone())
+                .or_default()
+                .push(hash.clone());
+            self.by_hash.insert(hash.clone(), record);
+        }
+        hash
+    }
+
+    /// Add every node of a concrete spec DAG (dependencies first), returning the hash of
+    /// each root.
+    pub fn add_concrete_spec(&mut self, spec: &ConcreteSpec) -> Vec<String> {
+        // Process in post-order (children before parents) so dependency hashes exist
+        // before the nodes that reference them.
+        fn post_order(spec: &ConcreteSpec, i: usize, seen: &mut [bool], order: &mut Vec<usize>) {
+            if seen[i] {
+                return;
+            }
+            seen[i] = true;
+            for &(d, _) in &spec.nodes[i].deps {
+                post_order(spec, d, seen, order);
+            }
+            order.push(i);
+        }
+        let mut order = Vec::with_capacity(spec.nodes.len());
+        let mut seen = vec![false; spec.nodes.len()];
+        for i in 0..spec.nodes.len() {
+            post_order(spec, i, &mut seen, &mut order);
+        }
+        let mut hashes: Vec<Option<String>> = vec![None; spec.nodes.len()];
+        for &i in order.iter() {
+            let node = &spec.nodes[i];
+            let deps: Vec<(String, String)> = node
+                .deps
+                .iter()
+                .map(|&(d, _)| {
+                    (
+                        spec.nodes[d].name.clone(),
+                        hashes[d].clone().expect("dependency hashed first"),
+                    )
+                })
+                .collect();
+            let record = InstalledSpec {
+                hash: String::new(),
+                name: node.name.clone(),
+                version: node.version.clone(),
+                variants: node.variants.clone(),
+                compiler: node.compiler.clone(),
+                os: node.os.clone(),
+                platform: node.platform,
+                target: node.target.clone(),
+                provides: node.provides.clone(),
+                deps,
+            };
+            hashes[i] = Some(self.add(record));
+        }
+        spec.roots
+            .iter()
+            .map(|&r| hashes[r].clone().expect("root hashed"))
+            .collect()
+    }
+
+    /// Look up a record by hash.
+    pub fn get(&self, hash: &str) -> Option<&InstalledSpec> {
+        self.by_hash.get(hash)
+    }
+
+    /// All records for a package name.
+    pub fn with_name(&self, name: &str) -> Vec<&InstalledSpec> {
+        self.by_name
+            .get(name)
+            .map(|hashes| hashes.iter().filter_map(|h| self.by_hash.get(h)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterate over all installed records.
+    pub fn iter(&self) -> impl Iterator<Item = &InstalledSpec> {
+        self.by_hash.values()
+    }
+
+    /// Hash-based exact-match reuse, as the *original* concretizer did it (Fig. 4): a
+    /// node of a freshly concretized DAG is reused only if an installation with exactly
+    /// the same hash exists.
+    pub fn query_exact(&self, spec: &ConcreteSpec, node_index: usize) -> Option<&InstalledSpec> {
+        let hash = spec.node_hash(node_index);
+        self.by_hash.get(&hash)
+    }
+
+    /// Restrict the database to records matching a predicate (used to build the
+    /// OS/architecture-restricted buildcaches of Figures 7e–7g).
+    pub fn filter(&self, pred: impl Fn(&InstalledSpec) -> bool) -> Database {
+        let mut db = Database::new();
+        for record in self.by_hash.values() {
+            if pred(record) {
+                db.add(record.clone());
+            }
+        }
+        db
+    }
+
+    /// Merge another database into this one.
+    pub fn merge(&mut self, other: &Database) {
+        for record in other.iter() {
+            self.add(record.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spack_spec::spec::{ConcreteNode, DepKind};
+
+    fn sample_spec() -> ConcreteSpec {
+        let zlib = ConcreteNode {
+            name: "zlib".into(),
+            version: Version::new("1.2.11"),
+            variants: BTreeMap::new(),
+            compiler: Compiler::new("gcc", "11.2.0"),
+            os: "centos8".into(),
+            platform: Platform::Linux,
+            target: "skylake".into(),
+            deps: vec![],
+            provides: vec![],
+        };
+        let hdf5 = ConcreteNode {
+            name: "hdf5".into(),
+            version: Version::new("1.12.1"),
+            variants: BTreeMap::from([("mpi".to_string(), VariantValue::Bool(false))]),
+            compiler: Compiler::new("gcc", "11.2.0"),
+            os: "centos8".into(),
+            platform: Platform::Linux,
+            target: "skylake".into(),
+            deps: vec![(0, DepKind::Link)],
+            provides: vec![],
+        };
+        ConcreteSpec { nodes: vec![zlib, hdf5], roots: vec![1] }
+    }
+
+    #[test]
+    fn add_concrete_spec_stores_all_nodes() {
+        let mut db = Database::new();
+        let roots = db.add_concrete_spec(&sample_spec());
+        assert_eq!(db.len(), 2);
+        assert_eq!(roots.len(), 1);
+        let root = db.get(&roots[0]).unwrap();
+        assert_eq!(root.name, "hdf5");
+        assert_eq!(root.deps.len(), 1);
+        assert_eq!(root.deps[0].0, "zlib");
+        assert!(db.get(&root.deps[0].1).is_some());
+    }
+
+    #[test]
+    fn exact_hash_query_matches_only_identical_configurations() {
+        let mut db = Database::new();
+        db.add_concrete_spec(&sample_spec());
+        let spec = sample_spec();
+        let root = spec.find("hdf5").unwrap();
+        assert!(db.query_exact(&spec, root).is_some(), "identical spec must hit");
+
+        // A small configuration change (zlib version) misses, as in Fig. 4/6a.
+        let mut changed = sample_spec();
+        changed.nodes[0].version = Version::new("1.2.12");
+        assert!(db.query_exact(&changed, root).is_none(), "changed dependency must miss");
+    }
+
+    #[test]
+    fn name_index_and_filter() {
+        let mut db = Database::new();
+        db.add_concrete_spec(&sample_spec());
+        let mut other = sample_spec();
+        other.nodes[1].os = "rhel7".into();
+        other.nodes[0].os = "rhel7".into();
+        db.add_concrete_spec(&other);
+        assert_eq!(db.with_name("hdf5").len(), 2);
+
+        let rhel_only = db.filter(|r| r.os == "rhel7");
+        assert_eq!(rhel_only.len(), 2);
+        assert!(rhel_only.with_name("hdf5").iter().all(|r| r.os == "rhel7"));
+    }
+
+    #[test]
+    fn hashes_are_stable_and_content_addressed() {
+        let mut db1 = Database::new();
+        let mut db2 = Database::new();
+        let h1 = db1.add_concrete_spec(&sample_spec());
+        let h2 = db2.add_concrete_spec(&sample_spec());
+        assert_eq!(h1, h2, "hashing must be deterministic across databases");
+        assert_eq!(h1[0].len(), spack_spec::hash::HASH_LEN);
+    }
+
+    #[test]
+    fn merge_combines_databases() {
+        let mut a = Database::new();
+        a.add_concrete_spec(&sample_spec());
+        let mut changed = sample_spec();
+        changed.nodes[1].version = Version::new("1.13.1");
+        let mut b = Database::new();
+        b.add_concrete_spec(&changed);
+        a.merge(&b);
+        assert_eq!(a.with_name("hdf5").len(), 2);
+        // zlib is identical in both DAGs: content addressing dedups it.
+        assert_eq!(a.with_name("zlib").len(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Installation database and buildcache model.
+//!
+//! Spack records every installed configuration in a database keyed by the DAG hash of the
+//! concrete spec (Fig. 4 of the paper); binary buildcaches are the same metadata for
+//! pre-built archives. The concretizer's *reuse* optimization (Section VI) consumes this
+//! metadata as facts: `installed_hash(pkg, hash)` plus one `imposed_constraint(hash, ...)`
+//! per attribute of the installed spec.
+//!
+//! * [`Database`] — installed records indexed by hash and by package name, with the
+//!   exact-hash query used by the *old* (hash-based) reuse scheme,
+//! * [`buildcache`] — a synthesizer of E4S-like buildcaches: default configurations of
+//!   every package in a repository replicated across architectures, operating systems,
+//!   and compilers, used to reproduce the buildcache-size sweep of Figures 7e–7g.
+
+#![warn(missing_docs)]
+
+pub mod buildcache;
+pub mod database;
+
+pub use buildcache::{synthesize_buildcache, BuildcacheConfig};
+pub use database::{Database, InstalledSpec};

@@ -1,0 +1,68 @@
+//! Spec syntax tour (Table I of the paper).
+//!
+//! Parses one spec for every sigil in Table I (and a few combined forms), shows what the
+//! parser understood, and round-trips the result through `Display`.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example spec_syntax
+//! ```
+
+use spack_spec::parse_spec;
+
+fn main() {
+    let examples: &[(&str, &str)] = &[
+        ("hdf5%gcc", "use a particular compiler"),
+        ("hdf5@1.10.2", "require version(s)"),
+        ("hdf5%gcc@10.3.1", "require compiler version(s)"),
+        ("hdf5+mpi", "enable a variant"),
+        ("hdf5~mpi", "disable a variant"),
+        ("hdf5 mpi=true", "require a particular variant value"),
+        ("hdf5 api=default", "multi-valued variant"),
+        ("hdf5 target=skylake", "build target value"),
+        (
+            "hdf5@1.10.2 ^zlib%gcc ^cmake target=aarch64",
+            "recursive constraints on dependencies (Section III-A)",
+        ),
+        (
+            "example@1.0.0+bzip%gcc@11.2.0 arch=linux-centos8-skylake",
+            "a fully constrained node in one string",
+        ),
+        ("+openmp ^openblas", "an anonymous `when=` condition (Section V-A)"),
+    ];
+
+    println!("{:<55} {}", "spec", "meaning");
+    println!("{}", "-".repeat(100));
+    for (text, meaning) in examples {
+        match parse_spec(text) {
+            Ok(spec) => {
+                println!("{text:<55} {meaning}");
+                println!("    parsed name      : {:?}", spec.name);
+                if !spec.versions.is_any() {
+                    println!("    version constraint: @{}", spec.versions);
+                }
+                if let Some(c) = &spec.compiler {
+                    println!("    compiler          : {c}");
+                }
+                if !spec.variants.is_empty() {
+                    let variants: Vec<String> =
+                        spec.variants.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    println!("    variants          : {}", variants.join(", "));
+                }
+                if let Some(t) = &spec.target {
+                    println!("    target            : {t}");
+                }
+                if !spec.dependencies.is_empty() {
+                    let deps: Vec<String> =
+                        spec.dependencies.iter().map(|d| d.to_string()).collect();
+                    println!("    dependencies      : {}", deps.join(" | "));
+                }
+                let round_trip = parse_spec(&spec.to_string()).expect("round trip parses");
+                assert_eq!(round_trip, spec, "display/parse round trip must be stable");
+                println!("    canonical form    : {spec}");
+            }
+            Err(err) => println!("{text:<55} PARSE ERROR: {err}"),
+        }
+        println!();
+    }
+}
