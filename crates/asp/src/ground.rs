@@ -191,6 +191,18 @@ struct CMinimize {
     nvars: usize,
 }
 
+/// Minimize tuples collected during grounding: `(priority, weight, terms)` keys mapped
+/// to the condition bodies (positive, negative atom lists) under which they are paid.
+type MinimizeTuples = HashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>>;
+
+/// Callback invoked for every complete substitution of a rule's positive body.
+type OnJoinMatch<'cb, 's> = dyn FnMut(&mut Grounder<'s>, &mut GroundProgram, &[Option<Val>]) -> Result<(), GroundError>
+    + 'cb;
+
+/// Callback invoked for every complete assignment of a condition list's variables.
+type OnConditionMatch<'cb> =
+    dyn FnMut(&mut GroundProgram, &[Option<Val>]) -> Result<(), GroundError> + 'cb;
+
 /// The grounder.
 pub struct Grounder<'a> {
     symbols: &'a mut SymbolTable,
@@ -272,8 +284,7 @@ impl<'a> Grounder<'a> {
             self.phase2_rule(rule, &mut ground, &mut seen_rules)?;
         }
         // Minimize statements.
-        let mut tuples: HashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>> =
-            HashMap::new();
+        let mut tuples: MinimizeTuples = HashMap::new();
         for m in &cminimize {
             self.ground_minimize(m, &ground, &mut tuples)?;
         }
@@ -792,11 +803,7 @@ impl<'a> Grounder<'a> {
         delta: &[bool],
         ground: &mut GroundProgram,
         subst: &mut Vec<Option<Val>>,
-        on_match: &mut dyn FnMut(
-            &mut Self,
-            &mut GroundProgram,
-            &[Option<Val>],
-        ) -> Result<(), GroundError>,
+        on_match: &mut OnJoinMatch<'_, 'a>,
     ) -> Result<(), GroundError> {
         if index == rule.pos.len() {
             return on_match(self, ground, subst);
@@ -835,7 +842,7 @@ impl<'a> Grounder<'a> {
         ground: &mut GroundProgram,
         subst: &mut Vec<Option<Val>>,
         certain_only: bool,
-        on_match: &mut dyn FnMut(&mut GroundProgram, &[Option<Val>]) -> Result<(), GroundError>,
+        on_match: &mut OnConditionMatch<'_>,
     ) -> Result<(), GroundError> {
         if index == conditions.len() {
             return on_match(ground, subst);
@@ -867,7 +874,7 @@ impl<'a> Grounder<'a> {
         &mut self,
         m: &CMinimize,
         ground: &GroundProgram,
-        tuples: &mut HashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>>,
+        tuples: &mut MinimizeTuples,
     ) -> Result<(), GroundError> {
         // Join positive conditions over possible atoms.
         let mut stack: Vec<(usize, Vec<Option<Val>>)> = vec![(0, vec![None; m.nvars])];
@@ -944,11 +951,7 @@ impl<'a> Grounder<'a> {
         Ok(())
     }
 
-    fn emit_minimize(
-        &mut self,
-        tuples: HashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>>,
-        ground: &mut GroundProgram,
-    ) {
+    fn emit_minimize(&mut self, tuples: MinimizeTuples, ground: &mut GroundProgram) {
         let aux_pred = self.symbols.intern("__opt_tuple");
         let mut counter: i64 = 0;
         let mut sorted: Vec<_> = tuples.into_iter().collect();
@@ -1375,10 +1378,15 @@ mod tests {
         let facts = vec![GroundAtom::new(q, vec![a])];
         // The head variable X is never bound by a positive literal; grounding either
         // produces no instance (body empty) or reports an error — it must not panic.
-        let result = Grounder::new(&mut symbols).ground(&program, &facts);
-        match result {
-            Ok(g) => assert!(g.rules.iter().all(|r| r.head.is_none() || !r.pos.is_empty() || true)),
-            Err(_) => {}
+        if let Ok(g) = Grounder::new(&mut symbols).ground(&program, &facts) {
+            // If grounding succeeds, the unsafe rule must not have produced any
+            // p-instance out of thin air.
+            for rule in &g.rules {
+                if let Some(head) = rule.head {
+                    let name = g.atoms.atom(head).display(&symbols).to_string();
+                    assert!(!name.starts_with("p("), "unsafe rule derived {name}");
+                }
+            }
         }
     }
 

@@ -341,7 +341,7 @@ fn run(
                 // consequence of the program (not of the bounds), so it persists.
                 let nogood: Vec<Lit> = unfounded.iter().map(|&a| Lit::neg(a as Var)).collect();
                 stats.loop_nogoods += 1;
-                if debug && stats.loop_nogoods % 50 == 0 {
+                if debug && stats.loop_nogoods.is_multiple_of(50) {
                     eprintln!("[asp] {} loop nogoods so far (unfounded set size {})", stats.loop_nogoods, unfounded.len());
                 }
                 extra_clauses.push(nogood.clone());

@@ -646,8 +646,7 @@ impl Solver {
         } else {
             lin.lits
                 .iter()
-                .filter(|&&l| self.value_lit(l) == Value::False)
-                .map(|&l| l)
+                .filter(|&&l| self.value_lit(l) == Value::False).copied()
                 .collect()
         }
     }
@@ -665,8 +664,7 @@ impl Solver {
         self.linears[idx]
             .lits
             .iter()
-            .filter(|&&l| self.value_lit(l) == Value::False)
-            .map(|&l| l)
+            .filter(|&&l| self.value_lit(l) == Value::False).copied()
             .collect()
     }
 

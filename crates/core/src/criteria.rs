@@ -7,6 +7,36 @@
 //! high-priority bucket (`priority + BUILD_PRIORITY_OFFSET`), contributions from packages
 //! that are *reused* land in the low-priority bucket, and the total number of builds sits
 //! between the two bucket groups at [`BUILD_COUNT_PRIORITY`].
+//!
+//! # Table II — criterion ↔ priority ↔ bucket map
+//!
+//! Each rank `r` of Table II becomes the ASP priority `16 - r` for contributions from
+//! *reused* packages and `16 - r + 200` for contributions from *built* packages
+//! (Fig. 5); the corresponding `#minimize` statement in `concretize.lp` writes the
+//! priority as `base + Prio` with `Prio` bound by `build_priority/2`.
+//!
+//! | rank | criterion (Table II)                  | scope     | reuse prio | build prio | `concretize.lp` source      |
+//! |------|---------------------------------------|-----------|-----------:|-----------:|-----------------------------|
+//! | 1    | Deprecated versions used              | all       | 15         | 215        | `deprecated_version/2`      |
+//! | 2    | Version oldness (roots)               | roots     | 14         | 214        | `version_weight/3`          |
+//! | 3    | Non-default variant values (roots)    | roots     | 13         | 213        | `variant_not_default/2`     |
+//! | 4    | Non-preferred providers (roots)       | roots     | 12         | 212        | `provider_weight_used/3`    |
+//! | 5    | Unused default variant values (roots) | roots     | 11         | 211        | `default_unused/2`          |
+//! | 6    | Non-default variant values (non-roots)| non-roots | 10         | 210        | `variant_not_default/2`     |
+//! | 7    | Non-preferred providers (non-roots)   | non-roots | 9          | 209        | `provider_weight_used/3`    |
+//! | 8    | Compiler mismatches                   | all edges | 8          | 208        | `compiler_mismatch/2`       |
+//! | 9    | OS mismatches                         | all edges | 7          | 207        | `os_mismatch/2`             |
+//! | 10   | Non-preferred OS's                    | all       | 6          | 206        | `node_os_weight/2`          |
+//! | 11   | Version oldness (non-roots)           | non-roots | 5          | 205        | `version_weight/3`          |
+//! | 12   | Unused default variant values (n-r)   | non-roots | 4          | 204        | `default_unused/2`          |
+//! | 13   | Non-preferred compilers               | all       | 3          | 203        | `node_compiler_weight/2`    |
+//! | 14   | Target mismatches                     | all edges | 2          | 202        | `target_mismatch/2`         |
+//! | 15   | Non-preferred targets                 | all       | 1          | 201        | `node_target_weight/2`      |
+//!
+//! Between the build bucket (201–215) and the reuse bucket (1–15) sits the **number of
+//! builds** at priority [`BUILD_COUNT_PRIORITY`] (= 100): criteria for built packages
+//! outrank minimizing builds (a built `cmake` still gets `+ssl`, Section VI), while
+//! criteria for reused packages only break ties among maximal-reuse solutions.
 
 /// Offset added to a criterion's priority for packages that must be built (Fig. 5).
 pub const BUILD_PRIORITY_OFFSET: i64 = 200;

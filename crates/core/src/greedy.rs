@@ -185,7 +185,7 @@ impl<'a> GreedyConcretizer<'a> {
 
         // The old concretizer's post-hoc checks: every command-line ^dep must actually be
         // in the DAG, and no conflicts() directive may match.
-        for (dep_name, _) in &cli_constraints {
+        for dep_name in cli_constraints.keys() {
             if !states.contains_key(dep_name)
                 && !states
                     .values()

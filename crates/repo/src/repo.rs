@@ -108,7 +108,7 @@ impl Repository {
                 }
             }
         }
-        seen.remove(&"".to_string());
+        seen.remove("");
         seen
     }
 

@@ -1,0 +1,245 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset this workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs its closure repeatedly until
+//! either the configured sample count or the measurement-time budget is exhausted, and
+//! the wall-clock mean per iteration is printed. No statistical analysis, outlier
+//! rejection, or HTML reports — regressions are read off the printed means.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver. One instance is threaded through every registered function by
+/// [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 50,
+            default_measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size, measurement_time }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.default_sample_size, self.default_measurement_time, |b| f(b));
+        println!("{name:<50} {report}");
+        self
+    }
+}
+
+/// A named benchmark within a group, with an optional parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure under a name.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.sample_size, self.measurement_time, |b| f(b));
+        println!("{}/{:<40} {report}", self.name, id.into_benchmark_id().label);
+        self
+    }
+
+    /// Benchmark a closure that receives a shared input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.sample_size, self.measurement_time, |b| f(b, input));
+        println!("{}/{:<40} {report}", self.name, id.into_benchmark_id().label);
+        self
+    }
+
+    /// Finish the group (a no-op here; real criterion renders summary reports).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts both plain strings and
+/// explicit ids, like criterion does.
+pub trait IntoBenchmarkId {
+    /// Convert into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Measure a closure: run it repeatedly within the sample/time budget, recording the
+    /// wall-clock duration of each run.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warm-up run.
+        std::hint::black_box(f());
+        let started = Instant::now();
+        loop {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= self.max_samples || started.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// One benchmark's printed result.
+struct Report {
+    mean: Duration,
+    samples: usize,
+}
+
+impl Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "time: {:>12.3?}  (mean of {} samples)", self.mean, self.samples)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(sample_size: usize, budget: Duration, mut f: F) -> Report {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        // Use a fraction of criterion's budget: the shim reports a mean, not a
+        // distribution, so long measurement phases buy nothing.
+        budget: budget / 3,
+        max_samples: sample_size,
+    };
+    f(&mut bencher);
+    let samples = bencher.samples.len().max(1);
+    let total: Duration = bencher.samples.iter().sum();
+    Report { mean: total / samples as u32, samples }
+}
+
+/// Register benchmark functions under a group name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the named groups, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports_mean() {
+        let report = run_bench(5, Duration::from_millis(50), |b| {
+            b.iter(|| std::hint::black_box(1 + 1))
+        });
+        assert!(report.samples >= 1 && report.samples <= 5);
+        assert!(report.mean < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn groups_chain_configuration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(30));
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::new("f", 7), &7i32, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+}

@@ -1,0 +1,81 @@
+//! The [`Arbitrary`] trait and `any::<T>()` (`proptest::arbitrary` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical default strategy.
+pub trait Arbitrary {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`, like `proptest::prelude::any`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Uniform booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $s:ident),*) => {$(
+        /// Full-range integers of the named type.
+        #[derive(Debug, Clone, Copy)]
+        pub struct $s;
+
+        impl Strategy for $s {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $s;
+
+            fn arbitrary() -> $s {
+                $s
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int! {
+    u8 => U8Strategy, u16 => U16Strategy, u32 => U32Strategy, u64 => U64Strategy,
+    i8 => I8Strategy, i16 => I16Strategy, i32 => I32Strategy, i64 => I64Strategy,
+    usize => UsizeStrategy, isize => IsizeStrategy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_covers_both_values() {
+        let mut rng = TestRng::deterministic("any");
+        let s = any::<bool>();
+        let values: Vec<bool> = (0..64).map(|_| s.new_value(&mut rng)).collect();
+        assert!(values.contains(&true) && values.contains(&false));
+    }
+}

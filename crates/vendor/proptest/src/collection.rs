@@ -1,0 +1,45 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use core::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy generating `Vec`s of values from an element strategy, with a length drawn
+/// uniformly from a half-open range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Generate vectors with lengths in `len` (half-open, like `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.start + rng.below(self.len.end - self.len.start);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_the_range() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = vec(0u8..5, 1..4);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

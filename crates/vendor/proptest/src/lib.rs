@@ -1,0 +1,97 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, implemented for integer
+//!   ranges, tuples, and `&str` regex patterns (a practical subset: character classes,
+//!   `{m,n}` repetition, optional groups),
+//! * [`collection::vec`], [`option::of`], [`sample::select`], `any::<bool>()`,
+//! * the [`proptest!`] macro with optional `#![proptest_config(...)]`, and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` assertions.
+//!
+//! Differences from real proptest: failing cases are **not shrunk** (the panic message
+//! reports the case number instead), and generation is deterministic per test name so
+//! CI failures reproduce locally.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property test needs in scope, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` inner attribute followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let __run = || {
+                        $(let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut __rng);)+
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (no shrinking in the offline shim)",
+                            stringify!($name), __case + 1, __config.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property test (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property test (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}

@@ -1,0 +1,42 @@
+//! Option strategies (`proptest::option` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy yielding `Some` of an inner strategy's value or `None`.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Yield `Some(value)` roughly half the time and `None` otherwise, like
+/// `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.bool() {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_occur() {
+        let mut rng = TestRng::deterministic("option");
+        let s = of(0u8..3);
+        let values: Vec<_> = (0..100).map(|_| s.new_value(&mut rng)).collect();
+        assert!(values.iter().any(|v| v.is_some()));
+        assert!(values.iter().any(|v| v.is_none()));
+    }
+}

@@ -1,0 +1,38 @@
+//! Sampling strategies (`proptest::sample` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy picking one element of a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+/// Pick uniformly from `choices`, like `proptest::sample::select`.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select() needs at least one choice");
+    Select { choices }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_choice_is_reachable() {
+        let mut rng = TestRng::deterministic("select");
+        let s = select(vec!["a", "b", "c"]);
+        let seen: std::collections::BTreeSet<&str> =
+            (0..100).map(|_| s.new_value(&mut rng)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+}

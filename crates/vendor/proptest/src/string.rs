@@ -1,0 +1,177 @@
+//! Generation of random strings from a practical regex subset.
+//!
+//! Supports what the workspace's generators use: literal characters, character classes
+//! with ranges (`[a-z0-9]`, `[ -~]`), bounded repetition (`{n}`, `{m,n}`), the `?`
+//! quantifier, and non-capturing sequence groups (`(...)`). Alternation, `*`/`+`, and
+//! anchors are intentionally out of scope.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A set of candidate characters.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+    /// A grouped sequence.
+    Group(Vec<Repeat>),
+}
+
+#[derive(Debug, Clone)]
+struct Repeat {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one random string matching `pattern`. Panics on syntax this subset does not
+/// support — a test-authoring error, not a runtime condition.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (nodes, consumed) = parse_sequence(&chars, 0, None);
+    assert_eq!(consumed, chars.len(), "unparsed trailing pattern in '{pattern}'");
+    let mut out = String::new();
+    emit_sequence(&nodes, rng, &mut out);
+    out
+}
+
+fn emit_sequence(nodes: &[Repeat], rng: &mut TestRng, out: &mut String) {
+    for rep in nodes {
+        let count = if rep.min == rep.max {
+            rep.min
+        } else {
+            rep.min + rng.below(rep.max - rep.min + 1)
+        };
+        for _ in 0..count {
+            match &rep.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(set) => out.push(set[rng.below(set.len())]),
+                Node::Group(inner) => emit_sequence(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Parse a sequence of quantified nodes starting at `pos`, stopping at `stop` (the
+/// closing delimiter of a group) or end of input. Returns the nodes and the index just
+/// past the last consumed character (including `stop` when present).
+fn parse_sequence(chars: &[char], mut pos: usize, stop: Option<char>) -> (Vec<Repeat>, usize) {
+    let mut nodes = Vec::new();
+    while pos < chars.len() {
+        if stop == Some(chars[pos]) {
+            return (nodes, pos + 1);
+        }
+        let (node, next) = parse_atom(chars, pos);
+        let (min, max, next) = parse_quantifier(chars, next);
+        nodes.push(Repeat { node, min, max });
+        pos = next;
+    }
+    assert!(stop.is_none(), "unterminated group in pattern");
+    (nodes, pos)
+}
+
+fn parse_atom(chars: &[char], pos: usize) -> (Node, usize) {
+    match chars[pos] {
+        '[' => parse_class(chars, pos + 1),
+        '(' => {
+            let (inner, next) = parse_sequence(chars, pos + 1, Some(')'));
+            (Node::Group(inner), next)
+        }
+        '\\' => (Node::Lit(chars[pos + 1]), pos + 2),
+        c => (Node::Lit(c), pos + 1),
+    }
+}
+
+fn parse_class(chars: &[char], mut pos: usize) -> (Node, usize) {
+    let mut set = Vec::new();
+    while pos < chars.len() && chars[pos] != ']' {
+        let lo = if chars[pos] == '\\' {
+            pos += 1;
+            chars[pos]
+        } else {
+            chars[pos]
+        };
+        // A range like `a-z` (a trailing `-` is a literal).
+        if pos + 2 < chars.len() && chars[pos + 1] == '-' && chars[pos + 2] != ']' {
+            let hi = chars[pos + 2];
+            assert!(lo <= hi, "inverted class range");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            pos += 3;
+        } else {
+            set.push(lo);
+            pos += 1;
+        }
+    }
+    assert!(pos < chars.len(), "unterminated character class");
+    assert!(!set.is_empty(), "empty character class");
+    (Node::Class(set), pos + 1)
+}
+
+/// Parse an optional quantifier after an atom: `{n}`, `{m,n}`, or `?`.
+fn parse_quantifier(chars: &[char], pos: usize) -> (usize, usize, usize) {
+    match chars.get(pos) {
+        Some('?') => (0, 1, pos + 1),
+        Some('{') => {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + pos;
+            let body: String = chars[pos + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier min"),
+                    n.trim().parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier bounds");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, pos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::deterministic(pattern);
+        (0..n).map(|_| generate_from_pattern(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn package_name_pattern() {
+        for s in gen("[a-z][a-z0-9]{1,8}(-[a-z0-9]{1,4})?", 200) {
+            assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s}");
+            assert!((2..=14).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class_with_space() {
+        for s in gen("[ -~]{0,40}", 100) {
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+        // The zero-length case is reachable.
+        assert!(gen("[ -~]{0,40}", 200).iter().any(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn exact_count_and_optional_group() {
+        for s in gen("[a-z0-9]{8}", 50) {
+            assert_eq!(s.len(), 8);
+        }
+        let opts = gen("x(yz)?", 100);
+        assert!(opts.iter().any(|s| s == "x"));
+        assert!(opts.iter().any(|s| s == "xyz"));
+    }
+}

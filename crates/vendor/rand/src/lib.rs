@@ -1,0 +1,134 @@
+//! A minimal, dependency-free stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The workspace uses random numbers only for deterministic, seeded generation
+//! (synthetic repositories, synthetic buildcaches, solver tie-breaking), so this shim
+//! implements exactly that surface: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] helpers `gen_range` / `gen_bool`.
+//! The generator is SplitMix64 — high quality for this purpose, and stable across
+//! platforms so seeded tests stay reproducible.
+
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Seedable random number generators (the subset of `rand::SeedableRng` in use).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a `u64` seed. Identical seeds yield identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that can be sampled uniformly from a `Range` (the subset of
+/// `rand::distributions::uniform::SampleUniform` in use).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Map a raw 64-bit random value into `lo..hi`. Panics when the range is empty.
+    fn sample_from(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(raw: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (raw as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Random value generation helpers (the subset of `rand::Rng` in use).
+pub trait Rng {
+    /// The next raw 64-bit value from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open, like `rand::Rng::gen_range`).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let raw = self.next_u64();
+        T::sample_from(raw, range.start, range.end)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 uniform mantissa bits, the same precision rand uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard (deterministic) RNG: SplitMix64.
+    ///
+    /// Not cryptographic — used for synthetic data generation and solver tie-breaking
+    /// only, where stability across platforms matters more than stream quality.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): one 64-bit state, full period.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(1..6);
+            assert!((1..6).contains(&v));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+            let i: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_frequency() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,123 @@
+//! A minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! Implements the one shape this workspace uses: `collection.par_iter().map(f).collect()`
+//! over slices and `Vec`s. Work is distributed over `std::thread::available_parallelism`
+//! scoped threads with an atomic work-stealing cursor, and results are returned in input
+//! order — the same observable behaviour as rayon for this pattern.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon-style prelude: import the parallel-iterator traits.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types whose references can be iterated in parallel (`&self -> par_iter()`).
+pub trait IntoParallelRefIterator {
+    /// The element type yielded by reference.
+    type Item;
+
+    /// A parallel iterator over references to the elements.
+    fn par_iter(&self) -> ParIter<'_, Self::Item>;
+}
+
+impl<T: Sync> IntoParallelRefIterator for [T] {
+    type Item = T;
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> IntoParallelRefIterator for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator (the result of `par_iter()`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element through `f` (executed on the pool at `collect` time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A mapped parallel iterator awaiting collection.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map on a scoped thread pool and gather the results in input order.
+    pub fn collect<R>(self) -> Vec<R>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = (self.f)(&self.items[i]);
+                    results.lock().unwrap()[i] = Some(value);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|v| v.expect("every index was processed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -31,7 +31,7 @@ fn main() {
         ("+openmp ^openblas", "an anonymous `when=` condition (Section V-A)"),
     ];
 
-    println!("{:<55} {}", "spec", "meaning");
+    println!("{:<55} meaning", "spec");
     println!("{}", "-".repeat(100));
     for (text, meaning) in examples {
         match parse_spec(text) {

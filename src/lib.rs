@@ -1,0 +1,23 @@
+//! `spack-asp-rs` — a Rust reproduction of *Using Answer Set Programming for HPC
+//! Dependency Solving* (SC'22).
+//!
+//! This umbrella crate re-exports the workspace's six member crates and owns the
+//! cross-crate integration tests (`tests/`) and runnable examples (`examples/`). See the
+//! repository `README.md` for the crate map and a quickstart.
+//!
+//! ```
+//! use spack_asp_rs::concretizer::Concretizer;
+//! use spack_asp_rs::repo::builtin_repo;
+//!
+//! let repo = builtin_repo();
+//! let result = Concretizer::new(&repo).concretize_str("zlib").unwrap();
+//! assert_eq!(result.spec.node("zlib").unwrap().version.to_string(), "1.2.12");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use asp;
+pub use spack_concretizer as concretizer;
+pub use spack_repo as repo;
+pub use spack_spec as spec;
+pub use spack_store as store;

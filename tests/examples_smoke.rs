@@ -1,0 +1,58 @@
+//! Smoke-runs every example in `examples/` with smoke-scale inputs, so the entry points
+//! the README documents cannot silently rot.
+//!
+//! These tests shell out to `cargo run --release --example …` (reusing the build cache),
+//! so they are `#[ignore]`d by default to keep plain `cargo test` fast; CI runs them
+//! explicitly with `cargo test --release --test examples_smoke -- --ignored`.
+
+use std::process::Command;
+
+/// Run one example through cargo and assert it exits successfully.
+fn run_example(name: &str, args: &[&str]) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    cmd.args(["run", "--release", "-q", "--example", name]);
+    if !args.is_empty() {
+        cmd.arg("--");
+        cmd.args(args);
+    }
+    let output = cmd.output().unwrap_or_else(|e| panic!("failed to spawn cargo for {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} {args:?} failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+#[ignore = "shells out to cargo; run explicitly (CI does) with --ignored"]
+fn quickstart_concretizes_a_small_spec() {
+    run_example("quickstart", &["zlib"]);
+}
+
+#[test]
+#[ignore = "shells out to cargo; run explicitly (CI does) with --ignored"]
+fn spec_syntax_tour_runs() {
+    run_example("spec_syntax", &[]);
+}
+
+#[test]
+#[ignore = "shells out to cargo; run explicitly (CI does) with --ignored"]
+fn conditional_deps_demo_runs() {
+    run_example("conditional_deps", &[]);
+}
+
+#[test]
+#[ignore = "shells out to cargo; run explicitly (CI does) with --ignored"]
+fn reuse_demo_runs() {
+    run_example("reuse_demo", &[]);
+}
+
+#[test]
+#[ignore = "shells out to cargo; run explicitly (CI does) with --ignored"]
+fn e4s_stack_runs_at_smoke_scale() {
+    // 40 packages / 2 roots matches bench::Scale::Smoke.
+    run_example("e4s_stack", &["40", "2"]);
+}

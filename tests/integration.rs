@@ -277,7 +277,7 @@ fn cost_vector_is_lexicographically_consistent() {
         c.cost.iter().find(|(p, _)| *p == prio).map(|(_, v)| *v).unwrap_or(0)
     };
     // Criterion 3 (non-default variant values on roots) in the build bucket is 213.
-    assert!(get(&tweaked, 213) >= get(&default, 213) + 1);
+    assert!(get(&tweaked, 213) > get(&default, 213));
     // Deprecated-version criterion stays zero in both.
     assert_eq!(get(&default, 215), 0);
     assert_eq!(get(&tweaked, 215), 0);
@@ -289,7 +289,7 @@ fn identical_requests_are_deterministic() {
     let a = quartz_concretizer(&repo).concretize_str("mpileaks").unwrap();
     let b = quartz_concretizer(&repo).concretize_str("mpileaks").unwrap();
     let names = |c: &Concretization| -> BTreeSet<String> {
-        c.spec.nodes.iter().map(|n| format!("{}", n.format_node())).collect()
+        c.spec.nodes.iter().map(|n| n.format_node()).collect()
     };
     assert_eq!(names(&a), names(&b));
     assert_eq!(a.cost, b.cost);

@@ -115,13 +115,11 @@ fn section5b2_conflicts_are_constraints_not_postmortems() {
     let greedy = GreedyConcretizer::new(&repo, SiteConfig::quartz());
     // The greedy algorithm propagates nothing across the conflict: whatever it decides,
     // it cannot produce the mixed-compiler solution above in one pass.
-    match greedy.concretize(&parse_spec("hpctoolkit%intel").unwrap()) {
-        Ok(result) => {
-            // If it "succeeds" it has silently used intel everywhere except where the
-            // validation would have caught it — i.e. it did not mix compilers.
-            assert_eq!(result.spec.node("dyninst").unwrap().compiler.name, "gcc");
-        }
-        Err(_) => {} // or it errors; either way it needed the ASP solver to do better
+    // Erroring is acceptable too; either way it needed the ASP solver to do better.
+    if let Ok(result) = greedy.concretize(&parse_spec("hpctoolkit%intel").unwrap()) {
+        // If it "succeeds" it has silently used intel everywhere except where the
+        // validation would have caught it — i.e. it did not mix compilers.
+        assert_eq!(result.spec.node("dyninst").unwrap().compiler.name, "gcc");
     }
 }
 
