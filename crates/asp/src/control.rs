@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use crate::ast::Program;
 use crate::ground::{GroundError, GroundProgram, GroundStats, Grounder};
-use crate::optimize::{enumerate_models, solve_optimal, OptStrategy, OptimalModel, OptimizeError};
+use crate::optimize::{enumerate_models_with_stats, solve_optimal, OptStrategy, OptimalModel, OptimizeError};
 use crate::parser::{parse_program, ParseError};
 use crate::sat::SatConfig;
 use crate::symbols::{GroundAtom, SymbolTable, Val};
@@ -121,6 +121,8 @@ impl SolverConfig {
                 default_phase: false,
                 random_polarity: 0.01,
                 seed: 0x7eea,
+                learned_limit: 4000,
+                clause_decay: 0.999,
             },
             Preset::Trendy => SatConfig {
                 var_decay: 0.97,
@@ -128,6 +130,8 @@ impl SolverConfig {
                 default_phase: true,
                 random_polarity: 0.05,
                 seed: 0x7e2d,
+                learned_limit: 8000,
+                clause_decay: 0.999,
             },
             Preset::Handy => SatConfig {
                 var_decay: 0.99,
@@ -135,6 +139,8 @@ impl SolverConfig {
                 default_phase: false,
                 random_polarity: 0.0,
                 seed: 0x4a2d,
+                learned_limit: 16000,
+                clause_decay: 0.9995,
             },
         };
         cfg.seed ^= self.seed;
@@ -282,7 +288,8 @@ pub struct Stats {
     pub variables: usize,
     /// Number of clauses after translation.
     pub clauses: usize,
-    /// Candidate models examined during optimization.
+    /// Candidate models examined (including unstable supported models rejected by the
+    /// stability check), during optimization or enumeration.
     pub models_examined: u64,
     /// Solver invocations performed by the optimizer.
     pub solver_runs: u64,
@@ -290,6 +297,16 @@ pub struct Stats {
     pub conflicts: u64,
     /// Loop nogoods added by the stable-model check.
     pub loop_nogoods: u64,
+    /// Total decisions across all solver runs.
+    pub decisions: u64,
+    /// Total literal propagations across all solver runs.
+    pub propagations: u64,
+    /// Total restarts across all solver runs.
+    pub restarts: u64,
+    /// Total learned clauses across all solver runs.
+    pub learned: u64,
+    /// Total learned clauses deleted again by the reduction policy.
+    pub deleted: u64,
 }
 
 impl Stats {
@@ -401,8 +418,11 @@ impl Control {
             }
         };
         let start = Instant::now();
-        let models = enumerate_models(ground, translation, &self.config.sat_config(), limit);
+        let (models, sat, examined) =
+            enumerate_models_with_stats(ground, translation, &self.config.sat_config(), limit);
         self.stats.solve_time = start.elapsed();
+        self.record_sat_stats(&sat);
+        self.stats.models_examined = examined;
         Ok(models.iter().map(|m| self.extract_model(m)).collect())
     }
 
@@ -419,8 +439,19 @@ impl Control {
     fn record_opt_stats(&mut self, optimal: &OptimalModel) {
         self.stats.models_examined = optimal.models_examined;
         self.stats.solver_runs = optimal.solver_runs;
-        self.stats.conflicts = optimal.conflicts;
         self.stats.loop_nogoods = optimal.loop_nogoods;
+        self.record_sat_stats(&optimal.sat);
+    }
+
+    /// Mirror a solver's aggregate statistics into the flat [`Stats`] fields (the one
+    /// place to extend when [`crate::sat::SatStats`] grows a counter).
+    fn record_sat_stats(&mut self, sat: &crate::sat::SatStats) {
+        self.stats.conflicts = sat.conflicts;
+        self.stats.decisions = sat.decisions;
+        self.stats.propagations = sat.propagations;
+        self.stats.restarts = sat.restarts;
+        self.stats.learned = sat.learned;
+        self.stats.deleted = sat.deleted;
     }
 
     fn extract_model(&self, model: &[bool]) -> Model {

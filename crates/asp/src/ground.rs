@@ -15,12 +15,77 @@
 //! literals and of choice elements must be input facts, and every rule must be *safe*
 //! (every variable appears in a positive, non-conditional body literal, or in the
 //! conditions of its own conditional element).
+//!
+//! # Hot-path engineering
+//!
+//! Grounding time is dominated by joining the positive body literals of every rule
+//! against the atom database, so this module mirrors the engineering gringo applies to
+//! the same problem:
+//!
+//! * **Join planning.** Body literals are not joined in textual order. At every join
+//!   depth the planner picks the *most selective* remaining literal — the one with the
+//!   fewest candidate atoms under the bindings accumulated so far — re-evaluated per
+//!   partial substitution (sideways information passing). Selectivity is measured
+//!   directly as candidate-list length after index selection, which subsumes the
+//!   "bound-argument count first" heuristic: more bound arguments select sharper
+//!   indexes and hence shorter lists (see `best_key` and `Grounder::join_ordered`).
+//! * **Index-driven candidate lists.** Every lookup goes through the
+//!   [`crate::symbols::AtomTable`] indexes (predicate / one bound argument /
+//!   two bound arguments); candidate lists are iterated in place — the join never
+//!   copies them and never clones atoms. Index lists are append-only, so interning new
+//!   head atoms mid-join is safe: the iteration snapshots the length and re-fetches
+//!   the slice (see `key_slice`).
+//! * **Semi-naive delta evaluation.** After the first fixpoint round, a rule is
+//!   re-instantiated only *once per delta occurrence*: for each body literal whose
+//!   predicate gained atoms in the previous round, each new atom is matched against
+//!   that literal and only the remaining literals are joined. Literals left of the
+//!   delta literal are restricted to *old* atoms, which makes every derivation happen
+//!   exactly once. The delta membership test is a persistent bitset
+//!   (`AtomBitSet`) cleared incrementally — no per-round O(atoms) rebuild.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use crate::ast::{ArithOp, Atom, BodyElem, ChoiceElement, CmpOp, Head, Literal, Program, Term};
-use crate::symbols::{AtomId, GroundAtom, SymbolId, SymbolTable, Val};
+use crate::hasher::FxHashMap;
+use crate::symbols::{AtomId, AtomTable, GroundAtom, SymbolId, SymbolTable, Val};
+
+/// Upper bound on atom arity, so the join can keep its binding-undo buffer in a
+/// fixed-size stack array instead of allocating per candidate.
+const MAX_ARITY: usize = 16;
+
+/// A growable bitset over atom ids: the persistent delta marker of the semi-naive
+/// fixpoint. It is allocated once, grown as atoms are interned, and cleared
+/// *incrementally* (only the bits set in the previous round), so no round pays an
+/// O(total atoms) rebuild.
+#[derive(Debug, Default)]
+struct AtomBitSet {
+    words: Vec<u64>,
+}
+
+impl AtomBitSet {
+    /// Ensure capacity for `n_atoms` ids.
+    fn grow(&mut self, n_atoms: usize) {
+        let words = n_atoms.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    fn set(&mut self, id: AtomId) {
+        self.words[id as usize / 64] |= 1u64 << (id % 64);
+    }
+
+    fn clear(&mut self, id: AtomId) {
+        self.words[id as usize / 64] &= !(1u64 << (id % 64));
+    }
+
+    fn contains(&self, id: AtomId) -> bool {
+        self.words
+            .get(id as usize / 64)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+}
 
 /// An error produced during grounding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +111,30 @@ pub struct GroundRule {
     pub pos: Vec<AtomId>,
     /// Negative body atoms (`not a`).
     pub neg: Vec<AtomId>,
+}
+
+/// Deduplication index for ground rules: maps a rule's hash to the indices of the
+/// rules already emitted with that hash, comparing in full only on collision. Unlike a
+/// `HashSet<GroundRule>`, this never clones a rule — the emitted list is the only
+/// owner.
+#[derive(Debug, Default)]
+struct RuleDedup {
+    by_hash: FxHashMap<u64, Vec<u32>>,
+}
+
+impl RuleDedup {
+    /// Append `rule` to `rules` unless an identical rule was already emitted.
+    fn push_if_new(&mut self, rule: GroundRule, rules: &mut Vec<GroundRule>) {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = crate::hasher::FxHasher::default();
+        rule.hash(&mut hasher);
+        let ids = self.by_hash.entry(hasher.finish()).or_default();
+        if ids.iter().any(|&i| rules[i as usize] == rule) {
+            return;
+        }
+        ids.push(rules.len() as u32);
+        rules.push(rule);
+    }
 }
 
 /// A ground choice rule with optional cardinality bounds.
@@ -88,6 +177,10 @@ pub struct GroundStats {
     pub minimize: usize,
     /// Number of fixpoint rounds in phase 1.
     pub rounds: usize,
+    /// Wall-clock time spent in phase 1 (possible-atom fixpoint).
+    pub phase1: Duration,
+    /// Wall-clock time spent in phase 2 (rule instantiation + minimize).
+    pub phase2: Duration,
     /// Wall-clock time spent grounding.
     pub duration: Duration,
 }
@@ -170,6 +263,9 @@ struct CRule {
     head: CHead,
     /// Positive predicate body literals, in join order.
     pos: Vec<CAtom>,
+    /// Parallel to `pos`: does the literal carry an arithmetic argument? (Precomputed
+    /// so the join planner's readiness check is free for the common case.)
+    pos_binop: Vec<bool>,
     /// Negative predicate body literals.
     neg: Vec<CAtom>,
     /// Comparison literals.
@@ -193,10 +289,13 @@ struct CMinimize {
 
 /// Minimize tuples collected during grounding: `(priority, weight, terms)` keys mapped
 /// to the condition bodies (positive, negative atom lists) under which they are paid.
-type MinimizeTuples = HashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>>;
+type MinimizeTuples = FxHashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<AtomId>)>>;
 
-/// Callback invoked for every complete substitution of a rule's positive body.
-type OnJoinMatch<'cb, 's> = dyn FnMut(&mut Grounder<'s>, &mut GroundProgram, &[Option<Val>]) -> Result<(), GroundError>
+/// Callback invoked for every complete substitution of a rule's positive body. The
+/// final slice holds, for each positive literal (by its original index), the atom id it
+/// was matched against — so downstream processing never re-instantiates or re-hashes
+/// body atoms.
+type OnJoinMatch<'cb, 's> = dyn FnMut(&mut Grounder<'s>, &mut GroundProgram, &[Option<Val>], &[AtomId]) -> Result<(), GroundError>
     + 'cb;
 
 /// Callback invoked for every complete assignment of a condition list's variables.
@@ -206,12 +305,15 @@ type OnConditionMatch<'cb> =
 /// The grounder.
 pub struct Grounder<'a> {
     symbols: &'a mut SymbolTable,
+    /// Reusable atom buffer for instantiate-then-lookup on the derive path, so
+    /// re-deriving an existing atom allocates nothing (see [`AtomTable::intern_ref`]).
+    scratch_atom: GroundAtom,
 }
 
 impl<'a> Grounder<'a> {
     /// Create a grounder that interns into the given symbol table.
     pub fn new(symbols: &'a mut SymbolTable) -> Self {
-        Grounder { symbols }
+        Grounder { symbols, scratch_atom: GroundAtom::new(0, Vec::new()) }
     }
 
     /// Ground `program` together with externally supplied input `facts`.
@@ -257,46 +359,72 @@ impl<'a> Grounder<'a> {
         let mut rounds = 0;
         // The set of atom ids added in the previous round.
         let mut delta: Vec<AtomId> = ground.atoms.iter().map(|(id, _)| id).collect();
+        // Persistent delta structures, reused across rounds: the membership bitset and
+        // the per-predicate delta lists driving the occurrence-based instantiation.
+        let mut delta_set = AtomBitSet::default();
+        let mut delta_by_pred: FxHashMap<SymbolId, Vec<AtomId>> = FxHashMap::default();
         let mut first_round = true;
         while !delta.is_empty() || first_round {
             rounds += 1;
             if rounds > 100_000 {
                 return Err(GroundError { message: "grounding did not reach a fixpoint".into() });
             }
-            let mut new_atoms: Vec<AtomId> = Vec::new();
-            let delta_set: Vec<bool> = {
-                let mut v = vec![false; ground.atoms.len()];
+            if !first_round {
+                delta_set.grow(ground.atoms.len());
                 for &d in &delta {
-                    v[d as usize] = true;
+                    delta_set.set(d);
                 }
-                v
-            };
+                for v in delta_by_pred.values_mut() {
+                    v.clear();
+                }
+                for &d in &delta {
+                    delta_by_pred.entry(ground.atoms.atom(d).pred).or_default().push(d);
+                }
+            }
+            let mut new_atoms: Vec<AtomId> = Vec::new();
             for rule in &crules {
-                self.phase1_rule(rule, &mut ground, &delta_set, first_round, &mut new_atoms)?;
+                self.phase1_rule(
+                    rule,
+                    &mut ground,
+                    &delta_set,
+                    &delta_by_pred,
+                    first_round,
+                    &mut new_atoms,
+                )?;
+            }
+            if !first_round {
+                for &d in &delta {
+                    delta_set.clear(d);
+                }
             }
             delta = new_atoms;
             first_round = false;
         }
 
+        let phase1_time = start.elapsed();
+
         // ---- Phase 2: rule instantiation ----------------------------------------------
-        let mut seen_rules: std::collections::HashSet<GroundRule> = std::collections::HashSet::new();
+        let mut seen_rules: RuleDedup = RuleDedup::default();
         for rule in &crules {
             self.phase2_rule(rule, &mut ground, &mut seen_rules)?;
         }
         // Minimize statements.
-        let mut tuples: MinimizeTuples = HashMap::new();
+        let mut tuples: MinimizeTuples = MinimizeTuples::default();
         for m in &cminimize {
             self.ground_minimize(m, &ground, &mut tuples)?;
         }
         self.emit_minimize(tuples, &mut ground);
 
+        let duration = start.elapsed();
         ground.stats = GroundStats {
             atoms: ground.atoms.len(),
             rules: ground.rules.len(),
             choices: ground.choices.len(),
             minimize: ground.minimize.len(),
             rounds,
-            duration: start.elapsed(),
+            phase1: phase1_time,
+            phase2: duration - phase1_time,
+            duration,
         };
         Ok(ground)
     }
@@ -345,6 +473,11 @@ impl<'a> Grounder<'a> {
         consts: &HashMap<String, Term>,
     ) -> Result<CAtom, GroundError> {
         let pred = self.symbols.intern(&atom.pred);
+        if atom.args.len() > MAX_ARITY {
+            return Err(GroundError {
+                message: format!("atom {} exceeds the maximum arity of {MAX_ARITY}", atom.pred),
+            });
+        }
         let args = atom
             .args
             .iter()
@@ -423,7 +556,8 @@ impl<'a> Grounder<'a> {
                 CHead::Choice { lower, upper, elements }
             }
         };
-        Ok(CRule { head, pos, neg, cmps, conds, nvars: vars.len() })
+        let pos_binop = pos.iter().map(has_binop_arg).collect();
+        Ok(CRule { head, pos, pos_binop, neg, cmps, conds, nvars: vars.len() })
     }
 
     fn compile_choice_elem(
@@ -501,7 +635,8 @@ impl<'a> Grounder<'a> {
         &mut self,
         rule: &CRule,
         ground: &mut GroundProgram,
-        delta: &[bool],
+        delta_set: &AtomBitSet,
+        delta_by_pred: &FxHashMap<SymbolId, Vec<AtomId>>,
         first_round: bool,
         new_atoms: &mut Vec<AtomId>,
     ) -> Result<(), GroundError> {
@@ -509,39 +644,92 @@ impl<'a> Grounder<'a> {
         if matches!(rule.head, CHead::None) {
             return Ok(());
         }
-        let positions: Vec<usize> = (0..rule.pos.len()).collect();
-        let delta_positions: Vec<Option<usize>> = if rule.pos.is_empty() {
-            if first_round {
-                vec![None]
-            } else {
-                vec![]
-            }
-        } else if first_round {
-            // On the first round every atom is "new", a single unrestricted join suffices.
-            vec![Some(usize::MAX)]
-        } else {
-            positions.iter().map(|&p| Some(p)).collect()
-        };
-
-        for dpos in delta_positions {
-            let mut subst = vec![None; rule.nvars];
-            self.join_positive(
-                rule,
-                0,
-                dpos.unwrap_or(usize::MAX),
-                delta,
-                ground,
-                &mut subst,
-                &mut |this, ground, subst| {
-                    // Comparisons that are fully bound can prune even in phase 1.
-                    for cmp in &rule.cmps {
-                        if let Some(false) = eval_cmp(cmp, subst) {
-                            return Ok(());
-                        }
+        let mut subst = vec![None; rule.nvars];
+        if first_round {
+            // Every atom is "new": one unrestricted (planned) join covers everything.
+            return self.join_all(rule, ground, &mut subst, &mut |this, ground, subst, _matched| {
+                for cmp in &rule.cmps {
+                    if let Some(false) = eval_cmp(cmp, subst) {
+                        return Ok(());
                     }
-                    this.derive_head(rule, ground, subst, new_atoms)
-                },
-            )?;
+                }
+                this.derive_head(rule, ground, subst, new_atoms)
+            });
+        }
+        // Body-less rules cannot fire anything new after the first round.
+        if rule.pos.is_empty() {
+            return Ok(());
+        }
+        // Semi-naive, occurrence-driven: for each body literal whose predicate gained
+        // atoms last round, match each delta atom against that literal once, then join
+        // only the remaining literals. Literals *left* of the delta literal are
+        // restricted to old atoms so every derivation is produced exactly once.
+        let mut order: Vec<usize> = Vec::with_capacity(rule.pos.len());
+        let mut matched: Vec<AtomId> = vec![0; rule.pos.len()];
+        let mut on_match = |this: &mut Grounder<'a>,
+                            ground: &mut GroundProgram,
+                            subst: &[Option<Val>],
+                            _matched: &[AtomId]| {
+            for cmp in &rule.cmps {
+                if let Some(false) = eval_cmp(cmp, subst) {
+                    return Ok(());
+                }
+            }
+            this.derive_head(rule, ground, subst, new_atoms)
+        };
+        for i in 0..rule.pos.len() {
+            let Some(datoms) = delta_by_pred.get(&rule.pos[i].pred) else { continue };
+            if datoms.is_empty() {
+                continue;
+            }
+            if rule.pos_binop[i] {
+                // The delta literal has an arithmetic argument, so it cannot be bound
+                // before the variables inside the term: run a full planned join with
+                // this literal restricted to delta atoms instead.
+                order.clear();
+                order.extend(0..rule.pos.len());
+                self.join_ordered(
+                    rule,
+                    &mut order,
+                    0,
+                    i,
+                    i,
+                    Some(delta_set),
+                    ground,
+                    &mut subst,
+                    &mut matched,
+                    &mut on_match,
+                )?;
+                continue;
+            }
+            for &cand in datoms {
+                let mut touched = [0usize; MAX_ARITY];
+                let Some(nb) =
+                    match_into_subst(&ground.atoms, cand, &rule.pos[i], &mut subst, &mut touched)
+                else {
+                    continue;
+                };
+                if !rule.cmps.iter().any(|c| eval_cmp(c, &subst) == Some(false)) {
+                    matched[i] = cand;
+                    order.clear();
+                    order.extend((0..rule.pos.len()).filter(|&j| j != i));
+                    self.join_ordered(
+                        rule,
+                        &mut order,
+                        0,
+                        i,
+                        usize::MAX,
+                        Some(delta_set),
+                        ground,
+                        &mut subst,
+                        &mut matched,
+                        &mut on_match,
+                    )?;
+                }
+                for &slot in &touched[..nb] {
+                    subst[slot] = None;
+                }
+            }
         }
         Ok(())
     }
@@ -556,15 +744,22 @@ impl<'a> Grounder<'a> {
         match &rule.head {
             CHead::None => {}
             CHead::Atom(atom) => {
-                let ga = instantiate_atom(atom, subst).ok_or_else(|| GroundError {
-                    message: "unsafe rule: head variables not bound by positive body".into(),
-                })?;
-                let (id, new) = ground.atoms.intern(ga);
+                let mut scratch = std::mem::take(&mut self.scratch_atom);
+                let ok = instantiate_into(atom, subst, &mut scratch);
+                if !ok {
+                    self.scratch_atom = scratch;
+                    return Err(GroundError {
+                        message: "unsafe rule: head variables not bound by positive body".into(),
+                    });
+                }
+                let (id, new) = ground.atoms.intern_ref(&scratch);
+                self.scratch_atom = scratch;
                 if new {
                     new_atoms.push(id);
                 }
             }
             CHead::Choice { elements, .. } => {
+                let mut scratch = std::mem::take(&mut self.scratch_atom);
                 for elem in elements {
                     let mut local = subst.to_vec();
                     self.expand_conditions(
@@ -574,8 +769,8 @@ impl<'a> Grounder<'a> {
                         &mut local,
                         false,
                         &mut |ground, local| {
-                            if let Some(ga) = instantiate_atom(&elem.atom, local) {
-                                let (id, new) = ground.atoms.intern(ga);
+                            if instantiate_into(&elem.atom, local, &mut scratch) {
+                                let (id, new) = ground.atoms.intern_ref(&scratch);
                                 if new {
                                     new_atoms.push(id);
                                 }
@@ -584,6 +779,7 @@ impl<'a> Grounder<'a> {
                         },
                     )?;
                 }
+                self.scratch_atom = scratch;
             }
         }
         Ok(())
@@ -595,22 +791,36 @@ impl<'a> Grounder<'a> {
         &mut self,
         rule: &CRule,
         ground: &mut GroundProgram,
-        seen: &mut std::collections::HashSet<GroundRule>,
+        seen: &mut RuleDedup,
     ) -> Result<(), GroundError> {
+        // Instances are processed directly in the join callback: the only mutation the
+        // processing performs on the atom table is re-interning atoms that phase 1
+        // already discovered (the fixpoint is complete), so the join's snapshot
+        // iteration stays valid and no substitution needs to be copied.
         let mut subst = vec![None; rule.nvars];
-        // Collect instances first to avoid borrowing issues while mutating `ground`.
-        let mut instances: Vec<Vec<Option<Val>>> = Vec::new();
-        self.join_positive(rule, 0, usize::MAX, &[], ground, &mut subst, &mut |_this, _g, s| {
-            instances.push(s.to_vec());
-            Ok(())
+        self.join_all(rule, ground, &mut subst, &mut |this, ground, inst, matched| {
+            this.phase2_instance(rule, ground, inst, matched, seen)
         })?;
+        Ok(())
+    }
 
-        'instance: for inst in instances {
+    /// Simplify and emit one complete phase-2 substitution of a rule. A `Ok(())` return
+    /// with no emission means the instance was discarded (a body literal contradicted
+    /// by the input facts).
+    fn phase2_instance(
+        &mut self,
+        rule: &CRule,
+        ground: &mut GroundProgram,
+        inst: &[Option<Val>],
+        matched: &[AtomId],
+        seen: &mut RuleDedup,
+    ) -> Result<(), GroundError> {
+        {
             // Comparisons.
             for cmp in &rule.cmps {
-                match eval_cmp(cmp, &inst) {
+                match eval_cmp(cmp, inst) {
                     Some(true) => {}
-                    Some(false) => continue 'instance,
+                    Some(false) => return Ok(()),
                     None => {
                         return Err(GroundError {
                             message: "comparison with unbound variables (unsafe rule)".into(),
@@ -618,13 +828,10 @@ impl<'a> Grounder<'a> {
                     }
                 }
             }
-            // Positive body: drop certain atoms, keep the rest.
+            // Positive body: drop certain atoms, keep the rest. The join already
+            // matched each literal against a concrete atom — use its id directly.
             let mut pos = Vec::new();
-            for a in &rule.pos {
-                let ga = instantiate_atom(a, &inst).ok_or_else(|| GroundError {
-                    message: "internal: positive literal not fully bound after join".into(),
-                })?;
-                let id = ground.atoms.get(&ga).expect("joined atom must be possible");
+            for &id in matched {
                 if !ground.atoms.is_certain(id) {
                     pos.push(id);
                 }
@@ -632,24 +839,25 @@ impl<'a> Grounder<'a> {
             // Negative body.
             let mut neg = Vec::new();
             for a in &rule.neg {
-                if !self.add_negative_literal(a, &inst, ground, &mut neg)? {
-                    continue 'instance;
+                if !self.add_negative_literal(a, inst, ground, &mut neg)? {
+                    return Ok(());
                 }
             }
             // Conditional literals expand to conjunctions over certain condition facts.
             for cond in &rule.conds {
-                let mut local = inst.clone();
+                let mut local = inst.to_vec();
                 let mut ok = true;
                 let mut extra_pos = Vec::new();
                 let mut extra_neg = Vec::new();
+                let mut scratch = std::mem::take(&mut self.scratch_atom);
                 self.expand_conditions(&cond.conditions, 0, ground, &mut local, true, &mut |ground,
                      local| {
                     if !ok {
                         return Ok(());
                     }
-                    match instantiate_atom(&cond.atom, local) {
-                        Some(ga) => {
-                            match ground.atoms.get(&ga) {
+                    match instantiate_into(&cond.atom, local, &mut scratch) {
+                        true => {
+                            match ground.atoms.get(&scratch) {
                                 Some(id) => {
                                     if cond.negated {
                                         if ground.atoms.is_certain(id) {
@@ -669,12 +877,13 @@ impl<'a> Grounder<'a> {
                                 }
                             }
                         }
-                        None => ok = false,
+                        false => ok = false,
                     }
                     Ok(())
                 })?;
+                self.scratch_atom = scratch;
                 if !ok {
-                    continue 'instance;
+                    return Ok(());
                 }
                 pos.extend(extra_pos);
                 neg.extend(extra_neg);
@@ -691,39 +900,42 @@ impl<'a> Grounder<'a> {
                         ground.trivially_unsat = true;
                     }
                     let gr = GroundRule { head: None, pos, neg };
-                    if seen.insert(gr.clone()) {
-                        ground.rules.push(gr);
-                    }
+                    seen.push_if_new(gr, &mut ground.rules);
                 }
                 CHead::Atom(atom) => {
-                    let ga = instantiate_atom(atom, &inst).ok_or_else(|| GroundError {
-                        message: "unsafe rule: head variables not bound".into(),
-                    })?;
-                    let (id, _) = ground.atoms.intern(ga);
+                    let mut scratch = std::mem::take(&mut self.scratch_atom);
+                    let ok = instantiate_into(atom, inst, &mut scratch);
+                    if !ok {
+                        self.scratch_atom = scratch;
+                        return Err(GroundError {
+                            message: "unsafe rule: head variables not bound".into(),
+                        });
+                    }
+                    let (id, _) = ground.atoms.intern_ref(&scratch);
+                    self.scratch_atom = scratch;
                     if ground.atoms.is_certain(id) {
-                        continue 'instance;
+                        return Ok(());
                     }
                     let gr = GroundRule { head: Some(id), pos, neg };
-                    if seen.insert(gr.clone()) {
-                        ground.rules.push(gr);
-                    }
+                    seen.push_if_new(gr, &mut ground.rules);
                 }
                 CHead::Choice { lower, upper, elements } => {
                     let lower = match lower {
-                        Some(t) => Some(eval_int(t, &inst).ok_or_else(|| GroundError {
+                        Some(t) => Some(eval_int(t, inst).ok_or_else(|| GroundError {
                             message: "choice lower bound must be an integer".into(),
                         })?),
                         None => None,
                     };
                     let upper = match upper {
-                        Some(t) => Some(eval_int(t, &inst).ok_or_else(|| GroundError {
+                        Some(t) => Some(eval_int(t, inst).ok_or_else(|| GroundError {
                             message: "choice upper bound must be an integer".into(),
                         })?),
                         None => None,
                     };
                     let mut heads = Vec::new();
+                    let mut scratch = std::mem::take(&mut self.scratch_atom);
                     for elem in elements {
-                        let mut local = inst.clone();
+                        let mut local = inst.to_vec();
                         self.expand_conditions(
                             &elem.conditions,
                             0,
@@ -731,14 +943,15 @@ impl<'a> Grounder<'a> {
                             &mut local,
                             true,
                             &mut |ground, local| {
-                                if let Some(ga) = instantiate_atom(&elem.atom, local) {
-                                    let (id, _) = ground.atoms.intern(ga);
+                                if instantiate_into(&elem.atom, local, &mut scratch) {
+                                    let (id, _) = ground.atoms.intern_ref(&scratch);
                                     heads.push(id);
                                 }
                                 Ok(())
                             },
                         )?;
                     }
+                    self.scratch_atom = scratch;
                     heads.sort_unstable();
                     heads.dedup();
                     ground.choices.push(GroundChoice { heads, lower, upper, pos, neg });
@@ -758,11 +971,13 @@ impl<'a> Grounder<'a> {
     ) -> Result<bool, GroundError> {
         // Wildcards in negative literals mean "no instance exists": `not hash(P, _)`.
         if atom.args.iter().any(|a| matches!(a, CTerm::Wildcard)) {
-            // Enumerate all possible atoms of the predicate matching the bound arguments.
-            let candidates = ground.atoms.with_pred(atom.pred).to_vec();
-            for cand in candidates {
-                let ga = ground.atoms.atom(cand);
-                if atom_matches_bound(atom, inst, ga) {
+            // Enumerate the possible atoms of the predicate matching the bound
+            // arguments, narrowed through the sharpest index the bound arguments
+            // admit. `ground` is borrowed immutably here, so the candidate slice can
+            // be iterated in place — no copy.
+            let (key, _) = best_key(atom, inst, &ground.atoms);
+            for &cand in key_slice(&ground.atoms, &key) {
+                if atom_matches_bound(atom, inst, ground.atoms.atom(cand)) {
                     if ground.atoms.is_certain(cand) {
                         return Ok(false);
                     }
@@ -771,15 +986,16 @@ impl<'a> Grounder<'a> {
             }
             return Ok(true);
         }
-        let ga = match instantiate_atom(atom, inst) {
-            Some(ga) => ga,
-            None => {
-                return Err(GroundError {
-                    message: "unsafe rule: negative literal with unbound variables".into(),
-                })
-            }
-        };
-        match ground.atoms.get(&ga) {
+        let mut scratch = std::mem::take(&mut self.scratch_atom);
+        let ok = instantiate_into(atom, inst, &mut scratch);
+        let found = if ok { ground.atoms.get(&scratch) } else { None };
+        self.scratch_atom = scratch;
+        if !ok {
+            return Err(GroundError {
+                message: "unsafe rule: negative literal with unbound variables".into(),
+            });
+        }
+        match found {
             None => Ok(true), // atom impossible: `not a` trivially true
             Some(id) if ground.atoms.is_certain(id) => Ok(false),
             Some(id) => {
@@ -791,40 +1007,106 @@ impl<'a> Grounder<'a> {
 
     // ---- joins -------------------------------------------------------------------------
 
-    /// Join the positive body literals of a rule, calling `on_match` for every complete
-    /// substitution. When `delta_pos != usize::MAX`, the literal at that index may only
-    /// match atoms flagged in `delta` (semi-naive evaluation).
-    #[allow(clippy::too_many_arguments)]
-    fn join_positive(
+    /// Join *all* positive body literals of a rule in planner order (no delta
+    /// restriction), calling `on_match` for every complete substitution.
+    fn join_all(
         &mut self,
         rule: &CRule,
-        index: usize,
-        delta_pos: usize,
-        delta: &[bool],
         ground: &mut GroundProgram,
         subst: &mut Vec<Option<Val>>,
         on_match: &mut OnJoinMatch<'_, 'a>,
     ) -> Result<(), GroundError> {
-        if index == rule.pos.len() {
-            return on_match(self, ground, subst);
+        let mut order: Vec<usize> = (0..rule.pos.len()).collect();
+        let mut matched: Vec<AtomId> = vec![0; rule.pos.len()];
+        self.join_ordered(
+            rule, &mut order, 0, usize::MAX, usize::MAX, None, ground, subst, &mut matched,
+            on_match,
+        )
+    }
+
+    /// Join the positive body literals listed in `order[done..]`, calling `on_match`
+    /// for every complete substitution.
+    ///
+    /// At each depth the *most selective* remaining literal (fewest candidates under
+    /// the current bindings, after index selection) is joined next; `order[done..]` is
+    /// permuted in place to record the choice. Candidate lists are iterated by
+    /// position with the slice re-fetched per step, because `on_match` may intern new
+    /// atoms (append-only indexes make entries below the snapshot length stable).
+    ///
+    /// Semi-naive restriction: when `delta` is given, literals with an original index
+    /// `< delta_pos` (the literal already matched against a delta atom by the caller)
+    /// only match atoms *outside* the delta, so each derivation is found exactly once
+    /// per round. When `delta_exact` names a literal, that literal only matches atoms
+    /// *inside* the delta (the fallback driver for delta literals with arithmetic
+    /// arguments, which cannot be pre-bound by the caller).
+    #[allow(clippy::too_many_arguments)]
+    fn join_ordered(
+        &mut self,
+        rule: &CRule,
+        order: &mut Vec<usize>,
+        done: usize,
+        delta_pos: usize,
+        delta_exact: usize,
+        delta: Option<&AtomBitSet>,
+        ground: &mut GroundProgram,
+        subst: &mut Vec<Option<Val>>,
+        matched: &mut Vec<AtomId>,
+        on_match: &mut OnJoinMatch<'_, 'a>,
+    ) -> Result<(), GroundError> {
+        if done == order.len() {
+            return on_match(self, ground, subst, matched);
         }
-        let atom = &rule.pos[index];
-        let candidates = select_candidates(atom, subst, ground);
-        for cand in candidates {
-            if delta_pos == index && (cand as usize) >= delta.len() {
+        // Pick the most selective *ready* remaining literal under the current
+        // substitution (a literal with an unevaluable arithmetic argument must wait
+        // for its binders). If none is ready, fall back to the textually first
+        // remaining literal — the pre-planner join order.
+        let mut best_k = usize::MAX;
+        let mut best = (CandKey::Pred(rule.pos[order[done]].pred), usize::MAX);
+        #[allow(clippy::needless_range_loop)] // `order` is also mutated below via swap
+        for k in done..order.len() {
+            if best.1 == 0 {
+                break;
+            }
+            if rule.pos_binop[order[k]] && !literal_ready(&rule.pos[order[k]], subst) {
                 continue;
             }
-            if delta_pos == index && !delta[cand as usize] {
-                continue;
+            let key = best_key(&rule.pos[order[k]], subst, &ground.atoms);
+            if key.1 < best.1 {
+                best_k = k;
+                best = key;
             }
-            let ga = ground.atoms.atom(cand).clone();
-            let mut bindings = Vec::new();
-            if match_atom(atom, subst, &ga, &mut bindings) {
-                for &(slot, val) in &bindings {
-                    subst[slot] = Some(val);
+        }
+        if best_k == usize::MAX {
+            let first = (done..order.len()).min_by_key(|&k| order[k]).expect("non-empty");
+            best_k = first;
+            best = best_key(&rule.pos[order[first]], subst, &ground.atoms);
+        }
+        order.swap(done, best_k);
+        let li = order[done];
+        let (key, snapshot_len) = best;
+        let mut touched = [0usize; MAX_ARITY];
+        for ci in 0..snapshot_len {
+            let cand = key_slice(&ground.atoms, &key)[ci];
+            if let Some(d) = delta {
+                if li == delta_exact {
+                    if !d.contains(cand) {
+                        continue;
+                    }
+                } else if li < delta_pos && d.contains(cand) {
+                    continue;
                 }
-                self.join_positive(rule, index + 1, delta_pos, delta, ground, subst, on_match)?;
-                for &(slot, _) in &bindings {
+            }
+            if let Some(nb) = match_into_subst(&ground.atoms, cand, &rule.pos[li], subst, &mut touched)
+            {
+                matched[li] = cand;
+                // Fully bound comparisons prune the join as early as possible.
+                if !rule.cmps.iter().any(|c| eval_cmp(c, subst) == Some(false)) {
+                    self.join_ordered(
+                        rule, order, done + 1, delta_pos, delta_exact, delta, ground, subst,
+                        matched, on_match,
+                    )?;
+                }
+                for &slot in &touched[..nb] {
                     subst[slot] = None;
                 }
             }
@@ -848,19 +1130,16 @@ impl<'a> Grounder<'a> {
             return on_match(ground, subst);
         }
         let atom = &conditions[index];
-        let candidates = select_candidates(atom, subst, ground);
-        for cand in candidates {
+        let (key, snapshot_len) = best_key(atom, subst, &ground.atoms);
+        let mut touched = [0usize; MAX_ARITY];
+        for ci in 0..snapshot_len {
+            let cand = key_slice(&ground.atoms, &key)[ci];
             if certain_only && !ground.atoms.is_certain(cand) {
                 continue;
             }
-            let ga = ground.atoms.atom(cand).clone();
-            let mut bindings = Vec::new();
-            if match_atom(atom, subst, &ga, &mut bindings) {
-                for &(slot, val) in &bindings {
-                    subst[slot] = Some(val);
-                }
+            if let Some(nb) = match_into_subst(&ground.atoms, cand, atom, subst, &mut touched) {
                 self.expand_conditions(conditions, index + 1, ground, subst, certain_only, on_match)?;
-                for &(slot, _) in &bindings {
+                for &slot in &touched[..nb] {
                     subst[slot] = None;
                 }
             }
@@ -876,46 +1155,59 @@ impl<'a> Grounder<'a> {
         ground: &GroundProgram,
         tuples: &mut MinimizeTuples,
     ) -> Result<(), GroundError> {
-        // Join positive conditions over possible atoms.
-        let mut stack: Vec<(usize, Vec<Option<Val>>)> = vec![(0, vec![None; m.nvars])];
-        while let Some((index, subst)) = stack.pop() {
-            if index < m.pos.len() {
-                let atom = &m.pos[index];
-                let candidates = select_candidates(atom, &subst, ground);
-                for cand in candidates {
-                    let ga = ground.atoms.atom(cand).clone();
-                    let mut bindings = Vec::new();
-                    if match_atom(atom, &subst, &ga, &mut bindings) {
-                        let mut next = subst.clone();
-                        for &(slot, val) in &bindings {
-                            next[slot] = Some(val);
-                        }
-                        stack.push((index + 1, next));
+        let mut subst = vec![None; m.nvars];
+        self.join_minimize(m, 0, ground, &mut subst, tuples)
+    }
+
+    /// Join a minimize statement's positive conditions over the possible atoms,
+    /// binding in place like every other join path (`ground` is immutable here, so
+    /// candidate slices are iterated directly).
+    fn join_minimize(
+        &mut self,
+        m: &CMinimize,
+        index: usize,
+        ground: &GroundProgram,
+        subst: &mut Vec<Option<Val>>,
+        tuples: &mut MinimizeTuples,
+    ) -> Result<(), GroundError> {
+        if index < m.pos.len() {
+            let atom = &m.pos[index];
+            let (key, _) = best_key(atom, subst, &ground.atoms);
+            let mut touched = [0usize; MAX_ARITY];
+            for &cand in key_slice(&ground.atoms, &key) {
+                if let Some(nb) = match_into_subst(&ground.atoms, cand, atom, subst, &mut touched)
+                {
+                    self.join_minimize(m, index + 1, ground, subst, tuples)?;
+                    for &slot in &touched[..nb] {
+                        subst[slot] = None;
                     }
                 }
-                continue;
             }
+            return Ok(());
+        }
+        {
+            let subst = &*subst;
             // Complete substitution: evaluate comparisons, weight, priority, terms.
             let mut ok = true;
             for cmp in &m.cmps {
-                if eval_cmp(cmp, &subst) != Some(true) {
+                if eval_cmp(cmp, subst) != Some(true) {
                     ok = false;
                     break;
                 }
             }
             if !ok {
-                continue;
+                return Ok(());
             }
-            let weight = eval_int(&m.weight, &subst).ok_or_else(|| GroundError {
+            let weight = eval_int(&m.weight, subst).ok_or_else(|| GroundError {
                 message: "minimize weight must evaluate to an integer".into(),
             })?;
-            let priority = eval_int(&m.priority, &subst).ok_or_else(|| GroundError {
+            let priority = eval_int(&m.priority, subst).ok_or_else(|| GroundError {
                 message: "minimize priority must evaluate to an integer".into(),
             })?;
             let terms: Vec<Val> = m
                 .terms
                 .iter()
-                .map(|t| eval_term(t, &subst))
+                .map(|t| eval_term(t, subst))
                 .collect::<Option<_>>()
                 .ok_or_else(|| GroundError {
                     message: "minimize tuple terms must be bound".into(),
@@ -923,19 +1215,23 @@ impl<'a> Grounder<'a> {
             // Collect condition atoms (dropping certain ones).
             let mut pos = Vec::new();
             let mut skip = false;
+            let mut scratch = std::mem::take(&mut self.scratch_atom);
             for a in &m.pos {
-                let ga = instantiate_atom(a, &subst).expect("bound by join");
-                let id = ground.atoms.get(&ga).expect("possible");
+                assert!(instantiate_into(a, subst, &mut scratch), "bound by join");
+                let id = ground.atoms.get(&scratch).expect("possible");
                 if !ground.atoms.is_certain(id) {
                     pos.push(id);
                 }
             }
             let mut neg = Vec::new();
             for a in &m.neg {
-                let ga = instantiate_atom(a, &subst).ok_or_else(|| GroundError {
-                    message: "negative minimize condition with unbound variables".into(),
-                })?;
-                match ground.atoms.get(&ga) {
+                if !instantiate_into(a, subst, &mut scratch) {
+                    self.scratch_atom = scratch;
+                    return Err(GroundError {
+                        message: "negative minimize condition with unbound variables".into(),
+                    });
+                }
+                match ground.atoms.get(&scratch) {
                     None => {}
                     Some(id) if ground.atoms.is_certain(id) => {
                         skip = true;
@@ -943,8 +1239,9 @@ impl<'a> Grounder<'a> {
                     Some(id) => neg.push(id),
                 }
             }
+            self.scratch_atom = scratch;
             if skip {
-                continue;
+                return Ok(());
             }
             tuples.entry((priority, weight, terms)).or_default().push((pos, neg));
         }
@@ -1044,6 +1341,20 @@ fn eval_cmp(cmp: &CCmp, subst: &[Option<Val>]) -> Option<bool> {
     })
 }
 
+/// Instantiate a compiled atom into a reusable buffer (no allocation when the
+/// buffer's capacity suffices). Returns `false` when a term is unbound.
+fn instantiate_into(atom: &CAtom, subst: &[Option<Val>], out: &mut GroundAtom) -> bool {
+    out.pred = atom.pred;
+    out.args.clear();
+    for t in &atom.args {
+        match eval_term(t, subst) {
+            Some(v) => out.args.push(v),
+            None => return false,
+        }
+    }
+    true
+}
+
 fn instantiate_atom(atom: &CAtom, subst: &[Option<Val>]) -> Option<GroundAtom> {
     let mut args = Vec::with_capacity(atom.args.len());
     for t in &atom.args {
@@ -1079,68 +1390,137 @@ fn atom_matches_bound(atom: &CAtom, subst: &[Option<Val>], ga: &GroundAtom) -> b
     true
 }
 
-/// Match a compiled atom against a ground atom, extending the substitution. New bindings
-/// are appended to `bindings` (and must be undone by the caller on backtrack).
-fn match_atom(
+/// Match the table atom `cand` against a compiled atom, binding unbound variables
+/// *directly* in `subst`. The slots newly bound are recorded in `touched` (the caller
+/// resets them on backtrack); on a failed match every partial binding is undone before
+/// returning `None`. Returns the number of touched slots on a match.
+///
+/// Binding in place (instead of a side list) keeps the join allocation-free, makes
+/// repeated variables inside one atom unify naturally, and lets arithmetic terms over
+/// variables bound by *earlier* arguments of the same atom evaluate.
+fn match_into_subst(
+    atoms: &AtomTable,
+    cand: AtomId,
     atom: &CAtom,
-    subst: &[Option<Val>],
-    ga: &GroundAtom,
-    bindings: &mut Vec<(usize, Val)>,
-) -> bool {
+    subst: &mut [Option<Val>],
+    touched: &mut [usize; MAX_ARITY],
+) -> Option<usize> {
+    let ga = atoms.atom(cand);
     if atom.pred != ga.pred || atom.args.len() != ga.args.len() {
-        return false;
+        return None;
     }
-    // Local view of new bindings so repeated variables inside one atom unify.
+    let mut n = 0;
     for (t, &v) in atom.args.iter().zip(ga.args.iter()) {
-        match t {
-            CTerm::Wildcard => {}
-            CTerm::Var(i) => {
-                let existing = subst[*i].or_else(|| {
-                    bindings.iter().find(|(slot, _)| slot == i).map(|&(_, val)| val)
-                });
-                match existing {
-                    Some(bound) => {
-                        if bound != v {
-                            return false;
-                        }
-                    }
-                    None => bindings.push((*i, v)),
+        let ok = match t {
+            CTerm::Wildcard => true,
+            CTerm::Var(i) => match subst[*i] {
+                Some(bound) => bound == v,
+                None => {
+                    subst[*i] = Some(v);
+                    touched[n] = *i;
+                    n += 1;
+                    true
                 }
-            }
-            other => match eval_term(other, subst) {
-                Some(val) => {
-                    if val != v {
-                        return false;
-                    }
-                }
-                None => return false,
             },
+            other => matches!(eval_term(other, subst), Some(val) if val == v),
+        };
+        if !ok {
+            for &slot in &touched[..n] {
+                subst[slot] = None;
+            }
+            return None;
         }
     }
-    true
+    Some(n)
 }
 
-/// Select candidate atom ids for a compiled atom under the current substitution, using
-/// the `(predicate, position, value)` index when some argument is already bound.
-fn select_candidates(atom: &CAtom, subst: &[Option<Val>], ground: &GroundProgram) -> Vec<AtomId> {
-    let mut best: Option<&[AtomId]> = None;
+/// The index list chosen for one body literal under the current substitution. The key
+/// is stable across interning (indexes are append-only), so the join can re-fetch the
+/// backing slice cheaply while the atom table grows.
+#[derive(Debug, Clone, Copy)]
+enum CandKey {
+    /// All atoms of the predicate (no argument bound).
+    Pred(SymbolId),
+    /// Single bound argument: `(pred, position, value)`.
+    Arg(SymbolId, u8, Val),
+    /// Two bound arguments: `(pred, pos₁, val₁, pos₂, val₂)` with `pos₁ < pos₂`.
+    Args2(SymbolId, u8, Val, u8, Val),
+}
+
+/// The candidate slice a [`CandKey`] denotes, re-fetched from the current table state.
+fn key_slice<'t>(atoms: &'t AtomTable, key: &CandKey) -> &'t [AtomId] {
+    match *key {
+        CandKey::Pred(p) => atoms.with_pred(p),
+        CandKey::Arg(p, pos, v) => atoms.with_pred_arg(p, pos, v),
+        CandKey::Args2(p, p1, v1, p2, v2) => atoms.with_pred_args2(p, p1, v1, p2, v2),
+    }
+}
+
+/// Does any argument of this atom contain an arithmetic term? Such literals can only
+/// be joined once the variables inside the term are bound (matching evaluates the
+/// term), so the planner must not order them before their binders.
+fn has_binop_arg(atom: &CAtom) -> bool {
+    atom.args.iter().any(|t| matches!(t, CTerm::BinOp(..)))
+}
+
+
+/// Is this literal joinable *now*: every arithmetic argument evaluates under the
+/// current substitution? (Plain variables bind during matching and constants always
+/// evaluate, so only `BinOp` arguments gate readiness.)
+fn literal_ready(atom: &CAtom, subst: &[Option<Val>]) -> bool {
+    atom.args.iter().all(|t| match t {
+        CTerm::BinOp(..) => eval_term(t, subst).is_some(),
+        _ => true,
+    })
+}
+
+/// Choose the most selective available index for `atom` under `subst`: evaluate every
+/// argument, compare the single-argument candidate lists of all bound positions, and —
+/// when at least two of the first [`AtomTable::MAX_PAIR_INDEXED_ARGS`] positions are
+/// bound — the pair index over the two individually most selective ones. Returns the
+/// winning key together with its candidate count (the join planner's selectivity
+/// measure).
+fn best_key(atom: &CAtom, subst: &[Option<Val>], atoms: &AtomTable) -> (CandKey, usize) {
+    let mut best = CandKey::Pred(atom.pred);
+    let mut best_len = atoms.with_pred(atom.pred).len();
+    if best_len == 0 {
+        return (best, 0);
+    }
+    // The two individually most selective bound positions eligible for the pair index.
+    let mut pair: [Option<(u8, Val, usize)>; 2] = [None, None];
     for (pos, t) in atom.args.iter().enumerate().take(u8::MAX as usize) {
         let val = match t {
             CTerm::Val(v) => Some(*v),
             CTerm::Var(i) => subst[*i],
-            _ => eval_term(t, subst),
+            CTerm::Wildcard => None,
+            CTerm::BinOp(..) => eval_term(t, subst),
         };
-        if let Some(v) = val {
-            let cands = ground.atoms.with_pred_arg(atom.pred, pos as u8, v);
-            if best.map(|b| cands.len() < b.len()).unwrap_or(true) {
-                best = Some(cands);
+        let Some(v) = val else { continue };
+        let len = atoms.with_pred_arg(atom.pred, pos as u8, v).len();
+        if len < best_len {
+            best = CandKey::Arg(atom.pred, pos as u8, v);
+            best_len = len;
+        }
+        if pos < AtomTable::MAX_PAIR_INDEXED_ARGS {
+            let entry = Some((pos as u8, v, len));
+            if pair[0].is_none_or(|(_, _, l)| len < l) {
+                pair[1] = pair[0];
+                pair[0] = entry;
+            } else if pair[1].is_none_or(|(_, _, l)| len < l) {
+                pair[1] = entry;
             }
         }
     }
-    match best {
-        Some(c) => c.to_vec(),
-        None => ground.atoms.with_pred(atom.pred).to_vec(),
+    if let (Some((p1, v1, _)), Some((p2, v2, _))) = (pair[0], pair[1]) {
+        let ((p1, v1), (p2, v2)) =
+            if p1 < p2 { ((p1, v1), (p2, v2)) } else { ((p2, v2), (p1, v1)) };
+        let len = atoms.with_pred_args2(atom.pred, p1, v1, p2, v2).len();
+        if len < best_len {
+            best = CandKey::Args2(atom.pred, p1, v1, p2, v2);
+            best_len = len;
+        }
     }
+    (best, best_len)
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! A fast, non-cryptographic hasher for the engine's hot maps.
+//!
+//! Grounding interns hundreds of thousands of atoms and performs millions of index
+//! lookups; with the standard library's default SipHash those lookups dominate the
+//! profile. This is the Firefox/rustc "FxHash" multiply-rotate scheme: not DoS
+//! resistant, which is fine for maps keyed by interned ids and ground values that the
+//! program itself produced.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-at-a-time multiply-rotate hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_behave() {
+        let mut m: FxHashMap<(u32, u8, i64), Vec<u32>> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.entry((i % 50, (i % 7) as u8, i as i64)).or_default().push(i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(3, 3, 3)), Some(&vec![3]));
+
+        let mut s: FxHashSet<Vec<u32>> = FxHashSet::default();
+        assert!(s.insert(vec![1, 2, 3]));
+        assert!(!s.insert(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn hash_differs_across_inputs() {
+        use std::hash::Hash;
+        let h = |x: &dyn Fn(&mut FxHasher)| {
+            let mut hasher = FxHasher::default();
+            x(&mut hasher);
+            hasher.finish()
+        };
+        let a = h(&|hh| 1u64.hash(hh));
+        let b = h(&|hh| 2u64.hash(hh));
+        assert_ne!(a, b);
+        let s1 = h(&|hh| "hello".hash(hh));
+        let s2 = h(&|hh| "hellp".hash(hh));
+        assert_ne!(s1, s2);
+    }
+}

@@ -52,6 +52,7 @@
 pub mod ast;
 pub mod control;
 pub mod ground;
+pub mod hasher;
 pub mod lexer;
 pub mod optimize;
 pub mod parser;

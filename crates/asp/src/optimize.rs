@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 
 use crate::ground::GroundProgram;
-use crate::sat::{LinearSpec, Lit, SatConfig, SearchResult, Solver, Var};
-use crate::stable::unfounded_set;
+use crate::sat::{LinearSpec, Lit, SatConfig, SatStats, SearchResult, Solver, Var};
+use crate::stable::StabilityChecker;
 use crate::translate::Translation;
 
 /// The outcome of an optimizing solve.
@@ -21,7 +21,8 @@ pub struct OptimalModel {
     pub model: Vec<bool>,
     /// The objective vector: `(priority, value)` pairs sorted by decreasing priority.
     pub cost: Vec<(i64, i64)>,
-    /// Number of candidate (stable) models examined on the way to the optimum.
+    /// Number of candidate models examined on the way to the optimum, including
+    /// unstable supported models rejected by the stability check.
     pub models_examined: u64,
     /// Number of solver invocations.
     pub solver_runs: u64,
@@ -29,6 +30,8 @@ pub struct OptimalModel {
     pub conflicts: u64,
     /// Loop nogoods added by the stable-model check.
     pub loop_nogoods: u64,
+    /// Aggregated low-level solver statistics across all runs.
+    pub sat: SatStats,
 }
 
 /// Strategy used to drive the optimization (mirrors clasp's `--opt-strategy`).
@@ -69,6 +72,17 @@ struct Level {
 /// Solve for the lexicographically optimal stable model.
 ///
 /// Returns `Ok(None)` when the program has no stable model at all.
+///
+/// # Warm starts
+///
+/// Within one priority level, branch-and-bound only ever *tightens* the objective
+/// bound, so a single solver instance is kept across all improving models of the
+/// level: every learned clause, loop nogood, saved phase, and activity score carries
+/// over, and each iteration merely adds one more linear bound. Only when a level is
+/// proved optimal (its last bound is UNSAT, poisoning the solver) is a fresh solver
+/// built for the next level — seeded with the frozen bounds of the finished levels,
+/// the loop nogoods discovered so far, and the incumbent model's phases (so the
+/// search restarts in the neighbourhood of the best known assignment).
 pub fn solve_optimal(
     ground: &GroundProgram,
     translation: &Translation,
@@ -82,25 +96,31 @@ pub fn solve_optimal(
     let mut stats = RunStats::default();
     // Loop nogoods discovered by the stability check are shared across solver runs.
     let mut extra_clauses: Vec<Vec<Lit>> = Vec::new();
+    // One occurrence index serves every stability check of this solve.
+    let mut checker = StabilityChecker::new(ground);
 
-    // Initial model with no objective bounds.
-    let mut best = match run(
-        ground,
-        translation,
-        config,
-        &[],
-        &levels,
-        &mut extra_clauses,
-        &mut stats,
-    ) {
-        Some(m) => m,
-        None => return Ok(None),
+    // Initial model with no objective bounds. The solver stays live across levels: it
+    // is only discarded when a level's final (UNSAT) bound poisons it, and only
+    // rebuilt lazily when a later level actually needs another run.
+    let mut live = Some(build_solver(translation, config, &[], &extra_clauses));
+    let mut best = {
+        let solver = live.as_mut().expect("just built");
+        match run_stable(solver, ground, &mut checker, &mut extra_clauses, &mut stats) {
+            Some(m) => m,
+            None => {
+                stats.sat.absorb(&solver.stats);
+                return Ok(None);
+            }
+        }
     };
     let mut best_costs = level_costs(&levels, &best);
 
-    // Optimize level by level, highest priority first.
+    // Optimize level by level, highest priority first. `live_bounds[li]` is the index
+    // of level `li`'s objective bound inside the live solver (if added), so repeated
+    // descents tighten one constraint in place instead of stacking superseded copies.
     let debug = std::env::var("ASP_DEBUG").is_ok();
     let mut fixed_bounds: Vec<LinearSpec> = Vec::new();
+    let mut live_bounds: Vec<Option<usize>> = vec![None; levels.len()];
     for (li, level) in levels.iter().enumerate() {
         loop {
             let current = best_costs[li];
@@ -115,38 +135,62 @@ pub fn solve_optimal(
             if current == 0 {
                 break;
             }
-            let mut bounds = fixed_bounds.clone();
+            let solver = match live.as_mut() {
+                Some(s) => s,
+                None => {
+                    // The previous run retired the solver (UNSAT bound). Rebuild with
+                    // every frozen bound and loop nogood, warm-started from the
+                    // incumbent's phases.
+                    let mut s = build_solver(translation, config, &fixed_bounds, &extra_clauses);
+                    for (v, &val) in best.iter().enumerate() {
+                        s.set_phase(v as Var, val);
+                    }
+                    // The frozen bounds occupy the linear slots after the
+                    // translation's, in level order.
+                    live_bounds = vec![None; levels.len()];
+                    for (lj, slot) in live_bounds.iter_mut().take(fixed_bounds.len()).enumerate() {
+                        *slot = Some(translation.linears.len() + lj);
+                    }
+                    live.insert(s)
+                }
+            };
             match strategy {
                 OptStrategy::BranchAndBound => {
-                    bounds.push(level_bound(level, current - 1));
+                    set_level_bound(solver, &mut live_bounds, li, level, current - 1);
                 }
                 OptStrategy::Descent => {
                     // Demand improvement on this level and at least no regression on the
                     // remaining ones simultaneously.
-                    bounds.push(level_bound(level, current - 1));
+                    set_level_bound(solver, &mut live_bounds, li, level, current - 1);
                     for (lj, l) in levels.iter().enumerate().skip(li + 1) {
-                        bounds.push(level_bound(l, best_costs[lj]));
+                        set_level_bound(solver, &mut live_bounds, lj, l, best_costs[lj]);
                     }
                 }
             }
-            match run(
-                ground,
-                translation,
-                config,
-                &bounds,
-                &levels,
-                &mut extra_clauses,
-                &mut stats,
-            ) {
+            match run_stable(solver, ground, &mut checker, &mut extra_clauses, &mut stats) {
                 Some(m) => {
                     best_costs = level_costs(&levels, &m);
                     best = m;
                 }
-                None => break,
+                None => {
+                    // This level is proved optimal; the bound that proved it poisons
+                    // the solver, so retire it (a later level rebuilds on demand).
+                    stats.sat.absorb(&solver.stats);
+                    live = None;
+                    break;
+                }
             }
         }
-        // Freeze this level at its optimum for the remaining levels.
+        // Freeze this level at its optimum for the remaining levels — and mirror the
+        // frozen bound into the still-live solver (a pure tightening the incumbent
+        // satisfies), keeping it interchangeable with a freshly built one.
         fixed_bounds.push(level_bound(level, best_costs[li]));
+        if let Some(solver) = live.as_mut() {
+            set_level_bound(solver, &mut live_bounds, li, level, best_costs[li]);
+        }
+    }
+    if let Some(solver) = live.as_ref() {
+        stats.sat.absorb(&solver.stats);
     }
 
     let cost = levels
@@ -159,8 +203,9 @@ pub fn solve_optimal(
         cost,
         models_examined: stats.models,
         solver_runs: stats.runs,
-        conflicts: stats.conflicts,
+        conflicts: stats.sat.conflicts,
         loop_nogoods: stats.loop_nogoods,
+        sat: stats.sat,
     }))
 }
 
@@ -171,11 +216,25 @@ pub fn enumerate_models(
     config: &SatConfig,
     limit: usize,
 ) -> Vec<Vec<bool>> {
+    enumerate_models_with_stats(ground, translation, config, limit).0
+}
+
+/// [`enumerate_models`], additionally returning the solver's aggregate statistics and
+/// the number of candidate models examined (including unstable ones rejected by the
+/// stability check — the same meaning the counter has on the optimization path).
+pub fn enumerate_models_with_stats(
+    ground: &GroundProgram,
+    translation: &Translation,
+    config: &SatConfig,
+    limit: usize,
+) -> (Vec<Vec<bool>>, SatStats, u64) {
     let mut models = Vec::new();
+    let mut examined = 0u64;
     if ground.trivially_unsat {
-        return models;
+        return (models, SatStats::default(), examined);
     }
     let mut solver = build_solver(translation, config, &[], &[]);
+    let mut checker = StabilityChecker::new(ground);
     loop {
         if models.len() >= limit {
             break;
@@ -183,8 +242,9 @@ pub fn enumerate_models(
         match solver.search() {
             SearchResult::Unsat => break,
             SearchResult::Sat => {
+                examined += 1;
                 let model = solver.model();
-                let unfounded = unfounded_set(ground, &model);
+                let unfounded = checker.unfounded_set(ground, &model);
                 if unfounded.is_empty() {
                     models.push(model.clone());
                     // Block this model (projected on the program atoms).
@@ -197,7 +257,7 @@ pub fn enumerate_models(
                             }
                         })
                         .collect();
-                    if !solver.add_blocking_clause(blocking) {
+                    if !solver.add_blocking_clause(&blocking) {
                         break;
                     }
                 } else {
@@ -205,22 +265,23 @@ pub fn enumerate_models(
                         .iter()
                         .map(|&a| Lit::neg(a as Var))
                         .collect();
-                    if !solver.add_blocking_clause(nogood) {
+                    if !solver.add_blocking_clause(&nogood) {
                         break;
                     }
                 }
             }
         }
     }
-    models
+    let stats = solver.stats.clone();
+    (models, stats, examined)
 }
 
 #[derive(Default)]
 struct RunStats {
     runs: u64,
     models: u64,
-    conflicts: u64,
     loop_nogoods: u64,
+    sat: SatStats,
 }
 
 fn collect_levels(ground: &GroundProgram) -> Result<Vec<Level>, OptimizeError> {
@@ -270,6 +331,35 @@ fn level_bound(level: &Level, bound: i64) -> LinearSpec {
     }
 }
 
+/// Impose (or tighten) a level's objective bound on a live solver. The first time a
+/// level is bounded, a linear constraint is added and its literals are bumped and
+/// phase-biased towards *false* (clasp's optimization sign heuristic) — otherwise
+/// phase saving would keep steering the search back to the just-outlawed incumbent.
+/// Subsequent descents of the same level tighten that constraint's upper bound in
+/// place, so the solver never accumulates superseded bounds.
+fn set_level_bound(
+    solver: &mut Solver,
+    live_bounds: &mut [Option<usize>],
+    li: usize,
+    level: &Level,
+    bound: i64,
+) {
+    let upper = bound.max(0) as u64;
+    // Re-focus the heuristic on the objective at every descent, not only the first:
+    // the activity bump and the false-bias refresh are what steer the next search
+    // towards cheaper models once phase saving has locked onto the incumbent.
+    for &(l, _) in &level.lits {
+        solver.bump_variable(l.var(), 0.5);
+        solver.set_phase(l.var(), !l.is_pos());
+    }
+    if let Some(idx) = live_bounds[li] {
+        solver.tighten_linear_upper(idx, upper);
+        return;
+    }
+    live_bounds[li] = Some(solver.num_linears());
+    solver.add_linear(level_bound(level, bound));
+}
+
 fn build_solver(
     translation: &Translation,
     config: &SatConfig,
@@ -278,7 +368,7 @@ fn build_solver(
 ) -> Solver {
     let mut solver = Solver::new(translation.num_vars, config.clone());
     for clause in &translation.clauses {
-        if !solver.add_clause(clause.clone()) {
+        if !solver.add_clause(clause) {
             break;
         }
     }
@@ -286,7 +376,7 @@ fn build_solver(
         solver.add_linear(lin.clone());
     }
     for clause in extra_clauses {
-        if !solver.add_clause(clause.clone()) {
+        if !solver.add_clause(clause) {
             break;
         }
     }
@@ -300,53 +390,39 @@ fn build_solver(
     solver
 }
 
-/// Run one solver invocation (with the given objective bounds), returning the first
-/// *stable* model found or `None` when none exists.
-fn run(
+/// Drive a live solver to the next *stable* model (adding loop nogoods for unstable
+/// supported models along the way), or `None` when none exists under the solver's
+/// current bounds. The solver keeps all state between calls; aggregate statistics are
+/// absorbed by the caller when the solver is retired.
+fn run_stable(
+    solver: &mut Solver,
     ground: &GroundProgram,
-    translation: &Translation,
-    config: &SatConfig,
-    bounds: &[LinearSpec],
-    _levels: &[Level],
+    checker: &mut StabilityChecker,
     extra_clauses: &mut Vec<Vec<Lit>>,
     stats: &mut RunStats,
 ) -> Option<Vec<bool>> {
-    let mut solver = build_solver(translation, config, bounds, extra_clauses);
     stats.runs += 1;
     let debug = std::env::var("ASP_DEBUG").is_ok();
-    if debug {
-        eprintln!(
-            "[asp] run #{}: {} bounds, {} extra clauses, {} vars",
-            stats.runs,
-            bounds.len(),
-            extra_clauses.len(),
-            translation.num_vars
-        );
-    }
     loop {
         match solver.search() {
-            SearchResult::Unsat => {
-                stats.conflicts += solver.stats.conflicts;
-                return None;
-            }
+            SearchResult::Unsat => return None,
             SearchResult::Sat => {
+                stats.models += 1;
                 let model = solver.model();
-                let unfounded = unfounded_set(ground, &model);
+                let unfounded = checker.unfounded_set(ground, &model);
                 if unfounded.is_empty() {
-                    stats.models += 1;
-                    stats.conflicts += solver.stats.conflicts;
                     return Some(model);
                 }
                 // Loop nogood: at least one unfounded atom must be false. It is a
-                // consequence of the program (not of the bounds), so it persists.
+                // consequence of the program (not of the bounds), so it persists and is
+                // replayed into every future solver.
                 let nogood: Vec<Lit> = unfounded.iter().map(|&a| Lit::neg(a as Var)).collect();
                 stats.loop_nogoods += 1;
                 if debug && stats.loop_nogoods.is_multiple_of(50) {
                     eprintln!("[asp] {} loop nogoods so far (unfounded set size {})", stats.loop_nogoods, unfounded.len());
                 }
                 extra_clauses.push(nogood.clone());
-                if !solver.add_blocking_clause(nogood) {
-                    stats.conflicts += solver.stats.conflicts;
+                if !solver.add_blocking_clause(&nogood) {
                     return None;
                 }
             }

@@ -3,10 +3,31 @@
 //! This is the `clasp` analogue of the reproduction: the search algorithm follows the
 //! DPLL lineage with the modern extensions the paper names (Section IV-E) — watched
 //! literals, conflict-driven clause learning with 1-UIP learning, activity-based (VSIDS)
-//! decision heuristics, phase saving, and Luby restarts. In addition to clauses, the
-//! solver propagates *linear constraints* (weighted sums of literals with lower/upper
-//! bounds, optionally guarded by a condition literal), which implement choice-rule
-//! cardinality bounds and the objective bounds used during optimization.
+//! decision heuristics, phase saving, Luby restarts, and activity-driven deletion of
+//! learned clauses. In addition to clauses, the solver propagates *linear constraints*
+//! (weighted sums of literals with lower/upper bounds, optionally guarded by a condition
+//! literal), which implement choice-rule cardinality bounds and the objective bounds
+//! used during optimization.
+//!
+//! # Propagation invariants (the hot path)
+//!
+//! Nothing on the propagate/assign/unassign path clones clause bodies or occurrence
+//! lists:
+//!
+//! * Conflicts are reported as `Conflict` — a clause *index* (resolved lazily during
+//!   analysis) or the literal list a linear constraint materialises anyway.
+//! * Every linear constraint maintains two counters, `sum_true` (weight of counted
+//!   literals currently true) and `sum_false` (weight currently false). They are
+//!   updated **incrementally**: each variable's occurrence list (`LinOcc`) stores the
+//!   constraint index *and the slot* of the counted literal, so `enqueue`/`unassign`
+//!   adjust exactly the affected counters in O(occurrences) — no per-assignment rescan
+//!   of the constraint's literal list. Guard (condition) occurrences use a sentinel
+//!   slot and never touch the counters.
+//! * The invariant maintained is: after `propagate` returns without conflict, for every
+//!   linear with an active guard, `sum_true ≤ upper` and `total − sum_false ≥ lower`,
+//!   and no unassigned counted literal could violate either bound by itself.
+//! * Conflict analysis reuses persistent buffers (`analyze_buf`, `seen`) instead of
+//!   allocating per resolution step.
 
 use std::fmt;
 
@@ -90,6 +111,39 @@ pub enum SearchResult {
     Unsat,
 }
 
+/// A conflict found during propagation. Clause conflicts are passed by *index* so the
+/// hot path never clones a clause body; linear-constraint conflicts carry the literal
+/// list their explanation materialises anyway.
+#[derive(Debug)]
+enum Conflict {
+    /// The clause at this index is falsified.
+    Clause(usize),
+    /// An explicit list of (currently false) literals.
+    Lits(Vec<Lit>),
+}
+
+/// One occurrence of a variable inside a linear constraint: the constraint index plus
+/// the slot of the counted literal (or [`GUARD_SLOT`] for the guard/condition literal,
+/// which participates in propagation wake-up but not in the counters).
+#[derive(Debug, Clone, Copy)]
+struct LinOcc {
+    idx: u32,
+    slot: u32,
+}
+
+/// Sentinel slot marking a guard (condition) occurrence.
+const GUARD_SLOT: u32 = u32::MAX;
+
+/// A watch-list entry: the watching clause plus a *blocker* literal (some other
+/// literal of the clause, usually the second watch). If the blocker is already true
+/// the clause is satisfied and the visit costs one probe — the clause body is never
+/// touched (MiniSat's blocker optimization).
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    ci: u32,
+    blocker: Lit,
+}
+
 /// A linear constraint over literals: `lower <= sum(weight_i * lit_i) <= upper`,
 /// active only when `condition` (if any) is true.
 #[derive(Debug, Clone)]
@@ -124,6 +178,11 @@ struct Linear {
     total: u64,
     sum_true: u64,
     sum_false: u64,
+    /// Largest single weight. No literal can overflow the upper bound unless
+    /// `sum_true + wmax > upper`, and none can be forced true unless
+    /// `total - sum_false - wmax < lower` (the heaviest literal triggers first on
+    /// both bounds), so slack constraints skip the literal scan.
+    wmax: u64,
 }
 
 /// Heuristic configuration of the solver (the analogue of clingo's configuration
@@ -140,6 +199,13 @@ pub struct SatConfig {
     pub random_polarity: f64,
     /// Seed for the solver's private RNG.
     pub seed: u64,
+    /// Soft cap on live learned clauses: when exceeded (checked at restarts), the
+    /// lower-activity half of the deletable learned clauses is removed. Grows
+    /// geometrically after every reduction.
+    pub learned_limit: usize,
+    /// Learned-clause activity decay factor (0 < decay < 1); the clause analogue of
+    /// `var_decay`.
+    pub clause_decay: f64,
 }
 
 impl Default for SatConfig {
@@ -150,6 +216,8 @@ impl Default for SatConfig {
             default_phase: false,
             random_polarity: 0.02,
             seed: 0x5eed,
+            learned_limit: 4000,
+            clause_decay: 0.999,
         }
     }
 }
@@ -167,24 +235,47 @@ pub struct SatStats {
     pub restarts: u64,
     /// Number of learned clauses.
     pub learned: u64,
+    /// Number of learned clauses deleted again by the reduction policy.
+    pub deleted: u64,
+}
+
+impl SatStats {
+    /// Accumulate another solver run's statistics into this one.
+    pub fn absorb(&mut self, other: &SatStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learned += other.learned;
+        self.deleted += other.deleted;
+    }
 }
 
 /// The CDCL solver.
 pub struct Solver {
     num_vars: usize,
     clauses: Vec<Vec<Lit>>,
-    /// Watch lists: for each literal index, clause indices watching it.
-    watches: Vec<Vec<usize>>,
+    /// Parallel to `clauses`: learned (deletable) flag.
+    clause_learned: Vec<bool>,
+    /// Parallel to `clauses`: conflict-analysis activity (only meaningful for learned).
+    clause_activity: Vec<f64>,
+    clause_inc: f64,
+    /// Live learned-clause cap; grows geometrically after each reduction.
+    max_learned: usize,
+    /// Watch lists: for each literal index, the watching clauses (with blockers).
+    watches: Vec<Vec<Watch>>,
     linears: Vec<Linear>,
-    /// For each variable, the linear constraints that contain it (as counted literal or
-    /// condition).
-    linear_occ: Vec<Vec<usize>>,
+    /// For each variable, its occurrences in linear constraints (constraint + slot).
+    linear_occ: Vec<Vec<LinOcc>>,
     assignment: Vec<Value>,
     level: Vec<u32>,
     reason: Vec<Reason>,
     stored_reasons: Vec<Vec<Lit>>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
+    /// Parallel to `trail_lim`: `stored_reasons.len()` when each level was opened, so
+    /// backtracking can reclaim the reasons of unassigned literals.
+    stored_lim: Vec<usize>,
     prop_head: usize,
     activity: Vec<f64>,
     var_inc: f64,
@@ -196,6 +287,10 @@ pub struct Solver {
     pub stats: SatStats,
     /// Set when the problem is already unsatisfiable at level 0.
     root_conflict: bool,
+    /// Persistent scratch for conflict analysis (the literals being resolved).
+    analyze_buf: Vec<Lit>,
+    /// Persistent "seen" marker per variable for conflict analysis.
+    seen: Vec<bool>,
 }
 
 impl Solver {
@@ -206,9 +301,14 @@ impl Solver {
         for v in 0..num_vars as Var {
             heap.insert(v, 0.0);
         }
+        let max_learned = config.learned_limit.max(16);
         Solver {
             num_vars,
             clauses: Vec::new(),
+            clause_learned: Vec::new(),
+            clause_activity: Vec::new(),
+            clause_inc: 1.0,
+            max_learned,
             watches: vec![Vec::new(); num_vars * 2],
             linears: Vec::new(),
             linear_occ: vec![Vec::new(); num_vars],
@@ -218,6 +318,7 @@ impl Solver {
             stored_reasons: Vec::new(),
             trail: Vec::new(),
             trail_lim: Vec::new(),
+            stored_lim: Vec::new(),
             prop_head: 0,
             activity: vec![0.0; num_vars],
             var_inc: 1.0,
@@ -227,6 +328,8 @@ impl Solver {
             rng,
             stats: SatStats::default(),
             root_conflict: false,
+            analyze_buf: Vec::new(),
+            seen: vec![false; num_vars],
         }
     }
 
@@ -267,26 +370,27 @@ impl Solver {
 
     /// Add a clause. Returns `false` when the clause makes the problem unsatisfiable at
     /// the root level. Must be called at decision level 0 (the solver backtracks
-    /// automatically when necessary).
-    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+    /// automatically when necessary). Takes a slice: the solver copies only the
+    /// literals that survive level-0 simplification.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
         if self.root_conflict {
             return false;
         }
         self.cancel_until(0);
-        lits.sort_unstable();
-        lits.dedup();
-        // Tautology?
-        if lits.windows(2).any(|w| w[0] == w[1].negate() || w[1] == w[0].negate()) {
-            return true;
-        }
         // Remove literals already false at level 0; satisfied clauses are dropped.
         let mut filtered = Vec::with_capacity(lits.len());
-        for &l in &lits {
+        for &l in lits {
             match self.value_lit(l) {
                 Value::True => return true,
                 Value::False => {}
                 Value::Unassigned => filtered.push(l),
             }
+        }
+        filtered.sort_unstable();
+        filtered.dedup();
+        // Tautology? (positive/negative literals of a variable sort adjacently)
+        if filtered.windows(2).any(|w| w[0] == w[1].negate()) {
+            return true;
         }
         match filtered.len() {
             0 => {
@@ -303,10 +407,12 @@ impl Solver {
                 }
             }
             _ => {
-                let idx = self.clauses.len();
-                self.watches[filtered[0].negate().index()].push(idx);
-                self.watches[filtered[1].negate().index()].push(idx);
+                let ci = self.clauses.len() as u32;
+                self.watches[filtered[0].negate().index()].push(Watch { ci, blocker: filtered[1] });
+                self.watches[filtered[1].negate().index()].push(Watch { ci, blocker: filtered[0] });
                 self.clauses.push(filtered);
+                self.clause_learned.push(false);
+                self.clause_activity.push(0.0);
                 true
             }
         }
@@ -317,13 +423,14 @@ impl Solver {
         assert_eq!(spec.lits.len(), spec.weights.len());
         self.cancel_until(0);
         let total: u64 = spec.weights.iter().sum();
-        let idx = self.linears.len();
-        for &l in &spec.lits {
-            self.linear_occ[l.var() as usize].push(idx);
+        let idx = self.linears.len() as u32;
+        for (slot, &l) in spec.lits.iter().enumerate() {
+            self.linear_occ[l.var() as usize].push(LinOcc { idx, slot: slot as u32 });
         }
         if let Some(c) = spec.condition {
-            self.linear_occ[c.var() as usize].push(idx);
+            self.linear_occ[c.var() as usize].push(LinOcc { idx, slot: GUARD_SLOT });
         }
+        let wmax = spec.weights.iter().copied().max().unwrap_or(0);
         let mut lin = Linear {
             condition: spec.condition,
             lits: spec.lits,
@@ -333,6 +440,7 @@ impl Solver {
             total,
             sum_true: 0,
             sum_false: 0,
+            wmax,
         };
         // Account for assignments already made at level 0.
         for (i, &l) in lin.lits.iter().enumerate() {
@@ -345,6 +453,28 @@ impl Solver {
         self.linears.push(lin);
         // The constraint may already be violated (or unit) under the level-0 assignment;
         // check it right away — later propagation only triggers on new assignments.
+        if self.propagate_linear(idx as usize).is_some() || self.propagate().is_some() {
+            self.root_conflict = true;
+        }
+    }
+
+    /// Number of linear constraints added so far (the next `add_linear` gets this
+    /// index); lets callers address a constraint for in-place tightening.
+    pub fn num_linears(&self) -> usize {
+        self.linears.len()
+    }
+
+    /// Tighten an existing linear constraint's upper bound in place. The new bound
+    /// must not be looser than the current one — used by the optimizer to descend an
+    /// objective without stacking superseded constraints (and their occurrence-list
+    /// entries) in the live solver.
+    pub fn tighten_linear_upper(&mut self, idx: usize, upper: u64) {
+        if self.root_conflict {
+            return;
+        }
+        self.cancel_until(0);
+        debug_assert!(upper <= self.linears[idx].upper);
+        self.linears[idx].upper = upper;
         if self.propagate_linear(idx).is_some() || self.propagate().is_some() {
             self.root_conflict = true;
         }
@@ -355,6 +485,13 @@ impl Solver {
     pub fn bump_variable(&mut self, v: Var, amount: f64) {
         self.activity[v as usize] += amount;
         self.heap.update(v, self.activity[v as usize]);
+    }
+
+    /// Seed the saved phase of a variable. Used to warm-start a solver from an
+    /// incumbent model so the search re-enters the neighbourhood of a known-good
+    /// assignment first (the optimizer seeds each lexicographic level this way).
+    pub fn set_phase(&mut self, v: Var, phase: bool) {
+        self.phase[v as usize] = phase;
     }
 
     /// Run the CDCL search until a model is found or the problem is proved unsatisfiable.
@@ -380,6 +517,7 @@ impl Solver {
             if conflicts_until_restart == 0 {
                 self.stats.restarts += 1;
                 self.cancel_until(0);
+                self.reduce_learned();
                 conflicts_until_restart = self.luby_interval();
             }
             // All constraints propagated without conflict: check for completeness.
@@ -394,6 +532,7 @@ impl Solver {
                     };
                     let lit = if phase { Lit::pos(var) } else { Lit::neg(var) };
                     self.trail_lim.push(self.trail.len());
+                    self.stored_lim.push(self.stored_reasons.len());
                     self.enqueue(lit, Reason::Decision);
                 }
             }
@@ -411,7 +550,7 @@ impl Solver {
 
     /// Block the current model (or any other clause) and prepare for continued search.
     /// Returns `false` when the added clause makes the problem unsatisfiable.
-    pub fn add_blocking_clause(&mut self, clause: Vec<Lit>) -> bool {
+    pub fn add_blocking_clause(&mut self, clause: &[Lit]) -> bool {
         self.add_clause(clause)
     }
 
@@ -426,33 +565,38 @@ impl Solver {
         self.phase[var] = lit.is_pos();
         self.trail.push(lit);
         self.stats.propagations += 1;
-        // Update linear constraint counters.
-        for &idx in &self.linear_occ[var] {
-            let lin = &mut self.linears[idx];
-            for (i, &l) in lin.lits.iter().enumerate() {
-                if l.var() as usize == var {
-                    if (l.is_pos() && lit.is_pos()) || (!l.is_pos() && !lit.is_pos()) {
-                        lin.sum_true += lin.weights[i];
-                    } else {
-                        lin.sum_false += lin.weights[i];
-                    }
-                }
+        // Update linear-constraint counters incrementally: each occurrence names the
+        // exact slot of this variable's literal, so no literal list is scanned.
+        for k in 0..self.linear_occ[var].len() {
+            let occ = self.linear_occ[var][k];
+            if occ.slot == GUARD_SLOT {
+                continue;
+            }
+            let lin = &mut self.linears[occ.idx as usize];
+            let l = lin.lits[occ.slot as usize];
+            let w = lin.weights[occ.slot as usize];
+            if l.is_pos() == lit.is_pos() {
+                lin.sum_true += w;
+            } else {
+                lin.sum_false += w;
             }
         }
     }
 
     fn unassign(&mut self, lit: Lit) {
         let var = lit.var() as usize;
-        for &idx in &self.linear_occ[var] {
-            let lin = &mut self.linears[idx];
-            for (i, &l) in lin.lits.iter().enumerate() {
-                if l.var() as usize == var {
-                    if (l.is_pos() && lit.is_pos()) || (!l.is_pos() && !lit.is_pos()) {
-                        lin.sum_true -= lin.weights[i];
-                    } else {
-                        lin.sum_false -= lin.weights[i];
-                    }
-                }
+        for k in 0..self.linear_occ[var].len() {
+            let occ = self.linear_occ[var][k];
+            if occ.slot == GUARD_SLOT {
+                continue;
+            }
+            let lin = &mut self.linears[occ.idx as usize];
+            let l = lin.lits[occ.slot as usize];
+            let w = lin.weights[occ.slot as usize];
+            if l.is_pos() == lit.is_pos() {
+                lin.sum_true -= w;
+            } else {
+                lin.sum_false -= w;
             }
         }
         self.assignment[var] = Value::Unassigned;
@@ -462,42 +606,57 @@ impl Solver {
     }
 
     fn cancel_until(&mut self, level: u32) {
+        let mut stored_mark = None;
         while self.decision_level() > level {
             let lim = self.trail_lim.pop().unwrap();
+            stored_mark = self.stored_lim.pop();
             while self.trail.len() > lim {
                 let lit = self.trail.pop().unwrap();
                 self.unassign(lit);
             }
         }
+        // Reasons are pushed in enqueue order, so every still-assigned literal's
+        // stored reason predates the earliest cancelled level — the tail is garbage.
+        if let Some(mark) = stored_mark {
+            self.stored_reasons.truncate(mark);
+        }
         self.prop_head = self.prop_head.min(self.trail.len());
     }
 
-    /// Propagate all pending assignments. Returns a conflict clause (as literal list, all
-    /// currently false) if a conflict is found.
-    fn propagate(&mut self) -> Option<Vec<Lit>> {
+    /// Propagate all pending assignments. Returns the conflict if one is found. The
+    /// occurrence lists are iterated in place (indexed, since `propagate_linear` may
+    /// enqueue further literals) — never cloned.
+    fn propagate(&mut self) -> Option<Conflict> {
         while self.prop_head < self.trail.len() {
             let lit = self.trail[self.prop_head];
             self.prop_head += 1;
             // Clause propagation: clauses watching ¬lit.
-            if let Some(confl) = self.propagate_clauses(lit) {
-                return Some(confl);
+            if let Some(ci) = self.propagate_clauses(lit) {
+                return Some(Conflict::Clause(ci));
             }
             // Linear constraints containing this variable.
-            let occ = self.linear_occ[lit.var() as usize].clone();
-            for idx in occ {
-                if let Some(confl) = self.propagate_linear(idx) {
-                    return Some(confl);
+            let var = lit.var() as usize;
+            for k in 0..self.linear_occ[var].len() {
+                let occ = self.linear_occ[var][k];
+                if let Some(confl) = self.propagate_linear(occ.idx as usize) {
+                    return Some(Conflict::Lits(confl));
                 }
             }
         }
         None
     }
 
-    fn propagate_clauses(&mut self, lit: Lit) -> Option<Vec<Lit>> {
+    fn propagate_clauses(&mut self, lit: Lit) -> Option<usize> {
         let watch_idx = lit.index();
         let mut i = 0;
         while i < self.watches[watch_idx].len() {
-            let ci = self.watches[watch_idx][i];
+            // Blocker probe: a satisfied clause costs one value lookup.
+            let blocker = self.watches[watch_idx][i].blocker;
+            if self.value_lit(blocker) == Value::True {
+                i += 1;
+                continue;
+            }
+            let ci = self.watches[watch_idx][i].ci as usize;
             // The falsified literal is lit.negate(); make sure it is at position 1.
             let false_lit = lit.negate();
             {
@@ -506,8 +665,11 @@ impl Solver {
                     clause.swap(0, 1);
                 }
             }
-            // If the first watch is true, the clause is satisfied.
-            if self.value_lit(self.clauses[ci][0]) == Value::True {
+            // If the first watch is true, the clause is satisfied: remember it as the
+            // blocker for the next visit.
+            let first = self.clauses[ci][0];
+            if self.value_lit(first) == Value::True {
+                self.watches[watch_idx][i].blocker = first;
                 i += 1;
                 continue;
             }
@@ -517,7 +679,7 @@ impl Solver {
                 if self.value_lit(self.clauses[ci][k]) != Value::False {
                     self.clauses[ci].swap(1, k);
                     let new_watch = self.clauses[ci][1].negate().index();
-                    self.watches[new_watch].push(ci);
+                    self.watches[new_watch].push(Watch { ci: ci as u32, blocker: first });
                     self.watches[watch_idx].swap_remove(i);
                     found = true;
                     break;
@@ -527,10 +689,9 @@ impl Solver {
                 continue;
             }
             // Clause is unit or conflicting.
-            let first = self.clauses[ci][0];
             match self.value_lit(first) {
                 Value::False => {
-                    return Some(self.clauses[ci].clone());
+                    return Some(ci);
                 }
                 Value::Unassigned => {
                     self.enqueue(first, Reason::Clause(ci));
@@ -562,8 +723,7 @@ impl Solver {
                 Some(Value::Unassigned) => {
                     // Force the guard false.
                     let c = condition.unwrap();
-                    let reason = self.linear_violation_lits(idx, upper_violated);
-                    let mut clause = reason.clone();
+                    let mut clause = self.linear_violation_lits(idx, upper_violated);
                     clause.push(c.negate());
                     let rid = self.stored_reasons.len();
                     self.stored_reasons.push(clause);
@@ -584,6 +744,19 @@ impl Solver {
         // Only propagate individual literals when the guard is definitely active.
         if cond_value == Some(Value::Unassigned) {
             return None;
+        }
+
+        // Slack check: when even the heaviest literal can neither overflow the upper
+        // bound (if set true) nor undershoot the lower bound (if set false), no
+        // literal can be forced — skip the O(lits) scan entirely. This keeps the
+        // per-assignment cost of slack constraints at O(1).
+        {
+            let lin = &self.linears[idx];
+            let upper_tight = lin.sum_true.saturating_add(lin.wmax) > lin.upper;
+            let lower_tight = (lin.total - lin.sum_false).saturating_sub(lin.wmax) < lin.lower;
+            if !upper_tight && !lower_tight {
+                return None;
+            }
         }
 
         // Upper-bound propagation: literal would overflow the bound -> must be false.
@@ -670,40 +843,38 @@ impl Solver {
 
     // ---- internal: conflict analysis ---------------------------------------------------
 
-    fn reason_lits(&self, var: Var) -> Vec<Lit> {
-        match self.reason[var as usize] {
-            Reason::Decision => Vec::new(),
-            Reason::Clause(ci) => self.clauses[ci]
-                .iter()
-                .copied()
-                .filter(|l| l.var() != var)
-                .collect(),
-            Reason::Stored(ri) => self.stored_reasons[ri]
-                .iter()
-                .copied()
-                .filter(|l| l.var() != var)
-                .collect(),
-        }
-    }
-
     /// First-UIP conflict analysis. Returns the learned clause (with the asserting
     /// literal first) and the backtrack level.
-    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, u32) {
+    ///
+    /// Clause-typed conflicts and reasons are resolved by *reference*; the working set
+    /// of literals lives in the persistent `analyze_buf`, and the per-variable `seen`
+    /// markers are cleared incrementally on exit — no allocation per conflict beyond
+    /// the learned clause itself.
+    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32) {
         let current_level = self.decision_level();
         let mut learned: Vec<Lit> = Vec::new();
-        let mut seen = vec![false; self.num_vars];
         let mut counter = 0usize;
         let mut trail_index = self.trail.len();
-        let mut expand: Vec<Lit> = conflict;
-        let asserting: Option<Lit>;
+        let mut expand: Vec<Lit> = std::mem::take(&mut self.analyze_buf);
+        expand.clear();
+        match conflict {
+            Conflict::Clause(ci) => {
+                self.bump_clause(ci);
+                expand.extend_from_slice(&self.clauses[ci]);
+            }
+            Conflict::Lits(lits) => expand.extend_from_slice(&lits),
+        }
+        let asserting;
 
         loop {
-            for &lit in &expand {
+            #[allow(clippy::needless_range_loop)] // `self.bump` below needs `&mut self`
+            for i in 0..expand.len() {
+                let lit = expand[i];
                 let v = lit.var() as usize;
-                if seen[v] || self.level[v] == 0 {
+                if self.seen[v] || self.level[v] == 0 {
                     continue;
                 }
-                seen[v] = true;
+                self.seen[v] = true;
                 self.bump(lit.var());
                 if self.level[v] == current_level {
                     counter += 1;
@@ -715,20 +886,50 @@ impl Solver {
             let lit = loop {
                 trail_index -= 1;
                 let lit = self.trail[trail_index];
-                if seen[lit.var() as usize] {
+                if self.seen[lit.var() as usize] {
                     break lit;
                 }
             };
             counter -= 1;
             if counter == 0 {
-                asserting = Some(lit.negate());
-                let _ = asserting;
+                asserting = lit.negate();
                 break;
             }
-            expand = self.reason_lits(lit.var());
+            // Expand the reason of `lit`, skipping its own variable.
+            expand.clear();
+            let var = lit.var();
+            match self.reason[var as usize] {
+                Reason::Decision => {}
+                Reason::Clause(ci) => {
+                    self.bump_clause(ci);
+                    for k in 0..self.clauses[ci].len() {
+                        let l = self.clauses[ci][k];
+                        if l.var() != var {
+                            expand.push(l);
+                        }
+                    }
+                }
+                Reason::Stored(ri) => {
+                    for k in 0..self.stored_reasons[ri].len() {
+                        let l = self.stored_reasons[ri][k];
+                        if l.var() != var {
+                            expand.push(l);
+                        }
+                    }
+                }
+            }
         }
 
-        let asserting = asserting.expect("1-UIP always exists");
+        // Clear the seen markers we set (asserting var + learned lits + resolved-away
+        // vars are all on the trail suffix we walked, plus the learned literals).
+        for k in trail_index..self.trail.len() {
+            self.seen[self.trail[k].var() as usize] = false;
+        }
+        for l in &learned {
+            self.seen[l.var() as usize] = false;
+        }
+        self.analyze_buf = expand;
+
         let mut clause = vec![asserting];
         clause.extend(learned);
 
@@ -761,12 +962,87 @@ impl Solver {
             }
         }
         clause.swap(1, max_level_pos);
-        self.watches[clause[0].negate().index()].push(idx);
-        self.watches[clause[1].negate().index()].push(idx);
+        self.watches[clause[0].negate().index()].push(Watch { ci: idx as u32, blocker: clause[1] });
+        self.watches[clause[1].negate().index()].push(Watch { ci: idx as u32, blocker: clause[0] });
         let asserting = clause[0];
         self.clauses.push(clause);
+        self.clause_learned.push(true);
+        self.clause_activity.push(self.clause_inc);
         if self.value_lit(asserting) == Value::Unassigned {
             self.enqueue(asserting, Reason::Clause(idx));
+        }
+    }
+
+    /// Delete low-activity learned clauses once their number exceeds the cap. Runs at
+    /// restarts (decision level 0): clauses locked as reasons of level-0 assignments
+    /// and binary clauses are kept; of the rest, everything below the median activity
+    /// goes. Watches are rebuilt and clause-typed reasons remapped.
+    fn reduce_learned(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let live = self.clause_learned.iter().filter(|&&l| l).count();
+        if live <= self.max_learned {
+            return;
+        }
+        let mut locked = vec![false; self.clauses.len()];
+        for &lit in &self.trail {
+            if let Reason::Clause(ci) = self.reason[lit.var() as usize] {
+                locked[ci] = true;
+            }
+        }
+        // Median activity of learned clauses as the deletion threshold.
+        let mut acts: Vec<f64> = (0..self.clauses.len())
+            .filter(|&ci| self.clause_learned[ci])
+            .map(|ci| self.clause_activity[ci])
+            .collect();
+        acts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let threshold = acts[acts.len() / 2];
+
+        let mut remap: Vec<usize> = vec![usize::MAX; self.clauses.len()];
+        let mut kept: Vec<Vec<Lit>> = Vec::with_capacity(self.clauses.len());
+        let mut kept_learned = Vec::with_capacity(self.clauses.len());
+        let mut kept_activity = Vec::with_capacity(self.clauses.len());
+        let mut removed = 0u64;
+        for ci in 0..self.clauses.len() {
+            let deletable = self.clause_learned[ci]
+                && !locked[ci]
+                && self.clauses[ci].len() > 2
+                && self.clause_activity[ci] <= threshold;
+            if deletable {
+                removed += 1;
+                continue;
+            }
+            remap[ci] = kept.len();
+            kept.push(std::mem::take(&mut self.clauses[ci]));
+            kept_learned.push(self.clause_learned[ci]);
+            kept_activity.push(self.clause_activity[ci]);
+        }
+        self.clauses = kept;
+        self.clause_learned = kept_learned;
+        self.clause_activity = kept_activity;
+        self.stats.deleted += removed;
+        // Grow the cap geometrically so reduction stays amortised.
+        self.max_learned += self.max_learned / 2;
+
+        // Remap clause-typed reasons: only assigned variables hold live reasons.
+        for v in 0..self.num_vars {
+            if let Reason::Clause(ci) = self.reason[v] {
+                if self.assignment[v] == Value::Unassigned {
+                    self.reason[v] = Reason::Decision;
+                } else {
+                    self.reason[v] = Reason::Clause(remap[ci]);
+                }
+            }
+        }
+        // Rebuild the watch lists (positions 0/1 of every clause were watched before,
+        // and clause contents did not change, so the watch invariant is preserved).
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for ci in 0..self.clauses.len() {
+            let c = &self.clauses[ci];
+            let (w0, w1) = (c[0], c[1]);
+            self.watches[w0.negate().index()].push(Watch { ci: ci as u32, blocker: w1 });
+            self.watches[w1.negate().index()].push(Watch { ci: ci as u32, blocker: w0 });
         }
     }
 
@@ -781,8 +1057,22 @@ impl Solver {
         self.heap.update(var, self.activity[var as usize]);
     }
 
+    fn bump_clause(&mut self, ci: usize) {
+        if !self.clause_learned[ci] {
+            return;
+        }
+        self.clause_activity[ci] += self.clause_inc;
+        if self.clause_activity[ci] > 1e20 {
+            for a in &mut self.clause_activity {
+                *a *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
     fn decay_activities(&mut self) {
         self.var_inc /= self.config.var_decay;
+        self.clause_inc /= self.config.clause_decay;
     }
 
     fn pick_branch_variable(&mut self) -> Option<Var> {
@@ -920,15 +1210,15 @@ mod tests {
     #[test]
     fn simple_sat_and_unsat() {
         let mut s = Solver::new(2, SatConfig::default());
-        assert!(s.add_clause(vec![lit(1), lit(2)]));
-        assert!(s.add_clause(vec![lit(-1), lit(2)]));
+        assert!(s.add_clause(&[lit(1), lit(2)]));
+        assert!(s.add_clause(&[lit(-1), lit(2)]));
         assert_eq!(s.search(), SearchResult::Sat);
         let m = s.model();
         assert!(m[1], "x2 must be true");
 
         let mut s = Solver::new(1, SatConfig::default());
-        assert!(s.add_clause(vec![lit(1)]));
-        assert!(!s.add_clause(vec![lit(-1)]));
+        assert!(s.add_clause(&[lit(1)]));
+        assert!(!s.add_clause(&[lit(-1)]));
         assert_eq!(s.search(), SearchResult::Unsat);
     }
 
@@ -941,17 +1231,65 @@ mod tests {
         let mut s = Solver::new(pigeons * holes, SatConfig::default());
         for p in 0..pigeons {
             let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
-            assert!(s.add_clause(clause));
+            assert!(s.add_clause(&clause));
         }
         for h in 0..holes {
             for p1 in 0..pigeons {
                 for p2 in (p1 + 1)..pigeons {
-                    assert!(s.add_clause(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]));
+                    assert!(s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]));
                 }
             }
         }
         assert_eq!(s.search(), SearchResult::Unsat);
         assert!(s.stats.conflicts > 0);
+    }
+
+    #[test]
+    fn learned_clause_deletion_preserves_answers() {
+        // A tight learned-clause cap plus a small restart interval forces the
+        // reduction policy to run mid-search; the UNSAT proof must survive it.
+        let config = SatConfig { restart_base: 4, learned_limit: 1, ..SatConfig::default() };
+        let pigeons = 6;
+        let holes = 5;
+        let var = |p: usize, h: usize| (p * holes + h) as Var;
+        let mut s = Solver::new(pigeons * holes, config.clone());
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+            assert!(s.add_clause(&clause));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    assert!(s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]));
+                }
+            }
+        }
+        assert_eq!(s.search(), SearchResult::Unsat);
+        assert!(s.stats.deleted > 0, "the reduction policy must have fired");
+
+        // And a satisfiable instance under the same aggressive policy.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40;
+        let mut s = Solver::new(n, config);
+        let mut cls = Vec::new();
+        for _ in 0..120 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| {
+                    let v = rng.gen_range(0..n) as Var;
+                    if rng.gen_bool(0.5) { Lit::pos(v) } else { Lit::neg(v) }
+                })
+                .collect();
+            cls.push(c.clone());
+            s.add_clause(&c);
+        }
+        if s.search() == SearchResult::Sat {
+            let m = s.model();
+            for c in &cls {
+                assert!(c.iter().any(|l| m[l.var() as usize] == l.is_pos()));
+            }
+        }
     }
 
     #[test]
@@ -972,7 +1310,7 @@ mod tests {
                     c.push(l);
                 }
                 cls.push(c.clone());
-                s.add_clause(c);
+                s.add_clause(&c);
             }
             if s.search() == SearchResult::Sat {
                 let m = s.model();
@@ -1007,8 +1345,8 @@ mod tests {
             1,
             1,
         ));
-        assert!(s.add_clause(vec![lit(1)]));
-        let ok = s.add_clause(vec![lit(2)]);
+        assert!(s.add_clause(&[lit(1)]));
+        let ok = s.add_clause(&[lit(2)]);
         assert!(!ok || s.search() == SearchResult::Unsat);
     }
 
@@ -1022,8 +1360,8 @@ mod tests {
             3,
             u64::MAX,
         ));
-        assert!(s.add_clause(vec![lit(-1)]));
-        let ok = s.add_clause(vec![lit(-2)]);
+        assert!(s.add_clause(&[lit(-1)]));
+        let ok = s.add_clause(&[lit(-2)]);
         assert!(!ok || s.search() == SearchResult::Unsat);
     }
 
@@ -1032,9 +1370,9 @@ mod tests {
         // guard -> exactly one of x2,x3; guard is false, so both may be true.
         let mut s = Solver::new(3, SatConfig::default());
         s.add_linear(LinearSpec::cardinality(Some(lit(1)), vec![lit(2), lit(3)], 1, 1));
-        assert!(s.add_clause(vec![lit(-1)]));
-        assert!(s.add_clause(vec![lit(2)]));
-        assert!(s.add_clause(vec![lit(3)]));
+        assert!(s.add_clause(&[lit(-1)]));
+        assert!(s.add_clause(&[lit(2)]));
+        assert!(s.add_clause(&[lit(3)]));
         assert_eq!(s.search(), SearchResult::Sat);
     }
 
@@ -1043,10 +1381,27 @@ mod tests {
         // guard -> at most one of x2,x3; x2 and x3 forced true -> guard must be false.
         let mut s = Solver::new(3, SatConfig::default());
         s.add_linear(LinearSpec::cardinality(Some(lit(1)), vec![lit(2), lit(3)], 0, 1));
-        assert!(s.add_clause(vec![lit(2)]));
-        assert!(s.add_clause(vec![lit(3)]));
+        assert!(s.add_clause(&[lit(2)]));
+        assert!(s.add_clause(&[lit(3)]));
         assert_eq!(s.search(), SearchResult::Sat);
         assert!(!s.model()[0], "guard must be false");
+    }
+
+    #[test]
+    fn weighted_lower_bound_forces_heavy_literal() {
+        // total=10, lower=5: losing the weight-9 literal would undershoot, so it must
+        // be forced true by propagation alone (the slack check must use wmax on the
+        // lower side too, not the lightest weight).
+        let mut s = Solver::new(2, SatConfig::default());
+        s.add_linear(LinearSpec {
+            condition: None,
+            lits: vec![lit(1), lit(2)],
+            weights: vec![9, 1],
+            lower: 5,
+            upper: u64::MAX,
+        });
+        assert!(s.lit_is_true(lit(1)), "weight-9 literal must be propagated, not searched");
+        assert_eq!(s.search(), SearchResult::Sat);
     }
 
     #[test]
@@ -1060,7 +1415,7 @@ mod tests {
             lower: 0,
             upper: 5,
         });
-        assert!(s.add_clause(vec![lit(1)]));
+        assert!(s.add_clause(&[lit(1)]));
         assert_eq!(s.search(), SearchResult::Sat);
         let m = s.model();
         assert!(m[0] && !m[1] && !m[2]);
@@ -1070,7 +1425,7 @@ mod tests {
     fn blocking_clauses_enumerate_models() {
         // x1 xor-ish: (x1 | x2), enumerate all models of 2 vars.
         let mut s = Solver::new(2, SatConfig::default());
-        assert!(s.add_clause(vec![lit(1), lit(2)]));
+        assert!(s.add_clause(&[lit(1), lit(2)]));
         let mut count = 0;
         loop {
             match s.search() {
@@ -1082,7 +1437,7 @@ mod tests {
                     let blocking: Vec<Lit> = (0..2)
                         .map(|v| if m[v] { Lit::neg(v as Var) } else { Lit::pos(v as Var) })
                         .collect();
-                    if !s.add_blocking_clause(blocking) {
+                    if !s.add_blocking_clause(&blocking) {
                         break;
                     }
                 }

@@ -11,61 +11,158 @@
 use crate::ground::GroundProgram;
 use crate::symbols::AtomId;
 
-/// Compute the set of atoms that are true in `model` but not derivable from the reduct of
-/// the program w.r.t. `model`. An empty result means the model is stable.
+/// A reusable unfounded-set checker.
 ///
-/// `model` is indexed by SAT variable; only the first `ground.atoms.len()` entries (the
-/// program atoms) are inspected.
-pub fn unfounded_set(ground: &GroundProgram, model: &[bool]) -> Vec<AtomId> {
-    let n = ground.atoms.len();
-    let mut derived = vec![false; n];
-    for (id, _) in ground.atoms.iter() {
-        if ground.atoms.is_certain(id) {
-            derived[id as usize] = true;
+/// The least model of the reduct is computed with a counting worklist algorithm
+/// (Dowling–Gallier): every rule keeps the number of its not-yet-derived positive body
+/// atoms, a CSR occurrence index maps each atom to the rules whose counters it
+/// decrements, and a rule fires exactly when its counter reaches zero. One check is
+/// O(program size), not O(rules × fixpoint depth) — and the occurrence index and the
+/// base counters (positive body atoms that are not input facts) are built once and
+/// shared by every check, which matters because the optimizer validates every candidate
+/// model this way.
+pub struct StabilityChecker {
+    /// CSR offsets: for atom `a`, its occurrences are `occ_data[occ_off[a]..occ_off[a+1]]`.
+    occ_off: Vec<u32>,
+    /// Rule ids (`0..rules.len()` normal rules, then `rules.len()..` choice rules).
+    occ_data: Vec<u32>,
+    /// Per rule: number of positive body atoms that are not certain (input facts).
+    base_remaining: Vec<u32>,
+    /// Scratch: per-call remaining counters.
+    remaining: Vec<u32>,
+    /// Scratch: derived marker per atom.
+    derived: Vec<bool>,
+    /// Scratch: worklist of newly derived atoms.
+    worklist: Vec<AtomId>,
+}
+
+impl StabilityChecker {
+    /// Build the occurrence index for a ground program.
+    pub fn new(ground: &GroundProgram) -> Self {
+        let n_atoms = ground.atoms.len();
+        let n_rules = ground.rules.len() + ground.choices.len();
+        // Count occurrences per atom (positive bodies only, which are deduplicated by
+        // the grounder, so each occurrence decrements its counter exactly once).
+        let mut occ_off = vec![0u32; n_atoms + 1];
+        let mut base_remaining = vec![0u32; n_rules];
+        let pos_bodies = ground
+            .rules
+            .iter()
+            .map(|r| &r.pos)
+            .chain(ground.choices.iter().map(|c| &c.pos));
+        for (ri, pos) in pos_bodies.clone().enumerate() {
+            for &a in pos.iter() {
+                if !ground.atoms.is_certain(a) {
+                    occ_off[a as usize + 1] += 1;
+                    base_remaining[ri] += 1;
+                }
+            }
+        }
+        for i in 0..n_atoms {
+            occ_off[i + 1] += occ_off[i];
+        }
+        let mut cursor = occ_off.clone();
+        let mut occ_data = vec![0u32; occ_off[n_atoms] as usize];
+        for (ri, pos) in pos_bodies.enumerate() {
+            for &a in pos.iter() {
+                if !ground.atoms.is_certain(a) {
+                    occ_data[cursor[a as usize] as usize] = ri as u32;
+                    cursor[a as usize] += 1;
+                }
+            }
+        }
+        StabilityChecker {
+            occ_off,
+            occ_data,
+            base_remaining,
+            remaining: Vec::new(),
+            derived: vec![false; n_atoms],
+            worklist: Vec::new(),
         }
     }
 
-    // Fixpoint over the reduct: a rule contributes when its negative body is not
-    // contradicted by the model and its positive body is already derived. Choice rules
-    // justify exactly the atoms the model chose.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for rule in &ground.rules {
-            let head = match rule.head {
-                Some(h) => h,
-                None => continue,
-            };
-            if derived[head as usize] {
-                continue;
-            }
-            if rule.neg.iter().any(|&a| model[a as usize]) {
-                continue;
-            }
-            if rule.pos.iter().all(|&a| derived[a as usize]) {
-                derived[head as usize] = true;
-                changed = true;
+    /// Compute the set of atoms that are true in `model` but not derivable from the
+    /// reduct of the program w.r.t. `model`. An empty result means the model is stable.
+    ///
+    /// `model` is indexed by SAT variable; only the first `ground.atoms.len()` entries
+    /// (the program atoms) are inspected.
+    pub fn unfounded_set(&mut self, ground: &GroundProgram, model: &[bool]) -> Vec<AtomId> {
+        let n = ground.atoms.len();
+        let n_normal = ground.rules.len();
+        self.remaining.clear();
+        self.remaining.extend_from_slice(&self.base_remaining);
+        for d in &mut self.derived {
+            *d = false;
+        }
+        self.worklist.clear();
+
+        // Seed: input facts are derived; rules whose positive body is fully certain
+        // fire immediately (if their negative body survives the reduct).
+        for (id, _) in ground.atoms.iter() {
+            if ground.atoms.is_certain(id) {
+                self.derived[id as usize] = true;
             }
         }
-        for choice in &ground.choices {
-            if choice.neg.iter().any(|&a| model[a as usize]) {
-                continue;
+        for ri in 0..self.base_remaining.len() {
+            if self.base_remaining[ri] == 0 {
+                self.fire_rule(ri, ground, model, n_normal);
             }
-            if !choice.pos.iter().all(|&a| derived[a as usize]) {
-                continue;
+        }
+        // Worklist propagation: each newly derived atom decrements the counters of the
+        // rules whose positive bodies contain it.
+        while let Some(a) = self.worklist.pop() {
+            let (start, end) =
+                (self.occ_off[a as usize] as usize, self.occ_off[a as usize + 1] as usize);
+            for k in start..end {
+                let ri = self.occ_data[k] as usize;
+                self.remaining[ri] -= 1;
+                if self.remaining[ri] == 0 {
+                    self.fire_rule(ri, ground, model, n_normal);
+                }
+            }
+        }
+
+        (0..n as AtomId)
+            .filter(|&a| model[a as usize] && !self.derived[a as usize])
+            .collect()
+    }
+
+    /// A rule's positive body is fully derived: derive its head(s), respecting the
+    /// reduct (negative body false in the model) and, for choices, the model's picks.
+    fn fire_rule(&mut self, ri: usize, ground: &GroundProgram, model: &[bool], n_normal: usize) {
+        if ri < n_normal {
+            let rule = &ground.rules[ri];
+            let head = match rule.head {
+                Some(h) => h,
+                None => return,
+            };
+            if self.derived[head as usize] {
+                return;
+            }
+            if rule.neg.iter().any(|&a| model[a as usize]) {
+                return;
+            }
+            self.derived[head as usize] = true;
+            self.worklist.push(head);
+        } else {
+            let choice = &ground.choices[ri - n_normal];
+            if choice.neg.iter().any(|&a| model[a as usize]) {
+                return;
             }
             for &h in &choice.heads {
-                if model[h as usize] && !derived[h as usize] {
-                    derived[h as usize] = true;
-                    changed = true;
+                if model[h as usize] && !self.derived[h as usize] {
+                    self.derived[h as usize] = true;
+                    self.worklist.push(h);
                 }
             }
         }
     }
+}
 
-    (0..n as AtomId)
-        .filter(|&a| model[a as usize] && !derived[a as usize])
-        .collect()
+/// One-shot convenience wrapper over [`StabilityChecker`]: build the index, run a
+/// single check. Callers that validate many models should hold a checker instead.
+pub fn unfounded_set(ground: &GroundProgram, model: &[bool]) -> Vec<AtomId> {
+    StabilityChecker::new(ground).unfounded_set(ground, model)
 }
 
 #[cfg(test)]

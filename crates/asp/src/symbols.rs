@@ -5,8 +5,9 @@
 //! atoms become dense [`AtomId`]s, which the grounder, the SAT translation, and the model
 //! extraction all share.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use crate::hasher::FxHashMap;
 
 /// Identifier of an interned string symbol.
 pub type SymbolId = u32;
@@ -18,7 +19,7 @@ pub type AtomId = u32;
 #[derive(Debug, Default, Clone)]
 pub struct SymbolTable {
     names: Vec<String>,
-    map: HashMap<String, SymbolId>,
+    map: FxHashMap<String, SymbolId>,
 }
 
 impl SymbolTable {
@@ -101,7 +102,7 @@ impl fmt::Display for ValDisplay<'_> {
 }
 
 /// A ground atom: predicate symbol plus ground arguments.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct GroundAtom {
     /// Predicate name symbol.
     pub pred: SymbolId,
@@ -144,16 +145,72 @@ impl fmt::Display for GroundAtomDisplay<'_> {
     }
 }
 
+/// A compact list of atom ids: up to three stored inline, spilling to the heap only
+/// when a value is shared by more atoms. The index maps hold one of these per distinct
+/// key — hundreds of thousands for realistic problems — so keeping short lists inline
+/// removes a heap allocation (and a free at teardown) for the overwhelming majority.
+#[derive(Debug, Clone)]
+enum IdList {
+    /// Up to three ids stored in place.
+    Inline { len: u8, ids: [AtomId; 3] },
+    /// Spilled to the heap.
+    Heap(Vec<AtomId>),
+}
+
+impl Default for IdList {
+    fn default() -> Self {
+        IdList::Inline { len: 0, ids: [0; 3] }
+    }
+}
+
+impl IdList {
+    fn push(&mut self, id: AtomId) {
+        match self {
+            IdList::Inline { len, ids } => {
+                if (*len as usize) < ids.len() {
+                    ids[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(8);
+                    v.extend_from_slice(&ids[..]);
+                    v.push(id);
+                    *self = IdList::Heap(v);
+                }
+            }
+            IdList::Heap(v) => v.push(id),
+        }
+    }
+
+    fn as_slice(&self) -> &[AtomId] {
+        match self {
+            IdList::Inline { len, ids } => &ids[..*len as usize],
+            IdList::Heap(v) => v,
+        }
+    }
+}
+
 /// The table of all *possible* ground atoms discovered during grounding.
 ///
-/// Atoms are additionally indexed by predicate and by `(predicate, argument position,
-/// value)` so the grounder's joins can select the smallest candidate list.
+/// Atoms are indexed three ways so the grounder's join planner can always pick the
+/// smallest candidate list for the bound arguments at hand:
+///
+/// * by predicate (`with_pred`),
+/// * by `(predicate, argument position, value)` (`with_pred_arg`), and
+/// * by `(predicate, position₁, value₁, position₂, value₂)` for every pair of argument
+///   positions among the first [`AtomTable::MAX_PAIR_INDEXED_ARGS`] (`with_pred_args2`) —
+///   the multi-argument index that makes joins with two or more bound arguments O(hit
+///   count) instead of O(single-argument candidate list).
+///
+/// All index lists are append-only: interning never reorders or removes entries, so a
+/// caller iterating a list by position may intern *new* atoms mid-iteration and simply
+/// re-fetch the slice (newly added ids land at the end, beyond the snapshot length).
 #[derive(Debug, Default, Clone)]
 pub struct AtomTable {
     atoms: Vec<GroundAtom>,
-    ids: HashMap<GroundAtom, AtomId>,
-    by_pred: HashMap<SymbolId, Vec<AtomId>>,
-    by_pred_arg: HashMap<(SymbolId, u8, Val), Vec<AtomId>>,
+    ids: FxHashMap<GroundAtom, AtomId>,
+    by_pred: FxHashMap<SymbolId, Vec<AtomId>>,
+    by_pred_arg: FxHashMap<(SymbolId, u8, Val), IdList>,
+    by_pred_arg2: FxHashMap<(SymbolId, u8, Val, u8, Val), IdList>,
     /// Atoms known to be true in every model (input facts).
     certain: Vec<bool>,
 }
@@ -174,6 +231,22 @@ impl AtomTable {
         self.atoms.is_empty()
     }
 
+    /// The number of leading argument positions covered by the two-argument (pair)
+    /// index; single-argument indexes cover every position. Bounding the pair index
+    /// keeps its memory quadratic only in a small constant (C(4,2) = 6 entries per
+    /// atom at most).
+    pub const MAX_PAIR_INDEXED_ARGS: usize = 4;
+
+    /// Intern an atom by reference: no allocation at all when the atom is already
+    /// present (the overwhelmingly common case on the grounder's derive path); the
+    /// atom is cloned only when it is genuinely new.
+    pub fn intern_ref(&mut self, atom: &GroundAtom) -> (AtomId, bool) {
+        if let Some(&id) = self.ids.get(atom) {
+            return (id, false);
+        }
+        self.intern(atom.clone())
+    }
+
     /// Intern an atom, returning `(id, is_new)`.
     pub fn intern(&mut self, atom: GroundAtom) -> (AtomId, bool) {
         if let Some(&id) = self.ids.get(&atom) {
@@ -183,6 +256,15 @@ impl AtomTable {
         self.by_pred.entry(atom.pred).or_default().push(id);
         for (pos, &val) in atom.args.iter().enumerate().take(u8::MAX as usize) {
             self.by_pred_arg.entry((atom.pred, pos as u8, val)).or_default().push(id);
+        }
+        let paired = atom.args.iter().enumerate().take(Self::MAX_PAIR_INDEXED_ARGS);
+        for (pos, &val) in paired.clone() {
+            for (pos2, &val2) in paired.clone().skip(pos + 1) {
+                self.by_pred_arg2
+                    .entry((atom.pred, pos as u8, val, pos2 as u8, val2))
+                    .or_default()
+                    .push(id);
+            }
         }
         self.ids.insert(atom.clone(), id);
         self.atoms.push(atom);
@@ -209,6 +291,16 @@ impl AtomTable {
     pub fn with_pred_arg(&self, pred: SymbolId, pos: u8, val: Val) -> &[AtomId] {
         self.by_pred_arg
             .get(&(pred, pos, val))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+
+    /// All atoms with a given predicate and given values at two argument positions
+    /// (`pos1 < pos2`, both below [`AtomTable::MAX_PAIR_INDEXED_ARGS`]).
+    pub fn with_pred_args2(&self, pred: SymbolId, pos1: u8, val1: Val, pos2: u8, val2: Val) -> &[AtomId] {
+        self.by_pred_arg2
+            .get(&(pred, pos1, val1, pos2, val2))
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
@@ -267,6 +359,8 @@ mod tests {
         assert_eq!(atoms.with_pred_arg(node, 0, hdf5), &[a]);
         assert_eq!(atoms.with_pred_arg(dep, 1, zlib), &[c]);
         assert!(atoms.with_pred_arg(dep, 1, hdf5).is_empty());
+        assert_eq!(atoms.with_pred_args2(dep, 0, hdf5, 1, zlib), &[c]);
+        assert!(atoms.with_pred_args2(dep, 0, zlib, 1, hdf5).is_empty());
         assert_eq!(b, 1);
     }
 

@@ -14,9 +14,8 @@
 //! recursion) is restored by the unfounded-set check in [`crate::stable`], which adds loop
 //! nogoods lazily — the same division of labour as in clasp.
 
-use std::collections::HashMap;
-
 use crate::ground::GroundProgram;
+use crate::hasher::FxHashMap;
 use crate::sat::{LinearSpec, Lit, Var};
 use crate::symbols::AtomId;
 
@@ -57,16 +56,25 @@ pub fn translate(ground: &GroundProgram) -> Translation {
         }
     }
 
-    // Body auxiliary variables, shared between identical bodies.
-    let mut body_aux: HashMap<(Vec<AtomId>, Vec<AtomId>), Var> = HashMap::new();
-    // supports[atom] = Some(vec of support body vars); None means "unconditionally
+    // Body auxiliary variables, shared between identical bodies. Bodies made of a
+    // *single* literal — by far the most common shape in the concretizer's ground
+    // programs — need no auxiliary at all: the body is equivalent to that literal, so
+    // the literal itself stands in, saving one variable and three clauses per body.
+    let mut body_aux: FxHashMap<(Vec<AtomId>, Vec<AtomId>), Lit> = FxHashMap::default();
+    // supports[atom] = Some(vec of support body literals); None means "unconditionally
     // supported" (a fact, an empty-body rule, or an empty-body choice).
-    let mut supports: Vec<Option<Vec<Var>>> = vec![Some(Vec::new()); num_atoms];
+    let mut supports: Vec<Option<Vec<Lit>>> = vec![Some(Vec::new()); num_atoms];
 
-    let mut get_body_var =
-        |t: &mut Translation, pos: &[AtomId], neg: &[AtomId]| -> Option<Var> {
+    let mut get_body_lit =
+        |t: &mut Translation, pos: &[AtomId], neg: &[AtomId]| -> Option<Lit> {
             if pos.is_empty() && neg.is_empty() {
                 return None;
+            }
+            if pos.len() == 1 && neg.is_empty() {
+                return Some(Lit::pos(pos[0] as Var));
+            }
+            if pos.is_empty() && neg.len() == 1 {
+                return Some(Lit::neg(neg[0] as Var));
             }
             let key = (pos.to_vec(), neg.to_vec());
             if let Some(&v) = body_aux.get(&key) {
@@ -74,7 +82,7 @@ pub fn translate(ground: &GroundProgram) -> Translation {
             }
             let v = t.num_vars as Var;
             t.num_vars += 1;
-            body_aux.insert(key, v);
+            body_aux.insert(key, Lit::pos(v));
             // v -> each body literal
             let mut reverse = vec![Lit::pos(v)];
             for &p in pos {
@@ -87,7 +95,7 @@ pub fn translate(ground: &GroundProgram) -> Translation {
             }
             // body literals -> v
             t.clauses.push(reverse);
-            Some(v)
+            Some(Lit::pos(v))
         };
 
     // Normal rules and integrity constraints.
@@ -105,16 +113,16 @@ pub fn translate(ground: &GroundProgram) -> Translation {
                 t.clauses.push(clause);
             }
             Some(head) => {
-                match get_body_var(&mut t, &rule.pos, &rule.neg) {
+                match get_body_lit(&mut t, &rule.pos, &rule.neg) {
                     None => {
                         // Empty body: the head is forced and unconditionally supported.
                         t.clauses.push(vec![Lit::pos(head as Var)]);
                         supports[head as usize] = None;
                     }
-                    Some(v) => {
-                        t.clauses.push(vec![Lit::neg(v), Lit::pos(head as Var)]);
+                    Some(b) => {
+                        t.clauses.push(vec![b.negate(), Lit::pos(head as Var)]);
                         if let Some(list) = supports[head as usize].as_mut() {
-                            list.push(v);
+                            list.push(b);
                         }
                     }
                 }
@@ -124,14 +132,14 @@ pub fn translate(ground: &GroundProgram) -> Translation {
 
     // Choice rules.
     for choice in &ground.choices {
-        let body_var = get_body_var(&mut t, &choice.pos, &choice.neg);
+        let body_lit = get_body_lit(&mut t, &choice.pos, &choice.neg);
         // Heads are supported (but not forced) whenever the body holds.
         for &h in &choice.heads {
-            match body_var {
+            match body_lit {
                 None => supports[h as usize] = None,
-                Some(v) => {
+                Some(b) => {
                     if let Some(list) = supports[h as usize].as_mut() {
-                        list.push(v);
+                        list.push(b);
                     }
                 }
             }
@@ -141,8 +149,7 @@ pub fn translate(ground: &GroundProgram) -> Translation {
             let lits: Vec<Lit> = choice.heads.iter().map(|&h| Lit::pos(h as Var)).collect();
             let lower = choice.lower.unwrap_or(0).max(0) as u64;
             let upper = choice.upper.map(|u| u.max(0) as u64).unwrap_or(u64::MAX);
-            let condition = body_var.map(Lit::pos);
-            t.linears.push(LinearSpec::cardinality(condition, lits, lower, upper));
+            t.linears.push(LinearSpec::cardinality(body_lit, lits, lower, upper));
         }
     }
 
@@ -160,9 +167,7 @@ pub fn translate(ground: &GroundProgram) -> Translation {
             Some(list) => {
                 let mut clause = Vec::with_capacity(list.len() + 1);
                 clause.push(Lit::neg(id as Var));
-                for &v in list {
-                    clause.push(Lit::pos(v));
-                }
+                clause.extend_from_slice(list);
                 t.clauses.push(clause);
             }
         }
@@ -187,7 +192,7 @@ mod tests {
         let mut solver = Solver::new(t.num_vars, SatConfig::default());
         let mut ok = true;
         for c in &t.clauses {
-            if !solver.add_clause(c.clone()) {
+            if !solver.add_clause(c) {
                 ok = false;
                 break;
             }

@@ -11,7 +11,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use asp::{Preset, SolverConfig};
-use bench::{workload_buildcache, workload_repo, Scale};
+use bench::{chain_closure_program, wide_join_program, workload_buildcache, workload_repo, Scale};
 use spack_concretizer::{setup_problem, Concretizer, GreedyConcretizer, SiteConfig, CONCRETIZE_LP};
 use spack_repo::builtin_repo;
 use spack_spec::parse_spec;
@@ -58,14 +58,27 @@ fn fig3_ground_and_enumerate(c: &mut Criterion) {
         node(Dep) :- node(Pkg), depends_on(Pkg, Dep).
         1 { node(a); node(b) }.
     "#;
-    c.bench_function("fig3_ground_and_enumerate", |b| {
-        b.iter(|| {
-            let mut ctl = asp::Control::new(SolverConfig::default());
-            ctl.add_program(std::hint::black_box(program)).unwrap();
-            ctl.ground().unwrap();
-            ctl.solve_models(8).unwrap().len()
-        })
-    });
+    let mut group = c.benchmark_group("fig3_ground_and_enumerate");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    let chain = chain_closure_program(256);
+    let wide = wide_join_program(1200);
+    for (name, text, limit) in [
+        ("paper_example", program, 8usize),
+        // The medium grounder tiers: transitive closure (delta handling) and a
+        // pessimally-ordered three-way join (join planning). See `bench`'s docs.
+        ("chain_closure_256", chain.as_str(), 4),
+        ("wide_join_1200", wide.as_str(), 2),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ctl = asp::Control::new(SolverConfig::default());
+                ctl.add_program(std::hint::black_box(text)).unwrap();
+                ctl.ground().unwrap();
+                ctl.solve_models(limit).unwrap().len()
+            })
+        });
+    }
+    group.finish();
 }
 
 /// Fig. 5 / Fig. 6: reuse optimization against a populated buildcache.
@@ -95,6 +108,17 @@ fn fig6_reuse(c: &mut Criterion) {
         let concretizer = Concretizer::new(&repo).with_site(site.clone()).with_database(&cache);
         b.iter(|| concretizer.concretize_str("hdf5").unwrap())
     });
+    // The medium workload tier: the synthetic stack (deep chain + extra virtuals) with
+    // a populated buildcache — the tier BENCH_pr2.json reports on.
+    let medium = workload_repo(Scale::Medium);
+    let medium_cache = workload_buildcache(&medium, Scale::Medium);
+    for root in ["hdf5", "chain-root", "vapp-00"] {
+        group.bench_function(format!("{root}_medium_cache"), |b| {
+            let concretizer =
+                Concretizer::new(&medium).with_site(site.clone()).with_database(&medium_cache);
+            b.iter(|| concretizer.concretize_str(root).unwrap())
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,304 @@
+//! `bench` — the perf-regression harness behind `BENCH_pr2.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench -- [--scale medium] [--full] \
+//!     [--label after] [--out bench.json]
+//! ```
+//!
+//! Runs the hot-path benchmark groups of the paper's evaluation (the same groups as the
+//! Criterion benches in `benches/paper.rs`, but in "quick mode": few samples, fixed
+//! workloads) and writes a JSON report with, per benchmark, the wall-clock mean/min,
+//! the per-stage times (setup / load / ground / solve), and the engine's
+//! `GroundStats` / `SatStats` counters. Committing the report per PR gives the
+//! repository a perf trajectory: compare the `after` block of one PR against its
+//! `before` block (or against the previous PR's file) to spot regressions.
+//!
+//! The workloads are sized for the *medium* tier by default — large enough that the
+//! grounder's join/delta behaviour and the solver's propagation dominate, small enough
+//! to finish in seconds.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use asp::SolverConfig;
+use bench::{chain_closure_program, wide_join_program, workload_buildcache, workload_repo, Scale};
+use spack_concretizer::{Concretizer, SiteConfig};
+use spack_repo::builtin_repo;
+use spack_store::BuildcacheConfig;
+
+/// A stage breakdown plus engine counters describing one measured run.
+type RunDetail = (Vec<(&'static str, f64)>, Vec<(&'static str, u64)>);
+
+/// One measured benchmark: identity, wall-clock, stage breakdown, engine counters.
+struct Record {
+    group: &'static str,
+    bench: String,
+    samples: usize,
+    mean: Duration,
+    min: Duration,
+    /// (stage name, seconds) pairs, from the last sample.
+    stages: Vec<(&'static str, f64)>,
+    /// (counter name, value) pairs, from the last sample.
+    counters: Vec<(&'static str, u64)>,
+}
+
+struct Runner {
+    samples: usize,
+    budget: Duration,
+    records: Vec<Record>,
+}
+
+impl Runner {
+    /// Run `f` repeatedly (up to the sample/budget limits), recording wall times; `f`
+    /// returns the stage breakdown and counters describing the run.
+    fn measure<F>(&mut self, group: &'static str, bench: &str, mut f: F)
+    where
+        F: FnMut() -> RunDetail,
+    {
+        let mut times = Vec::new();
+        let mut detail = (Vec::new(), Vec::new());
+        let started = Instant::now();
+        while times.len() < self.samples {
+            let t = Instant::now();
+            detail = f();
+            times.push(t.elapsed());
+            if started.elapsed() >= self.budget && !times.is_empty() {
+                break;
+            }
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = *times.iter().min().unwrap();
+        eprintln!("  {group}/{bench:<28} mean {mean:>10.3?}  min {min:>10.3?}  ({} samples)", times.len());
+        self.records.push(Record {
+            group,
+            bench: bench.to_string(),
+            samples: times.len(),
+            mean,
+            min,
+            stages: detail.0,
+            counters: detail.1,
+        });
+    }
+}
+
+fn asp_stats_detail(stats: &asp::Stats) -> RunDetail {
+    let stages = vec![
+        ("load", stats.load_time.as_secs_f64()),
+        ("ground", stats.ground_time.as_secs_f64()),
+        ("solve", stats.solve_time.as_secs_f64()),
+    ];
+    let counters = ground_and_sat_counters(stats);
+    (stages, counters)
+}
+
+fn ground_and_sat_counters(stats: &asp::Stats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("atoms", stats.ground.atoms as u64),
+        ("rules", stats.ground.rules as u64),
+        ("choices", stats.ground.choices as u64),
+        ("minimize", stats.ground.minimize as u64),
+        ("rounds", stats.ground.rounds as u64),
+        ("variables", stats.variables as u64),
+        ("clauses", stats.clauses as u64),
+        ("conflicts", stats.conflicts),
+        ("decisions", stats.decisions),
+        ("propagations", stats.propagations),
+        ("restarts", stats.restarts),
+        ("learned", stats.learned),
+        ("deleted", stats.deleted),
+        ("models_examined", stats.models_examined),
+        ("solver_runs", stats.solver_runs),
+        ("loop_nogoods", stats.loop_nogoods),
+    ]
+}
+
+fn concretize_detail(result: &spack_concretizer::Concretization) -> RunDetail {
+    let mut stages = vec![("setup", result.timings.setup.as_secs_f64())];
+    let (more, counters) = asp_stats_detail(&result.stats);
+    stages.extend(more);
+    (stages, counters)
+}
+
+/// Ground + enumerate a pure-ASP program, as in the Fig. 3 bench group.
+fn ground_and_enumerate(program: &str, limit: usize) -> RunDetail {
+    let mut ctl = asp::Control::new(SolverConfig::default());
+    ctl.add_program(program).unwrap();
+    ctl.ground().unwrap();
+    let models = ctl.solve_models(limit).unwrap();
+    std::hint::black_box(models.len());
+    asp_stats_detail(ctl.stats())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let scale = get("--scale").and_then(|s| Scale::parse(&s)).unwrap_or(Scale::Medium);
+    let full = args.iter().any(|a| a == "--full");
+    let label = get("--label").unwrap_or_else(|| "after".to_string());
+    let out = get("--out").unwrap_or_else(|| "bench.json".to_string());
+
+    let mut runner = Runner {
+        samples: if full { 7 } else { 3 },
+        budget: Duration::from_secs(if full { 60 } else { 25 }),
+        records: Vec::new(),
+    };
+    eprintln!("# bench harness: scale {scale:?}, label {label:?}, quick={}", !full);
+    let started = Instant::now();
+
+    // ---- fig3_ground_and_enumerate: the grounder hot path --------------------------------
+    let fig3 = r#"
+        depends_on(a, b).
+        depends_on(a, c).
+        depends_on(b, d).
+        depends_on(c, d).
+        node(Dep) :- node(Pkg), depends_on(Pkg, Dep).
+        1 { node(a); node(b) }.
+    "#;
+    runner.measure("fig3_ground_and_enumerate", "paper_example", || {
+        ground_and_enumerate(fig3, 8)
+    });
+    let chain = chain_closure_program(256);
+    runner.measure("fig3_ground_and_enumerate", "chain_closure_256", || {
+        ground_and_enumerate(&chain, 4)
+    });
+    let wide = wide_join_program(1200);
+    runner.measure("fig3_ground_and_enumerate", "wide_join_1200", || {
+        ground_and_enumerate(&wide, 2)
+    });
+
+    // ---- fig7a_grounding: setup + ground on the curated repo ------------------------------
+    let builtin = builtin_repo();
+    let site = SiteConfig::quartz();
+    for package in ["zlib", "hdf5"] {
+        runner.measure("fig7a_grounding", package, || {
+            let spec = spack_spec::parse_spec(package).unwrap();
+            let (mut ctl, _info) = spack_concretizer::setup_problem(
+                &builtin,
+                &site,
+                None,
+                std::slice::from_ref(&spec),
+                SolverConfig::default(),
+            )
+            .unwrap();
+            ctl.add_program(spack_concretizer::CONCRETIZE_LP).unwrap();
+            ctl.ground().unwrap();
+            asp_stats_detail(ctl.stats())
+        });
+    }
+
+    // ---- table2_optimization: the full optimizing solve -----------------------------------
+    for package in ["example", "mpileaks"] {
+        runner.measure("table2_optimization", package, || {
+            let result = Concretizer::new(&builtin)
+                .with_site(site.clone())
+                .concretize_str(package)
+                .unwrap();
+            concretize_detail(&result)
+        });
+    }
+
+    // ---- fig6_reuse: optimization against a buildcache ------------------------------------
+    let builtin_cache = spack_store::synthesize_buildcache(
+        &builtin,
+        &BuildcacheConfig {
+            architectures: vec![(
+                spack_spec::Platform::Linux,
+                "centos8".to_string(),
+                "icelake".to_string(),
+            )],
+            compilers: vec![spack_spec::Compiler::new("gcc", "11.2.0")],
+            replicas: 2,
+            seed: 11,
+        },
+    );
+    runner.measure("fig6_reuse", "hdf5_no_reuse", || {
+        let result = Concretizer::new(&builtin).with_site(site.clone()).concretize_str("hdf5").unwrap();
+        concretize_detail(&result)
+    });
+    runner.measure("fig6_reuse", "hdf5_with_reuse", || {
+        let result = Concretizer::new(&builtin)
+            .with_site(site.clone())
+            .with_database(&builtin_cache)
+            .concretize_str("hdf5")
+            .unwrap();
+        concretize_detail(&result)
+    });
+
+    // Medium-tier reuse: the synthetic workload repo with a populated buildcache.
+    let medium = workload_repo(scale);
+    let medium_cache = workload_buildcache(&medium, scale);
+    let medium_roots = ["hdf5", "chain-root", "vapp-00"];
+    for root in medium_roots {
+        if medium.get(root).is_none() {
+            continue;
+        }
+        runner.measure("fig6_reuse", &format!("{root}_{}_cache", scale_name(scale)), || {
+            let result = Concretizer::new(&medium)
+                .with_site(site.clone())
+                .with_database(&medium_cache)
+                .concretize_str(root)
+                .unwrap();
+            concretize_detail(&result)
+        });
+    }
+
+    eprintln!("# harness finished in {:.1?}", started.elapsed());
+    let json = render_json(&label, scale, &runner.records);
+    std::fs::write(&out, json).expect("write report");
+    eprintln!("# wrote {out}");
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Wide => "wide",
+        Scale::Deep => "deep",
+        Scale::ManyVirtuals => "manyvirtuals",
+        Scale::Paper => "paper",
+    }
+}
+
+fn render_json(label: &str, scale: Scale, records: &[Record]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    writeln!(s, "  \"pr\": 2,").unwrap();
+    writeln!(s, "  \"label\": \"{label}\",").unwrap();
+    writeln!(s, "  \"scale\": \"{}\",", scale_name(scale)).unwrap();
+    s.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str("    {");
+        write!(
+            s,
+            "\"group\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}",
+            r.group,
+            r.bench,
+            r.samples,
+            r.mean.as_secs_f64(),
+            r.min.as_secs_f64()
+        )
+        .unwrap();
+        s.push_str(", \"stages\": {");
+        for (j, (name, secs)) in r.stages.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "\"{name}\": {secs:.6}").unwrap();
+        }
+        s.push_str("}, \"counters\": {");
+        for (j, (name, value)) in r.counters.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "\"{name}\": {value}").unwrap();
+        }
+        s.push_str("}}");
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -25,6 +25,15 @@ pub enum Scale {
     Smoke,
     /// Around a hundred packages; the default for `cargo run --bin figures`.
     Small,
+    /// ~160 packages plus a deep dependency chain and extra virtuals — the tier the
+    /// perf-regression harness (`cargo run -p bench --bin bench`) reports on.
+    Medium,
+    /// Wide dependency fan-out: fewer packages but up to 10 direct deps each.
+    Wide,
+    /// A 48-package-deep linear chain on top of a small base (fixpoint depth stress).
+    Deep,
+    /// Eight extra virtuals with two providers each (provider-selection stress).
+    ManyVirtuals,
     /// Several hundred packages (E4S-sized); closest to the paper, slowest.
     Paper,
 }
@@ -35,6 +44,10 @@ impl Scale {
         match s {
             "smoke" => Some(Scale::Smoke),
             "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "wide" => Some(Scale::Wide),
+            "deep" => Some(Scale::Deep),
+            "manyvirtuals" | "many-virtuals" => Some(Scale::ManyVirtuals),
             "paper" => Some(Scale::Paper),
             _ => None,
         }
@@ -42,10 +55,36 @@ impl Scale {
 
     /// The synthetic-repository size for this scale.
     pub fn packages(&self) -> usize {
+        self.synth_config().packages
+    }
+
+    /// The synthetic-repository shape for this scale: besides raw package count, the
+    /// larger tiers exercise the structures the grounder and solver hot paths are
+    /// sensitive to — wide fan-out (join width), deep chains (fixpoint rounds), and
+    /// many virtuals (choice-rule density).
+    pub fn synth_config(&self) -> SynthConfig {
         match self {
-            Scale::Smoke => 40,
-            Scale::Small => 90,
-            Scale::Paper => 300,
+            Scale::Smoke => SynthConfig { packages: 40, ..Default::default() },
+            Scale::Small => SynthConfig { packages: 90, ..Default::default() },
+            Scale::Medium => SynthConfig {
+                packages: 160,
+                chain_depth: 24,
+                extra_virtuals: 4,
+                ..Default::default()
+            },
+            Scale::Wide => SynthConfig {
+                packages: 140,
+                max_deps: 10,
+                mpi_fraction: 0.6,
+                ..Default::default()
+            },
+            Scale::Deep => SynthConfig { packages: 60, chain_depth: 48, ..Default::default() },
+            Scale::ManyVirtuals => SynthConfig {
+                packages: 110,
+                extra_virtuals: 8,
+                ..Default::default()
+            },
+            Scale::Paper => SynthConfig { packages: 300, ..Default::default() },
         }
     }
 
@@ -54,6 +93,7 @@ impl Scale {
         match self {
             Scale::Smoke => 10,
             Scale::Small => 40,
+            Scale::Medium | Scale::Wide | Scale::Deep | Scale::ManyVirtuals => 60,
             Scale::Paper => 150,
         }
     }
@@ -63,18 +103,55 @@ impl Scale {
 /// E4S-like layer, so both realistic recipes and scale are represented.
 pub fn workload_repo(scale: Scale) -> Repository {
     let mut repo = builtin_repo();
-    let synth = synth_repo(&SynthConfig { packages: scale.packages(), ..Default::default() });
+    let synth = synth_repo(&scale.synth_config());
     repo.add_all(synth.packages().cloned());
     repo
+}
+
+/// A pure-ASP transitive-closure workload (`path/2` over a `depends_on` chain of
+/// `n` edges plus a choice over the roots). Grounding it takes `n` semi-naive rounds
+/// and produces O(n²) `path` atoms, which makes it the canonical stress test for the
+/// grounder's delta handling — exactly the shape of the paper's Fig. 3 program, scaled.
+pub fn chain_closure_program(n: usize) -> String {
+    use std::fmt::Write;
+    let mut p = String::new();
+    for i in 0..n {
+        writeln!(p, "depends_on(p{i}, p{next}).", next = i + 1).unwrap();
+    }
+    p.push_str(
+        "path(A, B) :- depends_on(A, B).\n\
+         path(A, C) :- path(A, B), depends_on(B, C).\n\
+         node(Dep) :- node(Pkg), depends_on(Pkg, Dep).\n",
+    );
+    writeln!(p, "1 {{ node(p0); node(p{mid}) }}.", mid = n / 2).unwrap();
+    writeln!(p, ":- path(X, X).").unwrap();
+    p
+}
+
+/// A pure-ASP join-ordering workload: a three-way join where the literal order as
+/// written (`big1 ⋈ big2 ⋈ tiny`) is pessimal and a selectivity-aware planner (tiny
+/// first, then indexed lookups) wins by orders of magnitude.
+pub fn wide_join_program(width: usize) -> String {
+    use std::fmt::Write;
+    let mut p = String::new();
+    for i in 0..width {
+        writeln!(p, "big1(a{i}, b{m}).", m = i % 7).unwrap();
+        writeln!(p, "big2(b{m}, c{i}).", m = i % 7).unwrap();
+    }
+    for i in 0..3.min(width) {
+        writeln!(p, "tiny(a{i}).").unwrap();
+    }
+    p.push_str("joined(X, Z) :- big1(X, Y), big2(Y, Z), tiny(X).\n");
+    p.push_str("{ keep(X) : tiny(X) }.\n");
+    p
 }
 
 /// The buildcache used by the reuse experiments, at four sizes mirroring the paper's
 /// scopes (full / one arch / one OS / both restrictions).
 pub fn workload_buildcache(repo: &Repository, scale: Scale) -> Database {
     let replicas = match scale {
-        Scale::Smoke => 1,
-        Scale::Small => 1,
-        Scale::Paper => 2,
+        Scale::Smoke | Scale::Small => 1,
+        Scale::Medium | Scale::Wide | Scale::Deep | Scale::ManyVirtuals | Scale::Paper => 2,
     };
     synthesize_buildcache(
         repo,

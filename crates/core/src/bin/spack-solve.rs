@@ -9,6 +9,7 @@
 //! spack-solve spec hdf5@1.10.2 +mpi            # concretize and print the DAG
 //! spack-solve spec --greedy hpctoolkit ^mpich  # use the old (incomplete) algorithm
 //! spack-solve spec --reuse hdf5                # reuse a synthesized buildcache
+//! spack-solve spec --stats hdf5                # show grounder/solver statistics
 //! spack-solve providers mpi                    # list providers of a virtual
 //! spack-solve list                             # list known packages
 //! spack-solve criteria                         # print Table II
@@ -47,7 +48,7 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "spack-solve — ASP-based dependency solving (SC'22 reproduction)\n\n\
-         USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--synthetic N] <spec...>\n  \
+         USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--stats] [--synthetic N] <spec...>\n  \
          spack-solve providers <virtual>\n  spack-solve list [--synthetic N]\n  spack-solve criteria\n"
     );
 }
@@ -63,6 +64,7 @@ struct SpecOptions {
     greedy: bool,
     reuse: bool,
     lassen: bool,
+    stats: bool,
     synthetic: Option<usize>,
     spec_text: String,
 }
@@ -72,6 +74,7 @@ fn parse_spec_args(args: &[String]) -> Result<SpecOptions, String> {
         greedy: false,
         reuse: false,
         lassen: false,
+        stats: false,
         synthetic: None,
         spec_text: String::new(),
     };
@@ -82,6 +85,7 @@ fn parse_spec_args(args: &[String]) -> Result<SpecOptions, String> {
             "--greedy" => options.greedy = true,
             "--reuse" => options.reuse = true,
             "--lassen" => options.lassen = true,
+            "--stats" => options.stats = true,
             "--synthetic" => {
                 let n = iter
                     .next()
@@ -181,6 +185,9 @@ fn cmd_spec(args: &[String]) -> ExitCode {
                     println!("{line}");
                 }
             }
+            if options.stats {
+                print_stats(&result);
+            }
             ExitCode::SUCCESS
         }
         Err(err) => {
@@ -188,6 +195,36 @@ fn cmd_spec(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Print the engine statistics behind a solve: per-stage wall times, the grounder's
+/// `GroundStats`, and the aggregated CDCL `SatStats` — the same counters the
+/// benchmark-regression harness records in its JSON report.
+fn print_stats(result: &spack_concretizer::Concretization) {
+    let s = &result.stats;
+    let g = &s.ground;
+    println!("\nstatistics");
+    println!("--------------------------------");
+    println!(
+        "  phases:   setup {:>10.1?}  load {:>10.1?}  ground {:>10.1?}  solve {:>10.1?}",
+        result.timings.setup, result.timings.load, result.timings.ground, result.timings.solve
+    );
+    println!(
+        "  grounder: {} facts -> {} atoms, {} rules, {} choices, {} minimize",
+        s.facts, g.atoms, g.rules, g.choices, g.minimize
+    );
+    println!(
+        "            {} fixpoint rounds (phase1 {:.1?}, phase2 {:.1?})",
+        g.rounds, g.phase1, g.phase2
+    );
+    println!(
+        "  sat:      {} vars, {} clauses | {} solver runs, {} models examined, {} loop nogoods",
+        s.variables, s.clauses, s.solver_runs, s.models_examined, s.loop_nogoods
+    );
+    println!(
+        "            {} decisions, {} propagations, {} conflicts, {} restarts, {} learned ({} deleted)",
+        s.decisions, s.propagations, s.conflicts, s.restarts, s.learned, s.deleted
+    );
 }
 
 fn cmd_providers(args: &[String]) -> ExitCode {

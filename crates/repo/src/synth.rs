@@ -38,6 +38,14 @@ pub struct SynthConfig {
     pub max_versions: usize,
     /// Probability that a dependency is conditional on a variant.
     pub conditional_fraction: f64,
+    /// Length of an extra linear dependency chain (`chain-000 -> chain-001 -> ...`)
+    /// rooted at `chain-root`; `0` disables the chain layer. Deep chains stress the
+    /// grounder's semi-naive fixpoint (one new `node` atom per round).
+    pub chain_depth: usize,
+    /// Number of extra virtuals (`svc-0`, `svc-1`, ...), each with two providers and a
+    /// client application depending on several of them; `0` disables the layer. Many
+    /// virtuals stress provider selection (one choice rule per virtual per node).
+    pub extra_virtuals: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -51,6 +59,8 @@ impl Default for SynthConfig {
             max_deps: 5,
             max_versions: 4,
             conditional_fraction: 0.25,
+            chain_depth: 0,
+            extra_virtuals: 0,
             seed: 0xE45,
         }
     }
@@ -186,6 +196,65 @@ pub fn synth_repo(config: &SynthConfig) -> Repository {
         repo.add(b.build());
     }
 
+    // ---- optional deep chain (stresses the grounder's fixpoint) ------------------------
+    // Drawn from a derived RNG so repositories generated with `chain_depth == 0` are
+    // byte-identical to those of earlier versions of this generator.
+    if config.chain_depth > 0 {
+        let mut chain_rng = StdRng::seed_from_u64(config.seed ^ 0xC4A1_4000);
+        let names: Vec<String> =
+            (0..config.chain_depth).map(|i| format!("chain-{i:03}")).collect();
+        for (i, name) in names.iter().enumerate() {
+            let mut b = random_versions(PackageBuilder::new(name), &mut chain_rng, config);
+            if i + 1 < names.len() {
+                b = b.depends_on(&names[i + 1]);
+            } else if let Some(dep) = util_names.first() {
+                b = b.depends_on(dep);
+            }
+            repo.add(b.build());
+        }
+        let mut root = random_versions(PackageBuilder::new("chain-root"), &mut chain_rng, config);
+        root = root.depends_on(&names[0]);
+        repo.add(root.build());
+    }
+
+    // ---- optional extra virtuals (stress provider selection) ---------------------------
+    if config.extra_virtuals > 0 {
+        let mut virt_rng = StdRng::seed_from_u64(config.seed ^ 0x51C_E000);
+        let virtuals: Vec<String> = (0..config.extra_virtuals).map(|v| format!("svc-{v}")).collect();
+        for (v, virt) in virtuals.iter().enumerate() {
+            for p in 0..2 {
+                let mut b = random_versions(
+                    PackageBuilder::new(&format!("svc{v}-impl-{p}")),
+                    &mut virt_rng,
+                    config,
+                )
+                .provides(virt);
+                for dep in pick(&util_names, 1 + p, &mut virt_rng) {
+                    b = b.depends_on(&dep);
+                }
+                repo.add(b.build());
+            }
+        }
+        // Client applications, each depending on a sliding window of the virtuals.
+        let clients = (config.extra_virtuals / 2).max(1);
+        for c in 0..clients {
+            let mut b = random_versions(
+                PackageBuilder::new(&format!("vapp-{c:02}")),
+                &mut virt_rng,
+                config,
+            );
+            for (v, virt) in virtuals.iter().enumerate() {
+                if v % clients == c || v == (c + 1) % virtuals.len() {
+                    b = b.depends_on(virt);
+                }
+            }
+            for dep in pick(&util_names, 2, &mut virt_rng) {
+                b = b.depends_on(&dep);
+            }
+            repo.add(b.build());
+        }
+    }
+
     repo
 }
 
@@ -244,6 +313,31 @@ mod tests {
         assert_eq!(names_a, names_b);
         for name in names_a {
             assert_eq!(a.get(name), b.get(name), "package {name} differs between runs");
+        }
+    }
+
+    #[test]
+    fn chain_and_virtual_layers_are_generated_on_demand() {
+        let base = synth_repo(&SynthConfig::small());
+        assert!(base.get("chain-root").is_none());
+        assert!(base.get("svc0-impl-0").is_none());
+
+        let shaped = synth_repo(&SynthConfig {
+            chain_depth: 12,
+            extra_virtuals: 4,
+            ..SynthConfig::small()
+        });
+        assert!(shaped.get("chain-root").is_some());
+        assert!(shaped.get("chain-011").is_some());
+        assert_eq!(shaped.providers("svc-2").len(), 2);
+        assert!(shaped.get("vapp-00").is_some());
+        // The chain really is a chain: each link has exactly one dependency.
+        let link = shaped.get("chain-003").unwrap();
+        assert_eq!(link.dependencies.len(), 1);
+        assert_eq!(link.dependencies[0].spec.name.as_deref(), Some("chain-004"));
+        // Base packages are unchanged by the extra layers.
+        for name in base.names() {
+            assert_eq!(base.get(name), shaped.get(name), "package {name} changed");
         }
     }
 
