@@ -290,18 +290,12 @@ mod tests {
 
     #[test]
     fn display_atoms_and_literals() {
-        let atom = Atom::new(
-            "depends_on",
-            vec![Term::Sym("hdf5".into()), Term::Var("D".into())],
-        );
+        let atom = Atom::new("depends_on", vec![Term::Sym("hdf5".into()), Term::Var("D".into())]);
         assert_eq!(atom.to_string(), "depends_on(hdf5,D)");
         let lit = Literal::Pred { negated: true, atom };
         assert_eq!(lit.to_string(), "not depends_on(hdf5,D)");
-        let cmp = Literal::Cmp {
-            op: CmpOp::Ne,
-            lhs: Term::Var("A".into()),
-            rhs: Term::Var("B".into()),
-        };
+        let cmp =
+            Literal::Cmp { op: CmpOp::Ne, lhs: Term::Var("A".into()), rhs: Term::Var("B".into()) };
         assert_eq!(cmp.to_string(), "A != B");
     }
 

@@ -15,9 +15,12 @@ use std::time::{Duration, Instant};
 
 use crate::ast::Program;
 use crate::ground::{GroundError, GroundProgram, GroundStats, Grounder};
-use crate::optimize::{enumerate_models_with_stats, solve_optimal, OptStrategy, OptimalModel, OptimizeError};
+use crate::optimize::{
+    enumerate_models_with_stats, solve_optimal_assuming, OptOutcome, OptStrategy, OptimalModel,
+    OptimizeError, StableProbe,
+};
 use crate::parser::{parse_program, ParseError};
-use crate::sat::SatConfig;
+use crate::sat::{Lit, SatConfig};
 use crate::symbols::{GroundAtom, SymbolTable, Val};
 use crate::translate::{translate, Translation};
 
@@ -96,7 +99,7 @@ impl Preset {
 }
 
 /// Solver configuration: preset, optimization strategy, and RNG seed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Search parameter preset.
     pub preset: Preset,
@@ -104,6 +107,23 @@ pub struct SolverConfig {
     pub strategy: OptStrategy,
     /// Seed for randomized tie-breaking.
     pub seed: u64,
+    /// Minimize levels with a priority below this floor are dropped from the
+    /// optimization entirely: they are neither optimized nor reported in the
+    /// objective vector. The diagnostics path uses this to optimize only the
+    /// high-priority `error(Priority, Msg, Args)` levels on the relaxed second-phase
+    /// solve.
+    pub priority_floor: i64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            preset: Preset::default(),
+            strategy: OptStrategy::default(),
+            seed: 0,
+            priority_floor: i64::MIN,
+        }
+    }
 }
 
 impl SolverConfig {
@@ -219,10 +239,7 @@ impl Model {
 
     /// Iterate over the argument tuples of every true atom with the given predicate.
     pub fn with_pred<'a>(&'a self, pred: &'a str) -> impl Iterator<Item = &'a [Value]> + 'a {
-        self.atoms
-            .iter()
-            .filter(move |(p, _)| p == pred)
-            .map(|(_, args)| args.as_slice())
+        self.atoms.iter().filter(move |(p, _)| p == pred).map(|(_, args)| args.as_slice())
     }
 
     /// Does the model contain this exact atom?
@@ -239,6 +256,52 @@ impl Model {
     pub fn is_empty(&self) -> bool {
         self.atoms.is_empty()
     }
+}
+
+/// An assumption for [`Control::solve_with_assumptions`]: a ground atom, by predicate
+/// and arguments, asserted true (`positive`) or false for the duration of one solve.
+/// Assumptions are decisions, not clauses — the control object stays reusable, and a
+/// failed solve reports the *unsat core*: the subset of assumptions that is jointly
+/// refuted by the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assumption {
+    /// Predicate name of the assumed atom.
+    pub pred: String,
+    /// Ground arguments of the assumed atom.
+    pub args: Vec<Value>,
+    /// Assume the atom true (`true`) or false (`false`).
+    pub positive: bool,
+}
+
+impl Assumption {
+    /// Assume the atom `pred(args)` is true.
+    pub fn holds(pred: &str, args: &[Value]) -> Self {
+        Assumption { pred: pred.to_string(), args: args.to_vec(), positive: true }
+    }
+
+    /// Assume the atom `pred(args)` is false.
+    pub fn fails(pred: &str, args: &[Value]) -> Self {
+        Assumption { pred: pred.to_string(), args: args.to_vec(), positive: false }
+    }
+}
+
+/// Outcome of an assumption-based optimizing solve.
+#[derive(Debug, Clone)]
+pub enum AssumeOutcome {
+    /// An optimal stable model satisfying every assumption was found.
+    Optimal {
+        /// The model.
+        model: Model,
+        /// Objective vector as `(priority, value)`, highest priority first.
+        cost: Vec<(i64, i64)>,
+    },
+    /// No stable model satisfies the assumptions.
+    Unsatisfiable {
+        /// Indices (into the assumption slice passed in) of an unsat core: a subset of
+        /// the assumptions that cannot hold together. Empty when the program has no
+        /// stable model at all, independent of any assumption.
+        core: Vec<usize>,
+    },
 }
 
 /// Outcome of an optimizing solve.
@@ -385,26 +448,167 @@ impl Control {
 
     /// Solve for the optimal stable model.
     pub fn solve(&mut self) -> Result<SolveOutcome, AspError> {
+        match self.solve_with_assumptions(&[])? {
+            AssumeOutcome::Optimal { model, cost } => Ok(SolveOutcome::Optimal { model, cost }),
+            AssumeOutcome::Unsatisfiable { .. } => Ok(SolveOutcome::Unsatisfiable),
+        }
+    }
+
+    /// Solve for the optimal stable model under the given assumptions (clingo's
+    /// `solve(assumptions=...)`). On UNSAT the outcome carries an *unsat core*: indices
+    /// of a subset of `assumptions` that cannot hold together, extracted by tracking
+    /// assumption decisions through conflict analysis. The core is sound (its members
+    /// really are jointly unsatisfiable) but not necessarily minimal — pass it to
+    /// [`Control::minimize_core`] for a minimal explanation.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Assumption],
+    ) -> Result<AssumeOutcome, AspError> {
         let (ground, translation) = match (&self.ground, &self.translation) {
             (Some(g), Some(t)) => (g, t),
             _ => return Err(AspError::Usage("ground() must be called before solve()".into())),
         };
         let start = Instant::now();
-        let result = solve_optimal(
+        // Map assumptions onto SAT literals. Atoms the grounder never saw are false in
+        // every model: a positive assumption on one is trivially refuted by itself, a
+        // negative one is trivially satisfied (and skipped).
+        let mut lits: Vec<Lit> = Vec::with_capacity(assumptions.len());
+        let mut lit_index: Vec<(Lit, usize)> = Vec::with_capacity(assumptions.len());
+        for (i, a) in assumptions.iter().enumerate() {
+            match self.assumption_lit(ground, a) {
+                Some(lit) => {
+                    lits.push(lit);
+                    lit_index.push((lit, i));
+                }
+                None if a.positive => {
+                    self.stats.solve_time += start.elapsed();
+                    return Ok(AssumeOutcome::Unsatisfiable { core: vec![i] });
+                }
+                None => {}
+            }
+        }
+        let result = solve_optimal_assuming(
             ground,
             translation,
             &self.config.sat_config(),
             self.config.strategy,
+            &lits,
+            self.config.priority_floor,
         )?;
-        self.stats.solve_time = start.elapsed();
+        self.stats.solve_time += start.elapsed();
         match result {
-            None => Ok(SolveOutcome::Unsatisfiable),
-            Some(optimal) => {
+            OptOutcome::Optimal(optimal) => {
                 self.record_opt_stats(&optimal);
                 let model = self.extract_model(&optimal.model);
-                Ok(SolveOutcome::Optimal { model, cost: optimal.cost })
+                Ok(AssumeOutcome::Optimal { model, cost: optimal.cost })
+            }
+            OptOutcome::Unsat { core, sat } => {
+                self.record_sat_stats(&sat);
+                let mut indices: Vec<usize> = core
+                    .iter()
+                    .filter_map(|l| lit_index.iter().find(|(cl, _)| cl == l).map(|&(_, i)| i))
+                    .collect();
+                indices.sort_unstable();
+                indices.dedup();
+                Ok(AssumeOutcome::Unsatisfiable { core: indices })
             }
         }
+    }
+
+    /// Deletion-based minimization of an unsat core returned by
+    /// [`Control::solve_with_assumptions`]: repeatedly drop one member and re-test
+    /// satisfiability of the rest; members whose removal makes the problem satisfiable
+    /// are *necessary* and kept, the others are deleted. Each test is a plain stable-
+    /// model probe (no optimization), and a test that fails with an even smaller core
+    /// shortcuts the loop. Returns the minimized core (indices into `assumptions`) and
+    /// the number of probe solves performed.
+    pub fn minimize_core(
+        &mut self,
+        assumptions: &[Assumption],
+        core: &[usize],
+    ) -> Result<(Vec<usize>, u64), AspError> {
+        let (ground, translation) = match (&self.ground, &self.translation) {
+            (Some(g), Some(t)) => (g, t),
+            _ => {
+                return Err(AspError::Usage(
+                    "ground() must be called before minimize_core()".into(),
+                ))
+            }
+        };
+        let start = Instant::now();
+        let mut core: Vec<usize> = core.to_vec();
+        if core.is_empty() {
+            // Unsat without any assumption involved: nothing to minimize, and no
+            // probe solver worth building.
+            return Ok((core, 0));
+        }
+        let mut rounds = 0u64;
+        // One solver serves every deletion probe: assumptions are decisions, not
+        // clauses, so the clause database (and every learned clause and loop nogood)
+        // carries over between probes instead of being rebuilt per round.
+        let mut probe = StableProbe::new(ground, translation, &self.config.sat_config());
+        let mut i = 0;
+        while i < core.len() {
+            // Probe the core with member `i` removed.
+            let mut trial_lits: Vec<Lit> = Vec::with_capacity(core.len() - 1);
+            let mut trial_index: Vec<usize> = Vec::with_capacity(core.len() - 1);
+            for (j, &idx) in core.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                if let Some(lit) = self.assumption_lit(ground, &assumptions[idx]) {
+                    trial_lits.push(lit);
+                    trial_index.push(idx);
+                }
+                // Trivially-failed members cannot be dropped by this probe path; they
+                // were already singled out before a search-derived core existed.
+            }
+            rounds += 1;
+            match probe.check(ground, &trial_lits) {
+                Some(sub_core) => {
+                    // Still unsat without member `i`: drop it — and adopt the probe's
+                    // own (possibly smaller) core when it is one.
+                    if sub_core.is_empty() {
+                        core = Vec::new();
+                        break;
+                    }
+                    let mut next: Vec<usize> = sub_core
+                        .iter()
+                        .filter_map(|l| {
+                            trial_lits.iter().position(|cl| cl == l).map(|p| trial_index[p])
+                        })
+                        .collect();
+                    next.sort_unstable();
+                    next.dedup();
+                    core = next;
+                    i = 0;
+                }
+                None => i += 1, // member `i` is necessary
+            }
+        }
+        let probe_stats = probe.stats().clone();
+        self.record_sat_stats(&probe_stats);
+        self.stats.solve_time += start.elapsed();
+        Ok((core, rounds))
+    }
+
+    /// The SAT literal for an assumption, or `None` when the assumed atom does not
+    /// exist in the ground program (it is then false in every model).
+    fn assumption_lit(&self, ground: &GroundProgram, a: &Assumption) -> Option<Lit> {
+        let pred = self.symbols.lookup(&a.pred)?;
+        let mut args = Vec::with_capacity(a.args.len());
+        for v in &a.args {
+            args.push(match v {
+                Value::Str(s) => Val::Sym(self.symbols.lookup(s)?),
+                Value::Int(i) => Val::Int(*i),
+            });
+        }
+        let id = ground.atoms.get(&GroundAtom::new(pred, args))?;
+        Some(if a.positive {
+            Translation::atom_lit(id)
+        } else {
+            Translation::atom_lit(id).negate()
+        })
     }
 
     /// Enumerate up to `limit` stable models without optimization.
@@ -412,15 +616,13 @@ impl Control {
         let (ground, translation) = match (&self.ground, &self.translation) {
             (Some(g), Some(t)) => (g, t),
             _ => {
-                return Err(AspError::Usage(
-                    "ground() must be called before solve_models()".into(),
-                ))
+                return Err(AspError::Usage("ground() must be called before solve_models()".into()))
             }
         };
         let start = Instant::now();
         let (models, sat, examined) =
             enumerate_models_with_stats(ground, translation, &self.config.sat_config(), limit);
-        self.stats.solve_time = start.elapsed();
+        self.stats.solve_time += start.elapsed();
         self.record_sat_stats(&sat);
         self.stats.models_examined = examined;
         Ok(models.iter().map(|m| self.extract_model(m)).collect())
@@ -549,6 +751,135 @@ mod tests {
                 }
                 SolveOutcome::Unsatisfiable => panic!("expected a model"),
             }
+        }
+    }
+
+    #[test]
+    fn assumptions_select_between_models() {
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("1 { pick(a); pick(b) } 1.").unwrap();
+        ctl.ground().unwrap();
+        let outcome =
+            ctl.solve_with_assumptions(&[Assumption::holds("pick", &["b".into()])]).unwrap();
+        match outcome {
+            AssumeOutcome::Optimal { model, .. } => {
+                assert!(model.contains("pick", &["b".into()]));
+                assert!(!model.contains("pick", &["a".into()]));
+            }
+            AssumeOutcome::Unsatisfiable { .. } => panic!("expected a model"),
+        }
+    }
+
+    #[test]
+    fn failed_assumptions_report_a_core() {
+        // Assuming both picks violates the exactly-one choice; the unrelated third
+        // assumption must not be blamed.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("1 { pick(a); pick(b) } 1. { free(c) }.").unwrap();
+        ctl.ground().unwrap();
+        let assumptions = [
+            Assumption::holds("free", &["c".into()]),
+            Assumption::holds("pick", &["a".into()]),
+            Assumption::holds("pick", &["b".into()]),
+        ];
+        match ctl.solve_with_assumptions(&assumptions).unwrap() {
+            AssumeOutcome::Unsatisfiable { core } => {
+                assert_eq!(core, vec![1, 2]);
+                let (minimized, rounds) = ctl.minimize_core(&assumptions, &core).unwrap();
+                assert_eq!(minimized, vec![1, 2]);
+                assert!(rounds >= 2, "each member must be probed: {rounds}");
+            }
+            AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+        }
+    }
+
+    #[test]
+    fn core_minimization_drops_redundant_members() {
+        // q is forced by fact; assuming not q is unsat all by itself, so the other
+        // assumptions must be minimized away.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("q. { p(a); p(b) }.").unwrap();
+        ctl.ground().unwrap();
+        let assumptions = [
+            Assumption::holds("p", &["a".into()]),
+            Assumption::holds("p", &["b".into()]),
+            Assumption::fails("q", &[]),
+        ];
+        match ctl.solve_with_assumptions(&assumptions).unwrap() {
+            AssumeOutcome::Unsatisfiable { core } => {
+                let (minimized, _rounds) = ctl.minimize_core(&assumptions, &core).unwrap();
+                assert_eq!(minimized, vec![2], "only the ~q assumption is to blame");
+            }
+            AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+        }
+    }
+
+    #[test]
+    fn externally_supportable_loop_atom_is_satisfiable_under_assumption() {
+        // Regression: a, b support each other but a is also externally supported by
+        // the free choice x. Assuming a must find the stable model {x, a, b}; an
+        // unsound bare loop nogood (no external-support witness) would report UNSAT
+        // after rejecting the unstable {a, b} candidate.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("a :- b. b :- a. a :- x. { x }.").unwrap();
+        ctl.ground().unwrap();
+        match ctl.solve_with_assumptions(&[Assumption::holds("a", &[])]).unwrap() {
+            AssumeOutcome::Optimal { model, .. } => {
+                assert!(model.contains("a", &[]));
+                assert!(model.contains("x", &[]), "a is founded only through x");
+            }
+            AssumeOutcome::Unsatisfiable { core } => {
+                panic!("satisfiable assumption reported unsat with core {core:?}")
+            }
+        }
+        // And enumeration must see both stable models: {} and {x, a, b}.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("a :- b. b :- a. a :- x. { x }.").unwrap();
+        ctl.ground().unwrap();
+        assert_eq!(ctl.solve_models(8).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn assuming_an_unknown_atom_true_is_a_singleton_core() {
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("p.").unwrap();
+        ctl.ground().unwrap();
+        let assumptions = [Assumption::holds("nonexistent", &["x".into()])];
+        match ctl.solve_with_assumptions(&assumptions).unwrap() {
+            AssumeOutcome::Unsatisfiable { core } => assert_eq!(core, vec![0]),
+            AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+        }
+        // Assuming it *false* is trivially fine.
+        let assumptions = [Assumption::fails("nonexistent", &["x".into()])];
+        assert!(matches!(
+            ctl.solve_with_assumptions(&assumptions).unwrap(),
+            AssumeOutcome::Optimal { .. }
+        ));
+    }
+
+    #[test]
+    fn priority_floor_skips_low_priority_levels() {
+        let mut ctl = Control::new(SolverConfig { priority_floor: 100, ..Default::default() });
+        ctl.add_program(
+            r#"
+            1 { pick(a); pick(b) } 1.
+            important(a, 0). important(b, 1).
+            minor(a, 1). minor(b, 0).
+            icost(W) :- pick(P), important(P, W).
+            mcost(W) :- pick(P), minor(P, W).
+            #minimize{ W@200 : icost(W) }.
+            #minimize{ W@1 : mcost(W) }.
+            "#,
+        )
+        .unwrap();
+        ctl.ground().unwrap();
+        match ctl.solve().unwrap() {
+            SolveOutcome::Optimal { model, cost } => {
+                assert!(model.contains("pick", &["a".into()]));
+                // Only the level above the floor appears in the objective vector.
+                assert_eq!(cost, vec![(200, 0)]);
+            }
+            SolveOutcome::Unsatisfiable => panic!("expected a model"),
         }
     }
 

@@ -81,9 +81,7 @@ impl AtomBitSet {
     }
 
     fn contains(&self, id: AtomId) -> bool {
-        self.words
-            .get(id as usize / 64)
-            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+        self.words.get(id as usize / 64).is_some_and(|w| w & (1u64 << (id % 64)) != 0)
     }
 }
 
@@ -206,11 +204,7 @@ pub struct GroundProgram {
 impl GroundProgram {
     /// Atoms that are certainly true (input facts).
     pub fn fact_atoms(&self) -> Vec<AtomId> {
-        self.atoms
-            .iter()
-            .filter(|(id, _)| self.atoms.is_certain(*id))
-            .map(|(id, _)| id)
-            .collect()
+        self.atoms.iter().filter(|(id, _)| self.atoms.is_certain(*id)).map(|(id, _)| id).collect()
     }
 }
 
@@ -295,7 +289,12 @@ type MinimizeTuples = FxHashMap<(i64, i64, Vec<Val>), Vec<(Vec<AtomId>, Vec<Atom
 /// final slice holds, for each positive literal (by its original index), the atom id it
 /// was matched against — so downstream processing never re-instantiates or re-hashes
 /// body atoms.
-type OnJoinMatch<'cb, 's> = dyn FnMut(&mut Grounder<'s>, &mut GroundProgram, &[Option<Val>], &[AtomId]) -> Result<(), GroundError>
+type OnJoinMatch<'cb, 's> = dyn FnMut(
+        &mut Grounder<'s>,
+        &mut GroundProgram,
+        &[Option<Val>],
+        &[AtomId],
+    ) -> Result<(), GroundError>
     + 'cb;
 
 /// Callback invoked for every complete assignment of a condition list's variables.
@@ -528,8 +527,9 @@ impl<'a> Grounder<'a> {
                                 self.compile_atom(atom, &mut vars, consts)
                             }
                             _ => Err(GroundError {
-                                message: "conditions of conditional literals must be positive atoms"
-                                    .into(),
+                                message:
+                                    "conditions of conditional literals must be positive atoms"
+                                        .into(),
                             }),
                         })
                         .collect::<Result<_, _>>()?;
@@ -541,14 +541,10 @@ impl<'a> Grounder<'a> {
             Head::None => CHead::None,
             Head::Atom(atom) => CHead::Atom(self.compile_atom(atom, &mut vars, consts)?),
             Head::Choice { lower, upper, elements } => {
-                let lower = lower
-                    .as_ref()
-                    .map(|t| self.compile_term(t, &mut vars, consts))
-                    .transpose()?;
-                let upper = upper
-                    .as_ref()
-                    .map(|t| self.compile_term(t, &mut vars, consts))
-                    .transpose()?;
+                let lower =
+                    lower.as_ref().map(|t| self.compile_term(t, &mut vars, consts)).transpose()?;
+                let upper =
+                    upper.as_ref().map(|t| self.compile_term(t, &mut vars, consts)).transpose()?;
                 let elements = elements
                     .iter()
                     .map(|e| self.compile_choice_elem(e, &mut vars, consts))
@@ -647,14 +643,19 @@ impl<'a> Grounder<'a> {
         let mut subst = vec![None; rule.nvars];
         if first_round {
             // Every atom is "new": one unrestricted (planned) join covers everything.
-            return self.join_all(rule, ground, &mut subst, &mut |this, ground, subst, _matched| {
-                for cmp in &rule.cmps {
-                    if let Some(false) = eval_cmp(cmp, subst) {
-                        return Ok(());
+            return self.join_all(
+                rule,
+                ground,
+                &mut subst,
+                &mut |this, ground, subst, _matched| {
+                    for cmp in &rule.cmps {
+                        if let Some(false) = eval_cmp(cmp, subst) {
+                            return Ok(());
+                        }
                     }
-                }
-                this.derive_head(rule, ground, subst, new_atoms)
-            });
+                    this.derive_head(rule, ground, subst, new_atoms)
+                },
+            );
         }
         // Body-less rules cannot fire anything new after the first round.
         if rule.pos.is_empty() {
@@ -850,37 +851,43 @@ impl<'a> Grounder<'a> {
                 let mut extra_pos = Vec::new();
                 let mut extra_neg = Vec::new();
                 let mut scratch = std::mem::take(&mut self.scratch_atom);
-                self.expand_conditions(&cond.conditions, 0, ground, &mut local, true, &mut |ground,
-                     local| {
-                    if !ok {
-                        return Ok(());
-                    }
-                    match instantiate_into(&cond.atom, local, &mut scratch) {
-                        true => {
-                            match ground.atoms.get(&scratch) {
-                                Some(id) => {
-                                    if cond.negated {
-                                        if ground.atoms.is_certain(id) {
-                                            ok = false;
-                                        } else {
-                                            extra_neg.push(id);
+                self.expand_conditions(
+                    &cond.conditions,
+                    0,
+                    ground,
+                    &mut local,
+                    true,
+                    &mut |ground, local| {
+                        if !ok {
+                            return Ok(());
+                        }
+                        match instantiate_into(&cond.atom, local, &mut scratch) {
+                            true => {
+                                match ground.atoms.get(&scratch) {
+                                    Some(id) => {
+                                        if cond.negated {
+                                            if ground.atoms.is_certain(id) {
+                                                ok = false;
+                                            } else {
+                                                extra_neg.push(id);
+                                            }
+                                        } else if !ground.atoms.is_certain(id) {
+                                            extra_pos.push(id);
                                         }
-                                    } else if !ground.atoms.is_certain(id) {
-                                        extra_pos.push(id);
                                     }
-                                }
-                                None => {
-                                    // Atom can never be true.
-                                    if !cond.negated {
-                                        ok = false;
+                                    None => {
+                                        // Atom can never be true.
+                                        if !cond.negated {
+                                            ok = false;
+                                        }
                                     }
                                 }
                             }
+                            false => ok = false,
                         }
-                        false => ok = false,
-                    }
-                    Ok(())
-                })?;
+                        Ok(())
+                    },
+                )?;
                 self.scratch_atom = scratch;
                 if !ok {
                     return Ok(());
@@ -1019,7 +1026,15 @@ impl<'a> Grounder<'a> {
         let mut order: Vec<usize> = (0..rule.pos.len()).collect();
         let mut matched: Vec<AtomId> = vec![0; rule.pos.len()];
         self.join_ordered(
-            rule, &mut order, 0, usize::MAX, usize::MAX, None, ground, subst, &mut matched,
+            rule,
+            &mut order,
+            0,
+            usize::MAX,
+            usize::MAX,
+            None,
+            ground,
+            subst,
+            &mut matched,
             on_match,
         )
     }
@@ -1096,14 +1111,23 @@ impl<'a> Grounder<'a> {
                     continue;
                 }
             }
-            if let Some(nb) = match_into_subst(&ground.atoms, cand, &rule.pos[li], subst, &mut touched)
+            if let Some(nb) =
+                match_into_subst(&ground.atoms, cand, &rule.pos[li], subst, &mut touched)
             {
                 matched[li] = cand;
                 // Fully bound comparisons prune the join as early as possible.
                 if !rule.cmps.iter().any(|c| eval_cmp(c, subst) == Some(false)) {
                     self.join_ordered(
-                        rule, order, done + 1, delta_pos, delta_exact, delta, ground, subst,
-                        matched, on_match,
+                        rule,
+                        order,
+                        done + 1,
+                        delta_pos,
+                        delta_exact,
+                        delta,
+                        ground,
+                        subst,
+                        matched,
+                        on_match,
                     )?;
                 }
                 for &slot in &touched[..nb] {
@@ -1138,7 +1162,14 @@ impl<'a> Grounder<'a> {
                 continue;
             }
             if let Some(nb) = match_into_subst(&ground.atoms, cand, atom, subst, &mut touched) {
-                self.expand_conditions(conditions, index + 1, ground, subst, certain_only, on_match)?;
+                self.expand_conditions(
+                    conditions,
+                    index + 1,
+                    ground,
+                    subst,
+                    certain_only,
+                    on_match,
+                )?;
                 for &slot in &touched[..nb] {
                     subst[slot] = None;
                 }
@@ -1175,8 +1206,7 @@ impl<'a> Grounder<'a> {
             let (key, _) = best_key(atom, subst, &ground.atoms);
             let mut touched = [0usize; MAX_ARITY];
             for &cand in key_slice(&ground.atoms, &key) {
-                if let Some(nb) = match_into_subst(&ground.atoms, cand, atom, subst, &mut touched)
-                {
+                if let Some(nb) = match_into_subst(&ground.atoms, cand, atom, subst, &mut touched) {
                     self.join_minimize(m, index + 1, ground, subst, tuples)?;
                     for &slot in &touched[..nb] {
                         subst[slot] = None;
@@ -1204,14 +1234,10 @@ impl<'a> Grounder<'a> {
             let priority = eval_int(&m.priority, subst).ok_or_else(|| GroundError {
                 message: "minimize priority must evaluate to an integer".into(),
             })?;
-            let terms: Vec<Val> = m
-                .terms
-                .iter()
-                .map(|t| eval_term(t, subst))
-                .collect::<Option<_>>()
-                .ok_or_else(|| GroundError {
-                    message: "minimize tuple terms must be bound".into(),
-                })?;
+            let terms: Vec<Val> =
+                m.terms.iter().map(|t| eval_term(t, subst)).collect::<Option<_>>().ok_or_else(
+                    || GroundError { message: "minimize tuple terms must be bound".into() },
+                )?;
             // Collect condition atoms (dropping certain ones).
             let mut pos = Vec::new();
             let mut skip = false;
@@ -1270,9 +1296,7 @@ impl<'a> Grounder<'a> {
             }
             // General case: an auxiliary atom defined by one rule per condition instance.
             counter += 1;
-            let (aux, _) = ground
-                .atoms
-                .intern(GroundAtom::new(aux_pred, vec![Val::Int(counter)]));
+            let (aux, _) = ground.atoms.intern(GroundAtom::new(aux_pred, vec![Val::Int(counter)]));
             for (pos, neg) in bodies {
                 ground.rules.push(GroundRule { head: Some(aux), pos, neg });
             }
@@ -1463,7 +1487,6 @@ fn has_binop_arg(atom: &CAtom) -> bool {
     atom.args.iter().any(|t| matches!(t, CTerm::BinOp(..)))
 }
 
-
 /// Is this literal joinable *now*: every arithmetic argument evaluates under the
 /// current substitution? (Plain variables bind during matching and constants always
 /// evaluate, so only `BinOp` arguments gate readiness.)
@@ -1578,11 +1601,9 @@ mod tests {
         let names = atom_names(&ground, &symbols);
         assert!(names.contains(&"path(a,c)".to_string()));
         // Constraints were grounded (though none can fire since no cycle is possible).
-        assert!(ground
-            .rules
-            .iter()
-            .filter(|r| r.head.is_none())
-            .count() > 0 || !ground.trivially_unsat);
+        assert!(
+            ground.rules.iter().filter(|r| r.head.is_none()).count() > 0 || !ground.trivially_unsat
+        );
     }
 
     #[test]
@@ -1604,10 +1625,7 @@ mod tests {
             .find(|(_, a)| a.display(&symbols).to_string() == "r(2)")
             .map(|(id, _)| id);
         if let Some(r2) = r2 {
-            assert!(
-                !ground.rules.iter().any(|r| r.head == Some(r2)),
-                "no rule may derive r(2)"
-            );
+            assert!(!ground.rules.iter().any(|r| r.head == Some(r2)), "no rule may derive r(2)");
         }
     }
 

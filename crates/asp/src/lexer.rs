@@ -283,7 +283,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                 let word = &input[start..i];
                 let tok = if word == "not" {
                     Token::Not
-                } else if word.starts_with(|ch: char| ch.is_ascii_uppercase()) || word.starts_with('_')
+                } else if word.starts_with(|ch: char| ch.is_ascii_uppercase())
+                    || word.starts_with('_')
                 {
                     Token::Variable(word.to_string())
                 } else {
@@ -292,10 +293,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                 tokens.push(Spanned { token: tok, line });
             }
             other => {
-                return Err(LexError {
-                    message: format!("unexpected character '{other}'"),
-                    line,
-                })
+                return Err(LexError { message: format!("unexpected character '{other}'"), line })
             }
         }
     }

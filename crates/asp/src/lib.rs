@@ -61,5 +61,8 @@ pub mod stable;
 pub mod symbols;
 pub mod translate;
 
-pub use control::{AspError, Control, Model, Preset, SolveOutcome, SolverConfig, Stats, Value};
+pub use control::{
+    AspError, AssumeOutcome, Assumption, Control, Model, Preset, SolveOutcome, SolverConfig, Stats,
+    Value,
+};
 pub use optimize::OptStrategy;

@@ -46,6 +46,22 @@ pub enum OptStrategy {
     Descent,
 }
 
+/// Outcome of an assumption-aware optimizing solve ([`solve_optimal_assuming`]).
+#[derive(Debug, Clone)]
+pub enum OptOutcome {
+    /// A (lexicographically) optimal stable model was found.
+    Optimal(OptimalModel),
+    /// No stable model exists under the given assumptions.
+    Unsat {
+        /// The subset of the assumption literals refuted by the program (the *unsat
+        /// core* from final-conflict analysis). Empty when the program has no stable
+        /// model even without assumptions.
+        core: Vec<Lit>,
+        /// Aggregated solver statistics of the failed search.
+        sat: SatStats,
+    },
+}
+
 /// Error produced by the optimizer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OptimizeError {
@@ -89,10 +105,35 @@ pub fn solve_optimal(
     config: &SatConfig,
     strategy: OptStrategy,
 ) -> Result<Option<OptimalModel>, OptimizeError> {
-    if ground.trivially_unsat {
-        return Ok(None);
+    match solve_optimal_assuming(ground, translation, config, strategy, &[], i64::MIN)? {
+        OptOutcome::Optimal(model) => Ok(Some(model)),
+        OptOutcome::Unsat { .. } => Ok(None),
     }
-    let levels = collect_levels(ground)?;
+}
+
+/// [`solve_optimal`] under *assumption literals*: only stable models where every
+/// assumption holds are considered, and on UNSAT the returned [`OptOutcome::Unsat`]
+/// carries the core of assumptions responsible (tracked through conflict analysis by
+/// [`Solver::search_with_assumptions`]).
+///
+/// `priority_floor` bounds the optimization effort: minimize levels with a priority
+/// *below* the floor are dropped entirely — neither optimized nor present in the
+/// returned objective vector. The diagnostics path uses this to minimize only the
+/// paper's `error(Priority, Msg, Args)` levels on the relaxed second-phase solve.
+/// Pass `i64::MIN` to optimize every level.
+pub fn solve_optimal_assuming(
+    ground: &GroundProgram,
+    translation: &Translation,
+    config: &SatConfig,
+    strategy: OptStrategy,
+    assumptions: &[Lit],
+    priority_floor: i64,
+) -> Result<OptOutcome, OptimizeError> {
+    if ground.trivially_unsat {
+        return Ok(OptOutcome::Unsat { core: Vec::new(), sat: SatStats::default() });
+    }
+    let levels: Vec<Level> =
+        collect_levels(ground)?.into_iter().filter(|l| l.priority >= priority_floor).collect();
     let mut stats = RunStats::default();
     // Loop nogoods discovered by the stability check are shared across solver runs.
     let mut extra_clauses: Vec<Vec<Lit>> = Vec::new();
@@ -105,11 +146,16 @@ pub fn solve_optimal(
     let mut live = Some(build_solver(translation, config, &[], &extra_clauses));
     let mut best = {
         let solver = live.as_mut().expect("just built");
-        match run_stable(solver, ground, &mut checker, &mut extra_clauses, &mut stats) {
+        match run_stable(solver, ground, &mut checker, &mut extra_clauses, assumptions, &mut stats)
+        {
             Some(m) => m,
             None => {
+                // The *unbounded* program is unsatisfiable under the assumptions: the
+                // failed-assumption set is a genuine unsat core (later UNSATs merely
+                // prove an objective bound optimal and carry no core).
+                let core = solver.failed_assumptions().to_vec();
                 stats.sat.absorb(&solver.stats);
-                return Ok(None);
+                return Ok(OptOutcome::Unsat { core, sat: stats.sat });
             }
         }
     };
@@ -167,7 +213,14 @@ pub fn solve_optimal(
                     }
                 }
             }
-            match run_stable(solver, ground, &mut checker, &mut extra_clauses, &mut stats) {
+            match run_stable(
+                solver,
+                ground,
+                &mut checker,
+                &mut extra_clauses,
+                assumptions,
+                &mut stats,
+            ) {
                 Some(m) => {
                     best_costs = level_costs(&levels, &m);
                     best = m;
@@ -193,12 +246,9 @@ pub fn solve_optimal(
         stats.sat.absorb(&solver.stats);
     }
 
-    let cost = levels
-        .iter()
-        .zip(best_costs.iter())
-        .map(|(l, &c)| (l.priority, c + l.base))
-        .collect();
-    Ok(Some(OptimalModel {
+    let cost =
+        levels.iter().zip(best_costs.iter()).map(|(l, &c)| (l.priority, c + l.base)).collect();
+    Ok(OptOutcome::Optimal(OptimalModel {
         model: best,
         cost,
         models_examined: stats.models,
@@ -207,6 +257,65 @@ pub fn solve_optimal(
         loop_nogoods: stats.loop_nogoods,
         sat: stats.sat,
     }))
+}
+
+/// A reusable stable-model satisfiability probe: one solver instance answers many
+/// "is there a stable model under these assumptions?" queries. Assumptions are plain
+/// decisions (undone by backtracking), so learned clauses and loop nogoods persist
+/// across queries — this is what makes deletion-based core minimization affordable:
+/// a core of size `k` costs `k` *incremental* probes, not `k` solver rebuilds.
+pub struct StableProbe {
+    solver: Solver,
+    checker: StabilityChecker,
+    trivially_unsat: bool,
+    nogoods: u64,
+}
+
+impl StableProbe {
+    /// Build the probe solver once from a grounded translation.
+    pub fn new(ground: &GroundProgram, translation: &Translation, config: &SatConfig) -> Self {
+        StableProbe {
+            solver: build_solver(translation, config, &[], &[]),
+            checker: StabilityChecker::new(ground),
+            trivially_unsat: ground.trivially_unsat,
+            nogoods: 0,
+        }
+    }
+
+    /// Search for one stable model under `assumptions`. Returns `None` when a stable
+    /// model exists, and `Some(core)` — the failed assumption subset — when none does.
+    pub fn check(&mut self, ground: &GroundProgram, assumptions: &[Lit]) -> Option<Vec<Lit>> {
+        if self.trivially_unsat {
+            return Some(Vec::new());
+        }
+        loop {
+            match self.solver.search_with_assumptions(assumptions) {
+                SearchResult::Unsat => {
+                    return Some(self.solver.failed_assumptions().to_vec());
+                }
+                SearchResult::Sat => {
+                    let model = self.solver.model();
+                    // Loop nogoods (with their external-support witnesses) hold in
+                    // every stable model, so they stay valid for later queries too.
+                    let nogood = self.checker.unfounded_nogood(ground, &model)?;
+                    self.nogoods += 1;
+                    if !self.solver.add_blocking_clause(&nogood) {
+                        return Some(Vec::new());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aggregate low-level statistics of every query so far.
+    pub fn stats(&self) -> &SatStats {
+        &self.solver.stats
+    }
+
+    /// Loop nogoods added across all queries.
+    pub fn loop_nogoods(&self) -> u64 {
+        self.nogoods
+    }
 }
 
 /// Enumerate stable models (without optimization), up to `limit`.
@@ -244,28 +353,17 @@ pub fn enumerate_models_with_stats(
             SearchResult::Sat => {
                 examined += 1;
                 let model = solver.model();
-                let unfounded = checker.unfounded_set(ground, &model);
-                if unfounded.is_empty() {
-                    models.push(model.clone());
-                    // Block this model (projected on the program atoms).
-                    let blocking: Vec<Lit> = (0..translation.num_atoms)
-                        .map(|a| {
-                            if model[a] {
-                                Lit::neg(a as Var)
-                            } else {
-                                Lit::pos(a as Var)
-                            }
-                        })
-                        .collect();
-                    if !solver.add_blocking_clause(&blocking) {
+                if let Some(nogood) = checker.unfounded_nogood(ground, &model) {
+                    if !solver.add_blocking_clause(&nogood) {
                         break;
                     }
                 } else {
-                    let nogood: Vec<Lit> = unfounded
-                        .iter()
-                        .map(|&a| Lit::neg(a as Var))
+                    models.push(model.clone());
+                    // Block this model (projected on the program atoms).
+                    let blocking: Vec<Lit> = (0..translation.num_atoms)
+                        .map(|a| if model[a] { Lit::neg(a as Var) } else { Lit::pos(a as Var) })
                         .collect();
-                    if !solver.add_blocking_clause(&nogood) {
+                    if !solver.add_blocking_clause(&blocking) {
                         break;
                     }
                 }
@@ -322,13 +420,7 @@ fn level_costs(levels: &[Level], model: &[bool]) -> Vec<i64> {
 
 fn level_bound(level: &Level, bound: i64) -> LinearSpec {
     let (lits, weights): (Vec<Lit>, Vec<u64>) = level.lits.iter().copied().unzip();
-    LinearSpec {
-        condition: None,
-        lits,
-        weights,
-        lower: 0,
-        upper: bound.max(0) as u64,
-    }
+    LinearSpec { condition: None, lits, weights, lower: 0, upper: bound.max(0) as u64 }
 }
 
 /// Impose (or tighten) a level's objective bound on a live solver. The first time a
@@ -399,27 +491,31 @@ fn run_stable(
     ground: &GroundProgram,
     checker: &mut StabilityChecker,
     extra_clauses: &mut Vec<Vec<Lit>>,
+    assumptions: &[Lit],
     stats: &mut RunStats,
 ) -> Option<Vec<bool>> {
     stats.runs += 1;
     let debug = std::env::var("ASP_DEBUG").is_ok();
     loop {
-        match solver.search() {
+        match solver.search_with_assumptions(assumptions) {
             SearchResult::Unsat => return None,
             SearchResult::Sat => {
                 stats.models += 1;
                 let model = solver.model();
-                let unfounded = checker.unfounded_set(ground, &model);
-                if unfounded.is_empty() {
+                // Loop nogood: at least one unfounded atom must be false, or one of
+                // the set's external supports must come true. It is a consequence of
+                // the program (not of the bounds), so it persists and is replayed
+                // into every future solver.
+                let Some(nogood) = checker.unfounded_nogood(ground, &model) else {
                     return Some(model);
-                }
-                // Loop nogood: at least one unfounded atom must be false. It is a
-                // consequence of the program (not of the bounds), so it persists and is
-                // replayed into every future solver.
-                let nogood: Vec<Lit> = unfounded.iter().map(|&a| Lit::neg(a as Var)).collect();
+                };
                 stats.loop_nogoods += 1;
                 if debug && stats.loop_nogoods.is_multiple_of(50) {
-                    eprintln!("[asp] {} loop nogoods so far (unfounded set size {})", stats.loop_nogoods, unfounded.len());
+                    eprintln!(
+                        "[asp] {} loop nogoods so far (clause size {})",
+                        stats.loop_nogoods,
+                        nogood.len()
+                    );
                 }
                 extra_clauses.push(nogood.clone());
                 if !solver.add_blocking_clause(&nogood) {
@@ -557,10 +653,9 @@ mod tests {
         "#;
         let (ground, translation, symbols) = setup(text);
         for strategy in [OptStrategy::BranchAndBound, OptStrategy::Descent] {
-            let result =
-                solve_optimal(&ground, &translation, &SatConfig::default(), strategy)
-                    .unwrap()
-                    .expect("satisfiable");
+            let result = solve_optimal(&ground, &translation, &SatConfig::default(), strategy)
+                .unwrap()
+                .expect("satisfiable");
             let atoms = true_atoms(&ground, &symbols, &result.model);
             assert!(atoms.contains(&"pick(y)".to_string()), "{strategy:?}: {atoms:?}");
             assert_eq!(result.cost, vec![(1, 1)]);

@@ -61,11 +61,7 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .or_else(|| self.tokens.last())
-            .map(|s| s.line)
-            .unwrap_or(0)
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map(|s| s.line).unwrap_or(0)
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -114,7 +110,9 @@ impl Parser {
             Some(Token::Minimize) | Some(Token::Maximize) => {
                 let maximize = self.peek() == Some(&Token::Maximize);
                 if maximize {
-                    return Err(self.error("#maximize is not supported; negate weights and use #minimize"));
+                    return Err(
+                        self.error("#maximize is not supported; negate weights and use #minimize")
+                    );
                 }
                 self.pos += 1;
                 self.expect(&Token::LBrace)?;
@@ -367,7 +365,8 @@ mod tests {
 
     #[test]
     fn parse_choice_rule_with_bounds() {
-        let p = parse_program("1 { version(P, V) : possible_version(P, V) } 1 :- node(P).").unwrap();
+        let p =
+            parse_program("1 { version(P, V) : possible_version(P, V) } 1 :- node(P).").unwrap();
         match &p.rules[0].head {
             Head::Choice { lower, upper, elements } => {
                 assert_eq!(lower, &Some(Term::Int(1)));

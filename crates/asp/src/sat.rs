@@ -291,6 +291,10 @@ pub struct Solver {
     analyze_buf: Vec<Lit>,
     /// Persistent "seen" marker per variable for conflict analysis.
     seen: Vec<bool>,
+    /// The unsat core of the last [`Solver::search_with_assumptions`] call that returned
+    /// [`SearchResult::Unsat`]: the subset of the assumption literals whose conjunction
+    /// is refuted. Empty when the problem is unsatisfiable without any assumptions.
+    conflict_core: Vec<Lit>,
 }
 
 impl Solver {
@@ -330,6 +334,7 @@ impl Solver {
             root_conflict: false,
             analyze_buf: Vec::new(),
             seen: vec![false; num_vars],
+            conflict_core: Vec::new(),
         }
     }
 
@@ -496,9 +501,24 @@ impl Solver {
 
     /// Run the CDCL search until a model is found or the problem is proved unsatisfiable.
     pub fn search(&mut self) -> SearchResult {
+        self.search_with_assumptions(&[])
+    }
+
+    /// Run the CDCL search under a set of *assumption literals* (MiniSat-style
+    /// incremental interface): every assumption is decided, in order, at its own
+    /// decision level before any free decision is taken, so the search explores only
+    /// assignments where all assumptions hold. On [`SearchResult::Unsat`] the subset of
+    /// assumptions responsible is available from [`Solver::failed_assumptions`] — the
+    /// *unsat core* extracted by final-conflict analysis over the assumption prefix.
+    ///
+    /// The solver is reusable afterwards: assumptions are plain decisions, undone by
+    /// backtracking, never added as clauses.
+    pub fn search_with_assumptions(&mut self, assumptions: &[Lit]) -> SearchResult {
+        self.conflict_core.clear();
         if self.root_conflict {
             return SearchResult::Unsat;
         }
+        self.cancel_until(0);
         let mut conflicts_until_restart = self.luby_interval();
         loop {
             if let Some(confl) = self.propagate() {
@@ -520,6 +540,33 @@ impl Solver {
                 self.reduce_learned();
                 conflicts_until_restart = self.luby_interval();
             }
+            // Re-establish the assumption prefix: assumption `i` owns decision level
+            // `i + 1` (an empty level when it is already implied), so a backtrack below
+            // the prefix is repaired here before any free decision is taken.
+            let mut propagate_assumption = false;
+            while (self.decision_level() as usize) < assumptions.len() {
+                let p = assumptions[self.decision_level() as usize];
+                match self.value_lit(p) {
+                    Value::True => {
+                        self.trail_lim.push(self.trail.len());
+                        self.stored_lim.push(self.stored_reasons.len());
+                    }
+                    Value::False => {
+                        self.conflict_core = self.analyze_final(p);
+                        return SearchResult::Unsat;
+                    }
+                    Value::Unassigned => {
+                        self.trail_lim.push(self.trail.len());
+                        self.stored_lim.push(self.stored_reasons.len());
+                        self.enqueue(p, Reason::Decision);
+                        propagate_assumption = true;
+                        break;
+                    }
+                }
+            }
+            if propagate_assumption {
+                continue;
+            }
             // All constraints propagated without conflict: check for completeness.
             match self.pick_branch_variable() {
                 None => return SearchResult::Sat,
@@ -539,13 +586,62 @@ impl Solver {
         }
     }
 
+    /// The unsat core of the last failed [`Solver::search_with_assumptions`] call: the
+    /// subset of its assumption literals whose conjunction is refuted by the formula.
+    /// Empty when the formula is unsatisfiable on its own (no assumption needed).
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): `failed` is an assumption
+    /// found false while re-establishing the prefix. Walk the trail backwards from the
+    /// implied `¬failed`, expanding propagation reasons; every *decision* reached below
+    /// the assumption prefix is itself an assumption, and together with `failed` they
+    /// form an unsat core.
+    fn analyze_final(&mut self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        if self.decision_level() == 0 {
+            // ¬failed is forced at the root: the assumption alone is refuted.
+            return core;
+        }
+        let start = self.trail_lim[0];
+        self.seen[failed.var() as usize] = true;
+        for i in (start..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let v = x.var() as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            match self.reason[v] {
+                // Only assumptions are decisions below the assumption prefix.
+                Reason::Decision => core.push(x),
+                Reason::Clause(ci) => {
+                    for k in 0..self.clauses[ci].len() {
+                        let l = self.clauses[ci][k];
+                        if l.var() as usize != v && self.level[l.var() as usize] > 0 {
+                            self.seen[l.var() as usize] = true;
+                        }
+                    }
+                }
+                Reason::Stored(ri) => {
+                    for k in 0..self.stored_reasons[ri].len() {
+                        let l = self.stored_reasons[ri][k];
+                        if l.var() as usize != v && self.level[l.var() as usize] > 0 {
+                            self.seen[l.var() as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.seen[failed.var() as usize] = false;
+        core
+    }
+
     /// The current (total) model; only meaningful after [`Solver::search`] returned
     /// [`SearchResult::Sat`].
     pub fn model(&self) -> Vec<bool> {
-        self.assignment
-            .iter()
-            .map(|v| matches!(v, Value::True))
-            .collect()
+        self.assignment.iter().map(|v| matches!(v, Value::True)).collect()
     }
 
     /// Block the current model (or any other clause) and prepare for continued search.
@@ -817,10 +913,7 @@ impl Solver {
                 .map(|&l| l.negate())
                 .collect()
         } else {
-            lin.lits
-                .iter()
-                .filter(|&&l| self.value_lit(l) == Value::False).copied()
-                .collect()
+            lin.lits.iter().filter(|&&l| self.value_lit(l) == Value::False).copied().collect()
         }
     }
 
@@ -837,7 +930,8 @@ impl Solver {
         self.linears[idx]
             .lits
             .iter()
-            .filter(|&&l| self.value_lit(l) == Value::False).copied()
+            .filter(|&&l| self.value_lit(l) == Value::False)
+            .copied()
             .collect()
     }
 
@@ -934,11 +1028,8 @@ impl Solver {
         clause.extend(learned);
 
         // Backtrack level: second-highest level in the clause.
-        let backtrack_level = clause[1..]
-            .iter()
-            .map(|l| self.level[l.var() as usize])
-            .max()
-            .unwrap_or(0);
+        let backtrack_level =
+            clause[1..].iter().map(|l| self.level[l.var() as usize]).max().unwrap_or(0);
         (clause, backtrack_level)
     }
 
@@ -1278,7 +1369,11 @@ mod tests {
             let c: Vec<Lit> = (0..3)
                 .map(|_| {
                     let v = rng.gen_range(0..n) as Var;
-                    if rng.gen_bool(0.5) { Lit::pos(v) } else { Lit::neg(v) }
+                    if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
                 })
                 .collect();
             cls.push(c.clone());
@@ -1327,24 +1422,14 @@ mod tests {
     #[test]
     fn cardinality_exactly_one() {
         let mut s = Solver::new(4, SatConfig::default());
-        s.add_linear(LinearSpec::cardinality(
-            None,
-            vec![lit(1), lit(2), lit(3), lit(4)],
-            1,
-            1,
-        ));
+        s.add_linear(LinearSpec::cardinality(None, vec![lit(1), lit(2), lit(3), lit(4)], 1, 1));
         assert_eq!(s.search(), SearchResult::Sat);
         let m = s.model();
         assert_eq!(m.iter().filter(|&&b| b).count(), 1);
 
         // Forcing two of them true must be unsatisfiable.
         let mut s = Solver::new(4, SatConfig::default());
-        s.add_linear(LinearSpec::cardinality(
-            None,
-            vec![lit(1), lit(2), lit(3), lit(4)],
-            1,
-            1,
-        ));
+        s.add_linear(LinearSpec::cardinality(None, vec![lit(1), lit(2), lit(3), lit(4)], 1, 1));
         assert!(s.add_clause(&[lit(1)]));
         let ok = s.add_clause(&[lit(2)]);
         assert!(!ok || s.search() == SearchResult::Unsat);
@@ -1447,11 +1532,77 @@ mod tests {
     }
 
     #[test]
+    fn assumptions_restrict_the_search() {
+        // (x1 | x2) with assumption ~x1 forces x2; the solver stays reusable.
+        let mut s = Solver::new(2, SatConfig::default());
+        assert!(s.add_clause(&[lit(1), lit(2)]));
+        assert_eq!(s.search_with_assumptions(&[lit(-1)]), SearchResult::Sat);
+        let m = s.model();
+        assert!(!m[0] && m[1]);
+        // Same solver, opposite assumption.
+        assert_eq!(s.search_with_assumptions(&[lit(1), lit(-2)]), SearchResult::Sat);
+        let m = s.model();
+        assert!(m[0] && !m[1]);
+    }
+
+    #[test]
+    fn failed_assumptions_form_a_core() {
+        // x1 -> x2, x2 -> x3: assuming x1 and ~x3 is unsat; x2-related assumptions are
+        // irrelevant and must not appear in the core.
+        let mut s = Solver::new(4, SatConfig::default());
+        assert!(s.add_clause(&[lit(-1), lit(2)]));
+        assert!(s.add_clause(&[lit(-2), lit(3)]));
+        assert_eq!(s.search_with_assumptions(&[lit(4), lit(1), lit(-3)]), SearchResult::Unsat);
+        let core: Vec<Lit> = s.failed_assumptions().to_vec();
+        assert!(core.contains(&lit(1)), "{core:?}");
+        assert!(core.contains(&lit(-3)), "{core:?}");
+        assert!(!core.contains(&lit(4)), "irrelevant assumption in core: {core:?}");
+        // Without the contradictory assumptions the formula is satisfiable again.
+        assert_eq!(s.search_with_assumptions(&[lit(4)]), SearchResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_assumption_pair_is_its_own_core() {
+        let mut s = Solver::new(3, SatConfig::default());
+        assert!(s.add_clause(&[lit(1), lit(2), lit(3)]));
+        assert_eq!(s.search_with_assumptions(&[lit(2), lit(-2)]), SearchResult::Unsat);
+        let core = s.failed_assumptions();
+        assert!(core.contains(&lit(2)) && core.contains(&lit(-2)), "{core:?}");
+    }
+
+    #[test]
+    fn root_unsat_yields_an_empty_core() {
+        let mut s = Solver::new(2, SatConfig::default());
+        assert!(s.add_clause(&[lit(1)]));
+        assert!(!s.add_clause(&[lit(-1)]));
+        assert_eq!(s.search_with_assumptions(&[lit(2)]), SearchResult::Unsat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn assumptions_with_linear_constraints() {
+        // exactly-one over x1..x3; assuming x1 and x2 must fail with both in the core.
+        let mut s = Solver::new(3, SatConfig::default());
+        s.add_linear(LinearSpec::cardinality(None, vec![lit(1), lit(2), lit(3)], 1, 1));
+        assert_eq!(s.search_with_assumptions(&[lit(1), lit(2)]), SearchResult::Unsat);
+        let core = s.failed_assumptions();
+        assert!(core.contains(&lit(1)) && core.contains(&lit(2)), "{core:?}");
+        assert_eq!(s.search_with_assumptions(&[lit(2)]), SearchResult::Sat);
+        assert!(s.model()[1]);
+    }
+
+    #[test]
     fn phase_saving_respects_config() {
-        let mut s = Solver::new(5, SatConfig { default_phase: true, random_polarity: 0.0, ..SatConfig::default() });
+        let mut s = Solver::new(
+            5,
+            SatConfig { default_phase: true, random_polarity: 0.0, ..SatConfig::default() },
+        );
         assert_eq!(s.search(), SearchResult::Sat);
         assert!(s.model().iter().all(|&b| b), "default phase true => all-true model");
-        let mut s = Solver::new(5, SatConfig { default_phase: false, random_polarity: 0.0, ..SatConfig::default() });
+        let mut s = Solver::new(
+            5,
+            SatConfig { default_phase: false, random_polarity: 0.0, ..SatConfig::default() },
+        );
         assert_eq!(s.search(), SearchResult::Sat);
         assert!(s.model().iter().all(|&b| !b));
     }

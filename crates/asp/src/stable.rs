@@ -4,11 +4,19 @@
 //! justify each other only through a positive cycle (e.g. two packages that "depend on"
 //! each other with no root requiring either). [`unfounded_set`] recomputes the least
 //! model of the reduct of the program w.r.t. a candidate model; any true atom not in that
-//! least model is unfounded. The solver then adds a *loop nogood* requiring at least one
-//! unfounded atom to be false and continues the search, exactly like clasp's lazy
-//! unfounded-set checking.
+//! least model is unfounded. The solver then adds the *loop nogood* built by
+//! [`StabilityChecker::unfounded_nogood`] and continues the search, exactly like clasp's
+//! lazy unfounded-set checking.
+//!
+//! The nogood is the loop formula's clausal core: at least one unfounded atom must be
+//! false **or** at least one *external support* of the set must come true — one
+//! currently-false body literal per rule that could support the set from outside it.
+//! A bare "some unfounded atom is false" clause would be unsound: it would also
+//! eliminate later models in which the very same atoms are legitimately founded through
+//! one of those external rules.
 
 use crate::ground::GroundProgram;
+use crate::sat::{Lit, Var};
 use crate::symbols::AtomId;
 
 /// A reusable unfounded-set checker.
@@ -34,6 +42,8 @@ pub struct StabilityChecker {
     derived: Vec<bool>,
     /// Scratch: worklist of newly derived atoms.
     worklist: Vec<AtomId>,
+    /// Scratch: unfounded-set membership, used while collecting external supports.
+    in_unfounded: Vec<bool>,
 }
 
 impl StabilityChecker {
@@ -45,11 +55,8 @@ impl StabilityChecker {
         // the grounder, so each occurrence decrements its counter exactly once).
         let mut occ_off = vec![0u32; n_atoms + 1];
         let mut base_remaining = vec![0u32; n_rules];
-        let pos_bodies = ground
-            .rules
-            .iter()
-            .map(|r| &r.pos)
-            .chain(ground.choices.iter().map(|c| &c.pos));
+        let pos_bodies =
+            ground.rules.iter().map(|r| &r.pos).chain(ground.choices.iter().map(|c| &c.pos));
         for (ri, pos) in pos_bodies.clone().enumerate() {
             for &a in pos.iter() {
                 if !ground.atoms.is_certain(a) {
@@ -78,7 +85,59 @@ impl StabilityChecker {
             remaining: Vec::new(),
             derived: vec![false; n_atoms],
             worklist: Vec::new(),
+            in_unfounded: vec![false; n_atoms],
         }
+    }
+
+    /// Check `model` for stability and, when it is unstable, build the sound loop
+    /// nogood for its unfounded set `U`: a clause requiring at least one atom of `U`
+    /// to be false **or** at least one *external support* of `U` to come true.
+    ///
+    /// External supports are the rules (normal or choice) with a head in `U` whose
+    /// positive body is disjoint from `U`; by construction of `U` each such body is
+    /// false under `model`, so it contributes one currently-false witness literal. Any
+    /// stable model falsifying all witnesses has every external body false, leaving
+    /// `U` unfounded — so the clause holds in every stable model and may safely
+    /// persist across solver runs. Returns `None` when the model is stable.
+    pub fn unfounded_nogood(&mut self, ground: &GroundProgram, model: &[bool]) -> Option<Vec<Lit>> {
+        let unfounded = self.unfounded_set(ground, model);
+        if unfounded.is_empty() {
+            return None;
+        }
+        for &u in &unfounded {
+            self.in_unfounded[u as usize] = true;
+        }
+        let mut clause: Vec<Lit> = unfounded.iter().map(|&u| Lit::neg(u as Var)).collect();
+        let external = |pos: &[AtomId], in_u: &[bool]| !pos.iter().any(|&p| in_u[p as usize]);
+        let witness = |pos: &[AtomId], neg: &[AtomId]| -> Option<Lit> {
+            if let Some(&p) = pos.iter().find(|&&p| !model[p as usize]) {
+                return Some(Lit::pos(p as Var));
+            }
+            neg.iter().find(|&&n| model[n as usize]).map(|&n| Lit::neg(n as Var))
+        };
+        for rule in &ground.rules {
+            let Some(h) = rule.head else { continue };
+            if !self.in_unfounded[h as usize] || !external(&rule.pos, &self.in_unfounded) {
+                continue;
+            }
+            // An external rule of an unfounded set always has a false body literal
+            // (a true external body would have derived the head in the reduct).
+            clause.extend(witness(&rule.pos, &rule.neg));
+        }
+        for choice in &ground.choices {
+            if !choice.heads.iter().any(|&h| self.in_unfounded[h as usize])
+                || !external(&choice.pos, &self.in_unfounded)
+            {
+                continue;
+            }
+            clause.extend(witness(&choice.pos, &choice.neg));
+        }
+        for &u in &unfounded {
+            self.in_unfounded[u as usize] = false;
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        Some(clause)
     }
 
     /// Compute the set of atoms that are true in `model` but not derivable from the
@@ -122,9 +181,7 @@ impl StabilityChecker {
             }
         }
 
-        (0..n as AtomId)
-            .filter(|&a| model[a as usize] && !self.derived[a as usize])
-            .collect()
+        (0..n as AtomId).filter(|&a| model[a as usize] && !self.derived[a as usize]).collect()
     }
 
     /// A rule's positive body is fully derived: derive its head(s), respecting the
@@ -249,6 +306,41 @@ mod tests {
         // With `seed` chosen, trigger is founded and so is the chosen pick(1).
         let model = model_with(&ground, &symbols, &["seed", "trigger", "pick(1)"]);
         assert!(unfounded_set(&ground, &model).is_empty());
+    }
+
+    #[test]
+    fn loop_nogood_carries_external_support_witnesses() {
+        // U = {a, b}; the rule a :- x is U's external support with x false, so the
+        // nogood must be (¬a ∨ ¬b ∨ x) — not the unsound bare ¬a ∨ ¬b, which would
+        // also kill the stable model {x, a, b}.
+        let (ground, symbols) = ground_text(
+            r#"
+            a :- b.
+            b :- a.
+            a :- x.
+            { x }.
+            "#,
+        );
+        let model = model_with(&ground, &symbols, &["a", "b"]);
+        let mut checker = StabilityChecker::new(&ground);
+        let nogood = checker.unfounded_nogood(&ground, &model).expect("unstable");
+        let id_of = |name: &str| {
+            ground
+                .atoms
+                .iter()
+                .find(|(_, atom)| atom.display(&symbols).to_string() == name)
+                .map(|(id, _)| id)
+                .unwrap()
+        };
+        assert!(nogood.contains(&Lit::neg(id_of("a"))), "{nogood:?}");
+        assert!(nogood.contains(&Lit::neg(id_of("b"))), "{nogood:?}");
+        assert!(
+            nogood.contains(&Lit::pos(id_of("x"))),
+            "external support witness x missing: {nogood:?}"
+        );
+        // The externally supported model is stable: no nogood.
+        let model = model_with(&ground, &symbols, &["x", "a", "b"]);
+        assert!(checker.unfounded_nogood(&ground, &model).is_none());
     }
 
     #[test]

@@ -289,20 +289,20 @@ impl AtomTable {
 
     /// All atoms with a given predicate and a given value at argument position `pos`.
     pub fn with_pred_arg(&self, pred: SymbolId, pos: u8, val: Val) -> &[AtomId] {
-        self.by_pred_arg
-            .get(&(pred, pos, val))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.by_pred_arg.get(&(pred, pos, val)).map(|v| v.as_slice()).unwrap_or(&[])
     }
-
 
     /// All atoms with a given predicate and given values at two argument positions
     /// (`pos1 < pos2`, both below [`AtomTable::MAX_PAIR_INDEXED_ARGS`]).
-    pub fn with_pred_args2(&self, pred: SymbolId, pos1: u8, val1: Val, pos2: u8, val2: Val) -> &[AtomId] {
-        self.by_pred_arg2
-            .get(&(pred, pos1, val1, pos2, val2))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+    pub fn with_pred_args2(
+        &self,
+        pred: SymbolId,
+        pos1: u8,
+        val1: Val,
+        pos2: u8,
+        val2: Val,
+    ) -> &[AtomId] {
+        self.by_pred_arg2.get(&(pred, pos1, val1, pos2, val2)).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Mark an atom as certainly true (an input fact).
@@ -371,9 +371,6 @@ mod tests {
         let zlib = syms.intern("zlib");
         let ver = syms.intern("1.2.11");
         let atom = GroundAtom::new(p, vec![Val::Sym(zlib), Val::Sym(ver), Val::Int(0)]);
-        assert_eq!(
-            atom.display(&syms).to_string(),
-            "version_declared(zlib,\"1.2.11\",0)"
-        );
+        assert_eq!(atom.display(&syms).to_string(), "version_declared(zlib,\"1.2.11\",0)");
     }
 }

@@ -42,12 +42,8 @@ impl Translation {
 /// Translate a ground program.
 pub fn translate(ground: &GroundProgram) -> Translation {
     let num_atoms = ground.atoms.len();
-    let mut t = Translation {
-        num_vars: num_atoms,
-        num_atoms,
-        clauses: Vec::new(),
-        linears: Vec::new(),
-    };
+    let mut t =
+        Translation { num_vars: num_atoms, num_atoms, clauses: Vec::new(), linears: Vec::new() };
 
     // Facts.
     for (id, _) in ground.atoms.iter() {
@@ -65,38 +61,37 @@ pub fn translate(ground: &GroundProgram) -> Translation {
     // supported" (a fact, an empty-body rule, or an empty-body choice).
     let mut supports: Vec<Option<Vec<Lit>>> = vec![Some(Vec::new()); num_atoms];
 
-    let mut get_body_lit =
-        |t: &mut Translation, pos: &[AtomId], neg: &[AtomId]| -> Option<Lit> {
-            if pos.is_empty() && neg.is_empty() {
-                return None;
-            }
-            if pos.len() == 1 && neg.is_empty() {
-                return Some(Lit::pos(pos[0] as Var));
-            }
-            if pos.is_empty() && neg.len() == 1 {
-                return Some(Lit::neg(neg[0] as Var));
-            }
-            let key = (pos.to_vec(), neg.to_vec());
-            if let Some(&v) = body_aux.get(&key) {
-                return Some(v);
-            }
-            let v = t.num_vars as Var;
-            t.num_vars += 1;
-            body_aux.insert(key, Lit::pos(v));
-            // v -> each body literal
-            let mut reverse = vec![Lit::pos(v)];
-            for &p in pos {
-                t.clauses.push(vec![Lit::neg(v), Lit::pos(p as Var)]);
-                reverse.push(Lit::neg(p as Var));
-            }
-            for &n in neg {
-                t.clauses.push(vec![Lit::neg(v), Lit::neg(n as Var)]);
-                reverse.push(Lit::pos(n as Var));
-            }
-            // body literals -> v
-            t.clauses.push(reverse);
-            Some(Lit::pos(v))
-        };
+    let mut get_body_lit = |t: &mut Translation, pos: &[AtomId], neg: &[AtomId]| -> Option<Lit> {
+        if pos.is_empty() && neg.is_empty() {
+            return None;
+        }
+        if pos.len() == 1 && neg.is_empty() {
+            return Some(Lit::pos(pos[0] as Var));
+        }
+        if pos.is_empty() && neg.len() == 1 {
+            return Some(Lit::neg(neg[0] as Var));
+        }
+        let key = (pos.to_vec(), neg.to_vec());
+        if let Some(&v) = body_aux.get(&key) {
+            return Some(v);
+        }
+        let v = t.num_vars as Var;
+        t.num_vars += 1;
+        body_aux.insert(key, Lit::pos(v));
+        // v -> each body literal
+        let mut reverse = vec![Lit::pos(v)];
+        for &p in pos {
+            t.clauses.push(vec![Lit::neg(v), Lit::pos(p as Var)]);
+            reverse.push(Lit::neg(p as Var));
+        }
+        for &n in neg {
+            t.clauses.push(vec![Lit::neg(v), Lit::neg(n as Var)]);
+            reverse.push(Lit::pos(n as Var));
+        }
+        // body literals -> v
+        t.clauses.push(reverse);
+        Some(Lit::pos(v))
+    };
 
     // Normal rules and integrity constraints.
     for rule in &ground.rules {
@@ -202,11 +197,8 @@ mod tests {
                 solver.add_linear(l.clone());
             }
         }
-        let model = if ok && solver.search() == SearchResult::Sat {
-            Some(solver.model())
-        } else {
-            None
-        };
+        let model =
+            if ok && solver.search() == SearchResult::Sat { Some(solver.model()) } else { None };
         (ground, symbols, model)
     }
 

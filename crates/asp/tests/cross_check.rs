@@ -104,9 +104,7 @@ fn is_stable_reference(ground: &GroundProgram, model: &[bool]) -> bool {
 /// below ~16 free atoms).
 fn for_each_candidate(ground: &GroundProgram, mut f: impl FnMut(&[bool])) {
     let n = ground.atoms.len();
-    let free: Vec<usize> = (0..n)
-        .filter(|&a| !ground.atoms.is_certain(a as u32))
-        .collect();
+    let free: Vec<usize> = (0..n).filter(|&a| !ground.atoms.is_certain(a as u32)).collect();
     assert!(free.len() <= 18, "generator produced too many atoms for brute force");
     let mut model = vec![false; n];
     for (id, _) in ground.atoms.iter() {
@@ -139,9 +137,7 @@ fn visible_atoms(ground: &GroundProgram, symbols: &SymbolTable, model: &[bool]) 
     let mut atoms: Vec<String> = ground
         .atoms
         .iter()
-        .filter(|(id, atom)| {
-            model[*id as usize] && !symbols.name(atom.pred).starts_with("__")
-        })
+        .filter(|(id, atom)| model[*id as usize] && !symbols.name(atom.pred).starts_with("__"))
         .map(|(_, atom)| atom.display(symbols).to_string())
         .collect();
     atoms.sort();
@@ -182,15 +178,15 @@ struct GenProgram {
 fn program_strategy() -> impl Strategy<Value = GenProgram> {
     let fact = (0usize..FACT_PREDS.len(), 0usize..CONSTS.len());
     let rule = (
-        0usize..HEAD_PREDS.len(),          // head predicate
-        0usize..BODY_PREDS.len(),          // first (positive, safe) body literal
+        0usize..HEAD_PREDS.len(), // head predicate
+        0usize..BODY_PREDS.len(), // first (positive, safe) body literal
         proptest::option::of((0usize..BODY_PREDS.len(), any::<bool>())), // second literal
     );
     let choice = (
-        0u8..3,                            // lower bound
-        0usize..HEAD_PREDS.len(),          // chosen predicate
-        0usize..FACT_PREDS.len(),          // condition predicate
-        any::<bool>(),                     // has upper bound?
+        0u8..3,                   // lower bound
+        0usize..HEAD_PREDS.len(), // chosen predicate
+        0usize..FACT_PREDS.len(), // condition predicate
+        any::<bool>(),            // has upper bound?
     );
     let constraint = (0usize..BODY_PREDS.len(), 0usize..BODY_PREDS.len());
     let minimize = (1u8..4, 1u8..3, 0usize..HEAD_PREDS.len());
@@ -630,19 +626,14 @@ mod independent {
 
         /// The possible-atom over-approximation, for diagnostics.
         pub fn possible_atoms(&self) -> Vec<String> {
-            let mut v: Vec<String> = (0..N_ATOMS)
-                .filter(|&a| self.possible[a])
-                .map(Self::name)
-                .collect();
+            let mut v: Vec<String> =
+                (0..N_ATOMS).filter(|&a| self.possible[a]).map(Self::name).collect();
             v.sort();
             v
         }
 
         fn render(&self, model: &[bool]) -> Vec<String> {
-            let mut v: Vec<String> = (0..N_ATOMS)
-                .filter(|&a| model[a])
-                .map(Self::name)
-                .collect();
+            let mut v: Vec<String> = (0..N_ATOMS).filter(|&a| model[a]).map(Self::name).collect();
             v.sort();
             v
         }

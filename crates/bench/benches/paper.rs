@@ -132,9 +132,14 @@ fn fig7a_grounding(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(package), package, |b, package| {
             let spec = parse_spec(package).unwrap();
             b.iter(|| {
-                let (mut ctl, _info) =
-                    setup_problem(&repo, &site, None, std::slice::from_ref(&spec), SolverConfig::default())
-                        .unwrap();
+                let (mut ctl, _info) = setup_problem(
+                    &repo,
+                    &site,
+                    None,
+                    std::slice::from_ref(&spec),
+                    SolverConfig::default(),
+                )
+                .unwrap();
                 ctl.add_program(CONCRETIZE_LP).unwrap();
                 ctl.ground().unwrap();
                 ctl.stats().ground.rules
@@ -152,14 +157,10 @@ fn fig7bc_full_solve(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(12));
     for package in ["zlib", "openssl", "hdf5"] {
         let deps = repo.possible_dependency_count(package);
-        group.bench_with_input(
-            BenchmarkId::new(package, deps),
-            package,
-            |b, package| {
-                let concretizer = Concretizer::new(&repo).with_site(site.clone());
-                b.iter(|| concretizer.concretize_str(std::hint::black_box(package)).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(package, deps), package, |b, package| {
+            let concretizer = Concretizer::new(&repo).with_site(site.clone());
+            b.iter(|| concretizer.concretize_str(std::hint::black_box(package)).unwrap())
+        });
     }
     group.finish();
 }

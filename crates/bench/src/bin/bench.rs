@@ -1,17 +1,24 @@
-//! `bench` — the perf-regression harness behind `BENCH_pr2.json`.
+//! `bench` — the perf-regression harness behind `BENCH_pr2.json` and the CI gate.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench -- [--scale medium] [--full] \
-//!     [--label after] [--out bench.json]
+//!     [--label after] [--out bench.json] [--compare BENCH_baseline_small.json] \
+//!     [--threshold 1.25]
 //! ```
 //!
 //! Runs the hot-path benchmark groups of the paper's evaluation (the same groups as the
 //! Criterion benches in `benches/paper.rs`, but in "quick mode": few samples, fixed
 //! workloads) and writes a JSON report with, per benchmark, the wall-clock mean/min,
 //! the per-stage times (setup / load / ground / solve), and the engine's
-//! `GroundStats` / `SatStats` counters. Committing the report per PR gives the
-//! repository a perf trajectory: compare the `after` block of one PR against its
-//! `before` block (or against the previous PR's file) to spot regressions.
+//! `GroundStats` / `SatStats` counters — plus, for the `unsat_diagnostics` group, the
+//! unsat-core size, minimization rounds, and second-phase time, so the cost of
+//! explanations is tracked like any other hot path.
+//!
+//! `--compare <baseline>` turns the run into a **regression gate**: per benchmark
+//! group, the summed means of the benches present in both reports are compared, and
+//! the process exits non-zero when any group's mean regressed by more than the
+//! threshold (default 1.25×). CI runs the small tier against the committed
+//! `BENCH_baseline_small.json` and fails the job on regression.
 //!
 //! The workloads are sized for the *medium* tier by default — large enough that the
 //! grounder's join/delta behaviour and the solver's propagation dominate, small enough
@@ -66,10 +73,22 @@ impl Runner {
                 break;
             }
         }
+        // With enough samples, drop the single slowest one before averaging: the first
+        // iteration routinely eats cold caches / page faults, and one descheduling
+        // blip should not move a regression-gate verdict.
+        if times.len() >= 5 {
+            let slowest = times.iter().enumerate().max_by_key(|(_, t)| **t).map(|(i, _)| i);
+            if let Some(i) = slowest {
+                times.remove(i);
+            }
+        }
         let total: Duration = times.iter().sum();
         let mean = total / times.len() as u32;
         let min = *times.iter().min().unwrap();
-        eprintln!("  {group}/{bench:<28} mean {mean:>10.3?}  min {min:>10.3?}  ({} samples)", times.len());
+        eprintln!(
+            "  {group}/{bench:<28} mean {mean:>10.3?}  min {min:>10.3?}  ({} samples)",
+            times.len()
+        );
         self.records.push(Record {
             group,
             bench: bench.to_string(),
@@ -130,7 +149,7 @@ fn ground_and_enumerate(program: &str, limit: usize) -> RunDetail {
     asp_stats_detail(ctl.stats())
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let get = |flag: &str| -> Option<String> {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
@@ -139,10 +158,14 @@ fn main() {
     let full = args.iter().any(|a| a == "--full");
     let label = get("--label").unwrap_or_else(|| "after".to_string());
     let out = get("--out").unwrap_or_else(|| "bench.json".to_string());
+    let compare = get("--compare");
+    let threshold: f64 = get("--threshold").and_then(|t| t.parse().ok()).unwrap_or(1.25);
 
+    // Gate runs (--compare) take more samples: the mean of 3 is too noisy to hold a
+    // 1.25x threshold, and the gate's verdict must be worth trusting.
     let mut runner = Runner {
-        samples: if full { 7 } else { 3 },
-        budget: Duration::from_secs(if full { 60 } else { 25 }),
+        samples: if full || compare.is_some() { 9 } else { 3 },
+        budget: Duration::from_secs(if full || compare.is_some() { 60 } else { 25 }),
         records: Vec::new(),
     };
     eprintln!("# bench harness: scale {scale:?}, label {label:?}, quick={}", !full);
@@ -157,17 +180,14 @@ fn main() {
         node(Dep) :- node(Pkg), depends_on(Pkg, Dep).
         1 { node(a); node(b) }.
     "#;
-    runner.measure("fig3_ground_and_enumerate", "paper_example", || {
-        ground_and_enumerate(fig3, 8)
-    });
+    runner.measure("fig3_ground_and_enumerate", "paper_example", || ground_and_enumerate(fig3, 8));
     let chain = chain_closure_program(256);
     runner.measure("fig3_ground_and_enumerate", "chain_closure_256", || {
         ground_and_enumerate(&chain, 4)
     });
     let wide = wide_join_program(1200);
-    runner.measure("fig3_ground_and_enumerate", "wide_join_1200", || {
-        ground_and_enumerate(&wide, 2)
-    });
+    runner
+        .measure("fig3_ground_and_enumerate", "wide_join_1200", || ground_and_enumerate(&wide, 2));
 
     // ---- fig7a_grounding: setup + ground on the curated repo ------------------------------
     let builtin = builtin_repo();
@@ -192,10 +212,8 @@ fn main() {
     // ---- table2_optimization: the full optimizing solve -----------------------------------
     for package in ["example", "mpileaks"] {
         runner.measure("table2_optimization", package, || {
-            let result = Concretizer::new(&builtin)
-                .with_site(site.clone())
-                .concretize_str(package)
-                .unwrap();
+            let result =
+                Concretizer::new(&builtin).with_site(site.clone()).concretize_str(package).unwrap();
             concretize_detail(&result)
         });
     }
@@ -215,7 +233,8 @@ fn main() {
         },
     );
     runner.measure("fig6_reuse", "hdf5_no_reuse", || {
-        let result = Concretizer::new(&builtin).with_site(site.clone()).concretize_str("hdf5").unwrap();
+        let result =
+            Concretizer::new(&builtin).with_site(site.clone()).concretize_str("hdf5").unwrap();
         concretize_detail(&result)
     });
     runner.measure("fig6_reuse", "hdf5_with_reuse", || {
@@ -245,10 +264,136 @@ fn main() {
         });
     }
 
+    // ---- unsat_diagnostics: the two-phase explanation pipeline ----------------------------
+    // Deliberately infeasible requests: wall-clock covers the failed solve plus core
+    // minimization and the relaxed re-solve; the counters expose the diagnostics cost.
+    for (name, spec) in [("version_pin", "zlib@9.9"), ("variant_pin", "netcdf-c ^hdf5~mpi")] {
+        runner.measure("unsat_diagnostics", name, || {
+            match Concretizer::new(&builtin).with_site(site.clone()).concretize_str(spec) {
+                Ok(_) => panic!("{spec} must be unsatisfiable"),
+                Err(spack_concretizer::ConcretizeError::Unsatisfiable { diagnostics, stats }) => (
+                    vec![("second_phase", stats.second_phase.as_secs_f64())],
+                    vec![
+                        ("core_size", stats.core_size as u64),
+                        ("minimized_core", stats.minimized_core_size as u64),
+                        ("minimize_rounds", stats.minimization_rounds),
+                        ("diagnostics", diagnostics.len() as u64),
+                    ],
+                ),
+                Err(other) => panic!("{spec}: unexpected error {other}"),
+            }
+        });
+    }
+
     eprintln!("# harness finished in {:.1?}", started.elapsed());
     let json = render_json(&label, scale, &runner.records);
     std::fs::write(&out, json).expect("write report");
     eprintln!("# wrote {out}");
+
+    if let Some(baseline_path) = compare {
+        return compare_against_baseline(&baseline_path, &runner.records, threshold);
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+/// The regression gate: compare this run's per-group mean against a baseline report,
+/// failing (non-zero exit) when any group regressed beyond `threshold`. Only benches
+/// present in both reports count, so adding or retiring benches never trips the gate.
+fn compare_against_baseline(
+    baseline_path: &str,
+    records: &[Record],
+    threshold: f64,
+) -> std::process::ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("# cannot read baseline {baseline_path}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_report(&text);
+    if baseline.is_empty() {
+        eprintln!("# baseline {baseline_path} contains no results");
+        return std::process::ExitCode::FAILURE;
+    }
+    // Sum means per group over the benches common to both reports.
+    let mut groups: Vec<&str> = Vec::new();
+    for r in records {
+        if !groups.contains(&r.group) {
+            groups.push(r.group);
+        }
+    }
+    eprintln!("# regression gate vs {baseline_path} (threshold {threshold:.2}x)");
+    let mut failed = false;
+    for group in groups {
+        let mut current_sum = 0.0;
+        let mut baseline_sum = 0.0;
+        let mut compared = 0;
+        for r in records.iter().filter(|r| r.group == group) {
+            if let Some(&base) = baseline.get(&(group.to_string(), r.bench.clone())) {
+                current_sum += r.mean.as_secs_f64();
+                baseline_sum += base;
+                compared += 1;
+            }
+        }
+        if compared == 0 || baseline_sum <= 0.0 {
+            eprintln!("  {group:<28} (new group, no baseline — skipped)");
+            continue;
+        }
+        let ratio = current_sum / baseline_sum;
+        let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "  {group:<28} {compared} benches  baseline {:.4}s  current {:.4}s  ratio {ratio:.2}x  {verdict}",
+            baseline_sum, current_sum
+        );
+        if ratio > threshold {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("# FAIL: at least one group regressed by more than {threshold:.2}x");
+        std::process::ExitCode::FAILURE
+    } else {
+        eprintln!("# gate passed");
+        std::process::ExitCode::SUCCESS
+    }
+}
+
+/// Parse a report produced by [`render_json`] into `(group, bench) -> mean_s`. The
+/// format is line-oriented (one result object per line), so a small field scanner is
+/// enough — the workspace deliberately has no JSON dependency.
+fn parse_report(text: &str) -> std::collections::BTreeMap<(String, String), f64> {
+    let mut map = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let (Some(group), Some(bench), Some(mean)) = (
+            json_str_field(line, "group"),
+            json_str_field(line, "bench"),
+            json_num_field(line, "mean_s"),
+        ) else {
+            continue;
+        };
+        map.insert((group, bench), mean);
+    }
+    map
+}
+
+/// Extract `"key": "value"` from a single-line JSON object rendering.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extract `"key": number` from a single-line JSON object rendering.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -266,7 +411,7 @@ fn scale_name(scale: Scale) -> &'static str {
 fn render_json(label: &str, scale: Scale, records: &[Record]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    writeln!(s, "  \"pr\": 2,").unwrap();
+    writeln!(s, "  \"pr\": 3,").unwrap();
     writeln!(s, "  \"label\": \"{label}\",").unwrap();
     writeln!(s, "  \"scale\": \"{}\",", scale_name(scale)).unwrap();
     s.push_str("  \"results\": [\n");

@@ -60,14 +60,16 @@ fn main() {
     if want("fig6") {
         fig6(&repo, &site);
     }
-    let sweep: Vec<SolveRecord> = if want("fig7a") || want("fig7b") || want("fig7c") || want("fig7h")
-    {
-        sweep_all_packages(&repo, &site, scale)
-    } else {
-        Vec::new()
-    };
+    let sweep: Vec<SolveRecord> =
+        if want("fig7a") || want("fig7b") || want("fig7c") || want("fig7h") {
+            sweep_all_packages(&repo, &site, scale)
+        } else {
+            Vec::new()
+        };
     if want("fig7a") {
-        scatter("fig7a", "ground time vs possible dependencies", &sweep, |r| r.ground.as_secs_f64());
+        scatter("fig7a", "ground time vs possible dependencies", &sweep, |r| {
+            r.ground.as_secs_f64()
+        });
     }
     if want("fig7b") {
         scatter("fig7b", "solve time vs possible dependencies", &sweep, |r| r.solve.as_secs_f64());
@@ -153,17 +155,18 @@ fn fig3() {
     let mut sets: Vec<Vec<String>> = models
         .iter()
         .map(|m| {
-            let mut v: Vec<String> = m
-                .with_pred("node")
-                .map(|args| args[0].as_str())
-                .collect();
+            let mut v: Vec<String> = m.with_pred("node").map(|args| args[0].as_str()).collect();
             v.sort();
             v
         })
         .collect();
     sets.sort();
     sets.dedup();
-    println!("  ground program: {} atoms, {} rules", ctl.stats().ground.atoms, ctl.stats().ground.rules);
+    println!(
+        "  ground program: {} atoms, {} rules",
+        ctl.stats().ground.atoms,
+        ctl.stats().ground.rules
+    );
     for (i, set) in sets.iter().enumerate() {
         println!("  Answer {}: node({})", i + 1, set.join("), node("));
     }
@@ -204,9 +207,8 @@ fn fig6(repo: &Repository, site: &SiteConfig) {
         .with_site(site.clone())
         .concretize_str("hdf5")
         .expect("hdf5 concretizes");
-    let hits = (0..plain.spec.len())
-        .filter(|&i| cache.query_exact(&plain.spec, i).is_some())
-        .count();
+    let hits =
+        (0..plain.spec.len()).filter(|&i| cache.query_exact(&plain.spec, i).is_some()).count();
     println!(
         "  fig6a (hash-based reuse): {:>2} packages, {:>2} hash hits, {:>2} new installs",
         plain.spec.len(),
@@ -227,10 +229,7 @@ fn fig6(repo: &Repository, site: &SiteConfig) {
         reused.build_count(),
         reused.built.join(", ")
     );
-    assert!(
-        reused.reuse_count() > hits,
-        "reuse optimization must beat exact-hash matching"
-    );
+    assert!(reused.reuse_count() > hits, "reuse optimization must beat exact-hash matching");
 }
 
 /// The per-package sweep behind Figures 7a–7c and 7h.
@@ -279,9 +278,7 @@ fn fig7d(repo: &Repository, site: &SiteConfig, scale: Scale) {
     for preset in Preset::all() {
         let records: Vec<SolveRecord> = selected
             .par_iter()
-            .map(|name| {
-                measure_one(repo, site, None, SolverConfig::preset(preset), name)
-            })
+            .map(|name| measure_one(repo, site, None, SolverConfig::preset(preset), name))
             .collect();
         let totals: Vec<_> = records.iter().filter(|r| r.ok).map(|r| r.total).collect();
         let s = summarize(&totals);
@@ -305,17 +302,12 @@ fn fig7efg(repo: &Repository, site: &SiteConfig, scale: Scale) {
     println!("\n## fig7e/fig7f/fig7g — reuse with increasing buildcache sizes");
     let full = workload_buildcache(repo, scale);
     let scopes = BuildcacheConfig::paper_scopes();
-    let caches: Vec<(String, Database)> = scopes
-        .iter()
-        .map(|(name, scope)| (name.to_string(), scope.apply(&full)))
-        .collect();
+    let caches: Vec<(String, Database)> =
+        scopes.iter().map(|(name, scope)| (name.to_string(), scope.apply(&full))).collect();
 
     // The E4S-like roots: application-layer packages plus the curated apps.
-    let mut roots: Vec<String> = repo
-        .names()
-        .filter(|n| n.starts_with("app-"))
-        .map(|s| s.to_string())
-        .collect();
+    let mut roots: Vec<String> =
+        repo.names().filter(|n| n.starts_with("app-")).map(|s| s.to_string()).collect();
     for extra in ["hdf5", "petsc", "mpileaks", "berkeleygw", "hpctoolkit"] {
         if repo.get(extra).is_some() {
             roots.push(extra.to_string());

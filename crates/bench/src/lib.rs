@@ -72,18 +72,13 @@ impl Scale {
                 extra_virtuals: 4,
                 ..Default::default()
             },
-            Scale::Wide => SynthConfig {
-                packages: 140,
-                max_deps: 10,
-                mpi_fraction: 0.6,
-                ..Default::default()
-            },
+            Scale::Wide => {
+                SynthConfig { packages: 140, max_deps: 10, mpi_fraction: 0.6, ..Default::default() }
+            }
             Scale::Deep => SynthConfig { packages: 60, chain_depth: 48, ..Default::default() },
-            Scale::ManyVirtuals => SynthConfig {
-                packages: 110,
-                extra_virtuals: 8,
-                ..Default::default()
-            },
+            Scale::ManyVirtuals => {
+                SynthConfig { packages: 110, extra_virtuals: 8, ..Default::default() }
+            }
             Scale::Paper => SynthConfig { packages: 300, ..Default::default() },
         }
     }
@@ -290,11 +285,8 @@ mod tests {
 
     #[test]
     fn cdf_is_monotone() {
-        let samples = vec![
-            Duration::from_millis(5),
-            Duration::from_millis(1),
-            Duration::from_millis(3),
-        ];
+        let samples =
+            vec![Duration::from_millis(5), Duration::from_millis(1), Duration::from_millis(3)];
         let curve = cdf(&samples);
         assert_eq!(curve.len(), 3);
         assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
@@ -313,13 +305,8 @@ mod tests {
     #[test]
     fn measure_one_records_failures_gracefully() {
         let repo = builtin_repo();
-        let record = measure_one(
-            &repo,
-            &SiteConfig::minimal(),
-            None,
-            asp::SolverConfig::default(),
-            "zlib",
-        );
+        let record =
+            measure_one(&repo, &SiteConfig::minimal(), None, asp::SolverConfig::default(), "zlib");
         assert!(record.ok);
         assert_eq!(record.package, "zlib");
         assert_eq!(record.possible_deps, 0);

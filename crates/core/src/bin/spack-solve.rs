@@ -10,14 +10,22 @@
 //! spack-solve spec --greedy hpctoolkit ^mpich  # use the old (incomplete) algorithm
 //! spack-solve spec --reuse hdf5                # reuse a synthesized buildcache
 //! spack-solve spec --stats hdf5                # show grounder/solver statistics
+//! spack-solve spec --explain zlib@9.9         # full "why not" report on UNSAT
 //! spack-solve providers mpi                    # list providers of a virtual
 //! spack-solve list                             # list known packages
 //! spack-solve criteria                         # print Table II
 //! ```
+//!
+//! On an unsatisfiable request the solver never answers with a bare "no": the
+//! two-phase diagnosis (unsat core + relaxed error minimization, see
+//! `spack_concretizer::diagnose`) always produces specific messages, and `--explain`
+//! prints all of them along with the implicated root requirements.
 
 use std::process::ExitCode;
 
-use spack_concretizer::{describe_priority, Concretizer, GreedyConcretizer, SiteConfig, CRITERIA};
+use spack_concretizer::{
+    describe_priority, ConcretizeError, Concretizer, GreedyConcretizer, SiteConfig, CRITERIA,
+};
 use spack_repo::{builtin_repo, synth_repo, Repository, SynthConfig};
 use spack_spec::parse_spec;
 use spack_store::{synthesize_buildcache, BuildcacheConfig};
@@ -48,7 +56,7 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "spack-solve — ASP-based dependency solving (SC'22 reproduction)\n\n\
-         USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--stats] [--synthetic N] <spec...>\n  \
+         USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--stats] [--explain] [--synthetic N] <spec...>\n  \
          spack-solve providers <virtual>\n  spack-solve list [--synthetic N]\n  spack-solve criteria\n"
     );
 }
@@ -65,6 +73,7 @@ struct SpecOptions {
     reuse: bool,
     lassen: bool,
     stats: bool,
+    explain: bool,
     synthetic: Option<usize>,
     spec_text: String,
 }
@@ -75,6 +84,7 @@ fn parse_spec_args(args: &[String]) -> Result<SpecOptions, String> {
         reuse: false,
         lassen: false,
         stats: false,
+        explain: false,
         synthetic: None,
         spec_text: String::new(),
     };
@@ -86,6 +96,7 @@ fn parse_spec_args(args: &[String]) -> Result<SpecOptions, String> {
             "--reuse" => options.reuse = true,
             "--lassen" => options.lassen = true,
             "--stats" => options.stats = true,
+            "--explain" => options.explain = true,
             "--synthetic" => {
                 let n = iter
                     .next()
@@ -190,10 +201,69 @@ fn cmd_spec(args: &[String]) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Err(ConcretizeError::Unsatisfiable { diagnostics, stats }) => {
+            print_unsat_report(&options, &diagnostics, &stats);
+            ExitCode::FAILURE
+        }
         Err(err) => {
             eprintln!("==> Error: {err}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The "why not" report for an unsatisfiable request. Without `--explain` only the
+/// most severe diagnostic is shown (plus a pointer to the flag); with it, every
+/// diagnostic and the implicated root requirements are printed. `--stats` adds the
+/// cost of producing the explanation (unsat-core size, deletion-minimization rounds,
+/// second-phase solve time).
+fn print_unsat_report(
+    options: &SpecOptions,
+    diagnostics: &[spack_concretizer::Diagnostic],
+    stats: &spack_concretizer::DiagnosticsStats,
+) {
+    eprintln!("==> Error: concretization failed: no valid configuration exists");
+    if options.explain {
+        eprintln!("\nwhy not");
+        eprintln!("--------------------------------");
+        for d in diagnostics {
+            let tag = match d.severity {
+                spack_concretizer::Severity::Error => "error",
+                spack_concretizer::Severity::Note => "note ",
+            };
+            eprintln!("  [{:>3}] {tag} {}: {}", d.priority, d.code, d.message);
+        }
+        let provenance: Vec<&String> =
+            diagnostics.iter().flat_map(|d| d.provenance.iter()).collect();
+        if !provenance.is_empty() {
+            let mut seen: Vec<&String> = Vec::new();
+            eprintln!("\n  implicated requirements (minimized unsat core):");
+            for p in provenance {
+                if !seen.contains(&p) {
+                    eprintln!("    {p}");
+                    seen.push(p);
+                }
+            }
+        }
+    } else {
+        if let Some(first) = diagnostics.first() {
+            eprintln!("    {}", first.message);
+        }
+        if diagnostics.len() > 1 {
+            eprintln!(
+                "    ({} diagnostics total; run with --explain for the full report)",
+                diagnostics.len()
+            );
+        }
+    }
+    if options.stats {
+        eprintln!("\ndiagnostics statistics");
+        eprintln!("--------------------------------");
+        eprintln!(
+            "  unsat core: {} assumptions, minimized to {} in {} deletion rounds",
+            stats.core_size, stats.minimized_core_size, stats.minimization_rounds
+        );
+        eprintln!("  second phase (core minimization + relaxed solve): {:.1?}", stats.second_phase);
     }
 }
 
@@ -243,11 +313,7 @@ fn cmd_providers(args: &[String]) -> ExitCode {
         let versions = repo
             .get(p)
             .map(|pkg| {
-                pkg.versions
-                    .iter()
-                    .map(|v| v.version.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                pkg.versions.iter().map(|v| v.version.to_string()).collect::<Vec<_>>().join(", ")
             })
             .unwrap_or_default();
         println!("  {p}  ({versions})");

@@ -93,8 +93,7 @@ impl SiteConfig {
         self.available_targets()
             .into_iter()
             .find(|t| {
-                self.targets
-                    .compiler_supports(&compiler.name, &compiler.version, t.target.name())
+                self.targets.compiler_supports(&compiler.name, &compiler.version, t.target.name())
             })
             .map(|t| t.target.name().to_string())
     }
@@ -107,7 +106,9 @@ impl SiteConfig {
     /// Parse a compiler identifier back into a [`Compiler`].
     pub fn parse_compiler_id(id: &str) -> Compiler {
         match id.split_once('@') {
-            Some((name, version)) => Compiler { name: name.to_string(), version: Version::new(version) },
+            Some((name, version)) => {
+                Compiler { name: name.to_string(), version: Version::new(version) }
+            }
             None => Compiler { name: id.to_string(), version: Version::new("0") },
         }
     }

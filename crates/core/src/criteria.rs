@@ -73,14 +73,30 @@ pub const CRITERIA: [Criterion; 15] = [
     Criterion { rank: 2, description: "Version oldness (roots)", scope: Scope::Roots },
     Criterion { rank: 3, description: "Non-default variant values (roots)", scope: Scope::Roots },
     Criterion { rank: 4, description: "Non-preferred providers (roots)", scope: Scope::Roots },
-    Criterion { rank: 5, description: "Unused default variant values (roots)", scope: Scope::Roots },
-    Criterion { rank: 6, description: "Non-default variant values (non-roots)", scope: Scope::NonRoots },
-    Criterion { rank: 7, description: "Non-preferred providers (non-roots)", scope: Scope::NonRoots },
+    Criterion {
+        rank: 5,
+        description: "Unused default variant values (roots)",
+        scope: Scope::Roots,
+    },
+    Criterion {
+        rank: 6,
+        description: "Non-default variant values (non-roots)",
+        scope: Scope::NonRoots,
+    },
+    Criterion {
+        rank: 7,
+        description: "Non-preferred providers (non-roots)",
+        scope: Scope::NonRoots,
+    },
     Criterion { rank: 8, description: "Compiler mismatches", scope: Scope::All },
     Criterion { rank: 9, description: "OS mismatches", scope: Scope::All },
     Criterion { rank: 10, description: "Non-preferred OS's", scope: Scope::All },
     Criterion { rank: 11, description: "Version oldness (non-roots)", scope: Scope::NonRoots },
-    Criterion { rank: 12, description: "Unused default variant values (non-roots)", scope: Scope::NonRoots },
+    Criterion {
+        rank: 12,
+        description: "Unused default variant values (non-roots)",
+        scope: Scope::NonRoots,
+    },
     Criterion { rank: 13, description: "Non-preferred compilers", scope: Scope::All },
     Criterion { rank: 14, description: "Target mismatches", scope: Scope::All },
     Criterion { rank: 15, description: "Non-preferred targets", scope: Scope::All },
@@ -104,8 +120,13 @@ pub fn criterion(rank: u8) -> Option<&'static Criterion> {
 }
 
 /// Describe an objective-vector entry (an ASP priority level) in terms of Table II, for
-/// reporting: returns `(bucket, criterion description)`.
+/// reporting: returns `(bucket, criterion description)`. Levels at 1000 and above are
+/// the relaxed-phase `error(Priority, Msg, Args)` levels (see
+/// [`crate::diagnose`]), which rank above every ordinary criterion.
 pub fn describe_priority(priority: i64) -> (&'static str, &'static str) {
+    if priority >= 1000 {
+        return ("error", "Model-rule violations (unsat diagnostics)");
+    }
     if priority == BUILD_COUNT_PRIORITY {
         return ("builds", "Number of builds");
     }
@@ -152,5 +173,6 @@ mod tests {
         assert_eq!(describe_priority(15), ("reuse", "Deprecated versions used"));
         assert_eq!(describe_priority(201), ("build", "Non-preferred targets"));
         assert_eq!(describe_priority(8).1, "Compiler mismatches");
+        assert_eq!(describe_priority(1090).0, "error");
     }
 }

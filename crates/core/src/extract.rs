@@ -6,11 +6,24 @@
 
 use std::collections::BTreeMap;
 
-use asp::{Model, Value};
+use asp::{Model, SolveOutcome, Value};
 use spack_spec::{Compiler, ConcreteNode, ConcreteSpec, DepKind, Platform, VariantValue, Version};
 
 use crate::config::SiteConfig;
 use crate::ConcretizeError;
+
+/// Unwrap a solve outcome into its model and cost, propagating UNSAT as a
+/// [`ConcretizeError`] (with no diagnostics — callers on the concretizer's main path
+/// run the two-phase diagnosis instead) rather than aborting. Guards the extraction
+/// pipeline against pathological inputs that solve to UNSAT where a model was assumed.
+pub fn require_model(outcome: SolveOutcome) -> Result<(Model, Vec<(i64, i64)>), ConcretizeError> {
+    match outcome {
+        SolveOutcome::Optimal { model, cost } => Ok((model, cost)),
+        SolveOutcome::Unsatisfiable => Err(ConcretizeError::Extraction(
+            "expected a model to extract, but the program is unsatisfiable".to_string(),
+        )),
+    }
+}
 
 /// The result of extracting a model: the concrete DAG plus the reuse partition.
 #[derive(Debug, Clone, Default)]
@@ -86,10 +99,7 @@ pub fn extract(model: &Model, roots: &[String]) -> Result<Extraction, Concretize
             let package = arg_str(args, 1);
             let variant = arg_str(args, 2);
             let value = arg_str(args, 3);
-            variants
-                .entry(package)
-                .or_default()
-                .insert(variant, VariantValue::parse(&value));
+            variants.entry(package).or_default().insert(variant, VariantValue::parse(&value));
         }
     }
     // provider(V, P): record provided virtuals per package.
@@ -105,9 +115,10 @@ pub fn extract(model: &Model, roots: &[String]) -> Result<Extraction, Concretize
     // Assemble nodes.
     let mut nodes = Vec::with_capacity(names.len());
     for name in &names {
-        let version = versions.get(name).cloned().ok_or_else(|| {
-            ConcretizeError::Extraction(format!("no version assigned to {name}"))
-        })?;
+        let version = versions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ConcretizeError::Extraction(format!("no version assigned to {name}")))?;
         let compiler_id = compilers.get(name).cloned().ok_or_else(|| {
             ConcretizeError::Extraction(format!("no compiler assigned to {name}"))
         })?;
@@ -136,10 +147,7 @@ pub fn extract(model: &Model, roots: &[String]) -> Result<Extraction, Concretize
         }
     }
     // Roots.
-    let root_indices: Vec<usize> = roots
-        .iter()
-        .filter_map(|r| index.get(r).copied())
-        .collect();
+    let root_indices: Vec<usize> = roots.iter().filter_map(|r| index.get(r).copied()).collect();
 
     let spec = ConcreteSpec { nodes, roots: root_indices };
     let reused: Vec<(String, String)> = hashes.into_iter().collect();
@@ -160,8 +168,9 @@ mod tests {
     use asp::{Control, SolverConfig};
 
     /// Build a tiny model through the real solver so the extraction path is exercised
-    /// end to end on the attr* schema.
-    fn tiny_model() -> Model {
+    /// end to end on the attr* schema. Uses [`require_model`], so an unexpectedly
+    /// unsatisfiable input surfaces as a clean `ConcretizeError` instead of a panic.
+    fn tiny_model() -> Result<Model, ConcretizeError> {
         let mut ctl = Control::new(SolverConfig::default());
         for (pred, args) in [
             ("attr2", vec!["node", "hdf5"]),
@@ -193,15 +202,14 @@ mod tests {
         );
         ctl.add_program("ok.").unwrap();
         ctl.ground().unwrap();
-        match ctl.solve().unwrap() {
-            asp::SolveOutcome::Optimal { model, .. } => model,
-            asp::SolveOutcome::Unsatisfiable => panic!("trivially satisfiable"),
-        }
+        let outcome = ctl.solve().map_err(ConcretizeError::Solver)?;
+        let (model, _cost) = require_model(outcome)?;
+        Ok(model)
     }
 
     #[test]
     fn extraction_builds_a_dag() {
-        let model = tiny_model();
+        let model = tiny_model().expect("the tiny instance has a model");
         let result = extract(&model, &["hdf5".to_string()]).unwrap();
         assert_eq!(result.spec.len(), 2);
         assert_eq!(result.spec.roots.len(), 1);
@@ -220,10 +228,16 @@ mod tests {
         ctl.add_fact("attr2", &["node".into(), "zlib".into()]);
         ctl.add_program("ok.").unwrap();
         ctl.ground().unwrap();
-        let model = match ctl.solve().unwrap() {
-            asp::SolveOutcome::Optimal { model, .. } => model,
-            _ => unreachable!(),
-        };
+        let (model, _) = require_model(ctl.solve().unwrap()).unwrap();
         assert!(extract(&model, &["zlib".to_string()]).is_err());
+    }
+
+    #[test]
+    fn require_model_propagates_unsat_as_an_error() {
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("p. :- p.").unwrap();
+        ctl.ground().unwrap();
+        let err = require_model(ctl.solve().unwrap()).unwrap_err();
+        assert!(matches!(err, ConcretizeError::Extraction(_)), "{err}");
     }
 }

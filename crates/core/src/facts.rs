@@ -32,6 +32,10 @@ pub struct SetupInfo {
     pub conditions: usize,
     /// Number of installed records encoded for reuse.
     pub installed: usize,
+    /// Conditions arising from the user's root specs, as `(condition id, source text)`.
+    /// The concretizer pins each one true through a solver assumption, so an UNSAT
+    /// answer's core names the root requirements that cannot hold together.
+    pub root_conditions: Vec<(i64, String)>,
 }
 
 /// Generates facts into an [`asp::Control`].
@@ -50,6 +54,7 @@ pub struct FactBuilder<'a> {
     /// Versions known per package (declared plus installed), for the satisfies maps.
     known_versions: BTreeMap<String, BTreeSet<Version>>,
     possible: BTreeSet<String>,
+    root_conditions: Vec<(i64, String)>,
 }
 
 impl<'a> FactBuilder<'a> {
@@ -66,6 +71,7 @@ impl<'a> FactBuilder<'a> {
             target_constraints: BTreeSet::new(),
             known_versions: BTreeMap::new(),
             possible: BTreeSet::new(),
+            root_conditions: Vec::new(),
         }
     }
 
@@ -97,12 +103,8 @@ impl<'a> FactBuilder<'a> {
         let root_refs: Vec<&str> = root_names.iter().map(|s| s.as_str()).collect();
         self.possible = self.repo.possible_dependencies(&root_refs);
         // Remove virtuals from the package set (they have their own facts).
-        let virtuals: BTreeSet<String> = self
-            .possible
-            .iter()
-            .filter(|n| self.repo.is_virtual(n))
-            .cloned()
-            .collect();
+        let virtuals: BTreeSet<String> =
+            self.possible.iter().filter(|n| self.repo.is_virtual(n)).cloned().collect();
         for v in &virtuals {
             self.possible.remove(v);
         }
@@ -120,7 +122,10 @@ impl<'a> FactBuilder<'a> {
         for v in &virtuals {
             for (i, provider) in self.repo.providers(v).iter().enumerate() {
                 if self.possible.contains(provider) {
-                    ctl.add_fact("possible_provider", &[v.as_str().into(), provider.as_str().into()]);
+                    ctl.add_fact(
+                        "possible_provider",
+                        &[v.as_str().into(), provider.as_str().into()],
+                    );
                     ctl.add_fact(
                         "provider_weight",
                         &[v.as_str().into(), provider.as_str().into(), (i as i64).into()],
@@ -145,6 +150,7 @@ impl<'a> FactBuilder<'a> {
             facts: ctl.fact_count(),
             conditions: self.conditions,
             installed,
+            root_conditions: self.root_conditions.clone(),
         })
     }
 
@@ -204,20 +210,14 @@ impl<'a> FactBuilder<'a> {
             if decl.deprecated {
                 ctl.add_fact("deprecated_version", &[name.into(), vstr.as_str().into()]);
             }
-            self.known_versions
-                .entry(name.to_string())
-                .or_default()
-                .insert(decl.version.clone());
+            self.known_versions.entry(name.to_string()).or_default().insert(decl.version.clone());
         }
 
         // Variants.
         for variant in &pkg.variants {
             ctl.add_fact("variant", &[name.into(), variant.name.as_str().into()]);
             let kind = if variant.values.is_empty() { "bool" } else { "multi" };
-            ctl.add_fact(
-                "variant_kind",
-                &[name.into(), variant.name.as_str().into(), kind.into()],
-            );
+            ctl.add_fact("variant_kind", &[name.into(), variant.name.as_str().into(), kind.into()]);
             let default = variant.default.as_str();
             ctl.add_fact(
                 "variant_default",
@@ -259,10 +259,18 @@ impl<'a> FactBuilder<'a> {
             }
         }
 
-        // Conflicts.
+        // Conflicts. Each carries a human-readable description so a triggered conflict
+        // can be rendered as a diagnostic naming the offending directive.
         for conflict in &pkg.conflicts {
             let id = self.new_condition(ctl);
             ctl.add_fact("conflict_condition", &[id.into()]);
+            let when = conflict.when.to_string();
+            let msg = if when.is_empty() {
+                format!("conflicts with {}", conflict.spec)
+            } else {
+                format!("{when} conflicts with {}", conflict.spec)
+            };
+            ctl.add_fact("conflict_info", &[id.into(), name.into(), msg.as_str().into()]);
             self.require_node(ctl, id, name);
             self.add_spec_requirements(ctl, id, name, &conflict.when);
             self.add_spec_requirements(ctl, id, name, &conflict.spec);
@@ -275,7 +283,12 @@ impl<'a> FactBuilder<'a> {
             self.add_spec_requirements(ctl, id, name, &provides.when);
             ctl.add_fact(
                 "imposed_constraint3",
-                &[id.into(), "provides_ok".into(), provides.virtual_name.as_str().into(), name.into()],
+                &[
+                    id.into(),
+                    "provides_ok".into(),
+                    provides.virtual_name.as_str().into(),
+                    name.into(),
+                ],
             );
         }
         Ok(())
@@ -290,8 +303,11 @@ impl<'a> FactBuilder<'a> {
         } else {
             ctl.add_fact("root", &[name.as_str().into()]);
             // Impose the root's own constraints, conditional only on it being a node
-            // (which it always is).
-            let id = self.new_condition(ctl);
+            // (which it always is). The condition is assumption-guarded: its id goes
+            // into the unsat core when the constraint cannot hold.
+            let mut bare = root.clone();
+            bare.dependencies.clear();
+            let id = self.new_root_condition(ctl, &bare.to_string());
             self.require_node(ctl, id, &name);
             self.add_spec_impositions(ctl, id, &name, root);
         }
@@ -305,7 +321,7 @@ impl<'a> FactBuilder<'a> {
                 ctl.add_fact("root_requirement_virtual", &[dep_name.as_str().into()]);
             } else {
                 ctl.add_fact("root_requirement_node", &[dep_name.as_str().into()]);
-                let id = self.new_condition(ctl);
+                let id = self.new_root_condition(ctl, &format!("^{dep}"));
                 self.require_node(ctl, id, &dep_name);
                 self.add_spec_impositions(ctl, id, &dep_name, dep);
             }
@@ -333,10 +349,15 @@ impl<'a> FactBuilder<'a> {
             let hash = record.hash.as_str();
             let name = record.name.as_str();
             ctl.add_fact("installed_hash", &[name.into(), hash.into()]);
+            // Adopted attributes go through the `*_set` demand indirection (see
+            // concretize.lp): the node's chosen attribute must *agree* with the
+            // installation's, and a disagreement is a relaxable error rather than a
+            // hard choice-bound violation. Keeping demands off the choice atoms also
+            // keeps the grounding small — no pairwise chosen-vs-chosen conflict rules.
             let version = record.version.to_string();
             ctl.add_fact(
                 "hash_attr3",
-                &["version".into(), hash.into(), name.into(), version.as_str().into()],
+                &["version_set".into(), hash.into(), name.into(), version.as_str().into()],
             );
             self.known_versions
                 .entry(record.name.clone())
@@ -345,7 +366,7 @@ impl<'a> FactBuilder<'a> {
             let compiler_id = SiteConfig::compiler_id(&record.compiler);
             ctl.add_fact(
                 "hash_attr3",
-                &["compiler".into(), hash.into(), name.into(), compiler_id.as_str().into()],
+                &["compiler_set".into(), hash.into(), name.into(), compiler_id.as_str().into()],
             );
             // Installed artifacts were evidently compilable for their target. Compilers
             // not present in the site configuration are added with a low preference so
@@ -363,21 +384,31 @@ impl<'a> FactBuilder<'a> {
             );
             ctl.add_fact(
                 "hash_attr3",
-                &["node_os".into(), hash.into(), name.into(), record.os.as_str().into()],
+                &["node_os_set".into(), hash.into(), name.into(), record.os.as_str().into()],
             );
             ctl.add_fact(
                 "hash_attr3",
-                &["node_platform".into(), hash.into(), name.into(), record.platform.as_str().into()],
+                &[
+                    "node_platform_set".into(),
+                    hash.into(),
+                    name.into(),
+                    record.platform.as_str().into(),
+                ],
             );
             ctl.add_fact(
                 "hash_attr3",
-                &["node_target".into(), hash.into(), name.into(), record.target.as_str().into()],
+                &[
+                    "node_target_set".into(),
+                    hash.into(),
+                    name.into(),
+                    record.target.as_str().into(),
+                ],
             );
             for (variant, value) in &record.variants {
                 ctl.add_fact(
                     "hash_attr4",
                     &[
-                        "variant_value".into(),
+                        "variant_set".into(),
                         hash.into(),
                         name.into(),
                         variant.as_str().into(),
@@ -397,7 +428,12 @@ impl<'a> FactBuilder<'a> {
                 if self.possible.contains(dep_name) && database.get(dep_hash).is_some() {
                     ctl.add_fact(
                         "hash_depends_on",
-                        &[hash.into(), name.into(), dep_name.as_str().into(), dep_hash.as_str().into()],
+                        &[
+                            hash.into(),
+                            name.into(),
+                            dep_name.as_str().into(),
+                            dep_hash.as_str().into(),
+                        ],
                     );
                 }
             }
@@ -414,11 +450,19 @@ impl<'a> FactBuilder<'a> {
         self.condition_id
     }
 
+    /// A condition owned by the user's root specs: emitted as `root_condition(ID, Text)`
+    /// instead of a plain `condition(ID)` fact, so the logic program can guard it behind
+    /// a free `assumed(ID)` choice that the concretizer pins with solver assumptions.
+    fn new_root_condition(&mut self, ctl: &mut Control, text: &str) -> i64 {
+        self.condition_id += 1;
+        self.conditions += 1;
+        ctl.add_fact("root_condition", &[self.condition_id.into(), text.into()]);
+        self.root_conditions.push((self.condition_id, text.to_string()));
+        self.condition_id
+    }
+
     fn require_node(&mut self, ctl: &mut Control, id: i64, package: &str) {
-        ctl.add_fact(
-            "condition_requirement2",
-            &[id.into(), "node".into(), package.into()],
-        );
+        ctl.add_fact("condition_requirement2", &[id.into(), "node".into(), package.into()]);
     }
 
     /// Add `condition_requirementN` facts for every constraint piece of `spec`, applied to
@@ -459,19 +503,28 @@ impl<'a> FactBuilder<'a> {
         let pred4 = if requirement { "condition_requirement4" } else { "imposed_constraint4" };
         if !spec.versions.is_any() {
             let constraint = spec.versions.to_string();
-            self.version_constraints
-                .insert((package.to_string(), constraint.clone()));
+            self.version_constraints.insert((package.to_string(), constraint.clone()));
             ctl.add_fact(
                 pred3,
-                &[id.into(), "version_satisfies".into(), package.into(), constraint.as_str().into()],
+                &[
+                    id.into(),
+                    "version_satisfies".into(),
+                    package.into(),
+                    constraint.as_str().into(),
+                ],
             );
         }
+        // Requirements *test* the chosen variant value; impositions go through the
+        // `variant_set` indirection so two conflicting demands surface as a
+        // `variant-conflict` error instead of tripping the choice bound (which would
+        // be a hard, unexplainable UNSAT).
+        let variant_attr = if requirement { "variant_value" } else { "variant_set" };
         for (variant, value) in &spec.variants {
             ctl.add_fact(
                 pred4,
                 &[
                     id.into(),
-                    "variant_value".into(),
+                    variant_attr.into(),
                     package.into(),
                     variant.as_str().into(),
                     value.as_str().as_str().into(),
@@ -483,7 +536,12 @@ impl<'a> FactBuilder<'a> {
             self.compiler_constraints.insert(constraint.clone());
             ctl.add_fact(
                 pred3,
-                &[id.into(), "compiler_satisfies".into(), package.into(), constraint.as_str().into()],
+                &[
+                    id.into(),
+                    "compiler_satisfies".into(),
+                    package.into(),
+                    constraint.as_str().into(),
+                ],
             );
         }
         if let Some(target) = &spec.target {
@@ -493,16 +551,17 @@ impl<'a> FactBuilder<'a> {
                 &[id.into(), "target_satisfies".into(), package.into(), target.as_str().into()],
             );
         }
+        // Requirements test the chosen os/platform; impositions demand one through the
+        // `*_set` indirection (same pattern as variants — see above).
         if let Some(os) = &spec.os {
-            ctl.add_fact(
-                pred3,
-                &[id.into(), "node_os".into(), package.into(), os.as_str().into()],
-            );
+            let os_attr = if requirement { "node_os" } else { "node_os_set" };
+            ctl.add_fact(pred3, &[id.into(), os_attr.into(), package.into(), os.as_str().into()]);
         }
         if let Some(platform) = &spec.platform {
+            let platform_attr = if requirement { "node_platform" } else { "node_platform_set" };
             ctl.add_fact(
                 pred3,
-                &[id.into(), "node_platform".into(), package.into(), platform.as_str().into()],
+                &[id.into(), platform_attr.into(), package.into(), platform.as_str().into()],
             );
         }
     }
@@ -555,10 +614,7 @@ impl<'a> FactBuilder<'a> {
             for info in self.site.available_targets() {
                 let t = info.target.name();
                 if t == base || info.family == base {
-                    ctl.add_fact(
-                        "target_satisfies_map",
-                        &[constraint.as_str().into(), t.into()],
-                    );
+                    ctl.add_fact("target_satisfies_map", &[constraint.as_str().into(), t.into()]);
                 }
             }
         }
@@ -618,10 +674,8 @@ mod tests {
     #[test]
     fn installed_records_become_hash_facts() {
         let repo = builtin_repo();
-        let db = spack_store::synthesize_buildcache(
-            &repo,
-            &spack_store::BuildcacheConfig::default(),
-        );
+        let db =
+            spack_store::synthesize_buildcache(&repo, &spack_store::BuildcacheConfig::default());
         let (ctl, info) = count_facts(&["hdf5"], Some(&db));
         assert!(info.installed > 0);
         // The fact count grows roughly proportionally to the cache size (Section VII-C).

@@ -20,9 +20,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use spack_repo::Repository;
-use spack_spec::{
-    Compiler, ConcreteNode, ConcreteSpec, DepKind, Spec, VariantValue, Version,
-};
+use spack_spec::{Compiler, ConcreteNode, ConcreteSpec, DepKind, Spec, VariantValue, Version};
 
 use crate::config::SiteConfig;
 
@@ -127,10 +125,7 @@ impl<'a> GreedyConcretizer<'a> {
         let mut cli_constraints: BTreeMap<String, Spec> = BTreeMap::new();
         for dep in &root.dependencies {
             if let Some(name) = &dep.name {
-                cli_constraints
-                    .entry(name.clone())
-                    .or_insert_with(Spec::anonymous)
-                    .constrain(dep);
+                cli_constraints.entry(name.clone()).or_insert_with(Spec::anonymous).constrain(dep);
             }
         }
 
@@ -149,10 +144,8 @@ impl<'a> GreedyConcretizer<'a> {
             if states.get(&name).map(|s| s.node.is_some()).unwrap_or(false) {
                 continue;
             }
-            let constraints = states
-                .get(&name)
-                .map(|s| s.constraints.clone())
-                .unwrap_or_else(Spec::anonymous);
+            let constraints =
+                states.get(&name).map(|s| s.constraints.clone()).unwrap_or_else(Spec::anonymous);
             let (node, deps) = self.decide(&name, &constraints, &cli_constraints)?;
             for (dep_name, dep_constraint) in &deps {
                 match states.get_mut(dep_name) {
@@ -187,9 +180,9 @@ impl<'a> GreedyConcretizer<'a> {
         // in the DAG, and no conflicts() directive may match.
         for dep_name in cli_constraints.keys() {
             if !states.contains_key(dep_name)
-                && !states
-                    .values()
-                    .any(|s| s.node.as_ref().map(|n| n.provides.contains(dep_name)).unwrap_or(false))
+                && !states.values().any(|s| {
+                    s.node.as_ref().map(|n| n.provides.contains(dep_name)).unwrap_or(false)
+                })
             {
                 return Err(GreedyError::DoesNotDependOn {
                     package: root_name,
@@ -210,10 +203,8 @@ impl<'a> GreedyConcretizer<'a> {
         constraints: &Spec,
         cli: &BTreeMap<String, Spec>,
     ) -> Result<(ConcreteNode, Vec<(String, Spec)>), GreedyError> {
-        let pkg = self
-            .repo
-            .get(name)
-            .ok_or_else(|| GreedyError::UnknownPackage(name.to_string()))?;
+        let pkg =
+            self.repo.get(name).ok_or_else(|| GreedyError::UnknownPackage(name.to_string()))?;
 
         // Version: the newest non-deprecated declared version satisfying the constraints
         // accumulated *so far*.
@@ -261,10 +252,8 @@ impl<'a> GreedyConcretizer<'a> {
                 .best_target_for(&compiler)
                 .unwrap_or_else(|| self.site.target_family.clone()),
         };
-        let os = constraints
-            .os
-            .clone()
-            .unwrap_or_else(|| self.site.default_os().name().to_string());
+        let os =
+            constraints.os.clone().unwrap_or_else(|| self.site.default_os().name().to_string());
         let platform = constraints.platform.unwrap_or(self.site.platform);
 
         let provisional = ConcreteNode {
@@ -344,8 +333,8 @@ impl<'a> GreedyConcretizer<'a> {
                 None => continue,
             };
             for conflict in &pkg.conflicts {
-                let when_matches =
-                    conflict.when.is_empty() || spec.node_satisfies(i, &anonymous_on(&conflict.when));
+                let when_matches = conflict.when.is_empty()
+                    || spec.node_satisfies(i, &anonymous_on(&conflict.when));
                 // The node's own constraints are matched against the node; `^dep` pieces
                 // of the conflict are matched against the whole DAG (the same semantics
                 // the ASP encoding uses for conflict requirements).
@@ -394,10 +383,7 @@ fn check_decided(node: &ConcreteNode, constraint: &Spec) -> Result<(), GreedyErr
         if !cs.satisfied_by(&node.compiler.name, &node.compiler.version) {
             return Err(GreedyError::ConflictingDecision {
                 package: node.name.clone(),
-                reason: format!(
-                    "compiler already fixed to {} but {cs} is required",
-                    node.compiler
-                ),
+                reason: format!("compiler already fixed to {} but {cs} is required", node.compiler),
             });
         }
     }

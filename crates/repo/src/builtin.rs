@@ -52,10 +52,7 @@ pub fn builtin_repo() -> Repository {
             .version("5.2.4")
             .variant_bool("pic", false, "position independent code")
             .build(),
-        PackageBuilder::new("zstd")
-            .version("1.5.2")
-            .version("1.4.9")
-            .build(),
+        PackageBuilder::new("zstd").version("1.5.2").version("1.4.9").build(),
         PackageBuilder::new("libiconv").version("1.16").build(),
         PackageBuilder::new("libxml2")
             .version("2.9.13")
@@ -131,13 +128,19 @@ pub fn builtin_repo() -> Repository {
             .depends_on("berkeley-db")
             .build(),
         PackageBuilder::new("berkeley-db").version("18.1.40").build(),
-        PackageBuilder::new("m4")
-            .version("1.4.19")
-            .depends_on("libsigsegv")
-            .build(),
+        PackageBuilder::new("m4").version("1.4.19").depends_on("libsigsegv").build(),
         PackageBuilder::new("libtool").version("2.4.7").depends_on("m4").build(),
-        PackageBuilder::new("autoconf").version("2.71").version("2.69").depends_on("m4").depends_on("perl").build(),
-        PackageBuilder::new("automake").version("1.16.5").depends_on("autoconf").depends_on("perl").build(),
+        PackageBuilder::new("autoconf")
+            .version("2.71")
+            .version("2.69")
+            .depends_on("m4")
+            .depends_on("perl")
+            .build(),
+        PackageBuilder::new("automake")
+            .version("1.16.5")
+            .depends_on("autoconf")
+            .depends_on("perl")
+            .build(),
         PackageBuilder::new("gmake").version("4.3").build(),
         PackageBuilder::new("python")
             .version("3.10.4")
@@ -171,7 +174,11 @@ pub fn builtin_repo() -> Repository {
             .build(),
         PackageBuilder::new("ninja").version("1.10.2").depends_on("python").build(),
         PackageBuilder::new("flex").version("2.6.4").depends_on("m4").build(),
-        PackageBuilder::new("bison").version("3.8.2").depends_on("m4").depends_on("diffutils").build(),
+        PackageBuilder::new("bison")
+            .version("3.8.2")
+            .depends_on("m4")
+            .depends_on("diffutils")
+            .build(),
     ]);
 
     // ---- MPI virtual and providers -----------------------------------------------------
@@ -276,10 +283,7 @@ pub fn builtin_repo() -> Repository {
             .variant_bool("openmp", false, "enable OpenMP")
             .depends_on_when("mpi", "+mpi")
             .build(),
-        PackageBuilder::new("papi")
-            .version("6.0.0.1")
-            .version("5.7.0")
-            .build(),
+        PackageBuilder::new("papi").version("6.0.0.1").version("5.7.0").build(),
         PackageBuilder::new("boost")
             .version("1.79.0")
             .version("1.78.0")
@@ -433,15 +437,8 @@ mod tests {
     fn hpctoolkit_mpi_variant_defaults_false() {
         let repo = builtin_repo();
         let pkg = repo.get("hpctoolkit").unwrap();
-        assert_eq!(
-            pkg.variant("mpi").unwrap().default,
-            spack_spec::VariantValue::Bool(false)
-        );
-        let dep = pkg
-            .dependencies
-            .iter()
-            .find(|d| d.spec.name.as_deref() == Some("mpi"))
-            .unwrap();
+        assert_eq!(pkg.variant("mpi").unwrap().default, spack_spec::VariantValue::Bool(false));
+        let dep = pkg.dependencies.iter().find(|d| d.spec.name.as_deref() == Some("mpi")).unwrap();
         assert!(!dep.when.is_empty(), "mpi dependency must be conditional");
     }
 }

@@ -101,20 +101,13 @@ impl PackageDef {
 
     /// Preferred (first declared, non-deprecated) version.
     pub fn preferred_version(&self) -> Option<&Version> {
-        self.versions
-            .iter()
-            .find(|v| !v.deprecated)
-            .or(self.versions.first())
-            .map(|v| &v.version)
+        self.versions.iter().find(|v| !v.deprecated).or(self.versions.first()).map(|v| &v.version)
     }
 
     /// Names of packages (or virtuals) this package may depend on under *some* condition.
     pub fn possible_dependency_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self
-            .dependencies
-            .iter()
-            .filter_map(|d| d.spec.name.as_deref())
-            .collect();
+        let mut names: Vec<&str> =
+            self.dependencies.iter().filter_map(|d| d.spec.name.as_deref()).collect();
         names.sort_unstable();
         names.dedup();
         names
@@ -255,11 +248,8 @@ mod tests {
     #[test]
     fn conditional_dependency_conditions_are_parsed() {
         let pkg = example();
-        let bzip_dep = pkg
-            .dependencies
-            .iter()
-            .find(|d| d.spec.name.as_deref() == Some("bzip2"))
-            .unwrap();
+        let bzip_dep =
+            pkg.dependencies.iter().find(|d| d.spec.name.as_deref() == Some("bzip2")).unwrap();
         assert_eq!(bzip_dep.when.variants.get("bzip"), Some(&VariantValue::Bool(true)));
         let zlib_versioned = pkg
             .dependencies
@@ -271,11 +261,8 @@ mod tests {
 
     #[test]
     fn provides_records_virtuals() {
-        let mpich = PackageBuilder::new("mpich")
-            .version("4.1")
-            .version("3.4.2")
-            .provides("mpi")
-            .build();
+        let mpich =
+            PackageBuilder::new("mpich").version("4.1").version("3.4.2").provides("mpi").build();
         assert!(mpich.may_provide("mpi"));
         assert!(!mpich.may_provide("lapack"));
 
@@ -289,10 +276,7 @@ mod tests {
 
     #[test]
     fn deprecated_versions_are_not_preferred() {
-        let pkg = PackageBuilder::new("p")
-            .version_deprecated("2.0.0")
-            .version("1.9.0")
-            .build();
+        let pkg = PackageBuilder::new("p").version_deprecated("2.0.0").version("1.9.0").build();
         assert_eq!(pkg.preferred_version().unwrap().to_string(), "1.9.0");
     }
 

@@ -68,10 +68,7 @@ impl Repository {
 
     /// The packages that may provide a virtual.
     pub fn providers(&self, virtual_name: &str) -> &[String] {
-        self.providers
-            .get(virtual_name)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.providers.get(virtual_name).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// All virtual package names.
@@ -137,8 +134,20 @@ mod tests {
                 .build(),
         );
         repo.add(PackageBuilder::new("zlib").version("1.2.11").build());
-        repo.add(PackageBuilder::new("mpich").version("3.4.2").provides("mpi").depends_on("pkgconf").build());
-        repo.add(PackageBuilder::new("openmpi").version("4.1.1").provides("mpi").depends_on("hwloc").build());
+        repo.add(
+            PackageBuilder::new("mpich")
+                .version("3.4.2")
+                .provides("mpi")
+                .depends_on("pkgconf")
+                .build(),
+        );
+        repo.add(
+            PackageBuilder::new("openmpi")
+                .version("4.1.1")
+                .provides("mpi")
+                .depends_on("hwloc")
+                .build(),
+        );
         repo.add(PackageBuilder::new("pkgconf").version("1.8.0").build());
         repo.add(PackageBuilder::new("hwloc").version("2.7.0").build());
         repo

@@ -201,8 +201,7 @@ pub fn synth_repo(config: &SynthConfig) -> Repository {
     // byte-identical to those of earlier versions of this generator.
     if config.chain_depth > 0 {
         let mut chain_rng = StdRng::seed_from_u64(config.seed ^ 0xC4A1_4000);
-        let names: Vec<String> =
-            (0..config.chain_depth).map(|i| format!("chain-{i:03}")).collect();
+        let names: Vec<String> = (0..config.chain_depth).map(|i| format!("chain-{i:03}")).collect();
         for (i, name) in names.iter().enumerate() {
             let mut b = random_versions(PackageBuilder::new(name), &mut chain_rng, config);
             if i + 1 < names.len() {
@@ -220,7 +219,8 @@ pub fn synth_repo(config: &SynthConfig) -> Repository {
     // ---- optional extra virtuals (stress provider selection) ---------------------------
     if config.extra_virtuals > 0 {
         let mut virt_rng = StdRng::seed_from_u64(config.seed ^ 0x51C_E000);
-        let virtuals: Vec<String> = (0..config.extra_virtuals).map(|v| format!("svc-{v}")).collect();
+        let virtuals: Vec<String> =
+            (0..config.extra_virtuals).map(|v| format!("svc-{v}")).collect();
         for (v, virt) in virtuals.iter().enumerate() {
             for p in 0..2 {
                 let mut b = random_versions(
@@ -261,10 +261,7 @@ pub fn synth_repo(config: &SynthConfig) -> Repository {
 /// The names of the application-layer packages of a synthetic repository — the analogue
 /// of the ~600 top-level E4S products used in Section VII-C.
 pub fn e4s_roots(repo: &Repository) -> Vec<String> {
-    repo.names()
-        .filter(|n| n.starts_with("app-"))
-        .map(|s| s.to_string())
-        .collect()
+    repo.names().filter(|n| n.starts_with("app-")).map(|s| s.to_string()).collect()
 }
 
 fn random_versions(
@@ -322,11 +319,8 @@ mod tests {
         assert!(base.get("chain-root").is_none());
         assert!(base.get("svc0-impl-0").is_none());
 
-        let shaped = synth_repo(&SynthConfig {
-            chain_depth: 12,
-            extra_virtuals: 4,
-            ..SynthConfig::small()
-        });
+        let shaped =
+            synth_repo(&SynthConfig { chain_depth: 12, extra_virtuals: 4, ..SynthConfig::small() });
         assert!(shaped.get("chain-root").is_some());
         assert!(shaped.get("chain-011").is_some());
         assert_eq!(shaped.providers("svc-2").len(), 2);
@@ -345,9 +339,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = synth_repo(&SynthConfig::small());
         let b = synth_repo(&SynthConfig { seed: 99, ..SynthConfig::small() });
-        let differs = a
-            .names()
-            .any(|n| a.get(n) != b.get(n));
+        let differs = a.names().any(|n| a.get(n) != b.get(n));
         assert!(differs);
     }
 

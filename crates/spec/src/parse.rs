@@ -138,13 +138,17 @@ impl<'a> Parser<'a> {
     }
 
     fn is_version_char(b: u8) -> bool {
-        b.is_ascii_alphanumeric() || b == b'.' || b == b':' || b == b',' || b == b'_' || b == b'-'
+        b.is_ascii_alphanumeric()
+            || b == b'.'
+            || b == b':'
+            || b == b','
+            || b == b'_'
+            || b == b'-'
             || b == b'='
     }
 
     fn is_value_char(b: u8) -> bool {
-        b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-' || b == b','
-            || b == b':'
+        b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-' || b == b',' || b == b':'
     }
 
     /// Parse one node (a name followed by sigils, possibly over multiple whitespace

@@ -292,11 +292,8 @@ impl ConcreteSpec {
             return h.clone();
         }
         let node = &self.nodes[index];
-        let mut dep_hashes: Vec<String> = node
-            .deps
-            .iter()
-            .map(|&(d, _)| self.node_hash_memo(d, memo))
-            .collect();
+        let mut dep_hashes: Vec<String> =
+            node.deps.iter().map(|&(d, _)| self.node_hash_memo(d, memo)).collect();
         dep_hashes.sort();
         let h = dag_hash(&node.format_node(), &dep_hashes);
         memo[index] = Some(h.clone());
@@ -387,7 +384,8 @@ impl fmt::Display for ConcreteSpec {
                 seen: &mut Vec<bool>,
                 f: &mut fmt::Formatter<'_>,
             ) -> fmt::Result {
-                let prefix = if depth == 0 { String::new() } else { format!("{}^", "    ".repeat(depth)) };
+                let prefix =
+                    if depth == 0 { String::new() } else { format!("{}^", "    ".repeat(depth)) };
                 writeln!(f, "{prefix}{}", spec.nodes[i].format_node())?;
                 if seen[i] {
                     return Ok(());
@@ -476,7 +474,9 @@ mod tests {
         let dag = sample_dag();
         assert!(dag.satisfies(&Spec::named("hdf5").with_variant("mpi", true)));
         assert!(!dag.satisfies(&Spec::named("hdf5").with_variant("mpi", false)));
-        assert!(dag.satisfies(&Spec::named("hdf5").with_compiler(CompilerSpec::at("gcc", "11.2.0"))));
+        assert!(
+            dag.satisfies(&Spec::named("hdf5").with_compiler(CompilerSpec::at("gcc", "11.2.0")))
+        );
         assert!(!dag.satisfies(&Spec::named("hdf5").with_compiler(CompilerSpec::named("intel"))));
     }
 

@@ -318,9 +318,7 @@ impl VersionConstraint {
         if self.is_any() || other.is_any() {
             return true;
         }
-        self.ranges
-            .iter()
-            .any(|a| other.ranges.iter().any(|b| a.intersects(b)))
+        self.ranges.iter().any(|a| other.ranges.iter().any(|b| a.intersects(b)))
     }
 
     /// Narrow this constraint by another one (logical AND): the result is the pairwise

@@ -183,7 +183,12 @@ fn default_record(
 fn topological_names(repo: &Repository) -> Vec<String> {
     let mut order = Vec::new();
     let mut state: BTreeMap<String, u8> = BTreeMap::new(); // 0 = unvisited, 1 = visiting, 2 = done
-    fn visit(repo: &Repository, name: &str, state: &mut BTreeMap<String, u8>, order: &mut Vec<String>) {
+    fn visit(
+        repo: &Repository,
+        name: &str,
+        state: &mut BTreeMap<String, u8>,
+        order: &mut Vec<String>,
+    ) {
         match state.get(name).copied().unwrap_or(0) {
             1 | 2 => return,
             _ => {}
@@ -260,8 +265,10 @@ mod tests {
     #[test]
     fn replicas_inflate_the_cache() {
         let repo = builtin_repo();
-        let small = synthesize_buildcache(&repo, &BuildcacheConfig { replicas: 1, ..Default::default() });
-        let big = synthesize_buildcache(&repo, &BuildcacheConfig { replicas: 3, ..Default::default() });
+        let small =
+            synthesize_buildcache(&repo, &BuildcacheConfig { replicas: 1, ..Default::default() });
+        let big =
+            synthesize_buildcache(&repo, &BuildcacheConfig { replicas: 3, ..Default::default() });
         assert!(big.len() > small.len());
     }
 
@@ -273,9 +280,7 @@ mod tests {
         // hdf5 +mpi (default) must depend on a concrete MPI provider, not on "mpi".
         assert!(hdf5.deps.iter().all(|(n, _)| n != "mpi"));
         assert!(
-            hdf5.deps
-                .iter()
-                .any(|(n, _)| repo.providers("mpi").contains(n)),
+            hdf5.deps.iter().any(|(n, _)| repo.providers("mpi").contains(n)),
             "hdf5 should link against an mpi provider: {:?}",
             hdf5.deps
         );

@@ -82,10 +82,7 @@ impl Database {
         record.hash = record.compute_hash();
         let hash = record.hash.clone();
         if !self.by_hash.contains_key(&hash) {
-            self.by_name
-                .entry(record.name.clone())
-                .or_default()
-                .push(hash.clone());
+            self.by_name.entry(record.name.clone()).or_default().push(hash.clone());
             self.by_hash.insert(hash.clone(), record);
         }
         hash
@@ -138,10 +135,7 @@ impl Database {
             };
             hashes[i] = Some(self.add(record));
         }
-        spec.roots
-            .iter()
-            .map(|&r| hashes[r].clone().expect("root hashed"))
-            .collect()
+        spec.roots.iter().map(|&r| hashes[r].clone().expect("root hashed")).collect()
     }
 
     /// Look up a record by hash.

@@ -25,10 +25,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            default_sample_size: 50,
-            default_measurement_time: Duration::from_secs(3),
-        }
+        Criterion { default_sample_size: 50, default_measurement_time: Duration::from_secs(3) }
     }
 }
 
@@ -226,9 +223,8 @@ mod tests {
 
     #[test]
     fn bencher_collects_samples_and_reports_mean() {
-        let report = run_bench(5, Duration::from_millis(50), |b| {
-            b.iter(|| std::hint::black_box(1 + 1))
-        });
+        let report =
+            run_bench(5, Duration::from_millis(50), |b| b.iter(|| std::hint::black_box(1 + 1)));
         assert!(report.samples >= 1 && report.samples <= 5);
         assert!(report.mean < Duration::from_millis(50));
     }

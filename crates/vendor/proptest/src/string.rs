@@ -37,11 +37,8 @@ pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
 
 fn emit_sequence(nodes: &[Repeat], rng: &mut TestRng, out: &mut String) {
     for rep in nodes {
-        let count = if rep.min == rep.max {
-            rep.min
-        } else {
-            rep.min + rng.below(rep.max - rep.min + 1)
-        };
+        let count =
+            if rep.min == rep.max { rep.min } else { rep.min + rng.below(rep.max - rep.min + 1) };
         for _ in 0..count {
             match &rep.node {
                 Node::Lit(c) => out.push(*c),
@@ -114,11 +111,8 @@ fn parse_quantifier(chars: &[char], pos: usize) -> (usize, usize, usize) {
     match chars.get(pos) {
         Some('?') => (0, 1, pos + 1),
         Some('{') => {
-            let close = chars[pos..]
-                .iter()
-                .position(|&c| c == '}')
-                .expect("unterminated quantifier")
-                + pos;
+            let close =
+                chars[pos..].iter().position(|&c| c == '}').expect("unterminated quantifier") + pos;
             let body: String = chars[pos + 1..close].iter().collect();
             let (min, max) = match body.split_once(',') {
                 Some((m, n)) => (

@@ -73,10 +73,7 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         if n == 0 {
             return Vec::new();
         }
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
         if workers <= 1 {
             return self.items.iter().map(&self.f).collect();
         }

@@ -53,11 +53,7 @@ fn main() {
             let hpctoolkit = result.spec.node("hpctoolkit").expect("root present");
             println!(
                 "solved without help: mpi variant = {}, mpich in DAG = {}",
-                hpctoolkit
-                    .variants
-                    .get("mpi")
-                    .map(|v| v.to_string())
-                    .unwrap_or_default(),
+                hpctoolkit.variants.get("mpi").map(|v| v.to_string()).unwrap_or_default(),
                 result.spec.contains("mpich")
             );
             println!("\n{}", result.spec);

@@ -16,14 +16,8 @@ use spack_concretizer::{Concretizer, SiteConfig};
 use spack_repo::{e4s_roots, synth_repo, SynthConfig};
 
 fn main() {
-    let n_packages: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(80);
-    let n_roots: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let n_packages: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let n_roots: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     let config = SynthConfig { packages: n_packages, ..Default::default() };
     let repo = synth_repo(&config);

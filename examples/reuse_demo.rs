@@ -17,8 +17,8 @@
 
 use spack_concretizer::{Concretizer, SiteConfig};
 use spack_repo::builtin_repo;
-use spack_store::{synthesize_buildcache, BuildcacheConfig, Database};
 use spack_spec::{Compiler, Platform};
+use spack_store::{synthesize_buildcache, BuildcacheConfig, Database};
 
 fn main() {
     let repo = builtin_repo();

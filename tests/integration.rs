@@ -58,9 +58,8 @@ fn validate(repo: &Repository, result: &Concretization) {
                 } else {
                     vec![dep_name.to_string()]
                 };
-                let satisfied = node.deps.iter().any(|&(d, _)| {
-                    target_names.contains(&spec.nodes[d].name)
-                });
+                let satisfied =
+                    node.deps.iter().any(|&(d, _)| target_names.contains(&spec.nodes[d].name));
                 assert!(
                     satisfied,
                     "{} is missing its unconditional dependency {}",
@@ -120,10 +119,7 @@ fn user_constraints_flow_to_dependencies() {
     assert_eq!(cmake.version.to_string(), "3.21.1");
     assert_eq!(cmake.variants.get("ssl"), Some(&VariantValue::Bool(false)));
     // cmake~ssl must not depend on openssl.
-    let openssl_dep = cmake
-        .deps
-        .iter()
-        .any(|&(d, _)| result.spec.nodes[d].name == "openssl");
+    let openssl_dep = cmake.deps.iter().any(|&(d, _)| result.spec.nodes[d].name == "openssl");
     assert!(!openssl_dep, "cmake~ssl must not link openssl");
 }
 
@@ -149,14 +145,9 @@ fn compiler_choice_limits_the_target() {
     // With only an old gcc available, the paper's example: skylake and newer cannot be
     // targeted, so the solver must fall back to an older microarchitecture.
     let repo = builtin_repo();
-    let site = SiteConfig {
-        compilers: vec![Compiler::new("gcc", "4.8.5")],
-        ..SiteConfig::minimal()
-    };
-    let result = Concretizer::new(&repo)
-        .with_site(site)
-        .concretize_str("zlib")
-        .unwrap();
+    let site =
+        SiteConfig { compilers: vec![Compiler::new("gcc", "4.8.5")], ..SiteConfig::minimal() };
+    let result = Concretizer::new(&repo).with_site(site).concretize_str("zlib").unwrap();
     let zlib = result.spec.node("zlib").unwrap();
     assert_eq!(zlib.compiler, Compiler::new("gcc", "4.8.5"));
     assert_ne!(zlib.target, "skylake");
@@ -201,10 +192,7 @@ fn reuse_prefers_installed_packages_and_respects_constraints() {
     let site = SiteConfig::quartz();
     // Cache the result of a previous concretization — reuse should then be total.
     let mut db = Database::new();
-    let previous = Concretizer::new(&repo)
-        .with_site(site.clone())
-        .concretize_str("hdf5")
-        .unwrap();
+    let previous = Concretizer::new(&repo).with_site(site.clone()).concretize_str("hdf5").unwrap();
     db.add_concrete_spec(&previous.spec);
 
     let with_reuse = Concretizer::new(&repo)
@@ -256,9 +244,7 @@ fn synthetic_repository_concretizes_cleanly() {
     let concretizer = Concretizer::new(&repo).with_site(site);
     let mut solved = 0;
     for root in spack_repo::e4s_roots(&repo).iter().take(4) {
-        let result = concretizer
-            .concretize_str(root)
-            .unwrap_or_else(|e| panic!("{root}: {e}"));
+        let result = concretizer.concretize_str(root).unwrap_or_else(|e| panic!("{root}: {e}"));
         validate(&repo, &result);
         assert!(result.spec.contains(root));
         solved += 1;
@@ -304,18 +290,12 @@ fn identical_requests_are_deterministic() {
 fn store_roundtrip_preserves_reusability() {
     let repo = builtin_repo();
     let site = SiteConfig::quartz();
-    let result = Concretizer::new(&repo)
-        .with_site(site.clone())
-        .concretize_str("example")
-        .unwrap();
+    let result = Concretizer::new(&repo).with_site(site.clone()).concretize_str("example").unwrap();
     let mut db = Database::new();
     let roots = db.add_concrete_spec(&result.spec);
     assert_eq!(roots.len(), 1);
     // The stored root must be findable by exact hash from an identical concretization.
-    let again = Concretizer::new(&repo)
-        .with_site(site)
-        .concretize_str("example")
-        .unwrap();
+    let again = Concretizer::new(&repo).with_site(site).concretize_str("example").unwrap();
     let root_index = again.spec.roots[0];
     assert!(db.query_exact(&again.spec, root_index).is_some());
 }
@@ -326,9 +306,12 @@ fn unsatisfiable_combinations_are_detected_not_mis_solved() {
     // netcdf-c requires hdf5+mpi; force ~mpi through the command line: no valid solution.
     let err = quartz_concretizer(&repo).concretize_str("netcdf-c ^hdf5~mpi");
     assert!(err.is_err());
-    // And the error is Unsatisfiable (not a crash or a wrong answer).
+    // And the error is Unsatisfiable (not a crash or a wrong answer), carrying an
+    // actionable explanation.
     match err {
-        Err(spack_concretizer::ConcretizeError::Unsatisfiable) => {}
+        Err(spack_concretizer::ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
+            assert!(!diagnostics.is_empty(), "unsat errors must carry diagnostics");
+        }
         other => panic!("expected Unsatisfiable, got {other:?}"),
     }
 }
@@ -342,9 +325,5 @@ fn concrete_spec_display_round_trips_through_store() {
     assert!(text.contains("arch=linux-"));
     let mut db = Database::new();
     db.add_concrete_spec(&result.spec);
-    assert_eq!(
-        db.with_name("callpath").len(),
-        1,
-        "exactly one callpath record stored"
-    );
+    assert_eq!(db.with_name("callpath").len(), 1, "exactly one callpath record stored");
 }

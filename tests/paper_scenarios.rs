@@ -23,9 +23,7 @@ fn concretizer(repo: &spack_repo::Repository) -> Concretizer<'_> {
 fn section3c_example_with_zlib_constraint() {
     // The paper's walk-through: `example@1.0.0 ^zlib@1.2.11`.
     let repo = builtin_repo();
-    let result = concretizer(&repo)
-        .concretize_str("example@1.0.0 ^zlib@1.2.11")
-        .unwrap();
+    let result = concretizer(&repo).concretize_str("example@1.0.0 ^zlib@1.2.11").unwrap();
     let example = result.spec.node("example").unwrap();
     assert_eq!(example.version.to_string(), "1.0.0");
     // +bzip default on, bzip2 at 1.0.7-or-higher, zlib pinned, some MPI provider chosen.
@@ -34,10 +32,7 @@ fn section3c_example_with_zlib_constraint() {
     assert!(parse_spec("bzip2@1.0.7:").unwrap().versions.satisfies(&bzip2.version));
     assert_eq!(result.spec.node("zlib").unwrap().version.to_string(), "1.2.11");
     let repo2 = builtin_repo();
-    let mpi_provider = repo2
-        .providers("mpi")
-        .iter()
-        .find(|p| result.spec.contains(p));
+    let mpi_provider = repo2.providers("mpi").iter().find(|p| result.spec.contains(p));
     assert!(mpi_provider.is_some(), "a concrete MPI implementation must be selected");
     // All node parameters assigned (validity, Section III-C1).
     for node in &result.spec.nodes {
@@ -53,9 +48,7 @@ fn section3c_backtracking_over_bzip2_versions() {
     // unsatisfiability, while with a free bzip2 it must pick a different version rather
     // than fail.
     let repo = builtin_repo();
-    let ok = concretizer(&repo)
-        .concretize_str("example ^mpich@3.1 ^bzip2@1.0.7:")
-        .unwrap();
+    let ok = concretizer(&repo).concretize_str("example ^mpich@3.1 ^bzip2@1.0.7:").unwrap();
     let bzip2 = ok.spec.node("bzip2").unwrap();
     assert!(
         bzip2.version > spack_spec::Version::new("1.0.7"),
@@ -69,10 +62,12 @@ fn section3c_backtracking_over_bzip2_versions() {
     // in range) only by luck of preference order; when the range forces 1.0.7 it simply
     // errors after the fact.
     let greedy = GreedyConcretizer::new(&repo, SiteConfig::quartz());
-    let err = greedy
-        .concretize(&parse_spec("example ^mpich@3.1 ^bzip2@1.0.7").unwrap())
-        .unwrap_err();
-    assert!(matches!(err, GreedyError::ConflictTriggered { .. } | GreedyError::ConflictingDecision { .. }));
+    let err =
+        greedy.concretize(&parse_spec("example ^mpich@3.1 ^bzip2@1.0.7").unwrap()).unwrap_err();
+    assert!(matches!(
+        err,
+        GreedyError::ConflictTriggered { .. } | GreedyError::ConflictingDecision { .. }
+    ));
 }
 
 #[test]
@@ -81,10 +76,7 @@ fn section5b1_hpctoolkit_completeness() {
     // Old concretizer: fails, demands over-constraining.
     let greedy = GreedyConcretizer::new(&repo, SiteConfig::quartz());
     let err = greedy.concretize(&parse_spec("hpctoolkit ^mpich").unwrap()).unwrap_err();
-    assert_eq!(
-        err.to_string(),
-        "Package hpctoolkit does not depend on mpich"
-    );
+    assert_eq!(err.to_string(), "Package hpctoolkit does not depend on mpich");
     // ASP concretizer: finds the +mpi flip on its own.
     let result = concretizer(&repo).concretize_str("hpctoolkit ^mpich").unwrap();
     assert_eq!(
@@ -129,14 +121,9 @@ fn section5b3_berkeleygw_provider_specialization() {
     // `berkeleygw+openmp ^openblas`: openblas (as the chosen lapack provider) must get
     // threads=openmp, a conditional constraint on a virtual provider that the old
     // concretizer could not express.
-    let result = concretizer(&repo)
-        .concretize_str("berkeleygw+openmp ^openblas")
-        .unwrap();
+    let result = concretizer(&repo).concretize_str("berkeleygw+openmp ^openblas").unwrap();
     let openblas = result.spec.node("openblas").unwrap();
-    assert_eq!(
-        openblas.variants.get("threads"),
-        Some(&VariantValue::Value("openmp".into()))
-    );
+    assert_eq!(openblas.variants.get("threads"), Some(&VariantValue::Value("openmp".into())));
     assert!(openblas.provides.contains(&"lapack".to_string()));
     // fftw+openmp is imposed by the same condition chain.
     let fftw = result.spec.node("fftw").unwrap();
@@ -144,14 +131,9 @@ fn section5b3_berkeleygw_provider_specialization() {
 
     // Without +openmp (default is true in the recipe, so disable it): openblas keeps its
     // default threading model.
-    let result = concretizer(&repo)
-        .concretize_str("berkeleygw~openmp ^openblas")
-        .unwrap();
+    let result = concretizer(&repo).concretize_str("berkeleygw~openmp ^openblas").unwrap();
     let openblas = result.spec.node("openblas").unwrap();
-    assert_eq!(
-        openblas.variants.get("threads"),
-        Some(&VariantValue::Value("none".into()))
-    );
+    assert_eq!(openblas.variants.get("threads"), Some(&VariantValue::Value("none".into())));
 }
 
 #[test]

@@ -17,11 +17,10 @@ use spack_spec::{parse_spec, Spec, VariantValue, Version, VersionConstraint, Ver
 // ---------- generators -------------------------------------------------------------------
 
 fn version_strategy() -> impl Strategy<Value = Version> {
-    proptest::collection::vec(0u64..50, 1..4)
-        .prop_map(|parts| {
-            let text: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
-            Version::new(&text.join("."))
-        })
+    proptest::collection::vec(0u64..50, 1..4).prop_map(|parts| {
+        let text: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        Version::new(&text.join("."))
+    })
 }
 
 fn package_name_strategy() -> impl Strategy<Value = String> {
@@ -235,7 +234,7 @@ proptest! {
                     }
                 }
             }
-            Err(ConcretizeError::Unsatisfiable) | Err(ConcretizeError::UnknownPackage(_)) => {}
+            Err(ConcretizeError::Unsatisfiable { .. }) | Err(ConcretizeError::UnknownPackage(_)) => {}
             Err(other) => prop_assert!(false, "unexpected error: {other}"),
         }
     }
