@@ -8,8 +8,10 @@
 //!   :- node(P).`),
 //! * default negation (`not`) and comparison literals (`A != B`, `W < 10`),
 //! * conditional literals in rule bodies (`attr(N, A1) : condition_requirement(ID, N, A1)`),
-//! * `#minimize { W@P,T : body }.` statements with priorities, and
-//! * `#const name = value.` definitions and simple integer arithmetic in terms.
+//! * `#minimize { W@P,T : body }.` statements with priorities,
+//! * `#const name = value.` definitions and simple integer arithmetic in terms, and
+//! * `#external atom.` declarations of ground *guard atoms* whose truth is fixed per
+//!   solve (through an assumption) instead of being derived by rules.
 
 use std::fmt;
 
@@ -30,6 +32,15 @@ impl Term {
     /// True for the anonymous variable `_`.
     pub fn is_wildcard(&self) -> bool {
         matches!(self, Term::Var(v) if v == "_")
+    }
+
+    /// True when the term contains no variable (including the wildcard).
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Sym(_) | Term::Int(_) => true,
+            Term::Var(_) => false,
+            Term::BinOp(_, a, b) => a.is_ground() && b.is_ground(),
+        }
     }
 }
 
@@ -118,6 +129,11 @@ impl Atom {
     /// Construct an atom.
     pub fn new(pred: &str, args: Vec<Term>) -> Self {
         Atom { pred: pred.to_string(), args }
+    }
+
+    /// True when every argument is ground (no variables anywhere).
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
     }
 }
 
@@ -254,7 +270,8 @@ pub struct MinimizeElement {
     pub conditions: Vec<Literal>,
 }
 
-/// A parsed program: rules, minimize statements, and `#const` definitions.
+/// A parsed program: rules, minimize statements, `#const` definitions, and `#external`
+/// declarations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     /// All rules (facts, normal rules, choices, constraints).
@@ -263,6 +280,12 @@ pub struct Program {
     pub minimize: Vec<MinimizeElement>,
     /// `#const` definitions applied during grounding.
     pub consts: Vec<(String, Term)>,
+    /// `#external` declarations: ground atoms whose truth is *not* determined by the
+    /// program. The grounder interns them as possible atoms, the translation exempts
+    /// them from support-based elimination, and the stability check treats a true
+    /// external as founded — so a caller can fix each one per solve via an assumption
+    /// without regrounding (the clingo `#external` / `assign_external` pattern).
+    pub externals: Vec<Atom>,
 }
 
 impl Program {
@@ -271,16 +294,17 @@ impl Program {
         self.rules.extend(other.rules);
         self.minimize.extend(other.minimize);
         self.consts.extend(other.consts);
+        self.externals.extend(other.externals);
     }
 
     /// Total number of statements.
     pub fn len(&self) -> usize {
-        self.rules.len() + self.minimize.len()
+        self.rules.len() + self.minimize.len() + self.externals.len()
     }
 
     /// True when the program has no statements.
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty() && self.minimize.is_empty()
+        self.rules.is_empty() && self.minimize.is_empty() && self.externals.is_empty()
     }
 }
 

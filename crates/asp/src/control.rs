@@ -388,6 +388,12 @@ pub struct Control {
     ground: Option<GroundProgram>,
     translation: Option<Translation>,
     stats: Stats,
+    /// The reusable solver of the last UNSAT [`Control::solve_with_assumptions`]
+    /// call, with the fixed `#external` units it was built with: adopted by the next
+    /// [`Control::minimize_core`] as its probe (same clause database, learned clauses
+    /// included) instead of rebuilding a solver from scratch. Invalidated by
+    /// [`Control::ground`].
+    retired_unsat: Option<(crate::sat::Solver, Vec<Lit>)>,
 }
 
 impl Control {
@@ -401,6 +407,7 @@ impl Control {
             ground: None,
             translation: None,
             stats: Stats::default(),
+            retired_unsat: None,
         }
     }
 
@@ -443,6 +450,7 @@ impl Control {
         self.stats.clauses = translation.clauses.len();
         self.ground = Some(ground);
         self.translation = Some(translation);
+        self.retired_unsat = None; // built against the previous translation
         Ok(())
     }
 
@@ -464,6 +472,21 @@ impl Control {
         &mut self,
         assumptions: &[Assumption],
     ) -> Result<AssumeOutcome, AspError> {
+        self.solve_with_assumptions_floor(assumptions, self.config.priority_floor)
+    }
+
+    /// [`Control::solve_with_assumptions`] with a *per-solve* `priority_floor`
+    /// overriding [`SolverConfig::priority_floor`]: minimize levels below the floor are
+    /// neither optimized nor reported for this solve only. Together with `#external`
+    /// guard atoms this makes one ground program serve differently-parameterized
+    /// solves — e.g. the concretizer's diagnostics flip a `relax_mode` assumption and
+    /// raise the floor to optimize only the error levels, with no regrounding and no
+    /// solver rebuild between the phases.
+    pub fn solve_with_assumptions_floor(
+        &mut self,
+        assumptions: &[Assumption],
+        priority_floor: i64,
+    ) -> Result<AssumeOutcome, AspError> {
         let (ground, translation) = match (&self.ground, &self.translation) {
             (Some(g), Some(t)) => (g, t),
             _ => return Err(AspError::Usage("ground() must be called before solve()".into())),
@@ -471,11 +494,28 @@ impl Control {
         let start = Instant::now();
         // Map assumptions onto SAT literals. Atoms the grounder never saw are false in
         // every model: a positive assumption on one is trivially refuted by itself, a
-        // negative one is trivially satisfied (and skipped).
+        // negative one is trivially satisfied (and skipped). Assumptions on
+        // `#external` guard atoms are split off as *fixed* literals — root-level unit
+        // clauses in every solver of this solve (clingo's `assign_external`) — so the
+        // guard's consequences propagate once at the root instead of being re-decided
+        // per solver run, and guards never pollute unsat cores.
         let mut lits: Vec<Lit> = Vec::with_capacity(assumptions.len());
+        let mut fixed: Vec<Lit> = Vec::new();
+        let mut fixed_index: Vec<usize> = Vec::new();
         let mut lit_index: Vec<(Lit, usize)> = Vec::with_capacity(assumptions.len());
         for (i, a) in assumptions.iter().enumerate() {
             match self.assumption_lit(ground, a) {
+                Some(lit) if ground.atoms.is_external(lit.var() as crate::symbols::AtomId) => {
+                    // Contradictory guard assignments would turn into conflicting
+                    // root units — an empty-core UNSAT indistinguishable from
+                    // structural infeasibility. Blame the pair instead.
+                    if let Some(j) = fixed.iter().position(|&f| f == lit.negate()) {
+                        self.stats.solve_time += start.elapsed();
+                        return Ok(AssumeOutcome::Unsatisfiable { core: vec![fixed_index[j], i] });
+                    }
+                    fixed.push(lit);
+                    fixed_index.push(i);
+                }
                 Some(lit) => {
                     lits.push(lit);
                     lit_index.push((lit, i));
@@ -487,22 +527,31 @@ impl Control {
                 None => {}
             }
         }
+        let mut retired = None;
         let result = solve_optimal_assuming(
             ground,
             translation,
             &self.config.sat_config(),
             self.config.strategy,
             &lits,
-            self.config.priority_floor,
+            &fixed,
+            priority_floor,
+            &mut retired,
         )?;
         self.stats.solve_time += start.elapsed();
         match result {
             OptOutcome::Optimal(optimal) => {
+                // A satisfiable solve supersedes any stale retired solver: nothing
+                // will minimize a core now, so don't hold a clause database alive.
+                self.retired_unsat = None;
                 self.record_opt_stats(&optimal);
                 let model = self.extract_model(&optimal.model);
                 Ok(AssumeOutcome::Optimal { model, cost: optimal.cost })
             }
             OptOutcome::Unsat { core, sat } => {
+                // Keep the failed run's solver (and the guard units it was built
+                // with) for the follow-up core minimization.
+                self.retired_unsat = retired.map(|s| (s, fixed));
                 self.record_sat_stats(&sat);
                 let mut indices: Vec<usize> = core
                     .iter()
@@ -522,11 +571,20 @@ impl Control {
     /// model probe (no optimization), and a test that fails with an even smaller core
     /// shortcuts the loop. Returns the minimized core (indices into `assumptions`) and
     /// the number of probe solves performed.
+    ///
+    /// `pinned` assumptions are held in every probe but are never candidates for
+    /// deletion and never appear in the result — the caller uses them for `#external`
+    /// guard atoms (e.g. `relax_mode` pinned false) whose truth parameterizes the
+    /// program rather than expressing a requirement worth blaming. Without the pin a
+    /// probe could "satisfy" the remaining core merely by flipping the guard, deleting
+    /// genuinely necessary members.
     pub fn minimize_core(
         &mut self,
         assumptions: &[Assumption],
         core: &[usize],
+        pinned: &[Assumption],
     ) -> Result<(Vec<usize>, u64), AspError> {
+        let retired = self.retired_unsat.take();
         let (ground, translation) = match (&self.ground, &self.translation) {
             (Some(g), Some(t)) => (g, t),
             _ => {
@@ -546,10 +604,22 @@ impl Control {
         // One solver serves every deletion probe: assumptions are decisions, not
         // clauses, so the clause database (and every learned clause and loop nogood)
         // carries over between probes instead of being rebuilt per round.
-        let mut probe = StableProbe::new(ground, translation, &self.config.sat_config());
+        // Pinned guards are asserted as root-level units in the probe solver itself —
+        // held in every probe, never deletable, never blamed. When the preceding
+        // UNSAT solve left its solver behind with the same guard units, adopt it
+        // outright: same clause database, no rebuild, and the clauses learned while
+        // refuting the assumptions prune the probes too.
+        let pinned_lits: Vec<Lit> =
+            pinned.iter().filter_map(|a| self.assumption_lit(ground, a)).collect();
+        let mut probe = match retired {
+            Some((solver, fixed)) if fixed == pinned_lits => {
+                StableProbe::from_solver(ground, solver)
+            }
+            _ => StableProbe::new(ground, translation, &self.config.sat_config(), &pinned_lits),
+        };
         let mut i = 0;
         while i < core.len() {
-            // Probe the core with member `i` removed.
+            // Probe the core with member `i` removed (pinned guards always held).
             let mut trial_lits: Vec<Lit> = Vec::with_capacity(core.len() - 1);
             let mut trial_index: Vec<usize> = Vec::with_capacity(core.len() - 1);
             for (j, &idx) in core.iter().enumerate() {
@@ -567,15 +637,16 @@ impl Control {
             match probe.check(ground, &trial_lits) {
                 Some(sub_core) => {
                     // Still unsat without member `i`: drop it — and adopt the probe's
-                    // own (possibly smaller) core when it is one.
-                    if sub_core.is_empty() {
-                        core = Vec::new();
-                        break;
-                    }
+                    // own (possibly smaller) core when it is one. Pinned guards are
+                    // root units, so they never appear in the probe's core; an empty
+                    // sub-core means no deletable member is to blame at all.
                     let mut next: Vec<usize> = sub_core
                         .iter()
                         .filter_map(|l| {
-                            trial_lits.iter().position(|cl| cl == l).map(|p| trial_index[p])
+                            trial_lits
+                                .iter()
+                                .position(|cl| cl == l)
+                                .and_then(|p| trial_index.get(p).copied())
                         })
                         .collect();
                     next.sort_unstable();
@@ -785,7 +856,7 @@ mod tests {
         match ctl.solve_with_assumptions(&assumptions).unwrap() {
             AssumeOutcome::Unsatisfiable { core } => {
                 assert_eq!(core, vec![1, 2]);
-                let (minimized, rounds) = ctl.minimize_core(&assumptions, &core).unwrap();
+                let (minimized, rounds) = ctl.minimize_core(&assumptions, &core, &[]).unwrap();
                 assert_eq!(minimized, vec![1, 2]);
                 assert!(rounds >= 2, "each member must be probed: {rounds}");
             }
@@ -807,7 +878,7 @@ mod tests {
         ];
         match ctl.solve_with_assumptions(&assumptions).unwrap() {
             AssumeOutcome::Unsatisfiable { core } => {
-                let (minimized, _rounds) = ctl.minimize_core(&assumptions, &core).unwrap();
+                let (minimized, _rounds) = ctl.minimize_core(&assumptions, &core, &[]).unwrap();
                 assert_eq!(minimized, vec![2], "only the ~q assumption is to blame");
             }
             AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
@@ -881,6 +952,114 @@ mod tests {
             }
             SolveOutcome::Unsatisfiable => panic!("expected a model"),
         }
+    }
+
+    #[test]
+    fn external_guard_flips_between_solves_without_regrounding() {
+        // One grounding, two interpretations: with `relax` assumed false the guarded
+        // constraint is active (picking the flagged option is unsat); with `relax`
+        // assumed true the constraint is disabled and the violation is minimized.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program(
+            r#"
+            #external relax.
+            1 { pick(a); pick(b) } 1.
+            flagged(a).
+            violation(P) :- pick(P), flagged(P).
+            :- violation(P), not relax.
+            #minimize{ 1@1000,P : violation(P), relax }.
+            "#,
+        )
+        .unwrap();
+        ctl.ground().unwrap();
+        let pick_a = Assumption::holds("pick", &["a".into()]);
+        // Hard mode: pick(a) violates, so it is refuted and the core names it.
+        let hard = [pick_a.clone(), Assumption::fails("relax", &[])];
+        match ctl.solve_with_assumptions(&hard).unwrap() {
+            AssumeOutcome::Unsatisfiable { core } => assert!(core.contains(&0), "{core:?}"),
+            AssumeOutcome::Optimal { .. } => panic!("hard mode must refute pick(a)"),
+        }
+        // Hard mode without the offending pick is satisfiable and must choose b.
+        match ctl.solve_with_assumptions(&[Assumption::fails("relax", &[])]).unwrap() {
+            AssumeOutcome::Optimal { model, cost } => {
+                assert!(model.contains("pick", &["b".into()]));
+                assert!(!model.contains("relax", &[]));
+                assert_eq!(cost, vec![(1000, 0)]);
+            }
+            AssumeOutcome::Unsatisfiable { .. } => panic!("expected a model"),
+        }
+        // Relax mode on the SAME control (no second ground call): the violation is
+        // admitted and reported by the minimize level.
+        let ground_time = ctl.stats().ground_time;
+        let relaxed = [pick_a, Assumption::holds("relax", &[])];
+        match ctl.solve_with_assumptions_floor(&relaxed, 1000).unwrap() {
+            AssumeOutcome::Optimal { model, cost } => {
+                assert!(model.contains("violation", &["a".into()]));
+                assert_eq!(cost, vec![(1000, 1)]);
+            }
+            AssumeOutcome::Unsatisfiable { .. } => panic!("relax mode must admit the model"),
+        }
+        assert_eq!(ctl.stats().ground_time, ground_time, "no regrounding may happen");
+    }
+
+    #[test]
+    fn true_external_is_founded_not_unfounded() {
+        // `a` is supported only through the external guard: assuming the guard true
+        // must yield the stable model {g, a} — a stability check that treated g as
+        // underivable would refute it with a loop nogood.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("#external g. a :- g.").unwrap();
+        ctl.ground().unwrap();
+        match ctl.solve_with_assumptions(&[Assumption::holds("g", &[])]).unwrap() {
+            AssumeOutcome::Optimal { model, .. } => {
+                assert!(model.contains("g", &[]));
+                assert!(model.contains("a", &[]));
+            }
+            AssumeOutcome::Unsatisfiable { core } => panic!("unexpected unsat, core {core:?}"),
+        }
+        // Unassumed, the guard stays free; both truth values admit stable models.
+        assert_eq!(ctl.solve_models(8).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pinned_assumptions_survive_core_minimization() {
+        // Without the pin, every deletion probe could flip `g` true and disable the
+        // guarded constraint, wrongly deleting the genuinely necessary member p.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("#external g. { p; q }. :- p, not g.").unwrap();
+        ctl.ground().unwrap();
+        let assumptions = [Assumption::holds("p", &[]), Assumption::holds("q", &[])];
+        let pinned = [Assumption::fails("g", &[])];
+        let all: Vec<Assumption> =
+            assumptions.iter().cloned().chain(pinned.iter().cloned()).collect();
+        let core = match ctl.solve_with_assumptions(&all).unwrap() {
+            AssumeOutcome::Unsatisfiable { core } => core,
+            AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+        };
+        let search_core: Vec<usize> = core.into_iter().filter(|&i| i < 2).collect();
+        let (minimized, _rounds) = ctl.minimize_core(&assumptions, &search_core, &pinned).unwrap();
+        assert_eq!(minimized, vec![0], "only the p assumption is to blame");
+    }
+
+    #[test]
+    fn contradictory_external_assumptions_are_blamed() {
+        // Assigning a guard both ways must name the conflicting pair, not collapse
+        // into an empty-core UNSAT that reads as structural infeasibility.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("#external g. { p }.").unwrap();
+        ctl.ground().unwrap();
+        let a =
+            [Assumption::holds("g", &[]), Assumption::holds("p", &[]), Assumption::fails("g", &[])];
+        match ctl.solve_with_assumptions(&a).unwrap() {
+            AssumeOutcome::Unsatisfiable { core } => assert_eq!(core, vec![0, 2]),
+            AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+        }
+    }
+
+    #[test]
+    fn external_must_be_ground() {
+        let mut ctl = Control::new(SolverConfig::default());
+        assert!(matches!(ctl.add_program("#external g(X)."), Err(AspError::Parse(_))));
     }
 
     #[test]

@@ -332,13 +332,23 @@ impl<'a> Grounder<'a> {
             ground.atoms.set_certain(id);
         }
 
+        // Intern `#external` guard atoms as possible-but-uncertain: they seed the
+        // phase-1 fixpoint (rules may depend on them either way), yet nothing ever
+        // derives them — the translation and the stability check exempt them, so a
+        // per-solve assumption can fix their truth without regrounding.
+        for atom in &program.externals {
+            let ga = self.intern_ground_atom(atom, &consts)?;
+            let (id, _) = ground.atoms.intern(ga);
+            ground.atoms.set_external(id);
+        }
+
         // Compile rules.
         let mut crules = Vec::with_capacity(program.rules.len());
         for rule in &program.rules {
             // Ground facts in the program text (`node("hdf5").`) are handled directly.
             if rule.body.is_empty() {
                 if let Head::Atom(atom) = &rule.head {
-                    if atom_is_ground(atom) {
+                    if atom.is_ground() {
                         let ga = self.intern_ground_atom(atom, &consts)?;
                         let (id, _) = ground.atoms.intern(ga);
                         ground.atoms.set_certain(id);
@@ -1306,17 +1316,6 @@ impl<'a> Grounder<'a> {
 }
 
 // ---- term / atom evaluation helpers ---------------------------------------------------
-
-fn atom_is_ground(atom: &Atom) -> bool {
-    fn term_ground(t: &Term) -> bool {
-        match t {
-            Term::Sym(_) | Term::Int(_) => true,
-            Term::Var(_) => false,
-            Term::BinOp(_, a, b) => term_ground(a) && term_ground(b),
-        }
-    }
-    atom.args.iter().all(term_ground)
-}
 
 fn eval_term(term: &CTerm, subst: &[Option<Val>]) -> Option<Val> {
     match term {

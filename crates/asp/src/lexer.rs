@@ -19,6 +19,8 @@ pub enum Token {
     Maximize,
     /// `#const`
     Const,
+    /// `#external`
+    External,
     /// `not`
     Not,
     /// `:-`
@@ -71,6 +73,7 @@ impl fmt::Display for Token {
             Token::Minimize => write!(f, "#minimize"),
             Token::Maximize => write!(f, "#maximize"),
             Token::Const => write!(f, "#const"),
+            Token::External => write!(f, "#external"),
             Token::Not => write!(f, "not"),
             Token::If => write!(f, ":-"),
             Token::Dot => write!(f, "."),
@@ -169,6 +172,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                     "minimize" => Token::Minimize,
                     "maximize" => Token::Maximize,
                     "const" => Token::Const,
+                    "external" => Token::External,
                     other => {
                         return Err(LexError {
                             message: format!("unknown directive #{other}"),

@@ -29,6 +29,15 @@
 //! elements must be input facts, and every rule must be safe (each variable bound by a
 //! positive body literal). `#maximize`, function terms, and intervals are not supported.
 //!
+//! `#external atom.` declares a ground *guard atom* in the clingo style: the grounder
+//! treats it as possible, the translation exempts it from support-based elimination
+//! (it is free instead of forced false), and the stability check treats a true
+//! external as founded. Its truth is fixed per solve through an assumption
+//! ([`Control::solve_with_assumptions`]), so one ground program can serve several
+//! differently-parameterized solves — together with the per-solve priority floor of
+//! [`Control::solve_with_assumptions_floor`], this is what lets the concretizer flip
+//! between hard and relaxed error semantics without regrounding.
+//!
 //! # Example
 //!
 //! ```

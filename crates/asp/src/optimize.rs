@@ -105,7 +105,17 @@ pub fn solve_optimal(
     config: &SatConfig,
     strategy: OptStrategy,
 ) -> Result<Option<OptimalModel>, OptimizeError> {
-    match solve_optimal_assuming(ground, translation, config, strategy, &[], i64::MIN)? {
+    let mut retired = None;
+    match solve_optimal_assuming(
+        ground,
+        translation,
+        config,
+        strategy,
+        &[],
+        &[],
+        i64::MIN,
+        &mut retired,
+    )? {
         OptOutcome::Optimal(model) => Ok(Some(model)),
         OptOutcome::Unsat { .. } => Ok(None),
     }
@@ -116,18 +126,33 @@ pub fn solve_optimal(
 /// carries the core of assumptions responsible (tracked through conflict analysis by
 /// [`Solver::search_with_assumptions`]).
 ///
+/// `fixed` literals are asserted as root-level unit clauses in every solver this
+/// solve builds — the realization of clingo's `assign_external`: an `#external`
+/// guard's per-solve truth propagates once at the root instead of being re-decided
+/// (and its consequences re-propagated) on every solver run of the optimization.
+/// Fixed literals never appear in unsat cores; solvers do not outlive the solve, so
+/// the units leak into nothing.
+///
 /// `priority_floor` bounds the optimization effort: minimize levels with a priority
 /// *below* the floor are dropped entirely — neither optimized nor present in the
 /// returned objective vector. The diagnostics path uses this to minimize only the
 /// paper's `error(Priority, Msg, Args)` levels on the relaxed second-phase solve.
 /// Pass `i64::MIN` to optimize every level.
+///
+/// On an UNSAT outcome the solver of the failed (bound-free) initial run is handed
+/// back through `retired` — assumptions are plain decisions, so it is fully reusable,
+/// and its learned clauses make it a warm probe for follow-up work such as
+/// deletion-based core minimization (see [`StableProbe::from_solver`]).
+#[allow(clippy::too_many_arguments)]
 pub fn solve_optimal_assuming(
     ground: &GroundProgram,
     translation: &Translation,
     config: &SatConfig,
     strategy: OptStrategy,
     assumptions: &[Lit],
+    fixed: &[Lit],
     priority_floor: i64,
+    retired: &mut Option<Solver>,
 ) -> Result<OptOutcome, OptimizeError> {
     if ground.trivially_unsat {
         return Ok(OptOutcome::Unsat { core: Vec::new(), sat: SatStats::default() });
@@ -142,8 +167,18 @@ pub fn solve_optimal_assuming(
 
     // Initial model with no objective bounds. The solver stays live across levels: it
     // is only discarded when a level's final (UNSAT) bound poisons it, and only
-    // rebuilt lazily when a later level actually needs another run.
-    let mut live = Some(build_solver(translation, config, &[], &extra_clauses));
+    // rebuilt lazily when a later level actually needs another run. Every objective
+    // literal starts phase-biased towards *false* (clasp's optimization sign
+    // heuristic), so even the first model lands near the cheap end of the search
+    // space and the per-level descents start close to the optimum.
+    let mut live = Some(build_solver(translation, config, fixed, &[], &extra_clauses));
+    if let Some(solver) = live.as_mut() {
+        for level in &levels {
+            for &(l, _) in &level.lits {
+                solver.set_phase(l.var(), !l.is_pos());
+            }
+        }
+    }
     let mut best = {
         let solver = live.as_mut().expect("just built");
         match run_stable(solver, ground, &mut checker, &mut extra_clauses, assumptions, &mut stats)
@@ -155,6 +190,7 @@ pub fn solve_optimal_assuming(
                 // prove an objective bound optimal and carry no core).
                 let core = solver.failed_assumptions().to_vec();
                 stats.sat.absorb(&solver.stats);
+                *retired = live.take();
                 return Ok(OptOutcome::Unsat { core, sat: stats.sat });
             }
         }
@@ -168,6 +204,17 @@ pub fn solve_optimal_assuming(
     let mut fixed_bounds: Vec<LinearSpec> = Vec::new();
     let mut live_bounds: Vec<Option<usize>> = vec![None; levels.len()];
     for (li, level) in levels.iter().enumerate() {
+        // First attempt per level is an *optimistic zero-probe*: most levels of a
+        // lexicographic cascade optimize to zero, and proving "a zero-cost model
+        // exists" in one run beats walking the bound down one unit per model. Only
+        // when the probe fails (UNSAT — which poisons the solver exactly like a
+        // final optimality proof would) does the level fall back to classic
+        // one-step descents from the incumbent.
+        let mut optimistic_failed = false;
+        // The level's optimum is known to be strictly greater than this (a failed
+        // probe is a lower-bound proof): reaching `proven_above + 1` is optimal
+        // without paying a final UNSAT run.
+        let mut proven_above: i64 = -1;
         loop {
             let current = best_costs[li];
             if debug {
@@ -178,7 +225,7 @@ pub fn solve_optimal_assuming(
                     current
                 );
             }
-            if current == 0 {
+            if current == proven_above + 1 {
                 break;
             }
             let solver = match live.as_mut() {
@@ -187,27 +234,44 @@ pub fn solve_optimal_assuming(
                     // The previous run retired the solver (UNSAT bound). Rebuild with
                     // every frozen bound and loop nogood, warm-started from the
                     // incumbent's phases.
-                    let mut s = build_solver(translation, config, &fixed_bounds, &extra_clauses);
+                    let mut s =
+                        build_solver(translation, config, fixed, &fixed_bounds, &extra_clauses);
                     for (v, &val) in best.iter().enumerate() {
                         s.set_phase(v as Var, val);
                     }
-                    // The frozen bounds occupy the linear slots after the
-                    // translation's, in level order.
+                    // The frozen non-zero bounds occupy the linear slots after the
+                    // translation's, in level order; zero bounds became root-level
+                    // unit clauses inside build_solver and need no slot.
                     live_bounds = vec![None; levels.len()];
-                    for (lj, slot) in live_bounds.iter_mut().take(fixed_bounds.len()).enumerate() {
-                        *slot = Some(translation.linears.len() + lj);
+                    let mut slot = translation.linears.len();
+                    for (lj, b) in fixed_bounds.iter().enumerate() {
+                        if b.upper == 0 {
+                            live_bounds[lj] = Some(ZERO_BOUND);
+                        } else {
+                            live_bounds[lj] = Some(slot);
+                            slot += 1;
+                        }
                     }
                     live.insert(s)
                 }
             };
+            // Probe only when the incumbent is far from zero: at `current <= 2` a
+            // classic descent reaches a zero-cost model just as fast when one exists,
+            // and a failed probe would waste a full UNSAT proof (plus a solver
+            // rebuild) on levels whose optimum is small but nonzero.
+            let optimistic = !optimistic_failed
+                && current > 2
+                && strategy == OptStrategy::BranchAndBound
+                && live_bounds[li].is_none();
+            let bound = if optimistic { 0 } else { current - 1 };
             match strategy {
                 OptStrategy::BranchAndBound => {
-                    set_level_bound(solver, &mut live_bounds, li, level, current - 1);
+                    set_level_bound(solver, &mut live_bounds, li, level, bound);
                 }
                 OptStrategy::Descent => {
                     // Demand improvement on this level and at least no regression on the
                     // remaining ones simultaneously.
-                    set_level_bound(solver, &mut live_bounds, li, level, current - 1);
+                    set_level_bound(solver, &mut live_bounds, li, level, bound);
                     for (lj, l) in levels.iter().enumerate().skip(li + 1) {
                         set_level_bound(solver, &mut live_bounds, lj, l, best_costs[lj]);
                     }
@@ -226,10 +290,17 @@ pub fn solve_optimal_assuming(
                     best = m;
                 }
                 None => {
-                    // This level is proved optimal; the bound that proved it poisons
-                    // the solver, so retire it (a later level rebuilds on demand).
+                    // The bound that failed poisons the solver either way, so retire
+                    // it (a later run rebuilds on demand). A failed one-step descent
+                    // proves the level optimal; a failed zero-probe only proves the
+                    // optimum is nonzero — fall back to classic descents.
                     stats.sat.absorb(&solver.stats);
                     live = None;
+                    if optimistic {
+                        optimistic_failed = true;
+                        proven_above = 0;
+                        continue;
+                    }
                     break;
                 }
             }
@@ -272,10 +343,26 @@ pub struct StableProbe {
 }
 
 impl StableProbe {
-    /// Build the probe solver once from a grounded translation.
-    pub fn new(ground: &GroundProgram, translation: &Translation, config: &SatConfig) -> Self {
+    /// Build the probe solver once from a grounded translation. `fixed` literals are
+    /// asserted as root-level units — per-probe-session truths of `#external` guard
+    /// atoms that parameterize the program but are never candidates for blame.
+    pub fn new(
+        ground: &GroundProgram,
+        translation: &Translation,
+        config: &SatConfig,
+        fixed: &[Lit],
+    ) -> Self {
+        Self::from_solver(ground, build_solver(translation, config, fixed, &[], &[]))
+    }
+
+    /// Adopt an existing solver as the probe — typically the retired solver of a
+    /// failed [`solve_optimal_assuming`] initial run, whose clause database (with the
+    /// same fixed `#external` units and every clause learned refuting the failed
+    /// assumptions) is exactly the probe's starting point. Skips a full solver
+    /// rebuild, and the learned clauses usually pay again during the probes.
+    pub fn from_solver(ground: &GroundProgram, solver: Solver) -> Self {
         StableProbe {
-            solver: build_solver(translation, config, &[], &[]),
+            solver,
             checker: StabilityChecker::new(ground),
             trivially_unsat: ground.trivially_unsat,
             nogoods: 0,
@@ -342,7 +429,7 @@ pub fn enumerate_models_with_stats(
     if ground.trivially_unsat {
         return (models, SatStats::default(), examined);
     }
-    let mut solver = build_solver(translation, config, &[], &[]);
+    let mut solver = build_solver(translation, config, &[], &[], &[]);
     let mut checker = StabilityChecker::new(ground);
     loop {
         if models.len() >= limit {
@@ -423,12 +510,31 @@ fn level_bound(level: &Level, bound: i64) -> LinearSpec {
     LinearSpec { condition: None, lits, weights, lower: 0, upper: bound.max(0) as u64 }
 }
 
+/// Sentinel "slot" marking a level bound imposed at zero: a zero upper bound over
+/// positive weights just forces every weighted literal false, so it is asserted as
+/// root-level unit clauses instead of a watched linear constraint — cheaper to
+/// propagate, nothing to tighten later, and no heuristic focus needed. This is the
+/// common shape for levels that are trivially optimal at zero (e.g. the guarded error
+/// levels of a hard-mode concretizer solve).
+const ZERO_BOUND: usize = usize::MAX;
+
+/// Assert a zero bound as unit clauses: every literal with a positive weight must be
+/// false. (A zero-weight literal contributes nothing to the sum and must stay free.)
+fn pin_zero(solver: &mut Solver, lits: impl Iterator<Item = (Lit, u64)>) {
+    for (l, w) in lits {
+        if w > 0 && !solver.add_clause(&[l.negate()]) {
+            break;
+        }
+    }
+}
+
 /// Impose (or tighten) a level's objective bound on a live solver. The first time a
 /// level is bounded, a linear constraint is added and its literals are bumped and
 /// phase-biased towards *false* (clasp's optimization sign heuristic) — otherwise
 /// phase saving would keep steering the search back to the just-outlawed incumbent.
 /// Subsequent descents of the same level tighten that constraint's upper bound in
-/// place, so the solver never accumulates superseded bounds.
+/// place, so the solver never accumulates superseded bounds. A level first bounded at
+/// zero is pinned through unit clauses instead (see [`ZERO_BOUND`]).
 fn set_level_bound(
     solver: &mut Solver,
     live_bounds: &mut [Option<usize>],
@@ -437,6 +543,14 @@ fn set_level_bound(
     bound: i64,
 ) {
     let upper = bound.max(0) as u64;
+    if live_bounds[li] == Some(ZERO_BOUND) {
+        return; // already pinned at zero — no tighter bound exists
+    }
+    if live_bounds[li].is_none() && upper == 0 {
+        pin_zero(solver, level.lits.iter().copied());
+        live_bounds[li] = Some(ZERO_BOUND);
+        return;
+    }
     // Re-focus the heuristic on the objective at every descent, not only the first:
     // the activity bump and the false-bias refresh are what steer the next search
     // towards cheaper models once phase saving has locked onto the incumbent.
@@ -455,12 +569,19 @@ fn set_level_bound(
 fn build_solver(
     translation: &Translation,
     config: &SatConfig,
+    fixed: &[Lit],
     bounds: &[LinearSpec],
     extra_clauses: &[Vec<Lit>],
 ) -> Solver {
     let mut solver = Solver::new(translation.num_vars, config.clone());
     for clause in &translation.clauses {
         if !solver.add_clause(clause) {
+            break;
+        }
+    }
+    // Per-solve truths of `#external` guard atoms, as root-level units.
+    for &l in fixed {
+        if !solver.add_clause(&[l]) {
             break;
         }
     }
@@ -473,6 +594,13 @@ fn build_solver(
         }
     }
     for b in bounds {
+        if b.upper == 0 {
+            // A frozen zero bound forces every weighted literal false: root-level
+            // unit clauses propagate this far more cheaply than a watched linear
+            // constraint, and the heuristic has nothing to decide about them.
+            pin_zero(&mut solver, b.lits.iter().copied().zip(b.weights.iter().copied()));
+            continue;
+        }
         solver.add_linear(b.clone());
         // Focus the heuristic on objective literals early.
         for &l in &b.lits {

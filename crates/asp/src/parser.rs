@@ -107,6 +107,17 @@ impl Parser {
                 self.expect(&Token::Dot)?;
                 program.consts.push((name, value));
             }
+            Some(Token::External) => {
+                // `#external atom.` — the atom must be ground (variables would need a
+                // domain to range over, which this dialect's externals do not have).
+                self.pos += 1;
+                let atom = self.parse_atom()?;
+                if !atom.is_ground() {
+                    return Err(self.error("#external atoms must be ground"));
+                }
+                self.expect(&Token::Dot)?;
+                program.externals.push(atom);
+            }
             Some(Token::Minimize) | Some(Token::Maximize) => {
                 let maximize = self.peek() == Some(&Token::Maximize);
                 if maximize {

@@ -156,10 +156,20 @@ impl StabilityChecker {
         self.worklist.clear();
 
         // Seed: input facts are derived; rules whose positive body is fully certain
-        // fire immediately (if their negative body survives the reduct).
+        // fire immediately (if their negative body survives the reduct). A true
+        // `#external` guard atom counts as derived too — its truth is supplied from
+        // outside the program (a per-solve assumption), like a fact, so atoms founded
+        // through it must not be reported unfounded. Unlike facts, externals occur in
+        // the occurrence counters, so they go on the worklist to decrement them.
         for (id, _) in ground.atoms.iter() {
             if ground.atoms.is_certain(id) {
                 self.derived[id as usize] = true;
+            }
+        }
+        for &ext in ground.atoms.externals() {
+            if model[ext as usize] && !self.derived[ext as usize] {
+                self.derived[ext as usize] = true;
+                self.worklist.push(ext);
             }
         }
         for ri in 0..self.base_remaining.len() {

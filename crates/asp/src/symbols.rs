@@ -213,6 +213,10 @@ pub struct AtomTable {
     by_pred_arg2: FxHashMap<(SymbolId, u8, Val, u8, Val), IdList>,
     /// Atoms known to be true in every model (input facts).
     certain: Vec<bool>,
+    /// `#external` guard atoms: never derived by a rule, but still allowed to be true
+    /// (their truth is fixed per solve by an assumption). Stored sparse — external
+    /// declarations are rare (a handful of guards per program).
+    external: Vec<AtomId>,
 }
 
 impl AtomTable {
@@ -313,6 +317,24 @@ impl AtomTable {
     /// Is the atom certainly true?
     pub fn is_certain(&self, id: AtomId) -> bool {
         self.certain[id as usize]
+    }
+
+    /// Mark an atom as an `#external` guard: exempt from support-based elimination and
+    /// the unfounded-set check, its truth fixed per solve by an assumption.
+    pub fn set_external(&mut self, id: AtomId) {
+        if !self.external.contains(&id) {
+            self.external.push(id);
+        }
+    }
+
+    /// Is the atom an `#external` guard?
+    pub fn is_external(&self, id: AtomId) -> bool {
+        self.external.contains(&id)
+    }
+
+    /// All `#external` guard atoms.
+    pub fn externals(&self) -> &[AtomId] {
+        &self.external
     }
 
     /// Iterate over all `(id, atom)` pairs.

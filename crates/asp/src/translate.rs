@@ -153,6 +153,12 @@ pub fn translate(ground: &GroundProgram) -> Translation {
         if ground.atoms.is_certain(id) {
             continue;
         }
+        // `#external` guard atoms are exempt from support-based elimination: no rule
+        // derives them, but they are free rather than forced false — the caller fixes
+        // each one per solve through an assumption.
+        if ground.atoms.is_external(id) {
+            continue;
+        }
         match &supports[id as usize] {
             None => {} // unconditionally supported
             Some(list) if list.is_empty() => {

@@ -364,6 +364,103 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn guarded_hard_mode_matches_plain_hard_program(program in program_strategy()) {
+        // The concretizer's single-grounding diagnostics fold rewrites hard
+        // constraints `:- body.` into `viol :- body. :- viol, not g.` with `g` an
+        // `#external` guard pinned false on the normal solve. With the guard false,
+        // the guarded program must have exactly the same stable models as the plain
+        // one — no semantics may leak from the guard machinery (free-but-unsupported
+        // external atom, guarded constraint, high-priority minimize level).
+        let plain = format!("{}:- p(X), q(X).\n", program.text);
+        let guarded = format!(
+            "{}viol(X) :- p(X), q(X).\n#external g.\n:- viol(X), not g.\n\
+             #minimize{{ 1@1000,X : viol(X) }}.\n",
+            program.text
+        );
+
+        let mut ctl_a = Control::new(SolverConfig::default());
+        ctl_a.add_program(&plain).expect("plain program parses");
+        ctl_a.ground().expect("plain program grounds");
+        let mut sets_a: Vec<Vec<String>> = ctl_a
+            .solve_models(1 << 16)
+            .expect("plain enumeration succeeds")
+            .iter()
+            .map(|m| {
+                let mut v: Vec<String> =
+                    m.atoms().iter().map(|(p, args)| render_atom(p, args)).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        sets_a.sort();
+
+        // Enumerate the guarded program (the free external explores both guard
+        // values), keep the guard-false models, and project the guard machinery away.
+        let mut ctl_b = Control::new(SolverConfig::default());
+        ctl_b.add_program(&guarded).expect("guarded program parses");
+        ctl_b.ground().expect("guarded program grounds");
+        let mut sets_b: Vec<Vec<String>> = ctl_b
+            .solve_models(1 << 16)
+            .expect("guarded enumeration succeeds")
+            .iter()
+            .filter(|m| !m.contains("g", &[]))
+            .map(|m| {
+                let mut v: Vec<String> = m
+                    .atoms()
+                    .iter()
+                    .filter(|(p, _)| p != "g" && p != "viol")
+                    .map(|(p, args)| render_atom(p, args))
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect();
+        sets_b.sort();
+        prop_assert_eq!(
+            sets_a,
+            sets_b,
+            "guard machinery leaked into the hard-mode models for:\n{}",
+            program.text
+        );
+
+        // And the optimizing solve with the guard *assumed* false must agree with the
+        // plain program on satisfiability and on every ordinary objective level (the
+        // guard's 1000-level reports zero).
+        let outcome_a = ctl_a.solve().expect("plain solve succeeds");
+        let outcome_b = ctl_b
+            .solve_with_assumptions(&[asp::control::Assumption::fails("g", &[])])
+            .expect("guarded solve succeeds");
+        match (outcome_a, outcome_b) {
+            (
+                asp::control::SolveOutcome::Optimal { cost: cost_a, .. },
+                asp::control::AssumeOutcome::Optimal { cost: cost_b, .. },
+            ) => {
+                let below: Vec<(i64, i64)> =
+                    cost_b.iter().copied().filter(|&(p, _)| p < 1000).collect();
+                prop_assert_eq!(cost_a, below, "ordinary levels diverge:\n{}", program.text);
+                prop_assert!(
+                    cost_b.iter().all(|&(p, v)| p < 1000 || v == 0),
+                    "guard level nonzero in hard mode:\n{}",
+                    program.text
+                );
+            }
+            (
+                asp::control::SolveOutcome::Unsatisfiable,
+                asp::control::AssumeOutcome::Unsatisfiable { .. },
+            ) => {}
+            (a, b) => {
+                prop_assert!(
+                    false,
+                    "satisfiability diverges (plain {:?}, guarded {:?}) for:\n{}",
+                    a,
+                    b,
+                    program.text
+                );
+            }
+        }
+    }
 }
 
 /// Re-ground the program just to obtain a symbol table matching the reference

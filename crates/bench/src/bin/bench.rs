@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p bench --bin bench -- [--scale medium] [--full] \
 //!     [--label after] [--out bench.json] [--compare BENCH_baseline_small.json] \
-//!     [--threshold 1.25]
+//!     [--threshold 1.25] [--counter-threshold 1.6]
 //! ```
 //!
 //! Runs the hot-path benchmark groups of the paper's evaluation (the same groups as the
@@ -17,8 +17,14 @@
 //! `--compare <baseline>` turns the run into a **regression gate**: per benchmark
 //! group, the summed means of the benches present in both reports are compared, and
 //! the process exits non-zero when any group's mean regressed by more than the
-//! threshold (default 1.25×). CI runs the small tier against the committed
-//! `BENCH_baseline_small.json` and fails the job on regression.
+//! threshold (default 1.25×, overridable via `--threshold` or the
+//! `BENCH_GATE_THRESHOLD` environment variable for slower runner fleets). Next to the
+//! wall clock, the gate also compares the machine-independent engine counters
+//! (grounder atoms/rules, solver conflicts/propagations) with their own threshold
+//! (default 1.6×, `--counter-threshold` / `BENCH_GATE_COUNTER_THRESHOLD`) — an
+//! algorithmic regression trips this even on hardware whose absolute speed no longer
+//! matches the machine that recorded the baseline. CI runs the small tier against the
+//! committed `BENCH_baseline_small.json` and fails the job on regression.
 //!
 //! The workloads are sized for the *medium* tier by default — large enough that the
 //! grounder's join/delta behaviour and the solver's propagation dominate, small enough
@@ -159,7 +165,18 @@ fn main() -> std::process::ExitCode {
     let label = get("--label").unwrap_or_else(|| "after".to_string());
     let out = get("--out").unwrap_or_else(|| "bench.json".to_string());
     let compare = get("--compare");
-    let threshold: f64 = get("--threshold").and_then(|t| t.parse().ok()).unwrap_or(1.25);
+    // Threshold resolution: CLI flag > environment > default. The env overrides let a
+    // slower (or noisier) runner fleet widen the wall-clock gate without editing the
+    // workflow, while the counter gate keeps its own, machine-independent threshold.
+    let env_threshold = |name: &str| std::env::var(name).ok().and_then(|t| t.parse().ok());
+    let threshold: f64 = get("--threshold")
+        .and_then(|t| t.parse().ok())
+        .or_else(|| env_threshold("BENCH_GATE_THRESHOLD"))
+        .unwrap_or(1.25);
+    let counter_threshold: f64 = get("--counter-threshold")
+        .and_then(|t| t.parse().ok())
+        .or_else(|| env_threshold("BENCH_GATE_COUNTER_THRESHOLD"))
+        .unwrap_or(1.6);
 
     // Gate runs (--compare) take more samples: the mean of 3 is too noisy to hold a
     // 1.25x threshold, and the gate's verdict must be worth trusting.
@@ -264,22 +281,38 @@ fn main() -> std::process::ExitCode {
         });
     }
 
-    // ---- unsat_diagnostics: the two-phase explanation pipeline ----------------------------
+    // ---- unsat_diagnostics: the single-grounding explanation pipeline ---------------------
     // Deliberately infeasible requests: wall-clock covers the failed solve plus core
-    // minimization and the relaxed re-solve; the counters expose the diagnostics cost.
+    // minimization and the relaxed re-solve (which reuses the first solve's ground
+    // program — second-phase grounding must be zero); the stages and counters expose
+    // the diagnostics cost per phase.
     for (name, spec) in [("version_pin", "zlib@9.9"), ("variant_pin", "netcdf-c ^hdf5~mpi")] {
         runner.measure("unsat_diagnostics", name, || {
             match Concretizer::new(&builtin).with_site(site.clone()).concretize_str(spec) {
                 Ok(_) => panic!("{spec} must be unsatisfiable"),
-                Err(spack_concretizer::ConcretizeError::Unsatisfiable { diagnostics, stats }) => (
-                    vec![("second_phase", stats.second_phase.as_secs_f64())],
-                    vec![
-                        ("core_size", stats.core_size as u64),
-                        ("minimized_core", stats.minimized_core_size as u64),
-                        ("minimize_rounds", stats.minimization_rounds),
-                        ("diagnostics", diagnostics.len() as u64),
-                    ],
-                ),
+                Err(spack_concretizer::ConcretizeError::Unsatisfiable { diagnostics, stats }) => {
+                    assert_eq!(
+                        stats.second_phase_ground,
+                        Duration::ZERO,
+                        "{spec}: the relaxed solve must not reground"
+                    );
+                    (
+                        vec![
+                            ("setup", stats.phases.setup.as_secs_f64()),
+                            ("load", stats.phases.load.as_secs_f64()),
+                            ("ground", stats.phases.ground.as_secs_f64()),
+                            ("solve", stats.phases.solve.as_secs_f64()),
+                            ("second_phase", stats.second_phase.as_secs_f64()),
+                            ("second_phase_ground", stats.second_phase_ground.as_secs_f64()),
+                        ],
+                        vec![
+                            ("core_size", stats.core_size as u64),
+                            ("minimized_core", stats.minimized_core_size as u64),
+                            ("minimize_rounds", stats.minimization_rounds),
+                            ("diagnostics", diagnostics.len() as u64),
+                        ],
+                    )
+                }
                 Err(other) => panic!("{spec}: unexpected error {other}"),
             }
         });
@@ -291,18 +324,41 @@ fn main() -> std::process::ExitCode {
     eprintln!("# wrote {out}");
 
     if let Some(baseline_path) = compare {
-        return compare_against_baseline(&baseline_path, &runner.records, threshold);
+        return compare_against_baseline(
+            &baseline_path,
+            &runner.records,
+            threshold,
+            counter_threshold,
+        );
     }
     std::process::ExitCode::SUCCESS
 }
 
+/// The engine counters the gate tracks next to wall clock: grounder instantiation
+/// work (possible atoms, ground rules) and solver search work (conflicts,
+/// propagations). Unlike wall clock these are machine-independent — the committed
+/// baseline stays meaningful even when the runner fleet's absolute speed drifts — so a
+/// regression here is a real algorithmic change, not scheduler noise.
+const GATED_COUNTERS: [&str; 4] = ["atoms", "rules", "conflicts", "propagations"];
+
+/// One baseline record: the mean wall clock plus the engine counters.
+struct BaselineEntry {
+    mean_s: f64,
+    counters: std::collections::BTreeMap<String, u64>,
+}
+
 /// The regression gate: compare this run's per-group mean against a baseline report,
-/// failing (non-zero exit) when any group regressed beyond `threshold`. Only benches
-/// present in both reports count, so adding or retiring benches never trips the gate.
+/// failing (non-zero exit) when any group regressed beyond `threshold` — and, next to
+/// the wall-clock check, compare the [`GATED_COUNTERS`] deltas against
+/// `counter_threshold` so regressions show even when the runner fleet's absolute speed
+/// differs from the machine that recorded the baseline. Only benches present in both
+/// reports count, so adding or retiring benches never trips the gate; counters absent
+/// from the baseline (older reports) are skipped the same way.
 fn compare_against_baseline(
     baseline_path: &str,
     records: &[Record],
     threshold: f64,
+    counter_threshold: f64,
 ) -> std::process::ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -323,17 +379,31 @@ fn compare_against_baseline(
             groups.push(r.group);
         }
     }
-    eprintln!("# regression gate vs {baseline_path} (threshold {threshold:.2}x)");
+    eprintln!(
+        "# regression gate vs {baseline_path} (wall {threshold:.2}x, counters {counter_threshold:.2}x)"
+    );
     let mut failed = false;
     for group in groups {
         let mut current_sum = 0.0;
         let mut baseline_sum = 0.0;
         let mut compared = 0;
+        // Per gated counter: summed (current, baseline) over benches carrying it.
+        let mut counter_sums: Vec<(u64, u64)> = vec![(0, 0); GATED_COUNTERS.len()];
         for r in records.iter().filter(|r| r.group == group) {
-            if let Some(&base) = baseline.get(&(group.to_string(), r.bench.clone())) {
-                current_sum += r.mean.as_secs_f64();
-                baseline_sum += base;
-                compared += 1;
+            let Some(base) = baseline.get(&(group.to_string(), r.bench.clone())) else {
+                continue;
+            };
+            current_sum += r.mean.as_secs_f64();
+            baseline_sum += base.mean_s;
+            compared += 1;
+            for (ci, name) in GATED_COUNTERS.iter().enumerate() {
+                let (Some(&base_v), Some(&(_, cur_v))) =
+                    (base.counters.get(*name), r.counters.iter().find(|(n, _)| n == name))
+                else {
+                    continue;
+                };
+                counter_sums[ci].0 += cur_v;
+                counter_sums[ci].1 += base_v;
             }
         }
         if compared == 0 || baseline_sum <= 0.0 {
@@ -349,9 +419,45 @@ fn compare_against_baseline(
         if ratio > threshold {
             failed = true;
         }
+        let mut gated = 0;
+        for (ci, name) in GATED_COUNTERS.iter().enumerate() {
+            let (cur, base) = counter_sums[ci];
+            if base == 0 && !baseline_has_counter(&baseline, group, records, name) {
+                continue; // counter absent from the baseline report
+            }
+            gated += 1;
+            // Ratio gate with a small absolute slack: tiny bases (a zero- or
+            // double-digit conflict count) make pure ratios meaningless, while a
+            // zero-to-millions jump must still fail — so a counter regresses when it
+            // exceeds BOTH the ratio threshold and base + 256.
+            let limit = (base as f64 * counter_threshold).max(base as f64 + 256.0);
+            if cur as f64 > limit {
+                let cratio = cur as f64 / (base.max(1)) as f64;
+                eprintln!(
+                    "  {group:<28}   counter {name}: baseline {base}  current {cur}  ratio {cratio:.2}x  REGRESSED"
+                );
+                failed = true;
+            }
+        }
+        let current_has_gated = records.iter().any(|r| {
+            r.group == group && r.counters.iter().any(|(n, v)| GATED_COUNTERS.contains(n) && *v > 0)
+        });
+        if gated == 0 && current_has_gated {
+            // Loud, because silence here would quietly disable the machine-
+            // independent half of the gate (e.g. a baseline whose counters object
+            // failed to parse after a format change). Groups that never expose the
+            // gated counters (like unsat_diagnostics) stay quiet.
+            eprintln!(
+                "  {group:<28}   WARNING: baseline carries no gated counters — counter gate \
+                 inactive for this group"
+            );
+        }
     }
     if failed {
-        eprintln!("# FAIL: at least one group regressed by more than {threshold:.2}x");
+        eprintln!(
+            "# FAIL: at least one group regressed beyond the wall-clock ({threshold:.2}x) or \
+             counter ({counter_threshold:.2}x) threshold"
+        );
         std::process::ExitCode::FAILURE
     } else {
         eprintln!("# gate passed");
@@ -359,20 +465,59 @@ fn compare_against_baseline(
     }
 }
 
-/// Parse a report produced by [`render_json`] into `(group, bench) -> mean_s`. The
-/// format is line-oriented (one result object per line), so a small field scanner is
-/// enough — the workspace deliberately has no JSON dependency.
-fn parse_report(text: &str) -> std::collections::BTreeMap<(String, String), f64> {
+/// Does the baseline carry `name` (even at value zero) for any bench of `group` that
+/// this run also measured? Distinguishes "recorded as zero" (gate with the absolute
+/// slack) from "absent from the report" (skip).
+fn baseline_has_counter(
+    baseline: &std::collections::BTreeMap<(String, String), BaselineEntry>,
+    group: &str,
+    records: &[Record],
+    name: &str,
+) -> bool {
+    records.iter().filter(|r| r.group == group).any(|r| {
+        baseline
+            .get(&(group.to_string(), r.bench.clone()))
+            .is_some_and(|b| b.counters.contains_key(name))
+    })
+}
+
+/// Parse a report produced by [`render_json`] into `(group, bench) ->`
+/// [`BaselineEntry`]. The format is line-oriented (one result object per line), so a
+/// small field scanner is enough — the workspace deliberately has no JSON dependency.
+fn parse_report(text: &str) -> std::collections::BTreeMap<(String, String), BaselineEntry> {
     let mut map = std::collections::BTreeMap::new();
     for line in text.lines() {
-        let (Some(group), Some(bench), Some(mean)) = (
+        let (Some(group), Some(bench), Some(mean_s)) = (
             json_str_field(line, "group"),
             json_str_field(line, "bench"),
             json_num_field(line, "mean_s"),
         ) else {
             continue;
         };
-        map.insert((group, bench), mean);
+        map.insert((group, bench), BaselineEntry { mean_s, counters: json_counters(line) });
+    }
+    map
+}
+
+/// Extract the `"counters": {"name": value, ...}` object of a single-line result.
+fn json_counters(line: &str) -> std::collections::BTreeMap<String, u64> {
+    let mut map = std::collections::BTreeMap::new();
+    let Some(start) = line.find("\"counters\": {") else {
+        return map;
+    };
+    let body = &line[start + "\"counters\": {".len()..];
+    let Some(end) = body.find('}') else {
+        return map;
+    };
+    for pair in body[..end].split(',') {
+        let mut halves = pair.splitn(2, ':');
+        let (Some(key), Some(value)) = (halves.next(), halves.next()) else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<u64>() {
+            map.insert(key.to_string(), v);
+        }
     }
     map
 }
@@ -411,7 +556,7 @@ fn scale_name(scale: Scale) -> &'static str {
 fn render_json(label: &str, scale: Scale, records: &[Record]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    writeln!(s, "  \"pr\": 3,").unwrap();
+    writeln!(s, "  \"pr\": 4,").unwrap();
     writeln!(s, "  \"label\": \"{label}\",").unwrap();
     writeln!(s, "  \"scale\": \"{}\",", scale_name(scale)).unwrap();
     s.push_str("  \"results\": [\n");

@@ -17,9 +17,15 @@
 //! ```
 //!
 //! On an unsatisfiable request the solver never answers with a bare "no": the
-//! two-phase diagnosis (unsat core + relaxed error minimization, see
-//! `spack_concretizer::diagnose`) always produces specific messages, and `--explain`
-//! prints all of them along with the implicated root requirements.
+//! single-grounding diagnosis (unsat core + relaxed error minimization on the same
+//! ground program, see `spack_concretizer::diagnose`) always produces specific
+//! messages, and `--explain` prints all of them along with the implicated root
+//! requirements.
+//!
+//! Exit codes distinguish *why* a solve did not produce a DAG: `1` for tool errors
+//! (bad arguments, parse failures, internal solver errors) and `2` for a well-formed
+//! but unsatisfiable request — so scripts can tell "your spec is wrong" from "the
+//! tool broke".
 
 use std::process::ExitCode;
 
@@ -203,7 +209,9 @@ fn cmd_spec(args: &[String]) -> ExitCode {
         }
         Err(ConcretizeError::Unsatisfiable { diagnostics, stats }) => {
             print_unsat_report(&options, &diagnostics, &stats);
-            ExitCode::FAILURE
+            // Exit 2: the request is well-formed but infeasible — distinct from the
+            // generic failure (1) used for tool and usage errors.
+            ExitCode::from(2)
         }
         Err(err) => {
             eprintln!("==> Error: {err}");
@@ -264,6 +272,11 @@ fn print_unsat_report(
             stats.core_size, stats.minimized_core_size, stats.minimization_rounds
         );
         eprintln!("  second phase (core minimization + relaxed solve): {:.1?}", stats.second_phase);
+        eprintln!(
+            "  phases (both solves combined): setup {:.1?}, load {:.1?}, ground {:.1?}, solve {:.1?}",
+            stats.phases.setup, stats.phases.load, stats.phases.ground, stats.phases.solve
+        );
+        eprintln!("  second-phase grounding: {:.1?}", stats.second_phase_ground);
     }
 }
 

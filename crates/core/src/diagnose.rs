@@ -3,17 +3,25 @@
 //! The paper's concretizer does not just find optimal solutions — it *explains*
 //! infeasible ones. Violations of the software model are encoded as weighted
 //! `error(Priority, Msg, Args)` facts (folded into the fixed-arity `error3`…`error6`
-//! predicates of `concretize.lp`), and the concretizer runs a two-phase solve:
+//! predicates of `concretize.lp`), interpreted by `error_guard.lp`: hard integrity
+//! constraints guarded behind `not relax_mode`, plus error-minimization levels
+//! conditioned on `relax_mode` — where `relax_mode` is an `#external` guard atom whose
+//! truth each solve fixes through an assumption. The concretizer grounds **once** and
+//! solves twice:
 //!
-//! 1. **Normal phase** — errors are hard integrity constraints (`error_hard.lp`), and
-//!    every root-spec condition is pinned true through a *solver assumption*. An UNSAT
+//! 1. **Normal solve** (`relax_mode` pinned false) — errors are hard, and every
+//!    root-spec condition is pinned true through a *solver assumption*. An UNSAT
 //!    answer therefore carries an **unsat core**: the subset of the user's requirements
-//!    that cannot hold together, minimized here by deletion (drop one member, re-probe).
-//! 2. **Relaxed phase** — the problem is re-solved with errors *minimized* above every
-//!    Table II criterion (`error_relax.lp`). The minimal set of surviving error atoms
-//!    names exactly which rules of the software model had to be violated, and each atom
-//!    is rendered into a human-readable [`Diagnostic`].
+//!    that cannot hold together, minimized here by deletion (drop one member, re-probe,
+//!    with the guard held false throughout).
+//! 2. **Relaxed solve** (`relax_mode` flipped true) — the *same* ground program is
+//!    re-solved with errors *minimized* above every Table II criterion (a priority
+//!    floor of 1000 skips the ordinary levels). The minimal set of surviving error
+//!    atoms names exactly which rules of the software model had to be violated, and
+//!    each atom is rendered into a human-readable [`Diagnostic`].
 //!
+//! Both solves share one control object — there is no second setup and no second
+//! grounding on the unsat path ([`DiagnosticsStats::second_phase_ground`] stays zero).
 //! The result is carried by [`crate::ConcretizeError::Unsatisfiable`], printed by
 //! `spack-solve --explain`.
 
@@ -62,7 +70,8 @@ pub struct Diagnostic {
 /// the bench harness so the price of explanations is visible next to solve times.
 #[derive(Debug, Clone, Default)]
 pub struct DiagnosticsStats {
-    /// Size of the unsat core as first extracted from conflict analysis.
+    /// Size of the unsat core as first extracted from conflict analysis (root-spec
+    /// assumptions only; the pinned `relax_mode` guard is bookkeeping, not blame).
     pub core_size: usize,
     /// Size of the core after deletion-based minimization.
     pub minimized_core_size: usize,
@@ -70,6 +79,14 @@ pub struct DiagnosticsStats {
     pub minimization_rounds: u64,
     /// Wall-clock time of the whole second phase (core minimization + relaxed solve).
     pub second_phase: Duration,
+    /// Combined per-phase accounting across the *entire* failed concretization — both
+    /// the normal and the relaxed solve. Before the single-grounding fold the second
+    /// phase's setup and grounding were invisible in exactly the numbers meant to
+    /// track them; now every phase is attributed here.
+    pub phases: crate::PhaseTimings,
+    /// Grounding time attributable to the second phase alone. Zero since the fold:
+    /// the relaxed solve reuses the normal solve's ground program.
+    pub second_phase_ground: Duration,
 }
 
 fn arg_str(args: &[Value], i: usize) -> String {

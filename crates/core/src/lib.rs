@@ -54,21 +54,25 @@ pub use greedy::{GreedyConcretizer, GreedyError, GreedyResult};
 
 /// The concretization logic program (the analogue of the ~800-line ASP program the paper
 /// describes in Section V). Violations derive `error(Priority, Msg, Args)`-scheme atoms
-/// interpreted by [`ERROR_HARD_LP`] or [`ERROR_RELAX_LP`].
+/// interpreted by [`ERROR_GUARD_LP`].
 pub const CONCRETIZE_LP: &str = include_str!("logic/concretize.lp");
 
-/// First-phase companion of [`CONCRETIZE_LP`]: every error atom is a hard integrity
-/// constraint.
-pub const ERROR_HARD_LP: &str = include_str!("logic/error_hard.lp");
+/// Companion of [`CONCRETIZE_LP`]: both interpretations of the error atoms — hard
+/// integrity constraints for the normal solve, minimized explanations for the relaxed
+/// diagnostics solve — in one program, switched by the `#external` guard atom
+/// `relax_mode` whose truth each solve fixes through an assumption. One grounding
+/// therefore serves both phases (the fold of the old `error_hard.lp` /
+/// `error_relax.lp` split).
+pub const ERROR_GUARD_LP: &str = include_str!("logic/error_guard.lp");
 
-/// Second-phase companion of [`CONCRETIZE_LP`]: error atoms are minimized above every
-/// Table II criterion, so the optimal model of an infeasible instance carries a minimal
-/// explanation.
-pub const ERROR_RELAX_LP: &str = include_str!("logic/error_relax.lp");
-
-/// Objective priority of the lowest error level in [`ERROR_RELAX_LP`]; the relaxed
-/// solve optimizes only levels at or above this floor.
+/// Objective priority of the lowest error level in [`ERROR_GUARD_LP`]; the relaxed
+/// solve optimizes only levels at or above this floor, and the normal solve's reported
+/// cost vector is truncated below it (error levels are trivially zero in hard mode).
 const ERROR_PRIORITY_FLOOR: i64 = 1000;
+
+/// The `#external` guard atom of [`ERROR_GUARD_LP`], pinned false on the normal solve
+/// and true on the relaxed diagnostics solve.
+const RELAX_MODE: &str = "relax_mode";
 
 /// Errors produced by the concretizer.
 #[derive(Debug)]
@@ -82,8 +86,10 @@ pub enum ConcretizeError {
     Unsatisfiable {
         /// Why no configuration exists, most severe first — never empty.
         diagnostics: Vec<Diagnostic>,
-        /// Unsat-core sizes, minimization rounds, and second-phase solve time.
-        stats: DiagnosticsStats,
+        /// Unsat-core sizes, minimization rounds, combined per-phase accounting, and
+        /// second-phase solve time (boxed: the accounting is bulky and the error is
+        /// returned through many `Result`s).
+        stats: Box<DiagnosticsStats>,
     },
     /// The solver failed.
     Solver(asp::AspError),
@@ -97,21 +103,39 @@ impl fmt::Display for ConcretizeError {
             ConcretizeError::UnknownPackage(p) => write!(f, "unknown package: {p}"),
             ConcretizeError::Setup(m) => write!(f, "setup error: {m}"),
             ConcretizeError::Unsatisfiable { diagnostics, .. } => {
+                // Never empty: enforced at construction by `ConcretizeError::
+                // unsatisfiable`, so the report always leads with a specific message.
+                debug_assert!(!diagnostics.is_empty(), "Unsatisfiable without diagnostics");
                 write!(f, "no valid configuration exists")?;
-                match diagnostics.as_slice() {
-                    [] => Ok(()),
-                    [first, rest @ ..] => {
-                        write!(f, ": {}", first.message)?;
-                        if !rest.is_empty() {
-                            write!(f, " (+{} more diagnostics)", rest.len())?;
-                        }
-                        Ok(())
+                if let Some(first) = diagnostics.first() {
+                    write!(f, ": {}", first.message)?;
+                    if diagnostics.len() > 1 {
+                        write!(f, " (+{} more diagnostics)", diagnostics.len() - 1)?;
                     }
                 }
+                Ok(())
             }
             ConcretizeError::Solver(e) => write!(f, "solver error: {e}"),
             ConcretizeError::Extraction(m) => write!(f, "extraction error: {m}"),
         }
+    }
+}
+
+impl ConcretizeError {
+    /// The single construction site of [`ConcretizeError::Unsatisfiable`], enforcing
+    /// the documented "diagnostics never empty" invariant: when neither the relaxed
+    /// solve nor the unsat core produced an explanation, the structural fallback
+    /// diagnostic is inserted — no error path can fabricate an empty report.
+    fn unsatisfiable(
+        mut diagnostics: Vec<Diagnostic>,
+        stats: DiagnosticsStats,
+        roots: &[Spec],
+    ) -> Self {
+        if diagnostics.is_empty() {
+            let roots_text = roots.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ");
+            diagnostics.push(diagnose::structural_diagnostic(&roots_text));
+        }
+        ConcretizeError::Unsatisfiable { diagnostics, stats: Box::new(stats) }
     }
 }
 
@@ -226,12 +250,14 @@ impl<'a> Concretizer<'a> {
 
     /// Concretize one or more abstract root specs into a single concrete DAG.
     ///
-    /// On infeasible input this runs the two-phase diagnostics pipeline (see
-    /// [`diagnose`]): the first solve pins every root-spec condition through solver
-    /// assumptions so UNSAT yields an unsat core, the core is minimized by deletion,
-    /// and a relaxed re-solve minimizes the `error(Priority, Msg, Args)` atoms to
-    /// produce per-rule explanations. The returned
-    /// [`ConcretizeError::Unsatisfiable`] always carries at least one diagnostic.
+    /// On infeasible input this runs the single-grounding diagnostics pipeline (see
+    /// [`diagnose`]): the normal solve pins every root-spec condition through solver
+    /// assumptions (and the `relax_mode` guard false) so UNSAT yields an unsat core,
+    /// the core is minimized by deletion, and a relaxed re-solve *on the same ground
+    /// program* — `relax_mode` flipped true — minimizes the
+    /// `error(Priority, Msg, Args)` atoms to produce per-rule explanations. The
+    /// returned [`ConcretizeError::Unsatisfiable`] always carries at least one
+    /// diagnostic.
     pub fn concretize(&self, roots: &[Spec]) -> Result<Concretization, ConcretizeError> {
         if roots.is_empty() {
             return Err(ConcretizeError::Setup("at least one root spec is required".into()));
@@ -242,17 +268,26 @@ impl<'a> Concretizer<'a> {
             setup_problem(self.repo, &self.site, self.database, roots, self.solver.clone())?;
         let setup_time = setup_start.elapsed();
 
-        // Phase 2: load the logic program (errors hard for the normal solve).
+        // Phase 2: load the software model plus both guarded error interpretations.
         ctl.add_program(CONCRETIZE_LP)?;
-        ctl.add_program(ERROR_HARD_LP)?;
+        ctl.add_program(ERROR_GUARD_LP)?;
 
-        // Phases 3 and 4: ground and solve, pinning the root-spec conditions true.
+        // Phases 3 and 4: ground once, then solve in hard mode — the root-spec
+        // conditions pinned true, the relax_mode guard pinned false.
         ctl.ground()?;
-        let assumptions: Vec<Assumption> = setup_info
+        let root_assumptions: Vec<Assumption> = setup_info
             .root_conditions
             .iter()
             .map(|(id, _)| Assumption::holds("assumed", &[Value::Int(*id)]))
             .collect();
+        // The guard goes FIRST — `explain_unsat` decodes core indices under the
+        // invariant that index 0 is the guard and index i>0 is root i-1. (The engine
+        // realizes an external assumption as a root-level unit clause wherever it
+        // sits, and it never appears in cores, so only the index mapping depends on
+        // this position.)
+        let mut assumptions = Vec::with_capacity(root_assumptions.len() + 1);
+        assumptions.push(Assumption::fails(RELAX_MODE, &[]));
+        assumptions.extend(root_assumptions.iter().cloned());
         let outcome = ctl.solve_with_assumptions(&assumptions)?;
 
         let stats = ctl.stats().clone();
@@ -264,10 +299,20 @@ impl<'a> Concretizer<'a> {
         };
 
         match outcome {
-            AssumeOutcome::Unsatisfiable { core } => {
-                Err(self.explain_unsat(roots, &setup_info, &mut ctl, &assumptions, core))
-            }
+            AssumeOutcome::Unsatisfiable { core } => Err(self.explain_unsat(
+                roots,
+                &setup_info,
+                &mut ctl,
+                &root_assumptions,
+                core,
+                setup_time,
+            )),
             AssumeOutcome::Optimal { model, cost } => {
+                // The error levels of ERROR_GUARD_LP are trivially zero in hard mode;
+                // they are an implementation detail of the diagnostics fold, not part
+                // of the Table II objective vector.
+                let cost: Vec<(i64, i64)> =
+                    cost.into_iter().filter(|&(p, _)| p < ERROR_PRIORITY_FLOOR).collect();
                 let root_names: Vec<String> = roots.iter().filter_map(|r| r.name.clone()).collect();
                 let extraction = extract::extract(&model, &root_names)?;
                 // Sanity check: every named (non-virtual) root must be present.
@@ -293,20 +338,30 @@ impl<'a> Concretizer<'a> {
         }
     }
 
-    /// The second phase of the diagnostics pipeline: minimize the unsat core from the
-    /// failed normal solve, re-solve with errors relaxed/minimized, and render both
-    /// into [`Diagnostic`]s.
+    /// The second phase of the diagnostics pipeline, run on the *same* control as the
+    /// failed normal solve: minimize the unsat core, flip the `relax_mode` guard true
+    /// and re-solve (errors minimized instead of forbidden — no second setup, no
+    /// second grounding), and render both into [`Diagnostic`]s.
     fn explain_unsat(
         &self,
         roots: &[Spec],
         setup_info: &SetupInfo,
         ctl: &mut asp::Control,
-        assumptions: &[Assumption],
+        root_assumptions: &[Assumption],
         core: Vec<usize>,
+        setup_time: Duration,
     ) -> ConcretizeError {
         let second_phase_start = Instant::now();
-        let core_size = core.len();
-        let (min_core, rounds) = match ctl.minimize_core(assumptions, &core) {
+        let ground_before = ctl.stats().ground_time;
+        // The search core indexes the combined assumption slice (the pinned
+        // relax_mode guard at index 0, then the roots). The guard is solve
+        // parameterization, not a blameable user requirement — strip it (and shift
+        // the root indices back) before minimizing and reporting.
+        let search_core: Vec<usize> = core.into_iter().filter(|&i| i > 0).map(|i| i - 1).collect();
+        let core_size = search_core.len();
+        let relax_off = [Assumption::fails(RELAX_MODE, &[])];
+        let (min_core, rounds) = match ctl.minimize_core(root_assumptions, &search_core, &relax_off)
+        {
             Ok(r) => r,
             Err(e) => return ConcretizeError::Solver(e),
         };
@@ -316,36 +371,20 @@ impl<'a> Concretizer<'a> {
             .filter_map(|&i| setup_info.root_conditions.get(i).map(|(_, t)| t.clone()))
             .collect();
 
-        // Relaxed re-solve: same facts, same assumptions, but errors are minimized
-        // (above every ordinary criterion) instead of forbidden. The priority floor
-        // skips the Table II levels entirely — only the explanation matters here.
-        // This re-runs setup and grounding because ERROR_HARD_LP cannot be unloaded
-        // from the first control; the duplication is confined to the (interactive,
-        // already-failed) unsat path and is tracked by the unsat_diagnostics bench
-        // group. Folding both error interpretations into one grounding behind a
-        // relax-mode assumption is the known follow-up (see ROADMAP).
-        let relaxed = (|| -> Result<Vec<Diagnostic>, asp::AspError> {
-            let relaxed_config =
-                SolverConfig { priority_floor: ERROR_PRIORITY_FLOOR, ..self.solver.clone() };
-            let (mut ctl2, _info) =
-                match setup_problem(self.repo, &self.site, self.database, roots, relaxed_config) {
-                    Ok(r) => r,
-                    Err(_) => return Ok(Vec::new()), // setup succeeded once; be defensive
-                };
-            ctl2.add_program(CONCRETIZE_LP)?;
-            ctl2.add_program(ERROR_RELAX_LP)?;
-            ctl2.ground()?;
-            match ctl2.solve_with_assumptions(assumptions)? {
-                AssumeOutcome::Optimal { model, .. } => {
-                    Ok(diagnose::diagnostics_from_model(&model))
-                }
-                // Structurally infeasible even with errors relaxed (e.g. two root
-                // requirements pinning one decision both ways): the core explains it.
-                AssumeOutcome::Unsatisfiable { .. } => Ok(Vec::new()),
-            }
-        })();
-        let mut diagnostics = match relaxed {
-            Ok(d) => d,
+        // Relaxed re-solve, reusing the first control's ground program: same facts,
+        // same root assumptions, only the relax_mode guard flips true. The priority
+        // floor skips the Table II levels entirely — only the explanation matters
+        // here. Engine failures propagate as real errors; they are never degraded
+        // into an empty (fabricated) report.
+        let mut relaxed_assumptions = root_assumptions.to_vec();
+        relaxed_assumptions.push(Assumption::holds(RELAX_MODE, &[]));
+        let mut diagnostics = match ctl
+            .solve_with_assumptions_floor(&relaxed_assumptions, ERROR_PRIORITY_FLOOR)
+        {
+            Ok(AssumeOutcome::Optimal { model, .. }) => diagnose::diagnostics_from_model(&model),
+            // Structurally infeasible even with errors relaxed (e.g. two root
+            // requirements pinning one decision both ways): the core explains it.
+            Ok(AssumeOutcome::Unsatisfiable { .. }) => Vec::new(),
             Err(e) => return ConcretizeError::Solver(e),
         };
 
@@ -362,20 +401,25 @@ impl<'a> Concretizer<'a> {
             }
             diagnostics.insert(0, core_diag);
         }
-        if diagnostics.is_empty() {
-            let roots_text = roots.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ");
-            diagnostics.push(diagnose::structural_diagnostic(&roots_text));
-        }
 
-        ConcretizeError::Unsatisfiable {
+        let stats = ctl.stats();
+        ConcretizeError::unsatisfiable(
             diagnostics,
-            stats: DiagnosticsStats {
+            DiagnosticsStats {
                 core_size,
                 minimized_core_size: min_core.len(),
                 minimization_rounds: rounds,
                 second_phase: second_phase_start.elapsed(),
+                phases: PhaseTimings {
+                    setup: setup_time,
+                    load: stats.load_time,
+                    ground: stats.ground_time,
+                    solve: stats.solve_time,
+                },
+                second_phase_ground: stats.ground_time.saturating_sub(ground_before),
             },
-        }
+            roots,
+        )
     }
 }
 

@@ -1,5 +1,7 @@
 //! Golden corpus of deliberately unsolvable requests, asserting the *exact* diagnostic
-//! messages the two-phase unsat pipeline produces (see `spack_concretizer::diagnose`).
+//! messages the single-grounding unsat pipeline produces (see
+//! `spack_concretizer::diagnose`) — byte-identical to the output of the pre-fold
+//! two-grounding pipeline, per the full-report corpus below.
 //!
 //! Every scenario must yield at least one specific, human-readable diagnostic — never a
 //! bare "no valid configuration exists". The corpus covers the scenario classes of the
@@ -194,6 +196,91 @@ fn provider_that_cannot_provide() {
     assert_message(&diags, "mockblas cannot provide 'blas' under the chosen configuration");
 }
 
+/// The full diagnostic reports of every golden scenario, byte for byte, captured from
+/// the pre-fold (two-grounding) pipeline and asserted unchanged across the
+/// single-grounding fold: one line per diagnostic as
+/// `scenario|severity|priority|code|message|provenance(;-joined)`, in report order.
+const GOLDEN_REPORTS: &str = "\
+version_constraint|Note|110|unsat-requirement|the requirement `zlib@9.9` cannot be satisfied|zlib@9.9
+version_constraint|Error|90|version-constraint|zlib: no known version satisfies the constraint @9.9|zlib@9.9
+conflicting_roots|Note|110|conflicting-requirements|the requirements `zlib@1.2.8`, `zlib@1.2.12` cannot all hold together|zlib@1.2.8;zlib@1.2.12
+conflicting_roots|Error|90|version-constraint|zlib: no known version satisfies the constraint @1.2.8|zlib@1.2.8;zlib@1.2.12
+incompatible_variant_roots|Note|110|conflicting-requirements|the requirements `example+bzip`, `example~bzip` cannot all hold together|example+bzip;example~bzip
+incompatible_variant_roots|Error|85|variant-conflict|conflicting values imposed on variant 'bzip' of example: false vs true|example+bzip;example~bzip
+section5b|Note|110|unsat-requirement|the requirement `^hdf5~mpi` cannot be satisfied|^hdf5~mpi
+section5b|Error|85|variant-conflict|conflicting values imposed on variant 'mpi' of hdf5: false vs true|^hdf5~mpi
+invalid_variant_value|Note|110|unsat-requirement|the requirement `example bzip=maybe` cannot be satisfied|example bzip=maybe
+invalid_variant_value|Error|83|variant-value|invalid value 'maybe' for variant 'bzip' of example|example bzip=maybe
+unknown_variant|Note|110|unsat-requirement|the requirement `zlib+bogus` cannot be satisfied|zlib+bogus
+unknown_variant|Error|80|unknown-variant|package zlib has no variant 'bogus'|zlib+bogus
+conflict_directive|Note|110|unsat-requirement|the requirement `example%intel` cannot be satisfied|example%intel
+conflict_directive|Error|75|conflict|example: conflicts with %intel|example%intel
+compiler_constraint|Note|110|unsat-requirement|the requirement `zlib%gcc@99.9` cannot be satisfied|zlib%gcc@99.9
+compiler_constraint|Error|68|compiler-constraint|zlib: no available compiler satisfies %gcc@99.9|zlib%gcc@99.9
+target_constraint|Note|110|unsat-requirement|the requirement `zlib target=rv64gc` cannot be satisfied|zlib target=rv64gc
+target_constraint|Error|60|target-constraint|zlib: no available target satisfies target=rv64gc|zlib target=rv64gc
+compiler_target|Note|110|unsat-requirement|the requirement `zlib%gcc@4.8.5 target=skylake` cannot be satisfied|zlib%gcc@4.8.5 target=skylake
+compiler_target|Error|59|compiler-target|compiler gcc@4.8.5 cannot build zlib for target skylake|zlib%gcc@4.8.5 target=skylake
+unjustified_root|Error|40|not-needed|bzip2 was requested but nothing in the solution depends on it|
+os_conflict|Note|110|unsat-requirement|the requirement `zlib os=windowsxp` cannot be satisfied|zlib os=windowsxp
+os_conflict|Error|55|os-conflict|conflicting operating systems imposed on zlib: centos8 vs windowsxp|zlib os=windowsxp
+exhausted_reuse|Note|110|unsat-requirement|the requirement `zlib@9.9` cannot be satisfied|zlib@9.9
+exhausted_reuse|Error|90|version-constraint|zlib: no known version satisfies the constraint @9.9|zlib@9.9
+provider_cannot_provide|Error|50|provider-invalid|mockblas cannot provide 'blas' under the chosen configuration|
+";
+
+fn render_report(name: &str, diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{name}|{:?}|{}|{}|{}|{}\n",
+                d.severity,
+                d.priority,
+                d.code,
+                d.message,
+                d.provenance.join(";")
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn full_reports_match_the_prefold_golden_corpus() {
+    // Every scenario's complete report — severity, priority, code, message, and
+    // provenance of every diagnostic, in order — must be byte-identical to the
+    // two-grounding pipeline's output captured before the single-grounding fold.
+    let builtin = builtin_repo();
+    let mut actual = String::new();
+    let quartz_scenarios: [(&str, &[&str]); 11] = [
+        ("version_constraint", &["zlib@9.9"]),
+        ("conflicting_roots", &["zlib@1.2.8", "zlib@1.2.12"]),
+        ("incompatible_variant_roots", &["example+bzip", "example~bzip"]),
+        ("section5b", &["netcdf-c ^hdf5~mpi"]),
+        ("invalid_variant_value", &["example bzip=maybe"]),
+        ("unknown_variant", &["zlib+bogus"]),
+        ("conflict_directive", &["example%intel"]),
+        ("compiler_constraint", &["zlib%gcc@99.9"]),
+        ("target_constraint", &["zlib target=rv64gc"]),
+        ("compiler_target", &["zlib%gcc@4.8.5 target=skylake"]),
+        ("unjustified_root", &["zlib ^bzip2"]),
+    ];
+    for (name, roots) in quartz_scenarios {
+        let diags = diagnose_with(&builtin, SiteConfig::quartz(), roots, false);
+        actual.push_str(&render_report(name, &diags));
+    }
+    let os = diagnose_with(&builtin, SiteConfig::minimal(), &["zlib os=windowsxp"], false);
+    actual.push_str(&render_report("os_conflict", &os));
+    let reuse = diagnose_with(&builtin, SiteConfig::quartz(), &["zlib@9.9"], true);
+    actual.push_str(&render_report("exhausted_reuse", &reuse));
+    let mut repo = Repository::new();
+    repo.add(PackageBuilder::new("mockblas").version("1.0").provides_when("blas", "@2:").build());
+    repo.add(PackageBuilder::new("app").version("1.0").depends_on("blas").build());
+    let provider = diagnose_with(&repo, SiteConfig::minimal(), &["app"], false);
+    actual.push_str(&render_report("provider_cannot_provide", &provider));
+    assert_eq!(actual, GOLDEN_REPORTS, "diagnostic reports drifted from the golden corpus");
+}
+
 #[test]
 fn diagnostics_order_is_most_severe_first() {
     let diags = diagnose(&["zlib@9.9"]);
@@ -201,6 +288,76 @@ fn diagnostics_order_is_most_severe_first() {
     let mut sorted = priorities.clone();
     sorted.sort_by(|a, b| b.cmp(a));
     assert_eq!(priorities, sorted, "diagnostics must be ordered most severe first");
+}
+
+#[test]
+fn second_phase_performs_no_setup_and_no_grounding() {
+    // The single-grounding fold: the relaxed diagnostics solve reuses the normal
+    // solve's control, so the second phase's grounding time must be exactly zero and
+    // the combined per-phase accounting must carry the (single) grounding.
+    let repo = builtin_repo();
+    let err = Concretizer::new(&repo)
+        .with_site(SiteConfig::quartz())
+        .concretize_str("netcdf-c ^hdf5~mpi")
+        .unwrap_err();
+    match err {
+        ConcretizeError::Unsatisfiable { stats, .. } => {
+            assert_eq!(
+                stats.second_phase_ground,
+                std::time::Duration::ZERO,
+                "the relaxed solve must not reground"
+            );
+            assert!(stats.phases.ground > std::time::Duration::ZERO, "combined grounding time");
+            assert!(stats.phases.solve > std::time::Duration::ZERO, "combined solve time");
+            assert!(
+                stats.second_phase <= stats.phases.total(),
+                "second phase is part of the combined accounting"
+            );
+        }
+        other => panic!("expected Unsatisfiable, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsat_errors_never_fabricate_emptiness() {
+    // Regression for the old relaxed-phase error swallowing (`Err(_) => Ok(vec![])`):
+    // every Unsatisfiable carries at least one diagnostic (the construction-site
+    // invariant inserts the structural fallback), and engine failures — were any to
+    // occur — surface as ConcretizeError::Solver, never as an empty report. Exercise
+    // the invariant across every scenario class of this corpus plus the structural
+    // Display path.
+    let repo = builtin_repo();
+    for spec in ["zlib@9.9", "netcdf-c ^hdf5~mpi", "zlib ^bzip2", "example%intel"] {
+        match Concretizer::new(&repo).with_site(SiteConfig::quartz()).concretize_str(spec) {
+            Err(ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
+                assert!(!diagnostics.is_empty(), "{spec}: fabricated empty report");
+                let text =
+                    ConcretizeError::Unsatisfiable { diagnostics, stats: Default::default() }
+                        .to_string();
+                assert_ne!(
+                    text, "no valid configuration exists",
+                    "{spec}: Display lost the leading diagnostic"
+                );
+            }
+            other => panic!("{spec}: expected Unsatisfiable, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn satisfiable_costs_carry_no_error_levels() {
+    // The guarded error levels (priority 1000+) are an implementation detail of the
+    // diagnostics fold: the reported objective vector of a satisfiable solve must
+    // contain only the Table II levels, exactly as before the fold.
+    let repo = builtin_repo();
+    let result =
+        Concretizer::new(&repo).with_site(SiteConfig::quartz()).concretize_str("hdf5").unwrap();
+    assert!(
+        result.cost.iter().all(|&(p, _)| p < 1000),
+        "error levels leaked into the cost vector: {:?}",
+        result.cost
+    );
+    assert!(result.cost.iter().any(|&(p, _)| p == 100), "build-count level present");
 }
 
 #[test]
