@@ -11,10 +11,11 @@
 //! phases instrumented in Section VII of the paper (setup is measured by the caller,
 //! since fact generation happens outside the solver).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::ast::Program;
-use crate::ground::{GroundError, GroundProgram, GroundStats, Grounder};
+use crate::ground::{BaseProgram, GroundError, GroundProgram, GroundStats, Grounder};
 use crate::optimize::{
     enumerate_models_with_stats, solve_optimal_assuming, OptOutcome, OptStrategy, OptimalModel,
     OptimizeError, StableProbe,
@@ -370,6 +371,10 @@ pub struct Stats {
     pub learned: u64,
     /// Total learned clauses deleted again by the reduction policy.
     pub deleted: u64,
+    /// Clauses replayed from the session clause cache (loop nogoods + provenance-safe
+    /// learned clauses of earlier solves on this grounding) into the most recent
+    /// solve's solvers — the warm-start the shared cache provides.
+    pub warm_clauses: u64,
 }
 
 impl Stats {
@@ -394,6 +399,84 @@ pub struct Control {
     /// included) instead of rebuilding a solver from scratch. Invalidated by
     /// [`Control::ground`].
     retired_unsat: Option<(crate::sat::Solver, Vec<Lit>)>,
+    /// The frozen base this control was forked from ([`FrozenControl::request`]), if
+    /// any: [`Control::ground`] then grounds the facts added since the fork as a
+    /// *delta* on the base instead of re-grounding from scratch.
+    base: Option<Arc<FrozenInner>>,
+    /// Relevance restriction for the next delta grounding (session forks only): base
+    /// atoms mentioning any of these symbols are dropped from this request's view of
+    /// the frozen base. See [`Control::restrict_symbols`].
+    restricted: crate::hasher::FxHashSet<crate::symbols::SymbolId>,
+    /// Integer companions of `restricted` as half-open `[start, end)` ranges, matched
+    /// against *first* arguments only (id-keyed fact schemes). Sorted and merged by
+    /// [`Control::ground`]. See [`Control::restrict_int_ranges`].
+    restricted_ints: Vec<(i64, i64)>,
+    /// Was any restriction *requested* (even one whose symbols did not resolve)?
+    /// Grounding a non-fork with a requested restriction is a usage error — silently
+    /// returning unrestricted results would be worse than failing.
+    restriction_requested: bool,
+    /// The session clause cache for the *current grounding*: loop nogoods and
+    /// provenance-safe learned clauses collected across every solve on this control,
+    /// replayed into each newly built solver so later solves (e.g. the relaxed
+    /// diagnostics re-solve after a failed hard solve) warm-start instead of
+    /// re-deriving program consequences. Invalidated by [`Control::ground`].
+    clause_cache: crate::sat::ClauseCache,
+}
+
+/// A program plus its base facts, ground once and frozen — the shared half of a
+/// multi-shot session. Created by [`Control::freeze_base`]; every
+/// [`FrozenControl::request`] forks a cheap per-request [`Control`] whose
+/// [`Control::ground`] call grounds only that request's delta facts on top of the
+/// frozen base. Clones share the underlying base (`Arc`), and a `FrozenControl` is
+/// `Send + Sync`, so independent requests may be answered from many threads at once.
+#[derive(Clone)]
+pub struct FrozenControl {
+    inner: Arc<FrozenInner>,
+}
+
+struct FrozenInner {
+    config: SolverConfig,
+    symbols: SymbolTable,
+    base: BaseProgram,
+    load_time: Duration,
+}
+
+impl FrozenControl {
+    /// Fork a per-request control: the base program, facts, and symbols are shared
+    /// (the symbol table is cloned so the request may intern new constants), and only
+    /// facts added to the fork are ground — incrementally — by [`Control::ground`].
+    pub fn request(&self) -> Control {
+        Control {
+            config: self.inner.config.clone(),
+            symbols: self.inner.symbols.clone(),
+            program: Program::default(),
+            facts: Vec::new(),
+            ground: None,
+            translation: None,
+            stats: Stats::default(),
+            retired_unsat: None,
+            base: Some(self.inner.clone()),
+            restricted: crate::hasher::FxHashSet::default(),
+            restricted_ints: Vec::new(),
+            restriction_requested: false,
+            clause_cache: crate::sat::ClauseCache::default(),
+        }
+    }
+
+    /// Statistics of the one-time base grounding.
+    pub fn base_stats(&self) -> &GroundStats {
+        &self.inner.base.stats
+    }
+
+    /// Time spent parsing the program text (paid once, amortized over all requests).
+    pub fn load_time(&self) -> Duration {
+        self.inner.load_time
+    }
+
+    /// Total frozen ground instances available for per-request reuse.
+    pub fn frozen_instances(&self) -> usize {
+        self.inner.base.frozen_instances()
+    }
 }
 
 impl Control {
@@ -408,16 +491,99 @@ impl Control {
             translation: None,
             stats: Stats::default(),
             retired_unsat: None,
+            base: None,
+            restricted: crate::hasher::FxHashSet::default(),
+            restricted_ints: Vec::new(),
+            restriction_requested: false,
+            clause_cache: crate::sat::ClauseCache::default(),
         }
+    }
+
+    /// Restrict this request's view of the frozen base (session forks only): every
+    /// base atom mentioning one of these symbols is dropped before the delta
+    /// grounding, as are the frozen rule instances referencing such atoms. Callers
+    /// use this for *relevance restriction* — dropping everything about packages
+    /// outside a request's dependency closure shrinks the per-request program from
+    /// the whole-universe base to what a from-scratch solve would ground, which is
+    /// what makes a session request cheaper than a one-shot solve rather than larger.
+    /// Symbols the base never interned are ignored. Must be called before
+    /// [`Control::ground`].
+    pub fn restrict_symbols<I, S>(&mut self, names: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.restriction_requested = true;
+        for name in names {
+            if let Some(id) = self.symbols.lookup(name.as_ref()) {
+                self.restricted.insert(id);
+            }
+        }
+    }
+
+    /// Integer companion of [`Control::restrict_symbols`]: base atoms whose *first*
+    /// argument falls into one of these half-open `[start, end)` ranges are dropped
+    /// from this request's view of the frozen base. Intended for id-keyed fact
+    /// schemes (a generalized-condition id in the first argument); callers must
+    /// allocate such ids from a range no other first-position integer uses, so
+    /// exclusion can never hit a weight or priority. Ranges are sorted and merged
+    /// when grounding runs.
+    pub fn restrict_int_ranges(&mut self, ranges: impl IntoIterator<Item = (i64, i64)>) {
+        self.restriction_requested = true;
+        self.restricted_ints.extend(ranges.into_iter().filter(|&(s, e)| s < e));
     }
 
     /// Parse and add a logic program.
     pub fn add_program(&mut self, text: &str) -> Result<(), AspError> {
+        if self.base.is_some() {
+            return Err(AspError::Usage(
+                "the program is frozen; per-request controls only accept facts".into(),
+            ));
+        }
         let start = Instant::now();
         let parsed = parse_program(text)?;
         self.program.extend(parsed);
         self.stats.load_time += start.elapsed();
         Ok(())
+    }
+
+    /// Ground the program and the facts added so far *once* and freeze the result:
+    /// the returned [`FrozenControl`] answers many independent requests, each of which
+    /// re-grounds only its own delta facts (clingo's multi-shot `ground`/`solve`
+    /// amortization). The base grounding is complete — phase-1 closure, per-rule
+    /// instance buckets, per-statement minimize tuples — so a request's
+    /// [`Control::ground`] does work proportional to what its facts touch, not to the
+    /// base program.
+    pub fn freeze_base(self) -> Result<FrozenControl, AspError> {
+        self.freeze_base_partitioned::<&str>(&[])
+    }
+
+    /// [`Control::freeze_base`] with an *owner partition*: the frozen base buckets
+    /// its atoms and instances by the first argument symbol belonging to `partition`
+    /// (e.g. every package name), so a request that excludes some owners via
+    /// [`Control::restrict_symbols`] only ever visits the buckets it keeps — the
+    /// per-request restriction cost is proportional to the kept slice, not to the
+    /// whole base. Purely an access-path optimization: results are identical to an
+    /// unpartitioned freeze.
+    pub fn freeze_base_partitioned<S: AsRef<str>>(
+        mut self,
+        partition: &[S],
+    ) -> Result<FrozenControl, AspError> {
+        if self.base.is_some() {
+            return Err(AspError::Usage("cannot freeze a per-request control".into()));
+        }
+        let partition: crate::hasher::FxHashSet<crate::symbols::SymbolId> =
+            partition.iter().filter_map(|s| self.symbols.lookup(s.as_ref())).collect();
+        let base =
+            Grounder::new(&mut self.symbols).ground_base(&self.program, &self.facts, &partition)?;
+        Ok(FrozenControl {
+            inner: Arc::new(FrozenInner {
+                config: self.config,
+                symbols: self.symbols,
+                base,
+                load_time: self.stats.load_time,
+            }),
+        })
     }
 
     /// Add one input fact.
@@ -438,10 +604,69 @@ impl Control {
         self.facts.len()
     }
 
-    /// Ground the program together with the facts added so far.
+    /// An order-sensitive digest of every fact added so far, computed over predicate
+    /// and argument *names* (not interned ids). Two controls fed the same fact stream
+    /// produce the same digest, so this is the cache key for a frozen base program:
+    /// a changed repository, site, or buildcache changes the digest.
+    pub fn fact_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = crate::hasher::FxHasher::default();
+        for fact in &self.facts {
+            self.symbols.name(fact.pred).hash(&mut hasher);
+            for v in &fact.args {
+                match v {
+                    Val::Int(i) => {
+                        0u8.hash(&mut hasher);
+                        i.hash(&mut hasher);
+                    }
+                    Val::Sym(s) => {
+                        1u8.hash(&mut hasher);
+                        self.symbols.name(*s).hash(&mut hasher);
+                    }
+                }
+            }
+            0xFEu8.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
+    /// Ground the program together with the facts added so far. On a per-request
+    /// control ([`FrozenControl::request`]) this grounds the added facts as a delta on
+    /// the frozen base instead of re-grounding from scratch.
     pub fn ground(&mut self) -> Result<(), AspError> {
         let start = Instant::now();
-        let ground = Grounder::new(&mut self.symbols).ground(&self.program, &self.facts)?;
+        if self.base.is_none() && self.restriction_requested {
+            // Silently ignoring a requested restriction would hand back unrestricted
+            // results; restriction only means something on a session fork.
+            return Err(AspError::Usage(
+                "restrict_symbols/restrict_int_ranges require a control forked from a \
+                 frozen base"
+                    .into(),
+            ));
+        }
+        let ground = match &self.base {
+            Some(inner) => {
+                // Sort and merge the excluded id ranges so the grounder can test
+                // membership with one binary search.
+                self.restricted_ints.sort_unstable();
+                self.restricted_ints.dedup();
+                let mut merged: Vec<(i64, i64)> = Vec::with_capacity(self.restricted_ints.len());
+                for &(s, e) in &self.restricted_ints {
+                    match merged.last_mut() {
+                        Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                        _ => merged.push((s, e)),
+                    }
+                }
+                self.restricted_ints = merged;
+                Grounder::new(&mut self.symbols).ground_delta(
+                    &inner.base,
+                    &self.restricted,
+                    &self.restricted_ints,
+                    &self.facts,
+                )?
+            }
+            None => Grounder::new(&mut self.symbols).ground(&self.program, &self.facts)?,
+        };
         let translation = translate(&ground);
         self.stats.ground_time = start.elapsed();
         self.stats.facts = self.facts.len();
@@ -451,6 +676,7 @@ impl Control {
         self.ground = Some(ground);
         self.translation = Some(translation);
         self.retired_unsat = None; // built against the previous translation
+        self.clause_cache = crate::sat::ClauseCache::default(); // ditto
         Ok(())
     }
 
@@ -527,6 +753,8 @@ impl Control {
                 None => {}
             }
         }
+        let mut cache = std::mem::take(&mut self.clause_cache);
+        self.stats.warm_clauses = cache.len() as u64;
         let mut retired = None;
         let result = solve_optimal_assuming(
             ground,
@@ -537,7 +765,10 @@ impl Control {
             &fixed,
             priority_floor,
             &mut retired,
-        )?;
+            &mut cache,
+        );
+        self.clause_cache = cache;
+        let result = result?;
         self.stats.solve_time += start.elapsed();
         match result {
             OptOutcome::Optimal(optimal) => {
@@ -611,11 +842,18 @@ impl Control {
         // refuting the assumptions prune the probes too.
         let pinned_lits: Vec<Lit> =
             pinned.iter().filter_map(|a| self.assumption_lit(ground, a)).collect();
+        let mut cache = std::mem::take(&mut self.clause_cache);
         let mut probe = match retired {
             Some((solver, fixed)) if fixed == pinned_lits => {
                 StableProbe::from_solver(ground, solver)
             }
-            _ => StableProbe::new(ground, translation, &self.config.sat_config(), &pinned_lits),
+            _ => StableProbe::new(
+                ground,
+                translation,
+                &self.config.sat_config(),
+                &pinned_lits,
+                &cache,
+            ),
         };
         let mut i = 0;
         while i < core.len() {
@@ -634,7 +872,7 @@ impl Control {
                 // were already singled out before a search-derived core existed.
             }
             rounds += 1;
-            match probe.check(ground, &trial_lits) {
+            match probe.check(ground, &trial_lits, &mut cache) {
                 Some(sub_core) => {
                     // Still unsat without member `i`: drop it — and adopt the probe's
                     // own (possibly smaller) core when it is one. Pinned guards are
@@ -658,6 +896,8 @@ impl Control {
             }
         }
         let probe_stats = probe.stats().clone();
+        probe.harvest_into(&mut cache);
+        self.clause_cache = cache;
         self.record_sat_stats(&probe_stats);
         self.stats.solve_time += start.elapsed();
         Ok((core, rounds))
@@ -1022,6 +1262,23 @@ mod tests {
     }
 
     #[test]
+    fn clause_cache_warm_starts_later_solves() {
+        // a and b support each other; a is also supported through the free choice x.
+        // Solving under the assumption a must reject the unstable {a, b} candidate
+        // with a loop nogood; a second solve on the SAME control replays it from the
+        // session clause cache and must not examine unstable candidates again.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("a :- b. b :- a. a :- x. { x }. #minimize{ 1@1 : x }.").unwrap();
+        ctl.ground().unwrap();
+        let a = [Assumption::holds("a", &[])];
+        assert!(matches!(ctl.solve_with_assumptions(&a).unwrap(), AssumeOutcome::Optimal { .. }));
+        assert!(ctl.stats().loop_nogoods > 0, "first solve must discover the loop nogood");
+        assert!(matches!(ctl.solve_with_assumptions(&a).unwrap(), AssumeOutcome::Optimal { .. }));
+        assert!(ctl.stats().warm_clauses > 0, "the cache must seed the second solve");
+        assert_eq!(ctl.stats().loop_nogoods, 0, "the replayed nogood must prevent re-derivation");
+    }
+
+    #[test]
     fn pinned_assumptions_survive_core_minimization() {
         // Without the pin, every deletion probe could flip `g` true and disable the
         // guarded constraint, wrongly deleting the genuinely necessary member p.
@@ -1067,6 +1324,181 @@ mod tests {
         let mut ctl = Control::new(SolverConfig::default());
         ctl.add_program("p.").unwrap();
         assert!(matches!(ctl.solve(), Err(AspError::Usage(_))));
+    }
+
+    /// A miniature concretizer-shaped program: base facts describe the universe,
+    /// request facts pick roots; derivations, negation, conditions, choices, and
+    /// minimize levels are all exercised so delta grounding is compared against
+    /// one-shot grounding on every feature.
+    const SESSION_LP: &str = r#"
+        node(D) :- node(P), depends_on(P, D).
+        needed(P) :- root(P).
+        needed(D) :- node(P), depends_on(P, D).
+        violation(P) :- node(P), not needed(P).
+        :- violation(P).
+        1 { version(P, V) : version_declared(P, V, W) } 1 :- node(P), has_version(P).
+        has_version(P) :- version_declared(P, V, W).
+        version_weight(P, W) :- version(P, V), version_declared(P, V, W).
+        #minimize{ W@3,P : version_weight(P, W) }.
+        #minimize{ 1@1,P : node(P), not root(P) }.
+        node(P) :- root(P).
+    "#;
+
+    fn session_base_facts(ctl: &mut Control) {
+        for (p, d) in [("a", "b"), ("b", "c"), ("x", "c")] {
+            ctl.add_fact("depends_on", &[p.into(), d.into()]);
+        }
+        for (p, v, w) in [("a", "2.0", 0), ("a", "1.0", 1), ("b", "1.0", 0), ("c", "1.0", 0)] {
+            ctl.add_fact("version_declared", &[p.into(), v.into(), w.into()]);
+        }
+    }
+
+    fn solve_cost_and_atoms(outcome: SolveOutcome) -> (Vec<(i64, i64)>, Vec<String>) {
+        match outcome {
+            SolveOutcome::Optimal { model, cost } => {
+                let mut atoms: Vec<String> = model
+                    .atoms()
+                    .iter()
+                    .map(|(p, args)| {
+                        let rendered: Vec<String> = args.iter().map(|a| a.as_str()).collect();
+                        format!("{p}({})", rendered.join(","))
+                    })
+                    .collect();
+                atoms.sort();
+                (cost, atoms)
+            }
+            SolveOutcome::Unsatisfiable => (vec![], vec!["UNSAT".into()]),
+        }
+    }
+
+    #[test]
+    fn frozen_base_requests_match_one_shot_solves() {
+        let mut base = Control::new(SolverConfig::default());
+        base.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut base);
+        let frozen = base.freeze_base().unwrap();
+        assert!(frozen.frozen_instances() > 0);
+
+        for root in ["a", "b", "c", "x"] {
+            let mut req = frozen.request();
+            req.add_fact("root", &[root.into()]);
+            req.ground().unwrap();
+            assert!(req.stats().ground.delta, "request grounding must be incremental");
+            assert!(req.stats().ground.reused_rules > 0, "base instances must be reused");
+            let session = solve_cost_and_atoms(req.solve().unwrap());
+
+            let mut one = Control::new(SolverConfig::default());
+            one.add_program(SESSION_LP).unwrap();
+            session_base_facts(&mut one);
+            one.add_fact("root", &[root.into()]);
+            one.ground().unwrap();
+            let oneshot = solve_cost_and_atoms(one.solve().unwrap());
+            assert_eq!(session, oneshot, "root {root}: session and one-shot must agree");
+        }
+    }
+
+    #[test]
+    fn delta_fact_on_derived_atom_becomes_certain() {
+        // The request asserts node(c) directly — an atom the base already derives
+        // (uncertain). The delta grounding must re-simplify the touched rules; the
+        // solve then agrees with a from-scratch grounding. Without a root, node(c)
+        // violates the needed() constraint: both paths must report UNSAT.
+        let mut base = Control::new(SolverConfig::default());
+        base.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut base);
+        let frozen = base.freeze_base().unwrap();
+        let mut req = frozen.request();
+        req.add_fact("node", &["c".into()]);
+        req.ground().unwrap();
+        assert!(!req.solve().unwrap().is_satisfiable());
+
+        // With a root requiring it, the fact is redundant and both agree on SAT.
+        let mut req = frozen.request();
+        req.add_fact("node", &["c".into()]);
+        req.add_fact("root", &["c".into()]);
+        req.ground().unwrap();
+        let session = solve_cost_and_atoms(req.solve().unwrap());
+        let mut one = Control::new(SolverConfig::default());
+        one.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut one);
+        one.add_fact("node", &["c".into()]);
+        one.add_fact("root", &["c".into()]);
+        one.ground().unwrap();
+        assert_eq!(session, solve_cost_and_atoms(one.solve().unwrap()));
+    }
+
+    #[test]
+    fn request_with_new_symbols_and_new_condition_facts() {
+        // Delta facts intern brand-new symbols and extend a choice element's
+        // condition (version_declared) — the phase-1 full re-join path.
+        let mut base = Control::new(SolverConfig::default());
+        base.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut base);
+        let frozen = base.freeze_base().unwrap();
+        let mut req = frozen.request();
+        req.add_fact("root", &["fresh".into()]);
+        req.add_fact("depends_on", &["fresh".into(), "a".into()]);
+        req.add_fact("version_declared", &["fresh".into(), "0.9".into(), 0.into()]);
+        req.ground().unwrap();
+        let session = solve_cost_and_atoms(req.solve().unwrap());
+        assert!(session.1.iter().any(|a| a == "version(fresh,0.9)"), "{session:?}");
+
+        let mut one = Control::new(SolverConfig::default());
+        one.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut one);
+        one.add_fact("root", &["fresh".into()]);
+        one.add_fact("depends_on", &["fresh".into(), "a".into()]);
+        one.add_fact("version_declared", &["fresh".into(), "0.9".into(), 0.into()]);
+        one.ground().unwrap();
+        assert_eq!(session, solve_cost_and_atoms(one.solve().unwrap()));
+    }
+
+    #[test]
+    fn restriction_on_a_non_fork_is_an_error() {
+        // Restrictions only mean something on a session fork: silently returning
+        // unrestricted results would be worse than failing.
+        let mut ctl = Control::new(SolverConfig::default());
+        ctl.add_program("p(a).").unwrap();
+        ctl.restrict_symbols(["a"]);
+        assert!(matches!(ctl.ground(), Err(AspError::Usage(_))));
+    }
+
+    #[test]
+    fn int_range_restriction_drops_id_keyed_atoms() {
+        // Id-keyed facts (ids from a dedicated range, first argument): excluding a
+        // range drops those atoms and their derivations from the request's view.
+        let mut base = Control::new(SolverConfig::default());
+        base.add_fact("cond", &[10_000_001i64.into(), "a".into()]);
+        base.add_fact("cond", &[10_000_002i64.into(), "b".into()]);
+        base.add_program("holds(ID) :- cond(ID, P).").unwrap();
+        let frozen = base.freeze_base().unwrap();
+        let mut req = frozen.request();
+        req.restrict_int_ranges([(10_000_002, 10_000_003)]);
+        req.ground().unwrap();
+        match req.solve().unwrap() {
+            SolveOutcome::Optimal { model, .. } => {
+                assert!(model.contains("holds", &[Value::Int(10_000_001)]));
+                assert!(!model.contains("holds", &[Value::Int(10_000_002)]));
+            }
+            SolveOutcome::Unsatisfiable => panic!("expected a model"),
+        }
+    }
+
+    #[test]
+    fn frozen_control_rejects_programs_and_serves_many_requests() {
+        let mut base = Control::new(SolverConfig::default());
+        base.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut base);
+        let frozen = base.freeze_base().unwrap();
+        let mut req = frozen.request();
+        assert!(matches!(req.add_program("p."), Err(AspError::Usage(_))));
+        // The same frozen base serves many requests, including after failures.
+        for _ in 0..3 {
+            let mut req = frozen.request();
+            req.add_fact("root", &["a".into()]);
+            req.ground().unwrap();
+            assert!(req.solve().unwrap().is_satisfiable());
+        }
     }
 
     #[test]

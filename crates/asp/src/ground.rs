@@ -181,6 +181,15 @@ pub struct GroundStats {
     pub phase2: Duration,
     /// Wall-clock time spent grounding.
     pub duration: Duration,
+    /// True when this grounding was derived incrementally from a frozen
+    /// [`BaseProgram`] (multi-shot sessions): phase 1 continued semi-naively from the
+    /// request's delta facts and only touched rules were re-instantiated.
+    pub delta: bool,
+    /// Ground instances reused verbatim from the frozen base (delta groundings only).
+    pub reused_rules: usize,
+    /// Rules re-instantiated because a delta atom touched one of their literals
+    /// (delta groundings only).
+    pub delta_rules: usize,
 }
 
 /// The ground (propositional) program.
@@ -206,6 +215,197 @@ impl GroundProgram {
     pub fn fact_atoms(&self) -> Vec<AtomId> {
         self.atoms.iter().filter(|(id, _)| self.atoms.is_certain(*id)).map(|(id, _)| id).collect()
     }
+}
+
+/// A literal's *delta signature*: the predicate plus the first argument when it is a
+/// constant. This is the granularity at which delta grounding decides whether a new
+/// atom can affect a rule — coarse enough to be a couple of hash probes per literal,
+/// fine enough to tell `attr3("version", ..)` apart from `attr3("depends_on", ..)` in
+/// programs (like the concretizer's) that discriminate one wide predicate by its first
+/// argument.
+#[derive(Debug, Clone, Copy)]
+struct SigLit {
+    pred: SymbolId,
+    arg0: Option<Val>,
+}
+
+fn atom_sig(atom: &CAtom) -> SigLit {
+    let arg0 = match atom.args.first() {
+        Some(CTerm::Val(v)) => Some(*v),
+        _ => None,
+    };
+    SigLit { pred: atom.pred, arg0 }
+}
+
+/// Every literal of a rule whose matched atoms (or their certainty) can change the
+/// rule's ground instances: positive and negative body literals, conditional literals
+/// (the atom and its conditions), and choice elements (the atom and its conditions).
+/// Head atoms of normal rules are deliberately absent: a rule derives new head atoms
+/// only when its body matches a delta atom, and an existing head turning certain
+/// leaves the frozen instance semantically inert rather than wrong.
+fn rule_signature(rule: &CRule) -> Vec<SigLit> {
+    let mut sigs = Vec::new();
+    sigs.extend(rule.pos.iter().map(atom_sig));
+    sigs.extend(rule.neg.iter().map(atom_sig));
+    for cond in &rule.conds {
+        sigs.push(atom_sig(&cond.atom));
+        sigs.extend(cond.conditions.iter().map(atom_sig));
+    }
+    if let CHead::Choice { elements, .. } = &rule.head {
+        for elem in elements {
+            sigs.push(atom_sig(&elem.atom));
+            sigs.extend(elem.conditions.iter().map(atom_sig));
+        }
+    }
+    sigs
+}
+
+/// The subset of a rule's signature that participates in *phase-1 head derivation*
+/// beyond the positive body: choice-element conditions. (Negative literals and the
+/// conditions of body conditional literals are ignored by the phase-1
+/// over-approximation, so they cannot gate which atoms become possible.)
+fn rule_phase1_condition_signature(rule: &CRule) -> Vec<SigLit> {
+    let mut sigs = Vec::new();
+    if let CHead::Choice { elements, .. } = &rule.head {
+        for elem in elements {
+            sigs.extend(elem.conditions.iter().map(atom_sig));
+        }
+    }
+    sigs
+}
+
+fn minimize_signature(m: &CMinimize) -> Vec<SigLit> {
+    m.pos.iter().chain(m.neg.iter()).map(atom_sig).collect()
+}
+
+/// The set of `(predicate, first-argument)` discriminators touched by a delta
+/// grounding's new (or newly-certain) atoms. A literal whose first argument is a
+/// constant matches only its exact key; any other literal shape falls back to the
+/// predicate-level set.
+#[derive(Debug, Default)]
+struct TouchSet {
+    preds: crate::hasher::FxHashSet<SymbolId>,
+    keys: crate::hasher::FxHashSet<(SymbolId, Val)>,
+}
+
+impl TouchSet {
+    fn touch(&mut self, atom: &GroundAtom) {
+        self.preds.insert(atom.pred);
+        if let Some(&v) = atom.args.first() {
+            self.keys.insert((atom.pred, v));
+        }
+    }
+
+    fn clear(&mut self) {
+        self.preds.clear();
+        self.keys.clear();
+    }
+
+    fn absorb(&mut self, other: &TouchSet) {
+        self.preds.extend(other.preds.iter().copied());
+        self.keys.extend(other.keys.iter().copied());
+    }
+
+    fn matches(&self, sig: &SigLit) -> bool {
+        match sig.arg0 {
+            Some(v) => self.keys.contains(&(sig.pred, v)),
+            None => self.preds.contains(&sig.pred),
+        }
+    }
+
+    fn matches_any(&self, sigs: &[SigLit]) -> bool {
+        sigs.iter().any(|s| self.matches(s))
+    }
+}
+
+/// Everything compiled once from a program's text: the rules and minimize statements
+/// plus the per-rule delta signatures. Owned by a [`BaseProgram`] so per-request delta
+/// groundings never re-parse or re-compile.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    crules: Vec<CRule>,
+    cminimize: Vec<CMinimize>,
+    /// Parallel to `crules`: the full literal signature (phase-2 affectedness).
+    rule_sigs: Vec<Vec<SigLit>>,
+    /// Parallel to `crules`: choice-element condition signatures (phase-1 re-joins).
+    rule_p1_sigs: Vec<Vec<SigLit>>,
+    /// Parallel to `cminimize`.
+    minimize_sigs: Vec<Vec<SigLit>>,
+}
+
+/// One frozen minimize condition: `(statement index, tuple key, positive atoms,
+/// negative atoms)`. Kept flat (not pre-aggregated) so a request can merge the
+/// surviving conditions of unaffected statements with freshly ground ones without
+/// double-counting shared tuple keys.
+type TupleEntry = (u32, (i64, i64, Vec<Val>), Vec<AtomId>, Vec<AtomId>);
+
+/// A program ground once against its *base* facts — the frozen half of a multi-shot
+/// session. Holds the complete base atom table (whose append-only join indexes double
+/// as the persistent base relation for the semi-naive continuation) plus the frozen
+/// ground instances and minimize conditions. Immutable and `Sync`: many concurrent
+/// [`Grounder::ground_delta`] calls may borrow one base.
+///
+/// # Owner buckets
+///
+/// Everything frozen is bucketed by *owner*: the first argument symbol (scanning an
+/// atom's arguments, or a rule instance's head/positive/negative atoms) that belongs
+/// to the caller-declared **partition** symbol set — `None` (global) when no argument
+/// does. A restricted delta grounding ([`Grounder::ground_delta`]) then visits only
+/// the global bucket and the buckets of non-excluded owners: per-request work is
+/// proportional to the *kept* slice of the base, not to the whole universe. Bucketing
+/// is purely an access-path optimization — every visited atom and instance is still
+/// checked in full against the excluded set, and an atom in a skipped bucket
+/// necessarily mentions its excluded owner, so skipping never changes the result.
+/// With an empty partition everything is global and a request scans the whole base.
+#[derive(Debug)]
+pub struct BaseProgram {
+    compiled: CompiledProgram,
+    atoms: AtomTable,
+    trivially_unsat: bool,
+    /// Owner → base atom ids (ascending; owner = first partition symbol in the args).
+    atom_buckets: FxHashMap<SymbolId, Vec<AtomId>>,
+    /// Atoms with no partition symbol: visited by every request.
+    global_atoms: Vec<AtomId>,
+    /// Owner → `(rule index, instance)` frozen normal rules / constraints.
+    rule_buckets: FxHashMap<SymbolId, Vec<(u32, GroundRule)>>,
+    global_rules: Vec<(u32, GroundRule)>,
+    /// Owner → `(rule index, instance)` frozen choice rules. Choice owners come from
+    /// the *body* only: heads are filtered per request, so an owned head must not
+    /// drop the whole instance into a skippable bucket.
+    choice_buckets: FxHashMap<SymbolId, Vec<(u32, GroundChoice)>>,
+    global_choices: Vec<(u32, GroundChoice)>,
+    /// Owner → frozen minimize conditions.
+    tuple_buckets: FxHashMap<SymbolId, Vec<TupleEntry>>,
+    global_tuples: Vec<TupleEntry>,
+    /// Statistics of the base grounding.
+    pub stats: GroundStats,
+}
+
+impl BaseProgram {
+    /// The base atom table (all possible atoms derivable without any request facts).
+    pub fn atoms(&self) -> &AtomTable {
+        &self.atoms
+    }
+
+    /// Total frozen ground instances (rules + choices) available for reuse.
+    pub fn frozen_instances(&self) -> usize {
+        self.rule_buckets.values().map(Vec::len).sum::<usize>()
+            + self.choice_buckets.values().map(Vec::len).sum::<usize>()
+            + self.global_rules.len()
+            + self.global_choices.len()
+    }
+}
+
+/// The owner of an atom under a partition: its first argument symbol that belongs to
+/// the partition set, or `None` (global) when no argument does.
+fn first_partition_sym(
+    atom: &GroundAtom,
+    partition: &crate::hasher::FxHashSet<SymbolId>,
+) -> Option<SymbolId> {
+    atom.args.iter().find_map(|v| match v {
+        Val::Sym(s) if partition.contains(s) => Some(*s),
+        _ => None,
+    })
 }
 
 /// Compiled term: variables resolved to slot indices.
@@ -322,30 +522,473 @@ impl<'a> Grounder<'a> {
         facts: &[GroundAtom],
     ) -> Result<GroundProgram, GroundError> {
         let start = Instant::now();
-        let consts: HashMap<String, Term> = program.consts.iter().cloned().collect();
-
         let mut ground = GroundProgram::default();
+        let compiled = self.compile(program, facts, &mut ground)?;
 
-        // Intern all external facts as certain atoms.
+        // ---- Phase 1: possible-atom fixpoint -----------------------------------------
+        let seeds: Vec<AtomId> = ground.atoms.iter().map(|(id, _)| id).collect();
+        let rounds = self.fixpoint(&compiled, &mut ground, seeds, true, None)?;
+        let phase1_time = start.elapsed();
+
+        // ---- Phase 2: rule instantiation ----------------------------------------------
+        let mut seen_rules: RuleDedup = RuleDedup::default();
+        for rule in &compiled.crules {
+            self.phase2_rule(rule, &mut ground, &mut seen_rules)?;
+        }
+        // Minimize statements.
+        let mut tuples: MinimizeTuples = MinimizeTuples::default();
+        for m in &compiled.cminimize {
+            self.ground_minimize(m, &ground, &mut tuples)?;
+        }
+        self.emit_minimize(tuples, &mut ground);
+
+        let duration = start.elapsed();
+        ground.stats = GroundStats {
+            atoms: ground.atoms.len(),
+            rules: ground.rules.len(),
+            choices: ground.choices.len(),
+            minimize: ground.minimize.len(),
+            rounds,
+            phase1: phase1_time,
+            phase2: duration - phase1_time,
+            duration,
+            ..GroundStats::default()
+        };
+        Ok(ground)
+    }
+
+    /// Ground `program` against the *base* facts only, producing a frozen
+    /// [`BaseProgram`] from which many per-request [`Grounder::ground_delta`] calls can
+    /// be answered. The base grounding runs both phases to completion; rule instances
+    /// carry their source-rule index (deduplication is per rule: an instance emitted
+    /// by two different rules must survive in both, because a later delta grounding
+    /// may re-instantiate either rule alone), minimize statements are kept as flat
+    /// condition entries so frozen and re-ground tuples merge without double-counting
+    /// shared keys, and everything is bucketed by owner under `partition` (see the
+    /// [`BaseProgram`] docs).
+    pub fn ground_base(
+        mut self,
+        program: &Program,
+        facts: &[GroundAtom],
+        partition: &crate::hasher::FxHashSet<SymbolId>,
+    ) -> Result<BaseProgram, GroundError> {
+        let start = Instant::now();
+        let mut ground = GroundProgram::default();
+        let compiled = self.compile(program, facts, &mut ground)?;
+
+        let seeds: Vec<AtomId> = ground.atoms.iter().map(|(id, _)| id).collect();
+        let rounds = self.fixpoint(&compiled, &mut ground, seeds, true, None)?;
+        let phase1_time = start.elapsed();
+
+        // Phase 2, spans recorded per rule.
+        let mut spans: Vec<(usize, usize, usize, usize)> =
+            Vec::with_capacity(compiled.crules.len());
+        for rule in &compiled.crules {
+            let (r0, c0) = (ground.rules.len(), ground.choices.len());
+            let mut seen = RuleDedup::default();
+            self.phase2_rule(rule, &mut ground, &mut seen)?;
+            spans.push((r0, ground.rules.len(), c0, ground.choices.len()));
+        }
+        // Minimize statements stay as flat per-statement condition entries; they are
+        // merged and emitted per request (emitting here would bake in
+        // cross-statement tuple aggregation a partial re-grounding could then
+        // double-count).
+        let mut tuple_buckets: FxHashMap<SymbolId, Vec<TupleEntry>> = FxHashMap::default();
+        let mut global_tuples: Vec<TupleEntry> = Vec::new();
+        let mut minimize_total = 0;
+        for (mi, m) in compiled.cminimize.iter().enumerate() {
+            let mut tuples = MinimizeTuples::default();
+            self.ground_minimize(m, &ground, &mut tuples)?;
+            minimize_total += tuples.len();
+            let mut sorted: Vec<_> = tuples.into_iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, bodies) in sorted {
+                for (pos, neg) in bodies {
+                    let owner = pos
+                        .iter()
+                        .chain(neg.iter())
+                        .find_map(|&a| first_partition_sym(ground.atoms.atom(a), partition));
+                    let entry = (mi as u32, key.clone(), pos, neg);
+                    match owner {
+                        Some(o) => tuple_buckets.entry(o).or_default().push(entry),
+                        None => global_tuples.push(entry),
+                    }
+                }
+            }
+        }
+
+        let duration = start.elapsed();
+        let stats = GroundStats {
+            atoms: ground.atoms.len(),
+            rules: ground.rules.len(),
+            choices: ground.choices.len(),
+            minimize: minimize_total,
+            rounds,
+            phase1: phase1_time,
+            phase2: duration - phase1_time,
+            duration,
+            ..GroundStats::default()
+        };
+
+        // Bucket the atoms and (with their source-rule index) the instances.
+        let mut atom_buckets: FxHashMap<SymbolId, Vec<AtomId>> = FxHashMap::default();
+        let mut global_atoms: Vec<AtomId> = Vec::new();
+        for (id, atom) in ground.atoms.iter() {
+            match first_partition_sym(atom, partition) {
+                Some(owner) => atom_buckets.entry(owner).or_default().push(id),
+                None => global_atoms.push(id),
+            }
+        }
+        let mut rule_buckets: FxHashMap<SymbolId, Vec<(u32, GroundRule)>> = FxHashMap::default();
+        let mut global_rules: Vec<(u32, GroundRule)> = Vec::new();
+        let mut choice_buckets: FxHashMap<SymbolId, Vec<(u32, GroundChoice)>> =
+            FxHashMap::default();
+        let mut global_choices: Vec<(u32, GroundChoice)> = Vec::new();
+        let owner_of = |ids: &[AtomId]| -> Option<SymbolId> {
+            ids.iter().find_map(|&a| first_partition_sym(ground.atoms.atom(a), partition))
+        };
+        let mut rules_iter = ground.rules.iter();
+        let mut choices_iter = ground.choices.iter();
+        for (ri, (r0, r1, c0, c1)) in spans.iter().enumerate() {
+            for rule in rules_iter.by_ref().take(r1 - r0) {
+                let owner = rule
+                    .head
+                    .and_then(|h| first_partition_sym(ground.atoms.atom(h), partition))
+                    .or_else(|| owner_of(&rule.pos))
+                    .or_else(|| owner_of(&rule.neg));
+                let entry = (ri as u32, rule.clone());
+                match owner {
+                    Some(o) => rule_buckets.entry(o).or_default().push(entry),
+                    None => global_rules.push(entry),
+                }
+            }
+            for choice in choices_iter.by_ref().take(c1 - c0) {
+                // Body only: an owned *head* is filtered per request, not a reason to
+                // skip the whole instance.
+                let owner = owner_of(&choice.pos).or_else(|| owner_of(&choice.neg));
+                let entry = (ri as u32, choice.clone());
+                match owner {
+                    Some(o) => choice_buckets.entry(o).or_default().push(entry),
+                    None => global_choices.push(entry),
+                }
+            }
+        }
+
+        Ok(BaseProgram {
+            compiled,
+            atoms: ground.atoms,
+            trivially_unsat: ground.trivially_unsat,
+            atom_buckets,
+            global_atoms,
+            rule_buckets,
+            global_rules,
+            choice_buckets,
+            global_choices,
+            tuple_buckets,
+            global_tuples,
+            stats,
+        })
+    }
+
+    /// Ground one request's *delta* facts on top of a frozen [`BaseProgram`],
+    /// producing a complete [`GroundProgram`] equivalent to grounding (base facts −
+    /// excluded) + delta facts from scratch:
+    ///
+    /// 1. **Restriction.** The request's view of the base is built by re-interning
+    ///    every base atom that does not mention a symbol in `excluded` (with the
+    ///    certain/external flags carried over). Callers use this for relevance
+    ///    restriction — e.g. the concretizer excludes every package outside the
+    ///    request's dependency closure, shrinking the per-request program from the
+    ///    whole-repository universe to exactly what a from-scratch solve of this
+    ///    request would ground. With an empty `excluded` set the pass degenerates to
+    ///    a plain copy of the base relation. Atoms are re-interned in base order, so
+    ///    ids are dense and deterministic; the append-only join indexes built by the
+    ///    interning are the persistent base relation for step 2.
+    /// 2. **Semi-naive continuation.** Phase 1 continues the fixpoint from the new
+    ///    fact atoms only: the restricted base closure is already complete (heads
+    ///    derivable from kept atoms mention only kept symbols), so only derivations
+    ///    reachable from delta atoms are computed.
+    /// 3. **Touched-rule re-instantiation.** Every new (or newly-certain) atom marks
+    ///    its `(predicate, first-argument)` discriminator as *touched*; a rule any of
+    ///    whose literals — positive, negative, conditional (atom and conditions), or
+    ///    choice elements — matches a touched discriminator is re-instantiated in
+    ///    full against the restricted relation, all other rules reuse their frozen
+    ///    base instances — remapped, dropping instances whose *head or positive body*
+    ///    references an excluded atom, and simplifying excluded atoms out of
+    ///    *negative* literal lists (an excluded atom is impossible in the restricted
+    ///    program, so `not a` is trivially true — exactly what a from-scratch
+    ///    grounding of the restricted facts would do). Negative and conditional
+    ///    literals force full re-instantiation (not delta-restricted joining)
+    ///    because new atoms can change the *simplification* of instances whose
+    ///    positive body is old.
+    ///
+    /// `excluded_ints` are sorted, non-overlapping half-open `[start, end)` ranges
+    /// matched against *first* arguments only (id-keyed fact schemes).
+    pub fn ground_delta(
+        mut self,
+        base: &BaseProgram,
+        excluded: &crate::hasher::FxHashSet<SymbolId>,
+        excluded_ints: &[(i64, i64)],
+        facts: &[GroundAtom],
+    ) -> Result<GroundProgram, GroundError> {
+        let start = Instant::now();
+        let mut ground = GroundProgram {
+            atoms: AtomTable::new_without_pair_index(),
+            rules: Vec::new(),
+            choices: Vec::new(),
+            minimize: Vec::new(),
+            trivially_unsat: base.trivially_unsat,
+            stats: GroundStats::default(),
+        };
+        // Restriction pass: re-intern the kept base atoms (global bucket plus the
+        // buckets of non-excluded owners, in base-id order so ids are deterministic).
+        // `remap[base_id]` is the request-local id, or the sentinel for excluded /
+        // skipped atoms. Visited atoms are still checked in full: an atom in a
+        // visited bucket may mention an excluded symbol in a later argument.
+        const EXCLUDED: AtomId = AtomId::MAX;
+        // An atom is dropped when it mentions an excluded symbol anywhere, or an
+        // excluded integer in its *first* argument. The position restriction is what
+        // makes integer exclusion usable for id-keyed facts (`condition(ID, ...)`
+        // schemes put the id first) without ever colliding with ordinary integers
+        // (weights, priorities) in later argument positions — callers must allocate
+        // excludable ids from a range no other first-position integer uses.
+        let keep = |atom: &GroundAtom| {
+            if !excluded_ints.is_empty() {
+                if let Some(Val::Int(i)) = atom.args.first() {
+                    // Ranges are sorted and disjoint: the candidate range is the
+                    // last one starting at or before `i`.
+                    let idx = excluded_ints.partition_point(|&(start, _)| start <= *i);
+                    if idx > 0 && excluded_ints[idx - 1].1 > *i {
+                        return false;
+                    }
+                }
+            }
+            excluded.is_empty()
+                || !atom.args.iter().any(|v| matches!(v, Val::Sym(s) if excluded.contains(s)))
+        };
+        let mut visited: Vec<AtomId> = base.global_atoms.clone();
+        let mut owners: Vec<SymbolId> =
+            base.atom_buckets.keys().copied().filter(|s| !excluded.contains(s)).collect();
+        owners.sort_unstable();
+        for o in &owners {
+            visited.extend_from_slice(&base.atom_buckets[o]);
+        }
+        visited.sort_unstable();
+        ground.atoms.reserve(visited.len());
+        let mut remap: Vec<AtomId> = vec![EXCLUDED; base.atoms.len()];
+        for &id in &visited {
+            let atom = base.atoms.atom(id);
+            if !keep(atom) {
+                continue;
+            }
+            let (nid, _) = ground.atoms.intern(atom.clone());
+            if base.atoms.is_certain(id) {
+                ground.atoms.set_certain(nid);
+            }
+            remap[id as usize] = nid;
+        }
+        for &ext in base.atoms.externals() {
+            if remap[ext as usize] != EXCLUDED {
+                ground.atoms.set_external(remap[ext as usize]);
+            }
+        }
+
+        let mut touched = TouchSet::default();
+        let mut seeds: Vec<AtomId> = Vec::new();
+        for fact in facts {
+            let (id, new) = ground.atoms.intern_ref(fact);
+            if new {
+                ground.atoms.set_certain(id);
+                seeds.push(id); // touched by the fixpoint's first delta round
+            } else if !ground.atoms.is_certain(id) {
+                // A delta fact coinciding with a derived base atom: it becomes
+                // certain, and every frozen instance mentioning it must re-simplify.
+                ground.atoms.set_certain(id);
+                touched.touch(ground.atoms.atom(id));
+            }
+        }
+        let rounds =
+            self.fixpoint(&base.compiled, &mut ground, seeds, false, Some(&mut touched))?;
+        let phase1_time = start.elapsed();
+
+        // Which rules did the delta touch? Affected rules are re-instantiated in full
+        // against the restricted relation; everything else reuses frozen instances.
+        let affected: Vec<bool> =
+            base.compiled.rule_sigs.iter().map(|sigs| touched.matches_any(sigs)).collect();
+        let mut reused_rules = 0usize;
+        let mut delta_rules = 0usize;
+        for (ri, rule) in base.compiled.crules.iter().enumerate() {
+            if affected[ri] {
+                delta_rules += 1;
+                let mut seen = RuleDedup::default();
+                self.phase2_rule(rule, &mut ground, &mut seen)?;
+            }
+        }
+        // A frozen instance survives iff its head and every positive atom are kept;
+        // excluded atoms in *negative* lists are simplified away instead (they are
+        // impossible in the restricted program, so `not a` holds trivially — the
+        // same simplification a from-scratch grounding of the restricted facts
+        // performs).
+        let map = |remap: &[AtomId], ids: &[AtomId], out: &mut Vec<AtomId>| -> bool {
+            out.clear();
+            for &a in ids {
+                let n = remap[a as usize];
+                if n == EXCLUDED {
+                    return false;
+                }
+                out.push(n);
+            }
+            true
+        };
+        let map_neg = |remap: &[AtomId], ids: &[AtomId], out: &mut Vec<AtomId>| {
+            out.clear();
+            out.extend(ids.iter().map(|&a| remap[a as usize]).filter(|&n| n != EXCLUDED));
+        };
+        let mut mapped: Vec<AtomId> = Vec::new();
+        let mut mapped2: Vec<AtomId> = Vec::new();
+        {
+            let mut copy_rules = |entries: &[(u32, GroundRule)], ground: &mut GroundProgram| {
+                for (ri, frozen) in entries {
+                    if affected[*ri as usize] {
+                        continue; // re-instantiated above
+                    }
+                    let head = match frozen.head {
+                        Some(h) => match remap[h as usize] {
+                            EXCLUDED => continue,
+                            n => Some(n),
+                        },
+                        None => None,
+                    };
+                    if !map(&remap, &frozen.pos, &mut mapped) {
+                        continue;
+                    }
+                    map_neg(&remap, &frozen.neg, &mut mapped2);
+                    reused_rules += 1;
+                    ground.rules.push(GroundRule {
+                        head,
+                        pos: mapped.clone(),
+                        neg: mapped2.clone(),
+                    });
+                }
+            };
+            copy_rules(&base.global_rules, &mut ground);
+            for o in &owners {
+                if let Some(entries) = base.rule_buckets.get(o) {
+                    copy_rules(entries, &mut ground);
+                }
+            }
+        }
+        {
+            let mut copy_choices = |entries: &[(u32, GroundChoice)], ground: &mut GroundProgram| {
+                for (ri, frozen) in entries {
+                    if affected[*ri as usize] {
+                        continue;
+                    }
+                    if !map(&remap, &frozen.pos, &mut mapped) {
+                        continue;
+                    }
+                    map_neg(&remap, &frozen.neg, &mut mapped2);
+                    // Excluded heads drop out of the choice (their enabling condition
+                    // facts are excluded too); an instance may keep a subset.
+                    let heads: Vec<AtomId> = frozen
+                        .heads
+                        .iter()
+                        .filter_map(|&h| match remap[h as usize] {
+                            EXCLUDED => None,
+                            n => Some(n),
+                        })
+                        .collect();
+                    reused_rules += 1;
+                    ground.choices.push(GroundChoice {
+                        heads,
+                        lower: frozen.lower,
+                        upper: frozen.upper,
+                        pos: mapped.clone(),
+                        neg: mapped2.clone(),
+                    });
+                }
+            };
+            copy_choices(&base.global_choices, &mut ground);
+            for o in &owners {
+                if let Some(entries) = base.choice_buckets.get(o) {
+                    copy_choices(entries, &mut ground);
+                }
+            }
+        }
+        let mut tuples: MinimizeTuples = MinimizeTuples::default();
+        for (mi, m) in base.compiled.cminimize.iter().enumerate() {
+            if touched.matches_any(&base.compiled.minimize_sigs[mi]) {
+                self.ground_minimize(m, &ground, &mut tuples)?;
+            }
+        }
+        {
+            let affected_min: Vec<bool> =
+                base.compiled.minimize_sigs.iter().map(|sigs| touched.matches_any(sigs)).collect();
+            let mut copy_tuples = |entries: &[TupleEntry]| {
+                for (mi, key, pos, neg) in entries {
+                    if affected_min[*mi as usize] {
+                        continue; // re-ground above
+                    }
+                    if map(&remap, pos, &mut mapped) {
+                        map_neg(&remap, neg, &mut mapped2);
+                        tuples
+                            .entry(key.clone())
+                            .or_default()
+                            .push((mapped.clone(), mapped2.clone()));
+                    }
+                }
+            };
+            copy_tuples(&base.global_tuples);
+            for o in &owners {
+                if let Some(entries) = base.tuple_buckets.get(o) {
+                    copy_tuples(entries);
+                }
+            }
+        }
+        self.emit_minimize(tuples, &mut ground);
+
+        let duration = start.elapsed();
+        ground.stats = GroundStats {
+            atoms: ground.atoms.len(),
+            rules: ground.rules.len(),
+            choices: ground.choices.len(),
+            minimize: ground.minimize.len(),
+            rounds,
+            phase1: phase1_time,
+            phase2: duration - phase1_time,
+            duration,
+            delta: true,
+            reused_rules,
+            delta_rules,
+        };
+        Ok(ground)
+    }
+
+    /// Shared grounding prelude: intern the input facts (certain), the `#external`
+    /// guard atoms (possible-but-uncertain — they seed the phase-1 fixpoint, yet
+    /// nothing ever derives them; the translation and the stability check exempt them,
+    /// so a per-solve assumption can fix their truth without regrounding), and the
+    /// program-text ground facts (`node("hdf5").`), then compile the remaining rules
+    /// and minimize statements together with their delta signatures.
+    fn compile(
+        &mut self,
+        program: &Program,
+        facts: &[GroundAtom],
+        ground: &mut GroundProgram,
+    ) -> Result<CompiledProgram, GroundError> {
+        let consts: HashMap<String, Term> = program.consts.iter().cloned().collect();
         for fact in facts {
             let (id, _) = ground.atoms.intern(fact.clone());
             ground.atoms.set_certain(id);
         }
-
-        // Intern `#external` guard atoms as possible-but-uncertain: they seed the
-        // phase-1 fixpoint (rules may depend on them either way), yet nothing ever
-        // derives them — the translation and the stability check exempt them, so a
-        // per-solve assumption can fix their truth without regrounding.
         for atom in &program.externals {
             let ga = self.intern_ground_atom(atom, &consts)?;
             let (id, _) = ground.atoms.intern(ga);
             ground.atoms.set_external(id);
         }
-
-        // Compile rules.
         let mut crules = Vec::with_capacity(program.rules.len());
         for rule in &program.rules {
-            // Ground facts in the program text (`node("hdf5").`) are handled directly.
+            // Ground facts in the program text are handled directly.
             if rule.body.is_empty() {
                 if let Head::Atom(atom) = &rule.head {
                     if atom.is_ground() {
@@ -363,16 +1006,36 @@ impl<'a> Grounder<'a> {
             .iter()
             .map(|m| self.compile_minimize(m, &consts))
             .collect::<Result<_, _>>()?;
+        let rule_sigs = crules.iter().map(rule_signature).collect();
+        let rule_p1_sigs = crules.iter().map(rule_phase1_condition_signature).collect();
+        let minimize_sigs = cminimize.iter().map(minimize_signature).collect();
+        Ok(CompiledProgram { crules, cminimize, rule_sigs, rule_p1_sigs, minimize_sigs })
+    }
 
-        // ---- Phase 1: possible-atom fixpoint -----------------------------------------
+    /// The phase-1 possible-atom fixpoint. With `full_first_round` the first round
+    /// joins every rule unrestricted (one-shot and base grounding); otherwise the
+    /// fixpoint *continues* semi-naively from `seeds` on top of an already-complete
+    /// base closure (delta grounding). `touched` (delta mode only) accumulates the
+    /// discriminators of every delta atom; it also triggers full re-joins of rules
+    /// whose choice-element conditions gained atoms this round — their new heads live
+    /// in instances whose positive body did not change, which the occurrence-driven
+    /// delta pass alone would miss.
+    fn fixpoint(
+        &mut self,
+        compiled: &CompiledProgram,
+        ground: &mut GroundProgram,
+        seeds: Vec<AtomId>,
+        full_first_round: bool,
+        mut touched: Option<&mut TouchSet>,
+    ) -> Result<usize, GroundError> {
         let mut rounds = 0;
-        // The set of atom ids added in the previous round.
-        let mut delta: Vec<AtomId> = ground.atoms.iter().map(|(id, _)| id).collect();
+        let mut delta: Vec<AtomId> = seeds;
         // Persistent delta structures, reused across rounds: the membership bitset and
         // the per-predicate delta lists driving the occurrence-based instantiation.
         let mut delta_set = AtomBitSet::default();
         let mut delta_by_pred: FxHashMap<SymbolId, Vec<AtomId>> = FxHashMap::default();
-        let mut first_round = true;
+        let mut first_round = full_first_round;
+        let mut round_touch = TouchSet::default();
         while !delta.is_empty() || first_round {
             rounds += 1;
             if rounds > 100_000 {
@@ -390,16 +1053,18 @@ impl<'a> Grounder<'a> {
                     delta_by_pred.entry(ground.atoms.atom(d).pred).or_default().push(d);
                 }
             }
+            if let Some(t) = touched.as_deref_mut() {
+                round_touch.clear();
+                for &d in &delta {
+                    round_touch.touch(ground.atoms.atom(d));
+                }
+                t.absorb(&round_touch);
+            }
             let mut new_atoms: Vec<AtomId> = Vec::new();
-            for rule in &crules {
-                self.phase1_rule(
-                    rule,
-                    &mut ground,
-                    &delta_set,
-                    &delta_by_pred,
-                    first_round,
-                    &mut new_atoms,
-                )?;
+            for (ri, rule) in compiled.crules.iter().enumerate() {
+                let full = first_round
+                    || (touched.is_some() && round_touch.matches_any(&compiled.rule_p1_sigs[ri]));
+                self.phase1_rule(rule, ground, &delta_set, &delta_by_pred, full, &mut new_atoms)?;
             }
             if !first_round {
                 for &d in &delta {
@@ -409,33 +1074,7 @@ impl<'a> Grounder<'a> {
             delta = new_atoms;
             first_round = false;
         }
-
-        let phase1_time = start.elapsed();
-
-        // ---- Phase 2: rule instantiation ----------------------------------------------
-        let mut seen_rules: RuleDedup = RuleDedup::default();
-        for rule in &crules {
-            self.phase2_rule(rule, &mut ground, &mut seen_rules)?;
-        }
-        // Minimize statements.
-        let mut tuples: MinimizeTuples = MinimizeTuples::default();
-        for m in &cminimize {
-            self.ground_minimize(m, &ground, &mut tuples)?;
-        }
-        self.emit_minimize(tuples, &mut ground);
-
-        let duration = start.elapsed();
-        ground.stats = GroundStats {
-            atoms: ground.atoms.len(),
-            rules: ground.rules.len(),
-            choices: ground.choices.len(),
-            minimize: ground.minimize.len(),
-            rounds,
-            phase1: phase1_time,
-            phase2: duration - phase1_time,
-            duration,
-        };
-        Ok(ground)
+        Ok(rounds)
     }
 
     // ---- compilation -----------------------------------------------------------------
@@ -1533,13 +2172,15 @@ fn best_key(atom: &CAtom, subst: &[Option<Val>], atoms: &AtomTable) -> (CandKey,
             }
         }
     }
-    if let (Some((p1, v1, _)), Some((p2, v2, _))) = (pair[0], pair[1]) {
-        let ((p1, v1), (p2, v2)) =
-            if p1 < p2 { ((p1, v1), (p2, v2)) } else { ((p2, v2), (p1, v1)) };
-        let len = atoms.with_pred_args2(atom.pred, p1, v1, p2, v2).len();
-        if len < best_len {
-            best = CandKey::Args2(atom.pred, p1, v1, p2, v2);
-            best_len = len;
+    if atoms.pair_indexing() {
+        if let (Some((p1, v1, _)), Some((p2, v2, _))) = (pair[0], pair[1]) {
+            let ((p1, v1), (p2, v2)) =
+                if p1 < p2 { ((p1, v1), (p2, v2)) } else { ((p2, v2), (p1, v1)) };
+            let len = atoms.with_pred_args2(atom.pred, p1, v1, p2, v2).len();
+            if len < best_len {
+                best = CandKey::Args2(atom.pred, p1, v1, p2, v2);
+                best_len = len;
+            }
         }
     }
     (best, best_len)
@@ -1785,6 +2426,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn restriction_simplifies_excluded_negative_literals() {
+        // `a :- b, not c("x").` with c("x") possible-but-uncertain: the frozen
+        // instance carries neg=[c("x")]. Excluding "x" must KEEP the instance with
+        // the now-impossible negative literal simplified away — exactly what a
+        // from-scratch grounding of the restricted facts would emit — so `a` stays
+        // derivable.
+        let program = parse_program(
+            r#"
+            a :- b, not c("x").
+            { c("x") } :- d.
+            b. d.
+            "#,
+        )
+        .unwrap();
+        let mut symbols = SymbolTable::new();
+        let base = Grounder::new(&mut symbols)
+            .ground_base(&program, &[], &crate::hasher::FxHashSet::default())
+            .unwrap();
+        let x = symbols.lookup("x").unwrap();
+        let excluded: crate::hasher::FxHashSet<SymbolId> = [x].into_iter().collect();
+        let ground = Grounder::new(&mut symbols).ground_delta(&base, &excluded, &[], &[]).unwrap();
+        let a_id = ground
+            .atoms
+            .iter()
+            .find(|(_, at)| at.display(&symbols).to_string() == "a")
+            .map(|(id, _)| id)
+            .expect("a must stay possible");
+        let rule = ground
+            .rules
+            .iter()
+            .find(|r| r.head == Some(a_id))
+            .expect("the instance deriving `a` must survive the restriction");
+        assert!(rule.neg.is_empty(), "impossible negative literal must be dropped: {rule:?}");
+        // And without any exclusion the negative literal stays.
+        let ground = Grounder::new(&mut symbols)
+            .ground_delta(&base, &crate::hasher::FxHashSet::default(), &[], &[])
+            .unwrap();
+        let a_id = ground
+            .atoms
+            .iter()
+            .find(|(_, at)| at.display(&symbols).to_string() == "a")
+            .map(|(id, _)| id)
+            .unwrap();
+        let rule = ground.rules.iter().find(|r| r.head == Some(a_id)).unwrap();
+        assert_eq!(rule.neg.len(), 1);
     }
 
     #[test]

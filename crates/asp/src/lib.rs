@@ -71,7 +71,7 @@ pub mod symbols;
 pub mod translate;
 
 pub use control::{
-    AspError, AssumeOutcome, Assumption, Control, Model, Preset, SolveOutcome, SolverConfig, Stats,
-    Value,
+    AspError, AssumeOutcome, Assumption, Control, FrozenControl, Model, Preset, SolveOutcome,
+    SolverConfig, Stats, Value,
 };
 pub use optimize::OptStrategy;

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use crate::ground::GroundProgram;
-use crate::sat::{LinearSpec, Lit, SatConfig, SatStats, SearchResult, Solver, Var};
+use crate::sat::{ClauseCache, LinearSpec, Lit, SatConfig, SatStats, SearchResult, Solver, Var};
 use crate::stable::StabilityChecker;
 use crate::translate::Translation;
 
@@ -97,8 +97,10 @@ struct Level {
 /// over, and each iteration merely adds one more linear bound. Only when a level is
 /// proved optimal (its last bound is UNSAT, poisoning the solver) is a fresh solver
 /// built for the next level — seeded with the frozen bounds of the finished levels,
-/// the loop nogoods discovered so far, and the incumbent model's phases (so the
-/// search restarts in the neighbourhood of the best known assignment).
+/// the session clause cache (which carries the retired solvers' provenance-safe
+/// learned clauses), the loop nogoods discovered so far, and the incumbent model's
+/// phases (so the search restarts in the neighbourhood of the best known
+/// assignment).
 pub fn solve_optimal(
     ground: &GroundProgram,
     translation: &Translation,
@@ -106,6 +108,7 @@ pub fn solve_optimal(
     strategy: OptStrategy,
 ) -> Result<Option<OptimalModel>, OptimizeError> {
     let mut retired = None;
+    let mut cache = ClauseCache::default();
     match solve_optimal_assuming(
         ground,
         translation,
@@ -115,6 +118,7 @@ pub fn solve_optimal(
         &[],
         i64::MIN,
         &mut retired,
+        &mut cache,
     )? {
         OptOutcome::Optimal(model) => Ok(Some(model)),
         OptOutcome::Unsat { .. } => Ok(None),
@@ -143,6 +147,10 @@ pub fn solve_optimal(
 /// back through `retired` — assumptions are plain decisions, so it is fully reusable,
 /// and its learned clauses make it a warm probe for follow-up work such as
 /// deletion-based core minimization (see [`StableProbe::from_solver`]).
+///
+/// `cache` is the session clause cache shared by every solve on this grounding: its
+/// clauses are replayed into each solver built here, and every loop nogood found (plus
+/// the provenance-safe learned clauses of each retiring solver) flows back into it.
 #[allow(clippy::too_many_arguments)]
 pub fn solve_optimal_assuming(
     ground: &GroundProgram,
@@ -153,6 +161,7 @@ pub fn solve_optimal_assuming(
     fixed: &[Lit],
     priority_floor: i64,
     retired: &mut Option<Solver>,
+    cache: &mut ClauseCache,
 ) -> Result<OptOutcome, OptimizeError> {
     if ground.trivially_unsat {
         return Ok(OptOutcome::Unsat { core: Vec::new(), sat: SatStats::default() });
@@ -167,11 +176,13 @@ pub fn solve_optimal_assuming(
 
     // Initial model with no objective bounds. The solver stays live across levels: it
     // is only discarded when a level's final (UNSAT) bound poisons it, and only
-    // rebuilt lazily when a later level actually needs another run. Every objective
-    // literal starts phase-biased towards *false* (clasp's optimization sign
-    // heuristic), so even the first model lands near the cheap end of the search
-    // space and the per-level descents start close to the optimum.
-    let mut live = Some(build_solver(translation, config, fixed, &[], &extra_clauses));
+    // rebuilt lazily when a later level actually needs another run — warm-started
+    // from the session clause cache, the loop nogoods found so far, and the
+    // incumbent's phases. Every objective literal starts phase-biased towards *false*
+    // (clasp's optimization sign heuristic), so even the first model lands near the
+    // cheap end of the search space and the per-level descents start close to the
+    // optimum.
+    let mut live = Some(build_solver(translation, config, fixed, &[], &extra_clauses, cache));
     if let Some(solver) = live.as_mut() {
         for level in &levels {
             for &(l, _) in &level.lits {
@@ -181,8 +192,15 @@ pub fn solve_optimal_assuming(
     }
     let mut best = {
         let solver = live.as_mut().expect("just built");
-        match run_stable(solver, ground, &mut checker, &mut extra_clauses, assumptions, &mut stats)
-        {
+        match run_stable(
+            solver,
+            ground,
+            &mut checker,
+            &mut extra_clauses,
+            assumptions,
+            &mut stats,
+            cache,
+        ) {
             Some(m) => m,
             None => {
                 // The *unbounded* program is unsatisfiable under the assumptions: the
@@ -190,6 +208,7 @@ pub fn solve_optimal_assuming(
                 // prove an objective bound optimal and carry no core).
                 let core = solver.failed_assumptions().to_vec();
                 stats.sat.absorb(&solver.stats);
+                cache.harvest(solver);
                 *retired = live.take();
                 return Ok(OptOutcome::Unsat { core, sat: stats.sat });
             }
@@ -232,10 +251,17 @@ pub fn solve_optimal_assuming(
                 Some(s) => s,
                 None => {
                     // The previous run retired the solver (UNSAT bound). Rebuild with
-                    // every frozen bound and loop nogood, warm-started from the
-                    // incumbent's phases.
-                    let mut s =
-                        build_solver(translation, config, fixed, &fixed_bounds, &extra_clauses);
+                    // every frozen bound, the clause cache (which now carries the
+                    // retired solver's provenance-safe learned clauses), and the
+                    // loop nogoods, warm-started from the incumbent's phases.
+                    let mut s = build_solver(
+                        translation,
+                        config,
+                        fixed,
+                        &fixed_bounds,
+                        &extra_clauses,
+                        cache,
+                    );
                     for (v, &val) in best.iter().enumerate() {
                         s.set_phase(v as Var, val);
                     }
@@ -284,6 +310,7 @@ pub fn solve_optimal_assuming(
                 &mut extra_clauses,
                 assumptions,
                 &mut stats,
+                cache,
             ) {
                 Some(m) => {
                     best_costs = level_costs(&levels, &m);
@@ -291,10 +318,12 @@ pub fn solve_optimal_assuming(
                 }
                 None => {
                     // The bound that failed poisons the solver either way, so retire
-                    // it (a later run rebuilds on demand). A failed one-step descent
-                    // proves the level optimal; a failed zero-probe only proves the
-                    // optimum is nonzero — fall back to classic descents.
+                    // it (a later run rebuilds on demand — its provenance-safe
+                    // learned clauses live on through the cache). A failed one-step
+                    // descent proves the level optimal; a failed zero-probe only
+                    // proves the optimum is nonzero — fall back to classic descents.
                     stats.sat.absorb(&solver.stats);
+                    cache.harvest(solver);
                     live = None;
                     if optimistic {
                         optimistic_failed = true;
@@ -315,6 +344,7 @@ pub fn solve_optimal_assuming(
     }
     if let Some(solver) = live.as_ref() {
         stats.sat.absorb(&solver.stats);
+        cache.harvest(solver);
     }
 
     let cost =
@@ -345,14 +375,16 @@ pub struct StableProbe {
 impl StableProbe {
     /// Build the probe solver once from a grounded translation. `fixed` literals are
     /// asserted as root-level units — per-probe-session truths of `#external` guard
-    /// atoms that parameterize the program but are never candidates for blame.
+    /// atoms that parameterize the program but are never candidates for blame. The
+    /// session `cache`'s clauses warm-start the probe.
     pub fn new(
         ground: &GroundProgram,
         translation: &Translation,
         config: &SatConfig,
         fixed: &[Lit],
+        cache: &ClauseCache,
     ) -> Self {
-        Self::from_solver(ground, build_solver(translation, config, fixed, &[], &[]))
+        Self::from_solver(ground, build_solver(translation, config, fixed, &[], &[], cache))
     }
 
     /// Adopt an existing solver as the probe — typically the retired solver of a
@@ -371,7 +403,13 @@ impl StableProbe {
 
     /// Search for one stable model under `assumptions`. Returns `None` when a stable
     /// model exists, and `Some(core)` — the failed assumption subset — when none does.
-    pub fn check(&mut self, ground: &GroundProgram, assumptions: &[Lit]) -> Option<Vec<Lit>> {
+    /// New loop nogoods flow into the session `cache`.
+    pub fn check(
+        &mut self,
+        ground: &GroundProgram,
+        assumptions: &[Lit],
+        cache: &mut ClauseCache,
+    ) -> Option<Vec<Lit>> {
         if self.trivially_unsat {
             return Some(Vec::new());
         }
@@ -386,7 +424,8 @@ impl StableProbe {
                     // every stable model, so they stay valid for later queries too.
                     let nogood = self.checker.unfounded_nogood(ground, &model)?;
                     self.nogoods += 1;
-                    if !self.solver.add_blocking_clause(&nogood) {
+                    cache.add(&nogood);
+                    if !self.solver.add_clause_safe(&nogood) {
                         return Some(Vec::new());
                     }
                 }
@@ -397,6 +436,11 @@ impl StableProbe {
     /// Aggregate low-level statistics of every query so far.
     pub fn stats(&self) -> &SatStats {
         &self.solver.stats
+    }
+
+    /// Collect the probe solver's provenance-safe learned clauses into the cache.
+    pub fn harvest_into(&self, cache: &mut ClauseCache) {
+        cache.harvest(&self.solver);
     }
 
     /// Loop nogoods added across all queries.
@@ -429,7 +473,8 @@ pub fn enumerate_models_with_stats(
     if ground.trivially_unsat {
         return (models, SatStats::default(), examined);
     }
-    let mut solver = build_solver(translation, config, &[], &[], &[]);
+    let empty_cache = ClauseCache::default();
+    let mut solver = build_solver(translation, config, &[], &[], &[], &empty_cache);
     let mut checker = StabilityChecker::new(ground);
     loop {
         if models.len() >= limit {
@@ -441,7 +486,7 @@ pub fn enumerate_models_with_stats(
                 examined += 1;
                 let model = solver.model();
                 if let Some(nogood) = checker.unfounded_nogood(ground, &model) {
-                    if !solver.add_blocking_clause(&nogood) {
+                    if !solver.add_clause_safe(&nogood) {
                         break;
                     }
                 } else {
@@ -572,10 +617,14 @@ fn build_solver(
     fixed: &[Lit],
     bounds: &[LinearSpec],
     extra_clauses: &[Vec<Lit>],
+    cache: &ClauseCache,
 ) -> Solver {
     let mut solver = Solver::new(translation.num_vars, config.clone());
+    // Program content is provenance-safe; per-solve artifacts (external units,
+    // objective bounds) are not — the distinction is what lets learned clauses be
+    // exported back into the session cache.
     for clause in &translation.clauses {
-        if !solver.add_clause(clause) {
+        if !solver.add_clause_safe(clause) {
             break;
         }
     }
@@ -586,10 +635,17 @@ fn build_solver(
         }
     }
     for lin in &translation.linears {
-        solver.add_linear(lin.clone());
+        solver.add_linear_safe(lin.clone());
+    }
+    // Session cache: loop nogoods and safe learned clauses from earlier solves on
+    // this grounding.
+    for clause in cache.clauses() {
+        if !solver.add_clause_safe(clause) {
+            break;
+        }
     }
     for clause in extra_clauses {
-        if !solver.add_clause(clause) {
+        if !solver.add_clause_safe(clause) {
             break;
         }
     }
@@ -614,6 +670,7 @@ fn build_solver(
 /// supported models along the way), or `None` when none exists under the solver's
 /// current bounds. The solver keeps all state between calls; aggregate statistics are
 /// absorbed by the caller when the solver is retired.
+#[allow(clippy::too_many_arguments)]
 fn run_stable(
     solver: &mut Solver,
     ground: &GroundProgram,
@@ -621,6 +678,7 @@ fn run_stable(
     extra_clauses: &mut Vec<Vec<Lit>>,
     assumptions: &[Lit],
     stats: &mut RunStats,
+    cache: &mut ClauseCache,
 ) -> Option<Vec<bool>> {
     stats.runs += 1;
     let debug = std::env::var("ASP_DEBUG").is_ok();
@@ -646,7 +704,8 @@ fn run_stable(
                     );
                 }
                 extra_clauses.push(nogood.clone());
-                if !solver.add_blocking_clause(&nogood) {
+                cache.add(&nogood);
+                if !solver.add_clause_safe(&nogood) {
                     return None;
                 }
             }

@@ -29,8 +29,23 @@
 //! * Conflict analysis reuses persistent buffers (`analyze_buf`, `seen`) instead of
 //!   allocating per resolution step.
 
+//!
+//! # Clause provenance ("root-safe" learning)
+//!
+//! Every clause and linear constraint carries a *safe* bit: safe means "a consequence
+//! of the program being solved" (translation clauses, loop nogoods), unsafe means
+//! "true only for this particular solve" (per-solve `#external` units, objective
+//! bounds, model-blocking clauses). Conflict analysis propagates the bit — a learned
+//! clause is safe exactly when every antecedent resolved into it (including the
+//! level-0 assignments it absorbed) is safe — so [`Solver::safe_learned_clauses`]
+//! yields clauses that hold in *every* solve of the same translation. A
+//! [`ClauseCache`] collects them (plus loop nogoods) across the solves of one
+//! grounding and replays them into each newly built solver: later solves warm-start
+//! from everything the earlier ones learned about the program itself.
+
 use std::fmt;
 
+use crate::hasher::FxHashSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -118,8 +133,9 @@ pub enum SearchResult {
 enum Conflict {
     /// The clause at this index is falsified.
     Clause(usize),
-    /// An explicit list of (currently false) literals.
-    Lits(Vec<Lit>),
+    /// An explicit list of (currently false) literals, with the provenance-safety of
+    /// the linear constraint that produced it.
+    Lits(Vec<Lit>, bool),
 }
 
 /// One occurrence of a variable inside a linear constraint: the constraint index plus
@@ -178,6 +194,9 @@ struct Linear {
     total: u64,
     sum_true: u64,
     sum_false: u64,
+    /// Is this constraint a consequence of the program (a translation cardinality
+    /// bound) rather than a per-solve artifact (an objective bound)?
+    safe: bool,
     /// Largest single weight. No literal can overflow the upper bound unless
     /// `sum_true + wmax > upper`, and none can be forced true unless
     /// `total - sum_false - wmax < lower` (the heaviest literal triggers first on
@@ -257,6 +276,17 @@ pub struct Solver {
     clauses: Vec<Vec<Lit>>,
     /// Parallel to `clauses`: learned (deletable) flag.
     clause_learned: Vec<bool>,
+    /// Parallel to `clauses`: provenance-safe flag (see the module docs). For learned
+    /// clauses this is the AND over every antecedent resolved into the clause.
+    clause_safe: Vec<bool>,
+    /// Parallel to `stored_reasons`: safety of the linear constraint that stored it.
+    stored_safe: Vec<bool>,
+    /// Per variable: is its *level-0* assignment a consequence of safe clauses only?
+    /// Meaningful only while the variable is assigned at level 0.
+    var0_safe: Vec<bool>,
+    /// Learned unit clauses that are provenance-safe (units are enqueued rather than
+    /// stored in `clauses`, so they are collected separately for export).
+    safe_units: Vec<Lit>,
     /// Parallel to `clauses`: conflict-analysis activity (only meaningful for learned).
     clause_activity: Vec<f64>,
     clause_inc: f64,
@@ -310,6 +340,10 @@ impl Solver {
             num_vars,
             clauses: Vec::new(),
             clause_learned: Vec::new(),
+            clause_safe: Vec::new(),
+            stored_safe: Vec::new(),
+            var0_safe: vec![false; num_vars],
+            safe_units: Vec::new(),
             clause_activity: Vec::new(),
             clause_inc: 1.0,
             max_learned,
@@ -376,18 +410,33 @@ impl Solver {
     /// Add a clause. Returns `false` when the clause makes the problem unsatisfiable at
     /// the root level. Must be called at decision level 0 (the solver backtracks
     /// automatically when necessary). Takes a slice: the solver copies only the
-    /// literals that survive level-0 simplification.
+    /// literals that survive level-0 simplification. The clause is tagged *unsafe*
+    /// (per-solve artifact); use [`Solver::add_clause_safe`] for program consequences.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.add_clause_tagged(lits, false)
+    }
+
+    /// [`Solver::add_clause`] for a clause that is a consequence of the program being
+    /// solved (a translation clause or a loop nogood): clauses learned from safe
+    /// antecedents only are exported by [`Solver::safe_learned_clauses`].
+    pub fn add_clause_safe(&mut self, lits: &[Lit]) -> bool {
+        self.add_clause_tagged(lits, true)
+    }
+
+    fn add_clause_tagged(&mut self, lits: &[Lit], safe: bool) -> bool {
         if self.root_conflict {
             return false;
         }
         self.cancel_until(0);
         // Remove literals already false at level 0; satisfied clauses are dropped.
+        // Dropping a false literal makes the clause depend on that assignment, so the
+        // simplified clause is safe only if every dropped assignment is, too.
         let mut filtered = Vec::with_capacity(lits.len());
+        let mut safe = safe;
         for &l in lits {
             match self.value_lit(l) {
                 Value::True => return true,
-                Value::False => {}
+                Value::False => safe = safe && self.var0_safe[l.var() as usize],
                 Value::Unassigned => filtered.push(l),
             }
         }
@@ -404,6 +453,7 @@ impl Solver {
             }
             1 => {
                 self.enqueue(filtered[0], Reason::Decision);
+                self.var0_safe[filtered[0].var() as usize] = safe;
                 if self.propagate().is_some() {
                     self.root_conflict = true;
                     false
@@ -417,14 +467,26 @@ impl Solver {
                 self.watches[filtered[1].negate().index()].push(Watch { ci, blocker: filtered[0] });
                 self.clauses.push(filtered);
                 self.clause_learned.push(false);
+                self.clause_safe.push(safe);
                 self.clause_activity.push(0.0);
                 true
             }
         }
     }
 
-    /// Add a linear constraint.
+    /// Add a linear constraint (tagged unsafe: a per-solve artifact such as an
+    /// objective bound; use [`Solver::add_linear_safe`] for program constraints).
     pub fn add_linear(&mut self, spec: LinearSpec) {
+        self.add_linear_tagged(spec, false)
+    }
+
+    /// [`Solver::add_linear`] for a constraint that is part of the program itself
+    /// (a choice-rule cardinality bound from the translation).
+    pub fn add_linear_safe(&mut self, spec: LinearSpec) {
+        self.add_linear_tagged(spec, true)
+    }
+
+    fn add_linear_tagged(&mut self, spec: LinearSpec, safe: bool) {
         assert_eq!(spec.lits.len(), spec.weights.len());
         self.cancel_until(0);
         let total: u64 = spec.weights.iter().sum();
@@ -446,6 +508,7 @@ impl Solver {
             sum_true: 0,
             sum_false: 0,
             wmax,
+            safe,
         };
         // Account for assignments already made at level 0.
         for (i, &l) in lin.lits.iter().enumerate() {
@@ -527,9 +590,9 @@ impl Solver {
                     self.root_conflict = true;
                     return SearchResult::Unsat;
                 }
-                let (learned, backtrack_level) = self.analyze(confl);
+                let (learned, backtrack_level, safe) = self.analyze(confl);
                 self.cancel_until(backtrack_level);
-                self.record_learned(learned);
+                self.record_learned(learned, safe);
                 self.decay_activities();
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 continue;
@@ -650,6 +713,18 @@ impl Solver {
         self.add_clause(clause)
     }
 
+    /// Every learned clause (including learned root units) whose derivation used only
+    /// provenance-safe antecedents: such clauses are consequences of the program's
+    /// translation alone — never of per-solve externals, objective bounds, or blocking
+    /// clauses — and may be replayed into any solver over the same translation.
+    pub fn safe_learned_clauses(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        let units = self.safe_units.iter().map(std::slice::from_ref);
+        let clauses = (0..self.clauses.len())
+            .filter(|&ci| self.clause_learned[ci] && self.clause_safe[ci])
+            .map(|ci| self.clauses[ci].as_slice());
+        units.chain(clauses)
+    }
+
     // ---- internal: propagation -------------------------------------------------------
 
     fn enqueue(&mut self, lit: Lit, reason: Reason) {
@@ -659,6 +734,26 @@ impl Solver {
         self.level[var] = self.decision_level();
         self.reason[var] = reason;
         self.phase[var] = lit.is_pos();
+        if self.trail_lim.is_empty() {
+            // Level-0 assignment: record whether it follows from safe clauses alone
+            // (its reason plus the level-0 assignments falsifying the rest of it).
+            let safe = match reason {
+                Reason::Decision => false, // add_clause_tagged overrides for its units
+                Reason::Clause(ci) => {
+                    self.clause_safe[ci]
+                        && self.clauses[ci]
+                            .iter()
+                            .all(|&l| l.var() as usize == var || self.var0_safe[l.var() as usize])
+                }
+                Reason::Stored(ri) => {
+                    self.stored_safe[ri]
+                        && self.stored_reasons[ri]
+                            .iter()
+                            .all(|&l| l.var() as usize == var || self.var0_safe[l.var() as usize])
+                }
+            };
+            self.var0_safe[var] = safe;
+        }
         self.trail.push(lit);
         self.stats.propagations += 1;
         // Update linear-constraint counters incrementally: each occurrence names the
@@ -715,6 +810,7 @@ impl Solver {
         // stored reason predates the earliest cancelled level — the tail is garbage.
         if let Some(mark) = stored_mark {
             self.stored_reasons.truncate(mark);
+            self.stored_safe.truncate(mark);
         }
         self.prop_head = self.prop_head.min(self.trail.len());
     }
@@ -734,8 +830,8 @@ impl Solver {
             let var = lit.var() as usize;
             for k in 0..self.linear_occ[var].len() {
                 let occ = self.linear_occ[var][k];
-                if let Some(confl) = self.propagate_linear(occ.idx as usize) {
-                    return Some(Conflict::Lits(confl));
+                if let Some((confl, safe)) = self.propagate_linear(occ.idx as usize) {
+                    return Some(Conflict::Lits(confl, safe));
                 }
             }
         }
@@ -801,12 +897,13 @@ impl Solver {
         None
     }
 
-    fn propagate_linear(&mut self, idx: usize) -> Option<Vec<Lit>> {
+    fn propagate_linear(&mut self, idx: usize) -> Option<(Vec<Lit>, bool)> {
         let (upper_violated, lower_violated) = {
             let lin = &self.linears[idx];
             (lin.sum_true > lin.upper, lin.total - lin.sum_false < lin.lower)
         };
         let condition = self.linears[idx].condition;
+        let lin_safe = self.linears[idx].safe;
         let cond_value = condition.map(|c| self.value_lit(c));
 
         // If the guard is false the constraint is inert.
@@ -823,6 +920,7 @@ impl Solver {
                     clause.push(c.negate());
                     let rid = self.stored_reasons.len();
                     self.stored_reasons.push(clause);
+                    self.stored_safe.push(lin_safe);
                     self.enqueue(c.negate(), Reason::Stored(rid));
                     return None;
                 }
@@ -832,7 +930,7 @@ impl Solver {
                     if let Some(c) = condition {
                         clause.push(c.negate());
                     }
-                    return Some(clause);
+                    return Some((clause, lin_safe));
                 }
             }
         }
@@ -881,6 +979,7 @@ impl Solver {
                 reason.push(lit.negate());
                 let rid = self.stored_reasons.len();
                 self.stored_reasons.push(reason);
+                self.stored_safe.push(lin_safe);
                 self.enqueue(lit.negate(), Reason::Stored(rid));
                 if let Some(confl) = self.propagate_linear(idx) {
                     return Some(confl);
@@ -893,6 +992,7 @@ impl Solver {
                 reason.push(lit);
                 let rid = self.stored_reasons.len();
                 self.stored_reasons.push(reason);
+                self.stored_safe.push(lin_safe);
                 self.enqueue(lit, Reason::Stored(rid));
                 if let Some(confl) = self.propagate_linear(idx) {
                     return Some(confl);
@@ -938,25 +1038,32 @@ impl Solver {
     // ---- internal: conflict analysis ---------------------------------------------------
 
     /// First-UIP conflict analysis. Returns the learned clause (with the asserting
-    /// literal first) and the backtrack level.
+    /// literal first), the backtrack level, and whether every antecedent resolved into
+    /// the clause was provenance-safe (making the learned clause a program
+    /// consequence, exportable across solves).
     ///
     /// Clause-typed conflicts and reasons are resolved by *reference*; the working set
     /// of literals lives in the persistent `analyze_buf`, and the per-variable `seen`
     /// markers are cleared incrementally on exit — no allocation per conflict beyond
     /// the learned clause itself.
-    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32, bool) {
         let current_level = self.decision_level();
         let mut learned: Vec<Lit> = Vec::new();
         let mut counter = 0usize;
         let mut trail_index = self.trail.len();
         let mut expand: Vec<Lit> = std::mem::take(&mut self.analyze_buf);
         expand.clear();
+        let mut safe;
         match conflict {
             Conflict::Clause(ci) => {
                 self.bump_clause(ci);
                 expand.extend_from_slice(&self.clauses[ci]);
+                safe = self.clause_safe[ci];
             }
-            Conflict::Lits(lits) => expand.extend_from_slice(&lits),
+            Conflict::Lits(lits, lin_safe) => {
+                expand.extend_from_slice(&lits);
+                safe = lin_safe;
+            }
         }
         let asserting;
 
@@ -965,7 +1072,12 @@ impl Solver {
             for i in 0..expand.len() {
                 let lit = expand[i];
                 let v = lit.var() as usize;
-                if self.seen[v] || self.level[v] == 0 {
+                if self.level[v] == 0 {
+                    // Absorbed level-0 assignment: the learned clause depends on it.
+                    safe = safe && self.var0_safe[v];
+                    continue;
+                }
+                if self.seen[v] {
                     continue;
                 }
                 self.seen[v] = true;
@@ -996,6 +1108,7 @@ impl Solver {
                 Reason::Decision => {}
                 Reason::Clause(ci) => {
                     self.bump_clause(ci);
+                    safe = safe && self.clause_safe[ci];
                     for k in 0..self.clauses[ci].len() {
                         let l = self.clauses[ci][k];
                         if l.var() != var {
@@ -1004,6 +1117,7 @@ impl Solver {
                     }
                 }
                 Reason::Stored(ri) => {
+                    safe = safe && self.stored_safe[ri];
                     for k in 0..self.stored_reasons[ri].len() {
                         let l = self.stored_reasons[ri][k];
                         if l.var() != var {
@@ -1030,16 +1144,22 @@ impl Solver {
         // Backtrack level: second-highest level in the clause.
         let backtrack_level =
             clause[1..].iter().map(|l| self.level[l.var() as usize]).max().unwrap_or(0);
-        (clause, backtrack_level)
+        (clause, backtrack_level, safe)
     }
 
-    fn record_learned(&mut self, clause: Vec<Lit>) {
+    fn record_learned(&mut self, clause: Vec<Lit>, safe: bool) {
         self.stats.learned += 1;
         debug_assert!(!clause.is_empty());
         if clause.len() == 1 {
             // Asserting unit clause: enqueue at the (already backtracked-to) level.
             if self.value_lit(clause[0]) == Value::Unassigned {
                 self.enqueue(clause[0], Reason::Decision);
+                if self.trail_lim.is_empty() {
+                    self.var0_safe[clause[0].var() as usize] = safe;
+                }
+            }
+            if safe {
+                self.safe_units.push(clause[0]);
             }
             return;
         }
@@ -1058,6 +1178,7 @@ impl Solver {
         let asserting = clause[0];
         self.clauses.push(clause);
         self.clause_learned.push(true);
+        self.clause_safe.push(safe);
         self.clause_activity.push(self.clause_inc);
         if self.value_lit(asserting) == Value::Unassigned {
             self.enqueue(asserting, Reason::Clause(idx));
@@ -1091,6 +1212,7 @@ impl Solver {
         let mut remap: Vec<usize> = vec![usize::MAX; self.clauses.len()];
         let mut kept: Vec<Vec<Lit>> = Vec::with_capacity(self.clauses.len());
         let mut kept_learned = Vec::with_capacity(self.clauses.len());
+        let mut kept_safe = Vec::with_capacity(self.clauses.len());
         let mut kept_activity = Vec::with_capacity(self.clauses.len());
         let mut removed = 0u64;
         for ci in 0..self.clauses.len() {
@@ -1105,10 +1227,12 @@ impl Solver {
             remap[ci] = kept.len();
             kept.push(std::mem::take(&mut self.clauses[ci]));
             kept_learned.push(self.clause_learned[ci]);
+            kept_safe.push(self.clause_safe[ci]);
             kept_activity.push(self.clause_activity[ci]);
         }
         self.clauses = kept;
         self.clause_learned = kept_learned;
+        self.clause_safe = kept_safe;
         self.clause_activity = kept_activity;
         self.stats.deleted += removed;
         // Grow the cap geometrically so reduction stays amortised.
@@ -1191,6 +1315,66 @@ impl Solver {
             }
         }
         luby(self.stats.restarts + 1) * self.config.restart_base
+    }
+}
+
+/// A session-scoped cache of clauses that are *consequences of one ground program* —
+/// loop nogoods from the stability check and provenance-safe learned clauses — shared
+/// by every solve on that grounding. Each newly built solver replays the cache, so the
+/// relaxed diagnostics re-solve, core-minimization probes, and later optimization
+/// levels warm-start from everything earlier solves proved about the program instead
+/// of re-deriving it. Invalidated (by the owner) whenever the grounding changes.
+#[derive(Debug, Default)]
+pub struct ClauseCache {
+    clauses: Vec<Vec<Lit>>,
+    seen: FxHashSet<u64>,
+}
+
+impl ClauseCache {
+    /// Cap on cached clauses: beyond this the marginal clause is unlikely to pay for
+    /// its replay cost, and the cache must not grow without bound over a long session.
+    pub const MAX_CLAUSES: usize = 8192;
+
+    /// Add one program-consequence clause (deduplicated; ignored once full or empty).
+    pub fn add(&mut self, clause: &[Lit]) {
+        if clause.is_empty() || self.clauses.len() >= Self::MAX_CLAUSES {
+            return;
+        }
+        let mut sorted = clause.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        use std::hash::{Hash, Hasher};
+        let mut hasher = crate::hasher::FxHasher::default();
+        sorted.hash(&mut hasher);
+        if self.seen.insert(hasher.finish()) {
+            self.clauses.push(sorted);
+        }
+    }
+
+    /// Collect a retiring solver's provenance-safe learned clauses.
+    pub fn harvest(&mut self, solver: &Solver) {
+        // Pre-check fullness so a large retired solver costs one branch, not a scan.
+        if self.clauses.len() >= Self::MAX_CLAUSES {
+            return;
+        }
+        for c in solver.safe_learned_clauses() {
+            self.add(c);
+        }
+    }
+
+    /// The cached clauses, for replay into a new solver (all provenance-safe).
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Number of cached clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
     }
 }
 
@@ -1589,6 +1773,50 @@ mod tests {
         assert!(core.contains(&lit(1)) && core.contains(&lit(2)), "{core:?}");
         assert_eq!(s.search_with_assumptions(&[lit(2)]), SearchResult::Sat);
         assert!(s.model()[1]);
+    }
+
+    #[test]
+    fn learned_clauses_from_safe_antecedents_are_exported() {
+        // x1 -> x2 -> x3 -> ~x1, all program clauses: refuting the assumption x1
+        // learns the program consequence ~x1, which must be exported.
+        let mut s = Solver::new(3, SatConfig::default());
+        assert!(s.add_clause_safe(&[lit(-1), lit(2)]));
+        assert!(s.add_clause_safe(&[lit(-2), lit(3)]));
+        assert!(s.add_clause_safe(&[lit(-3), lit(-1)]));
+        assert_eq!(s.search_with_assumptions(&[lit(1)]), SearchResult::Unsat);
+        let exported: Vec<Vec<Lit>> = s.safe_learned_clauses().map(|c| c.to_vec()).collect();
+        assert!(
+            exported.iter().any(|c| c.as_slice() == [lit(-1)]),
+            "the program consequence ~x1 must be exported: {exported:?}"
+        );
+    }
+
+    #[test]
+    fn learned_clauses_tainted_by_unsafe_units_are_not_exported() {
+        // x2 is a per-solve root unit (e.g. an #external guard). The conflict that
+        // refutes the assumption x1 resolves through it, so the learned clause is
+        // only valid for solves where x2 holds — it must NOT be exported.
+        let mut s = Solver::new(3, SatConfig::default());
+        assert!(s.add_clause(&[lit(2)])); // unsafe per-solve unit
+        assert!(s.add_clause_safe(&[lit(-1), lit(3)]));
+        assert!(s.add_clause_safe(&[lit(-3), lit(-2), lit(-1)]));
+        assert_eq!(s.search_with_assumptions(&[lit(1)]), SearchResult::Unsat);
+        assert_eq!(
+            s.safe_learned_clauses().count(),
+            0,
+            "clauses depending on the unsafe unit must not be exported"
+        );
+    }
+
+    #[test]
+    fn clause_cache_deduplicates() {
+        let mut cache = ClauseCache::default();
+        cache.add(&[lit(1), lit(2)]);
+        cache.add(&[lit(2), lit(1)]); // same clause, different order
+        cache.add(&[lit(1)]);
+        cache.add(&[]); // ignored
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
     }
 
     #[test]

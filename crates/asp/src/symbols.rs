@@ -6,6 +6,7 @@
 //! extraction all share.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::hasher::FxHashMap;
 
@@ -16,10 +17,14 @@ pub type SymbolId = u32;
 pub type AtomId = u32;
 
 /// A table interning strings to [`SymbolId`]s.
+///
+/// Entries are `Arc<str>`, so cloning a table (a multi-shot session forks the frozen
+/// base's symbols for every request) bumps reference counts instead of re-allocating
+/// thousands of strings.
 #[derive(Debug, Default, Clone)]
 pub struct SymbolTable {
-    names: Vec<String>,
-    map: FxHashMap<String, SymbolId>,
+    names: Vec<Arc<str>>,
+    map: FxHashMap<Arc<str>, SymbolId>,
 }
 
 impl SymbolTable {
@@ -34,8 +39,9 @@ impl SymbolTable {
             return id;
         }
         let id = self.names.len() as SymbolId;
-        self.names.push(s.to_string());
-        self.map.insert(s.to_string(), id);
+        let shared: Arc<str> = Arc::from(s);
+        self.names.push(shared.clone());
+        self.map.insert(shared, id);
         id
     }
 
@@ -217,12 +223,36 @@ pub struct AtomTable {
     /// (their truth is fixed per solve by an assumption). Stored sparse — external
     /// declarations are rare (a handful of guards per program).
     external: Vec<AtomId>,
+    /// When false, the two-argument pair index is neither populated nor consulted.
+    /// Per-request delta tables disable it: they re-intern a restricted copy of a
+    /// frozen base whose joins were already done, and the remaining per-request joins
+    /// are small enough for the single-argument indexes — skipping the pair inserts
+    /// is a large share of the re-interning cost.
+    no_pair_index: bool,
 }
 
 impl AtomTable {
     /// Create an empty atom table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create a table without the two-argument pair index (see the field docs).
+    pub fn new_without_pair_index() -> Self {
+        AtomTable { no_pair_index: true, ..Self::default() }
+    }
+
+    /// Is the pair index maintained? The join planner must not consult it otherwise.
+    pub fn pair_indexing(&self) -> bool {
+        !self.no_pair_index
+    }
+
+    /// Reserve capacity for `additional` atoms (bulk re-interning of a restricted
+    /// base view).
+    pub fn reserve(&mut self, additional: usize) {
+        self.atoms.reserve(additional);
+        self.certain.reserve(additional);
+        self.ids.reserve(additional);
     }
 
     /// Number of atoms.
@@ -261,13 +291,15 @@ impl AtomTable {
         for (pos, &val) in atom.args.iter().enumerate().take(u8::MAX as usize) {
             self.by_pred_arg.entry((atom.pred, pos as u8, val)).or_default().push(id);
         }
-        let paired = atom.args.iter().enumerate().take(Self::MAX_PAIR_INDEXED_ARGS);
-        for (pos, &val) in paired.clone() {
-            for (pos2, &val2) in paired.clone().skip(pos + 1) {
-                self.by_pred_arg2
-                    .entry((atom.pred, pos as u8, val, pos2 as u8, val2))
-                    .or_default()
-                    .push(id);
+        if !self.no_pair_index {
+            let paired = atom.args.iter().enumerate().take(Self::MAX_PAIR_INDEXED_ARGS);
+            for (pos, &val) in paired.clone() {
+                for (pos2, &val2) in paired.clone().skip(pos + 1) {
+                    self.by_pred_arg2
+                        .entry((atom.pred, pos as u8, val, pos2 as u8, val2))
+                        .or_default()
+                        .push(id);
+                }
             }
         }
         self.ids.insert(atom.clone(), id);

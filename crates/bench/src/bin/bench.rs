@@ -1,9 +1,9 @@
-//! `bench` — the perf-regression harness behind `BENCH_pr2.json` and the CI gate.
+//! `bench` — the perf-regression harness behind `BENCH_baseline_small.json` and the CI gate.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench -- [--scale medium] [--full] \
 //!     [--label after] [--out bench.json] [--compare BENCH_baseline_small.json] \
-//!     [--threshold 1.25] [--counter-threshold 1.6]
+//!     [--threshold 1.25] [--counter-threshold 1.6] [--session-ratio 0.75]
 //! ```
 //!
 //! Runs the hot-path benchmark groups of the paper's evaluation (the same groups as the
@@ -14,46 +14,51 @@
 //! unsat-core size, minimization rounds, and second-phase time, so the cost of
 //! explanations is tracked like any other hot path.
 //!
-//! `--compare <baseline>` turns the run into a **regression gate**: per benchmark
-//! group, the summed means of the benches present in both reports are compared, and
-//! the process exits non-zero when any group's mean regressed by more than the
-//! threshold (default 1.25×, overridable via `--threshold` or the
-//! `BENCH_GATE_THRESHOLD` environment variable for slower runner fleets). Next to the
-//! wall clock, the gate also compares the machine-independent engine counters
-//! (grounder atoms/rules, solver conflicts/propagations) with their own threshold
-//! (default 1.6×, `--counter-threshold` / `BENCH_GATE_COUNTER_THRESHOLD`) — an
-//! algorithmic regression trips this even on hardware whose absolute speed no longer
-//! matches the machine that recorded the baseline. CI runs the small tier against the
-//! committed `BENCH_baseline_small.json` and fails the job on regression.
+//! The `session_throughput` group measures the multi-shot service scenario: a mixed
+//! request stream (including an unsatisfiable request) solved one-shot versus on a
+//! long-lived `ConcretizerSession` (steady state: the base is ground once, outside
+//! the measurement), sequentially and as a parallel batch. Its counters carry the
+//! summed per-request stage times in microseconds (`ground_us`, `setup_us`,
+//! `solve_us`) next to the usual engine counters.
+//!
+//! `--compare <baseline>` turns the run into a **regression gate** (the verdict logic
+//! lives in [`bench::gate`], where it is unit-tested): per benchmark group, the
+//! summed means of the benches present in both reports are compared, and the process
+//! exits non-zero when any group's mean regressed by more than the threshold (default
+//! 1.25×, overridable via `--threshold` or the `BENCH_GATE_THRESHOLD` environment
+//! variable for slower runner fleets). Next to the wall clock, the gate also compares
+//! the machine-independent engine counters (grounder atoms/rules, solver
+//! conflicts/propagations) with their own threshold (default 1.6×,
+//! `--counter-threshold` / `BENCH_GATE_COUNTER_THRESHOLD`) — an algorithmic
+//! regression trips this even on hardware whose absolute speed no longer matches the
+//! machine that recorded the baseline. Groups absent from the committed baseline are
+//! warned about and skipped, never failed, so adding a group needs no flag-day
+//! baseline refresh. Finally, the gate asserts — within the current run, so no
+//! baseline or machine speed is involved — that session-mode per-request grounding
+//! stays below one-shot grounding by the gated ratio (default 0.75×,
+//! `--session-ratio` / `BENCH_GATE_SESSION_RATIO`). CI runs the small tier against
+//! the committed `BENCH_baseline_small.json` and fails the job on regression.
 //!
 //! The workloads are sized for the *medium* tier by default — large enough that the
 //! grounder's join/delta behaviour and the solver's propagation dominate, small enough
 //! to finish in seconds.
 
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use asp::SolverConfig;
-use bench::{chain_closure_program, wide_join_program, workload_buildcache, workload_repo, Scale};
-use spack_concretizer::{Concretizer, SiteConfig};
+use bench::gate::{
+    compare_against_baseline, parse_report, render_json, session_ground_gate, Record,
+};
+use bench::{
+    chain_closure_program, service_buildcache, wide_join_program, workload_buildcache,
+    workload_repo, Scale,
+};
+use spack_concretizer::{ConcretizeError, Concretizer, ConcretizerSession, SiteConfig};
 use spack_repo::builtin_repo;
 use spack_store::BuildcacheConfig;
 
 /// A stage breakdown plus engine counters describing one measured run.
 type RunDetail = (Vec<(&'static str, f64)>, Vec<(&'static str, u64)>);
-
-/// One measured benchmark: identity, wall-clock, stage breakdown, engine counters.
-struct Record {
-    group: &'static str,
-    bench: String,
-    samples: usize,
-    mean: Duration,
-    min: Duration,
-    /// (stage name, seconds) pairs, from the last sample.
-    stages: Vec<(&'static str, f64)>,
-    /// (counter name, value) pairs, from the last sample.
-    counters: Vec<(&'static str, u64)>,
-}
 
 struct Runner {
     samples: usize,
@@ -155,6 +160,82 @@ fn ground_and_enumerate(program: &str, limit: usize) -> RunDetail {
     asp_stats_detail(ctl.stats())
 }
 
+/// Aggregate accounting for a mixed request stream (the `session_throughput` group):
+/// summed stage times plus the engine counters the gate compares.
+#[derive(Default)]
+struct MixAggregate {
+    specs: u64,
+    unsat: u64,
+    setup: Duration,
+    ground: Duration,
+    solve: Duration,
+    atoms: u64,
+    rules: u64,
+    conflicts: u64,
+    propagations: u64,
+}
+
+impl MixAggregate {
+    fn add(&mut self, result: Result<spack_concretizer::Concretization, ConcretizeError>) {
+        self.specs += 1;
+        match result {
+            Ok(r) => {
+                self.setup += r.timings.setup;
+                self.ground += r.timings.ground;
+                self.solve += r.timings.solve;
+                self.atoms += r.stats.ground.atoms as u64;
+                self.rules += r.stats.ground.rules as u64;
+                self.conflicts += r.stats.conflicts;
+                self.propagations += r.stats.propagations;
+            }
+            Err(ConcretizeError::Unsatisfiable { stats, .. }) => {
+                self.unsat += 1;
+                self.setup += stats.phases.setup;
+                self.ground += stats.phases.ground;
+                self.solve += stats.phases.solve;
+            }
+            Err(other) => panic!("mix spec failed: {other}"),
+        }
+    }
+
+    fn detail(&self, wall: Duration) -> RunDetail {
+        let specs_per_sec = self.specs as f64 / wall.as_secs_f64().max(1e-9);
+        (
+            vec![
+                ("setup", self.setup.as_secs_f64()),
+                ("ground", self.ground.as_secs_f64()),
+                ("solve", self.solve.as_secs_f64()),
+                ("specs_per_sec", specs_per_sec),
+            ],
+            vec![
+                ("specs", self.specs),
+                ("unsat", self.unsat),
+                ("setup_us", self.setup.as_micros() as u64),
+                ("ground_us", self.ground.as_micros() as u64),
+                ("solve_us", self.solve.as_micros() as u64),
+                ("atoms", self.atoms),
+                ("rules", self.rules),
+                ("conflicts", self.conflicts),
+                ("propagations", self.propagations),
+            ],
+        )
+    }
+}
+
+/// The request mix of the `session_throughput` group: a realistic stream across the
+/// workload repo — small and large closures, the deep chain, a virtual-heavy app, and
+/// one unsatisfiable request (whose single-grounding diagnostics both modes pay for).
+fn session_mix(repo: &spack_repo::Repository) -> Vec<String> {
+    ["zlib", "hdf5", "mpileaks", "chain-root", "vapp-00", "example", "bzip2", "zlib@9.9"]
+        .iter()
+        .filter(|s| {
+            let name = s.split(['@', '~', '+', '^', ' ']).next().unwrap();
+            repo.get(name).is_some()
+        })
+        .map(|s| s.to_string())
+        .collect()
+}
+
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let get = |flag: &str| -> Option<String> {
@@ -177,12 +258,16 @@ fn main() -> std::process::ExitCode {
         .and_then(|t| t.parse().ok())
         .or_else(|| env_threshold("BENCH_GATE_COUNTER_THRESHOLD"))
         .unwrap_or(1.6);
+    let session_ratio: f64 = get("--session-ratio")
+        .and_then(|t| t.parse().ok())
+        .or_else(|| env_threshold("BENCH_GATE_SESSION_RATIO"))
+        .unwrap_or(0.75);
 
     // Gate runs (--compare) take more samples: the mean of 3 is too noisy to hold a
     // 1.25x threshold, and the gate's verdict must be worth trusting.
     let mut runner = Runner {
         samples: if full || compare.is_some() { 9 } else { 3 },
-        budget: Duration::from_secs(if full || compare.is_some() { 60 } else { 25 }),
+        budget: Duration::from_secs(if full || compare.is_some() { 90 } else { 40 }),
         records: Vec::new(),
     };
     eprintln!("# bench harness: scale {scale:?}, label {label:?}, quick={}", !full);
@@ -284,13 +369,14 @@ fn main() -> std::process::ExitCode {
     // ---- unsat_diagnostics: the single-grounding explanation pipeline ---------------------
     // Deliberately infeasible requests: wall-clock covers the failed solve plus core
     // minimization and the relaxed re-solve (which reuses the first solve's ground
-    // program — second-phase grounding must be zero); the stages and counters expose
-    // the diagnostics cost per phase.
+    // program — second-phase grounding must be zero — and warm-starts from its loop
+    // nogoods and provenance-safe learned clauses through the session clause cache);
+    // the stages and counters expose the diagnostics cost per phase.
     for (name, spec) in [("version_pin", "zlib@9.9"), ("variant_pin", "netcdf-c ^hdf5~mpi")] {
         runner.measure("unsat_diagnostics", name, || {
             match Concretizer::new(&builtin).with_site(site.clone()).concretize_str(spec) {
                 Ok(_) => panic!("{spec} must be unsatisfiable"),
-                Err(spack_concretizer::ConcretizeError::Unsatisfiable { diagnostics, stats }) => {
+                Err(ConcretizeError::Unsatisfiable { diagnostics, stats }) => {
                     assert_eq!(
                         stats.second_phase_ground,
                         Duration::ZERO,
@@ -310,6 +396,7 @@ fn main() -> std::process::ExitCode {
                             ("minimized_core", stats.minimized_core_size as u64),
                             ("minimize_rounds", stats.minimization_rounds),
                             ("diagnostics", diagnostics.len() as u64),
+                            ("warm_clauses", stats.warm_clauses),
                         ],
                     )
                 }
@@ -318,227 +405,109 @@ fn main() -> std::process::ExitCode {
         });
     }
 
+    // ---- session_throughput: multi-shot sessions vs one-shot solves -----------------------
+    // The ROADMAP's service scenario: a mixed request stream against the workload repo
+    // with its buildcache, answered (a) one-shot — full setup + load + ground per
+    // request, (b) on a long-lived session, sequentially, and (c) on the same session
+    // as a parallel batch. The session is built once, before measurement: the group
+    // measures steady-state serving, and the base build cost is reported separately
+    // below. Results are cross-checked: both modes must agree on which requests are
+    // satisfiable.
+    let mix = session_mix(&medium);
+    let service_cache = service_buildcache(&medium, scale);
+    let oneshot = Concretizer::new(&medium).with_site(site.clone()).with_database(&service_cache);
+    let session: ConcretizerSession<'_> = oneshot.session().expect("session build");
+    {
+        let s = session.stats();
+        eprintln!(
+            "# session base: {} packages, {} facts, ground once in {:.2?} ({} frozen instances)",
+            s.possible_packages,
+            s.base_facts,
+            s.base_setup + s.base_load + s.base_ground,
+            s.frozen_instances
+        );
+    }
+    runner.measure("session_throughput", "oneshot_mix", || {
+        let started = Instant::now();
+        let mut agg = MixAggregate::default();
+        for spec in &mix {
+            agg.add(oneshot.concretize_str(spec));
+        }
+        agg.detail(started.elapsed())
+    });
+    runner.measure("session_throughput", "session_mix", || {
+        let started = Instant::now();
+        let mut agg = MixAggregate::default();
+        for spec in &mix {
+            agg.add(session.concretize_str(spec));
+        }
+        agg.detail(started.elapsed())
+    });
+    let batch_requests: Vec<Vec<spack_spec::Spec>> =
+        mix.iter().map(|s| vec![spack_spec::parse_spec(s).unwrap()]).collect();
+    runner.measure("session_throughput", "session_batch", || {
+        let started = Instant::now();
+        let mut agg = MixAggregate::default();
+        for result in session.concretize_batch(&batch_requests) {
+            agg.add(result);
+        }
+        agg.detail(started.elapsed())
+    });
+    report_specs_per_sec(&runner.records);
+
     eprintln!("# harness finished in {:.1?}", started.elapsed());
-    let json = render_json(&label, scale, &runner.records);
+    let json = render_json(&label, scale_name(scale), &runner.records);
     std::fs::write(&out, json).expect("write report");
     eprintln!("# wrote {out}");
 
     if let Some(baseline_path) = compare {
-        return compare_against_baseline(
-            &baseline_path,
-            &runner.records,
-            threshold,
-            counter_threshold,
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("# cannot read baseline {baseline_path}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        };
+        let baseline = parse_report(&text);
+        if baseline.is_empty() {
+            eprintln!("# baseline {baseline_path} contains no results");
+            return std::process::ExitCode::FAILURE;
+        }
+        eprintln!(
+            "# regression gate vs {baseline_path} (wall {threshold:.2}x, counters {counter_threshold:.2}x, session ground {session_ratio:.2}x)"
         );
+        let wall =
+            compare_against_baseline(&baseline, &runner.records, threshold, counter_threshold);
+        let sess = session_ground_gate(&runner.records, session_ratio);
+        if let Err(e) = wall.and(sess) {
+            eprintln!("# FAIL: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+        eprintln!("# gate passed");
     }
     std::process::ExitCode::SUCCESS
 }
 
-/// The engine counters the gate tracks next to wall clock: grounder instantiation
-/// work (possible atoms, ground rules) and solver search work (conflicts,
-/// propagations). Unlike wall clock these are machine-independent — the committed
-/// baseline stays meaningful even when the runner fleet's absolute speed drifts — so a
-/// regression here is a real algorithmic change, not scheduler noise.
-const GATED_COUNTERS: [&str; 4] = ["atoms", "rules", "conflicts", "propagations"];
-
-/// One baseline record: the mean wall clock plus the engine counters.
-struct BaselineEntry {
-    mean_s: f64,
-    counters: std::collections::BTreeMap<String, u64>,
-}
-
-/// The regression gate: compare this run's per-group mean against a baseline report,
-/// failing (non-zero exit) when any group regressed beyond `threshold` — and, next to
-/// the wall-clock check, compare the [`GATED_COUNTERS`] deltas against
-/// `counter_threshold` so regressions show even when the runner fleet's absolute speed
-/// differs from the machine that recorded the baseline. Only benches present in both
-/// reports count, so adding or retiring benches never trips the gate; counters absent
-/// from the baseline (older reports) are skipped the same way.
-fn compare_against_baseline(
-    baseline_path: &str,
-    records: &[Record],
-    threshold: f64,
-    counter_threshold: f64,
-) -> std::process::ExitCode {
-    let text = match std::fs::read_to_string(baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("# cannot read baseline {baseline_path}: {e}");
-            return std::process::ExitCode::FAILURE;
-        }
+/// Print the headline specs/sec comparison of the session_throughput group.
+fn report_specs_per_sec(records: &[Record]) {
+    let rate = |bench: &str| -> Option<f64> {
+        records.iter().find(|r| r.group == "session_throughput" && r.bench == bench).and_then(|r| {
+            r.counters
+                .iter()
+                .find(|(n, _)| *n == "specs")
+                .map(|&(_, specs)| specs as f64 / r.mean.as_secs_f64().max(1e-9))
+        })
     };
-    let baseline = parse_report(&text);
-    if baseline.is_empty() {
-        eprintln!("# baseline {baseline_path} contains no results");
-        return std::process::ExitCode::FAILURE;
-    }
-    // Sum means per group over the benches common to both reports.
-    let mut groups: Vec<&str> = Vec::new();
-    for r in records {
-        if !groups.contains(&r.group) {
-            groups.push(r.group);
-        }
-    }
-    eprintln!(
-        "# regression gate vs {baseline_path} (wall {threshold:.2}x, counters {counter_threshold:.2}x)"
-    );
-    let mut failed = false;
-    for group in groups {
-        let mut current_sum = 0.0;
-        let mut baseline_sum = 0.0;
-        let mut compared = 0;
-        // Per gated counter: summed (current, baseline) over benches carrying it.
-        let mut counter_sums: Vec<(u64, u64)> = vec![(0, 0); GATED_COUNTERS.len()];
-        for r in records.iter().filter(|r| r.group == group) {
-            let Some(base) = baseline.get(&(group.to_string(), r.bench.clone())) else {
-                continue;
-            };
-            current_sum += r.mean.as_secs_f64();
-            baseline_sum += base.mean_s;
-            compared += 1;
-            for (ci, name) in GATED_COUNTERS.iter().enumerate() {
-                let (Some(&base_v), Some(&(_, cur_v))) =
-                    (base.counters.get(*name), r.counters.iter().find(|(n, _)| n == name))
-                else {
-                    continue;
-                };
-                counter_sums[ci].0 += cur_v;
-                counter_sums[ci].1 += base_v;
-            }
-        }
-        if compared == 0 || baseline_sum <= 0.0 {
-            eprintln!("  {group:<28} (new group, no baseline — skipped)");
-            continue;
-        }
-        let ratio = current_sum / baseline_sum;
-        let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
+    if let (Some(one), Some(sess), Some(batch)) =
+        (rate("oneshot_mix"), rate("session_mix"), rate("session_batch"))
+    {
         eprintln!(
-            "  {group:<28} {compared} benches  baseline {:.4}s  current {:.4}s  ratio {ratio:.2}x  {verdict}",
-            baseline_sum, current_sum
+            "# session_throughput: one-shot {one:.1} specs/s, session {sess:.1} specs/s \
+             ({:.2}x), parallel batch {batch:.1} specs/s ({:.2}x)",
+            sess / one,
+            batch / one
         );
-        if ratio > threshold {
-            failed = true;
-        }
-        let mut gated = 0;
-        for (ci, name) in GATED_COUNTERS.iter().enumerate() {
-            let (cur, base) = counter_sums[ci];
-            if base == 0 && !baseline_has_counter(&baseline, group, records, name) {
-                continue; // counter absent from the baseline report
-            }
-            gated += 1;
-            // Ratio gate with a small absolute slack: tiny bases (a zero- or
-            // double-digit conflict count) make pure ratios meaningless, while a
-            // zero-to-millions jump must still fail — so a counter regresses when it
-            // exceeds BOTH the ratio threshold and base + 256.
-            let limit = (base as f64 * counter_threshold).max(base as f64 + 256.0);
-            if cur as f64 > limit {
-                let cratio = cur as f64 / (base.max(1)) as f64;
-                eprintln!(
-                    "  {group:<28}   counter {name}: baseline {base}  current {cur}  ratio {cratio:.2}x  REGRESSED"
-                );
-                failed = true;
-            }
-        }
-        let current_has_gated = records.iter().any(|r| {
-            r.group == group && r.counters.iter().any(|(n, v)| GATED_COUNTERS.contains(n) && *v > 0)
-        });
-        if gated == 0 && current_has_gated {
-            // Loud, because silence here would quietly disable the machine-
-            // independent half of the gate (e.g. a baseline whose counters object
-            // failed to parse after a format change). Groups that never expose the
-            // gated counters (like unsat_diagnostics) stay quiet.
-            eprintln!(
-                "  {group:<28}   WARNING: baseline carries no gated counters — counter gate \
-                 inactive for this group"
-            );
-        }
     }
-    if failed {
-        eprintln!(
-            "# FAIL: at least one group regressed beyond the wall-clock ({threshold:.2}x) or \
-             counter ({counter_threshold:.2}x) threshold"
-        );
-        std::process::ExitCode::FAILURE
-    } else {
-        eprintln!("# gate passed");
-        std::process::ExitCode::SUCCESS
-    }
-}
-
-/// Does the baseline carry `name` (even at value zero) for any bench of `group` that
-/// this run also measured? Distinguishes "recorded as zero" (gate with the absolute
-/// slack) from "absent from the report" (skip).
-fn baseline_has_counter(
-    baseline: &std::collections::BTreeMap<(String, String), BaselineEntry>,
-    group: &str,
-    records: &[Record],
-    name: &str,
-) -> bool {
-    records.iter().filter(|r| r.group == group).any(|r| {
-        baseline
-            .get(&(group.to_string(), r.bench.clone()))
-            .is_some_and(|b| b.counters.contains_key(name))
-    })
-}
-
-/// Parse a report produced by [`render_json`] into `(group, bench) ->`
-/// [`BaselineEntry`]. The format is line-oriented (one result object per line), so a
-/// small field scanner is enough — the workspace deliberately has no JSON dependency.
-fn parse_report(text: &str) -> std::collections::BTreeMap<(String, String), BaselineEntry> {
-    let mut map = std::collections::BTreeMap::new();
-    for line in text.lines() {
-        let (Some(group), Some(bench), Some(mean_s)) = (
-            json_str_field(line, "group"),
-            json_str_field(line, "bench"),
-            json_num_field(line, "mean_s"),
-        ) else {
-            continue;
-        };
-        map.insert((group, bench), BaselineEntry { mean_s, counters: json_counters(line) });
-    }
-    map
-}
-
-/// Extract the `"counters": {"name": value, ...}` object of a single-line result.
-fn json_counters(line: &str) -> std::collections::BTreeMap<String, u64> {
-    let mut map = std::collections::BTreeMap::new();
-    let Some(start) = line.find("\"counters\": {") else {
-        return map;
-    };
-    let body = &line[start + "\"counters\": {".len()..];
-    let Some(end) = body.find('}') else {
-        return map;
-    };
-    for pair in body[..end].split(',') {
-        let mut halves = pair.splitn(2, ':');
-        let (Some(key), Some(value)) = (halves.next(), halves.next()) else {
-            continue;
-        };
-        let key = key.trim().trim_matches('"');
-        if let Ok(v) = value.trim().parse::<u64>() {
-            map.insert(key.to_string(), v);
-        }
-    }
-    map
-}
-
-/// Extract `"key": "value"` from a single-line JSON object rendering.
-fn json_str_field(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\": \"");
-    let start = line.find(&pat)? + pat.len();
-    let end = line[start..].find('"')?;
-    Some(line[start..start + end].to_string())
-}
-
-/// Extract `"key": number` from a single-line JSON object rendering.
-fn json_num_field(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -551,44 +520,4 @@ fn scale_name(scale: Scale) -> &'static str {
         Scale::ManyVirtuals => "manyvirtuals",
         Scale::Paper => "paper",
     }
-}
-
-fn render_json(label: &str, scale: Scale, records: &[Record]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    writeln!(s, "  \"pr\": 4,").unwrap();
-    writeln!(s, "  \"label\": \"{label}\",").unwrap();
-    writeln!(s, "  \"scale\": \"{}\",", scale_name(scale)).unwrap();
-    s.push_str("  \"results\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        s.push_str("    {");
-        write!(
-            s,
-            "\"group\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}",
-            r.group,
-            r.bench,
-            r.samples,
-            r.mean.as_secs_f64(),
-            r.min.as_secs_f64()
-        )
-        .unwrap();
-        s.push_str(", \"stages\": {");
-        for (j, (name, secs)) in r.stages.iter().enumerate() {
-            if j > 0 {
-                s.push_str(", ");
-            }
-            write!(s, "\"{name}\": {secs:.6}").unwrap();
-        }
-        s.push_str("}, \"counters\": {");
-        for (j, (name, value)) in r.counters.iter().enumerate() {
-            if j > 0 {
-                s.push_str(", ");
-            }
-            write!(s, "\"{name}\": {value}").unwrap();
-        }
-        s.push_str("}}");
-        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
-    }
-    s.push_str("  ]\n}\n");
-    s
 }

@@ -1,0 +1,381 @@
+//! The benchmark report format and the perf-regression gate.
+//!
+//! Lives in the library (rather than the `bench` binary) so the gate's verdict logic
+//! is unit-testable: the CI job's behaviour — per-group wall-clock comparison,
+//! machine-independent counter deltas, warn-and-skip for groups absent from the
+//! committed baseline, and the session-throughput ground-time gate — is all decided
+//! here from plain data.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One measured benchmark: identity, wall-clock, stage breakdown, engine counters.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark group (gating compares group sums).
+    pub group: &'static str,
+    /// Benchmark name within the group.
+    pub bench: String,
+    /// Samples taken.
+    pub samples: usize,
+    /// Mean wall clock over the samples.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// `(stage name, seconds)` pairs, from the last sample.
+    pub stages: Vec<(&'static str, f64)>,
+    /// `(counter name, value)` pairs, from the last sample.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// One baseline record: the mean wall clock plus the engine counters.
+#[derive(Debug)]
+pub struct BaselineEntry {
+    /// Mean wall clock, in seconds.
+    pub mean_s: f64,
+    /// Engine counters by name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// A parsed baseline report: `(group, bench)` → entry.
+pub type Baseline = BTreeMap<(String, String), BaselineEntry>;
+
+/// The engine counters the gate tracks next to wall clock: grounder instantiation
+/// work (possible atoms, ground rules) and solver search work (conflicts,
+/// propagations). Unlike wall clock these are machine-independent — the committed
+/// baseline stays meaningful even when the runner fleet's absolute speed drifts — so a
+/// regression here is a real algorithmic change, not scheduler noise.
+pub const GATED_COUNTERS: [&str; 4] = ["atoms", "rules", "conflicts", "propagations"];
+
+/// The regression gate: compare this run's per-group mean against a baseline report,
+/// failing when any group regressed beyond `threshold` — and, next to the wall-clock
+/// check, compare the [`GATED_COUNTERS`] deltas against `counter_threshold` so
+/// regressions show even when the runner fleet's absolute speed differs from the
+/// machine that recorded the baseline. Only benches present in both reports count —
+/// a group present in the current run but absent from the baseline is *warned about
+/// and skipped* (never failed), so adding a new group does not require a flag-day
+/// baseline refresh; counters absent from the baseline (older reports) are skipped
+/// the same way. Returns `Ok(())` when the gate passes; `Err` carries the verdict.
+pub fn compare_against_baseline(
+    baseline: &Baseline,
+    records: &[Record],
+    threshold: f64,
+    counter_threshold: f64,
+) -> Result<(), String> {
+    let mut groups: Vec<&str> = Vec::new();
+    for r in records {
+        if !groups.contains(&r.group) {
+            groups.push(r.group);
+        }
+    }
+    let mut failed = false;
+    for group in groups {
+        let mut current_sum = 0.0;
+        let mut baseline_sum = 0.0;
+        let mut compared = 0;
+        // Per gated counter: summed (current, baseline) over benches carrying it.
+        let mut counter_sums: Vec<(u64, u64)> = vec![(0, 0); GATED_COUNTERS.len()];
+        for r in records.iter().filter(|r| r.group == group) {
+            let Some(base) = baseline.get(&(group.to_string(), r.bench.clone())) else {
+                continue;
+            };
+            current_sum += r.mean.as_secs_f64();
+            baseline_sum += base.mean_s;
+            compared += 1;
+            for (ci, name) in GATED_COUNTERS.iter().enumerate() {
+                let (Some(&base_v), Some(&(_, cur_v))) =
+                    (base.counters.get(*name), r.counters.iter().find(|(n, _)| n == name))
+                else {
+                    continue;
+                };
+                counter_sums[ci].0 += cur_v;
+                counter_sums[ci].1 += base_v;
+            }
+        }
+        if compared == 0 || baseline_sum <= 0.0 {
+            // Warn-and-skip: a group the committed baseline has never seen must not
+            // fail the gate (it will enter the baseline at the next refresh).
+            eprintln!("  {group:<28} WARNING: no baseline for this group — skipped");
+            continue;
+        }
+        let ratio = current_sum / baseline_sum;
+        let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "  {group:<28} {compared} benches  baseline {baseline_sum:.4}s  current {current_sum:.4}s  ratio {ratio:.2}x  {verdict}"
+        );
+        if ratio > threshold {
+            failed = true;
+        }
+        let mut gated = 0;
+        for (ci, name) in GATED_COUNTERS.iter().enumerate() {
+            let (cur, base) = counter_sums[ci];
+            if base == 0 && !baseline_has_counter(baseline, group, records, name) {
+                continue; // counter absent from the baseline report
+            }
+            gated += 1;
+            // Ratio gate with a small absolute slack: tiny bases (a zero- or
+            // double-digit conflict count) make pure ratios meaningless, while a
+            // zero-to-millions jump must still fail — so a counter regresses when it
+            // exceeds BOTH the ratio threshold and base + 256.
+            let limit = (base as f64 * counter_threshold).max(base as f64 + 256.0);
+            if cur as f64 > limit {
+                let cratio = cur as f64 / (base.max(1)) as f64;
+                eprintln!(
+                    "  {group:<28}   counter {name}: baseline {base}  current {cur}  ratio {cratio:.2}x  REGRESSED"
+                );
+                failed = true;
+            }
+        }
+        let current_has_gated = records.iter().any(|r| {
+            r.group == group && r.counters.iter().any(|(n, v)| GATED_COUNTERS.contains(n) && *v > 0)
+        });
+        if gated == 0 && current_has_gated {
+            // Loud, because silence here would quietly disable the machine-
+            // independent half of the gate (e.g. a baseline whose counters object
+            // failed to parse after a format change). Groups that never expose the
+            // gated counters (like unsat_diagnostics) stay quiet.
+            eprintln!(
+                "  {group:<28}   WARNING: baseline carries no gated counters — counter gate \
+                 inactive for this group"
+            );
+        }
+    }
+    if failed {
+        Err(format!(
+            "at least one group regressed beyond the wall-clock ({threshold:.2}x) or \
+             counter ({counter_threshold:.2}x) threshold"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The session-throughput gate: within the *current* run, the summed per-request
+/// grounding time of the session-mode mix must stay below the one-shot mix's by
+/// `ratio` (e.g. 0.75 = at least 25% cheaper). Both benches measure the same spec
+/// list on the same machine in the same process, so this gate is self-contained —
+/// it needs no baseline and is immune to fleet-speed drift. Groups without both
+/// benches (e.g. an older report) skip the gate with a warning.
+pub fn session_ground_gate(records: &[Record], ratio: f64) -> Result<(), String> {
+    let ground_us = |bench: &str| -> Option<u64> {
+        records
+            .iter()
+            .find(|r| r.group == "session_throughput" && r.bench == bench)
+            .and_then(|r| r.counters.iter().find(|(n, _)| *n == "ground_us").map(|&(_, v)| v))
+    };
+    let (Some(oneshot), Some(session)) = (ground_us("oneshot_mix"), ground_us("session_mix"))
+    else {
+        eprintln!("  session_throughput           WARNING: mix benches missing — gate skipped");
+        return Ok(());
+    };
+    let actual = session as f64 / (oneshot as f64).max(1.0);
+    eprintln!(
+        "  session_throughput           ground time: one-shot {oneshot}us  session {session}us  \
+         ratio {actual:.2}x (gate {ratio:.2}x)"
+    );
+    if actual > ratio {
+        Err(format!(
+            "session-mode per-request grounding ({session}us) is not below one-shot \
+             ({oneshot}us) by the gated ratio {ratio:.2}"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Does the baseline carry `name` (even at value zero) for any bench of `group` that
+/// this run also measured? Distinguishes "recorded as zero" (gate with the absolute
+/// slack) from "absent from the report" (skip).
+fn baseline_has_counter(baseline: &Baseline, group: &str, records: &[Record], name: &str) -> bool {
+    records.iter().filter(|r| r.group == group).any(|r| {
+        baseline
+            .get(&(group.to_string(), r.bench.clone()))
+            .is_some_and(|b| b.counters.contains_key(name))
+    })
+}
+
+/// Parse a report produced by [`render_json`] into a [`Baseline`]. The format is
+/// line-oriented (one result object per line), so a small field scanner is enough —
+/// the workspace deliberately has no JSON dependency.
+pub fn parse_report(text: &str) -> Baseline {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let (Some(group), Some(bench), Some(mean_s)) = (
+            json_str_field(line, "group"),
+            json_str_field(line, "bench"),
+            json_num_field(line, "mean_s"),
+        ) else {
+            continue;
+        };
+        map.insert((group, bench), BaselineEntry { mean_s, counters: json_counters(line) });
+    }
+    map
+}
+
+/// Render a set of records as the line-oriented JSON report the gate parses back.
+pub fn render_json(label: &str, scale: &str, records: &[Record]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    writeln!(s, "  \"harness\": \"{}\",", env!("CARGO_PKG_VERSION")).unwrap();
+    writeln!(s, "  \"label\": \"{label}\",").unwrap();
+    writeln!(s, "  \"scale\": \"{scale}\",").unwrap();
+    s.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str("    {");
+        write!(
+            s,
+            "\"group\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \"mean_s\": {:.6}, \"min_s\": {:.6}",
+            r.group,
+            r.bench,
+            r.samples,
+            r.mean.as_secs_f64(),
+            r.min.as_secs_f64()
+        )
+        .unwrap();
+        s.push_str(", \"stages\": {");
+        for (j, (name, secs)) in r.stages.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "\"{name}\": {secs:.6}").unwrap();
+        }
+        s.push_str("}, \"counters\": {");
+        for (j, (name, value)) in r.counters.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "\"{name}\": {value}").unwrap();
+        }
+        s.push_str("}}");
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract the `"counters": {"name": value, ...}` object of a single-line result.
+fn json_counters(line: &str) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    let Some(start) = line.find("\"counters\": {") else {
+        return map;
+    };
+    let body = &line[start + "\"counters\": {".len()..];
+    let Some(end) = body.find('}') else {
+        return map;
+    };
+    for pair in body[..end].split(',') {
+        let mut halves = pair.splitn(2, ':');
+        let (Some(key), Some(value)) = (halves.next(), halves.next()) else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<u64>() {
+            map.insert(key.to_string(), v);
+        }
+    }
+    map
+}
+
+/// Extract `"key": "value"` from a single-line JSON object rendering.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extract `"key": number` from a single-line JSON object rendering.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        group: &'static str,
+        bench: &str,
+        mean_s: f64,
+        counters: &[(&'static str, u64)],
+    ) -> Record {
+        Record {
+            group,
+            bench: bench.to_string(),
+            samples: 3,
+            mean: Duration::from_secs_f64(mean_s),
+            min: Duration::from_secs_f64(mean_s),
+            stages: Vec::new(),
+            counters: counters.to_vec(),
+        }
+    }
+
+    fn roundtrip(records: &[Record]) -> Baseline {
+        parse_report(&render_json("test", "small", records))
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let records =
+            [record("g", "b", 0.5, &[("atoms", 100), ("rules", 200), ("propagations", 42)])];
+        let base = roundtrip(&records);
+        let entry = base.get(&("g".to_string(), "b".to_string())).expect("parsed");
+        assert!((entry.mean_s - 0.5).abs() < 1e-6);
+        assert_eq!(entry.counters.get("atoms"), Some(&100));
+        assert_eq!(entry.counters.get("propagations"), Some(&42));
+    }
+
+    #[test]
+    fn new_groups_warn_and_skip_instead_of_failing() {
+        // The committed baseline knows nothing about session_throughput: the gate
+        // must pass anyway (no flag-day baseline refresh required to add a group).
+        let baseline = roundtrip(&[record("old_group", "b", 0.1, &[("atoms", 1000)])]);
+        let current = [
+            record("old_group", "b", 0.1, &[("atoms", 1000)]),
+            record("session_throughput", "oneshot_mix", 9.9, &[("atoms", 999_999)]),
+        ];
+        assert!(compare_against_baseline(&baseline, &current, 1.25, 1.6).is_ok());
+    }
+
+    #[test]
+    fn wall_clock_regression_fails() {
+        let baseline = roundtrip(&[record("g", "b", 0.1, &[])]);
+        let current = [record("g", "b", 0.2, &[])];
+        assert!(compare_against_baseline(&baseline, &current, 1.25, 1.6).is_err());
+        // Within threshold passes.
+        let current = [record("g", "b", 0.11, &[])];
+        assert!(compare_against_baseline(&baseline, &current, 1.25, 1.6).is_ok());
+    }
+
+    #[test]
+    fn counter_regression_fails_even_with_fast_wall_clock() {
+        let baseline = roundtrip(&[record("g", "b", 0.1, &[("propagations", 10_000)])]);
+        // Faster wall clock (a faster machine), but 3x the propagations: algorithmic
+        // regression — must fail.
+        let current = [record("g", "b", 0.05, &[("propagations", 30_000)])];
+        assert!(compare_against_baseline(&baseline, &current, 1.25, 1.6).is_err());
+    }
+
+    #[test]
+    fn session_ground_gate_verdicts() {
+        let ok = [
+            record("session_throughput", "oneshot_mix", 1.0, &[("ground_us", 100_000)]),
+            record("session_throughput", "session_mix", 1.0, &[("ground_us", 50_000)]),
+        ];
+        assert!(session_ground_gate(&ok, 0.75).is_ok());
+        let bad = [
+            record("session_throughput", "oneshot_mix", 1.0, &[("ground_us", 100_000)]),
+            record("session_throughput", "session_mix", 1.0, &[("ground_us", 90_000)]),
+        ];
+        assert!(session_ground_gate(&bad, 0.75).is_err());
+        // Missing benches: skip, never fail.
+        assert!(session_ground_gate(&[], 0.75).is_ok());
+    }
+}

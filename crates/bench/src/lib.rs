@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use std::time::Duration;
 
 use spack_concretizer::{Concretizer, SiteConfig};
@@ -147,6 +149,32 @@ pub fn workload_buildcache(repo: &Repository, scale: Scale) -> Database {
     let replicas = match scale {
         Scale::Smoke | Scale::Small => 1,
         Scale::Medium | Scale::Wide | Scale::Deep | Scale::ManyVirtuals | Scale::Paper => 2,
+    };
+    synthesize_buildcache(
+        repo,
+        &BuildcacheConfig {
+            architectures: vec![
+                (Platform::Linux, "rhel7".to_string(), "ppc64le".to_string()),
+                (Platform::Linux, "rhel7".to_string(), "skylake".to_string()),
+                (Platform::Linux, "centos8".to_string(), "ppc64le".to_string()),
+                (Platform::Linux, "centos8".to_string(), "icelake".to_string()),
+            ],
+            compilers: vec![Compiler::new("gcc", "11.2.0"), Compiler::new("gcc", "8.3.1")],
+            replicas,
+            seed: 0xCAFE,
+        },
+    )
+}
+
+/// The buildcache of the `session_throughput` group: the *service* regime — a
+/// production-scale cache (several replicas per package across every architecture),
+/// where per-request setup and grounding dominate a one-shot solve (the paper's
+/// Fig. 7e observation) and a multi-shot session's amortization pays the most. The
+/// small tiers keep the replica count low so the CI gate stays fast.
+pub fn service_buildcache(repo: &Repository, scale: Scale) -> Database {
+    let replicas = match scale {
+        Scale::Smoke | Scale::Small => 2,
+        Scale::Medium | Scale::Wide | Scale::Deep | Scale::ManyVirtuals | Scale::Paper => 4,
     };
     synthesize_buildcache(
         repo,

@@ -11,10 +11,16 @@
 //! spack-solve spec --reuse hdf5                # reuse a synthesized buildcache
 //! spack-solve spec --stats hdf5                # show grounder/solver statistics
 //! spack-solve spec --explain zlib@9.9         # full "why not" report on UNSAT
+//! spack-solve batch requests.txt               # session-mode solve, one spec per line
 //! spack-solve providers mpi                    # list providers of a virtual
 //! spack-solve list                             # list known packages
 //! spack-solve criteria                         # print Table II
 //! ```
+//!
+//! `batch` builds a multi-shot [`spack_concretizer::ConcretizerSession`] — base facts
+//! and the logic program are ground exactly once — and answers every line of the file
+//! as an incremental request (in parallel), printing a per-line status and a
+//! throughput summary. Lines that are empty or start with `#` are skipped.
 //!
 //! On an unsatisfiable request the solver never answers with a bare "no": the
 //! single-grounding diagnosis (unsat core + relaxed error minimization on the same
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "spec" | "solve" => cmd_spec(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "providers" => cmd_providers(&args[1..]),
         "list" => cmd_list(&args[1..]),
         "criteria" => cmd_criteria(),
@@ -63,6 +70,7 @@ fn usage() {
     eprintln!(
         "spack-solve — ASP-based dependency solving (SC'22 reproduction)\n\n\
          USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--stats] [--explain] [--synthetic N] <spec...>\n  \
+         spack-solve batch [--reuse] [--lassen] [--stats] [--synthetic N] <file>   (one spec per line; - for stdin)\n  \
          spack-solve providers <virtual>\n  spack-solve list [--synthetic N]\n  spack-solve criteria\n"
     );
 }
@@ -308,6 +316,167 @@ fn print_stats(result: &spack_concretizer::Concretization) {
         "            {} decisions, {} propagations, {} conflicts, {} restarts, {} learned ({} deleted)",
         s.decisions, s.propagations, s.conflicts, s.restarts, s.learned, s.deleted
     );
+}
+
+/// `spack-solve batch <file>`: one request per line, answered on a single multi-shot
+/// session (base ground exactly once), each line reporting its own outcome. The exit
+/// code is the worst per-line status: 0 when every line concretized, 2 when at least
+/// one was unsatisfiable (and nothing worse happened), 1 on any tool error.
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let mut reuse = false;
+    let mut lassen = false;
+    let mut stats = false;
+    let mut synthetic: Option<usize> = None;
+    let mut file: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--reuse" => reuse = true,
+            "--lassen" => lassen = true,
+            "--stats" => stats = true,
+            "--synthetic" => {
+                let Some(n) = iter.next() else {
+                    eprintln!("==> Error: --synthetic requires a package count");
+                    return ExitCode::FAILURE;
+                };
+                match n.parse() {
+                    Ok(n) => synthetic = Some(n),
+                    Err(_) => {
+                        eprintln!("==> Error: invalid package count '{n}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("==> Error: unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: spack-solve batch [--reuse] [--lassen] [--stats] [--synthetic N] <file>");
+        return ExitCode::FAILURE;
+    };
+    let text = if file == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("==> Error: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("==> Error: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let lines: Vec<&str> =
+        text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
+    if lines.is_empty() {
+        eprintln!("==> Error: no specs in {file}");
+        return ExitCode::FAILURE;
+    }
+
+    let repo = repository(synthetic);
+    let site = if lassen { SiteConfig::lassen() } else { SiteConfig::quartz() };
+    let cache;
+    let mut concretizer = Concretizer::new(&repo).with_site(site);
+    if reuse {
+        cache = synthesize_buildcache(&repo, &BuildcacheConfig::default());
+        concretizer = concretizer.with_database(&cache);
+    }
+    let session = match concretizer.session() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("==> Error: building the session failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Parse every line up front; parse failures are per-line tool errors.
+    let mut requests: Vec<Vec<spack_spec::Spec>> = Vec::new();
+    let mut parse_errors: Vec<Option<String>> = Vec::new();
+    for line in &lines {
+        match parse_spec(line) {
+            Ok(spec) => {
+                requests.push(vec![spec]);
+                parse_errors.push(None);
+            }
+            Err(e) => {
+                requests.push(Vec::new()); // placeholder; reported, never solved
+                parse_errors.push(Some(e.to_string()));
+            }
+        }
+    }
+    let solvable: Vec<Vec<spack_spec::Spec>> =
+        requests.iter().filter(|r| !r.is_empty()).cloned().collect();
+    let started = std::time::Instant::now();
+    let mut results = session.concretize_batch(&solvable).into_iter();
+    let elapsed = started.elapsed();
+
+    let mut any_unsat = false;
+    let mut any_error = false;
+    for (line, parse_error) in lines.iter().zip(&parse_errors) {
+        if let Some(e) = parse_error {
+            any_error = true;
+            println!("error  {line}: {e}");
+            continue;
+        }
+        match results.next().expect("one result per parsed line") {
+            Ok(result) => println!(
+                "ok     {line} -> {} packages ({} reused, {} to build)",
+                result.spec.len(),
+                result.reuse_count(),
+                result.build_count()
+            ),
+            Err(ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
+                any_unsat = true;
+                let first = diagnostics.first().map(|d| d.message.clone()).unwrap_or_default();
+                println!("UNSAT  {line}: {first}");
+            }
+            Err(e) => {
+                any_error = true;
+                println!("error  {line}: {e}");
+            }
+        }
+    }
+    let s = session.stats();
+    eprintln!(
+        "\n{} requests in {elapsed:.2?} ({:.1} specs/sec); base ground once in {:.2?}",
+        solvable.len(),
+        solvable.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        s.base_setup + s.base_load + s.base_ground
+    );
+    if stats {
+        eprintln!("session statistics");
+        eprintln!("--------------------------------");
+        eprintln!(
+            "  base: {} packages, {} facts, {} installed records, digest {:016x}",
+            s.possible_packages, s.base_facts, s.installed, s.base_digest
+        );
+        eprintln!(
+            "  base phases: setup {:.2?}, load {:.2?}, ground {:.2?} ({} atoms, {} frozen instances)",
+            s.base_setup, s.base_load, s.base_ground, s.base_atoms, s.frozen_instances
+        );
+        eprintln!(
+            "  base grounds: {} (must be 1), requests served: {}",
+            s.base_grounds, s.requests
+        );
+    }
+    if any_error {
+        ExitCode::FAILURE
+    } else if any_unsat {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_providers(args: &[String]) -> ExitCode {

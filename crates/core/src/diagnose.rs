@@ -87,6 +87,14 @@ pub struct DiagnosticsStats {
     /// Grounding time attributable to the second phase alone. Zero since the fold:
     /// the relaxed solve reuses the normal solve's ground program.
     pub second_phase_ground: Duration,
+    /// Clauses the relaxed solve replayed from the session clause cache — the failed
+    /// hard solve's loop nogoods and provenance-safe learned clauses, warm-starting
+    /// the re-solve instead of re-deriving them.
+    pub warm_clauses: u64,
+    /// Was the (single) grounding behind both solves an incremental delta on a frozen
+    /// session base? Mirrors [`asp::ground::GroundStats::delta`] so session
+    /// accounting can detect a silent full re-ground on the unsatisfiable path too.
+    pub ground_delta: bool,
 }
 
 fn arg_str(args: &[Value], i: usize) -> String {

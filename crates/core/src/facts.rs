@@ -10,6 +10,22 @@
 //! a unique integer ID, a set of `condition_requirementN` facts (what must hold for the
 //! directive to trigger) and a set of `imposed_constraintN` facts (what holds once it
 //! triggers).
+//!
+//! # Base vs. request facts (multi-shot sessions)
+//!
+//! The facts split cleanly along the session boundary:
+//!
+//! * **Base facts** — repository recipes, site configuration, and the installed
+//!   database. They are identical for every request, cover the *whole* repository
+//!   (the session serves arbitrary roots), and are emitted once by
+//!   [`FactBuilder::base`], which also records an order-stable digest
+//!   ([`asp::Control::fact_digest`]) usable as a cache key. Emission order is fully
+//!   deterministic: every collection iterated here is a `BTreeMap`/`BTreeSet` or an
+//!   ordered `Vec` — no hash-map iteration order can leak into the stream.
+//! * **Request facts** — the user's root specs: `root`/`root_condition` facts, their
+//!   impositions, and satisfies-map entries for constraint strings the base has not
+//!   already emitted. Emitted per request by [`BaseFacts::request`] on a control
+//!   forked from the frozen base.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -20,6 +36,13 @@ use spack_store::Database;
 
 use crate::config::SiteConfig;
 use crate::ConcretizeError;
+
+/// First generalized-condition id. Ids are opaque to the logic program, but sessions
+/// exclude the conditions of out-of-closure packages *by id* through
+/// [`asp::Control::restrict_ints`], which matches first-argument integers — so the id
+/// range must never collide with any other first-position integer in the fact
+/// vocabulary (error priorities and weights all stay far below this).
+const CONDITION_ID_BASE: i64 = 10_000_000;
 
 /// Summary of the generated problem instance.
 #[derive(Debug, Clone, Default)]
@@ -36,6 +59,173 @@ pub struct SetupInfo {
     /// The concretizer pins each one true through a solver assumption, so an UNSAT
     /// answer's core names the root requirements that cannot hold together.
     pub root_conditions: Vec<(i64, String)>,
+}
+
+/// The frozen snapshot of everything [`FactBuilder::base`] derived from repository,
+/// site, and database: the constraint strings whose satisfies-maps are already
+/// emitted, the known versions behind those maps, the base condition-id watermark,
+/// and the base digest. Immutable and request-independent — one `BaseFacts` serves
+/// every request of a session, from any thread.
+#[derive(Debug, Clone)]
+pub struct BaseFacts {
+    site: SiteConfig,
+    /// Non-virtual packages covered by the base (the whole repository).
+    possible: BTreeSet<String>,
+    /// Virtual package names covered by the base.
+    virtuals: BTreeSet<String>,
+    /// Compilers added beyond the site configuration because an installed record
+    /// references them, keyed to the packages whose records introduced each — a
+    /// request whose closure contains none of those packages excludes the compiler
+    /// (one-shot solves never see it either).
+    extra_compilers: BTreeMap<String, BTreeSet<String>>,
+    /// Versions known per package (declared plus installed), for the satisfies maps.
+    known_versions: BTreeMap<String, BTreeSet<Version>>,
+    /// Constraint maps the base already emitted; requests skip these.
+    version_constraints: BTreeSet<(String, String)>,
+    compiler_constraints: BTreeSet<String>,
+    target_constraints: BTreeSet<String>,
+    /// Highest condition id used by the base; request ids start above it.
+    condition_id: i64,
+    /// Per-package `[start, end)` condition-id ranges, for id-based exclusion.
+    condition_ranges: BTreeMap<String, (i64, i64)>,
+    /// Package/virtual names that collide with some *other* fact vocabulary string
+    /// (a variant name or value, a version, a site name, an installed hash, ...).
+    /// Symbol exclusion drops atoms mentioning the symbol in ANY position, so
+    /// excluding a collided name would delete in-closure facts that merely share the
+    /// spelling; these names are never excluded. Over-inclusion is safe — an
+    /// un-demanded package's atoms are inert in every model — exclusion of a collided
+    /// symbol is not.
+    never_exclude: BTreeSet<String>,
+    /// Number of generalized conditions in the base.
+    conditions: usize,
+    /// Number of installed records encoded for reuse.
+    installed: usize,
+    /// Number of base facts emitted.
+    facts: usize,
+    /// Order-stable digest of the base fact stream (see [`asp::Control::fact_digest`]).
+    digest: u64,
+}
+
+impl BaseFacts {
+    /// The digest of the base fact stream — the session's cache key: identical
+    /// repository + site + database inputs produce an identical digest.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Packages covered by the base problem.
+    pub fn possible_packages(&self) -> usize {
+        self.possible.len()
+    }
+
+    /// Installed records encoded for reuse.
+    pub fn installed(&self) -> usize {
+        self.installed
+    }
+
+    /// Number of base facts emitted.
+    pub fn fact_count(&self) -> usize {
+        self.facts
+    }
+
+    /// The owner-partition symbols for [`asp::Control::freeze_base_partitioned`]:
+    /// every package and virtual name. Atoms and frozen instances bucket by the first
+    /// of these they mention, which makes per-request relevance restriction
+    /// ([`BaseFacts::excluded_symbols`]) proportional to the kept closure.
+    pub fn partition_symbols(&self) -> Vec<String> {
+        self.possible.iter().chain(self.virtuals.iter()).cloned().collect()
+    }
+
+    /// What a request must *exclude* from its view of the frozen base — relevance
+    /// restriction, computed from the request's possible-dependency closure (walked
+    /// once): the name of every package and virtual outside the closure, the
+    /// installed-record compilers none of whose owning packages are in the closure,
+    /// and the `[start, end)` condition-id ranges of out-of-closure packages
+    /// (id-keyed atoms — `condition(ID)`, `condition_holds(ID)`,
+    /// requirement/imposition facts — carry no package symbol in every position, so
+    /// symbol exclusion alone cannot drop them). Excluding all of this makes the
+    /// per-request ground program identical in scope to a from-scratch solve of the
+    /// same roots (which only ever emits facts for the closure).
+    pub fn request_exclusions(
+        &self,
+        repo: &Repository,
+        roots: &[Spec],
+    ) -> (Vec<String>, Vec<(i64, i64)>) {
+        let mut root_names: Vec<&str> = Vec::new();
+        for root in roots {
+            if let Some(name) = &root.name {
+                root_names.push(name);
+            }
+            for dep in &root.dependencies {
+                if let Some(name) = &dep.name {
+                    root_names.push(name);
+                }
+            }
+        }
+        let closure = repo.possible_dependencies(&root_names);
+        // Names colliding with other vocabulary strings are kept (over-inclusion is
+        // inert; excluding a collided symbol would delete in-closure facts).
+        let mut symbols: Vec<String> = Vec::new();
+        for name in self.possible.iter().chain(self.virtuals.iter()) {
+            if !closure.contains(name) && !self.never_exclude.contains(name) {
+                symbols.push(name.clone());
+            }
+        }
+        for (compiler_id, owners) in &self.extra_compilers {
+            if !owners.iter().any(|o| closure.contains(o)) {
+                symbols.push(compiler_id.clone());
+            }
+        }
+        let mut id_ranges: Vec<(i64, i64)> = Vec::new();
+        for (package, &(start, end)) in &self.condition_ranges {
+            if !closure.contains(package) && !self.never_exclude.contains(package) {
+                id_ranges.push((start, end));
+            }
+        }
+        (symbols, id_ranges)
+    }
+
+    /// Emit one request's spec facts into a control forked from the frozen base:
+    /// root facts, root-condition impositions, and satisfies-map entries for
+    /// constraint strings the base did not already cover. Condition ids continue
+    /// above the base watermark, so requests never collide with base conditions (and,
+    /// being independent solves, not colliding with each other is irrelevant).
+    pub fn request(
+        &self,
+        repo: &Repository,
+        ctl: &mut asp::Control,
+        roots: &[Spec],
+    ) -> Result<SetupInfo, ConcretizeError> {
+        for root in roots {
+            let name = root.name.clone().ok_or_else(|| {
+                ConcretizeError::Setup("root specs must name a package".to_string())
+            })?;
+            if repo.get(&name).is_none() && !repo.is_virtual(&name) {
+                return Err(ConcretizeError::UnknownPackage(name));
+            }
+            for dep in &root.dependencies {
+                if let Some(dep_name) = &dep.name {
+                    if repo.get(dep_name).is_none() && !repo.is_virtual(dep_name) {
+                        return Err(ConcretizeError::UnknownPackage(dep_name.clone()));
+                    }
+                }
+            }
+        }
+        let mut builder = FactBuilder::new(repo, &self.site, None);
+        builder.baseline = Some(self);
+        builder.condition_id = self.condition_id;
+        for root in roots {
+            builder.root_facts(ctl, root)?;
+        }
+        builder.constraint_maps(ctl);
+        Ok(SetupInfo {
+            possible_packages: self.possible.len(),
+            facts: ctl.fact_count(),
+            conditions: self.conditions + builder.conditions,
+            installed: self.installed,
+            root_conditions: builder.root_conditions,
+        })
+    }
 }
 
 /// Generates facts into an [`asp::Control`].
@@ -55,6 +245,16 @@ pub struct FactBuilder<'a> {
     known_versions: BTreeMap<String, BTreeSet<Version>>,
     possible: BTreeSet<String>,
     root_conditions: Vec<(i64, String)>,
+    /// Compilers added beyond the site configuration by installed records, with the
+    /// packages whose records introduced them (see [`BaseFacts::extra_compilers`]).
+    extra_compilers: BTreeMap<String, BTreeSet<String>>,
+    /// Per-package `[start, end)` ranges of the condition ids allocated while
+    /// emitting that package's recipe facts (base generation only).
+    condition_ranges: BTreeMap<String, (i64, i64)>,
+    /// When generating *request* facts on a session: the frozen base whose constraint
+    /// maps are already emitted (skipped here) and whose known versions feed the maps
+    /// for request-new constraints.
+    baseline: Option<&'a BaseFacts>,
 }
 
 impl<'a> FactBuilder<'a> {
@@ -64,7 +264,7 @@ impl<'a> FactBuilder<'a> {
             repo,
             site,
             database,
-            condition_id: 0,
+            condition_id: CONDITION_ID_BASE,
             conditions: 0,
             version_constraints: BTreeSet::new(),
             compiler_constraints: BTreeSet::new(),
@@ -72,7 +272,118 @@ impl<'a> FactBuilder<'a> {
             known_versions: BTreeMap::new(),
             possible: BTreeSet::new(),
             root_conditions: Vec::new(),
+            extra_compilers: BTreeMap::new(),
+            condition_ranges: BTreeMap::new(),
+            baseline: None,
         }
+    }
+
+    /// Generate the *base* half of a session's facts — site configuration, every
+    /// package recipe in the repository, all virtual providers, and the installed
+    /// database — and return the frozen [`BaseFacts`] snapshot (constraint-map
+    /// baselines, condition-id watermark, digest). No root specs are involved: the
+    /// base covers the whole repository so any later request is answerable.
+    pub fn base(mut self, ctl: &mut asp::Control) -> Result<BaseFacts, ConcretizeError> {
+        self.possible = self.repo.names().map(str::to_string).collect();
+        let virtuals: BTreeSet<String> = self.repo.virtuals().map(str::to_string).collect();
+        for v in &virtuals {
+            self.possible.remove(v);
+        }
+
+        self.config_facts(ctl);
+        let packages: Vec<String> = self.possible.iter().cloned().collect();
+        for name in &packages {
+            let start = self.next_condition_id();
+            self.package_facts(ctl, name)?;
+            self.condition_ranges.insert(name.clone(), (start, self.next_condition_id()));
+        }
+        for v in &virtuals {
+            for (i, provider) in self.repo.providers(v).iter().enumerate() {
+                if self.possible.contains(provider) {
+                    ctl.add_fact(
+                        "possible_provider",
+                        &[v.as_str().into(), provider.as_str().into()],
+                    );
+                    ctl.add_fact(
+                        "provider_weight",
+                        &[v.as_str().into(), provider.as_str().into(), (i as i64).into()],
+                    );
+                }
+            }
+        }
+        let installed = self.installed_facts(ctl);
+        self.constraint_maps(ctl);
+
+        // Names that double as other vocabulary strings must never be excluded (see
+        // `BaseFacts::never_exclude`): collect every non-package string the base
+        // vocabulary can contain and intersect with the package/virtual names.
+        let mut reserved: BTreeSet<&str> = BTreeSet::new();
+        let mut owned: Vec<String> = Vec::new();
+        for pkg in self.repo.packages() {
+            for decl in &pkg.versions {
+                owned.push(decl.version.to_string());
+            }
+            for variant in &pkg.variants {
+                reserved.insert(&variant.name);
+                owned.push(variant.default.as_str());
+                for value in &variant.values {
+                    reserved.insert(value);
+                }
+            }
+        }
+        for os in &self.site.operating_systems {
+            reserved.insert(os.name());
+        }
+        for info in self.site.available_targets() {
+            owned.push(info.target.name().to_string());
+        }
+        for compiler in &self.site.compilers {
+            owned.push(SiteConfig::compiler_id(compiler));
+        }
+        if let Some(db) = self.database {
+            for record in db.iter() {
+                reserved.insert(&record.hash);
+                owned.push(record.version.to_string());
+                owned.push(SiteConfig::compiler_id(&record.compiler));
+                for value in record.variants.values() {
+                    owned.push(value.as_str());
+                }
+            }
+        }
+        for (_, constraint) in &self.version_constraints {
+            reserved.insert(constraint);
+        }
+        for constraint in self.compiler_constraints.iter().chain(&self.target_constraints) {
+            reserved.insert(constraint);
+        }
+        for s in &owned {
+            reserved.insert(s);
+        }
+        let never_exclude: BTreeSet<String> = self
+            .possible
+            .iter()
+            .chain(virtuals.iter())
+            .filter(|name| reserved.contains(name.as_str()))
+            .cloned()
+            .collect();
+
+        Ok(BaseFacts {
+            site: self.site.clone(),
+            possible: self.possible,
+            virtuals,
+            extra_compilers: self.extra_compilers,
+            known_versions: self.known_versions,
+            version_constraints: self.version_constraints,
+            compiler_constraints: self.compiler_constraints,
+            target_constraints: self.target_constraints,
+            condition_id: self.condition_id,
+            conditions: self.conditions,
+            condition_ranges: self.condition_ranges,
+            never_exclude,
+            installed,
+            facts: ctl.fact_count(),
+            digest: ctl.fact_digest(),
+        })
     }
 
     /// Generate all facts for the given root specs into `ctl`.
@@ -368,20 +679,31 @@ impl<'a> FactBuilder<'a> {
                 "hash_attr3",
                 &["compiler_set".into(), hash.into(), name.into(), compiler_id.as_str().into()],
             );
-            // Installed artifacts were evidently compilable for their target. Compilers
-            // not present in the site configuration are added with a low preference so
-            // reused specs referencing them remain representable.
+            // Compilers not present in the site configuration are added with a low
+            // preference so reused specs referencing them remain representable, and
+            // their installed artifacts vouch for their targets. Site compilers'
+            // target support comes from the site configuration alone: a record must
+            // not widen it, because `compiler_supports_target(C, T)` carries no
+            // package symbol — a session's relevance restriction could never drop a
+            // pair vouched for only by an out-of-closure record, and session and
+            // one-shot solves would diverge. (Extra compilers are excludable as a
+            // whole through their id symbol when no owning package is in a request's
+            // closure.)
             if !self.site.compilers.contains(&record.compiler) {
+                self.extra_compilers
+                    .entry(compiler_id.clone())
+                    .or_default()
+                    .insert(record.name.clone());
                 ctl.add_fact("compiler", &[compiler_id.as_str().into()]);
                 ctl.add_fact(
                     "compiler_weight",
                     &[compiler_id.as_str().into(), (self.site.compilers.len() as i64).into()],
                 );
+                ctl.add_fact(
+                    "compiler_supports_target",
+                    &[compiler_id.as_str().into(), record.target.as_str().into()],
+                );
             }
-            ctl.add_fact(
-                "compiler_supports_target",
-                &[compiler_id.as_str().into(), record.target.as_str().into()],
-            );
             ctl.add_fact(
                 "hash_attr3",
                 &["node_os_set".into(), hash.into(), name.into(), record.os.as_str().into()],
@@ -448,6 +770,12 @@ impl<'a> FactBuilder<'a> {
         self.conditions += 1;
         ctl.add_fact("condition", &[self.condition_id.into()]);
         self.condition_id
+    }
+
+    /// The next condition id this builder would allocate (used to delimit
+    /// per-package id ranges while emitting base facts).
+    fn next_condition_id(&self) -> i64 {
+        self.condition_id + 1
     }
 
     /// A condition owned by the user's root specs: emitted as `root_condition(ID, Text)`
@@ -568,11 +896,25 @@ impl<'a> FactBuilder<'a> {
 
     // ---- constraint satisfaction maps -------------------------------------------------------
 
+    /// Versions known for `package`: locally collected ones, falling back to the
+    /// frozen base's (session requests collect none of their own — the base already
+    /// knows every declared and installed version).
+    fn known_versions_of(&self, package: &str) -> Option<&BTreeSet<Version>> {
+        self.known_versions
+            .get(package)
+            .or_else(|| self.baseline.and_then(|b| b.known_versions.get(package)))
+    }
+
     fn constraint_maps(&mut self, ctl: &mut Control) {
         // version_satisfies_map(P, Constraint, V) for every known version in range.
-        for (package, constraint) in &self.version_constraints {
+        for pair in &self.version_constraints {
+            // Maps the frozen base already emitted must not be emitted again.
+            if self.baseline.is_some_and(|b| b.version_constraints.contains(pair)) {
+                continue;
+            }
+            let (package, constraint) = pair;
             let vc = VersionConstraint::parse(constraint);
-            if let Some(versions) = self.known_versions.get(package) {
+            if let Some(versions) = self.known_versions_of(package) {
                 for v in versions {
                     if vc.satisfies(v) {
                         ctl.add_fact(
@@ -589,6 +931,9 @@ impl<'a> FactBuilder<'a> {
         }
         // compiler_satisfies_map(Constraint, CompilerId).
         for constraint in &self.compiler_constraints {
+            if self.baseline.is_some_and(|b| b.compiler_constraints.contains(constraint)) {
+                continue;
+            }
             let parsed = spack_spec::parse_spec(constraint).ok();
             let cspec = parsed.and_then(|s| s.compiler);
             for compiler in &self.site.compilers {
@@ -610,6 +955,9 @@ impl<'a> FactBuilder<'a> {
         // target_satisfies_map(Constraint, Target): exact name, family membership, or a
         // trailing-colon family range like `aarch64:`.
         for constraint in &self.target_constraints {
+            if self.baseline.is_some_and(|b| b.target_constraints.contains(constraint)) {
+                continue;
+            }
             let base = constraint.trim_end_matches(':');
             for info in self.site.available_targets() {
                 let t = info.target.name();
@@ -681,6 +1029,71 @@ mod tests {
         // The fact count grows roughly proportionally to the cache size (Section VII-C).
         let (ctl_nocache, _) = count_facts(&["hdf5"], None);
         assert!(ctl.fact_count() > ctl_nocache.fact_count() * 2);
+    }
+
+    #[test]
+    fn base_fact_digest_is_stable_across_builds() {
+        // Satellite of the session work: two builds of the same repo + site + cache
+        // must produce byte-identical base fact streams (no hash-map iteration order
+        // can leak), asserted through the order-sensitive digest.
+        let repo = builtin_repo();
+        let site = SiteConfig::quartz();
+        let db =
+            spack_store::synthesize_buildcache(&repo, &spack_store::BuildcacheConfig::default());
+        let build = || {
+            let mut ctl = asp::Control::new(asp::SolverConfig::default());
+            let base = FactBuilder::new(&repo, &site, Some(&db)).base(&mut ctl).unwrap();
+            (base.digest(), ctl.fact_count())
+        };
+        let (d1, n1) = build();
+        let (d2, n2) = build();
+        assert_eq!(n1, n2, "fact counts must agree");
+        assert_eq!(d1, d2, "base digests must be identical across builds");
+        assert_ne!(d1, 0, "digest must be computed");
+
+        // A different database must change the digest (it is a cache *key*).
+        let mut ctl = asp::Control::new(asp::SolverConfig::default());
+        let no_db = FactBuilder::new(&repo, &site, None).base(&mut ctl).unwrap();
+        assert_ne!(no_db.digest(), d1);
+    }
+
+    #[test]
+    fn base_covers_the_whole_repository() {
+        let repo = builtin_repo();
+        let site = SiteConfig::quartz();
+        let mut ctl = asp::Control::new(asp::SolverConfig::default());
+        let base = FactBuilder::new(&repo, &site, None).base(&mut ctl).unwrap();
+        assert_eq!(base.possible_packages(), repo.len());
+        // Request facts ride on top: root conditions continue above the base ids.
+        let spec = parse_spec("hdf5@1.10:").unwrap();
+        let info = base.request(&repo, &mut ctl, std::slice::from_ref(&spec)).unwrap();
+        assert_eq!(info.root_conditions.len(), 1);
+        assert!(info.root_conditions[0].0 > 0);
+        assert!(info.conditions > base.possible_packages(), "base + request conditions");
+    }
+
+    #[test]
+    fn request_facts_skip_constraints_the_base_emitted() {
+        // A root constraint string that also appears in a recipe directive must not
+        // re-emit its satisfies map (the frozen base already has those facts).
+        let repo = builtin_repo();
+        let site = SiteConfig::quartz();
+        let mut base_ctl = asp::Control::new(asp::SolverConfig::default());
+        let base = FactBuilder::new(&repo, &site, None).base(&mut base_ctl).unwrap();
+        let count_request_facts = |text: &str| {
+            let mut ctl = asp::Control::new(asp::SolverConfig::default());
+            let spec = parse_spec(text).unwrap();
+            base.request(&repo, &mut ctl, &[spec]).unwrap();
+            ctl.fact_count()
+        };
+        // `zlib@1.2.8:` is a recipe constraint (bzip2 depends on it); a fresh
+        // constraint string like `@1.2.11:` needs new map entries on top.
+        let reused = count_request_facts("bzip2 ^zlib@1.2.8:");
+        let fresh = count_request_facts("bzip2 ^zlib@1.2.11:");
+        assert!(
+            fresh > reused,
+            "fresh constraint must add map facts: fresh={fresh} reused={reused}"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod diagnose;
 pub mod extract;
 pub mod facts;
 pub mod greedy;
+pub mod session;
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -49,8 +50,9 @@ pub use config::SiteConfig;
 pub use criteria::{criterion, describe_priority, Criterion, CRITERIA};
 pub use diagnose::{Diagnostic, DiagnosticsStats, Severity};
 pub use extract::Extraction;
-pub use facts::{setup_problem, FactBuilder, SetupInfo};
+pub use facts::{setup_problem, BaseFacts, FactBuilder, SetupInfo};
 pub use greedy::{GreedyConcretizer, GreedyError, GreedyResult};
+pub use session::{ConcretizerSession, SessionStats};
 
 /// The concretization logic program (the analogue of the ~800-line ASP program the paper
 /// describes in Section V). Violations derive `error(Priority, Msg, Args)`-scheme atoms
@@ -73,6 +75,11 @@ const ERROR_PRIORITY_FLOOR: i64 = 1000;
 /// The `#external` guard atom of [`ERROR_GUARD_LP`], pinned false on the normal solve
 /// and true on the relaxed diagnostics solve.
 const RELAX_MODE: &str = "relax_mode";
+
+/// The `#external` grounding-universe seed of [`CONCRETIZE_LP`], pinned false on
+/// every solve (it exists only so a frozen session base can pre-ground the per-node
+/// decision cascade for every package).
+const NODE_SEED: &str = "node_seed";
 
 /// Errors produced by the concretizer.
 #[derive(Debug)]
@@ -177,7 +184,9 @@ pub struct Concretization {
     pub reused: Vec<(String, String)>,
     /// Packages that must be built from source.
     pub built: Vec<String>,
-    /// The objective vector: `(priority, value)`, highest priority first.
+    /// The objective vector: `(priority, value)`, highest priority first. Levels with
+    /// a value of zero are omitted (an absent level means "cost 0"), so the vector is
+    /// identical whether the solve ran one-shot or on a session.
     pub cost: Vec<(i64, i64)>,
     /// Phase timings.
     pub timings: PhaseTimings,
@@ -272,115 +281,131 @@ impl<'a> Concretizer<'a> {
         ctl.add_program(CONCRETIZE_LP)?;
         ctl.add_program(ERROR_GUARD_LP)?;
 
-        // Phases 3 and 4: ground once, then solve in hard mode — the root-spec
-        // conditions pinned true, the relax_mode guard pinned false.
-        ctl.ground()?;
-        let root_assumptions: Vec<Assumption> = setup_info
-            .root_conditions
-            .iter()
-            .map(|(id, _)| Assumption::holds("assumed", &[Value::Int(*id)]))
-            .collect();
-        // The guard goes FIRST — `explain_unsat` decodes core indices under the
-        // invariant that index 0 is the guard and index i>0 is root i-1. (The engine
-        // realizes an external assumption as a root-level unit clause wherever it
-        // sits, and it never appears in cores, so only the index mapping depends on
-        // this position.)
-        let mut assumptions = Vec::with_capacity(root_assumptions.len() + 1);
-        assumptions.push(Assumption::fails(RELAX_MODE, &[]));
-        assumptions.extend(root_assumptions.iter().cloned());
-        let outcome = ctl.solve_with_assumptions(&assumptions)?;
+        solve_prepared(self.repo, roots, ctl, setup_info, setup_time)
+    }
+}
 
-        let stats = ctl.stats().clone();
-        let timings = PhaseTimings {
-            setup: setup_time,
-            load: stats.load_time,
-            ground: stats.ground_time,
-            solve: stats.solve_time,
-        };
+/// The shared back half of a concretization — phases 3 and 4 — used by both the
+/// one-shot [`Concretizer::concretize`] and [`ConcretizerSession`] requests: ground
+/// (incrementally, when `ctl` is a session fork), solve in hard mode with the
+/// root-spec conditions pinned true and the `relax_mode` guard pinned false, and
+/// either extract the optimal DAG or run the diagnostics pipeline.
+pub(crate) fn solve_prepared(
+    repo: &Repository,
+    roots: &[Spec],
+    mut ctl: asp::Control,
+    setup_info: SetupInfo,
+    setup_time: Duration,
+) -> Result<Concretization, ConcretizeError> {
+    ctl.ground()?;
+    let root_assumptions: Vec<Assumption> = setup_info
+        .root_conditions
+        .iter()
+        .map(|(id, _)| Assumption::holds("assumed", &[Value::Int(*id)]))
+        .collect();
+    // The guards go FIRST — `explain_unsat` decodes core indices under the
+    // invariant that indices 0 and 1 are the relax_mode and node_seed guards and
+    // index i>1 is root i-2. (The engine realizes an external assumption as a
+    // root-level unit clause wherever it sits, and it never appears in cores, so
+    // only the index mapping depends on this position.)
+    let mut assumptions = Vec::with_capacity(root_assumptions.len() + 2);
+    assumptions.push(Assumption::fails(RELAX_MODE, &[]));
+    assumptions.push(Assumption::fails(NODE_SEED, &[]));
+    assumptions.extend(root_assumptions.iter().cloned());
+    let outcome = ctl.solve_with_assumptions(&assumptions)?;
 
-        match outcome {
-            AssumeOutcome::Unsatisfiable { core } => Err(self.explain_unsat(
-                roots,
-                &setup_info,
-                &mut ctl,
-                &root_assumptions,
-                core,
-                setup_time,
-            )),
-            AssumeOutcome::Optimal { model, cost } => {
-                // The error levels of ERROR_GUARD_LP are trivially zero in hard mode;
-                // they are an implementation detail of the diagnostics fold, not part
-                // of the Table II objective vector.
-                let cost: Vec<(i64, i64)> =
-                    cost.into_iter().filter(|&(p, _)| p < ERROR_PRIORITY_FLOOR).collect();
-                let root_names: Vec<String> = roots.iter().filter_map(|r| r.name.clone()).collect();
-                let extraction = extract::extract(&model, &root_names)?;
-                // Sanity check: every named (non-virtual) root must be present.
-                for root in roots {
-                    if let Some(name) = &root.name {
-                        if !self.repo.is_virtual(name) && !extraction.spec.contains(name) {
-                            return Err(ConcretizeError::Extraction(format!(
-                                "root {name} missing from the solution"
-                            )));
-                        }
+    let stats = ctl.stats().clone();
+    let timings = PhaseTimings {
+        setup: setup_time,
+        load: stats.load_time,
+        ground: stats.ground_time,
+        solve: stats.solve_time,
+    };
+
+    match outcome {
+        AssumeOutcome::Unsatisfiable { core } => {
+            Err(explain_unsat(roots, &setup_info, &mut ctl, &root_assumptions, core, setup_time))
+        }
+        AssumeOutcome::Optimal { model, cost } => {
+            // The error levels of ERROR_GUARD_LP are trivially zero in hard mode;
+            // they are an implementation detail of the diagnostics fold, not part
+            // of the Table II objective vector. Zero-valued Table II levels are
+            // dropped too: which levels *materialize* depends on how much of the
+            // package universe was ground (a session base covers the whole repo,
+            // a one-shot solve only the roots' closure), while an absent level
+            // means exactly "cost 0" — normalizing to the nonzero levels makes the
+            // objective vector identical across both modes.
+            let cost: Vec<(i64, i64)> =
+                cost.into_iter().filter(|&(p, v)| p < ERROR_PRIORITY_FLOOR && v != 0).collect();
+            let root_names: Vec<String> = roots.iter().filter_map(|r| r.name.clone()).collect();
+            let extraction = extract::extract(&model, &root_names)?;
+            // Sanity check: every named (non-virtual) root must be present.
+            for root in roots {
+                if let Some(name) = &root.name {
+                    if !repo.is_virtual(name) && !extraction.spec.contains(name) {
+                        return Err(ConcretizeError::Extraction(format!(
+                            "root {name} missing from the solution"
+                        )));
                     }
                 }
-                Ok(Concretization {
-                    spec: extraction.spec,
-                    reused: extraction.reused,
-                    built: extraction.built,
-                    cost,
-                    timings,
-                    setup: setup_info,
-                    stats,
-                })
             }
+            Ok(Concretization {
+                spec: extraction.spec,
+                reused: extraction.reused,
+                built: extraction.built,
+                cost,
+                timings,
+                setup: setup_info,
+                stats,
+            })
         }
     }
+}
 
-    /// The second phase of the diagnostics pipeline, run on the *same* control as the
-    /// failed normal solve: minimize the unsat core, flip the `relax_mode` guard true
-    /// and re-solve (errors minimized instead of forbidden — no second setup, no
-    /// second grounding), and render both into [`Diagnostic`]s.
-    fn explain_unsat(
-        &self,
-        roots: &[Spec],
-        setup_info: &SetupInfo,
-        ctl: &mut asp::Control,
-        root_assumptions: &[Assumption],
-        core: Vec<usize>,
-        setup_time: Duration,
-    ) -> ConcretizeError {
-        let second_phase_start = Instant::now();
-        let ground_before = ctl.stats().ground_time;
-        // The search core indexes the combined assumption slice (the pinned
-        // relax_mode guard at index 0, then the roots). The guard is solve
-        // parameterization, not a blameable user requirement — strip it (and shift
-        // the root indices back) before minimizing and reporting.
-        let search_core: Vec<usize> = core.into_iter().filter(|&i| i > 0).map(|i| i - 1).collect();
-        let core_size = search_core.len();
-        let relax_off = [Assumption::fails(RELAX_MODE, &[])];
-        let (min_core, rounds) = match ctl.minimize_core(root_assumptions, &search_core, &relax_off)
-        {
-            Ok(r) => r,
-            Err(e) => return ConcretizeError::Solver(e),
-        };
-        // The minimized core, as the user wrote the requirements.
-        let core_texts: Vec<String> = min_core
-            .iter()
-            .filter_map(|&i| setup_info.root_conditions.get(i).map(|(_, t)| t.clone()))
-            .collect();
+/// The second phase of the diagnostics pipeline, run on the *same* control as the
+/// failed normal solve: minimize the unsat core, flip the `relax_mode` guard true
+/// and re-solve (errors minimized instead of forbidden — no second setup, no
+/// second grounding), and render both into [`Diagnostic`]s. The relaxed solve
+/// warm-starts from the failed hard solve's loop nogoods and provenance-safe learned
+/// clauses through the control's session clause cache
+/// ([`DiagnosticsStats::warm_clauses`] reports how many were replayed).
+fn explain_unsat(
+    roots: &[Spec],
+    setup_info: &SetupInfo,
+    ctl: &mut asp::Control,
+    root_assumptions: &[Assumption],
+    core: Vec<usize>,
+    setup_time: Duration,
+) -> ConcretizeError {
+    let second_phase_start = Instant::now();
+    let ground_before = ctl.stats().ground_time;
+    // The search core indexes the combined assumption slice (the pinned relax_mode
+    // and node_seed guards at indices 0 and 1, then the roots). The guards are solve
+    // parameterization, not blameable user requirements — strip them (and shift
+    // the root indices back) before minimizing and reporting.
+    let search_core: Vec<usize> = core.into_iter().filter(|&i| i > 1).map(|i| i - 2).collect();
+    let core_size = search_core.len();
+    let relax_off = [Assumption::fails(RELAX_MODE, &[]), Assumption::fails(NODE_SEED, &[])];
+    let (min_core, rounds) = match ctl.minimize_core(root_assumptions, &search_core, &relax_off) {
+        Ok(r) => r,
+        Err(e) => return ConcretizeError::Solver(e),
+    };
+    // The minimized core, as the user wrote the requirements.
+    let core_texts: Vec<String> = min_core
+        .iter()
+        .filter_map(|&i| setup_info.root_conditions.get(i).map(|(_, t)| t.clone()))
+        .collect();
 
-        // Relaxed re-solve, reusing the first control's ground program: same facts,
-        // same root assumptions, only the relax_mode guard flips true. The priority
-        // floor skips the Table II levels entirely — only the explanation matters
-        // here. Engine failures propagate as real errors; they are never degraded
-        // into an empty (fabricated) report.
-        let mut relaxed_assumptions = root_assumptions.to_vec();
-        relaxed_assumptions.push(Assumption::holds(RELAX_MODE, &[]));
-        let mut diagnostics = match ctl
-            .solve_with_assumptions_floor(&relaxed_assumptions, ERROR_PRIORITY_FLOOR)
-        {
+    // Relaxed re-solve, reusing the first control's ground program: same facts,
+    // same root assumptions, only the relax_mode guard flips true. The priority
+    // floor skips the Table II levels entirely — only the explanation matters
+    // here. Engine failures propagate as real errors; they are never degraded
+    // into an empty (fabricated) report.
+    let mut relaxed_assumptions = root_assumptions.to_vec();
+    relaxed_assumptions.push(Assumption::holds(RELAX_MODE, &[]));
+    relaxed_assumptions.push(Assumption::fails(NODE_SEED, &[]));
+    let mut diagnostics =
+        match ctl.solve_with_assumptions_floor(&relaxed_assumptions, ERROR_PRIORITY_FLOOR) {
             Ok(AssumeOutcome::Optimal { model, .. }) => diagnose::diagnostics_from_model(&model),
             // Structurally infeasible even with errors relaxed (e.g. two root
             // requirements pinning one decision both ways): the core explains it.
@@ -388,39 +413,40 @@ impl<'a> Concretizer<'a> {
             Err(e) => return ConcretizeError::Solver(e),
         };
 
-        // Attach the core as provenance to every model-level diagnostic, and as its own
-        // leading diagnostic naming the user requirements that cannot hold together —
-        // a supporting Note when model-level errors carry the specifics, the primary
-        // Error when the core is the only explanation (structural infeasibility).
-        for d in &mut diagnostics {
-            d.provenance = core_texts.clone();
-        }
-        if let Some(mut core_diag) = diagnose::core_diagnostic(&core_texts) {
-            if !diagnostics.is_empty() {
-                core_diag.severity = Severity::Note;
-            }
-            diagnostics.insert(0, core_diag);
-        }
-
-        let stats = ctl.stats();
-        ConcretizeError::unsatisfiable(
-            diagnostics,
-            DiagnosticsStats {
-                core_size,
-                minimized_core_size: min_core.len(),
-                minimization_rounds: rounds,
-                second_phase: second_phase_start.elapsed(),
-                phases: PhaseTimings {
-                    setup: setup_time,
-                    load: stats.load_time,
-                    ground: stats.ground_time,
-                    solve: stats.solve_time,
-                },
-                second_phase_ground: stats.ground_time.saturating_sub(ground_before),
-            },
-            roots,
-        )
+    // Attach the core as provenance to every model-level diagnostic, and as its own
+    // leading diagnostic naming the user requirements that cannot hold together —
+    // a supporting Note when model-level errors carry the specifics, the primary
+    // Error when the core is the only explanation (structural infeasibility).
+    for d in &mut diagnostics {
+        d.provenance = core_texts.clone();
     }
+    if let Some(mut core_diag) = diagnose::core_diagnostic(&core_texts) {
+        if !diagnostics.is_empty() {
+            core_diag.severity = Severity::Note;
+        }
+        diagnostics.insert(0, core_diag);
+    }
+
+    let stats = ctl.stats();
+    ConcretizeError::unsatisfiable(
+        diagnostics,
+        DiagnosticsStats {
+            core_size,
+            minimized_core_size: min_core.len(),
+            minimization_rounds: rounds,
+            second_phase: second_phase_start.elapsed(),
+            phases: PhaseTimings {
+                setup: setup_time,
+                load: stats.load_time,
+                ground: stats.ground_time,
+                solve: stats.solve_time,
+            },
+            second_phase_ground: stats.ground_time.saturating_sub(ground_before),
+            warm_clauses: stats.warm_clauses,
+            ground_delta: stats.ground.delta,
+        },
+        roots,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,284 @@
+//! Multi-shot concretizer sessions: ground the base problem once, answer many
+//! requests.
+//!
+//! A one-shot [`Concretizer::concretize`](crate::Concretizer::concretize) call pays
+//! setup, program parsing, and grounding from scratch for every request, even though
+//! the repository / site / buildcache facts — the overwhelming majority of the ground
+//! program — are identical across requests. A [`ConcretizerSession`] amortizes all of
+//! that (clingo's multi-shot `ground`/`solve` workflow):
+//!
+//! 1. **Base, once** — [`Concretizer::session`](crate::Concretizer::session) emits the
+//!    base facts for the *whole* repository ([`crate::FactBuilder::base`],
+//!    digest-keyed), parses `concretize.lp` + `error_guard.lp`, and grounds everything
+//!    into a frozen base ([`asp::Control::freeze_base`]).
+//! 2. **Requests, many** — each [`ConcretizerSession::concretize`] forks a cheap
+//!    per-request control from the frozen base, adds only the request's spec facts,
+//!    and grounds them *incrementally* (semi-naive continuation + touched-rule
+//!    re-instantiation). Results are identical to one-shot solves — the cross-check
+//!    proptests assert DAG, objective vector, and diagnostics equality.
+//! 3. **Batches, parallel** — [`ConcretizerSession::concretize_batch`] solves
+//!    independent requests concurrently (rayon); the session is `Sync`, every request
+//!    works on its own fork of the shared frozen base.
+//!
+//! This is the enabling layer for serving concretization as a long-lived service
+//! (sharding and an async front end ride on top of it — see the ROADMAP).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+use spack_repo::Repository;
+use spack_spec::{parse_spec, Spec};
+
+use crate::facts::BaseFacts;
+use crate::{
+    solve_prepared, Concretization, ConcretizeError, Concretizer, CONCRETIZE_LP, ERROR_GUARD_LP,
+};
+
+/// Aggregate accounting of a session: how often the base was ground (always exactly
+/// once — asserted by tests), how many requests it served, and the amortized costs.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Number of base groundings performed: the one at session construction plus any
+    /// full (non-delta) re-ground a request was observed to perform. Always exactly 1
+    /// unless the multi-shot path regresses — tests assert this.
+    pub base_grounds: u64,
+    /// Requests answered so far (single requests and batch members alike).
+    pub requests: u64,
+    /// Order-stable digest of the base fact stream — the session's cache key.
+    pub base_digest: u64,
+    /// Base facts emitted (repository + site + database).
+    pub base_facts: usize,
+    /// Packages covered by the base problem (the whole repository).
+    pub possible_packages: usize,
+    /// Installed records encoded for reuse.
+    pub installed: usize,
+    /// Wall-clock time of base fact generation (paid once).
+    pub base_setup: Duration,
+    /// Wall-clock time of parsing the logic programs (paid once).
+    pub base_load: Duration,
+    /// Wall-clock time of the base grounding (paid once).
+    pub base_ground: Duration,
+    /// Possible atoms in the frozen base.
+    pub base_atoms: usize,
+    /// Frozen ground instances available for verbatim reuse by every request.
+    pub frozen_instances: usize,
+}
+
+/// A long-lived concretizer session: built once from a [`Concretizer`], answering many
+/// [`ConcretizerSession::concretize`] calls. `&self` everywhere — the session is
+/// shareable across threads, and [`ConcretizerSession::concretize_batch`] exploits
+/// that for parallel batch concretization.
+pub struct ConcretizerSession<'a> {
+    repo: &'a Repository,
+    frozen: asp::FrozenControl,
+    base: BaseFacts,
+    base_setup: Duration,
+    requests: AtomicU64,
+    /// Requests whose grounding was NOT an incremental delta on the frozen base.
+    /// Structurally this cannot happen (every fork grounds through the base), so any
+    /// nonzero value is a regression — it feeds [`SessionStats::base_grounds`], which
+    /// tests assert equals exactly 1.
+    full_regrounds: AtomicU64,
+}
+
+impl<'a> Concretizer<'a> {
+    /// Build a multi-shot session: base facts for the whole repository are generated
+    /// and ground exactly once; the returned session answers any number of requests
+    /// (each grounding only its own spec facts) and solves batches in parallel.
+    pub fn session(&self) -> Result<ConcretizerSession<'a>, ConcretizeError> {
+        let setup_start = Instant::now();
+        let mut ctl = asp::Control::new(self.solver.clone());
+        let base = crate::FactBuilder::new(self.repo, &self.site, self.database).base(&mut ctl)?;
+        let base_setup = setup_start.elapsed();
+        ctl.add_program(CONCRETIZE_LP)?;
+        ctl.add_program(ERROR_GUARD_LP)?;
+        let frozen = ctl.freeze_base_partitioned(&base.partition_symbols())?;
+        Ok(ConcretizerSession {
+            repo: self.repo,
+            frozen,
+            base,
+            base_setup,
+            requests: AtomicU64::new(0),
+            full_regrounds: AtomicU64::new(0),
+        })
+    }
+}
+
+impl ConcretizerSession<'_> {
+    /// Concretize a single spec given as text.
+    pub fn concretize_str(&self, text: &str) -> Result<Concretization, ConcretizeError> {
+        let spec = parse_spec(text).map_err(|e| ConcretizeError::Setup(e.to_string()))?;
+        self.concretize(std::slice::from_ref(&spec))
+    }
+
+    /// Concretize one request (one or more root specs) on the session: fork a control
+    /// from the frozen base, add the request's spec facts, ground incrementally, and
+    /// solve. Identical in outcome to
+    /// [`Concretizer::concretize`](crate::Concretizer::concretize) — only the
+    /// amortization differs (a request's reported `load` time is zero and its `ground`
+    /// time covers the delta grounding only).
+    pub fn concretize(&self, roots: &[Spec]) -> Result<Concretization, ConcretizeError> {
+        if roots.is_empty() {
+            return Err(ConcretizeError::Setup("at least one root spec is required".into()));
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let setup_start = Instant::now();
+        let mut ctl = self.frozen.request();
+        let setup_info = self.base.request(self.repo, &mut ctl, roots)?;
+        // Relevance restriction: this request's view of the frozen base drops every
+        // package outside its dependency closure (and those packages' condition-id
+        // ranges), so the delta grounding (and the solve after it) is closure-sized —
+        // the same scope a one-shot solve of these roots would ground — instead of
+        // universe-sized.
+        let (symbols, id_ranges) = self.base.request_exclusions(self.repo, roots);
+        ctl.restrict_symbols(symbols);
+        ctl.restrict_int_ranges(id_ranges);
+        let setup_time = setup_start.elapsed();
+        let result = solve_prepared(self.repo, roots, ctl, setup_info, setup_time);
+        // The "base ground exactly once" accounting is derived from what actually
+        // happened: a request whose grounding was not an incremental delta would be
+        // a silent re-ground of the universe, and must show up in the stats —
+        // on the unsatisfiable path too (DiagnosticsStats mirrors the delta flag).
+        let was_delta = match &result {
+            Ok(c) => c.stats.ground.delta,
+            Err(ConcretizeError::Unsatisfiable { stats, .. }) => stats.ground_delta,
+            Err(_) => true, // failed before grounding: nothing was re-ground
+        };
+        if !was_delta {
+            self.full_regrounds.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Concretize a batch of independent requests in parallel, one result per request
+    /// (in input order). Each request solves on its own fork of the shared frozen
+    /// base, so failures (including unsatisfiable requests, which carry their full
+    /// diagnostics) are per-request and never poison the batch.
+    pub fn concretize_batch(
+        &self,
+        requests: &[Vec<Spec>],
+    ) -> Vec<Result<Concretization, ConcretizeError>> {
+        requests.par_iter().map(|roots| self.concretize(roots)).collect()
+    }
+
+    /// The digest of the base fact stream — the session's cache key.
+    pub fn base_digest(&self) -> u64 {
+        self.base.digest()
+    }
+
+    /// Session accounting: base ground exactly once, requests served, amortized costs.
+    pub fn stats(&self) -> SessionStats {
+        let ground = self.frozen.base_stats();
+        SessionStats {
+            // One base grounding at construction, plus any full re-ground a request
+            // was observed to perform (always 0 unless the multi-shot path regresses).
+            base_grounds: 1 + self.full_regrounds.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            base_digest: self.base.digest(),
+            base_facts: self.base.fact_count(),
+            possible_packages: self.base.possible_packages(),
+            installed: self.base.installed(),
+            base_setup: self.base_setup,
+            base_load: self.frozen.load_time(),
+            base_ground: ground.duration,
+            base_atoms: ground.atoms,
+            frozen_instances: self.frozen.frozen_instances(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConcretizeError, SiteConfig};
+    use spack_repo::builtin_repo;
+
+    fn render(result: &Result<Concretization, ConcretizeError>) -> String {
+        match result {
+            Ok(c) => format!("{}|cost={:?}", c.spec, c.cost),
+            Err(ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
+                format!("UNSAT|{:?}", diagnostics)
+            }
+            Err(e) => format!("ERR|{e}"),
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_solves() {
+        let repo = builtin_repo();
+        let concretizer = Concretizer::new(&repo).with_site(SiteConfig::quartz());
+        let session = concretizer.session().unwrap();
+        for spec in ["zlib", "zlib@1.2.8", "hdf5", "example~bzip", "zlib@9.9"] {
+            let one = render(&concretizer.concretize_str(spec));
+            let multi = render(&session.concretize_str(spec));
+            assert_eq!(one, multi, "spec {spec}: session must match one-shot");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.base_grounds, 1);
+        assert_eq!(stats.requests, 5);
+        assert!(stats.frozen_instances > 0);
+    }
+
+    #[test]
+    fn batch_solves_in_parallel_and_preserves_order() {
+        let repo = builtin_repo();
+        let concretizer = Concretizer::new(&repo).with_site(SiteConfig::quartz());
+        let session = concretizer.session().unwrap();
+        let requests: Vec<Vec<spack_spec::Spec>> =
+            ["zlib", "zlib@9.9", "hdf5"].iter().map(|s| vec![parse_spec(s).unwrap()]).collect();
+        let results = session.concretize_batch(&requests);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ConcretizeError::Unsatisfiable { .. })));
+        assert!(results[2].is_ok());
+        assert_eq!(session.stats().requests, 3);
+    }
+
+    #[test]
+    fn colliding_package_names_are_never_excluded() {
+        // Package "tcl" shares its name with a variant of "app". A request for
+        // "app" has tcl outside its closure — but excluding the symbol "tcl" would
+        // also delete app's variant("app","tcl") facts. The collision guard must
+        // keep it: session and one-shot results stay identical, variant included.
+        use spack_repo::{PackageBuilder, Repository};
+        let mut repo = Repository::new();
+        repo.add(PackageBuilder::new("tcl").version("8.6").build());
+        repo.add(
+            PackageBuilder::new("app")
+                .version("1.0")
+                .variant_bool("tcl", true, "tcl bindings (name collides with a package)")
+                .build(),
+        );
+        let concretizer = Concretizer::new(&repo).with_site(SiteConfig::minimal());
+        let session = concretizer.session().unwrap();
+        for spec in ["app", "app+tcl", "app~tcl"] {
+            let one = render(&concretizer.concretize_str(spec));
+            let ses = render(&session.concretize_str(spec));
+            assert_eq!(one, ses, "spec {spec}: collision guard must keep variant facts");
+            assert!(ses.contains("tcl"), "spec {spec}: the variant must be in the DAG: {ses}");
+        }
+    }
+
+    #[test]
+    fn session_grounds_base_exactly_once_for_many_requests() {
+        // Acceptance criterion: a session answering N >= 8 requests grounds the base
+        // program exactly once, asserted via stats counters — every request grounding
+        // is a delta that reuses frozen base instances.
+        let repo = builtin_repo();
+        let concretizer = Concretizer::new(&repo).with_site(SiteConfig::quartz());
+        let session = concretizer.session().unwrap();
+        let specs =
+            ["zlib", "bzip2", "hdf5", "example", "mpileaks", "zlib@1.2.8", "example~bzip", "hdf5"];
+        assert!(specs.len() >= 8);
+        for spec in specs {
+            let result = session.concretize_str(spec).unwrap();
+            assert!(result.stats.ground.delta, "{spec}: request must ground incrementally");
+            assert!(result.stats.ground.reused_rules > 0, "{spec}: must reuse base instances");
+            assert_eq!(result.timings.load, Duration::ZERO, "{spec}: parsing is amortized");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.base_grounds, 1, "the base must have been ground exactly once");
+        assert_eq!(stats.requests, specs.len() as u64);
+    }
+}
