@@ -114,6 +114,14 @@ pub struct SolverConfig {
     /// high-priority `error(Priority, Msg, Args)` levels on the relaxed second-phase
     /// solve.
     pub priority_floor: i64,
+    /// Number of differently-seeded solver configurations raced per optimizer search
+    /// (`0` or `1` = serial). Results are byte-identical regardless of the value; a
+    /// portfolio only changes how fast the canonical answer is found.
+    pub portfolio: usize,
+    /// Share provenance-safe learned clauses between requests with an identical
+    /// translation (same closure digest) through the session's
+    /// [`crate::SharedClauseStore`]. Results are byte-identical either way.
+    pub share_nogoods: bool,
 }
 
 impl Default for SolverConfig {
@@ -123,6 +131,8 @@ impl Default for SolverConfig {
             strategy: OptStrategy::default(),
             seed: 0,
             priority_floor: i64::MIN,
+            portfolio: 1,
+            share_nogoods: true,
         }
     }
 }
@@ -144,6 +154,7 @@ impl SolverConfig {
                 seed: 0x7eea,
                 learned_limit: 4000,
                 clause_decay: 0.999,
+                portfolio: 1,
             },
             Preset::Trendy => SatConfig {
                 var_decay: 0.97,
@@ -153,6 +164,7 @@ impl SolverConfig {
                 seed: 0x7e2d,
                 learned_limit: 8000,
                 clause_decay: 0.999,
+                portfolio: 1,
             },
             Preset::Handy => SatConfig {
                 var_decay: 0.99,
@@ -162,9 +174,11 @@ impl SolverConfig {
                 seed: 0x4a2d,
                 learned_limit: 16000,
                 clause_decay: 0.9995,
+                portfolio: 1,
             },
         };
         cfg.seed ^= self.seed;
+        cfg.portfolio = self.portfolio.max(1);
         cfg
     }
 }
@@ -375,6 +389,12 @@ pub struct Stats {
     /// learned clauses of earlier solves on this grounding) into the most recent
     /// solve's solvers — the warm-start the shared cache provides.
     pub warm_clauses: u64,
+    /// Clauses transferred into this control's clause cache from the cross-request
+    /// [`crate::SharedClauseStore`] (zero without a store or on a store miss).
+    pub transferred_clauses: u64,
+    /// Seed of the solver configuration that claimed the most recent portfolio race
+    /// of the last optimizing solve (the base seed when solving serially).
+    pub winner_seed: u64,
 }
 
 impl Stats {
@@ -421,6 +441,14 @@ pub struct Control {
     /// diagnostics re-solve after a failed hard solve) warm-start instead of
     /// re-deriving program consequences. Invalidated by [`Control::ground`].
     clause_cache: crate::sat::ClauseCache,
+    /// Cross-request clause store shared between the controls of one session (see
+    /// [`Control::set_shared_store`]): [`Control::ground`] pre-seeds the clause cache
+    /// from the shelf keyed by the translation's closure digest, and every solve
+    /// publishes the cache back.
+    shared_store: Option<Arc<crate::sat::SharedClauseStore>>,
+    /// The shelf key of the current grounding (its translation's closure digest),
+    /// once a store is attached and [`Control::ground`] has run.
+    store_key: Option<u64>,
 }
 
 /// A program plus its base facts, ground once and frozen — the shared half of a
@@ -460,6 +488,8 @@ impl FrozenControl {
             restricted_ints: Vec::new(),
             restriction_requested: false,
             clause_cache: crate::sat::ClauseCache::default(),
+            shared_store: None,
+            store_key: None,
         }
     }
 
@@ -496,7 +526,20 @@ impl Control {
             restricted_ints: Vec::new(),
             restriction_requested: false,
             clause_cache: crate::sat::ClauseCache::default(),
+            shared_store: None,
+            store_key: None,
         }
+    }
+
+    /// Attach the cross-request clause store shared by a session: from the next
+    /// [`Control::ground`] on, this control's clause cache is pre-seeded with the
+    /// provenance-safe clauses earlier requests learned on an *identical* translation
+    /// (same closure digest — same formula, variable ids included), and every solve
+    /// publishes its own harvest back. Must be called before [`Control::ground`] to
+    /// take effect for that grounding. Results are byte-identical with or without a
+    /// store; transfers only speed the search up.
+    pub fn set_shared_store(&mut self, store: Arc<crate::sat::SharedClauseStore>) {
+        self.shared_store = Some(store);
     }
 
     /// Restrict this request's view of the frozen base (session forks only): every
@@ -677,6 +720,15 @@ impl Control {
         self.translation = Some(translation);
         self.retired_unsat = None; // built against the previous translation
         self.clause_cache = crate::sat::ClauseCache::default(); // ditto
+        self.stats.transferred_clauses = 0;
+        if let Some(store) = &self.shared_store {
+            // Cross-request transfer: pre-seed the fresh cache with the clauses
+            // sibling requests learned on an identical translation. Equal digest ⇒
+            // identical formula ⇒ every provenance-safe clause holds verbatim.
+            let key = self.translation.as_ref().expect("just set").digest();
+            self.store_key = Some(key);
+            self.stats.transferred_clauses = store.fetch_into(key, &mut self.clause_cache) as u64;
+        }
         Ok(())
     }
 
@@ -768,6 +820,7 @@ impl Control {
             &mut cache,
         );
         self.clause_cache = cache;
+        self.publish_cache();
         let result = result?;
         self.stats.solve_time += start.elapsed();
         match result {
@@ -799,9 +852,11 @@ impl Control {
     /// [`Control::solve_with_assumptions`]: repeatedly drop one member and re-test
     /// satisfiability of the rest; members whose removal makes the problem satisfiable
     /// are *necessary* and kept, the others are deleted. Each test is a plain stable-
-    /// model probe (no optimization), and a test that fails with an even smaller core
-    /// shortcuts the loop. Returns the minimized core (indices into `assumptions`) and
-    /// the number of probe solves performed.
+    /// model probe (no optimization) consuming only the SAT/UNSAT verdict — a fact
+    /// about the formula — so the minimized core is a deterministic function of the
+    /// input core, independent of warm starts, cross-request clause transfers, and
+    /// portfolio race timing. Returns the minimized core (indices into `assumptions`)
+    /// and the number of probe solves performed.
     ///
     /// `pinned` assumptions are held in every probe but are never candidates for
     /// deletion and never appear in the result — the caller uses them for `#external`
@@ -859,38 +914,28 @@ impl Control {
         while i < core.len() {
             // Probe the core with member `i` removed (pinned guards always held).
             let mut trial_lits: Vec<Lit> = Vec::with_capacity(core.len() - 1);
-            let mut trial_index: Vec<usize> = Vec::with_capacity(core.len() - 1);
             for (j, &idx) in core.iter().enumerate() {
                 if j == i {
                     continue;
                 }
                 if let Some(lit) = self.assumption_lit(ground, &assumptions[idx]) {
                     trial_lits.push(lit);
-                    trial_index.push(idx);
                 }
                 // Trivially-failed members cannot be dropped by this probe path; they
                 // were already singled out before a search-derived core existed.
             }
             rounds += 1;
             match probe.check(ground, &trial_lits, &mut cache) {
-                Some(sub_core) => {
-                    // Still unsat without member `i`: drop it — and adopt the probe's
-                    // own (possibly smaller) core when it is one. Pinned guards are
-                    // root units, so they never appear in the probe's core; an empty
-                    // sub-core means no deletable member is to blame at all.
-                    let mut next: Vec<usize> = sub_core
-                        .iter()
-                        .filter_map(|l| {
-                            trial_lits
-                                .iter()
-                                .position(|cl| cl == l)
-                                .and_then(|p| trial_index.get(p).copied())
-                        })
-                        .collect();
-                    next.sort_unstable();
-                    next.dedup();
-                    core = next;
-                    i = 0;
+                Some(_) => {
+                    // Still unsat without member `i`: it is redundant — drop it and
+                    // probe the next candidate at the same position. Only the UNSAT
+                    // *verdict* is consumed, never the probe's own sub-core: a
+                    // final-conflict core depends on the probe's learned-clause
+                    // trajectory (warm starts, cross-request transfers, portfolio
+                    // history), while the verdict is a fact about the formula — so
+                    // the minimized core is a deterministic function of the input
+                    // core alone.
+                    core.remove(i);
                 }
                 None => i += 1, // member `i` is necessary
             }
@@ -898,9 +943,18 @@ impl Control {
         let probe_stats = probe.stats().clone();
         probe.harvest_into(&mut cache);
         self.clause_cache = cache;
+        self.publish_cache();
         self.record_sat_stats(&probe_stats);
         self.stats.solve_time += start.elapsed();
         Ok((core, rounds))
+    }
+
+    /// Publish the session clause cache to the cross-request store (no-op without an
+    /// attached store or before grounding).
+    fn publish_cache(&self) {
+        if let (Some(store), Some(key)) = (&self.shared_store, self.store_key) {
+            store.publish(key, &self.clause_cache);
+        }
     }
 
     /// The SAT literal for an assumption, or `None` when the assumed atom does not
@@ -953,6 +1007,7 @@ impl Control {
         self.stats.models_examined = optimal.models_examined;
         self.stats.solver_runs = optimal.solver_runs;
         self.stats.loop_nogoods = optimal.loop_nogoods;
+        self.stats.winner_seed = optimal.winner_seed;
         self.record_sat_stats(&optimal.sat);
     }
 

@@ -75,3 +75,4 @@ pub use control::{
     SolverConfig, Stats, Value,
 };
 pub use optimize::OptStrategy;
+pub use sat::SharedClauseStore;

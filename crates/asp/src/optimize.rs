@@ -6,8 +6,33 @@
 //! repeatedly demand a strictly better objective value at the highest not-yet-optimal
 //! priority level (by adding a weighted-sum upper bound), level by level in decreasing
 //! priority, until the optimum is proved for every level.
+//!
+//! # Portfolio parallelism and determinism
+//!
+//! With [`SatConfig::portfolio`] > 1, every search of the descent is *raced* by K
+//! differently-seeded solver configurations (an internal `Pool`) kept in lockstep: each worker
+//! holds the identical clause/constraint stream, the first worker to reach a usable
+//! verdict claims the race and cancels the rest through a shared atomic stop flag.
+//! Which worker wins is timing-dependent, so the *trajectory* (incumbent models, the
+//! order loop nogoods are found, learned clauses) is not reproducible — but the
+//! returned result is, by construction:
+//!
+//! * the **cost vector** is the lexicographic optimum, unique regardless of which
+//!   worker proved each bound;
+//! * the **model** is re-derived by a final *canonical extraction* solve — a fresh,
+//!   serial, cold-started solver over (translation, fixed externals, every level
+//!   pinned at its optimal bound), a deterministic function of the problem alone.
+//!   With all levels simultaneously bounded at the optimum `c*`, any stable model
+//!   found has cost exactly `c*` (level 1 cannot go below the global minimum; given
+//!   equality there, level 2 cannot; and so on), so the extraction always succeeds
+//!   and always returns the same model — in serial mode too, which is what makes
+//!   portfolio and serial results byte-identical;
+//! * an **unsat core** is either taken from a canonical serial-cold search, or
+//!   re-proved on one (see [`solve_optimal_assuming`]).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::ground::GroundProgram;
 use crate::sat::{ClauseCache, LinearSpec, Lit, SatConfig, SatStats, SearchResult, Solver, Var};
@@ -30,8 +55,13 @@ pub struct OptimalModel {
     pub conflicts: u64,
     /// Loop nogoods added by the stable-model check.
     pub loop_nogoods: u64,
-    /// Aggregated low-level solver statistics across all runs.
+    /// Aggregated low-level solver statistics across all runs — under a portfolio,
+    /// summed over *every* worker (winners and cancelled losers alike), so the
+    /// counters reflect total work done rather than the winning solver's share.
     pub sat: SatStats,
+    /// Seed of the solver configuration that claimed the most recent portfolio race
+    /// (the caller's base seed when solving serially).
+    pub winner_seed: u64,
 }
 
 /// Strategy used to drive the optimization (mirrors clasp's `--opt-strategy`).
@@ -169,12 +199,17 @@ pub fn solve_optimal_assuming(
     let levels: Vec<Level> =
         collect_levels(ground)?.into_iter().filter(|l| l.priority >= priority_floor).collect();
     let mut stats = RunStats::default();
+    // A warm-started cache (cross-request transfers) or a portfolio race makes the
+    // search *trajectory* irreproducible; remember whether either is in play, because
+    // an unsat core is only canonical when neither is (see the UNSAT arm below).
+    let deterministic_trajectory = cache.is_empty() && config.portfolio.max(1) == 1;
+    let mut winner_seed;
     // Loop nogoods discovered by the stability check are shared across solver runs.
     let mut extra_clauses: Vec<Vec<Lit>> = Vec::new();
     // One occurrence index serves every stability check of this solve.
     let mut checker = StabilityChecker::new(ground);
 
-    // Initial model with no objective bounds. The solver stays live across levels: it
+    // Initial model with no objective bounds. The pool stays live across levels: it
     // is only discarded when a level's final (UNSAT) bound poisons it, and only
     // rebuilt lazily when a later level actually needs another run — warm-started
     // from the session clause cache, the loop nogoods found so far, and the
@@ -182,34 +217,58 @@ pub fn solve_optimal_assuming(
     // (clasp's optimization sign heuristic), so even the first model lands near the
     // cheap end of the search space and the per-level descents start close to the
     // optimum.
-    let mut live = Some(build_solver(translation, config, fixed, &[], &extra_clauses, cache));
-    if let Some(solver) = live.as_mut() {
+    let mut live = Some(build_pool(translation, config, fixed, &[], &extra_clauses, cache));
+    if let Some(pool) = live.as_mut() {
         for level in &levels {
             for &(l, _) in &level.lits {
-                solver.set_phase(l.var(), !l.is_pos());
+                pool.set_phase(l.var(), !l.is_pos());
             }
         }
     }
     let mut best = {
-        let solver = live.as_mut().expect("just built");
+        let pool = live.as_mut().expect("just built");
         match run_stable(
-            solver,
+            pool,
             ground,
             &mut checker,
             &mut extra_clauses,
             assumptions,
             &mut stats,
             cache,
+            true,
         ) {
-            Some(m) => m,
+            Some(m) => {
+                winner_seed = pool.winner_seed;
+                m
+            }
             None => {
                 // The *unbounded* program is unsatisfiable under the assumptions: the
                 // failed-assumption set is a genuine unsat core (later UNSATs merely
                 // prove an objective bound optimal and carry no core).
-                let core = solver.failed_assumptions().to_vec();
-                stats.sat.absorb(&solver.stats);
-                cache.harvest(solver);
-                *retired = live.take();
+                pool.absorb_stats(&mut stats.sat);
+                pool.harvest(cache);
+                let core = if deterministic_trajectory {
+                    // Serial search on a cold cache: the canonical worker just ran the
+                    // exact deterministic refutation, so its core is the canonical one.
+                    pool.canonical().failed_assumptions().to_vec()
+                } else {
+                    // The refuting trajectory was steered by transferred clauses
+                    // and/or race timing, and final-conflict cores are trajectory-
+                    // dependent. Re-prove on a fresh serial cold-started solver — the
+                    // same search a cold serial solve would have run — so diagnostics
+                    // never depend on what happened to be cached or who won a race.
+                    canonical_core(
+                        ground,
+                        translation,
+                        config,
+                        &levels,
+                        fixed,
+                        assumptions,
+                        &mut stats,
+                        cache,
+                    )
+                };
+                *retired = live.take().map(Pool::into_canonical);
                 return Ok(OptOutcome::Unsat { core, sat: stats.sat });
             }
         }
@@ -247,14 +306,14 @@ pub fn solve_optimal_assuming(
             if current == proven_above + 1 {
                 break;
             }
-            let solver = match live.as_mut() {
-                Some(s) => s,
+            let pool = match live.as_mut() {
+                Some(p) => p,
                 None => {
-                    // The previous run retired the solver (UNSAT bound). Rebuild with
+                    // The previous run retired the pool (UNSAT bound). Rebuild with
                     // every frozen bound, the clause cache (which now carries the
-                    // retired solver's provenance-safe learned clauses), and the
+                    // retired workers' provenance-safe learned clauses), and the
                     // loop nogoods, warm-started from the incumbent's phases.
-                    let mut s = build_solver(
+                    let mut p = build_pool(
                         translation,
                         config,
                         fixed,
@@ -263,7 +322,7 @@ pub fn solve_optimal_assuming(
                         cache,
                     );
                     for (v, &val) in best.iter().enumerate() {
-                        s.set_phase(v as Var, val);
+                        p.set_phase(v as Var, val);
                     }
                     // The frozen non-zero bounds occupy the linear slots after the
                     // translation's, in level order; zero bounds became root-level
@@ -278,7 +337,7 @@ pub fn solve_optimal_assuming(
                             slot += 1;
                         }
                     }
-                    live.insert(s)
+                    live.insert(p)
                 }
             };
             // Probe only when the incumbent is far from zero: at `current <= 2` a
@@ -292,38 +351,41 @@ pub fn solve_optimal_assuming(
             let bound = if optimistic { 0 } else { current - 1 };
             match strategy {
                 OptStrategy::BranchAndBound => {
-                    set_level_bound(solver, &mut live_bounds, li, level, bound);
+                    set_level_bound(pool, &mut live_bounds, li, level, bound);
                 }
                 OptStrategy::Descent => {
                     // Demand improvement on this level and at least no regression on the
                     // remaining ones simultaneously.
-                    set_level_bound(solver, &mut live_bounds, li, level, bound);
+                    set_level_bound(pool, &mut live_bounds, li, level, bound);
                     for (lj, l) in levels.iter().enumerate().skip(li + 1) {
-                        set_level_bound(solver, &mut live_bounds, lj, l, best_costs[lj]);
+                        set_level_bound(pool, &mut live_bounds, lj, l, best_costs[lj]);
                     }
                 }
             }
             match run_stable(
-                solver,
+                pool,
                 ground,
                 &mut checker,
                 &mut extra_clauses,
                 assumptions,
                 &mut stats,
                 cache,
+                false,
             ) {
                 Some(m) => {
+                    winner_seed = pool.winner_seed;
                     best_costs = level_costs(&levels, &m);
                     best = m;
                 }
                 None => {
-                    // The bound that failed poisons the solver either way, so retire
+                    // The bound that failed poisons the pool either way, so retire
                     // it (a later run rebuilds on demand — its provenance-safe
                     // learned clauses live on through the cache). A failed one-step
                     // descent proves the level optimal; a failed zero-probe only
                     // proves the optimum is nonzero — fall back to classic descents.
-                    stats.sat.absorb(&solver.stats);
-                    cache.harvest(solver);
+                    winner_seed = pool.winner_seed;
+                    pool.absorb_stats(&mut stats.sat);
+                    pool.harvest(cache);
                     live = None;
                     if optimistic {
                         optimistic_failed = true;
@@ -335,16 +397,43 @@ pub fn solve_optimal_assuming(
             }
         }
         // Freeze this level at its optimum for the remaining levels — and mirror the
-        // frozen bound into the still-live solver (a pure tightening the incumbent
+        // frozen bound into the still-live pool (a pure tightening the incumbent
         // satisfies), keeping it interchangeable with a freshly built one.
         fixed_bounds.push(level_bound(level, best_costs[li]));
-        if let Some(solver) = live.as_mut() {
-            set_level_bound(solver, &mut live_bounds, li, level, best_costs[li]);
+        if let Some(pool) = live.as_mut() {
+            set_level_bound(pool, &mut live_bounds, li, level, best_costs[li]);
         }
     }
-    if let Some(solver) = live.as_ref() {
-        stats.sat.absorb(&solver.stats);
-        cache.harvest(solver);
+    if let Some(pool) = live.as_ref() {
+        pool.absorb_stats(&mut stats.sat);
+        pool.harvest(cache);
+    }
+    drop(live);
+
+    // Canonical model extraction: the incumbent `best` depends on the search
+    // trajectory (which worker won each race, which clauses were transferred in), but
+    // the optimal cost vector `best_costs` does not — it is the unique lexicographic
+    // optimum. Re-derive the returned model on a fresh, serial, cold-started solver
+    // with every level pinned at its optimal bound: its inputs are a deterministic
+    // function of the problem alone, so serial, portfolio, and warm-started solves
+    // all return the same model byte for byte. With all levels simultaneously bounded
+    // at the optimum, any stable model of the pinned program has exactly the optimal
+    // cost (no level can beat its own proven optimum given equality above it), so the
+    // extraction cannot fail; the incumbent stays as a debug-checked safety net.
+    if let Some(model) = extract_canonical(
+        ground,
+        translation,
+        config,
+        &levels,
+        fixed,
+        &fixed_bounds,
+        assumptions,
+        &mut stats,
+        cache,
+    ) {
+        best = model;
+    } else {
+        debug_assert!(false, "extraction under pinned optimal bounds must be satisfiable");
     }
 
     let cost =
@@ -357,7 +446,106 @@ pub fn solve_optimal_assuming(
         conflicts: stats.sat.conflicts,
         loop_nogoods: stats.loop_nogoods,
         sat: stats.sat,
+        winner_seed,
     }))
+}
+
+/// Build a fresh serial cold-started pool over the translation (plus `bounds`), with
+/// the objective literals phase-biased false — the deterministic solver setup shared
+/// by the canonical model extraction and the canonical core re-proof. Nothing
+/// trajectory-dependent (session cache contents, accumulated loop nogoods, incumbent
+/// phases) flows in, which is precisely what makes the result mode-independent.
+fn deterministic_pool(
+    translation: &Translation,
+    config: &SatConfig,
+    levels: &[Level],
+    fixed: &[Lit],
+    bounds: &[LinearSpec],
+) -> Pool {
+    let mut serial = config.clone();
+    serial.portfolio = 1;
+    let empty = ClauseCache::default();
+    let mut pool = build_pool(translation, &serial, fixed, bounds, &[], &empty);
+    for level in levels {
+        for &(l, _) in &level.lits {
+            pool.set_phase(l.var(), !l.is_pos());
+        }
+    }
+    pool
+}
+
+/// The canonical model extraction run (see [`solve_optimal_assuming`]): one serial
+/// deterministic stable-model search with every level pinned at its optimum. Loop
+/// nogoods it discovers still flow into the session cache, and its low-level solver
+/// work is absorbed into the aggregate statistics — but its model/nogood counters
+/// stay local, because they describe the deterministic re-derivation of the answer,
+/// not the optimization descent (a warm-started descent that re-derived nothing must
+/// still report zero loop nogoods).
+#[allow(clippy::too_many_arguments)]
+fn extract_canonical(
+    ground: &GroundProgram,
+    translation: &Translation,
+    config: &SatConfig,
+    levels: &[Level],
+    fixed: &[Lit],
+    bounds: &[LinearSpec],
+    assumptions: &[Lit],
+    stats: &mut RunStats,
+    cache: &mut ClauseCache,
+) -> Option<Vec<bool>> {
+    let mut pool = deterministic_pool(translation, config, levels, fixed, bounds);
+    let mut checker = StabilityChecker::new(ground);
+    let mut extras: Vec<Vec<Lit>> = Vec::new();
+    let mut local = RunStats::default();
+    let model = run_stable(
+        &mut pool,
+        ground,
+        &mut checker,
+        &mut extras,
+        assumptions,
+        &mut local,
+        cache,
+        false,
+    );
+    stats.runs += local.runs;
+    pool.absorb_stats(&mut stats.sat);
+    pool.harvest(cache);
+    model
+}
+
+/// Re-prove an UNSAT outcome on a fresh serial cold-started solver and return *its*
+/// failed-assumption core — the same core a cold serial solve computes, making
+/// diagnostics independent of cross-request clause transfers and race timing.
+#[allow(clippy::too_many_arguments)]
+fn canonical_core(
+    ground: &GroundProgram,
+    translation: &Translation,
+    config: &SatConfig,
+    levels: &[Level],
+    fixed: &[Lit],
+    assumptions: &[Lit],
+    stats: &mut RunStats,
+    cache: &mut ClauseCache,
+) -> Vec<Lit> {
+    let mut pool = deterministic_pool(translation, config, levels, fixed, &[]);
+    let mut checker = StabilityChecker::new(ground);
+    let mut extras: Vec<Vec<Lit>> = Vec::new();
+    let mut local = RunStats::default();
+    let model = run_stable(
+        &mut pool,
+        ground,
+        &mut checker,
+        &mut extras,
+        assumptions,
+        &mut local,
+        cache,
+        true,
+    );
+    debug_assert!(model.is_none(), "the re-proof of an UNSAT search must be UNSAT");
+    stats.runs += local.runs;
+    pool.absorb_stats(&mut stats.sat);
+    pool.harvest(cache);
+    pool.canonical().failed_assumptions().to_vec()
 }
 
 /// A reusable stable-model satisfiability probe: one solver instance answers many
@@ -415,6 +603,9 @@ impl StableProbe {
         }
         loop {
             match self.solver.search_with_assumptions(assumptions) {
+                SearchResult::Interrupted => {
+                    unreachable!("probe solvers never carry a stop flag")
+                }
                 SearchResult::Unsat => {
                     return Some(self.solver.failed_assumptions().to_vec());
                 }
@@ -481,6 +672,9 @@ pub fn enumerate_models_with_stats(
             break;
         }
         match solver.search() {
+            SearchResult::Interrupted => {
+                unreachable!("enumeration solvers never carry a stop flag")
+            }
             SearchResult::Unsat => break,
             SearchResult::Sat => {
                 examined += 1;
@@ -573,15 +767,16 @@ fn pin_zero(solver: &mut Solver, lits: impl Iterator<Item = (Lit, u64)>) {
     }
 }
 
-/// Impose (or tighten) a level's objective bound on a live solver. The first time a
-/// level is bounded, a linear constraint is added and its literals are bumped and
-/// phase-biased towards *false* (clasp's optimization sign heuristic) — otherwise
-/// phase saving would keep steering the search back to the just-outlawed incumbent.
-/// Subsequent descents of the same level tighten that constraint's upper bound in
-/// place, so the solver never accumulates superseded bounds. A level first bounded at
-/// zero is pinned through unit clauses instead (see [`ZERO_BOUND`]).
+/// Impose (or tighten) a level's objective bound on a live pool (broadcast to every
+/// worker in lockstep). The first time a level is bounded, a linear constraint is
+/// added and its literals are bumped and phase-biased towards *false* (clasp's
+/// optimization sign heuristic) — otherwise phase saving would keep steering the
+/// search back to the just-outlawed incumbent. Subsequent descents of the same level
+/// tighten that constraint's upper bound in place, so the solvers never accumulate
+/// superseded bounds. A level first bounded at zero is pinned through unit clauses
+/// instead (see [`ZERO_BOUND`]).
 fn set_level_bound(
-    solver: &mut Solver,
+    pool: &mut Pool,
     live_bounds: &mut [Option<usize>],
     li: usize,
     level: &Level,
@@ -592,23 +787,33 @@ fn set_level_bound(
         return; // already pinned at zero — no tighter bound exists
     }
     if live_bounds[li].is_none() && upper == 0 {
-        pin_zero(solver, level.lits.iter().copied());
+        for worker in &mut pool.workers {
+            pin_zero(worker, level.lits.iter().copied());
+        }
         live_bounds[li] = Some(ZERO_BOUND);
         return;
     }
     // Re-focus the heuristic on the objective at every descent, not only the first:
     // the activity bump and the false-bias refresh are what steer the next search
     // towards cheaper models once phase saving has locked onto the incumbent.
-    for &(l, _) in &level.lits {
-        solver.bump_variable(l.var(), 0.5);
-        solver.set_phase(l.var(), !l.is_pos());
+    for worker in &mut pool.workers {
+        for &(l, _) in &level.lits {
+            worker.bump_variable(l.var(), 0.5);
+            worker.set_phase(l.var(), !l.is_pos());
+        }
     }
     if let Some(idx) = live_bounds[li] {
-        solver.tighten_linear_upper(idx, upper);
+        for worker in &mut pool.workers {
+            worker.tighten_linear_upper(idx, upper);
+        }
         return;
     }
-    live_bounds[li] = Some(solver.num_linears());
-    solver.add_linear(level_bound(level, bound));
+    // Every worker ingested the identical constraint stream, so the new bound's slot
+    // is the same in each of them.
+    live_bounds[li] = Some(pool.canonical().num_linears());
+    for worker in &mut pool.workers {
+        worker.add_linear(level_bound(level, bound));
+    }
 }
 
 fn build_solver(
@@ -622,12 +827,11 @@ fn build_solver(
     let mut solver = Solver::new(translation.num_vars, config.clone());
     // Program content is provenance-safe; per-solve artifacts (external units,
     // objective bounds) are not — the distinction is what lets learned clauses be
-    // exported back into the session cache.
-    for clause in &translation.clauses {
-        if !solver.add_clause_safe(clause) {
-            break;
-        }
-    }
+    // exported back into the session cache. The translation (canonicalized once in
+    // `translate`) and the session cache (canonicalized on insert) both honour the
+    // trusted contract, so every rebuild ingests them on the validation-free bulk
+    // path instead of re-sorting and re-checking each clause.
+    solver.load_trusted_clauses(translation.clauses.iter().map(Vec::as_slice), true);
     // Per-solve truths of `#external` guard atoms, as root-level units.
     for &l in fixed {
         if !solver.add_clause(&[l]) {
@@ -638,12 +842,9 @@ fn build_solver(
         solver.add_linear_safe(lin.clone());
     }
     // Session cache: loop nogoods and safe learned clauses from earlier solves on
-    // this grounding.
-    for clause in cache.clauses() {
-        if !solver.add_clause_safe(clause) {
-            break;
-        }
-    }
+    // this grounding (possibly transferred in from sibling requests with the same
+    // closure digest).
+    solver.load_trusted_clauses(cache.clauses().iter().map(Vec::as_slice), true);
     for clause in extra_clauses {
         if !solver.add_clause_safe(clause) {
             break;
@@ -666,28 +867,210 @@ fn build_solver(
     solver
 }
 
-/// Drive a live solver to the next *stable* model (adding loop nogoods for unstable
-/// supported models along the way), or `None` when none exists under the solver's
-/// current bounds. The solver keeps all state between calls; aggregate statistics are
-/// absorbed by the caller when the solver is retired.
+/// Derive worker `i`'s solver configuration from the caller's base. Worker 0 runs the
+/// *exact* base configuration — it is the canonical worker, byte-for-byte the serial
+/// solver — while the rest diversify along classic portfolio axes (clasp's
+/// `--parallel-mode` playbook): RNG seed, decision phase polarity, restart cadence,
+/// random-polarity rate, and activity-decay speed.
+fn worker_config(base: &SatConfig, i: usize) -> SatConfig {
+    let mut cfg = base.clone();
+    if i == 0 {
+        return cfg;
+    }
+    cfg.seed ^= (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    if i % 2 == 1 {
+        cfg.default_phase = !cfg.default_phase;
+    }
+    cfg.restart_base <<= i % 3;
+    cfg.random_polarity = (cfg.random_polarity + 0.01 * i as f64).min(0.2);
+    cfg.var_decay = (cfg.var_decay * 0.99f64.powi((i % 4) as i32)).max(0.8);
+    cfg
+}
+
+/// The claiming worker's view of one race.
+enum RaceVerdict {
+    /// A (supported) model was found; stability is the caller's business.
+    Sat(Vec<bool>),
+    /// No model under the current bounds and assumptions.
+    Unsat,
+}
+
+/// A portfolio of K differently-seeded solver workers kept in lockstep over one
+/// clause/constraint stream.
+///
+/// Worker 0 is the *canonical* worker: it runs the caller's exact configuration, so a
+/// pool of one degenerates to precisely the serial solver. All problem mutation
+/// (clauses, linear constraints, bounds, phase hints) is broadcast to every worker,
+/// keeping the *formula* identical across the pool while each worker's *search state*
+/// (learned clauses, activities, saved phases) diverges freely — any worker's verdict
+/// is therefore a verdict about the shared formula.
+struct Pool {
+    workers: Vec<Solver>,
+    /// Per-worker RNG seed, for `winner_seed` reporting.
+    seeds: Vec<u64>,
+    /// Shared stop flag: raised by a race claimant to cancel the other workers.
+    /// Installed into the workers only when the pool actually races (K > 1).
+    stop: Arc<AtomicBool>,
+    /// Seed of the worker configuration that claimed the most recent race.
+    winner_seed: u64,
+}
+
+impl Pool {
+    /// The canonical worker (exact base configuration).
+    fn canonical(&self) -> &Solver {
+        &self.workers[0]
+    }
+
+    /// Sum every worker's low-level counters into `total` — cancelled losers
+    /// included, so the statistics reflect total work done, not the winner's share.
+    fn absorb_stats(&self, total: &mut SatStats) {
+        for w in &self.workers {
+            total.absorb(&w.stats);
+        }
+    }
+
+    /// Collect every worker's provenance-safe learned clauses into the cache.
+    fn harvest(&self, cache: &mut ClauseCache) {
+        for w in &self.workers {
+            cache.harvest(w);
+        }
+    }
+
+    /// Dissolve the pool into its canonical worker (retired solvers feed
+    /// [`StableProbe::from_solver`]), uninstalling the stop flag so an adopter can
+    /// never observe a stale interrupt.
+    fn into_canonical(mut self) -> Solver {
+        let mut w = self.workers.swap_remove(0);
+        w.set_stop(None);
+        w
+    }
+
+    /// Broadcast a phase hint to every worker.
+    fn set_phase(&mut self, v: Var, phase: bool) {
+        for w in &mut self.workers {
+            w.set_phase(v, phase);
+        }
+    }
+
+    /// Broadcast a provenance-safe clause. Returns `false` when any worker refutes it
+    /// at the root — a root conflict in one worker is a fact about the shared formula.
+    fn add_clause_safe(&mut self, lits: &[Lit]) -> bool {
+        let mut ok = true;
+        for w in &mut self.workers {
+            ok &= w.add_clause_safe(lits);
+        }
+        ok
+    }
+
+    /// Race every worker on one search under `assumptions`; the first worker to reach
+    /// a claimable verdict wins and cancels the rest through the shared stop flag.
+    ///
+    /// A SAT verdict is claimable by any worker. An UNSAT verdict is claimable by any
+    /// worker unless `need_core` is set — then only worker 0 may claim it, because the
+    /// caller consumes the final-conflict unsat core and only the canonical worker's
+    /// core is deterministic. Interrupted workers never claim. Termination: worker 0
+    /// can only be interrupted after someone else claimed, so some worker always
+    /// claims and the race never dangles.
+    fn race(&mut self, assumptions: &[Lit], need_core: bool) -> RaceVerdict {
+        if self.workers.len() == 1 {
+            self.winner_seed = self.seeds[0];
+            return match self.workers[0].search_with_assumptions(assumptions) {
+                SearchResult::Sat => RaceVerdict::Sat(self.workers[0].model()),
+                SearchResult::Unsat => RaceVerdict::Unsat,
+                SearchResult::Interrupted => {
+                    unreachable!("a pool of one has no stop flag installed")
+                }
+            };
+        }
+        self.stop.store(false, Ordering::SeqCst);
+        let claimed = AtomicUsize::new(usize::MAX);
+        let claimed = &claimed;
+        let stop = &self.stop;
+        let mut verdicts: Vec<Option<SearchResult>> =
+            (0..self.workers.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (i, (worker, slot)) in self.workers.iter_mut().zip(verdicts.iter_mut()).enumerate()
+            {
+                scope.spawn(move || {
+                    let result = worker.search_with_assumptions(assumptions);
+                    let may_claim = match result {
+                        SearchResult::Sat => true,
+                        SearchResult::Unsat => !need_core || i == 0,
+                        SearchResult::Interrupted => false,
+                    };
+                    if may_claim
+                        && claimed
+                            .compare_exchange(usize::MAX, i, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                    {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                    *slot = Some(result);
+                });
+            }
+        });
+        let winner = claimed.load(Ordering::SeqCst);
+        debug_assert_ne!(winner, usize::MAX, "some worker must claim every race");
+        let winner = if winner == usize::MAX { 0 } else { winner };
+        self.winner_seed = self.seeds[winner];
+        match verdicts[winner] {
+            Some(SearchResult::Sat) => RaceVerdict::Sat(self.workers[winner].model()),
+            _ => RaceVerdict::Unsat,
+        }
+    }
+}
+
+/// Build a pool of `config.portfolio.max(1)` workers, each over the identical clause
+/// stream (see [`build_solver`]) under its [`worker_config`] variation, with the
+/// shared stop flag installed whenever there is more than one worker to race.
+fn build_pool(
+    translation: &Translation,
+    config: &SatConfig,
+    fixed: &[Lit],
+    bounds: &[LinearSpec],
+    extra_clauses: &[Vec<Lit>],
+    cache: &ClauseCache,
+) -> Pool {
+    let k = config.portfolio.max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::with_capacity(k);
+    let mut seeds = Vec::with_capacity(k);
+    for i in 0..k {
+        let cfg = worker_config(config, i);
+        seeds.push(cfg.seed);
+        let mut w = build_solver(translation, &cfg, fixed, bounds, extra_clauses, cache);
+        if k > 1 {
+            w.set_stop(Some(Arc::clone(&stop)));
+        }
+        workers.push(w);
+    }
+    Pool { workers, seeds, stop, winner_seed: config.seed }
+}
+
+/// Drive a live pool to the next *stable* model (adding loop nogoods for unstable
+/// supported models along the way, broadcast to every worker), or `None` when none
+/// exists under the pool's current bounds. The workers keep all state between calls;
+/// aggregate statistics are absorbed by the caller when the pool is retired.
+/// `need_core` marks the searches whose UNSAT outcome feeds final-conflict core
+/// extraction (see [`Pool::race`]).
 #[allow(clippy::too_many_arguments)]
 fn run_stable(
-    solver: &mut Solver,
+    pool: &mut Pool,
     ground: &GroundProgram,
     checker: &mut StabilityChecker,
     extra_clauses: &mut Vec<Vec<Lit>>,
     assumptions: &[Lit],
     stats: &mut RunStats,
     cache: &mut ClauseCache,
+    need_core: bool,
 ) -> Option<Vec<bool>> {
     stats.runs += 1;
     let debug = std::env::var("ASP_DEBUG").is_ok();
     loop {
-        match solver.search_with_assumptions(assumptions) {
-            SearchResult::Unsat => return None,
-            SearchResult::Sat => {
+        match pool.race(assumptions, need_core) {
+            RaceVerdict::Unsat => return None,
+            RaceVerdict::Sat(model) => {
                 stats.models += 1;
-                let model = solver.model();
                 // Loop nogood: at least one unfounded atom must be false, or one of
                 // the set's external supports must come true. It is a consequence of
                 // the program (not of the bounds), so it persists and is replayed
@@ -705,7 +1088,7 @@ fn run_stable(
                 }
                 extra_clauses.push(nogood.clone());
                 cache.add(&nogood);
-                if !solver.add_clause_safe(&nogood) {
+                if !pool.add_clause_safe(&nogood) {
                     return None;
                 }
             }

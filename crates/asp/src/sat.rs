@@ -43,7 +43,10 @@
 //! grounding and replays them into each newly built solver: later solves warm-start
 //! from everything the earlier ones learned about the program itself.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use crate::hasher::FxHashSet;
 use rand::rngs::StdRng;
@@ -124,6 +127,10 @@ pub enum SearchResult {
     Sat,
     /// The formula (with all added clauses/constraints) is unsatisfiable.
     Unsat,
+    /// The search was stopped by the external stop flag (see [`Solver::set_stop`])
+    /// before reaching a verdict: another portfolio worker won the race. The solver
+    /// remains reusable — the partial assignment is undone by the next operation.
+    Interrupted,
 }
 
 /// A conflict found during propagation. Clause conflicts are passed by *index* so the
@@ -225,6 +232,10 @@ pub struct SatConfig {
     /// Learned-clause activity decay factor (0 < decay < 1); the clause analogue of
     /// `var_decay`.
     pub clause_decay: f64,
+    /// Number of differently-seeded solver configurations raced per optimizer search
+    /// (see `optimize`). `0` or `1` means serial solving; results are byte-identical
+    /// either way — the portfolio only changes how fast the canonical answer is found.
+    pub portfolio: usize,
 }
 
 impl Default for SatConfig {
@@ -237,6 +248,7 @@ impl Default for SatConfig {
             seed: 0x5eed,
             learned_limit: 4000,
             clause_decay: 0.999,
+            portfolio: 1,
         }
     }
 }
@@ -325,6 +337,9 @@ pub struct Solver {
     /// [`SearchResult::Unsat`]: the subset of the assumption literals whose conjunction
     /// is refuted. Empty when the problem is unsatisfiable without any assumptions.
     conflict_core: Vec<Lit>,
+    /// Cooperative cancellation flag shared by a portfolio race: when set, the search
+    /// loop exits with [`SearchResult::Interrupted`] at its next iteration.
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl Solver {
@@ -369,7 +384,15 @@ impl Solver {
             analyze_buf: Vec::new(),
             seen: vec![false; num_vars],
             conflict_core: Vec::new(),
+            stop: None,
         }
+    }
+
+    /// Install (or clear) the shared cancellation flag checked by the search loop.
+    /// Portfolio workers share one flag: the race winner sets it, the losers return
+    /// [`SearchResult::Interrupted`] and stay reusable for the next lockstep operation.
+    pub fn set_stop(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
     }
 
     /// Number of variables.
@@ -472,6 +495,86 @@ impl Solver {
                 true
             }
         }
+    }
+
+    /// Bulk-load clauses that are already in *trusted canonical form*: strictly sorted
+    /// literals (which implies no duplicates and — since the two literals of a variable
+    /// sort adjacently — no complementary pair) over in-range variables. Skips the
+    /// per-clause sort/dedup/tautology scan and backtrack that [`Solver::add_clause`]
+    /// pays, so per-level solver rebuilds in the optimizer ingest their own clause
+    /// streams (translation clauses canonicalized once at translate time, and
+    /// [`ClauseCache`] contents, canonical by construction) in one linear pass.
+    /// Level-0 simplification and provenance bookkeeping are byte-identical to
+    /// [`Solver::add_clause_safe`]; the canonical-form contract is checked by a debug
+    /// assertion, so a corrupted clause (e.g. a bit flip in a shared store) fails
+    /// loudly in debug builds.
+    ///
+    /// Returns `false` when some clause makes the problem unsatisfiable at the root.
+    pub fn load_trusted_clauses<'a, I>(&mut self, clauses: I, safe: bool) -> bool
+    where
+        I: IntoIterator<Item = &'a [Lit]>,
+    {
+        if self.root_conflict {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut filtered: Vec<Lit> = Vec::new();
+        for lits in clauses {
+            debug_assert!(
+                self.is_trusted_canonical(lits),
+                "load_trusted_clauses: clause violates the canonical-form contract: {lits:?}"
+            );
+            filtered.clear();
+            let mut clause_safe = safe;
+            let mut satisfied = false;
+            for &l in lits {
+                match self.value_lit(l) {
+                    Value::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    Value::False => {
+                        clause_safe = clause_safe && self.var0_safe[l.var() as usize];
+                    }
+                    Value::Unassigned => filtered.push(l),
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match filtered.len() {
+                0 => {
+                    self.root_conflict = true;
+                    return false;
+                }
+                1 => {
+                    self.enqueue(filtered[0], Reason::Decision);
+                    self.var0_safe[filtered[0].var() as usize] = clause_safe;
+                    if self.propagate().is_some() {
+                        self.root_conflict = true;
+                        return false;
+                    }
+                }
+                _ => {
+                    let ci = self.clauses.len() as u32;
+                    self.watches[filtered[0].negate().index()]
+                        .push(Watch { ci, blocker: filtered[1] });
+                    self.watches[filtered[1].negate().index()]
+                        .push(Watch { ci, blocker: filtered[0] });
+                    self.clauses.push(std::mem::take(&mut filtered));
+                    self.clause_learned.push(false);
+                    self.clause_safe.push(clause_safe);
+                    self.clause_activity.push(0.0);
+                }
+            }
+        }
+        true
+    }
+
+    /// The [`Solver::load_trusted_clauses`] contract check (debug builds only).
+    fn is_trusted_canonical(&self, lits: &[Lit]) -> bool {
+        lits.iter().all(|l| (l.var() as usize) < self.num_vars)
+            && lits.windows(2).all(|w| w[0] < w[1] && w[0] != w[1].negate())
     }
 
     /// Add a linear constraint (tagged unsafe: a per-solve artifact such as an
@@ -584,6 +687,11 @@ impl Solver {
         self.cancel_until(0);
         let mut conflicts_until_restart = self.luby_interval();
         loop {
+            if let Some(stop) = &self.stop {
+                if stop.load(Ordering::Relaxed) {
+                    return SearchResult::Interrupted;
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
@@ -1343,6 +1451,11 @@ impl ClauseCache {
         let mut sorted = clause.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
+        // Drop tautologies so every cached clause satisfies the trusted canonical form
+        // required by `Solver::load_trusted_clauses` (replay skips re-validation).
+        if sorted.windows(2).any(|w| w[0] == w[1].negate()) {
+            return;
+        }
         use std::hash::{Hash, Hasher};
         let mut hasher = crate::hasher::FxHasher::default();
         sorted.hash(&mut hasher);
@@ -1375,6 +1488,103 @@ impl ClauseCache {
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.clauses.is_empty()
+    }
+}
+
+/// A thread-safe store of program-consequence clauses shared *across requests*,
+/// keyed by the closure digest of each request's translation (see
+/// `Translation::digest`). Two requests with the same digest solve the identical
+/// formula — same variables, clauses, and linear constraints by construction — so the
+/// provenance-safe clauses one request learned hold verbatim in the other, and a
+/// session can warm-start repeated or re-issued requests from everything earlier ones
+/// proved. Entries are whole [`ClauseCache`]s (deduplicated, capped at
+/// [`ClauseCache::MAX_CLAUSES`] per key); access is a single `RwLock` around the map
+/// plus relaxed counters, so concurrent session requests (the batch path) share it
+/// freely.
+#[derive(Debug, Default)]
+pub struct SharedClauseStore {
+    shelves: RwLock<HashMap<u64, ClauseCache>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    transferred: AtomicU64,
+}
+
+impl SharedClauseStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SharedClauseStore::default()
+    }
+
+    /// Copy the clauses stored under `key` into `cache` (the per-request warm-start
+    /// cache), returning how many were transferred. Counts a hit when the key has a
+    /// non-empty entry, a miss otherwise.
+    pub fn fetch_into(&self, key: u64, cache: &mut ClauseCache) -> usize {
+        let shelves = self.shelves.read().unwrap();
+        let transferred = match shelves.get(&key) {
+            Some(shelf) if !shelf.is_empty() => {
+                let before = cache.len();
+                if cache.is_empty() {
+                    // Usual case: a freshly reset request cache. Shelved clauses are
+                    // canonical by construction, so copy them raw rather than paying
+                    // `add`'s re-canonicalization per clause (it would also mask a
+                    // corrupted shelf entry that the trusted-load assertion in debug
+                    // builds is meant to catch).
+                    cache.clauses = shelf.clauses.clone();
+                    cache.seen = shelf.seen.clone();
+                } else {
+                    for clause in shelf.clauses() {
+                        cache.add(clause);
+                    }
+                }
+                cache.len() - before
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            }
+        };
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.transferred.fetch_add(transferred as u64, Ordering::Relaxed);
+        transferred
+    }
+
+    /// Merge a finished request's cache into the store under `key` (deduplicated
+    /// against what is already shelved, capped per key).
+    pub fn publish(&self, key: u64, cache: &ClauseCache) {
+        if cache.is_empty() {
+            return;
+        }
+        let mut shelves = self.shelves.write().unwrap();
+        let shelf = shelves.entry(key).or_default();
+        for clause in cache.clauses() {
+            shelf.add(clause);
+        }
+    }
+
+    /// Number of fetches that found a non-empty entry for their key.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of fetches that found nothing for their key.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total clauses copied out of the store into request caches.
+    pub fn transferred(&self) -> u64 {
+        self.transferred.load(Ordering::Relaxed)
+    }
+
+    /// Test-only corruption hook: shelve a raw clause under `key`, bypassing
+    /// [`ClauseCache::add`]'s canonicalization. Exists so mutation tests can prove
+    /// that a corrupted transferred clause is caught by the debug-mode
+    /// canonical-form assertion in [`Solver::load_trusted_clauses`]; never call it
+    /// from production code.
+    #[doc(hidden)]
+    pub fn inject_raw_for_tests(&self, key: u64, clause: Vec<Lit>) {
+        let mut shelves = self.shelves.write().unwrap();
+        shelves.entry(key).or_default().clauses.push(clause);
     }
 }
 
@@ -1699,6 +1909,7 @@ mod tests {
         loop {
             match s.search() {
                 SearchResult::Unsat => break,
+                SearchResult::Interrupted => unreachable!("no stop flag installed"),
                 SearchResult::Sat => {
                     count += 1;
                     assert!(count <= 3, "only 3 models exist");
@@ -1817,6 +2028,133 @@ mod tests {
         cache.add(&[]); // ignored
         assert_eq!(cache.len(), 2);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn trusted_load_matches_add_clause_safe() {
+        // The same canonical clause stream, loaded both ways, must produce solvers
+        // with identical stored clauses, identical level-0 assignments, and identical
+        // provenance bits.
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![lit(1), lit(2)],
+            vec![lit(-1), lit(3)],
+            vec![lit(-2), lit(-3), lit(4)],
+            vec![lit(5)],
+            vec![lit(-5), lit(2)],
+        ];
+        let canonical: Vec<Vec<Lit>> = clauses
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        let mut a = Solver::new(5, SatConfig::default());
+        for c in &canonical {
+            assert!(a.add_clause_safe(c));
+        }
+        let mut b = Solver::new(5, SatConfig::default());
+        assert!(b.load_trusted_clauses(canonical.iter().map(|c| c.as_slice()), true));
+        assert_eq!(a.clauses, b.clauses);
+        assert_eq!(a.clause_safe, b.clause_safe);
+        assert_eq!(a.var0_safe, b.var0_safe);
+        assert_eq!(a.assignment.len(), b.assignment.len());
+        for v in 0..5 {
+            assert_eq!(a.assignment[v], b.assignment[v], "level-0 assignment of x{v}");
+        }
+        assert_eq!(a.search(), SearchResult::Sat);
+        assert_eq!(b.search(), SearchResult::Sat);
+        assert_eq!(a.model(), b.model());
+    }
+
+    #[test]
+    fn trusted_load_detects_root_conflict() {
+        let mut s = Solver::new(2, SatConfig::default());
+        assert!(s.load_trusted_clauses([&[lit(1)][..]], true));
+        assert!(!s.load_trusted_clauses([&[lit(-1)][..]], true));
+        assert_eq!(s.search(), SearchResult::Unsat);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "canonical-form contract")]
+    fn trusted_load_catches_corrupted_clause_in_debug() {
+        // An unsorted (corrupted) clause must trip the debug validation assert —
+        // the backstop for bit flips in clauses transferred via a shared store.
+        let mut s = Solver::new(3, SatConfig::default());
+        s.load_trusted_clauses([&[lit(3), lit(1)][..]], true);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "canonical-form contract")]
+    fn trusted_load_catches_out_of_range_variable_in_debug() {
+        let mut s = Solver::new(2, SatConfig::default());
+        s.load_trusted_clauses([&[lit(1), lit(7)][..]], true);
+    }
+
+    #[test]
+    fn stop_flag_interrupts_the_search() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // A pre-set stop flag must interrupt before any verdict; clearing it makes
+        // the same solver usable again.
+        let mut s = Solver::new(2, SatConfig::default());
+        assert!(s.add_clause(&[lit(1), lit(2)]));
+        let stop = Arc::new(AtomicBool::new(true));
+        s.set_stop(Some(stop.clone()));
+        assert_eq!(s.search(), SearchResult::Interrupted);
+        stop.store(false, Ordering::SeqCst);
+        assert_eq!(s.search(), SearchResult::Sat);
+        s.set_stop(None);
+        assert_eq!(s.search(), SearchResult::Sat);
+    }
+
+    #[test]
+    fn clause_cache_drops_tautologies() {
+        let mut cache = ClauseCache::default();
+        cache.add(&[lit(1), lit(-1)]); // tautology: not canonical, must not be shelved
+        cache.add(&[lit(1), lit(2)]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_store_transfers_and_counts() {
+        let store = SharedClauseStore::new();
+        let mut cache = ClauseCache::default();
+        cache.add(&[lit(1), lit(2)]);
+        cache.add(&[lit(-2), lit(3)]);
+        store.publish(7, &cache);
+        store.publish(7, &cache); // idempotent: deduplicated against the shelf
+
+        let mut warm = ClauseCache::default();
+        assert_eq!(store.fetch_into(7, &mut warm), 2);
+        assert_eq!(warm.len(), 2);
+        // Fetching into a warm cache deduplicates instead of double-counting.
+        assert_eq!(store.fetch_into(7, &mut warm), 0);
+        // An unknown key is a miss.
+        let mut other = ClauseCache::default();
+        assert_eq!(store.fetch_into(99, &mut other), 0);
+        assert!(other.is_empty());
+
+        assert_eq!(store.hits(), 2);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.transferred(), 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "canonical-form contract")]
+    fn corrupted_store_clause_is_caught_on_trusted_load() {
+        // Mutation-style soundness check: corrupt a shelved clause behind the store's
+        // back; the fetch hands it through raw and the trusted-load assert fires.
+        let store = SharedClauseStore::new();
+        store.inject_raw_for_tests(1, vec![lit(2), lit(2), lit(1)]);
+        let mut warm = ClauseCache::default();
+        store.fetch_into(1, &mut warm);
+        let mut s = Solver::new(3, SatConfig::default());
+        s.load_trusted_clauses(warm.clauses().iter().map(|c| c.as_slice()), true);
     }
 
     #[test]

@@ -37,6 +37,42 @@ impl Translation {
     pub fn atom_lit(a: AtomId) -> Lit {
         Lit::pos(a as Var)
     }
+
+    /// The closure digest: a hash of the entire clausal form (variable counts, every
+    /// clause, every linear constraint). Two requests with equal digests solve the
+    /// identical formula — atom and auxiliary variable ids included — so
+    /// provenance-safe clauses learned by one hold verbatim in the other. Keys the
+    /// cross-request [`crate::sat::SharedClauseStore`].
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::hasher::FxHasher::default();
+        h.write_usize(self.num_vars);
+        h.write_usize(self.num_atoms);
+        h.write_usize(self.clauses.len());
+        for clause in &self.clauses {
+            h.write_usize(clause.len());
+            for l in clause {
+                h.write_u32(l.index() as u32);
+            }
+        }
+        h.write_usize(self.linears.len());
+        for lin in &self.linears {
+            match lin.condition {
+                None => h.write_u32(u32::MAX),
+                Some(c) => h.write_u32(c.index() as u32),
+            }
+            h.write_usize(lin.lits.len());
+            for l in &lin.lits {
+                h.write_u32(l.index() as u32);
+            }
+            for &w in &lin.weights {
+                h.write_u64(w);
+            }
+            h.write_u64(lin.lower);
+            h.write_u64(lin.upper);
+        }
+        h.finish()
+    }
 }
 
 /// Translate a ground program.
@@ -173,6 +209,17 @@ pub fn translate(ground: &GroundProgram) -> Translation {
             }
         }
     }
+
+    // Canonicalize every clause (sorted, deduplicated, tautologies dropped) once here
+    // instead of per solver build: `Solver::add_clause` performs exactly this
+    // normalization before storing a clause, so pre-canonicalized clauses produce
+    // byte-identical solver state while qualifying for the linear-time
+    // `Solver::load_trusted_clauses` path on every rebuild.
+    t.clauses.retain_mut(|clause| {
+        clause.sort_unstable();
+        clause.dedup();
+        !clause.windows(2).any(|w| w[0] == w[1].negate())
+    });
 
     t
 }

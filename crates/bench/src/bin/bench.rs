@@ -21,6 +21,12 @@
 //! summed per-request stage times in microseconds (`ground_us`, `setup_us`,
 //! `solve_us`) next to the usual engine counters.
 //!
+//! The `parallel_solve` group compares the same request mix on a serial session
+//! against a session racing a two-worker solver portfolio per optimization level
+//! (`--portfolio 2`), with the cross-request nogood store active in both; every
+//! portfolio result is asserted byte-identical to the serial session's before it
+//! counts, and the report carries the store's hit/transfer counters.
+//!
 //! `--compare <baseline>` turns the run into a **regression gate** (the verdict logic
 //! lives in [`bench::gate`], where it is unit-tested): per benchmark group, the
 //! summed means of the benches present in both reports are compared, and the process
@@ -220,6 +226,46 @@ impl MixAggregate {
             ],
         )
     }
+}
+
+/// Render the observable result of a request — DAG identity, objective vector,
+/// reuse/build partition, or the full diagnostics — for the byte-equality
+/// cross-check of the `parallel_solve` group (the same shape
+/// `tests/portfolio_cross_check.rs` pins under proptest).
+fn render_outcome(result: &Result<spack_concretizer::Concretization, ConcretizeError>) -> String {
+    match result {
+        Ok(c) => {
+            let mut reused = c.reused.clone();
+            reused.sort();
+            let mut built = c.built.clone();
+            built.sort();
+            format!("OK\n{}\ncost={:?}\nreused={reused:?}\nbuilt={built:?}", c.spec, c.cost)
+        }
+        Err(ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
+            let lines: Vec<String> = diagnostics
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{:?}|{}|{}|{}|{:?}",
+                        d.severity, d.priority, d.code, d.message, d.provenance
+                    )
+                })
+                .collect();
+            format!("UNSAT\n{}", lines.join("\n"))
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Append a session's shared-nogood-store counters to a run detail, so the report
+/// tracks how much cross-request clause transfer the mix actually exercises.
+fn with_store_counters(detail: RunDetail, session: &ConcretizerSession<'_>) -> RunDetail {
+    let (stages, mut counters) = detail;
+    let s = session.stats();
+    counters.push(("store_hits", s.store_hits));
+    counters.push(("store_misses", s.store_misses));
+    counters.push(("store_transferred", s.store_transferred));
+    (stages, counters)
 }
 
 /// The request mix of the `session_throughput` group: a realistic stream across the
@@ -455,6 +501,49 @@ fn main() -> std::process::ExitCode {
     });
     report_specs_per_sec(&runner.records);
 
+    // ---- parallel_solve: portfolio racing on a long-lived session -------------------------
+    // The same mix, on two fresh sessions with the cross-request nogood store on (its
+    // default): one serial, one racing two diversified solver configurations per
+    // optimization level (`--portfolio 2`). Every portfolio result is asserted
+    // byte-identical to the serial session's render — the determinism contract is
+    // part of the measurement, not a separate test. On a single-core runner the
+    // portfolio bench mostly prices the racing overhead; CI's multi-thread matrix
+    // and any multi-core machine show the speedup.
+    let serial_solver =
+        Concretizer::new(&medium).with_site(site.clone()).with_database(&service_cache);
+    let serial_session: ConcretizerSession<'_> = serial_solver.session().expect("session build");
+    let expected: Vec<String> =
+        mix.iter().map(|s| render_outcome(&serial_session.concretize_str(s))).collect();
+    runner.measure("parallel_solve", "serial_mix", || {
+        let run = Instant::now();
+        let mut agg = MixAggregate::default();
+        for spec in &mix {
+            agg.add(serial_session.concretize_str(spec));
+        }
+        with_store_counters(agg.detail(run.elapsed()), &serial_session)
+    });
+    let parallel_solver = Concretizer::new(&medium)
+        .with_site(site.clone())
+        .with_database(&service_cache)
+        .with_portfolio(2);
+    let parallel_session: ConcretizerSession<'_> =
+        parallel_solver.session().expect("portfolio session build");
+    runner.measure("parallel_solve", "portfolio2_mix", || {
+        let run = Instant::now();
+        let mut agg = MixAggregate::default();
+        for (spec, want) in mix.iter().zip(&expected) {
+            let result = parallel_session.concretize_str(spec);
+            assert_eq!(
+                &render_outcome(&result),
+                want,
+                "portfolio result for `{spec}` differs from the serial session"
+            );
+            agg.add(result);
+        }
+        with_store_counters(agg.detail(run.elapsed()), &parallel_session)
+    });
+    report_portfolio_ratio(&runner.records);
+
     eprintln!("# harness finished in {:.1?}", started.elapsed());
     let json = render_json(&label, scale_name(scale), &runner.records);
     std::fs::write(&out, json).expect("write report");
@@ -506,6 +595,26 @@ fn report_specs_per_sec(records: &[Record]) {
              ({:.2}x), parallel batch {batch:.1} specs/s ({:.2}x)",
             sess / one,
             batch / one
+        );
+    }
+}
+
+/// Print the headline portfolio-vs-serial comparison of the parallel_solve group.
+fn report_portfolio_ratio(records: &[Record]) {
+    let mean = |bench: &str| -> Option<f64> {
+        records
+            .iter()
+            .find(|r| r.group == "parallel_solve" && r.bench == bench)
+            .map(|r| r.mean.as_secs_f64())
+    };
+    if let (Some(serial), Some(portfolio)) = (mean("serial_mix"), mean("portfolio2_mix")) {
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        eprintln!(
+            "# parallel_solve: serial {:.1}ms, portfolio-2 {:.1}ms ({:.2}x, {cores} cores, \
+             byte-identical results)",
+            serial * 1e3,
+            portfolio * 1e3,
+            serial / portfolio.max(1e-9)
         );
     }
 }

@@ -69,8 +69,8 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "spack-solve — ASP-based dependency solving (SC'22 reproduction)\n\n\
-         USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--stats] [--explain] [--synthetic N] <spec...>\n  \
-         spack-solve batch [--reuse] [--lassen] [--stats] [--synthetic N] <file>   (one spec per line; - for stdin)\n  \
+         USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--stats] [--explain] [--portfolio K] [--synthetic N] <spec...>\n  \
+         spack-solve batch [--reuse] [--lassen] [--stats] [--portfolio K] [--synthetic N] <file>   (one spec per line; - for stdin)\n  \
          spack-solve providers <virtual>\n  spack-solve list [--synthetic N]\n  spack-solve criteria\n"
     );
 }
@@ -88,6 +88,7 @@ struct SpecOptions {
     lassen: bool,
     stats: bool,
     explain: bool,
+    portfolio: usize,
     synthetic: Option<usize>,
     spec_text: String,
 }
@@ -99,6 +100,7 @@ fn parse_spec_args(args: &[String]) -> Result<SpecOptions, String> {
         lassen: false,
         stats: false,
         explain: false,
+        portfolio: 1,
         synthetic: None,
         spec_text: String::new(),
     };
@@ -111,6 +113,11 @@ fn parse_spec_args(args: &[String]) -> Result<SpecOptions, String> {
             "--lassen" => options.lassen = true,
             "--stats" => options.stats = true,
             "--explain" => options.explain = true,
+            "--portfolio" => {
+                let k =
+                    iter.next().ok_or_else(|| "--portfolio requires a worker count".to_string())?;
+                options.portfolio = k.parse().map_err(|_| format!("invalid worker count '{k}'"))?;
+            }
             "--synthetic" => {
                 let n = iter
                     .next()
@@ -168,7 +175,7 @@ fn cmd_spec(args: &[String]) -> ExitCode {
     }
 
     let cache;
-    let mut concretizer = Concretizer::new(&repo).with_site(site);
+    let mut concretizer = Concretizer::new(&repo).with_site(site).with_portfolio(options.portfolio);
     if options.reuse {
         cache = synthesize_buildcache(&repo, &BuildcacheConfig::default());
         println!("(reuse enabled: {} cached builds)\n", cache.len());
@@ -316,6 +323,10 @@ fn print_stats(result: &spack_concretizer::Concretization) {
         "            {} decisions, {} propagations, {} conflicts, {} restarts, {} learned ({} deleted)",
         s.decisions, s.propagations, s.conflicts, s.restarts, s.learned, s.deleted
     );
+    println!(
+        "            warm clauses {}, transferred {}, winning seed {:#x}",
+        s.warm_clauses, s.transferred_clauses, s.winner_seed
+    );
 }
 
 /// `spack-solve batch <file>`: one request per line, answered on a single multi-shot
@@ -326,6 +337,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let mut reuse = false;
     let mut lassen = false;
     let mut stats = false;
+    let mut portfolio = 1usize;
     let mut synthetic: Option<usize> = None;
     let mut file: Option<String> = None;
     let mut iter = args.iter().peekable();
@@ -334,6 +346,19 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             "--reuse" => reuse = true,
             "--lassen" => lassen = true,
             "--stats" => stats = true,
+            "--portfolio" => {
+                let Some(k) = iter.next() else {
+                    eprintln!("==> Error: --portfolio requires a worker count");
+                    return ExitCode::FAILURE;
+                };
+                match k.parse() {
+                    Ok(k) => portfolio = k,
+                    Err(_) => {
+                        eprintln!("==> Error: invalid worker count '{k}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--synthetic" => {
                 let Some(n) = iter.next() else {
                     eprintln!("==> Error: --synthetic requires a package count");
@@ -355,7 +380,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
     }
     let Some(file) = file else {
-        eprintln!("usage: spack-solve batch [--reuse] [--lassen] [--stats] [--synthetic N] <file>");
+        eprintln!(
+            "usage: spack-solve batch [--reuse] [--lassen] [--stats] [--portfolio K] \
+             [--synthetic N] <file>"
+        );
         return ExitCode::FAILURE;
     };
     let text = if file == "-" {
@@ -387,7 +415,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let repo = repository(synthetic);
     let site = if lassen { SiteConfig::lassen() } else { SiteConfig::quartz() };
     let cache;
-    let mut concretizer = Concretizer::new(&repo).with_site(site);
+    let mut concretizer = Concretizer::new(&repo).with_site(site).with_portfolio(portfolio);
     if reuse {
         cache = synthesize_buildcache(&repo, &BuildcacheConfig::default());
         concretizer = concretizer.with_database(&cache);
@@ -468,6 +496,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         eprintln!(
             "  base grounds: {} (must be 1), requests served: {}",
             s.base_grounds, s.requests
+        );
+        eprintln!(
+            "  nogood store: {} hits, {} misses, {} clauses transferred",
+            s.store_hits, s.store_misses, s.store_transferred
         );
     }
     if any_error {

@@ -131,7 +131,7 @@ impl BaseFacts {
     /// The owner-partition symbols for [`asp::Control::freeze_base_partitioned`]:
     /// every package and virtual name. Atoms and frozen instances bucket by the first
     /// of these they mention, which makes per-request relevance restriction
-    /// ([`BaseFacts::excluded_symbols`]) proportional to the kept closure.
+    /// ([`BaseFacts::request_exclusions`]) proportional to the kept closure.
     pub fn partition_symbols(&self) -> Vec<String> {
         self.possible.iter().chain(self.virtuals.iter()).cloned().collect()
     }

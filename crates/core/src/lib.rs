@@ -246,6 +246,24 @@ impl<'a> Concretizer<'a> {
         self
     }
 
+    /// Race `k` differently-seeded solver configurations per optimizer search and take
+    /// the first winner (`0` or `1` = serial). Results are byte-identical regardless
+    /// of `k` — the portfolio only changes how fast the canonical answer is found.
+    pub fn with_portfolio(mut self, k: usize) -> Self {
+        self.solver.portfolio = k;
+        self
+    }
+
+    /// Enable or disable the session's cross-request nogood store (default on):
+    /// provenance-safe clauses learned by one request are transferred to later
+    /// requests with an identical translation. Results are byte-identical either way.
+    /// Only affects sessions created by [`Concretizer::session`]; one-shot solves
+    /// never share clauses.
+    pub fn with_nogood_store(mut self, enabled: bool) -> Self {
+        self.solver.share_nogoods = enabled;
+        self
+    }
+
     /// The site configuration in use.
     pub fn site(&self) -> &SiteConfig {
         &self.site

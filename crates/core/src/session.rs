@@ -24,6 +24,7 @@
 //! (sharding and an async front end ride on top of it — see the ROADMAP).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
@@ -63,6 +64,14 @@ pub struct SessionStats {
     pub base_atoms: usize,
     /// Frozen ground instances available for verbatim reuse by every request.
     pub frozen_instances: usize,
+    /// Cross-request nogood store lookups that found a shelf for the request's
+    /// closure digest (zero when the store is disabled).
+    pub store_hits: u64,
+    /// Cross-request nogood store lookups that found nothing (first request per
+    /// distinct closure digest).
+    pub store_misses: u64,
+    /// Provenance-safe clauses transferred between requests through the store.
+    pub store_transferred: u64,
 }
 
 /// A long-lived concretizer session: built once from a [`Concretizer`], answering many
@@ -80,6 +89,12 @@ pub struct ConcretizerSession<'a> {
     /// nonzero value is a regression — it feeds [`SessionStats::base_grounds`], which
     /// tests assert equals exactly 1.
     full_regrounds: AtomicU64,
+    /// Cross-request nogood store ([`asp::SharedClauseStore`]): provenance-safe
+    /// clauses learned by one request are transferred to later requests with an
+    /// identical translation (same closure digest). `None` when disabled through
+    /// [`crate::Concretizer::with_nogood_store`]. Results are byte-identical either
+    /// way — the store only changes how fast they are found.
+    store: Option<Arc<asp::SharedClauseStore>>,
 }
 
 impl<'a> Concretizer<'a> {
@@ -94,6 +109,7 @@ impl<'a> Concretizer<'a> {
         ctl.add_program(CONCRETIZE_LP)?;
         ctl.add_program(ERROR_GUARD_LP)?;
         let frozen = ctl.freeze_base_partitioned(&base.partition_symbols())?;
+        let store = self.solver.share_nogoods.then(|| Arc::new(asp::SharedClauseStore::new()));
         Ok(ConcretizerSession {
             repo: self.repo,
             frozen,
@@ -101,6 +117,7 @@ impl<'a> Concretizer<'a> {
             base_setup,
             requests: AtomicU64::new(0),
             full_regrounds: AtomicU64::new(0),
+            store,
         })
     }
 }
@@ -125,6 +142,9 @@ impl ConcretizerSession<'_> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let setup_start = Instant::now();
         let mut ctl = self.frozen.request();
+        if let Some(store) = &self.store {
+            ctl.set_shared_store(Arc::clone(store));
+        }
         let setup_info = self.base.request(self.repo, &mut ctl, roots)?;
         // Relevance restriction: this request's view of the frozen base drops every
         // package outside its dependency closure (and those packages' condition-id
@@ -184,6 +204,9 @@ impl ConcretizerSession<'_> {
             base_ground: ground.duration,
             base_atoms: ground.atoms,
             frozen_instances: self.frozen.frozen_instances(),
+            store_hits: self.store.as_ref().map_or(0, |s| s.hits()),
+            store_misses: self.store.as_ref().map_or(0, |s| s.misses()),
+            store_transferred: self.store.as_ref().map_or(0, |s| s.transferred()),
         }
     }
 }

@@ -73,7 +73,7 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         if n == 0 {
             return Vec::new();
         }
-        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+        let workers = pool_size().min(n);
         if workers <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
@@ -98,6 +98,17 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
             .map(|v| v.expect("every index was processed"))
             .collect()
     }
+}
+
+/// The worker count: the `RAYON_NUM_THREADS` environment variable when set to a
+/// positive integer (the same override real rayon honours — CI uses it to pin its
+/// 2-thread and 4-thread test matrix), the machine's available parallelism otherwise.
+fn pool_size() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
 }
 
 #[cfg(test)]

@@ -1,0 +1,284 @@
+//! The determinism harness for parallel solving.
+//!
+//! Portfolio mode races differently-seeded solver configurations per optimization
+//! level and takes the first winner; the shared nogood store transfers learned
+//! clauses across requests with the same closure digest. Both are *pure
+//! accelerations*: the engine re-derives every returned model (and re-proves every
+//! returned core) on a canonical serial configuration, so results must be
+//! **byte-identical** to serial mode — same DAG, same objective vector, same
+//! reuse/build partition, same diagnostics — regardless of thread timing, portfolio
+//! width, or what the store happens to contain. These tests pin that contract:
+//!
+//! * proptests over random synthetic repositories and solver seeds, portfolio-3
+//!   sessions vs serial sessions vs one-shot solves, SAT and UNSAT interleaved on
+//!   one session with the shared store on (its default);
+//! * a store on-vs-off proptest (soundness: transferred clauses change nothing
+//!   observable);
+//! * a mutation-style test that a deliberately-corrupted transferred clause is
+//!   caught by the debug-mode canonical-form assertion in the trusted bulk loader;
+//! * a threaded stress test — several OS threads hammering one portfolio session —
+//!   cross-checked against a serial oracle under a watchdog timeout.
+
+use proptest::prelude::*;
+
+use spack_concretizer::{Concretization, ConcretizeError, Concretizer, SiteConfig};
+use spack_repo::{builtin_repo, synth_repo, SynthConfig};
+
+/// Render everything a caller can observe about a result, for equality comparison
+/// (the same shape `tests/session_cross_check.rs` uses).
+fn render(result: &Result<Concretization, ConcretizeError>) -> String {
+    match result {
+        Ok(c) => {
+            let mut reused = c.reused.clone();
+            reused.sort();
+            let mut built = c.built.clone();
+            built.sort();
+            format!("OK\n{}\ncost={:?}\nreused={reused:?}\nbuilt={built:?}", c.spec, c.cost)
+        }
+        Err(ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
+            let lines: Vec<String> = diagnostics
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{:?}|{}|{}|{}|{:?}",
+                        d.severity, d.priority, d.code, d.message, d.provenance
+                    )
+                })
+                .collect();
+            format!("UNSAT\n{}", lines.join("\n"))
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// The request list for a synthetic repository: plain roots, a pinned version that
+/// never exists (UNSAT), and an always-satisfiable version range, interleaved.
+fn requests_for(repo: &spack_repo::Repository, picks: &[usize]) -> Vec<String> {
+    let names: Vec<String> = repo.names().map(str::to_string).collect();
+    let mut specs = Vec::new();
+    for (i, pick) in picks.iter().enumerate() {
+        let name = &names[pick % names.len()];
+        match i % 3 {
+            0 => specs.push(name.clone()),
+            1 => specs.push(format!("{name}@9999.0")), // never declared: UNSAT
+            _ => specs.push(format!("{name}@0:")),     // satisfied by every version
+        }
+    }
+    specs
+}
+
+/// A concretizer over `repo` with the given solver seed and portfolio width.
+fn concretizer(repo: &spack_repo::Repository, seed: u64, portfolio: usize) -> Concretizer<'_> {
+    Concretizer::new(repo)
+        .with_site(SiteConfig::minimal())
+        .with_solver_config(asp::SolverConfig { seed, ..Default::default() })
+        .with_portfolio(portfolio)
+}
+
+/// The determinism contract: one-shot serial, a serial session, and a portfolio-3
+/// session (shared nogood store on, its default) must be observationally identical
+/// on an interleaved SAT/UNSAT request stream.
+fn assert_portfolio_matches_serial(repo: &spack_repo::Repository, seed: u64, specs: &[String]) {
+    let serial = concretizer(repo, seed, 1);
+    let serial_session = serial.session().expect("serial session build");
+    let portfolio_session = concretizer(repo, seed, 3).session().expect("portfolio session build");
+    for spec in specs {
+        let one = render(&serial.concretize_str(spec));
+        let ser = render(&serial_session.concretize_str(spec));
+        let par = render(&portfolio_session.concretize_str(spec));
+        assert_eq!(one, ser, "spec `{spec}` (seed {seed}): serial session differs from one-shot");
+        assert_eq!(one, par, "spec `{spec}` (seed {seed}): portfolio session differs from serial");
+    }
+}
+
+/// Soundness of the cross-request transfer: a session with the shared store
+/// disabled must produce exactly what the default (store-on) session produces.
+fn assert_store_changes_nothing(repo: &spack_repo::Repository, seed: u64, specs: &[String]) {
+    let with_store = concretizer(repo, seed, 1).session().expect("session build");
+    let without_store =
+        concretizer(repo, seed, 1).with_nogood_store(false).session().expect("session build");
+    for spec in specs {
+        // Solve every spec twice so the store-on session actually transfers clauses
+        // between identical requests (first publishes, second fetches).
+        for round in 0..2 {
+            let on = render(&with_store.concretize_str(spec));
+            let off = render(&without_store.concretize_str(spec));
+            assert_eq!(
+                on, off,
+                "spec `{spec}` (seed {seed}, round {round}): nogood store changed the result"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Medium-shaped synthetic repositories (dependency chain + extra virtuals),
+    /// across solver seeds: portfolio results are byte-identical to serial.
+    #[test]
+    fn portfolio_matches_serial_on_medium_shaped_repos(
+        repo_seed in 0u64..200,
+        solver_seed in 0u64..8,
+        picks in proptest::collection::vec(0usize..50, 3..6),
+    ) {
+        let repo = synth_repo(&SynthConfig {
+            packages: 48,
+            chain_depth: 10,
+            extra_virtuals: 2,
+            seed: repo_seed,
+            ..Default::default()
+        });
+        let specs = requests_for(&repo, &picks);
+        assert_portfolio_matches_serial(&repo, solver_seed, &specs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Wide-shaped synthetic repositories (high fan-out, virtual-heavy), across
+    /// solver seeds: portfolio results are byte-identical to serial.
+    #[test]
+    fn portfolio_matches_serial_on_wide_shaped_repos(
+        repo_seed in 0u64..200,
+        solver_seed in 0u64..8,
+        picks in proptest::collection::vec(0usize..50, 3..6),
+    ) {
+        let repo = synth_repo(&SynthConfig {
+            packages: 40,
+            max_deps: 8,
+            mpi_fraction: 0.6,
+            seed: repo_seed,
+            ..Default::default()
+        });
+        let specs = requests_for(&repo, &picks);
+        assert_portfolio_matches_serial(&repo, solver_seed, &specs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Cross-request nogood transfer is invisible: store-on and store-off sessions
+    /// agree on every request, including repeats that actually hit the store.
+    #[test]
+    fn nogood_store_changes_no_observable_result(
+        repo_seed in 0u64..200,
+        solver_seed in 0u64..8,
+        picks in proptest::collection::vec(0usize..50, 3..5),
+    ) {
+        let repo = synth_repo(&SynthConfig {
+            packages: 48,
+            chain_depth: 10,
+            extra_virtuals: 2,
+            seed: repo_seed,
+            ..Default::default()
+        });
+        let specs = requests_for(&repo, &picks);
+        assert_store_changes_nothing(&repo, solver_seed, &specs);
+    }
+}
+
+/// Repeated identical requests on one session must hit the shared store and
+/// transfer clauses — and still render identically.
+#[test]
+fn nogood_store_transfers_between_identical_requests() {
+    let repo = builtin_repo();
+    let session =
+        Concretizer::new(&repo).with_site(SiteConfig::quartz()).session().expect("session build");
+    // mpileaks is the builtin root whose optimization reliably learns
+    // provenance-safe clauses to publish (small closures can learn none).
+    let first = render(&session.concretize_str("mpileaks"));
+    let second = render(&session.concretize_str("mpileaks"));
+    assert_eq!(first, second, "repeated request must be byte-identical");
+    let stats = session.stats();
+    assert!(stats.store_misses > 0, "the first request must miss the empty store");
+    assert!(stats.store_hits > 0, "the repeated request must hit the shared store");
+    assert!(stats.store_transferred > 0, "clauses must transfer across requests");
+}
+
+/// The aggregated solve stats stay meaningful under parallelism: the serial winner
+/// seed is deterministic across runs, and a portfolio solve (whatever worker wins
+/// the race) reports the same observable result.
+#[test]
+fn winner_seed_is_deterministic_serially_and_result_invariant_under_racing() {
+    let repo = builtin_repo();
+    let serial = Concretizer::new(&repo).with_site(SiteConfig::quartz());
+    let a = serial.concretize_str("mpileaks").expect("sat");
+    let b = serial.concretize_str("mpileaks").expect("sat");
+    assert_eq!(a.stats.winner_seed, b.stats.winner_seed, "serial winner seed must be stable");
+    assert!(a.stats.conflicts + a.stats.propagations > 0, "stats must be populated");
+    let portfolio = Concretizer::new(&repo).with_site(SiteConfig::quartz()).with_portfolio(3);
+    let c = portfolio.concretize_str("mpileaks").expect("sat");
+    assert_eq!(render(&Ok(a)), render(&Ok(c)), "portfolio result must match serial");
+}
+
+/// Mutation-style soundness check at the public-API level: corrupt a shelved clause
+/// behind the store's back (duplicate literal — a shape no canonicalized cache can
+/// contain); the raw transfer hands it through and the trusted bulk loader's
+/// debug-mode canonical-form assertion must fire rather than silently absorbing it.
+#[test]
+#[cfg(debug_assertions)]
+fn corrupted_transferred_clause_is_caught_in_debug() {
+    use asp::sat::{ClauseCache, Lit, SatConfig, Solver};
+    let store = asp::SharedClauseStore::new();
+    store.inject_raw_for_tests(7, vec![Lit::pos(1), Lit::pos(1), Lit::pos(0)]);
+    let mut cache = ClauseCache::default();
+    assert_eq!(store.fetch_into(7, &mut cache), 1, "the raw clause must transfer verbatim");
+    let outcome = std::panic::catch_unwind(move || {
+        let mut solver = Solver::new(4, SatConfig::default());
+        solver.load_trusted_clauses(cache.clauses().iter().map(Vec::as_slice), true)
+    });
+    assert!(outcome.is_err(), "debug-mode trusted load must reject a non-canonical clause");
+}
+
+/// Threaded stress: several OS threads hammer one portfolio-2 session (shared store
+/// on) with a mixed SAT/UNSAT request stream; every result must equal the serial
+/// one-shot oracle, with no panic or deadlock. A watchdog thread bounds the test —
+/// a deadlock fails loudly instead of hanging the suite.
+#[test]
+fn threaded_stress_matches_serial_oracle() {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 3;
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        let repo = builtin_repo();
+        let serial = Concretizer::new(&repo).with_site(SiteConfig::quartz());
+        let specs = ["zlib", "hdf5", "zlib@9.9", "mpileaks", "example", "netcdf-c ^hdf5~mpi"];
+        let oracle: Vec<String> = specs.iter().map(|s| render(&serial.concretize_str(s))).collect();
+        let session = Concretizer::new(&repo)
+            .with_site(SiteConfig::quartz())
+            .with_portfolio(2)
+            .session()
+            .expect("portfolio session build");
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (session, specs, oracle) = (&session, &specs, &oracle);
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        for (i, spec) in specs.iter().enumerate() {
+                            let got = render(&session.concretize_str(spec));
+                            assert_eq!(
+                                got, oracle[i],
+                                "thread {t} round {round} spec `{spec}`: differs from oracle"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        tx.send(()).ok();
+    });
+    // Generous: the stress solves THREADS * ROUNDS * 6 full requests on one core in
+    // the worst scheduling; well under a minute in practice.
+    match rx.recv_timeout(std::time::Duration::from_secs(600)) {
+        Ok(()) => {}
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("threaded stress timed out — possible deadlock in the portfolio/session path")
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("a stress thread panicked; see the assertion output above")
+        }
+    }
+}
