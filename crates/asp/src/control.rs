@@ -18,10 +18,10 @@ use crate::ast::Program;
 use crate::ground::{BaseProgram, GroundError, GroundProgram, GroundStats, Grounder};
 use crate::optimize::{
     enumerate_models_with_stats, solve_optimal_assuming, OptOutcome, OptStrategy, OptimalModel,
-    OptimizeError, StableProbe,
+    OptimizeError, ProbeVerdict, StableProbe,
 };
 use crate::parser::{parse_program, ParseError};
-use crate::sat::{Lit, SatConfig};
+use crate::sat::{Lit, SatConfig, SolveBudgetState};
 use crate::symbols::{GroundAtom, SymbolTable, Val};
 use crate::translate::{translate, Translation};
 
@@ -99,6 +99,94 @@ impl Preset {
     }
 }
 
+/// A per-solve resource budget: a wall-clock deadline and/or a total conflict
+/// limit. Installed through [`SolverConfig::budget`], it bounds every solve on the
+/// control — a monitor thread arms a shared flag when the deadline passes, the
+/// solvers count conflicts into a shared total, and the search loop checks the flag
+/// once per iteration, so an expired budget interrupts the solve within one solver
+/// check interval. The outcome degrades gracefully: if branch-and-bound had already
+/// proven a model, [`AssumeOutcome::Budget`] returns it marked non-optimal instead
+/// of returning nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveBudget {
+    /// Maximum wall-clock time for one solve (`None` = no deadline).
+    pub wall_deadline: Option<Duration>,
+    /// Maximum total conflicts across all solver runs (and portfolio workers) of one
+    /// solve (`None` = no limit).
+    pub conflict_limit: Option<u64>,
+}
+
+impl SolveBudget {
+    /// A budget with both halves unset (no deadline, no conflict limit).
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    /// Is any bound actually set?
+    pub fn is_bounded(&self) -> bool {
+        self.wall_deadline.is_some() || self.conflict_limit.is_some()
+    }
+
+    /// This budget with every set bound doubled — the retry policy's escalation:
+    /// a retried solve gets twice the wall clock and twice the conflicts.
+    pub fn doubled(&self) -> Self {
+        SolveBudget {
+            wall_deadline: self.wall_deadline.map(|d| d * 2),
+            conflict_limit: self.conflict_limit.map(|c| c.saturating_mul(2)),
+        }
+    }
+}
+
+/// Arms a shared [`SolveBudgetState`] when a wall deadline passes, via a monitor
+/// thread parked on a channel: the drop of the guard (solve finished) disconnects
+/// the channel and the monitor exits without arming. A zero deadline arms
+/// synchronously — no thread, no scheduling race — which keeps "expire immediately"
+/// deterministic for tests.
+struct BudgetGuard {
+    state: Arc<SolveBudgetState>,
+    _cancel: Option<std::sync::mpsc::Sender<()>>,
+    monitor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BudgetGuard {
+    fn new(budget: &SolveBudget) -> Self {
+        let state = Arc::new(SolveBudgetState::new(budget.conflict_limit));
+        let (cancel, monitor) = match budget.wall_deadline {
+            Some(deadline) if deadline.is_zero() => {
+                state.arm();
+                (None, None)
+            }
+            Some(deadline) => {
+                let (tx, rx) = std::sync::mpsc::channel::<()>();
+                let armed = Arc::clone(&state);
+                let handle = std::thread::spawn(move || {
+                    // Timeout = deadline passed with the guard still alive: arm.
+                    // Disconnected = the guard dropped first: the solve finished
+                    // within budget, exit without arming.
+                    if rx.recv_timeout(deadline) == Err(std::sync::mpsc::RecvTimeoutError::Timeout)
+                    {
+                        armed.arm();
+                    }
+                });
+                (Some(tx), Some(handle))
+            }
+            None => (None, None),
+        };
+        BudgetGuard { state, _cancel: cancel, monitor }
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        // Dropping the sender disconnects the monitor's channel; the join is then
+        // immediate and keeps monitor threads from accumulating across a batch.
+        self._cancel = None;
+        if let Some(handle) = self.monitor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// Solver configuration: preset, optimization strategy, and RNG seed.
 #[derive(Debug, Clone)]
 pub struct SolverConfig {
@@ -122,6 +210,9 @@ pub struct SolverConfig {
     /// translation (same closure digest) through the session's
     /// [`crate::SharedClauseStore`]. Results are byte-identical either way.
     pub share_nogoods: bool,
+    /// Optional per-solve resource budget (wall deadline and/or conflict limit);
+    /// `None` means every solve runs to completion. See [`SolveBudget`].
+    pub budget: Option<SolveBudget>,
 }
 
 impl Default for SolverConfig {
@@ -133,6 +224,7 @@ impl Default for SolverConfig {
             priority_floor: i64::MIN,
             portfolio: 1,
             share_nogoods: true,
+            budget: None,
         }
     }
 }
@@ -317,6 +409,15 @@ pub enum AssumeOutcome {
         /// stable model at all, independent of any assumption.
         core: Vec<usize>,
     },
+    /// The solve budget ([`SolverConfig::budget`]) expired before optimality was
+    /// proven.
+    Budget {
+        /// The best model branch-and-bound had proven when the budget expired, with
+        /// the objective vector it achieved — *not* guaranteed optimal, and (unlike
+        /// the [`AssumeOutcome::Optimal`] model) not deterministic across runs.
+        /// `None` when the budget expired before any model was found.
+        partial: Option<(Model, Vec<(i64, i64)>)>,
+    },
 }
 
 /// Outcome of an optimizing solve.
@@ -395,6 +496,8 @@ pub struct Stats {
     /// Seed of the solver configuration that claimed the most recent portfolio race
     /// of the last optimizing solve (the base seed when solving serially).
     pub winner_seed: u64,
+    /// Did the most recent solve end because its [`SolveBudget`] expired?
+    pub budget_exhausted: bool,
 }
 
 impl Stats {
@@ -732,12 +835,28 @@ impl Control {
         Ok(())
     }
 
-    /// Solve for the optimal stable model.
+    /// Solve for the optimal stable model. Under an expired [`SolveBudget`] the best
+    /// model proven so far is returned (marked by [`Stats::budget_exhausted`]); a
+    /// budget that expired before any model was found is an [`AspError::Optimize`].
     pub fn solve(&mut self) -> Result<SolveOutcome, AspError> {
         match self.solve_with_assumptions(&[])? {
             AssumeOutcome::Optimal { model, cost } => Ok(SolveOutcome::Optimal { model, cost }),
             AssumeOutcome::Unsatisfiable { .. } => Ok(SolveOutcome::Unsatisfiable),
+            AssumeOutcome::Budget { partial: Some((model, cost)) } => {
+                Ok(SolveOutcome::Optimal { model, cost })
+            }
+            AssumeOutcome::Budget { partial: None } => Err(AspError::Optimize(OptimizeError {
+                message: "solve budget exhausted before any model was found".into(),
+            })),
         }
+    }
+
+    /// Mutable access to the solver configuration, for per-request tuning between
+    /// solves (the durable batch runner's retry policy re-seeds the solver and
+    /// enlarges the budget this way). Takes effect at the next solve; the grounding
+    /// is unaffected.
+    pub fn solver_config_mut(&mut self) -> &mut SolverConfig {
+        &mut self.config
     }
 
     /// Solve for the optimal stable model under the given assumptions (clingo's
@@ -807,7 +926,11 @@ impl Control {
         }
         let mut cache = std::mem::take(&mut self.clause_cache);
         self.stats.warm_clauses = cache.len() as u64;
+        self.stats.budget_exhausted = false;
         let mut retired = None;
+        // The guard owns the deadline monitor; dropping it (on every exit path from
+        // this call) cancels the monitor, so the budget is scoped to this one solve.
+        let guard = self.config.budget.filter(|b| b.is_bounded()).map(|b| BudgetGuard::new(&b));
         let result = solve_optimal_assuming(
             ground,
             translation,
@@ -818,7 +941,9 @@ impl Control {
             priority_floor,
             &mut retired,
             &mut cache,
+            guard.as_ref().map(|g| &g.state),
         );
+        drop(guard);
         self.clause_cache = cache;
         self.publish_cache();
         let result = result?;
@@ -844,6 +969,17 @@ impl Control {
                 indices.sort_unstable();
                 indices.dedup();
                 Ok(AssumeOutcome::Unsatisfiable { core: indices })
+            }
+            OptOutcome::Budget { partial, sat } => {
+                // An interrupted solve leaves nothing worth minimizing a core from.
+                self.retired_unsat = None;
+                self.record_sat_stats(&sat);
+                self.stats.budget_exhausted = true;
+                let partial = partial.map(|opt| {
+                    self.record_opt_stats(&opt);
+                    (self.extract_model(&opt.model), opt.cost)
+                });
+                Ok(AssumeOutcome::Budget { partial })
             }
         }
     }
@@ -910,6 +1046,13 @@ impl Control {
                 &cache,
             ),
         };
+        // The diagnostics probes honour the same per-solve budget as the solves: an
+        // expired budget aborts the minimization (keeping the current core — still a
+        // sound explanation, merely not minimal) instead of probing unboundedly.
+        let guard = self.config.budget.filter(|b| b.is_bounded()).map(|b| BudgetGuard::new(&b));
+        if let Some(g) = &guard {
+            probe.set_budget(Some(Arc::clone(&g.state)));
+        }
         let mut i = 0;
         while i < core.len() {
             // Probe the core with member `i` removed (pinned guards always held).
@@ -926,7 +1069,7 @@ impl Control {
             }
             rounds += 1;
             match probe.check(ground, &trial_lits, &mut cache) {
-                Some(_) => {
+                ProbeVerdict::Unsat(_) => {
                     // Still unsat without member `i`: it is redundant — drop it and
                     // probe the next candidate at the same position. Only the UNSAT
                     // *verdict* is consumed, never the probe's own sub-core: a
@@ -937,9 +1080,16 @@ impl Control {
                     // core alone.
                     core.remove(i);
                 }
-                None => i += 1, // member `i` is necessary
+                ProbeVerdict::Stable => i += 1, // member `i` is necessary
+                ProbeVerdict::Interrupted => {
+                    // Budget expired mid-minimization: keep the remaining core as-is
+                    // (every member not yet probed stays). It is still sound.
+                    self.stats.budget_exhausted = true;
+                    break;
+                }
             }
         }
+        drop(guard);
         let probe_stats = probe.stats().clone();
         probe.harvest_into(&mut cache);
         self.clause_cache = cache;
@@ -1133,6 +1283,7 @@ mod tests {
                 assert!(!model.contains("pick", &["a".into()]));
             }
             AssumeOutcome::Unsatisfiable { .. } => panic!("expected a model"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
     }
 
@@ -1156,6 +1307,7 @@ mod tests {
                 assert!(rounds >= 2, "each member must be probed: {rounds}");
             }
             AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
     }
 
@@ -1177,6 +1329,7 @@ mod tests {
                 assert_eq!(minimized, vec![2], "only the ~q assumption is to blame");
             }
             AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
     }
 
@@ -1197,6 +1350,7 @@ mod tests {
             AssumeOutcome::Unsatisfiable { core } => {
                 panic!("satisfiable assumption reported unsat with core {core:?}")
             }
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
         // And enumeration must see both stable models: {} and {x, a, b}.
         let mut ctl = Control::new(SolverConfig::default());
@@ -1214,6 +1368,7 @@ mod tests {
         match ctl.solve_with_assumptions(&assumptions).unwrap() {
             AssumeOutcome::Unsatisfiable { core } => assert_eq!(core, vec![0]),
             AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
         // Assuming it *false* is trivially fine.
         let assumptions = [Assumption::fails("nonexistent", &["x".into()])];
@@ -1273,6 +1428,7 @@ mod tests {
         match ctl.solve_with_assumptions(&hard).unwrap() {
             AssumeOutcome::Unsatisfiable { core } => assert!(core.contains(&0), "{core:?}"),
             AssumeOutcome::Optimal { .. } => panic!("hard mode must refute pick(a)"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
         // Hard mode without the offending pick is satisfiable and must choose b.
         match ctl.solve_with_assumptions(&[Assumption::fails("relax", &[])]).unwrap() {
@@ -1282,6 +1438,7 @@ mod tests {
                 assert_eq!(cost, vec![(1000, 0)]);
             }
             AssumeOutcome::Unsatisfiable { .. } => panic!("expected a model"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
         // Relax mode on the SAME control (no second ground call): the violation is
         // admitted and reported by the minimize level.
@@ -1293,6 +1450,7 @@ mod tests {
                 assert_eq!(cost, vec![(1000, 1)]);
             }
             AssumeOutcome::Unsatisfiable { .. } => panic!("relax mode must admit the model"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
         assert_eq!(ctl.stats().ground_time, ground_time, "no regrounding may happen");
     }
@@ -1311,6 +1469,7 @@ mod tests {
                 assert!(model.contains("a", &[]));
             }
             AssumeOutcome::Unsatisfiable { core } => panic!("unexpected unsat, core {core:?}"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
         // Unassumed, the guard stays free; both truth values admit stable models.
         assert_eq!(ctl.solve_models(8).unwrap().len(), 2);
@@ -1347,6 +1506,7 @@ mod tests {
         let core = match ctl.solve_with_assumptions(&all).unwrap() {
             AssumeOutcome::Unsatisfiable { core } => core,
             AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         };
         let search_core: Vec<usize> = core.into_iter().filter(|&i| i < 2).collect();
         let (minimized, _rounds) = ctl.minimize_core(&assumptions, &search_core, &pinned).unwrap();
@@ -1365,6 +1525,7 @@ mod tests {
         match ctl.solve_with_assumptions(&a).unwrap() {
             AssumeOutcome::Unsatisfiable { core } => assert_eq!(core, vec![0, 2]),
             AssumeOutcome::Optimal { .. } => panic!("expected unsat"),
+            AssumeOutcome::Budget { .. } => panic!("no budget installed"),
         }
     }
 
@@ -1568,5 +1729,99 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0].as_str(), "zlib");
         assert_eq!(rows[0][1].as_str(), "1.2.11");
+    }
+
+    /// A program whose first model is found without a single conflict (flip
+    /// `escape` on) but whose optimality proof ("no model avoids the escape
+    /// hatch") is a pigeonhole UNSAT instance requiring well over a thousand
+    /// conflicts. Any conflict limit between those two extremes deterministically
+    /// interrupts branch and bound *after* the incumbent is proven stable.
+    const PIGEON_DESCENT_LP: &str = r#"
+        pigeon(p1). pigeon(p2). pigeon(p3). pigeon(p4). pigeon(p5). pigeon(p6). pigeon(p7).
+        hole(h1). hole(h2). hole(h3). hole(h4). hole(h5). hole(h6).
+        { escape }.
+        1 { at(P, H) : hole(H) } 1 :- pigeon(P), not escape.
+        :- at(P1, H), at(P2, H), P1 != P2.
+        #minimize{ 1@1 : escape }.
+    "#;
+
+    #[test]
+    fn zero_wall_deadline_interrupts_before_any_model() {
+        // A zero deadline arms the budget synchronously (no monitor thread), so
+        // the very first descent into the solver is interrupted: deterministic
+        // coverage for the no-partial-model path.
+        let mut ctl = Control::new(SolverConfig {
+            budget: Some(SolveBudget { wall_deadline: Some(Duration::ZERO), conflict_limit: None }),
+            ..SolverConfig::default()
+        });
+        ctl.add_program(PIGEON_DESCENT_LP).unwrap();
+        ctl.ground().unwrap();
+        match ctl.solve_with_assumptions(&[]).unwrap() {
+            AssumeOutcome::Budget { partial: None } => {}
+            other => panic!("expected an empty budget outcome, got {other:?}"),
+        }
+        assert!(ctl.stats().budget_exhausted);
+        // The budget is per solve: clearing it restores normal optimal solving.
+        ctl.solver_config_mut().budget = None;
+        match ctl.solve_with_assumptions(&[]).unwrap() {
+            AssumeOutcome::Optimal { cost, .. } => assert_eq!(cost, vec![(1, 1)]),
+            other => panic!("expected optimal after clearing the budget, got {other:?}"),
+        }
+        assert!(!ctl.stats().budget_exhausted);
+    }
+
+    #[test]
+    fn conflict_limit_degrades_to_best_proven_model() {
+        let mut ctl = Control::new(SolverConfig {
+            budget: Some(SolveBudget { wall_deadline: None, conflict_limit: Some(100) }),
+            ..SolverConfig::default()
+        });
+        ctl.add_program(PIGEON_DESCENT_LP).unwrap();
+        ctl.ground().unwrap();
+        match ctl.solve_with_assumptions(&[]).unwrap() {
+            AssumeOutcome::Budget { partial: Some((model, cost)) } => {
+                // The incumbent stable model (escape hatch taken) survives the
+                // interrupted optimality proof, marked non-optimal via stats.
+                assert!(model.contains("escape", &[]));
+                assert_eq!(cost, vec![(1, 1)]);
+            }
+            other => panic!("expected a partial budget outcome, got {other:?}"),
+        }
+        assert!(ctl.stats().budget_exhausted);
+        assert!(ctl.stats().conflicts >= 100);
+    }
+
+    #[test]
+    fn budget_partial_surfaces_as_non_optimal_solve_outcome() {
+        // The plain solve() entry point folds a partial budget model into
+        // SolveOutcome::Optimal; budget_exhausted records that optimality was
+        // not proven.
+        let mut ctl = Control::new(SolverConfig {
+            budget: Some(SolveBudget { wall_deadline: None, conflict_limit: Some(100) }),
+            ..SolverConfig::default()
+        });
+        ctl.add_program(PIGEON_DESCENT_LP).unwrap();
+        ctl.ground().unwrap();
+        match ctl.solve().unwrap() {
+            SolveOutcome::Optimal { model, cost } => {
+                assert!(model.contains("escape", &[]));
+                assert_eq!(cost, vec![(1, 1)]);
+            }
+            SolveOutcome::Unsatisfiable => panic!("expected a model"),
+        }
+        assert!(ctl.stats().budget_exhausted);
+    }
+
+    #[test]
+    fn doubled_budget_escalates_both_limits() {
+        let b = SolveBudget {
+            wall_deadline: Some(Duration::from_millis(250)),
+            conflict_limit: Some(1000),
+        };
+        let d = b.doubled();
+        assert_eq!(d.wall_deadline, Some(Duration::from_millis(500)));
+        assert_eq!(d.conflict_limit, Some(2000));
+        assert!(!SolveBudget::unlimited().is_bounded());
+        assert!(b.is_bounded());
     }
 }

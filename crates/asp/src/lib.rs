@@ -71,8 +71,8 @@ pub mod symbols;
 pub mod translate;
 
 pub use control::{
-    AspError, AssumeOutcome, Assumption, Control, FrozenControl, Model, Preset, SolveOutcome,
-    SolverConfig, Stats, Value,
+    AspError, AssumeOutcome, Assumption, Control, FrozenControl, Model, Preset, SolveBudget,
+    SolveOutcome, SolverConfig, Stats, Value,
 };
 pub use optimize::OptStrategy;
 pub use sat::SharedClauseStore;

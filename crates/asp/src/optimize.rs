@@ -35,7 +35,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::ground::GroundProgram;
-use crate::sat::{ClauseCache, LinearSpec, Lit, SatConfig, SatStats, SearchResult, Solver, Var};
+use crate::sat::{
+    ClauseCache, LinearSpec, Lit, SatConfig, SatStats, SearchResult, SolveBudgetState, Solver, Var,
+};
 use crate::stable::StabilityChecker;
 use crate::translate::Translation;
 
@@ -88,6 +90,18 @@ pub enum OptOutcome {
         /// model even without assumptions.
         core: Vec<Lit>,
         /// Aggregated solver statistics of the failed search.
+        sat: SatStats,
+    },
+    /// The solve budget (wall deadline or conflict limit) expired before optimality
+    /// was proven.
+    Budget {
+        /// The best stable model branch-and-bound had proven when the budget
+        /// expired, with the costs it achieved — *not* guaranteed optimal, and
+        /// (unlike [`OptOutcome::Optimal`]) trajectory-dependent, since the
+        /// canonical re-extraction is skipped under an expired budget. `None` when
+        /// the budget expired before any stable model was found.
+        partial: Option<Box<OptimalModel>>,
+        /// Aggregated solver statistics of the interrupted solve.
         sat: SatStats,
     },
 }
@@ -149,9 +163,11 @@ pub fn solve_optimal(
         i64::MIN,
         &mut retired,
         &mut cache,
+        None,
     )? {
         OptOutcome::Optimal(model) => Ok(Some(model)),
         OptOutcome::Unsat { .. } => Ok(None),
+        OptOutcome::Budget { .. } => unreachable!("solve_optimal installs no budget"),
     }
 }
 
@@ -181,6 +197,13 @@ pub fn solve_optimal(
 /// `cache` is the session clause cache shared by every solve on this grounding: its
 /// clauses are replayed into each solver built here, and every loop nogood found (plus
 /// the provenance-safe learned clauses of each retiring solver) flows back into it.
+///
+/// `budget` is an optional shared solve budget (see [`SolveBudgetState`]): it is
+/// installed into *every* solver this solve builds — the descent workers and the
+/// canonical extraction/core re-proof alike — so an armed budget interrupts the solve
+/// within one solver check interval no matter which phase it is in. An interrupted
+/// solve returns [`OptOutcome::Budget`], carrying the incumbent model when
+/// branch-and-bound had already proven one (graceful degradation).
 #[allow(clippy::too_many_arguments)]
 pub fn solve_optimal_assuming(
     ground: &GroundProgram,
@@ -192,6 +215,7 @@ pub fn solve_optimal_assuming(
     priority_floor: i64,
     retired: &mut Option<Solver>,
     cache: &mut ClauseCache,
+    budget: Option<&Arc<SolveBudgetState>>,
 ) -> Result<OptOutcome, OptimizeError> {
     if ground.trivially_unsat {
         return Ok(OptOutcome::Unsat { core: Vec::new(), sat: SatStats::default() });
@@ -217,7 +241,7 @@ pub fn solve_optimal_assuming(
     // (clasp's optimization sign heuristic), so even the first model lands near the
     // cheap end of the search space and the per-level descents start close to the
     // optimum.
-    let mut live = Some(build_pool(translation, config, fixed, &[], &extra_clauses, cache));
+    let mut live = Some(build_pool(translation, config, fixed, &[], &extra_clauses, cache, budget));
     if let Some(pool) = live.as_mut() {
         for level in &levels {
             for &(l, _) in &level.lits {
@@ -237,11 +261,18 @@ pub fn solve_optimal_assuming(
             cache,
             true,
         ) {
-            Some(m) => {
+            StableOutcome::Model(m) => {
                 winner_seed = pool.winner_seed;
                 m
             }
-            None => {
+            StableOutcome::Interrupted => {
+                // The budget expired before even one stable model was found: there
+                // is nothing to degrade to.
+                pool.absorb_stats(&mut stats.sat);
+                pool.harvest(cache);
+                return Ok(OptOutcome::Budget { partial: None, sat: stats.sat });
+            }
+            StableOutcome::Unsat => {
                 // The *unbounded* program is unsatisfiable under the assumptions: the
                 // failed-assumption set is a genuine unsat core (later UNSATs merely
                 // prove an objective bound optimal and carry no core).
@@ -257,6 +288,8 @@ pub fn solve_optimal_assuming(
                     // dependent. Re-prove on a fresh serial cold-started solver — the
                     // same search a cold serial solve would have run — so diagnostics
                     // never depend on what happened to be cached or who won a race.
+                    // An expired budget interrupts the re-proof; the live pool's core
+                    // (sound, merely trajectory-dependent) is the graceful fallback.
                     canonical_core(
                         ground,
                         translation,
@@ -266,7 +299,9 @@ pub fn solve_optimal_assuming(
                         assumptions,
                         &mut stats,
                         cache,
+                        budget,
                     )
+                    .unwrap_or_else(|| pool.canonical().failed_assumptions().to_vec())
                 };
                 *retired = live.take().map(Pool::into_canonical);
                 return Ok(OptOutcome::Unsat { core, sat: stats.sat });
@@ -320,6 +355,7 @@ pub fn solve_optimal_assuming(
                         &fixed_bounds,
                         &extra_clauses,
                         cache,
+                        budget,
                     );
                     for (v, &val) in best.iter().enumerate() {
                         p.set_phase(v as Var, val);
@@ -372,12 +408,41 @@ pub fn solve_optimal_assuming(
                 cache,
                 false,
             ) {
-                Some(m) => {
+                StableOutcome::Model(m) => {
                     winner_seed = pool.winner_seed;
                     best_costs = level_costs(&levels, &m);
                     best = m;
                 }
-                None => {
+                StableOutcome::Interrupted => {
+                    // Budget expired mid-descent: degrade gracefully to the incumbent
+                    // — a genuine stable model satisfying every bound proven so far,
+                    // just not necessarily optimal. No canonical re-extraction (it
+                    // would be interrupted too); under an expired budget the model is
+                    // trajectory-dependent by design.
+                    winner_seed = pool.winner_seed;
+                    pool.absorb_stats(&mut stats.sat);
+                    pool.harvest(cache);
+                    let cost = levels
+                        .iter()
+                        .zip(best_costs.iter())
+                        .map(|(l, &c)| (l.priority, c + l.base))
+                        .collect();
+                    let partial = OptimalModel {
+                        model: best,
+                        cost,
+                        models_examined: stats.models,
+                        solver_runs: stats.runs,
+                        conflicts: stats.sat.conflicts,
+                        loop_nogoods: stats.loop_nogoods,
+                        sat: stats.sat.clone(),
+                        winner_seed,
+                    };
+                    return Ok(OptOutcome::Budget {
+                        partial: Some(Box::new(partial)),
+                        sat: stats.sat,
+                    });
+                }
+                StableOutcome::Unsat => {
                     // The bound that failed poisons the pool either way, so retire
                     // it (a later run rebuilds on demand — its provenance-safe
                     // learned clauses live on through the cache). A failed one-step
@@ -420,7 +485,7 @@ pub fn solve_optimal_assuming(
     // at the optimum, any stable model of the pinned program has exactly the optimal
     // cost (no level can beat its own proven optimum given equality above it), so the
     // extraction cannot fail; the incumbent stays as a debug-checked safety net.
-    if let Some(model) = extract_canonical(
+    match extract_canonical(
         ground,
         translation,
         config,
@@ -430,10 +495,34 @@ pub fn solve_optimal_assuming(
         assumptions,
         &mut stats,
         cache,
+        budget,
     ) {
-        best = model;
-    } else {
-        debug_assert!(false, "extraction under pinned optimal bounds must be satisfiable");
+        StableOutcome::Model(model) => best = model,
+        StableOutcome::Interrupted => {
+            // The budget expired between the optimality proof and the canonical
+            // re-extraction: the costs are optimal but the returned model would be
+            // trajectory-dependent, so surface the incumbent as a budget partial
+            // rather than breaking the "Optimal implies deterministic" contract.
+            let cost = levels
+                .iter()
+                .zip(best_costs.iter())
+                .map(|(l, &c)| (l.priority, c + l.base))
+                .collect();
+            let partial = OptimalModel {
+                model: best,
+                cost,
+                models_examined: stats.models,
+                solver_runs: stats.runs,
+                conflicts: stats.sat.conflicts,
+                loop_nogoods: stats.loop_nogoods,
+                sat: stats.sat.clone(),
+                winner_seed,
+            };
+            return Ok(OptOutcome::Budget { partial: Some(Box::new(partial)), sat: stats.sat });
+        }
+        StableOutcome::Unsat => {
+            debug_assert!(false, "extraction under pinned optimal bounds must be satisfiable");
+        }
     }
 
     let cost =
@@ -461,11 +550,12 @@ fn deterministic_pool(
     levels: &[Level],
     fixed: &[Lit],
     bounds: &[LinearSpec],
+    budget: Option<&Arc<SolveBudgetState>>,
 ) -> Pool {
     let mut serial = config.clone();
     serial.portfolio = 1;
     let empty = ClauseCache::default();
-    let mut pool = build_pool(translation, &serial, fixed, bounds, &[], &empty);
+    let mut pool = build_pool(translation, &serial, fixed, bounds, &[], &empty, budget);
     for level in levels {
         for &(l, _) in &level.lits {
             pool.set_phase(l.var(), !l.is_pos());
@@ -492,12 +582,13 @@ fn extract_canonical(
     assumptions: &[Lit],
     stats: &mut RunStats,
     cache: &mut ClauseCache,
-) -> Option<Vec<bool>> {
-    let mut pool = deterministic_pool(translation, config, levels, fixed, bounds);
+    budget: Option<&Arc<SolveBudgetState>>,
+) -> StableOutcome {
+    let mut pool = deterministic_pool(translation, config, levels, fixed, bounds, budget);
     let mut checker = StabilityChecker::new(ground);
     let mut extras: Vec<Vec<Lit>> = Vec::new();
     let mut local = RunStats::default();
-    let model = run_stable(
+    let outcome = run_stable(
         &mut pool,
         ground,
         &mut checker,
@@ -510,12 +601,14 @@ fn extract_canonical(
     stats.runs += local.runs;
     pool.absorb_stats(&mut stats.sat);
     pool.harvest(cache);
-    model
+    outcome
 }
 
 /// Re-prove an UNSAT outcome on a fresh serial cold-started solver and return *its*
 /// failed-assumption core — the same core a cold serial solve computes, making
 /// diagnostics independent of cross-request clause transfers and race timing.
+/// Returns `None` when the solve budget expired before the re-proof finished; the
+/// caller falls back to a sound (but trajectory-dependent) core.
 #[allow(clippy::too_many_arguments)]
 fn canonical_core(
     ground: &GroundProgram,
@@ -526,12 +619,13 @@ fn canonical_core(
     assumptions: &[Lit],
     stats: &mut RunStats,
     cache: &mut ClauseCache,
-) -> Vec<Lit> {
-    let mut pool = deterministic_pool(translation, config, levels, fixed, &[]);
+    budget: Option<&Arc<SolveBudgetState>>,
+) -> Option<Vec<Lit>> {
+    let mut pool = deterministic_pool(translation, config, levels, fixed, &[], budget);
     let mut checker = StabilityChecker::new(ground);
     let mut extras: Vec<Vec<Lit>> = Vec::new();
     let mut local = RunStats::default();
-    let model = run_stable(
+    let outcome = run_stable(
         &mut pool,
         ground,
         &mut checker,
@@ -541,11 +635,30 @@ fn canonical_core(
         cache,
         true,
     );
-    debug_assert!(model.is_none(), "the re-proof of an UNSAT search must be UNSAT");
     stats.runs += local.runs;
     pool.absorb_stats(&mut stats.sat);
     pool.harvest(cache);
-    pool.canonical().failed_assumptions().to_vec()
+    match outcome {
+        StableOutcome::Unsat => Some(pool.canonical().failed_assumptions().to_vec()),
+        StableOutcome::Interrupted => None,
+        StableOutcome::Model(_) => {
+            debug_assert!(false, "the re-proof of an UNSAT search must be UNSAT");
+            Some(Vec::new())
+        }
+    }
+}
+
+/// Verdict of one [`StableProbe::check`] query.
+#[derive(Debug, Clone)]
+pub enum ProbeVerdict {
+    /// A stable model exists under the assumptions.
+    Stable,
+    /// No stable model exists: carries the failed assumption subset (empty when the
+    /// program is unsatisfiable without any assumption).
+    Unsat(Vec<Lit>),
+    /// The solve budget expired before the query reached a verdict. The probe stays
+    /// reusable (once the budget is cleared), but the caller should stop probing.
+    Interrupted,
 }
 
 /// A reusable stable-model satisfiability probe: one solver instance answers many
@@ -589,35 +702,43 @@ impl StableProbe {
         }
     }
 
-    /// Search for one stable model under `assumptions`. Returns `None` when a stable
-    /// model exists, and `Some(core)` — the failed assumption subset — when none does.
-    /// New loop nogoods flow into the session `cache`.
+    /// Install (or clear) a shared solve budget on the probe solver, bounding the
+    /// total work of the remaining queries (deletion-based core minimization aborts
+    /// gracefully on [`ProbeVerdict::Interrupted`], keeping its current core).
+    pub fn set_budget(&mut self, budget: Option<Arc<SolveBudgetState>>) {
+        self.solver.set_budget(budget);
+    }
+
+    /// Search for one stable model under `assumptions`. New loop nogoods flow into
+    /// the session `cache`.
     pub fn check(
         &mut self,
         ground: &GroundProgram,
         assumptions: &[Lit],
         cache: &mut ClauseCache,
-    ) -> Option<Vec<Lit>> {
+    ) -> ProbeVerdict {
         if self.trivially_unsat {
-            return Some(Vec::new());
+            return ProbeVerdict::Unsat(Vec::new());
         }
         loop {
             match self.solver.search_with_assumptions(assumptions) {
                 SearchResult::Interrupted => {
-                    unreachable!("probe solvers never carry a stop flag")
+                    return ProbeVerdict::Interrupted;
                 }
                 SearchResult::Unsat => {
-                    return Some(self.solver.failed_assumptions().to_vec());
+                    return ProbeVerdict::Unsat(self.solver.failed_assumptions().to_vec());
                 }
                 SearchResult::Sat => {
                     let model = self.solver.model();
                     // Loop nogoods (with their external-support witnesses) hold in
                     // every stable model, so they stay valid for later queries too.
-                    let nogood = self.checker.unfounded_nogood(ground, &model)?;
+                    let Some(nogood) = self.checker.unfounded_nogood(ground, &model) else {
+                        return ProbeVerdict::Stable;
+                    };
                     self.nogoods += 1;
                     cache.add(&nogood);
                     if !self.solver.add_clause_safe(&nogood) {
-                        return Some(Vec::new());
+                        return ProbeVerdict::Unsat(Vec::new());
                     }
                 }
             }
@@ -893,6 +1014,10 @@ enum RaceVerdict {
     Sat(Vec<bool>),
     /// No model under the current bounds and assumptions.
     Unsat,
+    /// Every worker was interrupted by an expired solve budget before any verdict
+    /// (the race stop flag alone can never interrupt all workers — the claimant
+    /// finishes first).
+    Interrupted,
 }
 
 /// A portfolio of K differently-seeded solver workers kept in lockstep over one
@@ -937,11 +1062,12 @@ impl Pool {
     }
 
     /// Dissolve the pool into its canonical worker (retired solvers feed
-    /// [`StableProbe::from_solver`]), uninstalling the stop flag so an adopter can
-    /// never observe a stale interrupt.
+    /// [`StableProbe::from_solver`]), uninstalling the stop flag and the solve
+    /// budget so an adopter can never observe a stale interrupt.
     fn into_canonical(mut self) -> Solver {
         let mut w = self.workers.swap_remove(0);
         w.set_stop(None);
+        w.set_budget(None);
         w
     }
 
@@ -977,9 +1103,9 @@ impl Pool {
             return match self.workers[0].search_with_assumptions(assumptions) {
                 SearchResult::Sat => RaceVerdict::Sat(self.workers[0].model()),
                 SearchResult::Unsat => RaceVerdict::Unsat,
-                SearchResult::Interrupted => {
-                    unreachable!("a pool of one has no stop flag installed")
-                }
+                // A pool of one has no stop flag installed, so an interrupt can only
+                // come from an expired solve budget.
+                SearchResult::Interrupted => RaceVerdict::Interrupted,
             };
         }
         self.stop.store(false, Ordering::SeqCst);
@@ -1010,8 +1136,18 @@ impl Pool {
             }
         });
         let winner = claimed.load(Ordering::SeqCst);
-        debug_assert_ne!(winner, usize::MAX, "some worker must claim every race");
-        let winner = if winner == usize::MAX { 0 } else { winner };
+        if winner == usize::MAX {
+            // No worker claimed: with the race flag alone that is impossible (the
+            // claimant always finishes first), so the solve budget expired and
+            // interrupted at least the canonical worker (an unclaimable `need_core`
+            // UNSAT from another worker may coexist; the budget verdict wins).
+            debug_assert_eq!(
+                verdicts[0],
+                Some(SearchResult::Interrupted),
+                "an unclaimed race means the canonical worker was interrupted"
+            );
+            return RaceVerdict::Interrupted;
+        }
         self.winner_seed = self.seeds[winner];
         match verdicts[winner] {
             Some(SearchResult::Sat) => RaceVerdict::Sat(self.workers[winner].model()),
@@ -1022,7 +1158,9 @@ impl Pool {
 
 /// Build a pool of `config.portfolio.max(1)` workers, each over the identical clause
 /// stream (see [`build_solver`]) under its [`worker_config`] variation, with the
-/// shared stop flag installed whenever there is more than one worker to race.
+/// shared stop flag installed whenever there is more than one worker to race, and the
+/// shared solve budget (when one is set) installed into *every* worker — the budget
+/// must survive the per-race stop-flag resets, which is why it is a separate flag.
 fn build_pool(
     translation: &Translation,
     config: &SatConfig,
@@ -1030,6 +1168,7 @@ fn build_pool(
     bounds: &[LinearSpec],
     extra_clauses: &[Vec<Lit>],
     cache: &ClauseCache,
+    budget: Option<&Arc<SolveBudgetState>>,
 ) -> Pool {
     let k = config.portfolio.max(1);
     let stop = Arc::new(AtomicBool::new(false));
@@ -1042,17 +1181,30 @@ fn build_pool(
         if k > 1 {
             w.set_stop(Some(Arc::clone(&stop)));
         }
+        if let Some(b) = budget {
+            w.set_budget(Some(Arc::clone(b)));
+        }
         workers.push(w);
     }
     Pool { workers, seeds, stop, winner_seed: config.seed }
 }
 
+/// Outcome of driving a pool to the next stable model ([`run_stable`]).
+enum StableOutcome {
+    /// The next stable model under the pool's current bounds.
+    Model(Vec<bool>),
+    /// No stable model exists under the current bounds and assumptions.
+    Unsat,
+    /// The solve budget expired before a verdict.
+    Interrupted,
+}
+
 /// Drive a live pool to the next *stable* model (adding loop nogoods for unstable
-/// supported models along the way, broadcast to every worker), or `None` when none
-/// exists under the pool's current bounds. The workers keep all state between calls;
-/// aggregate statistics are absorbed by the caller when the pool is retired.
-/// `need_core` marks the searches whose UNSAT outcome feeds final-conflict core
-/// extraction (see [`Pool::race`]).
+/// supported models along the way, broadcast to every worker), or
+/// [`StableOutcome::Unsat`] when none exists under the pool's current bounds. The
+/// workers keep all state between calls; aggregate statistics are absorbed by the
+/// caller when the pool is retired. `need_core` marks the searches whose UNSAT
+/// outcome feeds final-conflict core extraction (see [`Pool::race`]).
 #[allow(clippy::too_many_arguments)]
 fn run_stable(
     pool: &mut Pool,
@@ -1063,12 +1215,13 @@ fn run_stable(
     stats: &mut RunStats,
     cache: &mut ClauseCache,
     need_core: bool,
-) -> Option<Vec<bool>> {
+) -> StableOutcome {
     stats.runs += 1;
     let debug = std::env::var("ASP_DEBUG").is_ok();
     loop {
         match pool.race(assumptions, need_core) {
-            RaceVerdict::Unsat => return None,
+            RaceVerdict::Unsat => return StableOutcome::Unsat,
+            RaceVerdict::Interrupted => return StableOutcome::Interrupted,
             RaceVerdict::Sat(model) => {
                 stats.models += 1;
                 // Loop nogood: at least one unfounded atom must be false, or one of
@@ -1076,7 +1229,7 @@ fn run_stable(
                 // the program (not of the bounds), so it persists and is replayed
                 // into every future solver.
                 let Some(nogood) = checker.unfounded_nogood(ground, &model) else {
-                    return Some(model);
+                    return StableOutcome::Model(model);
                 };
                 stats.loop_nogoods += 1;
                 if debug && stats.loop_nogoods.is_multiple_of(50) {
@@ -1089,7 +1242,7 @@ fn run_stable(
                 extra_clauses.push(nogood.clone());
                 cache.add(&nogood);
                 if !pool.add_clause_safe(&nogood) {
-                    return None;
+                    return StableOutcome::Unsat;
                 }
             }
         }

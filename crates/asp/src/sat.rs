@@ -128,9 +128,67 @@ pub enum SearchResult {
     /// The formula (with all added clauses/constraints) is unsatisfiable.
     Unsat,
     /// The search was stopped by the external stop flag (see [`Solver::set_stop`])
-    /// before reaching a verdict: another portfolio worker won the race. The solver
-    /// remains reusable — the partial assignment is undone by the next operation.
+    /// or an expired [`SolveBudgetState`] before reaching a verdict: another portfolio
+    /// worker won the race, or the solve ran out of budget. The solver remains
+    /// reusable — the partial assignment is undone by the next operation.
     Interrupted,
+}
+
+/// Shared budget accounting for one logical solve (all portfolio workers of all
+/// descent steps of one `Control::solve*` call point at the same instance).
+///
+/// This is deliberately *separate* from the race stop flag installed by
+/// [`Solver::set_stop`]: the portfolio resets that flag at the start of every race
+/// (and a pool of one never installs it), while a budget must stay armed across
+/// races. The search loop checks both at the same point, so an expired budget is
+/// observed within one propagation/conflict round — the "one solver check interval"
+/// of the deadline contract.
+///
+/// The wall-deadline half lives outside this type: a monitor thread owned by the
+/// caller calls [`SolveBudgetState::arm`] when the deadline passes. The conflict
+/// half is counted here, by every worker, into one shared counter — the limit
+/// bounds the *total* conflict work of the solve, not per-worker effort.
+#[derive(Debug, Default)]
+pub struct SolveBudgetState {
+    expired: AtomicBool,
+    conflicts: AtomicU64,
+    /// Total conflict ceiling; `u64::MAX` means no conflict limit.
+    conflict_limit: u64,
+}
+
+impl SolveBudgetState {
+    /// A budget with an optional total-conflict ceiling (`None` = unlimited).
+    pub fn new(conflict_limit: Option<u64>) -> Self {
+        SolveBudgetState {
+            expired: AtomicBool::new(false),
+            conflicts: AtomicU64::new(0),
+            conflict_limit: conflict_limit.unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Mark the budget as spent; every solver sharing it returns
+    /// [`SearchResult::Interrupted`] at its next check.
+    pub fn arm(&self) {
+        self.expired.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the budget expired (deadline passed or conflict limit crossed)?
+    pub fn expired(&self) -> bool {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Record one conflict; arms the budget once the shared total crosses the limit.
+    fn note_conflict(&self) {
+        let seen = self.conflicts.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen >= self.conflict_limit {
+            self.arm();
+        }
+    }
+
+    /// Total conflicts recorded against this budget so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
 }
 
 /// A conflict found during propagation. Clause conflicts are passed by *index* so the
@@ -340,6 +398,9 @@ pub struct Solver {
     /// Cooperative cancellation flag shared by a portfolio race: when set, the search
     /// loop exits with [`SearchResult::Interrupted`] at its next iteration.
     stop: Option<Arc<AtomicBool>>,
+    /// Budget shared by one logical solve (deadline + total conflict limit). Checked
+    /// alongside `stop`, but never reset by the portfolio — see [`SolveBudgetState`].
+    budget: Option<Arc<SolveBudgetState>>,
 }
 
 impl Solver {
@@ -385,6 +446,7 @@ impl Solver {
             seen: vec![false; num_vars],
             conflict_core: Vec::new(),
             stop: None,
+            budget: None,
         }
     }
 
@@ -393,6 +455,13 @@ impl Solver {
     /// [`SearchResult::Interrupted`] and stay reusable for the next lockstep operation.
     pub fn set_stop(&mut self, stop: Option<Arc<AtomicBool>>) {
         self.stop = stop;
+    }
+
+    /// Install (or clear) the shared solve budget. Unlike the race stop flag the
+    /// budget survives every `set_stop` reset; once expired, every search on this
+    /// solver returns [`SearchResult::Interrupted`] until the budget is cleared.
+    pub fn set_budget(&mut self, budget: Option<Arc<SolveBudgetState>>) {
+        self.budget = budget;
     }
 
     /// Number of variables.
@@ -692,8 +761,16 @@ impl Solver {
                     return SearchResult::Interrupted;
                 }
             }
+            if let Some(budget) = &self.budget {
+                if budget.expired() {
+                    return SearchResult::Interrupted;
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                if let Some(budget) = &self.budget {
+                    budget.note_conflict();
+                }
                 if self.decision_level() == 0 {
                     self.root_conflict = true;
                     return SearchResult::Unsat;
@@ -2109,6 +2186,38 @@ mod tests {
         assert_eq!(s.search(), SearchResult::Sat);
         s.set_stop(None);
         assert_eq!(s.search(), SearchResult::Sat);
+    }
+
+    #[test]
+    fn expired_budget_interrupts_the_search() {
+        use std::sync::Arc;
+        // An armed budget interrupts before any verdict; clearing it restores the
+        // solver, and the race stop flag never touches the budget.
+        let mut s = Solver::new(2, SatConfig::default());
+        assert!(s.add_clause(&[lit(1), lit(2)]));
+        let budget = Arc::new(SolveBudgetState::new(None));
+        budget.arm();
+        s.set_budget(Some(budget));
+        assert_eq!(s.search(), SearchResult::Interrupted);
+        s.set_budget(None);
+        assert_eq!(s.search(), SearchResult::Sat);
+    }
+
+    #[test]
+    fn conflict_limit_arms_the_budget() {
+        use std::sync::Arc;
+        // An unsatisfiable pigeonhole-style core needs conflicts to refute; a
+        // one-conflict ceiling interrupts the proof instead.
+        let mut s = Solver::new(4, SatConfig::default());
+        assert!(s.add_clause(&[lit(1), lit(2)]));
+        assert!(s.add_clause(&[lit(1), lit(-2)]));
+        assert!(s.add_clause(&[lit(-1), lit(3)]));
+        assert!(s.add_clause(&[lit(-1), lit(-3)]));
+        let budget = Arc::new(SolveBudgetState::new(Some(1)));
+        s.set_budget(Some(budget.clone()));
+        assert_eq!(s.search(), SearchResult::Interrupted);
+        assert!(budget.expired());
+        assert!(budget.conflicts() >= 1);
     }
 
     #[test]

@@ -544,6 +544,50 @@ fn main() -> std::process::ExitCode {
     });
     report_portfolio_ratio(&runner.records);
 
+    // ---- batch_durable: checkpoint overhead of the durable batch pipeline -----------------
+    // The same request mix, run through `durable::run_batch` on the long-lived session,
+    // without and with a state directory. The checkpointed bench pays the full
+    // durability tax — manifest validation, one atomic temp+rename per item record,
+    // and the final DLQ regeneration — against a fresh state dir every iteration (a
+    // reused dir would resume instead of solving). Target: <5% overhead on the
+    // medium tier; the headline line below prints the measured ratio.
+    let batch_items: Vec<(usize, String)> =
+        mix.iter().enumerate().map(|(i, s)| (i + 1, s.clone())).collect();
+    let batch_options = format!("bench batch_durable scale={}", scale_name(scale));
+    let batch_detail = |outcome: &spack_concretizer::BatchOutcome| -> RunDetail {
+        (
+            Vec::new(),
+            vec![
+                ("items", outcome.records.len() as u64),
+                ("solved", outcome.counters.solved),
+                ("unsat", outcome.counters.unsat),
+                ("dead_lettered", outcome.counters.dead_lettered),
+            ],
+        )
+    };
+    runner.measure("batch_durable", "mix_no_state", || {
+        let outcome = spack_concretizer::durable::run_batch(&session, &batch_items, 0, None)
+            .expect("batch without state dir");
+        batch_detail(&outcome)
+    });
+    let mut state_seq = 0u64;
+    runner.measure("batch_durable", "mix_checkpointed", || {
+        state_seq += 1;
+        let dir = std::env::temp_dir()
+            .join(format!("spack-bench-durable-{}-{state_seq}", std::process::id()));
+        let digest = spack_concretizer::durable::batch_digest(&batch_items, &batch_options);
+        let state =
+            spack_concretizer::StateDir::open(&dir, digest, batch_items.len(), &batch_options)
+                .expect("open state dir");
+        let outcome =
+            spack_concretizer::durable::run_batch(&session, &batch_items, 0, Some(&state))
+                .expect("checkpointed batch");
+        let detail = batch_detail(&outcome);
+        let _ = std::fs::remove_dir_all(&dir);
+        detail
+    });
+    report_checkpoint_overhead(&runner.records);
+
     eprintln!("# harness finished in {:.1?}", started.elapsed());
     let json = render_json(&label, scale_name(scale), &runner.records);
     std::fs::write(&out, json).expect("write report");
@@ -615,6 +659,25 @@ fn report_portfolio_ratio(records: &[Record]) {
             serial * 1e3,
             portfolio * 1e3,
             serial / portfolio.max(1e-9)
+        );
+    }
+}
+
+/// Print the headline checkpoint-overhead comparison of the batch_durable group.
+fn report_checkpoint_overhead(records: &[Record]) {
+    let mean = |bench: &str| -> Option<f64> {
+        records
+            .iter()
+            .find(|r| r.group == "batch_durable" && r.bench == bench)
+            .map(|r| r.mean.as_secs_f64())
+    };
+    if let (Some(plain), Some(durable)) = (mean("mix_no_state"), mean("mix_checkpointed")) {
+        eprintln!(
+            "# batch_durable: no state {:.1}ms, checkpointed {:.1}ms ({:+.1}% overhead, \
+             target <5%)",
+            plain * 1e3,
+            durable * 1e3,
+            (durable / plain.max(1e-9) - 1.0) * 100.0
         );
     }
 }

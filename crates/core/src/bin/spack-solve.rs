@@ -20,7 +20,14 @@
 //! `batch` builds a multi-shot [`spack_concretizer::ConcretizerSession`] — base facts
 //! and the logic program are ground exactly once — and answers every line of the file
 //! as an incremental request (in parallel), printing a per-line status and a
-//! throughput summary. Lines that are empty or start with `#` are skipped.
+//! throughput summary. Lines that are empty or start with `#` are skipped (line
+//! numbers in parse-error reports still count them). With `--state-dir` the batch is
+//! durable: every result is checkpointed atomically, a re-run resumes where the last
+//! one stopped, and failed items land in `<state-dir>/dlq.jsonl` with their full
+//! diagnostics (see `spack_concretizer::durable`). `--deadline-ms` /
+//! `--conflict-limit` bound every solve; a budgeted-out item is retried `--retries`
+//! times (default 1) with a diversified seed and a doubled budget before it is
+//! dead-lettered.
 //!
 //! On an unsatisfiable request the solver never answers with a bare "no": the
 //! single-grounding diagnosis (unsat core + relaxed error minimization on the same
@@ -28,15 +35,18 @@
 //! messages, and `--explain` prints all of them along with the implicated root
 //! requirements.
 //!
-//! Exit codes distinguish *why* a solve did not produce a DAG: `1` for tool errors
-//! (bad arguments, parse failures, internal solver errors) and `2` for a well-formed
-//! but unsatisfiable request — so scripts can tell "your spec is wrong" from "the
-//! tool broke".
+//! Exit codes distinguish *why* a solve did not produce a DAG. `spec`: `1` for tool
+//! errors (bad arguments, parse failures, internal solver errors) and `2` for a
+//! well-formed but unsatisfiable request. `batch`: `1` for pipeline errors, else the
+//! worst per-line class — `2` unsatisfiable, `3` spec parse error, `4` solve budget
+//! exhausted, `5` internal error — so scripts can tell "your spec is wrong" from
+//! "the tool broke" from "the solve was cut off".
 
 use std::process::ExitCode;
 
 use spack_concretizer::{
-    describe_priority, ConcretizeError, Concretizer, GreedyConcretizer, SiteConfig, CRITERIA,
+    describe_priority, ConcretizeError, Concretizer, GreedyConcretizer, SiteConfig, StateDir,
+    CRITERIA,
 };
 use spack_repo::{builtin_repo, synth_repo, Repository, SynthConfig};
 use spack_spec::parse_spec;
@@ -70,7 +80,7 @@ fn usage() {
     eprintln!(
         "spack-solve — ASP-based dependency solving (SC'22 reproduction)\n\n\
          USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--stats] [--explain] [--portfolio K] [--synthetic N] <spec...>\n  \
-         spack-solve batch [--reuse] [--lassen] [--stats] [--portfolio K] [--synthetic N] <file>   (one spec per line; - for stdin)\n  \
+         spack-solve batch [--reuse] [--lassen] [--stats] [--portfolio K] [--synthetic N]\n                    [--state-dir DIR] [--deadline-ms MS] [--conflict-limit N] [--retries N] <file>   (one spec per line; - for stdin)\n  \
          spack-solve providers <virtual>\n  spack-solve list [--synthetic N]\n  spack-solve criteria\n"
     );
 }
@@ -330,59 +340,81 @@ fn print_stats(result: &spack_concretizer::Concretization) {
 }
 
 /// `spack-solve batch <file>`: one request per line, answered on a single multi-shot
-/// session (base ground exactly once), each line reporting its own outcome. The exit
-/// code is the worst per-line status: 0 when every line concretized, 2 when at least
-/// one was unsatisfiable (and nothing worse happened), 1 on any tool error.
+/// session (base ground exactly once). The durable runner ([`spack_concretizer::
+/// durable`]) parses, solves, retries, and (with `--state-dir`) checkpoints every
+/// line; failed items land in the dead-letter queue `<state-dir>/dlq.jsonl`. The
+/// exit code is the worst per-line class: 0 all solved, 2 unsatisfiable, 3 spec
+/// parse error, 4 solve budget exhausted, 5 internal error — and 1 for pipeline
+/// errors (bad arguments, unreadable input, state-dir failures).
 fn cmd_batch(args: &[String]) -> ExitCode {
     let mut reuse = false;
     let mut lassen = false;
     let mut stats = false;
     let mut portfolio = 1usize;
     let mut synthetic: Option<usize> = None;
+    let mut state_dir: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut conflict_limit: Option<u64> = None;
+    let mut retries = 1u32;
     let mut file: Option<String> = None;
-    let mut iter = args.iter().peekable();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--reuse" => reuse = true,
-            "--lassen" => lassen = true,
-            "--stats" => stats = true,
-            "--portfolio" => {
-                let Some(k) = iter.next() else {
-                    eprintln!("==> Error: --portfolio requires a worker count");
-                    return ExitCode::FAILURE;
-                };
-                match k.parse() {
-                    Ok(k) => portfolio = k,
-                    Err(_) => {
-                        eprintln!("==> Error: invalid worker count '{k}'");
-                        return ExitCode::FAILURE;
-                    }
+
+    fn flag_value<'i>(
+        iter: &mut impl Iterator<Item = &'i String>,
+        flag: &str,
+        what: &str,
+    ) -> Result<&'i String, String> {
+        iter.next().ok_or_else(|| format!("{flag} requires {what}"))
+    }
+    fn parse_value<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+        value.parse().map_err(|_| format!("invalid {what} '{value}'"))
+    }
+
+    let mut iter = args.iter();
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--reuse" => reuse = true,
+                "--lassen" => lassen = true,
+                "--stats" => stats = true,
+                "--portfolio" => {
+                    let k = flag_value(&mut iter, "--portfolio", "a worker count")?;
+                    portfolio = parse_value(k, "worker count")?;
                 }
-            }
-            "--synthetic" => {
-                let Some(n) = iter.next() else {
-                    eprintln!("==> Error: --synthetic requires a package count");
-                    return ExitCode::FAILURE;
-                };
-                match n.parse() {
-                    Ok(n) => synthetic = Some(n),
-                    Err(_) => {
-                        eprintln!("==> Error: invalid package count '{n}'");
-                        return ExitCode::FAILURE;
-                    }
+                "--synthetic" => {
+                    let n = flag_value(&mut iter, "--synthetic", "a package count")?;
+                    synthetic = Some(parse_value(n, "package count")?);
                 }
-            }
-            other if file.is_none() => file = Some(other.to_string()),
-            other => {
-                eprintln!("==> Error: unexpected argument '{other}'");
-                return ExitCode::FAILURE;
+                "--state-dir" => {
+                    state_dir =
+                        Some(flag_value(&mut iter, "--state-dir", "a directory")?.to_string());
+                }
+                "--deadline-ms" => {
+                    let ms = flag_value(&mut iter, "--deadline-ms", "milliseconds")?;
+                    deadline_ms = Some(parse_value(ms, "deadline")?);
+                }
+                "--conflict-limit" => {
+                    let n = flag_value(&mut iter, "--conflict-limit", "a conflict count")?;
+                    conflict_limit = Some(parse_value(n, "conflict limit")?);
+                }
+                "--retries" => {
+                    let n = flag_value(&mut iter, "--retries", "a retry count")?;
+                    retries = parse_value(n, "retry count")?;
+                }
+                other if file.is_none() => file = Some(other.to_string()),
+                other => return Err(format!("unexpected argument '{other}'")),
             }
         }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("==> Error: {e}");
+        return ExitCode::FAILURE;
     }
     let Some(file) = file else {
         eprintln!(
             "usage: spack-solve batch [--reuse] [--lassen] [--stats] [--portfolio K] \
-             [--synthetic N] <file>"
+             [--synthetic N] [--state-dir DIR] [--deadline-ms MS] [--conflict-limit N] \
+             [--retries N] <file>"
         );
         return ExitCode::FAILURE;
     };
@@ -405,17 +437,49 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             }
         }
     };
-    let lines: Vec<&str> =
-        text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
-    if lines.is_empty() {
+    // Keep 1-based line numbers through the comment/blank filtering, so parse
+    // errors can report where in the *file* the bad spec sits.
+    let items: Vec<(usize, String)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim().to_string()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if items.is_empty() {
         eprintln!("==> Error: no specs in {file}");
         return ExitCode::FAILURE;
     }
 
+    let budget = asp::SolveBudget {
+        wall_deadline: deadline_ms.map(std::time::Duration::from_millis),
+        conflict_limit,
+    };
+    // The manifest digest covers every option that affects results, so a state dir
+    // cannot be resumed under a different configuration. The portfolio size is
+    // deliberately excluded: results are byte-identical for any K.
+    let options_desc = format!(
+        "reuse={reuse} lassen={lassen} synthetic={synthetic:?} \
+         deadline_ms={deadline_ms:?} conflict_limit={conflict_limit:?} retries={retries}"
+    );
+    let state = match &state_dir {
+        Some(dir) => {
+            let digest = spack_concretizer::durable::batch_digest(&items, &options_desc);
+            match StateDir::open(std::path::Path::new(dir), digest, items.len(), &options_desc) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("==> Error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
     let repo = repository(synthetic);
     let site = if lassen { SiteConfig::lassen() } else { SiteConfig::quartz() };
     let cache;
-    let mut concretizer = Concretizer::new(&repo).with_site(site).with_portfolio(portfolio);
+    let mut concretizer =
+        Concretizer::new(&repo).with_site(site).with_portfolio(portfolio).with_budget(budget);
     if reuse {
         cache = synthesize_buildcache(&repo, &BuildcacheConfig::default());
         concretizer = concretizer.with_database(&cache);
@@ -428,61 +492,41 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
     };
 
-    // Parse every line up front; parse failures are per-line tool errors.
-    let mut requests: Vec<Vec<spack_spec::Spec>> = Vec::new();
-    let mut parse_errors: Vec<Option<String>> = Vec::new();
-    for line in &lines {
-        match parse_spec(line) {
-            Ok(spec) => {
-                requests.push(vec![spec]);
-                parse_errors.push(None);
-            }
-            Err(e) => {
-                requests.push(Vec::new()); // placeholder; reported, never solved
-                parse_errors.push(Some(e.to_string()));
-            }
-        }
-    }
-    let solvable: Vec<Vec<spack_spec::Spec>> =
-        requests.iter().filter(|r| !r.is_empty()).cloned().collect();
     let started = std::time::Instant::now();
-    let mut results = session.concretize_batch(&solvable).into_iter();
+    let outcome =
+        match spack_concretizer::durable::run_batch(&session, &items, retries, state.as_ref()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("==> Error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let elapsed = started.elapsed();
 
-    let mut any_unsat = false;
-    let mut any_error = false;
-    for (line, parse_error) in lines.iter().zip(&parse_errors) {
-        if let Some(e) = parse_error {
-            any_error = true;
-            println!("error  {line}: {e}");
-            continue;
-        }
-        match results.next().expect("one result per parsed line") {
-            Ok(result) => println!(
-                "ok     {line} -> {} packages ({} reused, {} to build)",
-                result.spec.len(),
-                result.reuse_count(),
-                result.build_count()
-            ),
-            Err(ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
-                any_unsat = true;
-                let first = diagnostics.first().map(|d| d.message.clone()).unwrap_or_default();
-                println!("UNSAT  {line}: {first}");
-            }
-            Err(e) => {
-                any_error = true;
-                println!("error  {line}: {e}");
-            }
-        }
+    for record in &outcome.records {
+        println!("{}", record.output);
     }
+
     let s = session.stats();
+    let c = &outcome.counters;
     eprintln!(
         "\n{} requests in {elapsed:.2?} ({:.1} specs/sec); base ground once in {:.2?}",
-        solvable.len(),
-        solvable.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        items.len(),
+        items.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         s.base_setup + s.base_load + s.base_ground
     );
     if stats {
+        eprintln!("batch statistics");
+        eprintln!("--------------------------------");
+        eprintln!(
+            "  items: {} solved, {} unsat, {} parse errors, {} budget-exhausted, {} internal",
+            c.solved, c.unsat, c.parse_errors, c.budget, c.internal
+        );
+        eprintln!(
+            "  durability: {} resumed from checkpoints, {} corrupt records re-solved, \
+             {} budget retries, {} dead-lettered",
+            c.resumed, c.corrupt, c.retries, c.dead_lettered
+        );
         eprintln!("session statistics");
         eprintln!("--------------------------------");
         eprintln!(
@@ -502,12 +546,9 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             s.store_hits, s.store_misses, s.store_transferred
         );
     }
-    if any_error {
-        ExitCode::FAILURE
-    } else if any_unsat {
-        ExitCode::from(2)
-    } else {
-        ExitCode::SUCCESS
+    match outcome.exit_code() {
+        0 => ExitCode::SUCCESS,
+        code => ExitCode::from(code),
     }
 }
 

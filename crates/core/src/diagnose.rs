@@ -242,6 +242,28 @@ pub fn core_diagnostic(texts: &[String]) -> Option<Diagnostic> {
     }
 }
 
+/// The diagnostic carried by a dead-lettered budget exhaustion: the solve hit its
+/// wall deadline or conflict limit before optimality was proven. `partial_packages`
+/// is the size of the best model proven before the cutoff, when there was one —
+/// "a non-optimal answer exists" and "no answer at all" are triaged differently.
+pub fn budget_diagnostic(roots: &str, partial_packages: Option<usize>) -> Diagnostic {
+    let message = match partial_packages {
+        Some(n) => format!(
+            "the solve budget for `{roots}` was exhausted before optimality was proven \
+             (best proven model has {n} packages)"
+        ),
+        None => format!("the solve budget for `{roots}` was exhausted before any model was found"),
+    };
+    Diagnostic {
+        severity: Severity::Error,
+        priority: 115,
+        code: "budget-exhausted".to_string(),
+        message,
+        package: None,
+        provenance: Vec::new(),
+    }
+}
+
 /// The fallback diagnostic when neither the relaxed solve nor the core produced an
 /// explanation (a structurally infeasible instance): still specific enough to point at
 /// the input rather than a bare "no valid configuration exists".

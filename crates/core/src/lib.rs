@@ -33,6 +33,7 @@
 pub mod config;
 pub mod criteria;
 pub mod diagnose;
+pub mod durable;
 pub mod extract;
 pub mod facts;
 pub mod greedy;
@@ -49,6 +50,7 @@ use spack_store::Database;
 pub use config::SiteConfig;
 pub use criteria::{criterion, describe_priority, Criterion, CRITERIA};
 pub use diagnose::{Diagnostic, DiagnosticsStats, Severity};
+pub use durable::{BatchCounters, BatchOutcome, ItemClass, ItemRecord, StateDir};
 pub use extract::Extraction;
 pub use facts::{setup_problem, BaseFacts, FactBuilder, SetupInfo};
 pub use greedy::{GreedyConcretizer, GreedyError, GreedyResult};
@@ -102,6 +104,20 @@ pub enum ConcretizeError {
     Solver(asp::AspError),
     /// The model could not be converted back into a concrete spec.
     Extraction(String),
+    /// The solve budget (wall deadline and/or conflict limit) was exhausted before
+    /// optimality was proven. Degrades gracefully: when branch and bound had already
+    /// proven some stable model, it is carried here, marked non-optimal
+    /// ([`Concretization::optimal`] is `false`), instead of being thrown away.
+    Budget {
+        /// The best model proven before the budget ran out, if any.
+        partial_best: Option<Box<Concretization>>,
+        /// Solver statistics of the interrupted solve (boxed: bulky, and the error is
+        /// returned through many `Result`s).
+        stats: Box<asp::Stats>,
+    },
+    /// A panic escaped a per-request solve (isolated by the batch paths so one
+    /// poisoned request cannot kill its siblings). Carries the panic message.
+    Internal(String),
 }
 
 impl fmt::Display for ConcretizeError {
@@ -124,6 +140,15 @@ impl fmt::Display for ConcretizeError {
             }
             ConcretizeError::Solver(e) => write!(f, "solver error: {e}"),
             ConcretizeError::Extraction(m) => write!(f, "extraction error: {m}"),
+            ConcretizeError::Budget { partial_best: Some(c), .. } => write!(
+                f,
+                "solve budget exhausted; best proven (non-optimal) model has {} packages",
+                c.spec.len()
+            ),
+            ConcretizeError::Budget { partial_best: None, .. } => {
+                write!(f, "solve budget exhausted before any model was found")
+            }
+            ConcretizeError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -194,6 +219,10 @@ pub struct Concretization {
     pub setup: SetupInfo,
     /// Solver statistics.
     pub stats: asp::Stats,
+    /// Was this DAG proven optimal? `true` on every normal solve; `false` only for
+    /// the partial model carried by [`ConcretizeError::Budget`] — the best model
+    /// proven before the solve budget ran out.
+    pub optimal: bool,
 }
 
 impl Concretization {
@@ -243,6 +272,14 @@ impl<'a> Concretizer<'a> {
     /// Use a specific solver configuration (preset, strategy, seed).
     pub fn with_solver_config(mut self, solver: SolverConfig) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Bound every solve by a [`asp::SolveBudget`] (wall deadline and/or conflict
+    /// limit). An exhausted budget surfaces as [`ConcretizeError::Budget`], carrying
+    /// the best model proven so far (marked non-optimal) when there is one.
+    pub fn with_budget(mut self, budget: asp::SolveBudget) -> Self {
+        self.solver.budget = budget.is_bounded().then_some(budget);
         self
     }
 
@@ -345,39 +382,78 @@ pub(crate) fn solve_prepared(
             Err(explain_unsat(roots, &setup_info, &mut ctl, &root_assumptions, core, setup_time))
         }
         AssumeOutcome::Optimal { model, cost } => {
-            // The error levels of ERROR_GUARD_LP are trivially zero in hard mode;
-            // they are an implementation detail of the diagnostics fold, not part
-            // of the Table II objective vector. Zero-valued Table II levels are
-            // dropped too: which levels *materialize* depends on how much of the
-            // package universe was ground (a session base covers the whole repo,
-            // a one-shot solve only the roots' closure), while an absent level
-            // means exactly "cost 0" — normalizing to the nonzero levels makes the
-            // objective vector identical across both modes.
-            let cost: Vec<(i64, i64)> =
-                cost.into_iter().filter(|&(p, v)| p < ERROR_PRIORITY_FLOOR && v != 0).collect();
-            let root_names: Vec<String> = roots.iter().filter_map(|r| r.name.clone()).collect();
-            let extraction = extract::extract(&model, &root_names)?;
-            // Sanity check: every named (non-virtual) root must be present.
-            for root in roots {
-                if let Some(name) = &root.name {
-                    if !repo.is_virtual(name) && !extraction.spec.contains(name) {
-                        return Err(ConcretizeError::Extraction(format!(
-                            "root {name} missing from the solution"
-                        )));
-                    }
-                }
-            }
-            Ok(Concretization {
-                spec: extraction.spec,
-                reused: extraction.reused,
-                built: extraction.built,
-                cost,
-                timings,
-                setup: setup_info,
-                stats,
-            })
+            build_concretization(repo, roots, model, cost, timings, setup_info, stats, true)
+        }
+        AssumeOutcome::Budget { partial } => {
+            // Graceful degradation: branch and bound may have proven a stable model
+            // before the budget ran out — carry it, marked non-optimal, instead of
+            // returning nothing. An extraction hiccup on the partial degrades to
+            // "no partial" rather than masking the budget outcome.
+            let partial_best = partial.and_then(|(model, cost)| {
+                build_concretization(
+                    repo,
+                    roots,
+                    model,
+                    cost,
+                    timings,
+                    setup_info.clone(),
+                    stats.clone(),
+                    false,
+                )
+                .ok()
+                .map(Box::new)
+            });
+            Err(ConcretizeError::Budget { partial_best, stats: Box::new(stats) })
         }
     }
+}
+
+/// Phase 4 (extract): turn the winning model and objective vector into a
+/// [`Concretization`]. Shared by the optimal path and the budget path's partial
+/// model (which differs only in the `optimal` marker).
+#[allow(clippy::too_many_arguments)]
+fn build_concretization(
+    repo: &Repository,
+    roots: &[Spec],
+    model: asp::Model,
+    cost: Vec<(i64, i64)>,
+    timings: PhaseTimings,
+    setup_info: SetupInfo,
+    stats: asp::Stats,
+    optimal: bool,
+) -> Result<Concretization, ConcretizeError> {
+    // The error levels of ERROR_GUARD_LP are trivially zero in hard mode;
+    // they are an implementation detail of the diagnostics fold, not part
+    // of the Table II objective vector. Zero-valued Table II levels are
+    // dropped too: which levels *materialize* depends on how much of the
+    // package universe was ground (a session base covers the whole repo,
+    // a one-shot solve only the roots' closure), while an absent level
+    // means exactly "cost 0" — normalizing to the nonzero levels makes the
+    // objective vector identical across both modes.
+    let cost: Vec<(i64, i64)> =
+        cost.into_iter().filter(|&(p, v)| p < ERROR_PRIORITY_FLOOR && v != 0).collect();
+    let root_names: Vec<String> = roots.iter().filter_map(|r| r.name.clone()).collect();
+    let extraction = extract::extract(&model, &root_names)?;
+    // Sanity check: every named (non-virtual) root must be present.
+    for root in roots {
+        if let Some(name) = &root.name {
+            if !repo.is_virtual(name) && !extraction.spec.contains(name) {
+                return Err(ConcretizeError::Extraction(format!(
+                    "root {name} missing from the solution"
+                )));
+            }
+        }
+    }
+    Ok(Concretization {
+        spec: extraction.spec,
+        reused: extraction.reused,
+        built: extraction.built,
+        cost,
+        timings,
+        setup: setup_info,
+        stats,
+        optimal,
+    })
 }
 
 /// The second phase of the diagnostics pipeline, run on the *same* control as the
@@ -428,6 +504,12 @@ fn explain_unsat(
             // Structurally infeasible even with errors relaxed (e.g. two root
             // requirements pinning one decision both ways): the core explains it.
             Ok(AssumeOutcome::Unsatisfiable { .. }) => Vec::new(),
+            // The solve budget ran out during the explanation phase: a partial
+            // error model still names real violations (possibly more than the
+            // minimal set); with no partial the core-only explanation below stands.
+            Ok(AssumeOutcome::Budget { partial }) => partial
+                .map(|(model, _)| diagnose::diagnostics_from_model(&model))
+                .unwrap_or_default(),
             Err(e) => return ConcretizeError::Solver(e),
         };
 

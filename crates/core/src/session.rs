@@ -97,6 +97,18 @@ pub struct ConcretizerSession<'a> {
     store: Option<Arc<asp::SharedClauseStore>>,
 }
 
+/// Render a `catch_unwind` payload into the human-readable panic message (the
+/// standard `&str` / `String` payloads; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: (non-string payload)".to_string()
+    }
+}
+
 impl<'a> Concretizer<'a> {
     /// Build a multi-shot session: base facts for the whole repository are generated
     /// and ground exactly once; the returned session answers any number of requests
@@ -136,12 +148,37 @@ impl ConcretizerSession<'_> {
     /// amortization differs (a request's reported `load` time is zero and its `ground`
     /// time covers the delta grounding only).
     pub fn concretize(&self, roots: &[Spec]) -> Result<Concretization, ConcretizeError> {
+        self.concretize_tuned(roots, |_| {})
+    }
+
+    /// [`ConcretizerSession::concretize`] with a per-request tweak of the forked
+    /// control's solver configuration — the frozen base's configuration stays
+    /// untouched. This is how the durable batch runner retries a dead-lettered
+    /// timeout with a diversified seed and an escalated budget without rebuilding
+    /// the session.
+    pub fn concretize_tuned<F>(
+        &self,
+        roots: &[Spec],
+        tune: F,
+    ) -> Result<Concretization, ConcretizeError>
+    where
+        F: FnOnce(&mut asp::SolverConfig),
+    {
         if roots.is_empty() {
             return Err(ConcretizeError::Setup("at least one root spec is required".into()));
+        }
+        // Test hook for the batch panic-isolation harness: a request whose first
+        // root matches $SPACK_CONCRETIZE_PANIC_ON panics from deep inside the
+        // per-request work, exactly where a real solver bug would.
+        if let Ok(poison) = std::env::var("SPACK_CONCRETIZE_PANIC_ON") {
+            if roots.iter().any(|r| r.name.as_deref() == Some(poison.as_str())) {
+                panic!("injected panic: request for '{poison}' poisoned by test hook");
+            }
         }
         self.requests.fetch_add(1, Ordering::Relaxed);
         let setup_start = Instant::now();
         let mut ctl = self.frozen.request();
+        tune(ctl.solver_config_mut());
         if let Some(store) = &self.store {
             ctl.set_shared_store(Arc::clone(store));
         }
@@ -163,6 +200,7 @@ impl ConcretizerSession<'_> {
         let was_delta = match &result {
             Ok(c) => c.stats.ground.delta,
             Err(ConcretizeError::Unsatisfiable { stats, .. }) => stats.ground_delta,
+            Err(ConcretizeError::Budget { stats, .. }) => stats.ground.delta,
             Err(_) => true, // failed before grounding: nothing was re-ground
         };
         if !was_delta {
@@ -174,12 +212,22 @@ impl ConcretizerSession<'_> {
     /// Concretize a batch of independent requests in parallel, one result per request
     /// (in input order). Each request solves on its own fork of the shared frozen
     /// base, so failures (including unsatisfiable requests, which carry their full
-    /// diagnostics) are per-request and never poison the batch.
+    /// diagnostics) are per-request and never poison the batch. Panics are isolated
+    /// too: a request that panics becomes [`ConcretizeError::Internal`] for that item
+    /// instead of killing the batch thread pool.
     pub fn concretize_batch(
         &self,
         requests: &[Vec<Spec>],
     ) -> Vec<Result<Concretization, ConcretizeError>> {
-        requests.par_iter().map(|roots| self.concretize(roots)).collect()
+        requests
+            .par_iter()
+            .map(|roots| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.concretize(roots)))
+                    .unwrap_or_else(|payload| {
+                        Err(ConcretizeError::Internal(panic_message(payload)))
+                    })
+            })
+            .collect()
     }
 
     /// The digest of the base fact stream — the session's cache key.
