@@ -566,7 +566,7 @@ fn main() -> std::process::ExitCode {
         )
     };
     runner.measure("batch_durable", "mix_no_state", || {
-        let outcome = spack_concretizer::durable::run_batch(&session, &batch_items, 0, None)
+        let outcome = spack_concretizer::durable::run_batch(&session, &batch_items, 0, None, false)
             .expect("batch without state dir");
         batch_detail(&outcome)
     });
@@ -580,13 +580,52 @@ fn main() -> std::process::ExitCode {
             spack_concretizer::StateDir::open(&dir, digest, batch_items.len(), &batch_options)
                 .expect("open state dir");
         let outcome =
-            spack_concretizer::durable::run_batch(&session, &batch_items, 0, Some(&state))
+            spack_concretizer::durable::run_batch(&session, &batch_items, 0, Some(&state), false)
                 .expect("checkpointed batch");
         let detail = batch_detail(&outcome);
         let _ = std::fs::remove_dir_all(&dir);
         detail
     });
     report_checkpoint_overhead(&runner.records);
+
+    // ---- server_throughput: the spack-solved serving layer, in process --------------------
+    // The same mix as NDJSON requests through `server::serve_pipe` — request parsing,
+    // admission, shard routing, the bounded queue, and response rendering all included.
+    // Each iteration starts a cold server (one base ground on its quartz shard) and
+    // feeds the mix three times, so steady-state serving dominates without hiding the
+    // startup cost. Two variants: one worker (fully serialized) and four workers
+    // (out-of-order streaming through the shared sink).
+    let request_lines: String = (0..3)
+        .flat_map(|round| {
+            mix.iter().enumerate().map(move |(i, s)| {
+                format!("{{\"v\": 1, \"id\": \"{round}-{i}\", \"specs\": [\"{s}\"]}}\n")
+            })
+        })
+        .collect();
+    for (bench, workers) in [("pipe_1worker", 1usize), ("pipe_4workers", 4)] {
+        runner.measure("server_throughput", bench, || {
+            let config = spack_concretizer::server::ServerConfig { workers, ..Default::default() };
+            let mut out: Vec<u8> = Vec::new();
+            let stats = spack_concretizer::server::serve_pipe(
+                &medium,
+                Some(&service_cache),
+                &config,
+                std::io::Cursor::new(request_lines.clone()),
+                &mut out,
+            );
+            let responses = out.iter().filter(|b| **b == b'\n').count();
+            assert_eq!(responses as u64, stats.jobs_completed, "every request must be answered");
+            (
+                Vec::new(),
+                vec![
+                    ("responses", responses as u64),
+                    ("jobs_completed", stats.jobs_completed),
+                    ("shards", stats.shards.len() as u64),
+                    ("base_grounds", stats.shards.iter().map(|s| s.base_grounds).sum()),
+                ],
+            )
+        });
+    }
 
     eprintln!("# harness finished in {:.1?}", started.elapsed());
     let json = render_json(&label, scale_name(scale), &runner.records);

@@ -45,8 +45,8 @@
 use std::process::ExitCode;
 
 use spack_concretizer::{
-    describe_priority, ConcretizeError, Concretizer, GreedyConcretizer, SiteConfig, StateDir,
-    CRITERIA,
+    describe_priority, ConcretizeError, Concretizer, GreedyConcretizer, SiteConfig, SolveOptions,
+    StateDir, CRITERIA,
 };
 use spack_repo::{builtin_repo, synth_repo, Repository, SynthConfig};
 use spack_spec::parse_spec;
@@ -80,7 +80,7 @@ fn usage() {
     eprintln!(
         "spack-solve — ASP-based dependency solving (SC'22 reproduction)\n\n\
          USAGE:\n  spack-solve spec [--greedy] [--reuse] [--lassen] [--stats] [--explain] [--portfolio K] [--synthetic N] <spec...>\n  \
-         spack-solve batch [--reuse] [--lassen] [--stats] [--portfolio K] [--synthetic N]\n                    [--state-dir DIR] [--deadline-ms MS] [--conflict-limit N] [--retries N] <file>   (one spec per line; - for stdin)\n  \
+         spack-solve batch [--reuse] [--lassen] [--stats] [--json] [--portfolio K] [--synthetic N]\n                    [--state-dir DIR] [--deadline-ms MS] [--conflict-limit N] [--retries N] <file>   (one spec per line; - for stdin)\n  \
          spack-solve providers <virtual>\n  spack-solve list [--synthetic N]\n  spack-solve criteria\n"
     );
 }
@@ -185,12 +185,13 @@ fn cmd_spec(args: &[String]) -> ExitCode {
     }
 
     let cache;
-    let mut concretizer = Concretizer::new(&repo).with_site(site).with_portfolio(options.portfolio);
+    let mut solve_options = SolveOptions::new().site(site).portfolio(options.portfolio);
     if options.reuse {
         cache = synthesize_buildcache(&repo, &BuildcacheConfig::default());
         println!("(reuse enabled: {} cached builds)\n", cache.len());
-        concretizer = concretizer.with_database(&cache);
+        solve_options = solve_options.database(&cache);
     }
+    let concretizer = Concretizer::new(&repo).with_options(solve_options);
 
     match concretizer.concretize(&[spec]) {
         Ok(result) => {
@@ -350,6 +351,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let mut reuse = false;
     let mut lassen = false;
     let mut stats = false;
+    let mut json = false;
     let mut portfolio = 1usize;
     let mut synthetic: Option<usize> = None;
     let mut state_dir: Option<String> = None;
@@ -376,6 +378,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 "--reuse" => reuse = true,
                 "--lassen" => lassen = true,
                 "--stats" => stats = true,
+                "--json" => json = true,
                 "--portfolio" => {
                     let k = flag_value(&mut iter, "--portfolio", "a worker count")?;
                     portfolio = parse_value(k, "worker count")?;
@@ -412,7 +415,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
     let Some(file) = file else {
         eprintln!(
-            "usage: spack-solve batch [--reuse] [--lassen] [--stats] [--portfolio K] \
+            "usage: spack-solve batch [--reuse] [--lassen] [--stats] [--json] [--portfolio K] \
              [--synthetic N] [--state-dir DIR] [--deadline-ms MS] [--conflict-limit N] \
              [--retries N] <file>"
         );
@@ -455,11 +458,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         conflict_limit,
     };
     // The manifest digest covers every option that affects results, so a state dir
-    // cannot be resumed under a different configuration. The portfolio size is
+    // cannot be resumed under a different configuration (including the output
+    // format: checkpointed record outputs are replayed verbatim, so a human-mode
+    // state dir cannot be resumed as --json or vice versa). The portfolio size is
     // deliberately excluded: results are byte-identical for any K.
     let options_desc = format!(
         "reuse={reuse} lassen={lassen} synthetic={synthetic:?} \
-         deadline_ms={deadline_ms:?} conflict_limit={conflict_limit:?} retries={retries}"
+         deadline_ms={deadline_ms:?} conflict_limit={conflict_limit:?} retries={retries} \
+         json={json}"
     );
     let state = match &state_dir {
         Some(dir) => {
@@ -478,13 +484,12 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let repo = repository(synthetic);
     let site = if lassen { SiteConfig::lassen() } else { SiteConfig::quartz() };
     let cache;
-    let mut concretizer =
-        Concretizer::new(&repo).with_site(site).with_portfolio(portfolio).with_budget(budget);
+    let mut solve_options = SolveOptions::new().site(site).portfolio(portfolio).budget(budget);
     if reuse {
         cache = synthesize_buildcache(&repo, &BuildcacheConfig::default());
-        concretizer = concretizer.with_database(&cache);
+        solve_options = solve_options.database(&cache);
     }
-    let session = match concretizer.session() {
+    let session = match Concretizer::new(&repo).with_options(solve_options).session() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("==> Error: building the session failed: {e}");
@@ -493,14 +498,19 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     };
 
     let started = std::time::Instant::now();
-    let outcome =
-        match spack_concretizer::durable::run_batch(&session, &items, retries, state.as_ref()) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("==> Error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let outcome = match spack_concretizer::durable::run_batch(
+        &session,
+        &items,
+        retries,
+        state.as_ref(),
+        json,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("==> Error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let elapsed = started.elapsed();
 
     for record in &outcome.records {

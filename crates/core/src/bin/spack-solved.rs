@@ -1,0 +1,168 @@
+//! `spack-solved` — the concretizer as a long-running service.
+//!
+//! All the machinery lives in [`spack_concretizer::server`]; this binary only
+//! parses flags, builds the repository and the synthesized buildcache, and picks
+//! a transport:
+//!
+//! ```text
+//! spack-solved --pipe                       # NDJSON requests on stdin, responses on stdout
+//! spack-solved --socket /run/spack.sock     # same protocol over a Unix socket
+//! spack-solved --pipe --workers 8 --queue 128
+//! spack-solved --pipe --synthetic 500       # serve a synthetic repository
+//! ```
+//!
+//! One line in, one line out (out of order, tagged by `id`):
+//!
+//! ```text
+//! {"v": 1, "id": "a", "specs": ["hdf5 +mpi"], "options": {"site": "lassen", "reuse": true}}
+//! {"v": 1, "id": "b", "cmd": "stats"}
+//! {"v": 1, "id": "c", "cmd": "shutdown"}
+//! ```
+//!
+//! Requests route to a shard per `(site, reuse)` base-facts digest; each shard
+//! grounds its base exactly once and answers every request incrementally. The
+//! responses are byte-identical to `spack-solve batch --json` for the same spec
+//! and options. Exit code 0 after a clean shutdown/EOF, 1 for setup errors.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use spack_concretizer::server::{serve_pipe, ServerConfig};
+use spack_repo::{builtin_repo, synth_repo, SynthConfig};
+use spack_store::{synthesize_buildcache, BuildcacheConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pipe = false;
+    let mut socket: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut synthetic: Option<usize> = None;
+    let mut summary = false;
+
+    let mut iter = args.iter();
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--pipe" => pipe = true,
+                "--socket" => {
+                    let path = iter.next().ok_or_else(|| "--socket requires a path".to_string())?;
+                    socket = Some(path.to_string());
+                }
+                "--workers" => {
+                    let n = iter.next().ok_or_else(|| "--workers requires a count".to_string())?;
+                    config.workers =
+                        n.parse().map_err(|_| format!("invalid worker count '{n}'"))?;
+                }
+                "--queue" => {
+                    let n = iter.next().ok_or_else(|| "--queue requires a depth".to_string())?;
+                    config.queue_depth =
+                        n.parse().map_err(|_| format!("invalid queue depth '{n}'"))?;
+                }
+                "--synthetic" => {
+                    let n = iter
+                        .next()
+                        .ok_or_else(|| "--synthetic requires a package count".to_string())?;
+                    synthetic =
+                        Some(n.parse().map_err(|_| format!("invalid package count '{n}'"))?);
+                }
+                "--summary" => summary = true,
+                "--help" | "-h" => {
+                    usage();
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unexpected argument '{other}'")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("==> Error: {e}");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if pipe == socket.is_some() {
+        eprintln!("==> Error: pick exactly one transport: --pipe or --socket PATH");
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let repo = match synthetic {
+        Some(n) => synth_repo(&SynthConfig { packages: n, ..Default::default() }),
+        None => builtin_repo(),
+    };
+    // The buildcache is synthesized eagerly so `"reuse": true` requests on any
+    // shard share one database, exactly like `spack-solve --reuse`.
+    let cache = synthesize_buildcache(&repo, &BuildcacheConfig::default());
+
+    let stats = if pipe {
+        let stdin = std::io::stdin();
+        // `StdoutLock` is not `Send`, so workers write through the unlocked
+        // handle; the server serializes response lines behind its own mutex.
+        serve_pipe(&repo, Some(&cache), &config, stdin.lock(), std::io::stdout())
+    } else {
+        let path = socket.expect("checked above");
+        serve_on_socket(&repo, &cache, &config, &path).unwrap_or_else(|e| {
+            eprintln!("==> Error: serving on {path} failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    if summary {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "served {} requests ({} completed) on {} workers across {} shards",
+            stats.jobs_received,
+            stats.jobs_completed,
+            stats.workers,
+            stats.shards.len()
+        );
+        for shard in &stats.shards {
+            let _ = writeln!(
+                err,
+                "  shard {}/reuse={}: digest {:016x}, {} requests, {} base grounds",
+                shard.site, shard.reuse, shard.digest, shard.requests, shard.base_grounds
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(unix)]
+fn serve_on_socket(
+    repo: &spack_repo::Repository,
+    cache: &spack_store::Database,
+    config: &ServerConfig,
+    path: &str,
+) -> std::io::Result<spack_concretizer::server::ServerStats> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    let stats = spack_concretizer::server::serve_socket(repo, Some(cache), config, listener);
+    let _ = std::fs::remove_file(path);
+    stats
+}
+
+#[cfg(not(unix))]
+fn serve_on_socket(
+    _repo: &spack_repo::Repository,
+    _cache: &spack_store::Database,
+    _config: &ServerConfig,
+    _path: &str,
+) -> std::io::Result<spack_concretizer::server::ServerStats> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket requires a Unix platform; use --pipe",
+    ))
+}
+
+fn usage() {
+    eprintln!(
+        "spack-solved — concretization service over newline-delimited JSON\n\n\
+         USAGE:\n  spack-solved --pipe [--workers N] [--queue N] [--synthetic N] [--summary]\n  \
+         spack-solved --socket PATH [--workers N] [--queue N] [--synthetic N] [--summary]\n\n\
+         REQUESTS (one JSON object per line):\n  \
+         {{\"v\": 1, \"id\": \"a\", \"specs\": [\"hdf5 +mpi\"], \"options\": {{\"site\": \"lassen\", \"reuse\": true}}}}\n  \
+         {{\"v\": 1, \"id\": \"b\", \"cmd\": \"stats\"}}\n  \
+         {{\"v\": 1, \"id\": \"c\", \"cmd\": \"shutdown\"}}\n"
+    );
+    let _ = std::io::stderr().flush();
+}

@@ -17,7 +17,7 @@
 //! * **Dead-letter queue** — items that did not produce an optimal DAG (unsat,
 //!   parse failure, budget exhaustion, internal error/panic) are routed to
 //!   `<state-dir>/dlq.jsonl`, one JSON object per item with its failure class and
-//!   full [`Diagnostic`] report, regenerated in input order at
+//!   full [`crate::Diagnostic`] report, regenerated in input order at
 //!   the end of every run so the file is deterministic.
 //! * **Retry policy** — a budget-exhausted item is retried up to a configurable
 //!   number of times with a diversified solver seed and a doubled budget
@@ -36,8 +36,9 @@ use asp::hasher::FxHasher;
 use rayon::prelude::*;
 use spack_spec::parse_spec;
 
+use crate::server::wire::SolveResponse;
 use crate::session::panic_message;
-use crate::{diagnose, ConcretizeError, ConcretizerSession, Diagnostic};
+use crate::{Concretization, ConcretizeError, ConcretizerSession, ResultClass};
 
 /// Format version stamped into manifests and records; bumped on layout changes so a
 /// state dir from a different format is rejected instead of misparsed.
@@ -47,57 +48,12 @@ const FORMAT_VERSION: u64 = 1;
 /// solver portfolio uses to derive worker seeds — retries draw from the same family).
 const SEED_DIVERSIFIER: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// How one batch item ended up, in increasing order of exit-code severity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ItemClass {
-    /// Concretized to an optimal DAG.
-    Ok,
-    /// Well-formed but unsatisfiable; dead-lettered with its diagnostics.
-    Unsat,
-    /// The spec text did not parse; dead-lettered, reported with its line number.
-    Parse,
-    /// The solve budget ran out (after any retries); dead-lettered with a
-    /// `budget-exhausted` diagnostic.
-    Budget,
-    /// An internal error or a panic isolated by the batch runner; dead-lettered.
-    Internal,
-}
-
-impl ItemClass {
-    /// The batch exit code this class contributes (the batch exits with the worst
-    /// class observed; `1` is reserved for pipeline errors).
-    pub fn exit_code(self) -> u8 {
-        match self {
-            ItemClass::Ok => 0,
-            ItemClass::Unsat => 2,
-            ItemClass::Parse => 3,
-            ItemClass::Budget => 4,
-            ItemClass::Internal => 5,
-        }
-    }
-
-    /// Stable wire name used in records and DLQ entries.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            ItemClass::Ok => "ok",
-            ItemClass::Unsat => "unsat",
-            ItemClass::Parse => "parse",
-            ItemClass::Budget => "budget",
-            ItemClass::Internal => "internal",
-        }
-    }
-
-    fn from_str(s: &str) -> Option<Self> {
-        Some(match s {
-            "ok" => ItemClass::Ok,
-            "unsat" => ItemClass::Unsat,
-            "parse" => ItemClass::Parse,
-            "budget" => ItemClass::Budget,
-            "internal" => ItemClass::Internal,
-            _ => return None,
-        })
-    }
-}
+/// How one batch item ended up. Since the worst-class taxonomy moved into the
+/// crate root as [`ResultClass`] (one source of truth shared with the server's
+/// response `status` field and [`ConcretizeError::class`]), this is an alias kept
+/// for API continuity — `ItemClass::exit_code`, `ItemClass::as_str`, and the
+/// variants resolve through it unchanged.
+pub type ItemClass = ResultClass;
 
 /// The durable result of one batch item: everything needed to replay its output and
 /// DLQ entry on resume without re-solving.
@@ -282,13 +238,17 @@ fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
 
 /// Run a batch of `(lineno, spec-text)` items on a session: resume from `state`
 /// when given, solve what is missing (in parallel), checkpoint each result, retry
-/// budget exhaustions per `retries`, and regenerate the DLQ. `Err` is a pipeline
-/// error (state-dir I/O) — distinct from any per-item failure.
+/// budget exhaustions per `retries`, and regenerate the DLQ. With `json` the
+/// per-line output is the server's [`SolveResponse`] wire rendering (id = item
+/// index) instead of the human format — byte-identical to what `spack-solved`
+/// answers for the same spec and options. `Err` is a pipeline error (state-dir
+/// I/O) — distinct from any per-item failure.
 pub fn run_batch(
     session: &ConcretizerSession<'_>,
     items: &[(usize, String)],
     retries: u32,
     state: Option<&StateDir>,
+    json: bool,
 ) -> Result<BatchOutcome, String> {
     let indices: Vec<usize> = (0..items.len()).collect();
     let results: Vec<Result<(ItemRecord, bool, bool), String>> = indices
@@ -303,7 +263,7 @@ pub fn run_batch(
                     Loaded::Missing => {}
                 }
             }
-            let record = solve_item(session, index, *lineno, text, retries);
+            let record = solve_item(session, index, *lineno, text, retries, json);
             if let Some(state) = state {
                 state.store(&record).map_err(|e| format!("cannot checkpoint item {index}: {e}"))?;
             }
@@ -334,55 +294,27 @@ pub fn run_batch(
     Ok(BatchOutcome { records, counters })
 }
 
-/// Solve one item end to end: parse, concretize (panic-isolated), retry budget
-/// exhaustions with a diversified seed and a doubled budget, and render the
-/// per-line output and DLQ entry.
-fn solve_item(
+/// Concretize `roots` on the session with panic isolation and the batch retry
+/// policy: a budget-exhausted solve is retried up to `retries` times, each
+/// attempt with a diversified solver seed (the same golden-ratio family the
+/// portfolio draws worker seeds from) and a doubled budget
+/// ([`asp::SolveBudget::doubled`] per attempt). `tune` is applied to every
+/// attempt's solver configuration *before* the retry diversification — the
+/// server threads per-request wire options through it; the batch runner passes
+/// a no-op. Returns the final result and the retries consumed.
+pub fn solve_with_retries(
     session: &ConcretizerSession<'_>,
-    index: usize,
-    lineno: usize,
-    text: &str,
+    roots: &[spack_spec::Spec],
+    tune: &dyn Fn(&mut asp::SolverConfig),
     retries: u32,
-) -> ItemRecord {
-    let spec = match parse_spec(text) {
-        Ok(spec) => spec,
-        Err(e) => {
-            // Satellite bugfix: parse failures report the input line number and do
-            // not stop the batch — and they are a distinct class from unsat and
-            // internal errors in both the per-line output and the exit code.
-            let message = format!("parse error on line {lineno}: {e}");
-            return ItemRecord {
-                index,
-                lineno,
-                spec: text.to_string(),
-                class: ItemClass::Parse,
-                retries: 0,
-                output: format!("parse  {text}: {e} (line {lineno})"),
-                dlq: Some(render_dlq_entry(
-                    index,
-                    lineno,
-                    text,
-                    ItemClass::Parse,
-                    0,
-                    &message,
-                    &[],
-                )),
-            };
-        }
-    };
-
+) -> (Result<Concretization, ConcretizeError>, u32) {
     let mut attempt: u32 = 0;
-    let result = loop {
-        let roots = std::slice::from_ref(&spec);
+    loop {
         let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if attempt == 0 {
-                session.concretize(roots)
-            } else {
-                // Retry policy: diversify the solver seed (same golden-ratio family
-                // as the portfolio's worker seeds) and escalate the budget.
-                let diversify = u64::from(attempt).wrapping_mul(SEED_DIVERSIFIER);
-                session.concretize_tuned(roots, |cfg| {
-                    cfg.seed ^= diversify;
+            session.concretize_tuned(roots, |cfg| {
+                tune(cfg);
+                if attempt > 0 {
+                    cfg.seed ^= u64::from(attempt).wrapping_mul(SEED_DIVERSIFIER);
                     if let Some(budget) = cfg.budget {
                         let mut escalated = budget;
                         for _ in 0..attempt {
@@ -390,68 +322,75 @@ fn solve_item(
                         }
                         cfg.budget = Some(escalated);
                     }
-                })
-            }
+                }
+            })
         }))
         .unwrap_or_else(|payload| Err(ConcretizeError::Internal(panic_message(payload))));
         match solved {
             Err(ConcretizeError::Budget { .. }) if attempt < retries => attempt += 1,
-            other => break other,
+            other => return (other, attempt),
         }
-    };
+    }
+}
 
-    let (class, output, dlq) = match result {
-        Ok(c) => (
-            ItemClass::Ok,
-            format!(
-                "ok     {text} -> {} packages ({} reused, {} to build)",
-                c.spec.len(),
-                c.reuse_count(),
-                c.build_count()
-            ),
-            None,
-        ),
-        Err(ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
-            let first = diagnostics.first().map(|d| d.message.clone()).unwrap_or_default();
-            let entry = render_dlq_entry(
-                index,
-                lineno,
-                text,
-                ItemClass::Unsat,
-                attempt,
-                "no valid configuration exists",
-                &diagnostics,
-            );
-            (ItemClass::Unsat, format!("UNSAT  {text}: {first}"), Some(entry))
-        }
-        Err(ConcretizeError::Budget { partial_best, .. }) => {
-            let partial = partial_best.as_ref().map(|c| c.spec.len());
-            let diag = diagnose::budget_diagnostic(text, partial);
-            let output = match partial {
-                Some(n) => format!(
-                    "budget {text}: non-optimal model proven ({n} packages) before the budget ran out"
-                ),
-                None => format!("budget {text}: budget exhausted before any model was found"),
-            };
-            let entry = render_dlq_entry(
-                index,
-                lineno,
-                text,
-                ItemClass::Budget,
-                attempt,
-                &diag.message.clone(),
-                &[diag],
-            );
-            (ItemClass::Budget, output, Some(entry))
-        }
+/// Solve one item end to end: parse, concretize (panic-isolated, budget retries
+/// via [`solve_with_retries`]), and render the per-line output (human or wire
+/// JSON) and DLQ entry. Output and DLQ share one [`SolveResponse`] value — the
+/// DLQ entry is the same rendering with the input `lineno` added.
+fn solve_item(
+    session: &ConcretizerSession<'_>,
+    index: usize,
+    lineno: usize,
+    text: &str,
+    retries: u32,
+    json: bool,
+) -> ItemRecord {
+    let id = index.to_string();
+    let (response, human) = match parse_spec(text) {
         Err(e) => {
-            let message = e.to_string();
-            let entry =
-                render_dlq_entry(index, lineno, text, ItemClass::Internal, attempt, &message, &[]);
-            (ItemClass::Internal, format!("error  {text}: {message}"), Some(entry))
+            // Satellite bugfix (PR 7): parse failures report the input line number
+            // and do not stop the batch — and they are a distinct class from unsat
+            // and internal errors in both the per-line output and the exit code.
+            let response = SolveResponse::failure(&id, text, ResultClass::Parse, &e.to_string());
+            (response, format!("parse  {text}: {e} (line {lineno})"))
+        }
+        Ok(spec) => {
+            let (result, attempt) =
+                solve_with_retries(session, std::slice::from_ref(&spec), &|_| {}, retries);
+            let response = SolveResponse::from_result(&id, text, &result, attempt);
+            let human = match &result {
+                Ok(c) => format!(
+                    "ok     {text} -> {} packages ({} reused, {} to build)",
+                    c.spec.len(),
+                    c.reuse_count(),
+                    c.build_count()
+                ),
+                Err(ConcretizeError::Unsatisfiable { diagnostics, .. }) => {
+                    let first = diagnostics.first().map(|d| d.message.clone()).unwrap_or_default();
+                    format!("UNSAT  {text}: {first}")
+                }
+                Err(ConcretizeError::Budget { partial_best, .. }) => match partial_best {
+                    Some(c) => format!(
+                        "budget {text}: non-optimal model proven ({} packages) before the budget ran out",
+                        c.spec.len()
+                    ),
+                    None => format!("budget {text}: budget exhausted before any model was found"),
+                },
+                Err(e) if e.class() == ResultClass::Parse => format!("parse  {text}: {e}"),
+                Err(e) => format!("error  {text}: {e}"),
+            };
+            (response, human)
         }
     };
-    ItemRecord { index, lineno, spec: text.to_string(), class, retries: attempt, output, dlq }
+    let class = response.status;
+    let retries_used = response.retries;
+    let output = if json { response.render() } else { human };
+    let dlq = (class != ItemClass::Ok).then(|| {
+        let mut entry = response.clone();
+        entry.lineno = Some(lineno);
+        entry.render()
+    });
+    ItemRecord { index, lineno, spec: text.to_string(), class, retries: retries_used, output, dlq }
 }
 
 /// Digest of a batch's identity: its `(lineno, spec)` items plus the
@@ -472,7 +411,7 @@ pub fn batch_digest(items: &[(usize, String)], options: &str) -> u64 {
 // ---- hand-rolled JSON (the workspace deliberately has no serde dependency) --------
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -489,7 +428,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Inverse of [`json_escape`]. Returns `None` on a malformed escape.
-fn json_unescape(s: &str) -> Option<String> {
+pub(crate) fn json_unescape(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -589,51 +528,11 @@ fn parse_record(text: &str) -> Option<ItemRecord> {
         index: json_uint_field(body, "index")? as usize,
         lineno: json_uint_field(body, "lineno")? as usize,
         spec: json_str_field(body, "spec")?,
-        class: ItemClass::from_str(&json_str_field(body, "class")?)?,
+        class: ItemClass::from_wire(&json_str_field(body, "class")?)?,
         retries: json_uint_field(body, "retries")? as u32,
         output: json_str_field(body, "output")?,
         dlq,
     })
-}
-
-/// Render one dead-letter entry: failure class, message, and the full diagnostics
-/// report (priority, code, message, package, provenance) for offline triage.
-fn render_dlq_entry(
-    index: usize,
-    lineno: usize,
-    spec: &str,
-    class: ItemClass,
-    retries: u32,
-    message: &str,
-    diagnostics: &[Diagnostic],
-) -> String {
-    let diags: Vec<String> = diagnostics
-        .iter()
-        .map(|d| {
-            let package = match &d.package {
-                Some(p) => format!("\"{}\"", json_escape(p)),
-                None => "null".to_string(),
-            };
-            let provenance: Vec<String> =
-                d.provenance.iter().map(|p| format!("\"{}\"", json_escape(p))).collect();
-            format!(
-                "{{\"priority\": {}, \"code\": \"{}\", \"message\": \"{}\", \
-                 \"package\": {package}, \"provenance\": [{}]}}",
-                d.priority,
-                json_escape(&d.code),
-                json_escape(&d.message),
-                provenance.join(", ")
-            )
-        })
-        .collect();
-    format!(
-        "{{\"index\": {index}, \"lineno\": {lineno}, \"spec\": \"{}\", \"class\": \"{}\", \
-         \"retries\": {retries}, \"message\": \"{}\", \"diagnostics\": [{}]}}",
-        json_escape(spec),
-        class.as_str(),
-        json_escape(message),
-        diags.join(", ")
-    )
 }
 
 #[cfg(test)]
@@ -641,6 +540,15 @@ mod tests {
     use super::*;
 
     fn sample_record() -> ItemRecord {
+        let mut entry = SolveResponse::failure(
+            "3",
+            "zlib@9.9",
+            ItemClass::Unsat,
+            "no valid configuration exists",
+        );
+        entry.retries = 2;
+        entry.lineno = Some(7);
+        entry.diagnostics = vec![crate::diagnose::structural_diagnostic("zlib@9.9")];
         ItemRecord {
             index: 3,
             lineno: 7,
@@ -648,15 +556,7 @@ mod tests {
             class: ItemClass::Unsat,
             retries: 2,
             output: "UNSAT  zlib@9.9: no known version".to_string(),
-            dlq: Some(render_dlq_entry(
-                3,
-                7,
-                "zlib@9.9",
-                ItemClass::Unsat,
-                2,
-                "no valid configuration exists",
-                &[diagnose::structural_diagnostic("zlib@9.9")],
-            )),
+            dlq: Some(entry.render()),
         }
     }
 

@@ -37,6 +37,8 @@ pub mod durable;
 pub mod extract;
 pub mod facts;
 pub mod greedy;
+pub mod options;
+pub mod server;
 pub mod session;
 
 use std::fmt;
@@ -54,6 +56,7 @@ pub use durable::{BatchCounters, BatchOutcome, ItemClass, ItemRecord, StateDir};
 pub use extract::Extraction;
 pub use facts::{setup_problem, BaseFacts, FactBuilder, SetupInfo};
 pub use greedy::{GreedyConcretizer, GreedyError, GreedyResult};
+pub use options::SolveOptions;
 pub use session::{ConcretizerSession, SessionStats};
 
 /// The concretization logic program (the analogue of the ~800-line ASP program the paper
@@ -173,6 +176,97 @@ impl ConcretizeError {
 
 impl std::error::Error for ConcretizeError {}
 
+/// The worst-class result taxonomy every front end shares: the batch runner's
+/// per-item class, the DLQ record's `status`, the server's [`server::wire::SolveResponse`]
+/// `status` field, and the process exit code all map through this one enum.
+///
+/// Ordering is by exit-code severity (a batch exits with the *worst* class
+/// observed): `Ok` < `Unsat` < `Parse` < `Budget` < `Internal`. Exit code `1` is
+/// reserved for pipeline errors (bad arguments, I/O) and never produced by a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResultClass {
+    /// Concretized to an optimal DAG (exit code 0).
+    Ok,
+    /// Well-formed but unsatisfiable; carries diagnostics (exit code 2).
+    Unsat,
+    /// The spec text did not parse, or fact setup rejected the request (exit code 3).
+    Parse,
+    /// The solve budget ran out before optimality was proven (exit code 4).
+    Budget,
+    /// An internal error or an isolated panic (exit code 5).
+    Internal,
+}
+
+impl ResultClass {
+    /// The exit code this class contributes under the worst-class-wins contract.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ResultClass::Ok => 0,
+            ResultClass::Unsat => 2,
+            ResultClass::Parse => 3,
+            ResultClass::Budget => 4,
+            ResultClass::Internal => 5,
+        }
+    }
+
+    /// Stable wire name, used in checkpoint records, DLQ entries, and the server's
+    /// `status` response field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResultClass::Ok => "ok",
+            ResultClass::Unsat => "unsat",
+            ResultClass::Parse => "parse",
+            ResultClass::Budget => "budget",
+            ResultClass::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire name produced by [`ResultClass::as_str`].
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Some(match s {
+            "ok" => ResultClass::Ok,
+            "unsat" => ResultClass::Unsat,
+            "parse" => ResultClass::Parse,
+            "budget" => ResultClass::Budget,
+            "internal" => ResultClass::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Classify a whole concretization result (`Ok` for a success).
+    pub fn of(result: &Result<Concretization, ConcretizeError>) -> Self {
+        match result {
+            Ok(_) => ResultClass::Ok,
+            Err(e) => e.class(),
+        }
+    }
+}
+
+impl fmt::Display for ResultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl ConcretizeError {
+    /// The worst-class taxonomy of this error — the one source of truth behind the
+    /// batch exit-code contract, DLQ records, and the server's `status` field.
+    ///
+    /// `Setup` and `UnknownPackage` classify as [`ResultClass::Parse`]: both mean
+    /// "your request is malformed", distinct from "the constraints are
+    /// unsatisfiable" and from "the tool broke".
+    pub fn class(&self) -> ResultClass {
+        match self {
+            ConcretizeError::UnknownPackage(_) | ConcretizeError::Setup(_) => ResultClass::Parse,
+            ConcretizeError::Unsatisfiable { .. } => ResultClass::Unsat,
+            ConcretizeError::Budget { .. } => ResultClass::Budget,
+            ConcretizeError::Solver(_)
+            | ConcretizeError::Extraction(_)
+            | ConcretizeError::Internal(_) => ResultClass::Internal,
+        }
+    }
+}
+
 impl From<asp::AspError> for ConcretizeError {
     fn from(e: asp::AspError) -> Self {
         ConcretizeError::Solver(e)
@@ -257,19 +351,49 @@ impl<'a> Concretizer<'a> {
         }
     }
 
+    /// Configure every option at once from a [`SolveOptions`] value — the site
+    /// model, the optional reuse database, and the full solver configuration
+    /// (budget, portfolio, nogood store, seed). This is the preferred entry
+    /// point; the `with_*` builders below are thin forwarders kept so existing
+    /// code and examples compile.
+    pub fn with_options(mut self, options: SolveOptions<'a>) -> Self {
+        self.site = options.site;
+        self.database = options.database;
+        self.solver = options.solver;
+        self
+    }
+
+    /// The options currently configured, as one [`SolveOptions`] value.
+    pub fn options(&self) -> SolveOptions<'a> {
+        SolveOptions {
+            site: self.site.clone(),
+            database: self.database,
+            solver: self.solver.clone(),
+        }
+    }
+
     /// Use a specific site configuration.
+    ///
+    /// Deprecated in favor of [`SolveOptions::site`] + [`Concretizer::with_options`];
+    /// kept as a thin forwarder.
     pub fn with_site(mut self, site: SiteConfig) -> Self {
         self.site = site;
         self
     }
 
     /// Enable reuse of the given installed-package database / buildcache (Section VI).
+    ///
+    /// Deprecated in favor of [`SolveOptions::database`] +
+    /// [`Concretizer::with_options`]; kept as a thin forwarder.
     pub fn with_database(mut self, database: &'a Database) -> Self {
         self.database = Some(database);
         self
     }
 
     /// Use a specific solver configuration (preset, strategy, seed).
+    ///
+    /// Deprecated in favor of [`SolveOptions::solver`] + [`Concretizer::with_options`];
+    /// kept as a thin forwarder.
     pub fn with_solver_config(mut self, solver: SolverConfig) -> Self {
         self.solver = solver;
         self
@@ -278,6 +402,9 @@ impl<'a> Concretizer<'a> {
     /// Bound every solve by a [`asp::SolveBudget`] (wall deadline and/or conflict
     /// limit). An exhausted budget surfaces as [`ConcretizeError::Budget`], carrying
     /// the best model proven so far (marked non-optimal) when there is one.
+    ///
+    /// Deprecated in favor of [`SolveOptions::budget`] + [`Concretizer::with_options`];
+    /// kept as a thin forwarder.
     pub fn with_budget(mut self, budget: asp::SolveBudget) -> Self {
         self.solver.budget = budget.is_bounded().then_some(budget);
         self
@@ -286,6 +413,9 @@ impl<'a> Concretizer<'a> {
     /// Race `k` differently-seeded solver configurations per optimizer search and take
     /// the first winner (`0` or `1` = serial). Results are byte-identical regardless
     /// of `k` — the portfolio only changes how fast the canonical answer is found.
+    ///
+    /// Deprecated in favor of [`SolveOptions::portfolio`] +
+    /// [`Concretizer::with_options`]; kept as a thin forwarder.
     pub fn with_portfolio(mut self, k: usize) -> Self {
         self.solver.portfolio = k;
         self
@@ -296,6 +426,9 @@ impl<'a> Concretizer<'a> {
     /// requests with an identical translation. Results are byte-identical either way.
     /// Only affects sessions created by [`Concretizer::session`]; one-shot solves
     /// never share clauses.
+    ///
+    /// Deprecated in favor of [`SolveOptions::nogood_store`] +
+    /// [`Concretizer::with_options`]; kept as a thin forwarder.
     pub fn with_nogood_store(mut self, enabled: bool) -> Self {
         self.solver.share_nogoods = enabled;
         self
@@ -558,6 +691,45 @@ mod tests {
     fn concretize(text: &str) -> Result<Concretization, ConcretizeError> {
         let repo = builtin_repo();
         Concretizer::new(&repo).with_site(SiteConfig::minimal()).concretize_str(text)
+    }
+
+    #[test]
+    fn result_class_is_the_single_exit_code_source_of_truth() {
+        // The worst-class contract (batch exit codes, DLQ records, server status)
+        // all routes through ConcretizeError::class(); pin every mapping.
+        let unsat =
+            ConcretizeError::Unsatisfiable { diagnostics: Vec::new(), stats: Box::default() };
+        assert_eq!(unsat.class(), ResultClass::Unsat);
+        assert_eq!(ConcretizeError::Setup("x".into()).class(), ResultClass::Parse);
+        assert_eq!(ConcretizeError::UnknownPackage("x".into()).class(), ResultClass::Parse);
+        let solver = ConcretizeError::Solver(asp::AspError::Usage("x".into()));
+        assert_eq!(solver.class(), ResultClass::Internal);
+        assert_eq!(ConcretizeError::Extraction("x".into()).class(), ResultClass::Internal);
+        assert_eq!(ConcretizeError::Internal("x".into()).class(), ResultClass::Internal);
+
+        for (class, code, name) in [
+            (ResultClass::Ok, 0, "ok"),
+            (ResultClass::Unsat, 2, "unsat"),
+            (ResultClass::Parse, 3, "parse"),
+            (ResultClass::Budget, 4, "budget"),
+            (ResultClass::Internal, 5, "internal"),
+        ] {
+            assert_eq!(class.exit_code(), code);
+            assert_eq!(class.as_str(), name);
+            assert_eq!(ResultClass::from_wire(name), Some(class));
+            assert_eq!(class.to_string(), name);
+        }
+        assert_eq!(ResultClass::from_wire("bogus"), None);
+        // Worst-class ordering: later variants are worse (batch takes the max).
+        assert!(ResultClass::Ok < ResultClass::Unsat);
+        assert!(ResultClass::Unsat < ResultClass::Parse);
+        assert!(ResultClass::Parse < ResultClass::Budget);
+        assert!(ResultClass::Budget < ResultClass::Internal);
+        // ResultClass::of classifies whole results.
+        assert_eq!(
+            ResultClass::of(&Err(ConcretizeError::Internal("x".into()))),
+            ResultClass::Internal
+        );
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! [`SolveOptions`]: every knob of a concretization in one value.
+//!
+//! Before this module the options of a [`Concretizer`](crate::Concretizer) sprawled across six
+//! `with_*` builder methods; a server carrying options *per request* had no
+//! single value to hold, log, or serialize. `SolveOptions` collapses them:
+//!
+//! ```
+//! use spack_concretizer::{Concretizer, SiteConfig, SolveOptions};
+//! use spack_repo::builtin_repo;
+//!
+//! let repo = builtin_repo();
+//! let options = SolveOptions::new().site(SiteConfig::minimal()).portfolio(2);
+//! let result = Concretizer::new(&repo).with_options(options).concretize_str("zlib");
+//! assert!(result.is_ok());
+//! ```
+//!
+//! The old builders remain as thin forwarders (see [`crate::Concretizer::with_site`] and
+//! friends) so existing code keeps compiling, but new code — and everything the
+//! server does — should construct a `SolveOptions`.
+//!
+//! # Wire form
+//!
+//! `SolveOptions` holds live references (`database`) and full site descriptions,
+//! neither of which can cross a socket. Its serialized counterpart is
+//! [`crate::server::wire::RequestOptions`]: the site is named by preset
+//! (`"quartz"`, `"lassen"`, `"minimal"`), the database by the `reuse` flag, and the
+//! solver knobs (budget, portfolio, nogood store, seed) travel as plain JSON
+//! fields. [`crate::server::wire::RequestOptions::apply`] folds a parsed wire value
+//! onto a base `SolverConfig`, which is exactly what the server does per request.
+
+use asp::{SolveBudget, SolverConfig};
+use spack_store::Database;
+
+use crate::SiteConfig;
+
+/// Every option of a concretization, in one place: the site model, the optional
+/// installed-package database for reuse, and the solver configuration (preset,
+/// seed, portfolio width, nogood sharing, solve budget).
+///
+/// `Default` is the same configuration [`Concretizer::new`] starts from: the
+/// Quartz-like site, no reuse, default solver. Construct with struct syntax or
+/// with the `site`/`database`/... setters, then pass to
+/// [`Concretizer::with_options`].
+///
+/// [`Concretizer::new`]: crate::Concretizer::new
+/// [`Concretizer::with_options`]: crate::Concretizer::with_options
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions<'a> {
+    /// The site configuration (compilers, operating systems, targets).
+    pub site: SiteConfig,
+    /// The installed-package database / buildcache to reuse from, when any.
+    pub database: Option<&'a Database>,
+    /// The solver configuration, including the per-solve budget, the portfolio
+    /// width, and the session nogood-store switch.
+    pub solver: SolverConfig,
+}
+
+impl<'a> SolveOptions<'a> {
+    /// The default options: Quartz-like site, no reuse, default solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use a specific site configuration.
+    pub fn site(mut self, site: SiteConfig) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// Enable reuse of the given installed-package database / buildcache.
+    pub fn database(mut self, database: &'a Database) -> Self {
+        self.database = Some(database);
+        self
+    }
+
+    /// Use a specific solver configuration wholesale (preset, strategy, seed, ...).
+    pub fn solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Bound every solve by a [`SolveBudget`] (wall deadline and/or conflict
+    /// limit). An unbounded budget clears any previous one.
+    pub fn budget(mut self, budget: SolveBudget) -> Self {
+        self.solver.budget = budget.is_bounded().then_some(budget);
+        self
+    }
+
+    /// Race `k` differently-seeded solver configurations per optimizer search
+    /// (`0` or `1` = serial). Results are byte-identical regardless of `k`.
+    pub fn portfolio(mut self, k: usize) -> Self {
+        self.solver.portfolio = k;
+        self
+    }
+
+    /// Enable or disable the session's cross-request nogood store (default on).
+    /// Results are byte-identical either way.
+    pub fn nogood_store(mut self, enabled: bool) -> Self {
+        self.solver.share_nogoods = enabled;
+        self
+    }
+
+    /// Use a specific solver seed for randomized tie-breaking.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.solver.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_concretizer_new() {
+        let options = SolveOptions::default();
+        assert!(options.database.is_none());
+        assert_eq!(options.site.target_family, SiteConfig::quartz().target_family);
+        assert_eq!(options.solver.portfolio, SolverConfig::default().portfolio);
+    }
+
+    #[test]
+    fn setters_compose() {
+        let options = SolveOptions::new()
+            .site(SiteConfig::lassen())
+            .portfolio(4)
+            .nogood_store(false)
+            .seed(7)
+            .budget(SolveBudget { wall_deadline: None, conflict_limit: Some(100) });
+        assert_eq!(options.site.target_family, "ppc64le");
+        assert_eq!(options.solver.portfolio, 4);
+        assert!(!options.solver.share_nogoods);
+        assert_eq!(options.solver.seed, 7);
+        assert_eq!(options.solver.budget.unwrap().conflict_limit, Some(100));
+    }
+
+    #[test]
+    fn unbounded_budget_clears() {
+        let options = SolveOptions::new()
+            .budget(SolveBudget { wall_deadline: None, conflict_limit: Some(1) })
+            .budget(SolveBudget::unlimited());
+        assert!(options.solver.budget.is_none());
+    }
+}

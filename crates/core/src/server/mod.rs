@@ -1,0 +1,534 @@
+//! The serving layer behind `spack-solved`: an async sharded concretization
+//! service over newline-delimited JSON (see [`wire`]).
+//!
+//! The paper's concretizer answers one `spack install` at a time; the ROADMAP's
+//! north star is a service answering millions of requests. Everything needed
+//! already existed below this module — [`ConcretizerSession`] is `&self` and
+//! thread-safe, solving is budget-bounded with graceful degradation, and the
+//! worst-class taxonomy ([`crate::ResultClass`]) gives every outcome a stable
+//! status — so this module is deliberately thin plumbing:
+//!
+//! * **Shard map** — each request routes to a shard keyed by its `(site, reuse)`
+//!   combination, i.e. by the [`BaseFacts`](crate::BaseFacts) digest that pair
+//!   produces: one lazily-built [`ConcretizerSession`] per distinct base problem,
+//!   frozen once and shared by every request that hits it. The `stats` request
+//!   reports per-shard session stats (base grounds, ground reuse, nogood-store
+//!   hits) so the "base ground exactly once per digest" invariant is observable
+//!   over the wire.
+//! * **Admission queue + worker pool** — requests are parsed on the transport
+//!   thread and pushed into a bounded queue (backpressure: admission blocks when
+//!   the queue is full, which on a socket leaves bytes unread and pushes back on
+//!   the client); a fixed pool of workers executes them on the shard sessions.
+//! * **Out-of-order streaming** — each worker writes its response line as soon as
+//!   its job resolves, tagged by the request's id; a slow solve never blocks a
+//!   fast one behind it.
+//! * **Graceful shutdown** — a `shutdown` request (or EOF on the pipe) stops
+//!   admission; queued and in-flight jobs all complete and their responses are
+//!   written before the server exits.
+//!
+//! Two transports share all of that machinery: [`serve_pipe`] (stdin/stdout —
+//! testable, and what CI race-checks against `spack-solve batch --json`) and
+//! [`serve_socket`] (a Unix listener, one reader thread per connection, responses
+//! multiplexed back on the connection that asked).
+
+pub mod wire;
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use spack_repo::Repository;
+use spack_spec::parse_spec;
+use spack_store::Database;
+
+use crate::durable::solve_with_retries;
+use crate::{Concretizer, ConcretizerSession, ResultClass, SiteConfig, SolveOptions};
+
+/// Configuration of a server instance (both transports).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing solves (at least 1).
+    pub workers: usize,
+    /// Admission-queue depth; a full queue blocks admission (backpressure).
+    pub queue_depth: usize,
+    /// Site preset used when a request does not name one.
+    pub default_site: String,
+    /// Reuse default used when a request does not set the `reuse` flag.
+    pub default_reuse: bool,
+    /// Budget-retry default used when a request does not set `retries`
+    /// (mirrors `spack-solve batch --retries`, default 1).
+    pub retries: u32,
+    /// Deterministic test hook: stall any solve whose roots include this package
+    /// name for the given duration before solving. This is how the integration
+    /// tests pin down out-of-order completion without racing wall clocks.
+    pub stall: Option<(String, Duration)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            default_site: "quartz".to_string(),
+            default_reuse: false,
+            retries: 1,
+            stall: None,
+        }
+    }
+}
+
+/// Resolve a wire site preset name to its [`SiteConfig`].
+pub fn site_by_name(name: &str) -> Option<SiteConfig> {
+    match name {
+        "quartz" => Some(SiteConfig::quartz()),
+        "lassen" => Some(SiteConfig::lassen()),
+        "minimal" => Some(SiteConfig::minimal()),
+        _ => None,
+    }
+}
+
+/// Per-shard statistics reported by the `stats` request: the shard key, its
+/// [`BaseFacts`](crate::BaseFacts) digest, and the session counters that make
+/// ground reuse observable (`base_grounds` stays 1 however many requests hit
+/// the shard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Site preset name of the shard key.
+    pub site: String,
+    /// Reuse flag of the shard key.
+    pub reuse: bool,
+    /// The shard session's base-fact digest (distinct per shard by construction).
+    pub digest: u64,
+    /// Requests answered by this shard's session.
+    pub requests: u64,
+    /// Base groundings performed (1 unless the multi-shot path regresses).
+    pub base_grounds: u64,
+    /// Frozen ground instances shared by every request on this shard.
+    pub frozen_instances: usize,
+    /// Cross-request nogood-store hits.
+    pub store_hits: u64,
+    /// Cross-request nogood-store misses.
+    pub store_misses: u64,
+    /// Clauses transferred between requests through the store.
+    pub store_transferred: u64,
+}
+
+/// A server-wide statistics snapshot: queue/worker counters plus one
+/// [`ShardStats`] per built shard, in deterministic `(site, reuse)` order.
+/// Returned by [`serve_pipe`] / [`serve_socket`] at exit and rendered over the
+/// wire for `stats` requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs currently admitted but not yet completed.
+    pub queue_depth: usize,
+    /// Solve requests admitted so far.
+    pub jobs_received: u64,
+    /// Solve responses written so far.
+    pub jobs_completed: u64,
+    /// One entry per shard whose session has been built.
+    pub shards: Vec<ShardStats>,
+}
+
+/// The lazily-built shard map: one [`ConcretizerSession`] per `(site, reuse)`
+/// key. The map lock is held only to look up or insert the slot; session
+/// construction (base grounding) happens outside it, serialized per shard by the
+/// slot's `OnceLock` — two concurrent first requests for one shard build it once.
+struct Shards<'a> {
+    repo: &'a Repository,
+    cache: Option<&'a Database>,
+    map: Mutex<HashMap<(String, bool), Arc<Shard<'a>>>>,
+}
+
+struct Shard<'a> {
+    session: OnceLock<Result<ConcretizerSession<'a>, String>>,
+}
+
+impl<'a> Shards<'a> {
+    fn new(repo: &'a Repository, cache: Option<&'a Database>) -> Self {
+        Shards { repo, cache, map: Mutex::new(HashMap::new()) }
+    }
+
+    /// The shard for `(site, reuse)`, building its session on first use.
+    fn get(&self, site: &str, reuse: bool) -> Result<Arc<Shard<'a>>, String> {
+        let site_config = site_by_name(site).ok_or_else(|| {
+            format!("unknown site '{site}' (expected quartz, lassen, or minimal)")
+        })?;
+        let database = match (reuse, self.cache) {
+            (false, _) => None,
+            (true, Some(cache)) => Some(cache),
+            (true, None) => {
+                return Err("reuse requested but the server has no buildcache".to_string())
+            }
+        };
+        let shard = {
+            let mut map = self.map.lock().expect("shard map poisoned");
+            Arc::clone(
+                map.entry((site.to_string(), reuse))
+                    .or_insert_with(|| Arc::new(Shard { session: OnceLock::new() })),
+            )
+        };
+        // Build outside the map lock so a slow base grounding on one shard never
+        // blocks routing (or building) on another.
+        shard.session.get_or_init(|| {
+            let mut options = SolveOptions::new().site(site_config);
+            if let Some(db) = database {
+                options = options.database(db);
+            }
+            Concretizer::new(self.repo)
+                .with_options(options)
+                .session()
+                .map_err(|e| format!("building the {site}/reuse={reuse} session failed: {e}"))
+        });
+        Ok(shard)
+    }
+
+    /// Stats of every shard whose session has been built, `(site, reuse)`-sorted.
+    fn stats(&self) -> Vec<ShardStats> {
+        let map = self.map.lock().expect("shard map poisoned");
+        let mut shards: Vec<ShardStats> = map
+            .iter()
+            .filter_map(|((site, reuse), shard)| {
+                let session = shard.session.get()?.as_ref().ok()?;
+                let s = session.stats();
+                Some(ShardStats {
+                    site: site.clone(),
+                    reuse: *reuse,
+                    digest: s.base_digest,
+                    requests: s.requests,
+                    base_grounds: s.base_grounds,
+                    frozen_instances: s.frozen_instances,
+                    store_hits: s.store_hits,
+                    store_misses: s.store_misses,
+                    store_transferred: s.store_transferred,
+                })
+            })
+            .collect();
+        shards.sort_by(|a, b| (&a.site, a.reuse).cmp(&(&b.site, b.reuse)));
+        shards
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    completed: AtomicU64,
+    queued: AtomicU64,
+}
+
+enum JobKind {
+    Solve(wire::SolveRequest),
+    Stats { id: String },
+}
+
+/// One queued job, carrying the reply sink of the connection that asked (on the
+/// pipe transport every job shares the single output sink).
+struct Job<W> {
+    kind: JobKind,
+    sink: Arc<Mutex<W>>,
+}
+
+/// Write one response line and flush, so a reader on the other side of a pipe or
+/// socket sees each response as soon as its job resolves.
+fn emit<W: Write>(sink: &Mutex<W>, line: &str) {
+    let mut out = sink.lock().expect("response sink poisoned");
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Execute one solve request on its shard: parse the specs, route by
+/// `(site, reuse)`, apply the per-request wire options (budget, portfolio,
+/// nogood store, seed) on the session's forked control, and classify the result.
+fn execute(
+    shards: &Shards<'_>,
+    config: &ServerConfig,
+    req: &wire::SolveRequest,
+) -> wire::SolveResponse {
+    let spec_text = req.specs.join(" ");
+    let mut roots = Vec::with_capacity(req.specs.len());
+    for text in &req.specs {
+        match parse_spec(text) {
+            Ok(spec) => roots.push(spec),
+            Err(e) => {
+                return wire::SolveResponse::failure(
+                    &req.id,
+                    &spec_text,
+                    ResultClass::Parse,
+                    &e.to_string(),
+                )
+            }
+        }
+    }
+    let site = req.options.site.as_deref().unwrap_or(&config.default_site);
+    let reuse = req.options.reuse.unwrap_or(config.default_reuse);
+    let shard = match shards.get(site, reuse) {
+        Ok(shard) => shard,
+        Err(message) => {
+            return wire::SolveResponse::failure(&req.id, &spec_text, ResultClass::Parse, &message)
+        }
+    };
+    let session = match shard.session.get().expect("session initialized by Shards::get") {
+        Ok(session) => session,
+        Err(message) => {
+            return wire::SolveResponse::failure(
+                &req.id,
+                &spec_text,
+                ResultClass::Internal,
+                message,
+            )
+        }
+    };
+    if let Some((name, pause)) = &config.stall {
+        if roots.iter().any(|r| r.name.as_deref() == Some(name.as_str())) {
+            std::thread::sleep(*pause);
+        }
+    }
+    let retries = req.options.retries.unwrap_or(config.retries);
+    let options = &req.options;
+    let (result, attempts) =
+        solve_with_retries(session, &roots, &|cfg| options.apply(cfg), retries);
+    wire::SolveResponse::from_result(&req.id, &spec_text, &result, attempts)
+}
+
+fn worker_loop<W: Write + Send>(
+    rx: &Mutex<mpsc::Receiver<Job<W>>>,
+    shards: &Shards<'_>,
+    config: &ServerConfig,
+    counters: &Counters,
+) {
+    loop {
+        // Holding the receiver lock only for the recv: the holder blocks here
+        // while the queue is empty, takes the next job, and releases before
+        // executing it — so all other workers run concurrently.
+        let job = match rx.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: admission ended, queue drained
+        };
+        counters.queued.fetch_sub(1, Ordering::SeqCst);
+        match job.kind {
+            JobKind::Solve(req) => {
+                let response = execute(shards, config, &req);
+                emit(&job.sink, &response.render());
+                counters.completed.fetch_add(1, Ordering::SeqCst);
+            }
+            JobKind::Stats { id } => {
+                let stats = snapshot(shards, config, counters);
+                emit(&job.sink, &wire::render_stats_response(&id, &stats));
+            }
+        }
+    }
+}
+
+fn snapshot(shards: &Shards<'_>, config: &ServerConfig, counters: &Counters) -> ServerStats {
+    ServerStats {
+        workers: config.workers.max(1),
+        queue_depth: counters.queued.load(Ordering::SeqCst) as usize,
+        jobs_received: counters.received.load(Ordering::SeqCst),
+        jobs_completed: counters.completed.load(Ordering::SeqCst),
+        shards: shards.stats(),
+    }
+}
+
+/// Parse one request line and either enqueue it or answer it directly.
+/// Returns `Some(id)` when the line was a `shutdown` request.
+fn admit_line<W: Write + Send>(
+    line: &str,
+    tx: &mpsc::SyncSender<Job<W>>,
+    sink: &Arc<Mutex<W>>,
+    counters: &Counters,
+) -> Option<String> {
+    match wire::parse_request(line) {
+        // A malformed line is answered immediately with a parse-status response;
+        // the connection stays up and later lines are processed normally.
+        Err(message) => {
+            emit(
+                sink,
+                &wire::SolveResponse::failure("", "", ResultClass::Parse, &message).render(),
+            );
+            None
+        }
+        Ok(wire::Request::Shutdown { id }) => Some(id),
+        Ok(wire::Request::Stats { id }) => {
+            counters.queued.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(Job { kind: JobKind::Stats { id }, sink: Arc::clone(sink) });
+            None
+        }
+        Ok(wire::Request::Solve(req)) => {
+            counters.received.fetch_add(1, Ordering::SeqCst);
+            counters.queued.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(Job { kind: JobKind::Solve(req), sink: Arc::clone(sink) });
+            None
+        }
+    }
+}
+
+/// Serve newline-delimited JSON requests from `input`, streaming responses to
+/// `output` as they resolve (out of order, tagged by id). Returns the final
+/// statistics snapshot once the input is exhausted (or a `shutdown` request
+/// arrives) **and** every admitted job has completed — drain-on-shutdown is
+/// structural: the worker pool is joined before this function returns, and the
+/// `shutdown` acknowledgement is the last line written.
+pub fn serve_pipe<R, W>(
+    repo: &Repository,
+    cache: Option<&Database>,
+    config: &ServerConfig,
+    input: R,
+    output: W,
+) -> ServerStats
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let shards = Shards::new(repo, cache);
+    let counters = Counters::default();
+    let sink = Arc::new(Mutex::new(output));
+    let mut shutdown_id: Option<String> = None;
+    // The receiver outlives the scope so worker borrows of it are valid for the
+    // scope's lifetime; the sender is moved in and dropped there to end the pool.
+    let (tx, rx) = mpsc::sync_channel::<Job<W>>(config.queue_depth.max(1));
+    let rx = Mutex::new(rx);
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers.max(1) {
+            let rx = &rx;
+            let shards = &shards;
+            let counters = &counters;
+            scope.spawn(move || worker_loop(rx, shards, config, counters));
+        }
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(id) = admit_line(line, &tx, &sink, &counters) {
+                shutdown_id = Some(id);
+                break;
+            }
+        }
+        // Dropping the sender ends the worker loops once the queue is drained;
+        // the scope then joins them — every admitted job completes before exit.
+        drop(tx);
+    });
+    if let Some(id) = shutdown_id {
+        let mut ack = wire::SolveResponse::failure(&id, "", ResultClass::Ok, "shutdown complete");
+        ack.message = Some("shutdown complete".to_string());
+        emit(&sink, &ack.render());
+    }
+    snapshot(&shards, config, &counters)
+}
+
+/// Serve requests on a Unix socket listener: one reader thread per connection,
+/// responses multiplexed back on the connection that sent the request. A
+/// `shutdown` request from any connection stops the accept loop and admission on
+/// every connection; queued and in-flight jobs complete before the function
+/// returns (their responses still reach their connections).
+#[cfg(unix)]
+pub fn serve_socket(
+    repo: &Repository,
+    cache: Option<&Database>,
+    config: &ServerConfig,
+    listener: std::os::unix::net::UnixListener,
+) -> std::io::Result<ServerStats> {
+    use std::io::BufReader;
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::AtomicBool;
+
+    let shards = Shards::new(repo, cache);
+    let counters = Counters::default();
+    let shutdown = AtomicBool::new(false);
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = mpsc::sync_channel::<Job<UnixStream>>(config.queue_depth.max(1));
+    let rx = Mutex::new(rx);
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers.max(1) {
+            let rx = &rx;
+            let shards = &shards;
+            let counters = &counters;
+            scope.spawn(move || worker_loop(rx, shards, config, counters));
+        }
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let tx = tx.clone();
+                    let counters = &counters;
+                    let shutdown = &shutdown;
+                    scope.spawn(move || {
+                        let Ok(read_half) = stream.try_clone() else { return };
+                        let sink = Arc::new(Mutex::new(stream));
+                        for line in BufReader::new(read_half).lines() {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(line) = line else { break };
+                            let line = line.trim();
+                            if line.is_empty() {
+                                continue;
+                            }
+                            if let Some(id) = admit_line(line, &tx, &sink, counters) {
+                                // Socket mode acknowledges before the drain (the
+                                // pool is joined below); the ack only confirms
+                                // that no further work will be admitted.
+                                let mut ack = wire::SolveResponse::failure(
+                                    &id,
+                                    "",
+                                    ResultClass::Ok,
+                                    "shutdown accepted; draining in-flight jobs",
+                                );
+                                ack.message =
+                                    Some("shutdown accepted; draining in-flight jobs".to_string());
+                                emit(&sink, &ack.render());
+                                shutdown.store(true, Ordering::SeqCst);
+                                break;
+                            }
+                        }
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => break,
+            }
+        }
+        drop(tx);
+    });
+    Ok(snapshot(&shards, config, &counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_names_resolve_and_unknown_is_rejected() {
+        assert_eq!(site_by_name("quartz").unwrap().target_family, "x86_64");
+        assert_eq!(site_by_name("lassen").unwrap().target_family, "ppc64le");
+        assert!(site_by_name("minimal").is_some());
+        assert!(site_by_name("frontier").is_none());
+    }
+
+    #[test]
+    fn shard_map_reuses_one_session_per_key() {
+        let repo = spack_repo::builtin_repo();
+        let shards = Shards::new(&repo, None);
+        let a = shards.get("minimal", false).unwrap();
+        let b = shards.get("minimal", false).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must reuse one shard");
+        let c = shards.get("quartz", false).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "distinct keys must get distinct shards");
+        let da = a.session.get().unwrap().as_ref().unwrap().base_digest();
+        let dc = c.session.get().unwrap().as_ref().unwrap().base_digest();
+        assert_ne!(da, dc, "distinct sites must produce distinct base digests");
+        assert!(shards.get("nowhere", false).is_err());
+        assert!(shards.get("minimal", true).is_err(), "no buildcache, reuse must be rejected");
+        let stats = shards.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].site, "minimal");
+        assert_eq!(stats[1].site, "quartz");
+        assert!(stats.iter().all(|s| s.base_grounds == 1));
+    }
+}

@@ -179,8 +179,14 @@ impl ConcretizerSession<'_> {
         let setup_start = Instant::now();
         let mut ctl = self.frozen.request();
         tune(ctl.solver_config_mut());
-        if let Some(store) = &self.store {
-            ctl.set_shared_store(Arc::clone(store));
+        // A per-request `share_nogoods = false` (e.g. from the server's wire
+        // options) opts this request out of the session store entirely: it
+        // neither imports nor contributes clauses. Results are identical either
+        // way; only the store counters differ.
+        if ctl.solver_config_mut().share_nogoods {
+            if let Some(store) = &self.store {
+                ctl.set_shared_store(Arc::clone(store));
+            }
         }
         let setup_info = self.base.request(self.repo, &mut ctl, roots)?;
         // Relevance restriction: this request's view of the frozen base drops every

@@ -201,9 +201,13 @@ fn conflict_limit_dead_letters_the_pathological_spec_but_not_its_siblings() {
     assert!(stderr.contains("1 dead-lettered"), "{stderr}");
     let dlq = read(&state.join("dlq.jsonl"));
     assert_eq!(dlq.lines().count(), 1, "only hdf5 is dead-lettered: {dlq}");
-    assert!(dlq.contains("\"class\": \"budget\""), "{dlq}");
+    // DLQ entries are full wire-shaped SolveResponse lines (the same shape the
+    // server and `batch --json` emit), with the file line number attached.
+    assert!(dlq.contains("\"status\": \"budget\""), "{dlq}");
     assert!(dlq.contains("budget-exhausted"), "{dlq}");
     assert!(dlq.contains("\"retries\": 1"), "{dlq}");
+    assert!(dlq.contains("\"lineno\": 2"), "{dlq}");
+    assert!(dlq.contains("\"v\": 1"), "{dlq}");
 }
 
 #[test]
@@ -314,7 +318,7 @@ fn panic_isolation_turns_one_poisoned_request_into_a_per_item_error() {
     assert!(stdout.contains("ok     hdf5"), "the sibling must survive the panic: {stdout}");
     let dlq = read(&state.join("dlq.jsonl"));
     assert_eq!(dlq.lines().count(), 1, "{dlq}");
-    assert!(dlq.contains("\"class\": \"internal\""), "{dlq}");
+    assert!(dlq.contains("\"status\": \"internal\""), "{dlq}");
 }
 
 #[test]
@@ -331,6 +335,30 @@ fn parse_errors_report_line_numbers_and_continue() {
     assert!(stdout.contains("(line 5)"), "the 1-based file line must be reported: {stdout}");
     assert!(stdout.contains("ok     zlib"), "{stdout}");
     assert!(stdout.contains("ok     hdf5"), "parsing must continue past the bad line: {stdout}");
+}
+
+#[test]
+fn batch_json_emits_one_wire_response_per_item() {
+    // --json swaps the human per-line report for SolveResponse wire lines — the
+    // exact shape `spack-solved` emits — with the item index as the id. Classes
+    // and the exit code are unchanged.
+    let scratch = Scratch::new("json");
+    let batch = scratch.write("batch.txt", MIXED_BATCH);
+    let output = spack_solve(&["batch", "--json", batch.to_str().unwrap()], &[]);
+    assert_eq!(exit_code(&output), 3, "{}", stderr_of(&output));
+    let stdout = stdout_of(&output);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "one response line per item: {stdout}");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"v\": 1, \"id\": \"{i}\", ")),
+            "line {i} must be a v1 response with the item index as id: {line}"
+        );
+    }
+    assert!(stdout.contains("\"status\": \"ok\""), "{stdout}");
+    assert!(stdout.contains("\"status\": \"unsat\""), "{stdout}");
+    assert!(stdout.contains("\"status\": \"parse\""), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\": [{"), "unsat carries diagnostics: {stdout}");
 }
 
 #[test]

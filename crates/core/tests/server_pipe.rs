@@ -1,0 +1,218 @@
+//! Integration tests for the `spack-solved` serving layer in `--pipe` mode:
+//! out-of-order completion under a worker pool, shard routing by base digest,
+//! per-request budgets, malformed-request resilience, drain-on-shutdown, and
+//! byte-identity between the server and `spack-solve batch --json`.
+
+use std::io::Cursor;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use spack_concretizer::server::{serve_pipe, wire, ServerConfig};
+use spack_repo::builtin_repo;
+use spack_store::{synthesize_buildcache, BuildcacheConfig};
+
+/// Run the in-process pipe server over a canned request script and return the
+/// response lines plus the final stats snapshot.
+fn serve(
+    cache: bool,
+    config: &ServerConfig,
+    input: &str,
+) -> (Vec<String>, spack_concretizer::server::ServerStats) {
+    let repo = builtin_repo();
+    let db;
+    let database = if cache {
+        db = synthesize_buildcache(&repo, &BuildcacheConfig::default());
+        Some(&db)
+    } else {
+        None
+    };
+    let mut out: Vec<u8> = Vec::new();
+    let stats = serve_pipe(&repo, database, config, Cursor::new(input.to_string()), &mut out);
+    let text = String::from_utf8(out).expect("utf8 responses");
+    (text.lines().map(|l| l.to_string()).collect(), stats)
+}
+
+fn response(line: &str) -> wire::SolveResponse {
+    wire::SolveResponse::parse(line).unwrap_or_else(|e| panic!("bad response line: {e}\n{line}"))
+}
+
+#[test]
+fn responses_stream_out_of_order_under_a_worker_pool() {
+    // The stall hook freezes the hdf5 solve for two seconds *after* its shard
+    // session is built, so the zlib request admitted behind it must overtake it
+    // on another worker — deterministically, not by racing solve times.
+    let config = ServerConfig {
+        workers: 4,
+        stall: Some(("hdf5".to_string(), Duration::from_secs(2))),
+        ..ServerConfig::default()
+    };
+    let input = "{\"v\": 1, \"id\": \"slow\", \"specs\": [\"hdf5\"]}\n\
+                 {\"v\": 1, \"id\": \"fast\", \"specs\": [\"zlib\"]}\n";
+    let (lines, stats) = serve(false, &config, input);
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    let first = response(&lines[0]);
+    let second = response(&lines[1]);
+    assert_eq!(first.id, "fast", "the unstalled request must finish first");
+    assert_eq!(second.id, "slow");
+    assert_eq!(first.status, wire::SolveStatus::Ok);
+    assert_eq!(second.status, wire::SolveStatus::Ok);
+    assert_eq!(stats.jobs_received, 2);
+    assert_eq!(stats.jobs_completed, 2);
+}
+
+#[test]
+fn requests_route_to_one_shard_per_site_and_reuse_digest() {
+    // Two sites and a reuse flag: four solves over three distinct shard keys.
+    // Each shard's base must be ground exactly once however many requests hit
+    // it, and distinct shards must expose distinct base digests in `stats`.
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let input = "{\"v\": 1, \"id\": \"a\", \"specs\": [\"zlib\"], \"options\": {\"site\": \"minimal\"}}\n\
+                 {\"v\": 1, \"id\": \"b\", \"specs\": [\"hdf5\"], \"options\": {\"site\": \"minimal\"}}\n\
+                 {\"v\": 1, \"id\": \"c\", \"specs\": [\"zlib\"], \"options\": {\"site\": \"quartz\"}}\n\
+                 {\"v\": 1, \"id\": \"d\", \"specs\": [\"zlib\"], \"options\": {\"reuse\": true}}\n\
+                 {\"v\": 1, \"id\": \"s\", \"cmd\": \"stats\"}\n";
+    let (lines, stats) = serve(true, &config, input);
+    assert_eq!(lines.len(), 5, "{lines:?}");
+    // With one worker, responses come back in admission order and the stats
+    // line (queued like any job) reflects all four completed solves.
+    let stats_line = &lines[4];
+    assert!(stats_line.contains("\"id\": \"s\""), "{stats_line}");
+    assert!(stats_line.contains("\"jobs_completed\": 4"), "{stats_line}");
+
+    assert_eq!(stats.shards.len(), 3, "{:?}", stats.shards);
+    let minimal = &stats.shards[0];
+    assert_eq!((minimal.site.as_str(), minimal.reuse), ("minimal", false));
+    assert_eq!(minimal.requests, 2, "same key must reuse one session");
+    let quartz_fresh = &stats.shards[1];
+    let quartz_reuse = &stats.shards[2];
+    assert_eq!((quartz_fresh.site.as_str(), quartz_fresh.reuse), ("quartz", false));
+    assert_eq!((quartz_reuse.site.as_str(), quartz_reuse.reuse), ("quartz", true));
+    for shard in &stats.shards {
+        assert_eq!(shard.base_grounds, 1, "base ground exactly once per shard: {shard:?}");
+    }
+    let mut digests: Vec<u64> = stats.shards.iter().map(|s| s.digest).collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), 3, "distinct shard keys must have distinct base digests");
+    // The reused install shows up in the reuse shard's response.
+    let reused = response(&lines[3]);
+    assert_eq!(reused.id, "d");
+    assert!(!reused.result.expect("solved").reused.is_empty(), "reuse shard must reuse");
+}
+
+#[test]
+fn per_request_budgets_come_back_as_budget_status() {
+    // A zero wall deadline arms synchronously, so the budget response (with its
+    // budget-exhausted diagnostic) is deterministic; the sibling request on the
+    // same shard is untouched.
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let input = "{\"v\": 1, \"id\": \"cut\", \"specs\": [\"zlib\"], \"options\": {\"deadline_ms\": 0, \"retries\": 0}}\n\
+                 {\"v\": 1, \"id\": \"ok\", \"specs\": [\"zlib\"]}\n";
+    let (lines, _) = serve(false, &config, input);
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    let cut = response(&lines[0]);
+    assert_eq!(cut.status, wire::SolveStatus::Budget);
+    assert_eq!(cut.retries, 0);
+    assert!(
+        cut.diagnostics.iter().any(|d| d.code == "budget-exhausted"),
+        "budget responses carry the budget diagnostic: {cut:?}"
+    );
+    let ok = response(&lines[1]);
+    assert_eq!(ok.status, wire::SolveStatus::Ok, "the sibling must be unaffected");
+    assert!(ok.result.expect("solved").optimal);
+}
+
+#[test]
+fn malformed_requests_get_parse_responses_and_the_stream_survives() {
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let input = "this is not json\n\
+                 {\"v\": 99, \"id\": \"future\", \"specs\": [\"zlib\"]}\n\
+                 {\"v\": 1, \"id\": \"empty\", \"specs\": []}\n\
+                 {\"v\": 1, \"id\": \"good\", \"specs\": [\"zlib\"]}\n";
+    let (lines, stats) = serve(false, &config, input);
+    assert_eq!(lines.len(), 4, "every line gets an answer: {lines:?}");
+    for line in &lines[..3] {
+        let r = response(line);
+        assert_eq!(r.status, wire::SolveStatus::Parse, "{line}");
+        assert!(r.message.is_some(), "{line}");
+    }
+    let good = response(&lines[3]);
+    assert_eq!(good.id, "good");
+    assert_eq!(good.status, wire::SolveStatus::Ok, "the stream must survive bad lines");
+    assert_eq!(stats.jobs_received, 1, "only the well-formed solve is admitted");
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_and_acks_last() {
+    // One worker, three queued solves, then shutdown, then a request that must
+    // never be admitted. All three queued jobs complete (drain), the ack is the
+    // final line, and the post-shutdown request is never answered.
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let input = "{\"v\": 1, \"id\": \"q1\", \"specs\": [\"zlib\"]}\n\
+                 {\"v\": 1, \"id\": \"q2\", \"specs\": [\"zlib@9.9\"]}\n\
+                 {\"v\": 1, \"id\": \"q3\", \"specs\": [\"hdf5\"]}\n\
+                 {\"v\": 1, \"id\": \"bye\", \"cmd\": \"shutdown\"}\n\
+                 {\"v\": 1, \"id\": \"late\", \"specs\": [\"zlib\"]}\n";
+    let (lines, stats) = serve(false, &config, input);
+    assert_eq!(lines.len(), 4, "three drained responses plus the ack: {lines:?}");
+    let mut ids: Vec<String> = lines[..3].iter().map(|l| response(l).id).collect();
+    ids.sort();
+    assert_eq!(ids, ["q1", "q2", "q3"], "every queued job must drain");
+    let ack = response(&lines[3]);
+    assert_eq!(ack.id, "bye");
+    assert_eq!(ack.status, wire::SolveStatus::Ok);
+    assert_eq!(ack.message.as_deref(), Some("shutdown complete"));
+    assert_eq!(stats.jobs_received, 3, "the post-shutdown request is never admitted");
+    assert_eq!(stats.jobs_completed, 3);
+}
+
+#[test]
+fn pipe_responses_are_byte_identical_to_batch_json() {
+    // The acceptance bar for the service: for the same specs and options,
+    // `spack-solved --pipe` (4 workers, out-of-order) and the one-shot
+    // `spack-solve batch --json` emit byte-identical response lines — SAT,
+    // UNSAT (with diagnostics), parse, and budget classes alike.
+    let specs = ["zlib", "zlib@9.9", "hdf5", "example~bzip", "zlib@@bad", "hpctoolkit ^mpich"];
+    let batch_input = specs.join("\n");
+    let batch = Command::new(env!("CARGO_BIN_EXE_spack-solve"))
+        .args(["batch", "--json", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .and_then(|mut child| {
+            use std::io::Write;
+            child.stdin.take().expect("stdin").write_all(batch_input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("run spack-solve batch");
+
+    let serve_input: String = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{{\"v\": 1, \"id\": \"{i}\", \"specs\": [\"{s}\"]}}\n"))
+        .collect();
+    let served = Command::new(env!("CARGO_BIN_EXE_spack-solved"))
+        .args(["--pipe", "--workers", "4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .and_then(|mut child| {
+            use std::io::Write;
+            child.stdin.take().expect("stdin").write_all(serve_input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("run spack-solved");
+
+    let mut batch_lines: Vec<String> =
+        String::from_utf8(batch.stdout).expect("utf8").lines().map(String::from).collect();
+    let mut served_lines: Vec<String> =
+        String::from_utf8(served.stdout).expect("utf8").lines().map(String::from).collect();
+    assert_eq!(batch_lines.len(), specs.len());
+    assert_eq!(served_lines.len(), specs.len());
+    // The server streams out of order; compare as sorted multisets of lines.
+    batch_lines.sort();
+    served_lines.sort();
+    assert_eq!(batch_lines, served_lines, "server and batch --json must agree byte-for-byte");
+}
