@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::ast::Program;
-use crate::ground::{BaseProgram, GroundError, GroundProgram, GroundStats, Grounder};
+use crate::ground::{BaseProgram, GroundError, GroundProgram, GroundStats, Grounder, PatchStats};
 use crate::optimize::{
     enumerate_models_with_stats, solve_optimal_assuming, OptOutcome, OptStrategy, OptimalModel,
     OptimizeError, ProbeVerdict, StableProbe,
@@ -609,6 +609,57 @@ impl FrozenControl {
     /// Total frozen ground instances available for per-request reuse.
     pub fn frozen_instances(&self) -> usize {
         self.inner.base.frozen_instances()
+    }
+
+    /// Patch the frozen base **in place** so it answers subsequent requests exactly
+    /// like a fresh [`Control::freeze_base_partitioned`] of the post-delta universe
+    /// would — without dropping the session or re-parsing the program.
+    ///
+    /// `staged` must be a [`FrozenControl::request`] fork *of this base* carrying the
+    /// complete post-delta input fact stream (every base fact re-emitted, not just
+    /// the changed ones — the grounder diffs the streams itself and applies the
+    /// cheapest strategy: a semi-naive phase-1 continuation for pure additions, an
+    /// id-exact closure rebuild with frozen-instance remapping when facts were
+    /// removed; see [`Grounder::patch_base`]). The fork's symbol table — a superset
+    /// clone of the base's, extended with whatever new names the delta interned — is
+    /// adopted wholesale, so old symbol ids keep their meaning. `partition` re-states
+    /// the owner partition for the patched universe (a delta can add or remove
+    /// owners).
+    ///
+    /// Fails with [`AspError::Usage`] when `staged` was forked from a different base,
+    /// or when the base is still shared — another clone of this `FrozenControl`, or
+    /// an in-flight request fork, holds a reference. Callers that cannot rule out
+    /// sharing should treat that error as "evict and re-freeze".
+    pub fn patch_base<S: AsRef<str>>(
+        &mut self,
+        staged: Control,
+        partition: &[S],
+    ) -> Result<PatchStats, AspError> {
+        match &staged.base {
+            Some(inner) if Arc::ptr_eq(inner, &self.inner) => {}
+            _ => {
+                return Err(AspError::Usage(
+                    "patch_base needs a request fork of this frozen base".into(),
+                ))
+            }
+        }
+        // Destructure the fork before checking exclusivity: only its symbols and
+        // facts survive. Its `base` Arc must be dropped *explicitly* — fields
+        // matched by `..` live to the end of the scope, which would keep the
+        // refcount at 2 and make the exclusivity check below always fail.
+        let Control { symbols, facts, base, .. } = staged;
+        drop(base);
+        let inner = Arc::get_mut(&mut self.inner).ok_or_else(|| {
+            AspError::Usage(
+                "the frozen base is shared (a clone or an in-flight request fork is still \
+                 alive); cannot patch in place"
+                    .into(),
+            )
+        })?;
+        inner.symbols = symbols;
+        let partition: crate::hasher::FxHashSet<crate::symbols::SymbolId> =
+            partition.iter().filter_map(|s| inner.symbols.lookup(s.as_ref())).collect();
+        Ok(Grounder::new(&mut inner.symbols).patch_base(&mut inner.base, facts, partition)?)
     }
 }
 
@@ -1715,6 +1766,126 @@ mod tests {
             req.ground().unwrap();
             assert!(req.solve().unwrap().is_satisfiable());
         }
+    }
+
+    const BASE_DEPS: [(&str, &str); 3] = [("a", "b"), ("b", "c"), ("x", "c")];
+    const BASE_VERSIONS: [(&str, &str, i64); 4] =
+        [("a", "2.0", 0), ("a", "1.0", 1), ("b", "1.0", 0), ("c", "1.0", 0)];
+
+    /// Solve `root(<root>)` on a control freshly built from the given fact universe.
+    fn one_shot(
+        deps: &[(&str, &str)],
+        versions: &[(&str, &str, i64)],
+        root: &str,
+    ) -> (Vec<(i64, i64)>, Vec<String>) {
+        let mut one = Control::new(SolverConfig::default());
+        one.add_program(SESSION_LP).unwrap();
+        for (p, d) in deps {
+            one.add_fact("depends_on", &[(*p).into(), (*d).into()]);
+        }
+        for (p, v, w) in versions {
+            one.add_fact("version_declared", &[(*p).into(), (*v).into(), (*w).into()]);
+        }
+        one.add_fact("root", &[root.into()]);
+        one.ground().unwrap();
+        solve_cost_and_atoms(one.solve().unwrap())
+    }
+
+    /// Stage a complete post-delta fact stream on a fork of `frozen`.
+    fn stage_facts(
+        frozen: &FrozenControl,
+        deps: &[(&str, &str)],
+        versions: &[(&str, &str, i64)],
+    ) -> Control {
+        let mut staged = frozen.request();
+        for (p, d) in deps {
+            staged.add_fact("depends_on", &[(*p).into(), (*d).into()]);
+        }
+        for (p, v, w) in versions {
+            staged.add_fact("version_declared", &[(*p).into(), (*v).into(), (*w).into()]);
+        }
+        staged
+    }
+
+    /// Solve `root(<root>)` on a fork of `frozen` and render the outcome.
+    fn session_solve(frozen: &FrozenControl, root: &str) -> (Vec<(i64, i64)>, Vec<String>) {
+        let mut req = frozen.request();
+        req.add_fact("root", &[root.into()]);
+        req.ground().unwrap();
+        solve_cost_and_atoms(req.solve().unwrap())
+    }
+
+    #[test]
+    fn patch_base_additions_then_solve_matches_fresh_freeze() {
+        let mut base = Control::new(SolverConfig::default());
+        base.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut base);
+        let mut frozen = base.freeze_base().unwrap();
+
+        // Publish a brand-new package d that x now depends on: pure addition.
+        let mut deps = BASE_DEPS.to_vec();
+        deps.push(("x", "d"));
+        let mut versions = BASE_VERSIONS.to_vec();
+        versions.push(("d", "1.0", 0));
+        let staged = stage_facts(&frozen, &deps, &versions);
+        let stats = frozen.patch_base(staged, &[] as &[&str]).unwrap();
+        assert!(!stats.rebuilt, "a pure addition must take the in-place path");
+        assert!(stats.added_facts > 0 && stats.removed_facts == 0, "{stats:?}");
+
+        let patched = session_solve(&frozen, "x");
+        assert!(patched.1.iter().any(|a| a == "version(d,1.0)"), "{patched:?}");
+        assert_eq!(patched, one_shot(&deps, &versions, "x"));
+        // Untouched parts of the base answer exactly as before the patch.
+        assert_eq!(session_solve(&frozen, "a"), one_shot(&deps, &versions, "a"));
+    }
+
+    #[test]
+    fn patch_base_removal_then_re_add_round_trips() {
+        let mut base = Control::new(SolverConfig::default());
+        base.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut base);
+        let mut frozen = base.freeze_base().unwrap();
+
+        // Yank a@2.0: the preferred version disappears, so solves must fall back.
+        let after: Vec<_> =
+            BASE_VERSIONS.iter().copied().filter(|(p, v, _)| !(*p == "a" && *v == "2.0")).collect();
+        let staged = stage_facts(&frozen, &BASE_DEPS, &after);
+        let stats = frozen.patch_base(staged, &[] as &[&str]).unwrap();
+        assert!(stats.rebuilt, "a removal must rebuild");
+        let yanked = session_solve(&frozen, "a");
+        assert!(yanked.1.iter().any(|a| a == "version(a,1.0)"), "{yanked:?}");
+        assert_eq!(yanked, one_shot(&BASE_DEPS, &after, "a"));
+
+        // Re-publish it: the session must converge back to the original answers.
+        let staged = stage_facts(&frozen, &BASE_DEPS, &BASE_VERSIONS);
+        frozen.patch_base(staged, &[] as &[&str]).unwrap();
+        assert_eq!(session_solve(&frozen, "a"), one_shot(&BASE_DEPS, &BASE_VERSIONS, "a"));
+    }
+
+    #[test]
+    fn patch_base_rejects_foreign_forks_and_shared_bases() {
+        let mut base = Control::new(SolverConfig::default());
+        base.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut base);
+        let mut frozen = base.freeze_base().unwrap();
+
+        // A fork of a *different* frozen base is not a valid delta carrier.
+        let mut other = Control::new(SolverConfig::default());
+        other.add_program(SESSION_LP).unwrap();
+        session_base_facts(&mut other);
+        let other_frozen = other.freeze_base().unwrap();
+        let foreign = other_frozen.request();
+        assert!(matches!(frozen.patch_base(foreign, &[] as &[&str]), Err(AspError::Usage(_))));
+
+        // While another fork is alive the base is shared and cannot be mutated.
+        let staged = stage_facts(&frozen, &BASE_DEPS, &BASE_VERSIONS);
+        let in_flight = frozen.request();
+        assert!(matches!(frozen.patch_base(staged, &[] as &[&str]), Err(AspError::Usage(_))));
+        drop(in_flight);
+
+        // Once the fork is gone, patching succeeds again.
+        let staged = stage_facts(&frozen, &BASE_DEPS, &BASE_VERSIONS);
+        assert!(frozen.patch_base(staged, &[] as &[&str]).is_ok());
     }
 
     #[test]

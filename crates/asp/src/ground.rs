@@ -192,6 +192,32 @@ pub struct GroundStats {
     pub delta_rules: usize,
 }
 
+/// Statistics of one in-place base patch ([`Grounder::patch_base`]).
+#[derive(Debug, Clone, Default)]
+pub struct PatchStats {
+    /// Distinct input facts present after the patch but not before.
+    pub added_facts: usize,
+    /// Distinct input facts present before the patch but not after.
+    pub removed_facts: usize,
+    /// Possible atoms before the patch.
+    pub atoms_before: usize,
+    /// Possible atoms after the patch.
+    pub atoms_after: usize,
+    /// Possible atoms the patch added to the closure.
+    pub atoms_added: usize,
+    /// Possible atoms the patch retracted from the closure (rebuild path only).
+    pub atoms_removed: usize,
+    /// Source rules re-instantiated because the delta touched them.
+    pub rules_reinstantiated: usize,
+    /// Frozen instances (rules + choices) kept without re-instantiation.
+    pub rules_reused: usize,
+    /// True when a removed fact forced the closure to be rebuilt from scratch;
+    /// false for the cheaper additions-only semi-naive continuation.
+    pub rebuilt: bool,
+    /// Wall-clock time of the patch.
+    pub duration: Duration,
+}
+
 /// The ground (propositional) program.
 #[derive(Debug, Clone, Default)]
 pub struct GroundProgram {
@@ -274,6 +300,16 @@ fn rule_phase1_condition_signature(rule: &CRule) -> Vec<SigLit> {
     sigs
 }
 
+/// The head signature of a normal rule ([`CompiledProgram::head_sigs`]): empty for
+/// constraints and choice rules (choice element atoms are already part of
+/// [`rule_signature`]).
+fn rule_head_signature(rule: &CRule) -> Vec<SigLit> {
+    match &rule.head {
+        CHead::Atom(atom) => vec![atom_sig(atom)],
+        _ => Vec::new(),
+    }
+}
+
 fn minimize_signature(m: &CMinimize) -> Vec<SigLit> {
     m.pos.iter().chain(m.neg.iter()).map(atom_sig).collect()
 }
@@ -329,8 +365,20 @@ pub struct CompiledProgram {
     rule_sigs: Vec<Vec<SigLit>>,
     /// Parallel to `crules`: choice-element condition signatures (phase-1 re-joins).
     rule_p1_sigs: Vec<Vec<SigLit>>,
+    /// Parallel to `crules`: the normal-rule head signature. Request deltas ignore
+    /// heads (see [`rule_signature`]), but a *base* patch cannot: phase 2 drops
+    /// instances whose head atom is certain, so a delta fact landing on a derivable
+    /// head changes the rule's instance set even when no body literal is touched.
+    head_sigs: Vec<Vec<SigLit>>,
     /// Parallel to `cminimize`.
     minimize_sigs: Vec<Vec<SigLit>>,
+    /// The `#external` guard atoms of the program text, in declaration order —
+    /// replayed by [`Grounder::patch_base`] when it rebuilds the closure in the
+    /// exact interning order of a fresh freeze.
+    externals: Vec<GroundAtom>,
+    /// Ground facts from the program text (`node("hdf5").`), in source order —
+    /// replayed together with `externals` on the rebuild path.
+    text_facts: Vec<GroundAtom>,
 }
 
 /// One frozen minimize condition: `(statement index, tuple key, positive atoms,
@@ -377,6 +425,11 @@ pub struct BaseProgram {
     /// Owner → frozen minimize conditions.
     tuple_buckets: FxHashMap<SymbolId, Vec<TupleEntry>>,
     global_tuples: Vec<TupleEntry>,
+    /// The input fact stream the base was ground from — the diff target of
+    /// [`Grounder::patch_base`].
+    input_facts: Vec<GroundAtom>,
+    /// The partition the owner buckets were built under.
+    partition: crate::hasher::FxHashSet<SymbolId>,
     /// Statistics of the base grounding.
     pub stats: GroundStats,
 }
@@ -686,6 +739,8 @@ impl<'a> Grounder<'a> {
             global_choices,
             tuple_buckets,
             global_tuples,
+            input_facts: facts.to_vec(),
+            partition: partition.clone(),
             stats,
         })
     }
@@ -964,6 +1019,451 @@ impl<'a> Grounder<'a> {
         Ok(ground)
     }
 
+    /// Patch a frozen [`BaseProgram`] **in place** so it becomes equivalent to a
+    /// fresh [`Grounder::ground_base`] of `new_facts` (the complete post-delta input
+    /// fact stream) under `partition`. The streams are diffed as sets of distinct
+    /// atoms (duplicates are irrelevant to grounding) and the cheapest applicable
+    /// strategy runs:
+    ///
+    /// * **Additions only** — the common buildcache-install churn. The semi-naive
+    ///   phase-1 fixpoint *continues* from the added facts on top of the existing
+    ///   closure (the same machinery as a per-request delta, pointed at the base
+    ///   relation itself). Every rule whose body literals *or head* match a touched
+    ///   discriminator is re-instantiated and its frozen buckets replaced; all other
+    ///   instances survive untouched — the relation only grew, so their atom ids
+    ///   stay valid.
+    /// * **Any removal** — a version yanked, a hash uninstalled. Derivations that
+    ///   existed only because of the removed facts must be retracted, which an
+    ///   append-only relation cannot express: the possible-atom closure is rebuilt
+    ///   from scratch in the exact interning order of a fresh freeze (input facts,
+    ///   `#external` guards, program-text facts — so every surviving atom id
+    ///   coincides with a fresh [`Grounder::ground_base`] of `new_facts`), then the
+    ///   frozen instances of *unaffected* rules are remapped onto the new ids while
+    ///   only the rules the diff touched pay phase 2 again.
+    ///
+    /// Heads participate in affectedness here (unlike request deltas): phase 2
+    /// drops instances whose head atom is certain, so a delta fact landing on a
+    /// derivable head changes a rule's instance set without touching its body.
+    ///
+    /// Either way the patched base answers every subsequent
+    /// [`Grounder::ground_delta`] exactly like a fresh freeze of `new_facts` would;
+    /// only the bucket-internal instance *order* (and, on the additions path, the
+    /// ids of atoms interned after the original freeze) may differ.
+    pub fn patch_base(
+        mut self,
+        base: &mut BaseProgram,
+        new_facts: Vec<GroundAtom>,
+        partition: crate::hasher::FxHashSet<SymbolId>,
+    ) -> Result<PatchStats, GroundError> {
+        let start = Instant::now();
+        let mut stats = PatchStats { atoms_before: base.atoms.len(), ..PatchStats::default() };
+        // Distinct-atom diff of the two input streams.
+        let mut presence: FxHashMap<&GroundAtom, (bool, bool)> = FxHashMap::default();
+        for f in &base.input_facts {
+            presence.entry(f).or_default().0 = true;
+        }
+        for f in &new_facts {
+            presence.entry(f).or_default().1 = true;
+        }
+        stats.removed_facts = presence.values().filter(|&&(old, new)| old && !new).count();
+        // Added facts in new-stream first-occurrence order, for determinism.
+        let mut added: Vec<GroundAtom> = Vec::new();
+        for f in &new_facts {
+            if let Some(flags) = presence.get_mut(f) {
+                if !flags.0 {
+                    flags.0 = true; // consume, so a duplicated new fact is added once
+                    added.push(f.clone());
+                }
+            }
+        }
+        drop(presence);
+        stats.added_facts = added.len();
+        if stats.removed_facts > 0 {
+            stats.rebuilt = true;
+            self.patch_rebuild(base, &new_facts, &partition, &mut stats)?;
+        } else if !added.is_empty() {
+            self.patch_additions(base, &added, &partition, &mut stats)?;
+        }
+        base.input_facts = new_facts;
+        base.partition = partition;
+        base.stats.atoms = base.atoms.len();
+        base.stats.rules =
+            base.global_rules.len() + base.rule_buckets.values().map(Vec::len).sum::<usize>();
+        base.stats.choices =
+            base.global_choices.len() + base.choice_buckets.values().map(Vec::len).sum::<usize>();
+        stats.atoms_after = base.atoms.len();
+        stats.duration = start.elapsed();
+        Ok(stats)
+    }
+
+    /// Additions-only in-place patch: continue the phase-1 fixpoint from the added
+    /// facts, then re-instantiate exactly the touched rules and minimize statements.
+    fn patch_additions(
+        &mut self,
+        base: &mut BaseProgram,
+        added: &[GroundAtom],
+        partition: &crate::hasher::FxHashSet<SymbolId>,
+        stats: &mut PatchStats,
+    ) -> Result<(), GroundError> {
+        // Move the base relation into a scratch GroundProgram so the shared fixpoint
+        // and phase-2 machinery can run against it; it moves back at the end.
+        let mut ground = GroundProgram {
+            atoms: std::mem::take(&mut base.atoms),
+            trivially_unsat: base.trivially_unsat,
+            ..GroundProgram::default()
+        };
+        let old_len = ground.atoms.len();
+        let mut touched = TouchSet::default();
+        let mut seeds: Vec<AtomId> = Vec::new();
+        for fact in added {
+            let (id, new) = ground.atoms.intern_ref(fact);
+            if new {
+                ground.atoms.set_certain(id);
+                seeds.push(id); // touched by the fixpoint's first delta round
+            } else if !ground.atoms.is_certain(id) {
+                // The added fact coincides with a derived atom: it turns certain, and
+                // every frozen instance mentioning it must re-simplify.
+                ground.atoms.set_certain(id);
+                touched.touch(ground.atoms.atom(id));
+            }
+        }
+        self.fixpoint(&base.compiled, &mut ground, seeds, false, Some(&mut touched))?;
+        stats.atoms_added = ground.atoms.len() - old_len;
+
+        let affected: Vec<bool> = base
+            .compiled
+            .rule_sigs
+            .iter()
+            .zip(&base.compiled.head_sigs)
+            .map(|(body, head)| touched.matches_any(body) || touched.matches_any(head))
+            .collect();
+
+        // Re-instantiate the affected rules against the grown relation (the compiled
+        // program is borrowed here; the buckets are edited afterwards).
+        let mut new_rules: Vec<(u32, GroundRule)> = Vec::new();
+        let mut new_choices: Vec<(u32, GroundChoice)> = Vec::new();
+        for (ri, rule) in base.compiled.crules.iter().enumerate() {
+            if !affected[ri] {
+                continue;
+            }
+            stats.rules_reinstantiated += 1;
+            let mut seen = RuleDedup::default();
+            self.phase2_rule(rule, &mut ground, &mut seen)?;
+            new_rules.extend(ground.rules.drain(..).map(|r| (ri as u32, r)));
+            new_choices.extend(ground.choices.drain(..).map(|c| (ri as u32, c)));
+        }
+        let affected_min: Vec<bool> =
+            base.compiled.minimize_sigs.iter().map(|sigs| touched.matches_any(sigs)).collect();
+        let mut new_tuples: Vec<TupleEntry> = Vec::new();
+        for (mi, m) in base.compiled.cminimize.iter().enumerate() {
+            if !affected_min[mi] {
+                continue;
+            }
+            let mut tuples = MinimizeTuples::default();
+            self.ground_minimize(m, &ground, &mut tuples)?;
+            let mut sorted: Vec<_> = tuples.into_iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, bodies) in sorted {
+                for (pos, neg) in bodies {
+                    new_tuples.push((mi as u32, key.clone(), pos, neg));
+                }
+            }
+        }
+
+        // Retract the affected rules' frozen instances; everything else survives
+        // verbatim (pre-patch atom ids are stable — the relation only grew).
+        let mut reused = 0usize;
+        for bucket in base.rule_buckets.values_mut() {
+            bucket.retain(|(ri, _)| !affected[*ri as usize]);
+            reused += bucket.len();
+        }
+        base.global_rules.retain(|(ri, _)| !affected[*ri as usize]);
+        reused += base.global_rules.len();
+        for bucket in base.choice_buckets.values_mut() {
+            bucket.retain(|(ri, _)| !affected[*ri as usize]);
+            reused += bucket.len();
+        }
+        base.global_choices.retain(|(ri, _)| !affected[*ri as usize]);
+        reused += base.global_choices.len();
+        stats.rules_reused = reused;
+        for bucket in base.tuple_buckets.values_mut() {
+            bucket.retain(|(mi, ..)| !affected_min[*mi as usize]);
+        }
+        base.global_tuples.retain(|(mi, ..)| !affected_min[*mi as usize]);
+
+        // Bucket the new atoms (per-bucket id order stays ascending: every new id is
+        // larger than any pre-patch id) and the re-instantiated instances.
+        for id in old_len..ground.atoms.len() {
+            let id = id as AtomId;
+            match first_partition_sym(ground.atoms.atom(id), partition) {
+                Some(o) => base.atom_buckets.entry(o).or_default().push(id),
+                None => base.global_atoms.push(id),
+            }
+        }
+        let owner_of = |ids: &[AtomId]| -> Option<SymbolId> {
+            ids.iter().find_map(|&a| first_partition_sym(ground.atoms.atom(a), partition))
+        };
+        for (ri, rule) in new_rules {
+            let owner = rule
+                .head
+                .and_then(|h| first_partition_sym(ground.atoms.atom(h), partition))
+                .or_else(|| owner_of(&rule.pos))
+                .or_else(|| owner_of(&rule.neg));
+            match owner {
+                Some(o) => base.rule_buckets.entry(o).or_default().push((ri, rule)),
+                None => base.global_rules.push((ri, rule)),
+            }
+        }
+        for (ri, choice) in new_choices {
+            let owner = owner_of(&choice.pos).or_else(|| owner_of(&choice.neg));
+            match owner {
+                Some(o) => base.choice_buckets.entry(o).or_default().push((ri, choice)),
+                None => base.global_choices.push((ri, choice)),
+            }
+        }
+        for entry in new_tuples {
+            let owner = entry
+                .2
+                .iter()
+                .chain(entry.3.iter())
+                .find_map(|&a| first_partition_sym(ground.atoms.atom(a), partition));
+            match owner {
+                Some(o) => base.tuple_buckets.entry(o).or_default().push(entry),
+                None => base.global_tuples.push(entry),
+            }
+        }
+
+        base.trivially_unsat = ground.trivially_unsat;
+        base.atoms = ground.atoms;
+        Ok(())
+    }
+
+    /// Removal-capable patch: rebuild the possible-atom closure from scratch in the
+    /// exact interning order of a fresh freeze, then remap the unaffected frozen
+    /// instances onto the new ids and re-instantiate only the rules the diff touched.
+    fn patch_rebuild(
+        &mut self,
+        base: &mut BaseProgram,
+        new_facts: &[GroundAtom],
+        partition: &crate::hasher::FxHashSet<SymbolId>,
+        stats: &mut PatchStats,
+    ) -> Result<(), GroundError> {
+        // Mirror `compile()`'s interning order — input facts, `#external` guards,
+        // program-text facts — so atom ids coincide with a fresh freeze.
+        let mut ground = GroundProgram::default();
+        for fact in new_facts {
+            let (id, _) = ground.atoms.intern(fact.clone());
+            ground.atoms.set_certain(id);
+        }
+        for ext in &base.compiled.externals {
+            let (id, _) = ground.atoms.intern(ext.clone());
+            ground.atoms.set_external(id);
+        }
+        for fact in &base.compiled.text_facts {
+            let (id, _) = ground.atoms.intern(fact.clone());
+            ground.atoms.set_certain(id);
+        }
+        let seeds: Vec<AtomId> = ground.atoms.iter().map(|(id, _)| id).collect();
+        self.fixpoint(&base.compiled, &mut ground, seeds, true, None)?;
+
+        // Diff the closures. Retracted atoms, new atoms, and atoms whose certainty
+        // changed all mark their discriminator touched; `remap` carries old → new
+        // ids for the survivors.
+        const GONE: AtomId = AtomId::MAX;
+        let mut touched = TouchSet::default();
+        let mut remap: Vec<AtomId> = vec![GONE; base.atoms.len()];
+        for (old_id, atom) in base.atoms.iter() {
+            match ground.atoms.get(atom) {
+                Some(new_id) => {
+                    remap[old_id as usize] = new_id;
+                    if ground.atoms.is_certain(new_id) != base.atoms.is_certain(old_id) {
+                        touched.touch(atom);
+                    }
+                }
+                None => {
+                    stats.atoms_removed += 1;
+                    touched.touch(atom);
+                }
+            }
+        }
+        for (_, atom) in ground.atoms.iter() {
+            if base.atoms.get(atom).is_none() {
+                stats.atoms_added += 1;
+                touched.touch(atom);
+            }
+        }
+
+        let affected: Vec<bool> = base
+            .compiled
+            .rule_sigs
+            .iter()
+            .zip(&base.compiled.head_sigs)
+            .map(|(body, head)| touched.matches_any(body) || touched.matches_any(head))
+            .collect();
+        let affected_min: Vec<bool> =
+            base.compiled.minimize_sigs.iter().map(|sigs| touched.matches_any(sigs)).collect();
+
+        // Phase 2 for the affected rules and minimize statements against the new
+        // relation.
+        let mut new_rules: Vec<(u32, GroundRule)> = Vec::new();
+        let mut new_choices: Vec<(u32, GroundChoice)> = Vec::new();
+        for (ri, rule) in base.compiled.crules.iter().enumerate() {
+            if !affected[ri] {
+                continue;
+            }
+            stats.rules_reinstantiated += 1;
+            let mut seen = RuleDedup::default();
+            self.phase2_rule(rule, &mut ground, &mut seen)?;
+            new_rules.extend(ground.rules.drain(..).map(|r| (ri as u32, r)));
+            new_choices.extend(ground.choices.drain(..).map(|c| (ri as u32, c)));
+        }
+        let mut new_tuples: Vec<TupleEntry> = Vec::new();
+        for (mi, m) in base.compiled.cminimize.iter().enumerate() {
+            if !affected_min[mi] {
+                continue;
+            }
+            let mut tuples = MinimizeTuples::default();
+            self.ground_minimize(m, &ground, &mut tuples)?;
+            let mut sorted: Vec<_> = tuples.into_iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, bodies) in sorted {
+                for (pos, neg) in bodies {
+                    new_tuples.push((mi as u32, key.clone(), pos, neg));
+                }
+            }
+        }
+        let mut trivially_unsat = ground.trivially_unsat;
+
+        // Remap the unaffected instances. Every atom they reference matches one of
+        // their rule's signature literals, so it is untouched — present in the new
+        // closure with unchanged certainty — and the remap cannot miss (the
+        // debug_asserts pin that invariant; an instance that does trip one is
+        // dropped, which a fresh freeze would have done too).
+        let old_rules = std::mem::take(&mut base.rule_buckets);
+        let old_global_rules = std::mem::take(&mut base.global_rules);
+        let old_choices = std::mem::take(&mut base.choice_buckets);
+        let old_global_choices = std::mem::take(&mut base.global_choices);
+        let old_tuples = std::mem::take(&mut base.tuple_buckets);
+        let old_global_tuples = std::mem::take(&mut base.global_tuples);
+        let map_ids = |ids: &[AtomId], out: &mut Vec<AtomId>| -> bool {
+            out.clear();
+            for &a in ids {
+                let n = remap[a as usize];
+                if n == GONE {
+                    debug_assert!(false, "unaffected instance references a retracted atom");
+                    return false;
+                }
+                out.push(n);
+            }
+            true
+        };
+        let mut mapped: Vec<AtomId> = Vec::new();
+        let mut mapped2: Vec<AtomId> = Vec::new();
+        for (ri, rule) in old_global_rules.iter().chain(old_rules.values().flatten()) {
+            if affected[*ri as usize] {
+                continue;
+            }
+            let head = match rule.head {
+                Some(h) => match remap[h as usize] {
+                    GONE => {
+                        debug_assert!(false, "unaffected head atom was retracted");
+                        continue;
+                    }
+                    n => Some(n),
+                },
+                None => None,
+            };
+            if !map_ids(&rule.pos, &mut mapped) || !map_ids(&rule.neg, &mut mapped2) {
+                continue;
+            }
+            if head.is_none() && mapped.is_empty() && mapped2.is_empty() {
+                trivially_unsat = true;
+            }
+            stats.rules_reused += 1;
+            new_rules.push((*ri, GroundRule { head, pos: mapped.clone(), neg: mapped2.clone() }));
+        }
+        for (ri, choice) in old_global_choices.iter().chain(old_choices.values().flatten()) {
+            if affected[*ri as usize] {
+                continue;
+            }
+            // Choice heads are part of the rule signature (element atoms), so an
+            // unaffected instance's heads all survive.
+            if !map_ids(&choice.heads, &mut mapped) {
+                continue;
+            }
+            let heads = mapped.clone();
+            if !map_ids(&choice.pos, &mut mapped) || !map_ids(&choice.neg, &mut mapped2) {
+                continue;
+            }
+            stats.rules_reused += 1;
+            new_choices.push((
+                *ri,
+                GroundChoice {
+                    heads,
+                    lower: choice.lower,
+                    upper: choice.upper,
+                    pos: mapped.clone(),
+                    neg: mapped2.clone(),
+                },
+            ));
+        }
+        for (mi, key, pos, neg) in old_global_tuples.iter().chain(old_tuples.values().flatten()) {
+            if affected_min[*mi as usize] {
+                continue;
+            }
+            if !map_ids(pos, &mut mapped) || !map_ids(neg, &mut mapped2) {
+                continue;
+            }
+            new_tuples.push((*mi, key.clone(), mapped.clone(), mapped2.clone()));
+        }
+
+        // Rebucket everything against the new ids.
+        base.atom_buckets.clear();
+        base.global_atoms.clear();
+        for (id, atom) in ground.atoms.iter() {
+            match first_partition_sym(atom, partition) {
+                Some(o) => base.atom_buckets.entry(o).or_default().push(id),
+                None => base.global_atoms.push(id),
+            }
+        }
+        let owner_of = |ids: &[AtomId]| -> Option<SymbolId> {
+            ids.iter().find_map(|&a| first_partition_sym(ground.atoms.atom(a), partition))
+        };
+        for (ri, rule) in new_rules {
+            let owner = rule
+                .head
+                .and_then(|h| first_partition_sym(ground.atoms.atom(h), partition))
+                .or_else(|| owner_of(&rule.pos))
+                .or_else(|| owner_of(&rule.neg));
+            match owner {
+                Some(o) => base.rule_buckets.entry(o).or_default().push((ri, rule)),
+                None => base.global_rules.push((ri, rule)),
+            }
+        }
+        for (ri, choice) in new_choices {
+            let owner = owner_of(&choice.pos).or_else(|| owner_of(&choice.neg));
+            match owner {
+                Some(o) => base.choice_buckets.entry(o).or_default().push((ri, choice)),
+                None => base.global_choices.push((ri, choice)),
+            }
+        }
+        for entry in new_tuples {
+            let owner = entry
+                .2
+                .iter()
+                .chain(entry.3.iter())
+                .find_map(|&a| first_partition_sym(ground.atoms.atom(a), partition));
+            match owner {
+                Some(o) => base.tuple_buckets.entry(o).or_default().push(entry),
+                None => base.global_tuples.push(entry),
+            }
+        }
+
+        base.trivially_unsat = trivially_unsat;
+        base.atoms = ground.atoms;
+        Ok(())
+    }
+
     /// Shared grounding prelude: intern the input facts (certain), the `#external`
     /// guard atoms (possible-but-uncertain — they seed the phase-1 fixpoint, yet
     /// nothing ever derives them; the translation and the stability check exempt them,
@@ -981,18 +1481,22 @@ impl<'a> Grounder<'a> {
             let (id, _) = ground.atoms.intern(fact.clone());
             ground.atoms.set_certain(id);
         }
+        let mut externals = Vec::with_capacity(program.externals.len());
         for atom in &program.externals {
             let ga = self.intern_ground_atom(atom, &consts)?;
+            externals.push(ga.clone());
             let (id, _) = ground.atoms.intern(ga);
             ground.atoms.set_external(id);
         }
         let mut crules = Vec::with_capacity(program.rules.len());
+        let mut text_facts = Vec::new();
         for rule in &program.rules {
             // Ground facts in the program text are handled directly.
             if rule.body.is_empty() {
                 if let Head::Atom(atom) = &rule.head {
                     if atom.is_ground() {
                         let ga = self.intern_ground_atom(atom, &consts)?;
+                        text_facts.push(ga.clone());
                         let (id, _) = ground.atoms.intern(ga);
                         ground.atoms.set_certain(id);
                         continue;
@@ -1008,8 +1512,18 @@ impl<'a> Grounder<'a> {
             .collect::<Result<_, _>>()?;
         let rule_sigs = crules.iter().map(rule_signature).collect();
         let rule_p1_sigs = crules.iter().map(rule_phase1_condition_signature).collect();
+        let head_sigs = crules.iter().map(rule_head_signature).collect();
         let minimize_sigs = cminimize.iter().map(minimize_signature).collect();
-        Ok(CompiledProgram { crules, cminimize, rule_sigs, rule_p1_sigs, minimize_sigs })
+        Ok(CompiledProgram {
+            crules,
+            cminimize,
+            rule_sigs,
+            rule_p1_sigs,
+            head_sigs,
+            minimize_sigs,
+            externals,
+            text_facts,
+        })
     }
 
     /// The phase-1 possible-atom fixpoint. With `full_first_round` the first round
@@ -2474,6 +2988,160 @@ mod tests {
             .unwrap();
         let rule = ground.rules.iter().find(|r| r.head == Some(a_id)).unwrap();
         assert_eq!(rule.neg.len(), 1);
+    }
+
+    fn fact(symbols: &mut SymbolTable, pred: &str, args: &[&str]) -> GroundAtom {
+        let p = symbols.intern(pred);
+        let args = args.iter().map(|a| Val::Sym(symbols.intern(a))).collect();
+        GroundAtom::new(p, args)
+    }
+
+    /// Everything a request can observe about a ground program, order-insensitively.
+    fn render_ground(ground: &GroundProgram, symbols: &SymbolTable) -> String {
+        let name = |id: AtomId| ground.atoms.atom(id).display(symbols).to_string();
+        let sorted = |ids: &[AtomId]| {
+            let mut v: Vec<String> = ids.iter().map(|&a| name(a)).collect();
+            v.sort();
+            v
+        };
+        let mut atoms: Vec<String> = ground
+            .atoms
+            .iter()
+            .map(|(id, a)| {
+                format!(
+                    "{} certain={} external={}",
+                    a.display(symbols),
+                    ground.atoms.is_certain(id),
+                    ground.atoms.is_external(id)
+                )
+            })
+            .collect();
+        atoms.sort();
+        let mut rules: Vec<String> = ground
+            .rules
+            .iter()
+            .map(|r| {
+                format!("{:?}:-{:?},not {:?}", r.head.map(&name), sorted(&r.pos), sorted(&r.neg))
+            })
+            .collect();
+        rules.sort();
+        let mut choices: Vec<String> = ground
+            .choices
+            .iter()
+            .map(|c| {
+                format!(
+                    "{:?}{{{:?}}}{:?}:-{:?},not {:?}",
+                    c.lower,
+                    sorted(&c.heads),
+                    c.upper,
+                    sorted(&c.pos),
+                    sorted(&c.neg)
+                )
+            })
+            .collect();
+        choices.sort();
+        let mut minimize: Vec<String> = ground
+            .minimize
+            .iter()
+            .map(|m| format!("{}@{} if {:?}", m.weight, m.priority, m.condition.map(&name)))
+            .collect();
+        minimize.sort();
+        format!(
+            "unsat={}\natoms={atoms:#?}\nrules={rules:#?}\nchoices={choices:#?}\nmin={minimize:#?}",
+            ground.trivially_unsat
+        )
+    }
+
+    const PATCH_TEST_PROGRAM: &str = r#"
+        r(X) :- p(X), not q(X).
+        { s(X) } :- p(X).
+        t(X) :- s(X).
+        #minimize{ 1@1,X : t(X) }.
+    "#;
+
+    #[test]
+    fn patch_base_additions_matches_fresh_freeze() {
+        let program = parse_program(PATCH_TEST_PROGRAM).unwrap();
+        let mut symbols = SymbolTable::new();
+        let f_a = fact(&mut symbols, "p", &["a"]);
+        let f_b = fact(&mut symbols, "p", &["b"]);
+        let f_q = fact(&mut symbols, "q", &["a"]);
+        let none = crate::hasher::FxHashSet::default();
+        let mut patched = Grounder::new(&mut symbols)
+            .ground_base(&program, std::slice::from_ref(&f_a), &none)
+            .unwrap();
+        let stats = Grounder::new(&mut symbols)
+            .patch_base(&mut patched, vec![f_a.clone(), f_b.clone(), f_q.clone()], none.clone())
+            .unwrap();
+        assert!(!stats.rebuilt, "pure additions must not rebuild");
+        assert_eq!((stats.added_facts, stats.removed_facts), (2, 0));
+        let fresh =
+            Grounder::new(&mut symbols).ground_base(&program, &[f_a, f_b, f_q], &none).unwrap();
+        let ga = Grounder::new(&mut symbols).ground_delta(&patched, &none, &[], &[]).unwrap();
+        let gb = Grounder::new(&mut symbols).ground_delta(&fresh, &none, &[], &[]).unwrap();
+        assert_eq!(render_ground(&ga, &symbols), render_ground(&gb, &symbols));
+    }
+
+    #[test]
+    fn patch_base_removal_rebuilds_and_roundtrips() {
+        let program = parse_program(PATCH_TEST_PROGRAM).unwrap();
+        let mut symbols = SymbolTable::new();
+        let f_a = fact(&mut symbols, "p", &["a"]);
+        let f_b = fact(&mut symbols, "p", &["b"]);
+        let none = crate::hasher::FxHashSet::default();
+        let mut patched = Grounder::new(&mut symbols)
+            .ground_base(&program, &[f_a.clone(), f_b.clone()], &none)
+            .unwrap();
+        // Remove p(b): the rebuild path must reproduce a fresh freeze of [p(a)]
+        // exactly, down to the atom ids.
+        let stats = Grounder::new(&mut symbols)
+            .patch_base(&mut patched, vec![f_a.clone()], none.clone())
+            .unwrap();
+        assert!(stats.rebuilt, "a removal must rebuild the closure");
+        let fresh = Grounder::new(&mut symbols)
+            .ground_base(&program, std::slice::from_ref(&f_a), &none)
+            .unwrap();
+        assert_eq!(patched.atoms.len(), fresh.atoms.len());
+        for (id, atom) in fresh.atoms.iter() {
+            assert_eq!(patched.atoms.atom(id), atom, "atom ids must coincide after a rebuild");
+            assert_eq!(patched.atoms.is_certain(id), fresh.atoms.is_certain(id));
+        }
+        let ga = Grounder::new(&mut symbols).ground_delta(&patched, &none, &[], &[]).unwrap();
+        let gb = Grounder::new(&mut symbols).ground_delta(&fresh, &none, &[], &[]).unwrap();
+        assert_eq!(render_ground(&ga, &symbols), render_ground(&gb, &symbols));
+        // Re-add p(b): the additions path must restore observational equality with a
+        // fresh freeze of the original fact set (removal-then-re-add round trip).
+        Grounder::new(&mut symbols)
+            .patch_base(&mut patched, vec![f_a.clone(), f_b.clone()], none.clone())
+            .unwrap();
+        let fresh2 = Grounder::new(&mut symbols).ground_base(&program, &[f_a, f_b], &none).unwrap();
+        let ga = Grounder::new(&mut symbols).ground_delta(&patched, &none, &[], &[]).unwrap();
+        let gb = Grounder::new(&mut symbols).ground_delta(&fresh2, &none, &[], &[]).unwrap();
+        assert_eq!(render_ground(&ga, &symbols), render_ground(&gb, &symbols));
+    }
+
+    #[test]
+    fn patch_base_retracts_instances_whose_head_turns_certain() {
+        // `h :- p.` freezes as the body-less instance `h.` (p is certain, h is
+        // derivable-but-uncertain). A patch that adds `h` as an input fact makes the
+        // head certain, and phase 2 drops certain-headed instances — the patched
+        // base must agree with a fresh freeze even though no *body* literal of the
+        // rule is touched (this is what `head_sigs` exists for).
+        let program = parse_program("h :- p.").unwrap();
+        let mut symbols = SymbolTable::new();
+        let p = fact(&mut symbols, "p", &[]);
+        let h = fact(&mut symbols, "h", &[]);
+        let none = crate::hasher::FxHashSet::default();
+        let mut patched = Grounder::new(&mut symbols)
+            .ground_base(&program, std::slice::from_ref(&p), &none)
+            .unwrap();
+        assert_eq!(patched.frozen_instances(), 1);
+        Grounder::new(&mut symbols)
+            .patch_base(&mut patched, vec![p.clone(), h.clone()], none.clone())
+            .unwrap();
+        let fresh = Grounder::new(&mut symbols).ground_base(&program, &[p, h], &none).unwrap();
+        assert_eq!(fresh.frozen_instances(), 0);
+        assert_eq!(patched.frozen_instances(), 0, "certain-headed instance must be retracted");
     }
 
     #[test]

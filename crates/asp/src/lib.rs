@@ -74,5 +74,6 @@ pub use control::{
     AspError, AssumeOutcome, Assumption, Control, FrozenControl, Model, Preset, SolveBudget,
     SolveOutcome, SolverConfig, Stats, Value,
 };
+pub use ground::PatchStats;
 pub use optimize::OptStrategy;
 pub use sat::SharedClauseStore;

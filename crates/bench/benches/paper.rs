@@ -109,7 +109,7 @@ fn fig6_reuse(c: &mut Criterion) {
         b.iter(|| concretizer.concretize_str("hdf5").unwrap())
     });
     // The medium workload tier: the synthetic stack (deep chain + extra virtuals) with
-    // a populated buildcache — the tier BENCH_pr2.json reports on.
+    // a populated buildcache — the default tier of the `bench` binary's quick mode.
     let medium = workload_repo(Scale::Medium);
     let medium_cache = workload_buildcache(&medium, Scale::Medium);
     for root in ["hdf5", "chain-root", "vapp-00"] {

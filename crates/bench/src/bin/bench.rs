@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p bench --bin bench -- [--scale medium] [--full] \
 //!     [--label after] [--out bench.json] [--compare BENCH_baseline_small.json] \
-//!     [--threshold 1.25] [--counter-threshold 1.6] [--session-ratio 0.75]
+//!     [--threshold 1.25] [--counter-threshold 1.6] [--session-ratio 0.75] \
+//!     [--patch-ratio 0.5]
 //! ```
 //!
 //! Runs the hot-path benchmark groups of the paper's evaluation (the same groups as the
@@ -27,6 +28,13 @@
 //! portfolio result is asserted byte-identical to the serial session's before it
 //! counts, and the report carries the store's hit/transfer counters.
 //!
+//! The `base_update` group prices the live-update path behind `spack-solved`'s
+//! `update` request: freezing a post-delta universe from scratch (`full_refreeze`)
+//! versus absorbing a publish + yank round trip on a frozen session in place via
+//! `apply_base_delta` (`incremental_patch`, digest-checked to round-trip), plus the
+//! request latency on a patched session (`patched_solve`, every answer asserted
+//! byte-identical to a fresh freeze of the same universe).
+//!
 //! `--compare <baseline>` turns the run into a **regression gate** (the verdict logic
 //! lives in [`bench::gate`], where it is unit-tested): per benchmark group, the
 //! summed means of the benches present in both reports are compared, and the process
@@ -42,7 +50,9 @@
 //! baseline refresh. Finally, the gate asserts — within the current run, so no
 //! baseline or machine speed is involved — that session-mode per-request grounding
 //! stays below one-shot grounding by the gated ratio (default 0.75×,
-//! `--session-ratio` / `BENCH_GATE_SESSION_RATIO`). CI runs the small tier against
+//! `--session-ratio` / `BENCH_GATE_SESSION_RATIO`), and that one incremental base
+//! patch stays below a full re-freeze by its own within-run ratio (default 0.5×,
+//! `--patch-ratio` / `BENCH_GATE_PATCH_RATIO`). CI runs the small tier against
 //! the committed `BENCH_baseline_small.json` and fails the job on regression.
 //!
 //! The workloads are sized for the *medium* tier by default — large enough that the
@@ -53,13 +63,14 @@ use std::time::{Duration, Instant};
 
 use asp::SolverConfig;
 use bench::gate::{
-    compare_against_baseline, parse_report, render_json, session_ground_gate, Record,
+    base_patch_gate, compare_against_baseline, parse_report, render_json, session_ground_gate,
+    Record,
 };
 use bench::{
     chain_closure_program, service_buildcache, wide_join_program, workload_buildcache,
     workload_repo, Scale,
 };
-use spack_concretizer::{ConcretizeError, Concretizer, ConcretizerSession, SiteConfig};
+use spack_concretizer::{BaseDelta, ConcretizeError, Concretizer, ConcretizerSession, SiteConfig};
 use spack_repo::builtin_repo;
 use spack_store::BuildcacheConfig;
 
@@ -308,6 +319,10 @@ fn main() -> std::process::ExitCode {
         .and_then(|t| t.parse().ok())
         .or_else(|| env_threshold("BENCH_GATE_SESSION_RATIO"))
         .unwrap_or(0.75);
+    let patch_ratio: f64 = get("--patch-ratio")
+        .and_then(|t| t.parse().ok())
+        .or_else(|| env_threshold("BENCH_GATE_PATCH_RATIO"))
+        .unwrap_or(0.5);
 
     // Gate runs (--compare) take more samples: the mean of 3 is too noisy to hold a
     // 1.25x threshold, and the gate's verdict must be worth trusting.
@@ -627,6 +642,103 @@ fn main() -> std::process::ExitCode {
         });
     }
 
+    // ---- base_update: live base churn, in-place patch vs full re-freeze -------------------
+    // The live-update path behind `spack-solved`'s `update` request: the repository
+    // churns and a frozen session absorbs the delta in place via `apply_base_delta`
+    // instead of being torn down. `full_refreeze` prices the teardown path — a fresh
+    // session of a post-delta universe per sample. `incremental_patch` applies one
+    // delta per patch path per sample: publishing an ancient version (the
+    // additions-only semi-naive continuation) and yanking it again (the
+    // removal-forced id-exact rebuild), asserting the paths taken and that the base
+    // digest round-trips — so every sample does identical, state-restoring work.
+    // `patched_solve` prices request latency on a session patched to a universe with
+    // a new newest zlib, every answer asserted byte-identical to a fresh freeze of
+    // the same universe — the observational-identity contract is part of the
+    // measurement, as in `parallel_solve`. Under `--compare`, `base_patch_gate`
+    // holds the per-patch mean below the re-freeze mean by `--patch-ratio`
+    // (default 0.5x).
+    let ancient = BaseDelta {
+        add_versions: vec![("zlib".to_string(), "0.0.1".to_string())],
+        ..BaseDelta::default()
+    };
+    let (ancient_repo, _) = ancient.apply(&medium, None);
+    let publish = BaseDelta {
+        add_versions: vec![("zlib".to_string(), "2.0".to_string())],
+        ..BaseDelta::default()
+    };
+    let (published_repo, _) = publish.apply(&medium, None);
+    runner.measure("base_update", "full_refreeze", || {
+        let solver = Concretizer::new(&published_repo).with_site(site.clone());
+        let fresh = solver.session().expect("re-freeze session build");
+        let s = fresh.stats();
+        (
+            vec![
+                ("setup", s.base_setup.as_secs_f64()),
+                ("load", s.base_load.as_secs_f64()),
+                ("ground", s.base_ground.as_secs_f64()),
+            ],
+            vec![
+                ("base_facts", s.base_facts as u64),
+                ("base_atoms", s.base_atoms as u64),
+                ("frozen_instances", s.frozen_instances as u64),
+            ],
+        )
+    });
+    let patch_solver = Concretizer::new(&medium).with_site(site.clone());
+    let mut patch_session = patch_solver.session().expect("patch session build");
+    let original_digest = patch_session.base_digest();
+    runner.measure("base_update", "incremental_patch", || {
+        let published =
+            patch_session.apply_base_delta(&ancient_repo, None).expect("ancient publish patch");
+        assert!(!published.rebuilt, "an ancient publish must take the additions-only path");
+        let yanked = patch_session.apply_base_delta(&medium, None).expect("yank patch");
+        assert!(yanked.rebuilt, "a yank must take the rebuild path");
+        assert_eq!(
+            patch_session.base_digest(),
+            original_digest,
+            "publish + yank must round-trip the base digest"
+        );
+        (
+            vec![
+                ("publish", published.duration.as_secs_f64()),
+                ("yank", yanked.duration.as_secs_f64()),
+            ],
+            vec![
+                ("patches", 2),
+                ("added_facts", published.added_facts as u64),
+                ("removed_facts", yanked.removed_facts as u64),
+                (
+                    "rules_reinstantiated",
+                    (published.rules_reinstantiated + yanked.rules_reinstantiated) as u64,
+                ),
+                ("rules_reused", (published.rules_reused + yanked.rules_reused) as u64),
+                ("rebuilds", u64::from(published.rebuilt) + u64::from(yanked.rebuilt)),
+            ],
+        )
+    });
+    // Leave the session patched to the published universe and price its request
+    // latency against the fresh-freeze oracle of that same universe.
+    patch_session.apply_base_delta(&published_repo, None).expect("patch to published universe");
+    let fresh_solver = Concretizer::new(&published_repo).with_site(site.clone());
+    let fresh_published = fresh_solver.session().expect("fresh published session build");
+    let expected_published: Vec<String> =
+        mix.iter().map(|s| render_outcome(&fresh_published.concretize_str(s))).collect();
+    runner.measure("base_update", "patched_solve", || {
+        let run = Instant::now();
+        let mut agg = MixAggregate::default();
+        for (spec, want) in mix.iter().zip(&expected_published) {
+            let result = patch_session.concretize_str(spec);
+            assert_eq!(
+                &render_outcome(&result),
+                want,
+                "patched session answer for `{spec}` differs from a fresh freeze"
+            );
+            agg.add(result);
+        }
+        agg.detail(run.elapsed())
+    });
+    report_patch_ratio(&runner.records);
+
     eprintln!("# harness finished in {:.1?}", started.elapsed());
     let json = render_json(&label, scale_name(scale), &runner.records);
     std::fs::write(&out, json).expect("write report");
@@ -646,12 +758,13 @@ fn main() -> std::process::ExitCode {
             return std::process::ExitCode::FAILURE;
         }
         eprintln!(
-            "# regression gate vs {baseline_path} (wall {threshold:.2}x, counters {counter_threshold:.2}x, session ground {session_ratio:.2}x)"
+            "# regression gate vs {baseline_path} (wall {threshold:.2}x, counters {counter_threshold:.2}x, session ground {session_ratio:.2}x, base patch {patch_ratio:.2}x)"
         );
         let wall =
             compare_against_baseline(&baseline, &runner.records, threshold, counter_threshold);
         let sess = session_ground_gate(&runner.records, session_ratio);
-        if let Err(e) = wall.and(sess) {
+        let patch = base_patch_gate(&runner.records, patch_ratio);
+        if let Err(e) = wall.and(sess).and(patch) {
             eprintln!("# FAIL: {e}");
             return std::process::ExitCode::FAILURE;
         }
@@ -717,6 +830,29 @@ fn report_checkpoint_overhead(records: &[Record]) {
             plain * 1e3,
             durable * 1e3,
             (durable / plain.max(1e-9) - 1.0) * 100.0
+        );
+    }
+}
+
+/// Print the headline patch-vs-refreeze comparison of the base_update group.
+fn report_patch_ratio(records: &[Record]) {
+    let find = |bench: &str| records.iter().find(|r| r.group == "base_update" && r.bench == bench);
+    if let (Some(patch), Some(refreeze)) = (find("incremental_patch"), find("full_refreeze")) {
+        let patches = patch
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "patches")
+            .map(|&(_, v)| v)
+            .unwrap_or(1)
+            .max(1);
+        let per_patch = patch.mean.as_secs_f64() / patches as f64;
+        let full = refreeze.mean.as_secs_f64();
+        eprintln!(
+            "# base_update: full re-freeze {:.1}ms, incremental patch {:.1}ms \
+             ({:.2}x, target <=0.50x, byte-identical answers)",
+            full * 1e3,
+            per_patch * 1e3,
+            per_patch / full.max(1e-9)
         );
     }
 }

@@ -184,6 +184,43 @@ pub fn session_ground_gate(records: &[Record], ratio: f64) -> Result<(), String>
     }
 }
 
+/// The base-update gate: within the *current* run, one incremental base patch (the
+/// `base_update/incremental_patch` mean divided by its `patches` counter — the bench
+/// applies a publish + yank round trip per sample) must stay below the
+/// `base_update/full_refreeze` mean by `ratio` (default 0.5 = at least twice as fast
+/// as freezing the post-delta universe from scratch). Both benches run on the same
+/// workload in the same process, so like [`session_ground_gate`] this needs no
+/// baseline and is immune to fleet-speed drift. Reports without both benches skip
+/// the gate with a warning.
+pub fn base_patch_gate(records: &[Record], ratio: f64) -> Result<(), String> {
+    let find = |bench: &str| records.iter().find(|r| r.group == "base_update" && r.bench == bench);
+    let (Some(patch), Some(refreeze)) = (find("incremental_patch"), find("full_refreeze")) else {
+        eprintln!("  base_update                  WARNING: patch benches missing — gate skipped");
+        return Ok(());
+    };
+    let patches =
+        patch.counters.iter().find(|(n, _)| *n == "patches").map(|&(_, v)| v).unwrap_or(1).max(1);
+    let per_patch = patch.mean.as_secs_f64() / patches as f64;
+    let full = refreeze.mean.as_secs_f64();
+    let actual = per_patch / full.max(1e-9);
+    eprintln!(
+        "  base_update                  per patch {:.1}ms  full re-freeze {:.1}ms  \
+         ratio {actual:.2}x (gate {ratio:.2}x)",
+        per_patch * 1e3,
+        full * 1e3
+    );
+    if actual > ratio {
+        Err(format!(
+            "an incremental base patch ({:.1}ms) is not below a full re-freeze ({:.1}ms) \
+             by the gated ratio {ratio:.2}",
+            per_patch * 1e3,
+            full * 1e3
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 /// Does the baseline carry `name` (even at value zero) for any bench of `group` that
 /// this run also measured? Distinguishes "recorded as zero" (gate with the absolute
 /// slack) from "absent from the report" (skip).
@@ -377,5 +414,29 @@ mod tests {
         assert!(session_ground_gate(&bad, 0.75).is_err());
         // Missing benches: skip, never fail.
         assert!(session_ground_gate(&[], 0.75).is_ok());
+    }
+
+    #[test]
+    fn base_patch_gate_verdicts() {
+        // 0.08s over 2 patches = 40ms per patch vs a 100ms re-freeze: 0.4x passes.
+        let ok = [
+            record("base_update", "full_refreeze", 0.1, &[]),
+            record("base_update", "incremental_patch", 0.08, &[("patches", 2)]),
+        ];
+        assert!(base_patch_gate(&ok, 0.5).is_ok());
+        // 60ms per patch vs 100ms: 0.6x fails the 0.5x gate.
+        let bad = [
+            record("base_update", "full_refreeze", 0.1, &[]),
+            record("base_update", "incremental_patch", 0.12, &[("patches", 2)]),
+        ];
+        assert!(base_patch_gate(&bad, 0.5).is_err());
+        // Without the patches counter the mean counts as one patch.
+        let one = [
+            record("base_update", "full_refreeze", 0.1, &[]),
+            record("base_update", "incremental_patch", 0.04, &[]),
+        ];
+        assert!(base_patch_gate(&one, 0.5).is_ok());
+        // Missing benches: skip, never fail.
+        assert!(base_patch_gate(&[], 0.5).is_ok());
     }
 }

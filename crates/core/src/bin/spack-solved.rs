@@ -15,12 +15,16 @@
 //!
 //! ```text
 //! {"v": 1, "id": "a", "specs": ["hdf5 +mpi"], "options": {"site": "lassen", "reuse": true}}
+//! {"v": 1, "id": "u", "cmd": "update", "add_versions": [{"package": "zlib", "version": "2.0"}]}
 //! {"v": 1, "id": "b", "cmd": "stats"}
 //! {"v": 1, "id": "c", "cmd": "shutdown"}
 //! ```
 //!
 //! Requests route to a shard per `(site, reuse)` base-facts digest; each shard
-//! grounds its base exactly once and answers every request incrementally. The
+//! grounds its base exactly once and answers every request incrementally. An
+//! `update` request patches every built shard in place with a base delta
+//! (published/yanked versions, buildcache pushes/removals) between in-flight
+//! requests — no session teardown, no lost responses. The
 //! responses are byte-identical to `spack-solve batch --json` for the same spec
 //! and options. Exit code 0 after a clean shutdown/EOF, 1 for setup errors.
 
@@ -119,8 +123,20 @@ fn main() -> ExitCode {
         for shard in &stats.shards {
             let _ = writeln!(
                 err,
-                "  shard {}/reuse={}: digest {:016x}, {} requests, {} base grounds",
-                shard.site, shard.reuse, shard.digest, shard.requests, shard.base_grounds
+                "  shard {}/reuse={}: digest {:016x}, {} requests, {} base grounds, \
+                 {} patches, {} refreezes, {} evictions{}",
+                shard.site,
+                shard.reuse,
+                shard.digest,
+                shard.requests,
+                shard.base_grounds,
+                shard.patches,
+                shard.refreezes,
+                shard.evictions,
+                match &shard.last_refreeze {
+                    Some(reason) => format!(" (last refreeze: {reason})"),
+                    None => String::new(),
+                },
             );
         }
     }
@@ -161,6 +177,7 @@ fn usage() {
          spack-solved --socket PATH [--workers N] [--queue N] [--synthetic N] [--summary]\n\n\
          REQUESTS (one JSON object per line):\n  \
          {{\"v\": 1, \"id\": \"a\", \"specs\": [\"hdf5 +mpi\"], \"options\": {{\"site\": \"lassen\", \"reuse\": true}}}}\n  \
+         {{\"v\": 1, \"id\": \"u\", \"cmd\": \"update\", \"add_versions\": [{{\"package\": \"zlib\", \"version\": \"2.0\"}}]}}\n  \
          {{\"v\": 1, \"id\": \"b\", \"cmd\": \"stats\"}}\n  \
          {{\"v\": 1, \"id\": \"c\", \"cmd\": \"shutdown\"}}\n"
     );

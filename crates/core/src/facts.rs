@@ -128,6 +128,13 @@ impl BaseFacts {
         self.facts
     }
 
+    /// The site configuration these facts were emitted against — reused verbatim when
+    /// a session re-emits the base stream for an in-place base patch
+    /// ([`crate::ConcretizerSession::apply_base_delta`]).
+    pub(crate) fn site(&self) -> &SiteConfig {
+        &self.site
+    }
+
     /// The owner-partition symbols for [`asp::Control::freeze_base_partitioned`]:
     /// every package and virtual name. Atoms and frozen instances bucket by the first
     /// of these they mention, which makes per-request relevance restriction

@@ -57,7 +57,7 @@ pub use extract::Extraction;
 pub use facts::{setup_problem, BaseFacts, FactBuilder, SetupInfo};
 pub use greedy::{GreedyConcretizer, GreedyError, GreedyResult};
 pub use options::SolveOptions;
-pub use session::{ConcretizerSession, SessionStats};
+pub use session::{BaseDelta, ConcretizerSession, SessionStats};
 
 /// The concretization logic program (the analogue of the ~800-line ASP program the paper
 /// describes in Section V). Violations derive `error(Priority, Msg, Args)`-scheme atoms

@@ -22,6 +22,15 @@
 //! * **Out-of-order streaming** — each worker writes its response line as soon as
 //!   its job resolves, tagged by the request's id; a slow solve never blocks a
 //!   fast one behind it.
+//! * **Live base updates** — an `update` request carries a
+//!   [`crate::BaseDelta`] (repository or buildcache churn) and patches
+//!   every built shard session **in place** between in-flight requests
+//!   ([`ConcretizerSession::apply_base_delta`]): updates wait for running solves
+//!   (they hold the shard's read lock), no in-flight response is lost, and any
+//!   solve sent after the update's response sees the post-delta universe. A
+//!   shard that cannot absorb the delta incrementally
+//!   is evicted and re-frozen from the new universe — the reason lands in the
+//!   `stats` response (`last_refreeze`), never in a failed update.
 //! * **Graceful shutdown** — a `shutdown` request (or EOF on the pipe) stops
 //!   admission; queued and in-flight jobs all complete and their responses are
 //!   written before the server exits.
@@ -35,9 +44,10 @@ pub mod wire;
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use spack_repo::Repository;
@@ -45,7 +55,8 @@ use spack_spec::parse_spec;
 use spack_store::Database;
 
 use crate::durable::solve_with_retries;
-use crate::{Concretizer, ConcretizerSession, ResultClass, SiteConfig, SolveOptions};
+use crate::session::panic_message;
+use crate::{BaseDelta, Concretizer, ConcretizerSession, ResultClass, SiteConfig, SolveOptions};
 
 /// Configuration of a server instance (both transports).
 #[derive(Debug, Clone)]
@@ -65,6 +76,10 @@ pub struct ServerConfig {
     /// name for the given duration before solving. This is how the integration
     /// tests pin down out-of-order completion without racing wall clocks.
     pub stall: Option<(String, Duration)>,
+    /// Deterministic test hook: treat every `update` request as un-patchable,
+    /// forcing the evict-and-refreeze fallback on all built shards. This is how
+    /// tests pin the fallback path without manufacturing a failing delta.
+    pub force_refreeze: bool,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +91,7 @@ impl Default for ServerConfig {
             default_reuse: false,
             retries: 1,
             stall: None,
+            force_refreeze: false,
         }
     }
 }
@@ -114,6 +130,14 @@ pub struct ShardStats {
     pub store_misses: u64,
     /// Clauses transferred between requests through the store.
     pub store_transferred: u64,
+    /// Base deltas this shard absorbed in place (across session generations).
+    pub patches: u64,
+    /// Times this shard's session was rebuilt from scratch by an update.
+    pub refreezes: u64,
+    /// Times this shard's session was evicted (every refreeze evicts first).
+    pub evictions: u64,
+    /// Why the most recent eviction happened, if any ever did.
+    pub last_refreeze: Option<String>,
 }
 
 /// A server-wide statistics snapshot: queue/worker counters plus one
@@ -134,23 +158,109 @@ pub struct ServerStats {
     pub shards: Vec<ShardStats>,
 }
 
+/// How an `update` request landed across the shard map: every **built** shard is
+/// either patched in place or evicted and re-frozen from the post-delta
+/// universe; unbuilt shards lazily freeze against it on first use and appear in
+/// neither count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Shards whose session absorbed the delta in place.
+    pub patched: u64,
+    /// Shards whose session was evicted and re-frozen from scratch.
+    pub refrozen: u64,
+}
+
+/// An append-only arena handing out references that live as long as the arena.
+/// Box addresses are stable and entries are never dropped before the arena is,
+/// so `alloc` can tie its result to `&self`.
+struct Arena<T> {
+    items: Mutex<Vec<Box<T>>>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena { items: Mutex::new(Vec::new()) }
+    }
+}
+
+impl<T> Arena<T> {
+    fn alloc(&self, value: T) -> &T {
+        let mut items = self.items.lock().expect("arena poisoned");
+        items.push(Box::new(value));
+        let ptr: *const T = &**items.last().expect("just pushed");
+        // SAFETY: the value sits behind a Box whose heap address never moves;
+        // the vector only grows and drops nothing until the arena itself drops,
+        // and the returned borrow of `self` cannot outlive the arena.
+        unsafe { &*ptr }
+    }
+}
+
+/// Owned storage for the universes live updates derive: sessions borrow their
+/// repository and buildcache for `'a`, so every post-delta universe must live at
+/// least that long. Declared before [`Shards`] in the serve functions so the
+/// borrows check out.
+#[derive(Default)]
+struct Arenas {
+    repos: Arena<Repository>,
+    caches: Arena<Database>,
+}
+
 /// The lazily-built shard map: one [`ConcretizerSession`] per `(site, reuse)`
 /// key. The map lock is held only to look up or insert the slot; session
-/// construction (base grounding) happens outside it, serialized per shard by the
-/// slot's `OnceLock` — two concurrent first requests for one shard build it once.
+/// construction (base grounding) happens under the slot's write lock — two
+/// concurrent first requests for one shard build it once, and a slow grounding
+/// on one shard never blocks routing on another.
+///
+/// Lock order: `update_lock` → `universe` (briefly) → slot write locks, one
+/// shard at a time; `get` takes the slot write lock first and `universe` briefly
+/// inside it. `universe` is never held while a slot lock is taken, so the two
+/// orders cannot deadlock.
 struct Shards<'a> {
-    repo: &'a Repository,
-    cache: Option<&'a Database>,
+    /// The current base universe; updates swap it, lazy builds read it under
+    /// their slot's write lock (so a build never races an update unseen).
+    universe: Mutex<(&'a Repository, Option<&'a Database>)>,
+    arenas: &'a Arenas,
+    /// Serializes `update` requests; solves are only serialized per shard (by
+    /// the slot's write lock) while their shard is being patched.
+    update_lock: Mutex<()>,
     map: Mutex<HashMap<(String, bool), Arc<Shard<'a>>>>,
 }
 
+#[derive(Default)]
 struct Shard<'a> {
-    session: OnceLock<Result<ConcretizerSession<'a>, String>>,
+    session: RwLock<Option<Result<ConcretizerSession<'a>, String>>>,
+    patches: AtomicU64,
+    refreezes: AtomicU64,
+    evictions: AtomicU64,
+    last_refreeze: Mutex<Option<String>>,
+}
+
+/// Freeze a session for one shard key against the given universe.
+fn build_session<'a>(
+    repo: &'a Repository,
+    database: Option<&'a Database>,
+    site: &str,
+    site_config: SiteConfig,
+    reuse: bool,
+) -> Result<ConcretizerSession<'a>, String> {
+    let mut options = SolveOptions::new().site(site_config);
+    if let Some(db) = database {
+        options = options.database(db);
+    }
+    Concretizer::new(repo)
+        .with_options(options)
+        .session()
+        .map_err(|e| format!("building the {site}/reuse={reuse} session failed: {e}"))
 }
 
 impl<'a> Shards<'a> {
-    fn new(repo: &'a Repository, cache: Option<&'a Database>) -> Self {
-        Shards { repo, cache, map: Mutex::new(HashMap::new()) }
+    fn new(repo: &'a Repository, cache: Option<&'a Database>, arenas: &'a Arenas) -> Self {
+        Shards {
+            universe: Mutex::new((repo, cache)),
+            arenas,
+            update_lock: Mutex::new(()),
+            map: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The shard for `(site, reuse)`, building its session on first use.
@@ -158,33 +268,93 @@ impl<'a> Shards<'a> {
         let site_config = site_by_name(site).ok_or_else(|| {
             format!("unknown site '{site}' (expected quartz, lassen, or minimal)")
         })?;
-        let database = match (reuse, self.cache) {
-            (false, _) => None,
-            (true, Some(cache)) => Some(cache),
-            (true, None) => {
-                return Err("reuse requested but the server has no buildcache".to_string())
-            }
-        };
+        if reuse && self.universe.lock().expect("universe poisoned").1.is_none() {
+            return Err("reuse requested but the server has no buildcache".to_string());
+        }
         let shard = {
             let mut map = self.map.lock().expect("shard map poisoned");
-            Arc::clone(
-                map.entry((site.to_string(), reuse))
-                    .or_insert_with(|| Arc::new(Shard { session: OnceLock::new() })),
-            )
+            Arc::clone(map.entry((site.to_string(), reuse)).or_default())
         };
-        // Build outside the map lock so a slow base grounding on one shard never
-        // blocks routing (or building) on another.
-        shard.session.get_or_init(|| {
-            let mut options = SolveOptions::new().site(site_config);
-            if let Some(db) = database {
-                options = options.database(db);
+        // Fast path: an already-built (or already-failed) slot needs no lock
+        // stronger than a read.
+        if shard.session.read().unwrap_or_else(|e| e.into_inner()).is_some() {
+            return Ok(shard);
+        }
+        let mut slot = shard.session.write().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            // Read the universe *under the slot's write lock*: an update that
+            // swapped it either already finished (we build from the new
+            // universe) or will wait on this write lock and patch what we
+            // build — identical facts, a no-op diff. Either way no stale
+            // session survives.
+            let (repo, cache) = *self.universe.lock().expect("universe poisoned");
+            let database = if reuse { cache } else { None };
+            if reuse && database.is_none() {
+                return Err("reuse requested but the server has no buildcache".to_string());
             }
-            Concretizer::new(self.repo)
-                .with_options(options)
-                .session()
-                .map_err(|e| format!("building the {site}/reuse={reuse} session failed: {e}"))
-        });
+            *slot = Some(build_session(repo, database, site, site_config, reuse));
+        }
+        drop(slot);
         Ok(shard)
+    }
+
+    /// Apply a base delta across the shard map: derive the post-delta universe
+    /// (pinned in the arenas), swap it in for future lazy builds, then patch
+    /// every built session in place — falling back to evict-and-refreeze when a
+    /// shard cannot absorb the delta incrementally (or when the
+    /// `force_refreeze` test hook demands it). Never fails: per-shard fallback
+    /// reasons land in `stats` (`last_refreeze`), not in the update response.
+    fn apply_update(&self, config: &ServerConfig, delta: &BaseDelta) -> UpdateOutcome {
+        let _serialize = self.update_lock.lock().expect("update lock poisoned");
+        let (new_repo, new_cache) = {
+            let mut universe = self.universe.lock().expect("universe poisoned");
+            let (repo, cache) = *universe;
+            let (new_repo, new_cache) = delta.apply(repo, cache);
+            let new_repo: &'a Repository = self.arenas.repos.alloc(new_repo);
+            let new_cache: Option<&'a Database> = new_cache.map(|db| self.arenas.caches.alloc(db));
+            *universe = (new_repo, new_cache);
+            (new_repo, new_cache)
+        };
+        let built: Vec<((String, bool), Arc<Shard<'a>>)> = {
+            let map = self.map.lock().expect("shard map poisoned");
+            map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        };
+        let mut outcome = UpdateOutcome::default();
+        for ((site, reuse), shard) in built {
+            let Some(site_config) = site_by_name(&site) else { continue };
+            let database = if reuse { new_cache } else { None };
+            // Taking the write lock waits for in-flight solves on this shard
+            // (they hold read locks); solves on other shards keep running.
+            let mut slot = shard.session.write().unwrap_or_else(|e| e.into_inner());
+            let refreeze_reason = match slot.as_mut() {
+                None => continue, // never built: it will lazily freeze post-delta
+                Some(Ok(session)) if !config.force_refreeze => {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        session.apply_base_delta(new_repo, database)
+                    })) {
+                        Ok(Ok(_)) => {
+                            shard.patches.fetch_add(1, Ordering::SeqCst);
+                            outcome.patched += 1;
+                            continue;
+                        }
+                        Ok(Err(e)) => format!("incremental patch failed: {e}"),
+                        Err(payload) => {
+                            format!("incremental patch panicked: {}", panic_message(payload))
+                        }
+                    }
+                }
+                Some(Ok(_)) => "refreeze forced by configuration (test hook)".to_string(),
+                Some(Err(e)) => format!("session was never usable: {e}"),
+            };
+            // Evict-and-refreeze fallback: a partially-patched (or failed)
+            // session must not answer another request.
+            shard.evictions.fetch_add(1, Ordering::SeqCst);
+            *slot = Some(build_session(new_repo, database, &site, site_config, reuse));
+            shard.refreezes.fetch_add(1, Ordering::SeqCst);
+            *shard.last_refreeze.lock().expect("refreeze reason poisoned") = Some(refreeze_reason);
+            outcome.refrozen += 1;
+        }
+        outcome
     }
 
     /// Stats of every shard whose session has been built, `(site, reuse)`-sorted.
@@ -193,8 +363,8 @@ impl<'a> Shards<'a> {
         let mut shards: Vec<ShardStats> = map
             .iter()
             .filter_map(|((site, reuse), shard)| {
-                let session = shard.session.get()?.as_ref().ok()?;
-                let s = session.stats();
+                let slot = shard.session.read().unwrap_or_else(|e| e.into_inner());
+                let s = slot.as_ref()?.as_ref().ok()?.stats();
                 Some(ShardStats {
                     site: site.clone(),
                     reuse: *reuse,
@@ -205,6 +375,14 @@ impl<'a> Shards<'a> {
                     store_hits: s.store_hits,
                     store_misses: s.store_misses,
                     store_transferred: s.store_transferred,
+                    patches: shard.patches.load(Ordering::SeqCst),
+                    refreezes: shard.refreezes.load(Ordering::SeqCst),
+                    evictions: shard.evictions.load(Ordering::SeqCst),
+                    last_refreeze: shard
+                        .last_refreeze
+                        .lock()
+                        .expect("refreeze reason poisoned")
+                        .clone(),
                 })
             })
             .collect();
@@ -222,6 +400,7 @@ struct Counters {
 
 enum JobKind {
     Solve(wire::SolveRequest),
+    Update(wire::UpdateRequest),
     Stats { id: String },
 }
 
@@ -271,14 +450,25 @@ fn execute(
             return wire::SolveResponse::failure(&req.id, &spec_text, ResultClass::Parse, &message)
         }
     };
-    let session = match shard.session.get().expect("session initialized by Shards::get") {
-        Ok(session) => session,
-        Err(message) => {
+    // The read guard is held for the whole solve: an update patching this shard
+    // (write lock) waits for in-flight requests and never mutates under them.
+    let slot = shard.session.read().unwrap_or_else(|e| e.into_inner());
+    let session = match slot.as_ref() {
+        Some(Ok(session)) => session,
+        Some(Err(message)) => {
             return wire::SolveResponse::failure(
                 &req.id,
                 &spec_text,
                 ResultClass::Internal,
                 message,
+            )
+        }
+        None => {
+            return wire::SolveResponse::failure(
+                &req.id,
+                &spec_text,
+                ResultClass::Internal,
+                "shard session unavailable",
             )
         }
     };
@@ -314,6 +504,10 @@ fn worker_loop<W: Write + Send>(
                 let response = execute(shards, config, &req);
                 emit(&job.sink, &response.render());
                 counters.completed.fetch_add(1, Ordering::SeqCst);
+            }
+            JobKind::Update(req) => {
+                let outcome = shards.apply_update(config, &req.delta);
+                emit(&job.sink, &wire::render_update_response(&req.id, &outcome));
             }
             JobKind::Stats { id } => {
                 let stats = snapshot(shards, config, counters);
@@ -352,6 +546,11 @@ fn admit_line<W: Write + Send>(
             None
         }
         Ok(wire::Request::Shutdown { id }) => Some(id),
+        Ok(wire::Request::Update(req)) => {
+            counters.queued.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(Job { kind: JobKind::Update(req), sink: Arc::clone(sink) });
+            None
+        }
         Ok(wire::Request::Stats { id }) => {
             counters.queued.fetch_add(1, Ordering::SeqCst);
             let _ = tx.send(Job { kind: JobKind::Stats { id }, sink: Arc::clone(sink) });
@@ -383,7 +582,10 @@ where
     R: BufRead,
     W: Write + Send,
 {
-    let shards = Shards::new(repo, cache);
+    // Declared before `shards` so update-derived universes outlive the sessions
+    // borrowing them.
+    let arenas = Arenas::default();
+    let shards = Shards::new(repo, cache, &arenas);
     let counters = Counters::default();
     let sink = Arc::new(Mutex::new(output));
     let mut shutdown_id: Option<String> = None;
@@ -437,7 +639,10 @@ pub fn serve_socket(
     use std::os::unix::net::UnixStream;
     use std::sync::atomic::AtomicBool;
 
-    let shards = Shards::new(repo, cache);
+    // Declared before `shards` so update-derived universes outlive the sessions
+    // borrowing them.
+    let arenas = Arenas::default();
+    let shards = Shards::new(repo, cache, &arenas);
     let counters = Counters::default();
     let shutdown = AtomicBool::new(false);
     listener.set_nonblocking(true)?;
@@ -511,18 +716,25 @@ mod tests {
         assert!(site_by_name("frontier").is_none());
     }
 
+    fn shard_digest(shard: &Shard<'_>) -> u64 {
+        shard.session.read().unwrap().as_ref().unwrap().as_ref().unwrap().base_digest()
+    }
+
     #[test]
     fn shard_map_reuses_one_session_per_key() {
         let repo = spack_repo::builtin_repo();
-        let shards = Shards::new(&repo, None);
+        let arenas = Arenas::default();
+        let shards = Shards::new(&repo, None, &arenas);
         let a = shards.get("minimal", false).unwrap();
         let b = shards.get("minimal", false).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same key must reuse one shard");
         let c = shards.get("quartz", false).unwrap();
         assert!(!Arc::ptr_eq(&a, &c), "distinct keys must get distinct shards");
-        let da = a.session.get().unwrap().as_ref().unwrap().base_digest();
-        let dc = c.session.get().unwrap().as_ref().unwrap().base_digest();
-        assert_ne!(da, dc, "distinct sites must produce distinct base digests");
+        assert_ne!(
+            shard_digest(&a),
+            shard_digest(&c),
+            "distinct sites must produce distinct base digests"
+        );
         assert!(shards.get("nowhere", false).is_err());
         assert!(shards.get("minimal", true).is_err(), "no buildcache, reuse must be rejected");
         let stats = shards.stats();
@@ -530,5 +742,75 @@ mod tests {
         assert_eq!(stats[0].site, "minimal");
         assert_eq!(stats[1].site, "quartz");
         assert!(stats.iter().all(|s| s.base_grounds == 1));
+    }
+
+    #[test]
+    fn update_patches_built_shards_in_place() {
+        let repo = spack_repo::builtin_repo();
+        let arenas = Arenas::default();
+        let shards = Shards::new(&repo, None, &arenas);
+        let config = ServerConfig::default();
+        let shard = shards.get("minimal", false).unwrap();
+        let before = shard_digest(&shard);
+        let delta = BaseDelta {
+            add_versions: vec![("zlib".to_string(), "2.0".to_string())],
+            ..BaseDelta::default()
+        };
+        let outcome = shards.apply_update(&config, &delta);
+        assert_eq!(outcome, UpdateOutcome { patched: 1, refrozen: 0 });
+        assert_ne!(shard_digest(&shard), before, "the delta must change the base digest");
+
+        // The patched session must be observationally identical to a session
+        // frozen fresh against the post-delta universe.
+        let (fresh_repo, _) = delta.apply(&repo, None);
+        let fresh = Concretizer::new(&fresh_repo)
+            .with_options(SolveOptions::new().site(SiteConfig::minimal()))
+            .session()
+            .unwrap();
+        assert_eq!(shard_digest(&shard), fresh.base_digest());
+        let slot = shard.session.read().unwrap();
+        let patched = slot.as_ref().unwrap().as_ref().unwrap();
+        let a = patched.concretize_str("zlib@2.0").unwrap();
+        let b = fresh.concretize_str("zlib@2.0").unwrap();
+        assert_eq!(a.spec.to_string(), b.spec.to_string());
+        drop(slot);
+
+        // A shard built only after the update freezes straight onto the
+        // post-delta universe.
+        let late = shards.get("quartz", false).unwrap();
+        let late_slot = late.session.read().unwrap();
+        assert!(late_slot.as_ref().unwrap().as_ref().unwrap().concretize_str("zlib@2.0").is_ok());
+        drop(late_slot);
+
+        let stats = shards.stats();
+        let minimal = stats.iter().find(|s| s.site == "minimal").unwrap();
+        assert_eq!((minimal.patches, minimal.refreezes, minimal.evictions), (1, 0, 0));
+        assert_eq!(minimal.base_grounds, 1, "patching must not re-ground the base");
+        assert!(minimal.last_refreeze.is_none());
+    }
+
+    #[test]
+    fn forced_refreeze_takes_the_eviction_path_and_logs_why() {
+        let repo = spack_repo::builtin_repo();
+        let arenas = Arenas::default();
+        let shards = Shards::new(&repo, None, &arenas);
+        let config = ServerConfig { force_refreeze: true, ..ServerConfig::default() };
+        let shard = shards.get("minimal", false).unwrap();
+        let delta = BaseDelta {
+            add_versions: vec![("zlib".to_string(), "2.0".to_string())],
+            ..BaseDelta::default()
+        };
+        let outcome = shards.apply_update(&config, &delta);
+        assert_eq!(outcome, UpdateOutcome { patched: 0, refrozen: 1 });
+
+        // The re-frozen session answers from the post-delta universe.
+        let slot = shard.session.read().unwrap();
+        let session = slot.as_ref().unwrap().as_ref().unwrap();
+        assert!(session.concretize_str("zlib@2.0").is_ok());
+        drop(slot);
+        let stats = shards.stats();
+        let minimal = stats.iter().find(|s| s.site == "minimal").unwrap();
+        assert_eq!((minimal.patches, minimal.refreezes, minimal.evictions), (0, 1, 1));
+        assert!(minimal.last_refreeze.as_ref().unwrap().contains("forced"));
     }
 }

@@ -12,9 +12,17 @@
 //!
 //! ```json
 //! {"v": 1, "id": "a1", "specs": ["hdf5 ^mpich"], "options": {"reuse": true, "deadline_ms": 5000}}
+//! {"v": 1, "id": "u1", "cmd": "update", "add_versions": [{"package": "zlib", "version": "2.0"}], "install": ["hdf5"]}
 //! {"v": 1, "id": "s1", "cmd": "stats"}
 //! {"v": 1, "id": "q", "cmd": "shutdown"}
 //! ```
+//!
+//! An `update` request carries a [`crate::BaseDelta`] — versions published or
+//! yanked, binaries pushed to or removed from the buildcache — and patches every
+//! built shard session **in place** between in-flight requests (see
+//! [`crate::ConcretizerSession::apply_base_delta`]); shards that cannot absorb
+//! the delta incrementally are evicted and re-frozen, with the reason reported in
+//! `stats` rather than failing the update.
 //!
 //! [`RequestOptions`] is the wire form of [`crate::SolveOptions`]: live references
 //! cannot cross a socket, so the site travels by preset name and the database by
@@ -280,6 +288,8 @@ impl Parser<'_> {
 pub enum Request {
     /// Concretize the given specs (`cmd` absent or `"solve"`).
     Solve(SolveRequest),
+    /// Patch the base universe in place across all built shards (`"cmd": "update"`).
+    Update(UpdateRequest),
     /// Report per-shard session statistics and queue counters (`"cmd": "stats"`).
     Stats {
         /// The request id the response will be tagged with.
@@ -290,6 +300,19 @@ pub enum Request {
         /// The request id the acknowledgement will be tagged with.
         id: String,
     },
+}
+
+/// An update request: a [`crate::BaseDelta`] describing repository and
+/// buildcache churn, applied to every built shard without tearing sessions
+/// down. Wire fields (all optional, top-level next to `"cmd": "update"`):
+/// `add_versions` / `remove_versions` as arrays of `{"package", "version"}`
+/// objects, `install` / `uninstall` as arrays of package names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRequest {
+    /// Client-chosen id echoed into the response.
+    pub id: String,
+    /// The base churn to apply.
+    pub delta: crate::BaseDelta,
 }
 
 /// A solve request: one or more spec strings plus per-request options.
@@ -452,6 +475,44 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => RequestOptions::default(),
             };
             Ok(Request::Solve(SolveRequest { id, specs, options }))
+        }
+        Some("update") => {
+            let mut delta = crate::BaseDelta::default();
+            for (field, slot) in [
+                ("add_versions", &mut delta.add_versions),
+                ("remove_versions", &mut delta.remove_versions),
+            ] {
+                if let Some(items) = json.get(field) {
+                    let items =
+                        items.as_array().ok_or_else(|| format!("'{field}' must be an array"))?;
+                    for item in items {
+                        let package =
+                            item.get("package").and_then(Json::as_str).ok_or_else(|| {
+                                format!("each '{field}' entry needs a 'package' string")
+                            })?;
+                        let version =
+                            item.get("version").and_then(Json::as_str).ok_or_else(|| {
+                                format!("each '{field}' entry needs a 'version' string")
+                            })?;
+                        slot.push((package.to_string(), version.to_string()));
+                    }
+                }
+            }
+            for (field, slot) in
+                [("install", &mut delta.install), ("uninstall", &mut delta.uninstall)]
+            {
+                if let Some(items) = json.get(field) {
+                    let items =
+                        items.as_array().ok_or_else(|| format!("'{field}' must be an array"))?;
+                    for item in items {
+                        let name = item
+                            .as_str()
+                            .ok_or_else(|| format!("'{field}' entries must be strings"))?;
+                        slot.push(name.to_string());
+                    }
+                }
+            }
+            Ok(Request::Update(UpdateRequest { id, delta }))
         }
         Some("stats") => Ok(Request::Stats { id }),
         Some("shutdown") => Ok(Request::Shutdown { id }),
@@ -744,10 +805,11 @@ pub fn render_stats_response(id: &str, stats: &super::ServerStats) -> String {
         .shards
         .iter()
         .map(|s| {
-            format!(
+            let mut entry = format!(
                 "{{\"site\": \"{}\", \"reuse\": {}, \"digest\": \"{:016x}\", \
                  \"requests\": {}, \"base_grounds\": {}, \"frozen_instances\": {}, \
-                 \"store_hits\": {}, \"store_misses\": {}, \"store_transferred\": {}}}",
+                 \"store_hits\": {}, \"store_misses\": {}, \"store_transferred\": {}, \
+                 \"patches\": {}, \"refreezes\": {}, \"evictions\": {}",
                 json_escape(&s.site),
                 s.reuse,
                 s.digest,
@@ -757,7 +819,15 @@ pub fn render_stats_response(id: &str, stats: &super::ServerStats) -> String {
                 s.store_hits,
                 s.store_misses,
                 s.store_transferred,
-            )
+                s.patches,
+                s.refreezes,
+                s.evictions,
+            );
+            if let Some(reason) = &s.last_refreeze {
+                entry.push_str(&format!(", \"last_refreeze\": \"{}\"", json_escape(reason)));
+            }
+            entry.push('}');
+            entry
         })
         .collect();
     format!(
@@ -770,6 +840,18 @@ pub fn render_stats_response(id: &str, stats: &super::ServerStats) -> String {
         stats.jobs_received,
         stats.jobs_completed,
         shards.join(", "),
+    )
+}
+
+/// Render an update response: how many built shards absorbed the delta in
+/// place and how many had to be evicted and re-frozen.
+pub fn render_update_response(id: &str, outcome: &super::UpdateOutcome) -> String {
+    format!(
+        "{{\"v\": {WIRE_VERSION}, \"id\": \"{}\", \"status\": \"ok\", \"update\": \
+         {{\"shards_patched\": {}, \"shards_refrozen\": {}}}}}",
+        json_escape(id),
+        outcome.patched,
+        outcome.refrozen,
     )
 }
 
@@ -858,6 +940,47 @@ mod tests {
         assert_eq!(cfg.portfolio, base.portfolio);
         assert_eq!(cfg.share_nogoods, base.share_nogoods);
         assert!(cfg.budget.is_none());
+    }
+
+    #[test]
+    fn update_requests_parse_and_render() {
+        let req = parse_request(
+            r#"{"v": 1, "id": "u1", "cmd": "update", "add_versions": [{"package": "zlib", "version": "2.0"}], "remove_versions": [{"package": "hdf5", "version": "1.8.0"}], "install": ["cmake"], "uninstall": ["mpich"], "novel": true}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Update(update) => {
+                assert_eq!(update.id, "u1");
+                assert_eq!(
+                    update.delta.add_versions,
+                    vec![("zlib".to_string(), "2.0".to_string())]
+                );
+                assert_eq!(
+                    update.delta.remove_versions,
+                    vec![("hdf5".to_string(), "1.8.0".to_string())]
+                );
+                assert_eq!(update.delta.install, vec!["cmake".to_string()]);
+                assert_eq!(update.delta.uninstall, vec!["mpich".to_string()]);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        // An empty update is valid on the wire (the server applies a no-op).
+        match parse_request(r#"{"v": 1, "id": "u2", "cmd": "update"}"#).unwrap() {
+            Request::Update(update) => assert!(update.delta.is_empty()),
+            other => panic!("expected update, got {other:?}"),
+        }
+        // Malformed entries are parse errors, not silent drops.
+        assert!(parse_request(r#"{"cmd": "update", "add_versions": [{"package": "z"}]}"#).is_err());
+        assert!(parse_request(r#"{"cmd": "update", "add_versions": {"package": "z"}}"#).is_err());
+        assert!(parse_request(r#"{"cmd": "update", "install": [7]}"#).is_err());
+
+        let outcome = super::super::UpdateOutcome { patched: 2, refrozen: 1 };
+        let line = render_update_response("u1", &outcome);
+        let json = parse_json(&line).unwrap();
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"));
+        let update = json.get("update").unwrap();
+        assert_eq!(update.get("shards_patched").and_then(Json::as_u64), Some(2));
+        assert_eq!(update.get("shards_refrozen").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

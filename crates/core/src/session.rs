@@ -28,13 +28,107 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
-use spack_repo::Repository;
-use spack_spec::{parse_spec, Spec};
+use spack_repo::{Repository, VersionDecl};
+use spack_spec::{parse_spec, Spec, Version};
+use spack_store::{synthesize_install, BuildcacheConfig, Database};
 
 use crate::facts::BaseFacts;
 use crate::{
     solve_prepared, Concretization, ConcretizeError, Concretizer, CONCRETIZE_LP, ERROR_GUARD_LP,
 };
+
+/// A description of base-universe churn — versions published or yanked from the
+/// repository, binaries pushed to or removed from the buildcache — to be applied to a
+/// live session via [`ConcretizerSession::apply_base_delta`] without tearing the
+/// session down.
+///
+/// The delta itself is pure data: [`BaseDelta::apply`] derives the post-delta
+/// repository and database from the current ones, and `apply_base_delta` re-emits the
+/// base fact stream and patches the frozen base in place (see
+/// [`asp::FrozenControl::patch_base`]). Pure additions (a new version, a new cached
+/// binary) take the cheap semi-naive continuation path; removals trigger an id-exact
+/// closure rebuild that still reuses every unaffected frozen instance. Either way,
+/// subsequent solves are byte-identical to a fresh session of the post-delta universe
+/// — the `base_delta_cross_check` proptests pin that contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaseDelta {
+    /// Versions to declare, as `(package, version)`. Inserted into the package's
+    /// newest-first declaration order (which determines version preference weights),
+    /// so publishing a newer version shifts existing weights — such deltas take the
+    /// rebuild path. Unknown packages and already-declared versions are ignored.
+    pub add_versions: Vec<(String, String)>,
+    /// Versions to yank, as `(package, version)`. Unknown entries are ignored.
+    pub remove_versions: Vec<(String, String)>,
+    /// Packages whose default configuration (plus dependency closure) is pushed to
+    /// the buildcache, synthesized via [`spack_store::synthesize_install`] with the
+    /// default [`BuildcacheConfig`]. A pure addition: takes the in-place patch path.
+    pub install: Vec<String>,
+    /// Packages whose installed records are removed from the buildcache (all
+    /// replicas, by name).
+    pub uninstall: Vec<String>,
+}
+
+impl BaseDelta {
+    /// Is there nothing to apply?
+    pub fn is_empty(&self) -> bool {
+        self.add_versions.is_empty()
+            && self.remove_versions.is_empty()
+            && self.install.is_empty()
+            && self.uninstall.is_empty()
+    }
+
+    /// Derive the post-delta universe: a repository with the version changes applied
+    /// and a database with the install/uninstall changes applied. The inputs are
+    /// untouched; the caller owns the results (and must keep them alive as long as a
+    /// session patched onto them answers requests).
+    pub fn apply(
+        &self,
+        repo: &Repository,
+        database: Option<&Database>,
+    ) -> (Repository, Option<Database>) {
+        let mut new_repo = repo.clone();
+        for (pkg, ver) in &self.remove_versions {
+            if let Some(def) = new_repo.get(pkg) {
+                let mut def = def.clone();
+                let ver = Version::new(ver);
+                def.versions.retain(|v| v.version != ver);
+                new_repo.add(def);
+            }
+        }
+        for (pkg, ver) in &self.add_versions {
+            if let Some(def) = new_repo.get(pkg) {
+                let mut def = def.clone();
+                let ver = Version::new(ver);
+                if !def.versions.iter().any(|v| v.version == ver) {
+                    // Keep the newest-first declaration order real recipes use: the
+                    // declaration index is the version's preference weight.
+                    let at = def
+                        .versions
+                        .iter()
+                        .position(|v| v.version < ver)
+                        .unwrap_or(def.versions.len());
+                    def.versions.insert(at, VersionDecl { version: ver, deprecated: false });
+                }
+                new_repo.add(def);
+            }
+        }
+        let mut database = database.cloned();
+        if !self.uninstall.is_empty() {
+            if let Some(db) = database {
+                let gone: std::collections::BTreeSet<&str> =
+                    self.uninstall.iter().map(String::as_str).collect();
+                database = Some(db.filter(|r| !gone.contains(r.name.as_str())));
+            }
+        }
+        if !self.install.is_empty() {
+            let pushed = synthesize_install(&new_repo, &self.install, &BuildcacheConfig::default());
+            let mut db = database.unwrap_or_default();
+            db.merge(&pushed);
+            database = Some(db);
+        }
+        (new_repo, database)
+    }
+}
 
 /// Aggregate accounting of a session: how often the base was ground (always exactly
 /// once — asserted by tests), how many requests it served, and the amortized costs.
@@ -46,6 +140,9 @@ pub struct SessionStats {
     pub base_grounds: u64,
     /// Requests answered so far (single requests and batch members alike).
     pub requests: u64,
+    /// In-place base patches applied so far ([`ConcretizerSession::apply_base_delta`]):
+    /// live updates the session absorbed without re-grounding the base from scratch.
+    pub base_patches: u64,
     /// Order-stable digest of the base fact stream — the session's cache key.
     pub base_digest: u64,
     /// Base facts emitted (repository + site + database).
@@ -84,6 +181,8 @@ pub struct ConcretizerSession<'a> {
     base: BaseFacts,
     base_setup: Duration,
     requests: AtomicU64,
+    /// In-place base patches applied ([`ConcretizerSession::apply_base_delta`]).
+    base_patches: u64,
     /// Requests whose grounding was NOT an incremental delta on the frozen base.
     /// Structurally this cannot happen (every fork grounds through the base), so any
     /// nonzero value is a regression — it feeds [`SessionStats::base_grounds`], which
@@ -95,6 +194,44 @@ pub struct ConcretizerSession<'a> {
     /// [`crate::Concretizer::with_nogood_store`]. Results are byte-identical either
     /// way — the store only changes how fast they are found.
     store: Option<Arc<asp::SharedClauseStore>>,
+}
+
+impl<'a> ConcretizerSession<'a> {
+    /// Patch the session's frozen base **in place** so it answers subsequent requests
+    /// against the post-delta universe — a new version published, a binary pushed to
+    /// the buildcache — without re-parsing the programs or re-grounding the base from
+    /// scratch. `repo` and `database` are the post-delta inputs (typically from
+    /// [`BaseDelta::apply`]); the caller keeps them alive for the session's lifetime.
+    ///
+    /// The base fact stream is re-emitted for the new universe and diffed against the
+    /// frozen one by [`asp::FrozenControl::patch_base`]: pure additions continue the
+    /// semi-naive phase-1 fixpoint from the new facts only, removals rebuild the
+    /// closure id-exactly while reusing every unaffected frozen instance. The base
+    /// digest is recomputed from the new stream, so digest-keyed caches (the
+    /// cross-request nogood shelves) miss naturally instead of serving stale entries.
+    /// Results after a patch are byte-identical to a fresh session of the post-delta
+    /// universe (proptest-pinned).
+    ///
+    /// Requires `&mut self`: a patch never races in-flight requests. On error the
+    /// session may hold a partially patched base and must be discarded and re-frozen
+    /// — the server's shard map does exactly that (evict-and-refreeze).
+    pub fn apply_base_delta(
+        &mut self,
+        repo: &'a Repository,
+        database: Option<&'a Database>,
+    ) -> Result<asp::PatchStats, ConcretizeError> {
+        let site = self.base.site().clone();
+        let mut staged = self.frozen.request();
+        let new_base = crate::FactBuilder::new(repo, &site, database).base(&mut staged)?;
+        let stats = self
+            .frozen
+            .patch_base(staged, &new_base.partition_symbols())
+            .map_err(|e| ConcretizeError::Setup(format!("base patch failed: {e}")))?;
+        self.repo = repo;
+        self.base = new_base;
+        self.base_patches += 1;
+        Ok(stats)
+    }
 }
 
 /// Render a `catch_unwind` payload into the human-readable panic message (the
@@ -128,6 +265,7 @@ impl<'a> Concretizer<'a> {
             base,
             base_setup,
             requests: AtomicU64::new(0),
+            base_patches: 0,
             full_regrounds: AtomicU64::new(0),
             store,
         })
@@ -249,6 +387,7 @@ impl ConcretizerSession<'_> {
             // was observed to perform (always 0 unless the multi-shot path regresses).
             base_grounds: 1 + self.full_regrounds.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
+            base_patches: self.base_patches,
             base_digest: self.base.digest(),
             base_facts: self.base.fact_count(),
             possible_packages: self.base.possible_packages(),
@@ -335,6 +474,111 @@ mod tests {
             assert_eq!(one, ses, "spec {spec}: collision guard must keep variant facts");
             assert!(ses.contains("tcl"), "spec {spec}: the variant must be in the DAG: {ses}");
         }
+    }
+
+    #[test]
+    fn base_delta_version_publish_patches_in_place() {
+        // Publish zlib@2.0 into a live session: post-patch solves must be identical
+        // to a fresh session of the post-delta repository, without a second base
+        // ground. A newer version shifts preference weights, so this takes the
+        // rebuild path — still a patch, not a new session.
+        let repo = builtin_repo();
+        let concretizer = Concretizer::new(&repo).with_site(SiteConfig::quartz());
+        let mut session = concretizer.session().unwrap();
+        let before = render(&session.concretize_str("zlib"));
+        assert!(matches!(
+            session.concretize_str("zlib@2.0"),
+            Err(ConcretizeError::Unsatisfiable { .. })
+        ));
+
+        let delta = BaseDelta {
+            add_versions: vec![("zlib".to_string(), "2.0".to_string())],
+            ..Default::default()
+        };
+        let (new_repo, _) = delta.apply(&repo, None);
+        let stats = session.apply_base_delta(&new_repo, None).unwrap();
+        assert!(stats.added_facts > 0);
+
+        let fresh_concretizer = Concretizer::new(&new_repo).with_site(SiteConfig::quartz());
+        let fresh = fresh_concretizer.session().unwrap();
+        for spec in ["zlib", "zlib@2.0", "zlib@1.2.8", "hdf5", "example~bzip"] {
+            let patched = render(&session.concretize_str(spec));
+            let scratch = render(&fresh.concretize_str(spec));
+            assert_eq!(patched, scratch, "spec {spec}: patched session must match fresh");
+        }
+        assert_ne!(before, render(&session.concretize_str("zlib")), "zlib must pick 2.0 now");
+        assert_eq!(session.base_digest(), fresh.base_digest(), "digests must converge");
+        let stats = session.stats();
+        assert_eq!(stats.base_grounds, 1, "a patch must not re-ground the base");
+        assert_eq!(stats.base_patches, 1);
+    }
+
+    #[test]
+    fn base_delta_install_takes_the_addition_path() {
+        // Pushing binaries into an empty buildcache only adds facts: the patch must
+        // take the cheap in-place continuation path (no rebuild), and post-patch
+        // solves must reuse the new records exactly like a fresh session would.
+        let repo = builtin_repo();
+        let concretizer = Concretizer::new(&repo).with_site(SiteConfig::quartz());
+        let mut session = concretizer.session().unwrap();
+        assert_eq!(session.stats().installed, 0);
+
+        let delta = BaseDelta { install: vec!["zlib".to_string()], ..Default::default() };
+        let (new_repo, new_db) = delta.apply(&repo, None);
+        let db = new_db.expect("install must create a database");
+        let stats = session.apply_base_delta(&new_repo, Some(&db)).unwrap();
+        assert!(!stats.rebuilt, "a pure install must patch in place: {stats:?}");
+        assert!(session.stats().installed > 0);
+
+        let fresh_concretizer =
+            Concretizer::new(&new_repo).with_site(SiteConfig::quartz()).with_database(&db);
+        let fresh = fresh_concretizer.session().unwrap();
+        for spec in ["zlib", "hdf5", "zlib@9.9"] {
+            let patched = render(&session.concretize_str(spec));
+            let scratch = render(&fresh.concretize_str(spec));
+            assert_eq!(patched, scratch, "spec {spec}: patched session must match fresh");
+        }
+        assert_eq!(session.base_digest(), fresh.base_digest());
+        assert_eq!(session.stats().base_grounds, 1);
+    }
+
+    #[test]
+    fn base_delta_remove_then_re_add_round_trips() {
+        let repo = builtin_repo();
+        let concretizer = Concretizer::new(&repo).with_site(SiteConfig::quartz());
+        let mut session = concretizer.session().unwrap();
+        let original_digest = session.base_digest();
+        let original = render(&session.concretize_str("zlib"));
+
+        // Yank the version zlib would have picked; solves must fall back.
+        let solved = session.concretize_str("zlib").unwrap();
+        let picked = solved
+            .spec
+            .nodes
+            .iter()
+            .find(|n| n.name == "zlib")
+            .expect("zlib must be in its own DAG")
+            .version
+            .to_string();
+        let yank = BaseDelta {
+            remove_versions: vec![("zlib".to_string(), picked.clone())],
+            ..Default::default()
+        };
+        let (yanked_repo, _) = yank.apply(&repo, None);
+        let stats = session.apply_base_delta(&yanked_repo, None).unwrap();
+        assert!(stats.rebuilt, "a removal must rebuild: {stats:?}");
+        let after = render(&session.concretize_str("zlib"));
+        assert_ne!(original, after, "the yanked version must no longer be picked");
+
+        // Re-publish it: digest and answers must round-trip back exactly.
+        let readd =
+            BaseDelta { add_versions: vec![("zlib".to_string(), picked)], ..Default::default() };
+        let (restored_repo, _) = readd.apply(&yanked_repo, None);
+        session.apply_base_delta(&restored_repo, None).unwrap();
+        assert_eq!(session.base_digest(), original_digest, "digest must round-trip");
+        assert_eq!(render(&session.concretize_str("zlib")), original);
+        assert_eq!(session.stats().base_patches, 2);
+        assert_eq!(session.stats().base_grounds, 1);
     }
 
     #[test]

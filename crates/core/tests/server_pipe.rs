@@ -167,6 +167,105 @@ fn shutdown_drains_queued_jobs_and_acks_last() {
 }
 
 #[test]
+fn update_interleaves_with_an_in_flight_solve_without_losing_it() {
+    // A stalled solve holds its shard's read lock while the update waits for the
+    // write lock on another worker: the in-flight response must still arrive
+    // intact, and the update must patch (not tear down) the shard it waited on.
+    // The warm-up solve completes before the update job is dequeued (two
+    // workers, the second busy stalling), so the shard is deterministically
+    // built — and occupied — when the update lands.
+    let config = ServerConfig {
+        workers: 2,
+        stall: Some(("hdf5".to_string(), Duration::from_secs(1))),
+        ..ServerConfig::default()
+    };
+    let input = "{\"v\": 1, \"id\": \"warm\", \"specs\": [\"zlib\"]}\n\
+                 {\"v\": 1, \"id\": \"inflight\", \"specs\": [\"hdf5\"]}\n\
+                 {\"v\": 1, \"id\": \"up\", \"cmd\": \"update\", \"add_versions\": [{\"package\": \"zlib\", \"version\": \"2.0\"}]}\n";
+    let (lines, stats) = serve(false, &config, input);
+    assert_eq!(lines.len(), 3, "no response may be lost across an update: {lines:?}");
+    for id in ["warm", "inflight"] {
+        let line = lines.iter().find(|l| l.contains(&format!("\"id\": \"{id}\""))).unwrap();
+        assert_eq!(response(line).status, wire::SolveStatus::Ok, "{line}");
+    }
+    let up_line = lines.iter().find(|l| l.contains("\"id\": \"up\"")).unwrap();
+    assert!(up_line.contains("\"shards_patched\": 1"), "{up_line}");
+    assert!(up_line.contains("\"shards_refrozen\": 0"), "{up_line}");
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.shards.len(), 1);
+    assert_eq!(stats.shards[0].patches, 1, "{:?}", stats.shards[0]);
+    assert_eq!(stats.shards[0].base_grounds, 1, "an in-place patch never re-grounds");
+}
+
+#[test]
+fn post_update_solves_see_the_new_version() {
+    // Single worker, so the pipeline is strictly ordered: UNSAT before the
+    // update, the update patches in place, SAT after it.
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let input = "{\"v\": 1, \"id\": \"pre\", \"specs\": [\"zlib@2.0\"]}\n\
+                 {\"v\": 1, \"id\": \"up\", \"cmd\": \"update\", \"add_versions\": [{\"package\": \"zlib\", \"version\": \"2.0\"}]}\n\
+                 {\"v\": 1, \"id\": \"post\", \"specs\": [\"zlib@2.0\"]}\n\
+                 {\"v\": 1, \"id\": \"s\", \"cmd\": \"stats\"}\n";
+    let (lines, stats) = serve(false, &config, input);
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    let pre = response(&lines[0]);
+    assert_eq!((pre.id.as_str(), pre.status), ("pre", wire::SolveStatus::Unsat), "{pre:?}");
+    assert!(lines[1].contains("\"shards_patched\": 1"), "{}", lines[1]);
+    let post = response(&lines[2]);
+    assert_eq!(post.status, wire::SolveStatus::Ok, "post-update solves see the new version");
+    assert!(post.result.expect("solved").dag.contains("zlib@2.0"), "must pick the new version");
+    assert!(lines[3].contains("\"patches\": 1"), "{}", lines[3]);
+    assert_eq!(stats.shards[0].patches, 1);
+    assert_eq!(stats.shards[0].base_grounds, 1);
+}
+
+#[test]
+fn forced_refreeze_is_reported_in_stats_not_as_a_failed_update() {
+    let config = ServerConfig { workers: 1, force_refreeze: true, ..ServerConfig::default() };
+    let input = "{\"v\": 1, \"id\": \"pre\", \"specs\": [\"zlib\"]}\n\
+                 {\"v\": 1, \"id\": \"up\", \"cmd\": \"update\", \"add_versions\": [{\"package\": \"zlib\", \"version\": \"2.0\"}]}\n\
+                 {\"v\": 1, \"id\": \"post\", \"specs\": [\"zlib@2.0\"]}\n\
+                 {\"v\": 1, \"id\": \"s\", \"cmd\": \"stats\"}\n";
+    let (lines, stats) = serve(false, &config, input);
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    assert!(lines[1].contains("\"shards_refrozen\": 1"), "{}", lines[1]);
+    assert_eq!(response(&lines[2]).status, wire::SolveStatus::Ok);
+    assert!(lines[3].contains("\"evictions\": 1"), "{}", lines[3]);
+    assert!(lines[3].contains("\"last_refreeze\""), "{}", lines[3]);
+    assert_eq!(stats.shards[0].refreezes, 1);
+    assert!(stats.shards[0].last_refreeze.as_deref().is_some());
+}
+
+#[test]
+fn spack_solved_pipe_applies_updates_end_to_end() {
+    // The same interleave through the real binary: a solve that is UNSAT before
+    // the update becomes SAT after it, over one `--pipe` session.
+    let input = "{\"v\": 1, \"id\": \"pre\", \"specs\": [\"zlib@2.0\"]}\n\
+                 {\"v\": 1, \"id\": \"up\", \"cmd\": \"update\", \"add_versions\": [{\"package\": \"zlib\", \"version\": \"2.0\"}]}\n\
+                 {\"v\": 1, \"id\": \"post\", \"specs\": [\"zlib@2.0\"]}\n";
+    let served = Command::new(env!("CARGO_BIN_EXE_spack-solved"))
+        .args(["--pipe", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .and_then(|mut child| {
+            use std::io::Write;
+            child.stdin.take().expect("stdin").write_all(input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("run spack-solved");
+    let lines: Vec<String> =
+        String::from_utf8(served.stdout).expect("utf8").lines().map(String::from).collect();
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    let pre = response(&lines[0]);
+    assert_eq!((pre.id.as_str(), pre.status), ("pre", wire::SolveStatus::Unsat), "{:?}", pre);
+    assert!(lines[1].contains("\"shards_patched\": 1"), "{}", lines[1]);
+    let post = response(&lines[2]);
+    assert_eq!((post.id.as_str(), post.status), ("post", wire::SolveStatus::Ok), "{:?}", post);
+}
+
+#[test]
 fn pipe_responses_are_byte_identical_to_batch_json() {
     // The acceptance bar for the service: for the same specs and options,
     // `spack-solved --pipe` (4 workers, out-of-order) and the one-shot

@@ -109,6 +109,48 @@ pub fn synthesize_buildcache(repo: &Repository, config: &BuildcacheConfig) -> Da
     db
 }
 
+/// Synthesize installed records for `names` and their dependency closures only — the
+/// incremental companion of [`synthesize_buildcache`], used by live base updates ("a
+/// binary was pushed to the cache") to install a few packages without regenerating the
+/// whole cache. Records use the *first* architecture and compiler of `config` (replica
+/// 0, no variant flips), so merging the result into a cache synthesized from the same
+/// config yields records identical (same hashes) to ones [`synthesize_buildcache`]
+/// would have produced. Unknown names are ignored.
+pub fn synthesize_install(
+    repo: &Repository,
+    names: &[String],
+    config: &BuildcacheConfig,
+) -> Database {
+    let mut db = Database::new();
+    let (Some((platform, os, target)), Some(compiler)) =
+        (config.architectures.first(), config.compilers.first())
+    else {
+        return db;
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // The dependency closure of the requested names, resolved like the full synthesis.
+    let mut wanted: BTreeMap<String, u8> = BTreeMap::new();
+    let mut closure = Vec::new();
+    for name in names {
+        visit(repo, name, &mut wanted, &mut closure);
+    }
+    let keep: std::collections::BTreeSet<&str> = closure.iter().map(String::as_str).collect();
+    // Walk the repo-wide topological order restricted to the closure, so dependency
+    // hashes exist before dependents exactly as in the full synthesis.
+    let mut hashes: BTreeMap<String, String> = BTreeMap::new();
+    for name in topological_names(repo) {
+        if !keep.contains(name.as_str()) {
+            continue;
+        }
+        let Some(pkg) = repo.get(&name) else { continue };
+        let record =
+            default_record(repo, pkg, *platform, os, target, compiler, 0, &hashes, &mut rng);
+        let hash = db.add(record);
+        hashes.insert(name, hash);
+    }
+    db
+}
+
 /// The default (preferred-version, default-variant) installed record of a package.
 #[allow(clippy::too_many_arguments)]
 fn default_record(
@@ -178,37 +220,36 @@ fn default_record(
     }
 }
 
+/// Depth-first post-order visit for [`topological_names`] and the closure walk of
+/// [`synthesize_install`]: virtual edges resolve to their first provider, conditional
+/// edges are included, cycles are broken arbitrarily.
+fn visit(repo: &Repository, name: &str, state: &mut BTreeMap<String, u8>, order: &mut Vec<String>) {
+    match state.get(name).copied().unwrap_or(0) {
+        1 | 2 => return, // visiting or done
+        _ => {}
+    }
+    state.insert(name.to_string(), 1);
+    if let Some(pkg) = repo.get(name) {
+        for dep in pkg.possible_dependency_names() {
+            let resolved = if repo.is_virtual(dep) {
+                repo.providers(dep).first().cloned()
+            } else {
+                Some(dep.to_string())
+            };
+            if let Some(r) = resolved {
+                visit(repo, &r, state, order);
+            }
+        }
+    }
+    state.insert(name.to_string(), 2);
+    order.push(name.to_string());
+}
+
 /// Package names in dependency-first order (virtual edges resolved to their first
 /// provider; conditional edges included). Cycles are broken arbitrarily.
 fn topological_names(repo: &Repository) -> Vec<String> {
     let mut order = Vec::new();
-    let mut state: BTreeMap<String, u8> = BTreeMap::new(); // 0 = unvisited, 1 = visiting, 2 = done
-    fn visit(
-        repo: &Repository,
-        name: &str,
-        state: &mut BTreeMap<String, u8>,
-        order: &mut Vec<String>,
-    ) {
-        match state.get(name).copied().unwrap_or(0) {
-            1 | 2 => return,
-            _ => {}
-        }
-        state.insert(name.to_string(), 1);
-        if let Some(pkg) = repo.get(name) {
-            for dep in pkg.possible_dependency_names() {
-                let resolved = if repo.is_virtual(dep) {
-                    repo.providers(dep).first().cloned()
-                } else {
-                    Some(dep.to_string())
-                };
-                if let Some(r) = resolved {
-                    visit(repo, &r, state, order);
-                }
-            }
-        }
-        state.insert(name.to_string(), 2);
-        order.push(name.to_string());
-    }
+    let mut state: BTreeMap<String, u8> = BTreeMap::new();
     let names: Vec<String> = repo.names().map(|s| s.to_string()).collect();
     for name in names {
         visit(repo, &name, &mut state, &mut order);
@@ -270,6 +311,32 @@ mod tests {
         let big =
             synthesize_buildcache(&repo, &BuildcacheConfig { replicas: 3, ..Default::default() });
         assert!(big.len() > small.len());
+    }
+
+    #[test]
+    fn incremental_install_matches_full_synthesis_hashes() {
+        // Installing one package synthesizes its dependency closure with hashes
+        // identical to the ones the full-cache synthesis produces for the first
+        // architecture/compiler combination.
+        let repo = builtin_repo();
+        let config = BuildcacheConfig::default();
+        let full = synthesize_buildcache(&repo, &config);
+        let inc = synthesize_install(&repo, &["hdf5".to_string()], &config);
+        assert!(!inc.is_empty());
+        assert!(!inc.with_name("hdf5").is_empty());
+        for record in inc.iter() {
+            assert!(
+                full.get(&record.hash).is_some(),
+                "{}: incremental hash {} must exist in the full cache",
+                record.name,
+                record.hash
+            );
+            for (_, dep_hash) in &record.deps {
+                assert!(inc.get(dep_hash).is_some(), "closure must be self-contained");
+            }
+        }
+        // Unknown names synthesize nothing.
+        assert!(synthesize_install(&repo, &["no-such-pkg".to_string()], &config).is_empty());
     }
 
     #[test]

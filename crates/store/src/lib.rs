@@ -17,5 +17,5 @@
 pub mod buildcache;
 pub mod database;
 
-pub use buildcache::{synthesize_buildcache, BuildcacheConfig};
+pub use buildcache::{synthesize_buildcache, synthesize_install, BuildcacheConfig};
 pub use database::{Database, InstalledSpec};
